@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Ablation: the cost of the paper's JS-compatible i64-splitting hook
+ * ABI (§2.4.6) versus a native-i64 ABI that a C++-hosted runtime could
+ * use (`InstrumentOptions::splitI64 = false`). Measured on an
+ * i64-heavy mixing kernel with the binary/const/local hooks — the ones
+ * whose arguments actually carry i64 values.
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "wasm/builder.h"
+
+using namespace wasabi;
+using namespace wasabi::bench;
+
+namespace {
+
+/** An i64-heavy kernel: a 64-bit mix/rotate/multiply loop. */
+workloads::Workload
+i64Kernel(int iters)
+{
+    wasm::ModuleBuilder mb;
+    using wasm::Opcode;
+    using wasm::ValType;
+    mb.addFunction(
+        wasm::FuncType({}, {ValType::I64}), "kernel",
+        [&](wasm::FunctionBuilder &f) {
+            uint32_t i = f.addLocal(ValType::I32);
+            uint32_t h = f.addLocal(ValType::I64);
+            f.i64Const(0x9E3779B97F4A7C15ll).localSet(h);
+            f.forLoop(i, 0, iters, [&] {
+                f.localGet(h).i64Const(31).op(Opcode::I64Rotl);
+                f.localGet(h).op(Opcode::I64Xor).localSet(h);
+                f.localGet(h).i64Const(0xBF58476D1CE4E5B9ll);
+                f.op(Opcode::I64Mul).localSet(h);
+                f.localGet(h).i64Const(27).op(Opcode::I64ShrU);
+                f.localGet(h).op(Opcode::I64Add).localSet(h);
+            });
+            f.localGet(h);
+        });
+    workloads::Workload w;
+    w.name = "i64-mix";
+    w.module = mb.build();
+    w.entry = "kernel";
+    return w;
+}
+
+struct AblationRow {
+    size_t bytes;
+    double seconds;
+};
+
+AblationRow
+measure(const workloads::Workload &w, core::HookSet hooks, bool split)
+{
+    core::InstrumentOptions opts;
+    opts.splitI64 = split;
+    core::InstrumentResult r = core::instrument(w.module, hooks, opts);
+    AblationRow row;
+    row.bytes = binarySize(r.module);
+    runtime::WasabiRuntime rt(r.info);
+    EmptyAnalysis empty(hooks);
+    rt.addAnalysis(&empty);
+    interp::Interpreter interp;
+    auto once = [&] {
+        auto inst = rt.instantiate(r.module);
+        return timeSeconds(
+            [&] { interp.invokeExport(*inst, w.entry, w.args); });
+    };
+    double a = once(), b = once(), c = once();
+    row.seconds = std::min(std::min(a, b), c);
+    return row;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const int iters = argc > 1 ? std::atoi(argv[1]) : 20000;
+    workloads::Workload w = i64Kernel(iters);
+    size_t base_size = binarySize(w.module);
+    double base_time = runOriginalSeconds(w);
+
+    std::printf("=== Ablation: i64 split ABI (paper default) vs native "
+                "i64 ABI ===\n");
+    std::printf("i64 mixing kernel, %d iterations; hooks: "
+                "const+binary+local (i64-carrying)\n\n",
+                iters);
+    core::HookSet hooks{core::HookKind::Const, core::HookKind::Binary,
+                        core::HookKind::Local};
+
+    AblationRow split = measure(w, hooks, true);
+    AblationRow native = measure(w, hooks, false);
+
+    std::printf("%-14s %12s %14s %12s\n", "ABI", "binary size",
+                "size overhead", "runtime");
+    std::printf("%-14s %12s %13.1f%% %11.2fx\n", "(uninstrumented)",
+                humanBytes(base_size).c_str(), 0.0, 1.0);
+    std::printf("%-14s %12s %13.1f%% %11.2fx\n", "split (paper)",
+                humanBytes(split.bytes).c_str(),
+                100.0 * (split.bytes - base_size) / base_size,
+                split.seconds / base_time);
+    std::printf("%-14s %12s %13.1f%% %11.2fx\n", "native i64",
+                humanBytes(native.bytes).c_str(),
+                100.0 * (native.bytes - base_size) / base_size,
+                native.seconds / base_time);
+    std::printf("\nsplit/native size ratio: %.2f, runtime ratio: %.2f\n"
+                "(the split ABI pays wrap/shift sequences per i64 hook "
+                "argument — the price of JS interoperability the paper "
+                "accepts by design)\n",
+                static_cast<double>(split.bytes) / native.bytes,
+                split.seconds / native.seconds);
+    return 0;
+}

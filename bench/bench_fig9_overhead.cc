@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Reproduces **Figure 9** (RQ5, §4.6): runtime of the instrumented
+ * program relative to the uninstrumented one, per selectively
+ * instrumented hook, with an empty analysis attached — for the
+ * PolyBench mean and the two synthetic applications — plus the
+ * "all hooks" geomean (paper: 49x - 163x overall).
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace wasabi;
+using namespace wasabi::bench;
+
+namespace {
+
+double
+median3(double a, double b, double c)
+{
+    if (a > b)
+        std::swap(a, b);
+    if (b > c)
+        std::swap(b, c);
+    if (a > b)
+        std::swap(a, b);
+    return b;
+}
+
+double
+instrumentedSeconds(const workloads::Workload &w, core::HookSet hooks)
+{
+    // Reuse one instrumentation result across the three repetitions.
+    core::InstrumentResult r = core::instrument(w.module, hooks);
+    runtime::WasabiRuntime rt(r.info);
+    EmptyAnalysis empty(hooks);
+    rt.addAnalysis(&empty);
+    interp::Interpreter interp;
+    auto once = [&] {
+        auto inst = rt.instantiate(r.module);
+        return timeSeconds(
+            [&] { interp.invokeExport(*inst, w.entry, w.args); });
+    };
+    return median3(once(), once(), once());
+}
+
+/** Median-of-5 baseline seconds of a workload, measured once. */
+double
+baselineSeconds(const workloads::Workload &w)
+{
+    std::vector<double> t;
+    for (int i = 0; i < 5; ++i)
+        t.push_back(runOriginalSeconds(w));
+    std::sort(t.begin(), t.end());
+    return t[2];
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const int n = argc > 1 ? std::atoi(argv[1]) : 14;
+    const int poly_subset = argc > 2 ? std::atoi(argv[2]) : 10;
+
+    // A subset of PolyBench keeps the total bench time manageable; the
+    // subset spans blas / solver / stencil categories.
+    std::vector<workloads::Workload> poly;
+    {
+        auto names = workloads::polybenchNames();
+        for (size_t i = 0;
+             i < names.size() && poly.size() <
+                 static_cast<size_t>(poly_subset);
+             i += names.size() / poly_subset) {
+            poly.push_back(workloads::polybench(names[i], n));
+        }
+    }
+    workloads::Workload pdfkit =
+        workloads::syntheticApp(workloads::AppSize::PdfkitLike);
+
+    std::printf("=== Figure 9: relative runtime per instrumented hook "
+                "(empty analysis) ===\n");
+    std::printf("PolyBench n=%d (%zu kernels), plus pspdfkit-like app\n\n",
+                n, poly.size());
+    std::printf("%-12s %16s %16s\n", "hook", "PolyBench(mean)",
+                "pspdfkit-like");
+    std::fflush(stdout);
+
+    std::vector<double> poly_base;
+    for (const auto &w : poly)
+        poly_base.push_back(baselineSeconds(w));
+    double pdf_base = baselineSeconds(pdfkit);
+
+    for (core::HookKind kind : core::figureOrderHookKinds()) {
+        core::HookSet set = core::HookSet::only(kind);
+        double sum = 0;
+        for (size_t i = 0; i < poly.size(); ++i)
+            sum += instrumentedSeconds(poly[i], set) / poly_base[i];
+        double poly_rel = sum / static_cast<double>(poly.size());
+        double pdf_rel = instrumentedSeconds(pdfkit, set) / pdf_base;
+        std::printf("%-12s %15.2fx %15.2fx\n", name(kind), poly_rel,
+                    pdf_rel);
+        std::fflush(stdout);
+    }
+
+    core::HookSet all = core::HookSet::all();
+    std::vector<double> rels;
+    for (size_t i = 0; i < poly.size(); ++i)
+        rels.push_back(instrumentedSeconds(poly[i], all) / poly_base[i]);
+    double pdf_all_rel = instrumentedSeconds(pdfkit, all) / pdf_base;
+    std::printf("%-12s %15.2fx %15.2fx\n", "ALL", geomean(rels),
+                pdf_all_rel);
+    std::printf("\n(paper: cheap hooks ~1.02x; call <=2.8x, "
+                "begin/end 1.5-9.9x, load 1.8-20x, const 2-32x, "
+                "local 4-48.5x, binary 2.6-77.5x; all 49-163x, with "
+                "numeric kernels far above the real-world apps)\n");
+    return 0;
+}

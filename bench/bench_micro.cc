@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the toolchain components that
+ * the paper's Table 5 timing decomposes into: decode, validate,
+ * instrument (selective and full, sequential and parallel), encode,
+ * and interpreter throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "wasm/decoder.h"
+
+using namespace wasabi;
+using namespace wasabi::bench;
+
+namespace {
+
+const wasm::Module &
+appModule()
+{
+    static const wasm::Module m =
+        workloads::syntheticApp(workloads::AppSize::PdfkitLike).module;
+    return m;
+}
+
+const std::vector<uint8_t> &
+appBytes()
+{
+    static const std::vector<uint8_t> bytes =
+        wasm::encodeModule(appModule());
+    return bytes;
+}
+
+void
+BM_Decode(benchmark::State &state)
+{
+    const auto &bytes = appBytes();
+    for (auto _ : state) {
+        wasm::Module m = wasm::decodeModule(bytes);
+        benchmark::DoNotOptimize(m.functions.size());
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(bytes.size()));
+}
+BENCHMARK(BM_Decode);
+
+void
+BM_Encode(benchmark::State &state)
+{
+    const wasm::Module &m = appModule();
+    for (auto _ : state) {
+        auto bytes = wasm::encodeModule(m);
+        benchmark::DoNotOptimize(bytes.size());
+    }
+}
+BENCHMARK(BM_Encode);
+
+void
+BM_Validate(benchmark::State &state)
+{
+    const wasm::Module &m = appModule();
+    for (auto _ : state) {
+        wasm::validateModule(m);
+    }
+}
+BENCHMARK(BM_Validate);
+
+void
+BM_InstrumentFull(benchmark::State &state)
+{
+    const wasm::Module &m = appModule();
+    core::InstrumentOptions opts;
+    opts.numThreads = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        auto r = core::instrument(m, core::HookSet::all(), opts);
+        benchmark::DoNotOptimize(r.info->hooks.size());
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(appBytes().size()));
+}
+BENCHMARK(BM_InstrumentFull)->Arg(1)->Arg(2)->Arg(4);
+
+void
+BM_InstrumentSelectiveCall(benchmark::State &state)
+{
+    const wasm::Module &m = appModule();
+    for (auto _ : state) {
+        auto r =
+            core::instrument(m, core::HookSet::only(core::HookKind::Call));
+        benchmark::DoNotOptimize(r.module.numFunctions());
+    }
+}
+BENCHMARK(BM_InstrumentSelectiveCall);
+
+void
+BM_InterpreterGemm(benchmark::State &state)
+{
+    workloads::Workload w =
+        workloads::polybench("gemm", static_cast<int>(state.range(0)));
+    auto inst = interp::Instance::instantiate(w.module, interp::Linker());
+    interp::Interpreter interp;
+    for (auto _ : state) {
+        auto results = interp.invokeExport(*inst, w.entry, w.args);
+        benchmark::DoNotOptimize(results[0].f64());
+    }
+}
+BENCHMARK(BM_InterpreterGemm)->Arg(8)->Arg(16);
+
+void
+BM_HookDispatch(benchmark::State &state)
+{
+    // Cost of one fully-instrumented hot loop with an empty analysis.
+    workloads::Workload w = workloads::polybench("jacobi-1d", 32);
+    core::InstrumentResult r =
+        core::instrument(w.module, core::HookSet::all());
+    runtime::WasabiRuntime rt(r.info);
+    EmptyAnalysis empty(core::HookSet::all());
+    rt.addAnalysis(&empty);
+    auto inst = rt.instantiate(r.module);
+    interp::Interpreter interp;
+    for (auto _ : state) {
+        auto results = interp.invokeExport(*inst, w.entry, w.args);
+        benchmark::DoNotOptimize(results[0].f64());
+    }
+}
+BENCHMARK(BM_HookDispatch);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Reproduces **Table 4** (RQ1, §4.2): the eight analyses built on top
+ * of the framework, the hooks each implements, and a demonstration
+ * run of every analysis on representative workloads. (The paper's LOC
+ * column measures the JS analysis sources; here the C++ equivalents
+ * are the src/analyses/ files.)
+ */
+
+#include <cstdio>
+
+#include "analyses/basic_block_profile.h"
+#include "analyses/branch_coverage.h"
+#include "analyses/call_graph.h"
+#include "analyses/cryptominer.h"
+#include "analyses/instruction_coverage.h"
+#include "analyses/instruction_mix.h"
+#include "analyses/memory_trace.h"
+#include "analyses/taint.h"
+#include "bench_common.h"
+
+using namespace wasabi;
+using namespace wasabi::bench;
+
+namespace {
+
+/** Instrument + run one analysis over a workload; returns hook calls. */
+uint64_t
+runAnalysis(const workloads::Workload &w, runtime::Analysis &a)
+{
+    core::InstrumentResult r =
+        core::instrument(w.module, runtime::WasabiRuntime::requiredHooks(
+                                       {&a}));
+    runtime::WasabiRuntime rt(r.info);
+    rt.addAnalysis(&a);
+    auto inst = rt.instantiate(r.module);
+    interp::Interpreter interp;
+    interp.invokeExport(*inst, w.entry, w.args);
+    return rt.hookInvocations();
+}
+
+void
+row(const char *name, const runtime::Analysis &a, const char *summary)
+{
+    std::printf("%-24s %-40s %s\n", name, a.hooks().toString().c_str(),
+                summary);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Table 4: analyses built on top of the framework "
+                "===\n\n");
+    std::printf("%-24s %-40s %s\n", "Analysis", "Hooks",
+                "Demo result");
+
+    workloads::Workload gemm = workloads::polybench("gemm", 12);
+    workloads::Workload app =
+        workloads::syntheticApp(workloads::AppSize::Small);
+    char buf[256];
+
+    {
+        analyses::InstructionMix a;
+        uint64_t calls = runAnalysis(gemm, a);
+        std::snprintf(buf, sizeof buf,
+                      "gemm: %llu dynamic instrs, top op %s",
+                      static_cast<unsigned long long>(a.total()),
+                      a.counts().empty()
+                          ? "-"
+                          : std::max_element(
+                                a.counts().begin(), a.counts().end(),
+                                [](auto &x, auto &y) {
+                                    return x.second < y.second;
+                                })
+                                ->first.c_str());
+        row("Instruction mix", a, buf);
+        (void)calls;
+    }
+    {
+        analyses::BasicBlockProfile a;
+        runAnalysis(gemm, a);
+        std::snprintf(buf, sizeof buf, "gemm: %zu distinct blocks",
+                      a.distinctBlocks());
+        row("Basic block profiling", a, buf);
+    }
+    {
+        analyses::InstructionCoverage a;
+        runAnalysis(gemm, a);
+        std::snprintf(buf, sizeof buf, "gemm: %.1f%% instr coverage",
+                      100.0 * a.ratio(gemm.module));
+        row("Instruction coverage", a, buf);
+    }
+    {
+        analyses::BranchCoverage a;
+        runAnalysis(app, a);
+        std::snprintf(buf, sizeof buf,
+                      "app-small: %zu branch sites, %zu half-covered",
+                      a.sites(), a.partiallyCoveredTwoWaySites());
+        row("Branch coverage", a, buf);
+    }
+    {
+        analyses::CallGraph a;
+        runAnalysis(app, a);
+        std::snprintf(buf, sizeof buf, "app-small: %zu call edges",
+                      a.numEdges());
+        row("Call graph analysis", a, buf);
+    }
+    {
+        analyses::TaintAnalysis a;
+        a.taintMemory(0, 64);
+        runAnalysis(app, a);
+        std::snprintf(buf, sizeof buf,
+                      "app-small: %zu flows (no sinks configured)",
+                      a.flows().size());
+        row("Dynamic taint analysis", a, buf);
+    }
+    {
+        analyses::CryptominerDetector a;
+        runAnalysis(gemm, a);
+        std::snprintf(buf, sizeof buf,
+                      "gemm: signature ratio %.2f, suspicious=%s",
+                      a.signatureRatio(), a.suspicious() ? "yes" : "no");
+        row("Cryptominer detection", a, buf);
+    }
+    {
+        analyses::MemoryTrace a;
+        runAnalysis(gemm, a);
+        std::snprintf(buf, sizeof buf,
+                      "gemm: %zu accesses, locality %.2f",
+                      a.trace().size(), a.localityScore());
+        row("Memory access tracing", a, buf);
+    }
+
+    std::printf("\n(paper Table 4 LOC column: the JS analyses are "
+                "9-208 LOC; the C++ equivalents live in "
+                "src/analyses/)\n");
+    return 0;
+}

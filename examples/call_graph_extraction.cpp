@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Dynamic call graph extraction (paper Table 4): runs a synthetic
+ * application under the CallGraph analysis, prints the hottest edges,
+ * the DOT rendering, and the dynamically dead functions — the
+ * reverse-engineering workflow the paper motivates.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "analyses/call_graph.h"
+#include "core/instrument.h"
+#include "interp/interpreter.h"
+#include "runtime/runtime.h"
+#include "workloads/synthetic_app.h"
+
+using namespace wasabi;
+
+int
+main()
+{
+    workloads::Workload app =
+        workloads::syntheticApp(workloads::AppSize::Small);
+
+    analyses::CallGraph graph;
+    core::InstrumentResult r = core::instrument(
+        app.module, runtime::WasabiRuntime::requiredHooks({&graph}));
+    runtime::WasabiRuntime rt(r.info);
+    rt.addAnalysis(&graph);
+    auto inst = rt.instantiate(r.module);
+    interp::Interpreter interp;
+    interp.invokeExport(*inst, app.entry, app.args);
+
+    std::printf("dynamic call graph of %s: %zu edges\n\n",
+                app.name.c_str(), graph.numEdges());
+
+    std::vector<std::pair<std::pair<uint32_t, uint32_t>, uint64_t>> edges(
+        graph.edges().begin(), graph.edges().end());
+    std::sort(edges.begin(), edges.end(), [](auto &a, auto &b) {
+        return a.second > b.second;
+    });
+    std::printf("hottest edges:\n");
+    for (size_t i = 0; i < edges.size() && i < 8; ++i) {
+        std::printf("  f%u -> f%u  (%llu calls)%s\n",
+                    edges[i].first.first, edges[i].first.second,
+                    static_cast<unsigned long long>(edges[i].second),
+                    graph.hasIndirectEdge(edges[i].first.first,
+                                          edges[i].first.second)
+                        ? "  [via table]"
+                        : "");
+    }
+
+    uint32_t entry = *app.module.findFuncExport(app.entry);
+    auto dead = graph.dynamicallyDead(app.module, entry);
+    std::printf("\ndynamically dead functions (%zu):", dead.size());
+    for (uint32_t f : dead)
+        std::printf(" f%u", f);
+    std::printf("\n\nDOT rendering:\n%s",
+                graph.toDot(app.module).c_str());
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Branch and instruction coverage (paper Figure 7 and Table 4):
+ * exercises a small classifier function with a growing set of test
+ * inputs and shows how coverage converges — the test-quality
+ * assessment workflow of the paper.
+ */
+
+#include <cstdio>
+
+#include "analyses/branch_coverage.h"
+#include "analyses/instruction_coverage.h"
+#include "core/instrument.h"
+#include "interp/interpreter.h"
+#include "runtime/runtime.h"
+#include "wasm/builder.h"
+
+using namespace wasabi;
+
+namespace {
+
+/** classify(x): 0 if negative, 1 if zero, 2 if small, 3 otherwise. */
+wasm::Module
+classifier()
+{
+    wasm::ModuleBuilder mb;
+    using wasm::Opcode;
+    using wasm::ValType;
+    mb.addFunction(
+        wasm::FuncType({ValType::I32}, {ValType::I32}), "classify",
+        [](wasm::FunctionBuilder &f) {
+            f.localGet(0).i32Const(0).op(Opcode::I32LtS);
+            f.if_(ValType::I32);
+            f.i32Const(0);
+            f.else_();
+            f.localGet(0).op(Opcode::I32Eqz);
+            f.if_(ValType::I32);
+            f.i32Const(1);
+            f.else_();
+            f.localGet(0).i32Const(100).op(Opcode::I32LtS);
+            f.if_(ValType::I32);
+            f.i32Const(2);
+            f.else_();
+            f.i32Const(3);
+            f.end();
+            f.end();
+            f.end();
+        });
+    return mb.build();
+}
+
+} // namespace
+
+int
+main()
+{
+    wasm::Module m = classifier();
+
+    analyses::BranchCoverage branches;
+    analyses::InstructionCoverage instrs;
+    core::InstrumentResult r = core::instrument(
+        m, runtime::WasabiRuntime::requiredHooks({&branches, &instrs}));
+    runtime::WasabiRuntime rt(r.info);
+    rt.addAnalysis(&branches);
+    rt.addAnalysis(&instrs);
+    auto inst = rt.instantiate(r.module);
+    interp::Interpreter interp;
+
+    std::printf("coverage of classify() as the test set grows:\n\n");
+    const int32_t test_sets[][4] = {
+        {5, 5, 5, 5},       // one path only
+        {5, -3, 5, -3},     // two paths
+        {5, -3, 0, 5},      // three paths
+        {5, -3, 0, 1000},   // all four paths
+    };
+    for (const auto &tests : test_sets) {
+        for (int32_t x : tests) {
+            std::vector<wasm::Value> args{
+                wasm::Value::makeI32(static_cast<uint32_t>(x))};
+            interp.invokeExport(*inst, "classify", args);
+        }
+        std::printf("after inputs {%d, %d, %d, %d}: "
+                    "%zu branch sites hit, %zu half-covered, "
+                    "%.0f%% instruction coverage\n",
+                    tests[0], tests[1], tests[2], tests[3],
+                    branches.sites(),
+                    branches.partiallyCoveredTwoWaySites(),
+                    100.0 * instrs.ratio(m));
+    }
+    std::printf("\nper-site decisions:\n%s", branches.report().c_str());
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Memory access tracing (paper Table 4): compares row-major and
+ * column-major matrix traversals under the MemoryTrace analysis and
+ * reports the locality score — the "detect cache-unfriendly access
+ * patterns" use case the paper names.
+ */
+
+#include <cstdio>
+
+#include "analyses/memory_trace.h"
+#include "core/instrument.h"
+#include "interp/interpreter.h"
+#include "runtime/runtime.h"
+#include "wasm/builder.h"
+
+using namespace wasabi;
+
+namespace {
+
+constexpr int kN = 48;
+
+/** Walks an NxN f64 matrix summing elements, in either order. */
+wasm::Module
+traversal(bool row_major)
+{
+    wasm::ModuleBuilder mb;
+    using wasm::Opcode;
+    using wasm::ValType;
+    mb.memory(1 + (kN * kN * 8) / wasm::kPageSize);
+    mb.addFunction(
+        wasm::FuncType({}, {ValType::F64}), "walk",
+        [&](wasm::FunctionBuilder &f) {
+            uint32_t i = f.addLocal(ValType::I32);
+            uint32_t j = f.addLocal(ValType::I32);
+            uint32_t acc = f.addLocal(ValType::F64);
+            auto element = [&](uint32_t row, uint32_t col) {
+                f.localGet(row).i32Const(kN).op(Opcode::I32Mul);
+                f.localGet(col).op(Opcode::I32Add);
+                f.i32Const(8).op(Opcode::I32Mul);
+                f.f64Load();
+            };
+            f.forLoop(i, 0, kN, [&] {
+                f.forLoop(j, 0, kN, [&] {
+                    f.localGet(acc);
+                    if (row_major)
+                        element(i, j); // consecutive addresses
+                    else
+                        element(j, i); // stride N*8 between accesses
+                    f.op(Opcode::F64Add);
+                    f.localSet(acc);
+                });
+            });
+            f.localGet(acc);
+        });
+    return mb.build();
+}
+
+double
+traceWalk(bool row_major)
+{
+    analyses::MemoryTrace trace;
+    core::InstrumentResult r = core::instrument(
+        traversal(row_major),
+        runtime::WasabiRuntime::requiredHooks({&trace}));
+    runtime::WasabiRuntime rt(r.info);
+    rt.addAnalysis(&trace);
+    auto inst = rt.instantiate(r.module);
+    interp::Interpreter interp;
+    interp.invokeExport(*inst, "walk", {});
+    std::printf("%-12s %6zu loads, locality score %.3f "
+                "(fraction of consecutive accesses within a 64 B "
+                "cache line)\n",
+                row_major ? "row-major" : "column-major", trace.loads(),
+                trace.localityScore());
+    return trace.localityScore();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("memory access tracing: %dx%d f64 matrix traversal\n\n",
+                kN, kN);
+    double good = traceWalk(true);
+    double bad = traceWalk(false);
+    std::printf("\nrow-major is %.1fx more cache-line-local -> the "
+                "column-major loop nest should be interchanged\n",
+                bad > 0 ? good / bad : 999.0);
+    return 0;
+}

@@ -1,0 +1,31 @@
+#include "analyses/basic_block_profile.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace wasabi::analyses {
+
+std::string
+BasicBlockProfile::report(size_t top_n) const
+{
+    using Entry = std::pair<std::pair<uint64_t, runtime::BlockKind>,
+                            uint64_t>;
+    std::vector<Entry> sorted(counts_.begin(), counts_.end());
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Entry &a, const Entry &b) {
+                  return a.second > b.second;
+              });
+    std::ostringstream os;
+    os << "distinct blocks entered: " << counts_.size() << "\n";
+    for (size_t i = 0; i < sorted.size() && i < top_n; ++i) {
+        uint64_t packed = sorted[i].first.first;
+        os << "  func " << (packed >> 32) << " @"
+           << static_cast<int32_t>(packed & 0xFFFFFFFF) << " ("
+           << name(sorted[i].first.second) << "): " << sorted[i].second
+           << "\n";
+    }
+    return os.str();
+}
+
+} // namespace wasabi::analyses

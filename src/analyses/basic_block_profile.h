@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Basic block profiling (paper Table 4): counts how often each
+ * function, block, and loop is entered — useful for finding hot code.
+ * The paper implements this with the `begin` hook alone (9 LOC of JS).
+ */
+
+#ifndef WASABI_ANALYSES_BASIC_BLOCK_PROFILE_H
+#define WASABI_ANALYSES_BASIC_BLOCK_PROFILE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "runtime/analysis.h"
+
+namespace wasabi::analyses {
+
+/** Per-block execution counter keyed by (location, block kind). */
+class BasicBlockProfile final : public runtime::Analysis {
+  public:
+    runtime::HookSet
+    hooks() const override
+    {
+        return runtime::HookSet::only(runtime::HookKind::Begin);
+    }
+
+    void
+    onBegin(runtime::Location loc, runtime::BlockKind kind) override
+    {
+        ++counts_[{core::packLoc(loc), kind}];
+    }
+
+    /** Execution count of the block beginning at @p loc. */
+    uint64_t
+    count(runtime::Location loc, runtime::BlockKind kind) const
+    {
+        auto it = counts_.find({core::packLoc(loc), kind});
+        return it == counts_.end() ? 0 : it->second;
+    }
+
+    /** Number of distinct blocks entered. */
+    size_t distinctBlocks() const { return counts_.size(); }
+
+    /** The hottest blocks, formatted one per line. */
+    std::string report(size_t top_n = 10) const;
+
+    const std::map<std::pair<uint64_t, runtime::BlockKind>, uint64_t> &
+    counts() const
+    {
+        return counts_;
+    }
+
+  private:
+    std::map<std::pair<uint64_t, runtime::BlockKind>, uint64_t> counts_;
+};
+
+} // namespace wasabi::analyses
+
+#endif // WASABI_ANALYSES_BASIC_BLOCK_PROFILE_H

@@ -1,0 +1,37 @@
+#include "analyses/branch_coverage.h"
+
+#include <sstream>
+
+namespace wasabi::analyses {
+
+size_t
+BranchCoverage::partiallyCoveredTwoWaySites() const
+{
+    size_t n = 0;
+    for (const auto &[loc, decisions] : coverage_) {
+        if (decisions.size() == 1 &&
+            (*decisions.begin() == 0 || *decisions.begin() == 1)) {
+            ++n;
+        }
+    }
+    return n;
+}
+
+std::string
+BranchCoverage::report() const
+{
+    std::ostringstream os;
+    os << "branch sites executed: " << coverage_.size()
+       << ", partially covered two-way sites: "
+       << partiallyCoveredTwoWaySites() << "\n";
+    for (const auto &[packed, decisions] : coverage_) {
+        os << "  func " << (packed >> 32) << " @" << (packed & 0xFFFFFFFF)
+           << ":";
+        for (int d : decisions)
+            os << " " << d;
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace wasabi::analyses

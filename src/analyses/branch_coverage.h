@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Branch coverage (paper Table 4 and Figure 7): records, for every
+ * branching instruction (if, br_if, br_table, select), which decisions
+ * were taken. The paper's JS version is 14 LOC; Figure 7 shows it.
+ */
+
+#ifndef WASABI_ANALYSES_BRANCH_COVERAGE_H
+#define WASABI_ANALYSES_BRANCH_COVERAGE_H
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "runtime/analysis.h"
+
+namespace wasabi::analyses {
+
+/** Per-location set of observed branch decisions. */
+class BranchCoverage final : public runtime::Analysis {
+  public:
+    runtime::HookSet
+    hooks() const override
+    {
+        using runtime::HookKind;
+        return runtime::HookSet{HookKind::If, HookKind::BrIf,
+                                HookKind::BrTable, HookKind::Select};
+    }
+
+    void
+    onIf(runtime::Location loc, bool condition) override
+    {
+        addBranch(loc, condition ? 1 : 0);
+    }
+
+    void
+    onBrIf(runtime::Location loc, runtime::BranchTarget,
+           bool condition) override
+    {
+        addBranch(loc, condition ? 1 : 0);
+    }
+
+    void
+    onBrTable(runtime::Location loc,
+              std::span<const runtime::BranchTarget>,
+              runtime::BranchTarget, uint32_t index) override
+    {
+        addBranch(loc, static_cast<int>(index));
+    }
+
+    void
+    onSelect(runtime::Location loc, bool condition, wasm::Value,
+             wasm::Value) override
+    {
+        addBranch(loc, condition ? 1 : 0);
+    }
+
+    /** Decisions observed at @p loc (empty set if never executed). */
+    const std::set<int> &
+    branches(runtime::Location loc) const
+    {
+        static const std::set<int> empty;
+        auto it = coverage_.find(core::packLoc(loc));
+        return it == coverage_.end() ? empty : it->second;
+    }
+
+    /** Number of branch sites executed at least once. */
+    size_t sites() const { return coverage_.size(); }
+
+    /** Sites where only one of both two-way outcomes was seen. */
+    size_t partiallyCoveredTwoWaySites() const;
+
+    std::string report() const;
+
+  private:
+    void
+    addBranch(runtime::Location loc, int decision)
+    {
+        coverage_[core::packLoc(loc)].insert(decision);
+    }
+
+    std::map<uint64_t, std::set<int>> coverage_;
+};
+
+} // namespace wasabi::analyses
+
+#endif // WASABI_ANALYSES_BRANCH_COVERAGE_H

@@ -1,0 +1,58 @@
+#include "analyses/call_graph.h"
+
+#include <sstream>
+
+namespace wasabi::analyses {
+
+std::set<uint32_t>
+CallGraph::reachedFunctions() const
+{
+    std::set<uint32_t> reached;
+    for (const auto &[edge, count] : edges_)
+        reached.insert(edge.second);
+    return reached;
+}
+
+std::set<uint32_t>
+CallGraph::dynamicallyDead(const wasm::Module &m, uint32_t entry) const
+{
+    std::set<uint32_t> reached = reachedFunctions();
+    std::set<uint32_t> dead;
+    for (uint32_t f = 0; f < m.numFunctions(); ++f) {
+        if (m.functions[f].imported())
+            continue;
+        if (f != entry && reached.count(f) == 0)
+            dead.insert(f);
+    }
+    return dead;
+}
+
+std::string
+CallGraph::toDot(const wasm::Module &m) const
+{
+    auto label = [&m](uint32_t f) {
+        if (f == runtime::Analysis::kUnresolvedFunc)
+            return std::string("unresolved");
+        if (f < m.numFunctions()) {
+            const wasm::Function &fn = m.functions[f];
+            if (!fn.exportNames.empty())
+                return fn.exportNames.front();
+            if (!fn.debugName.empty())
+                return fn.debugName;
+        }
+        return "f" + std::to_string(f);
+    };
+    std::ostringstream os;
+    os << "digraph callgraph {\n";
+    for (const auto &[edge, count] : edges_) {
+        os << "  \"" << label(edge.first) << "\" -> \""
+           << label(edge.second) << "\" [label=\"" << count << "\"";
+        if (indirectEdges_.count(edge))
+            os << ", style=dashed";
+        os << "];\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace wasabi::analyses

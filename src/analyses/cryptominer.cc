@@ -1,0 +1,1 @@
+#include "analyses/cryptominer.h"

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Cryptominer detection (paper Figure 1, re-implementing the profiling
+ * part of SEISMIC [47]): gathers a frequency signature of the binary
+ * instructions characteristic of mining kernels (i32.add, i32.and,
+ * i32.shl, i32.shr_u, i32.xor) and flags executions dominated by them.
+ */
+
+#ifndef WASABI_ANALYSES_CRYPTOMINER_H
+#define WASABI_ANALYSES_CRYPTOMINER_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "runtime/analysis.h"
+
+namespace wasabi::analyses {
+
+/** Instruction-signature based cryptomining detector. */
+class CryptominerDetector final : public runtime::Analysis {
+  public:
+    runtime::HookSet
+    hooks() const override
+    {
+        return runtime::HookSet::only(runtime::HookKind::Binary);
+    }
+
+    void
+    onBinary(runtime::Location, wasm::Opcode op, wasm::Value, wasm::Value,
+             wasm::Value) override
+    {
+        ++total_;
+        switch (op) {
+          case wasm::Opcode::I32Add:
+          case wasm::Opcode::I32And:
+          case wasm::Opcode::I32Shl:
+          case wasm::Opcode::I32ShrU:
+          case wasm::Opcode::I32Xor:
+          case wasm::Opcode::I32Rotl:
+          case wasm::Opcode::I32Rotr:
+            ++signature_[wasm::name(op)];
+            ++signatureTotal_;
+            break;
+          default:
+            break;
+        }
+    }
+
+    /** Per-mnemonic signature counts (cf. Figure 1's `signature`). */
+    const std::map<std::string, uint64_t> &signature() const
+    {
+        return signature_;
+    }
+
+    uint64_t totalBinaryOps() const { return total_; }
+
+    /** Fraction of binary operations matching the mining signature. */
+    double
+    signatureRatio() const
+    {
+        return total_ == 0
+                   ? 0.0
+                   : static_cast<double>(signatureTotal_) / total_;
+    }
+
+    /**
+     * Heuristic verdict: hash kernels are dominated by 32-bit
+     * bitwise/rotate/add mixing with substantial xor traffic.
+     */
+    bool
+    suspicious() const
+    {
+        if (total_ < 1000)
+            return false; // too little evidence
+        auto count = [this](const char *n) {
+            auto it = signature_.find(n);
+            return it == signature_.end() ? uint64_t(0) : it->second;
+        };
+        double xor_ratio =
+            static_cast<double>(count("i32.xor")) / total_;
+        return signatureRatio() > 0.8 && xor_ratio > 0.15;
+    }
+
+  private:
+    std::map<std::string, uint64_t> signature_;
+    uint64_t signatureTotal_ = 0;
+    uint64_t total_ = 0;
+};
+
+} // namespace wasabi::analyses
+
+#endif // WASABI_ANALYSES_CRYPTOMINER_H

@@ -1,0 +1,1 @@
+#include "analyses/instruction_coverage.h"

@@ -1,0 +1,125 @@
+#include "analyses/instruction_mix.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace wasabi::analyses {
+
+using runtime::HookKind;
+using runtime::HookSet;
+using runtime::Location;
+
+HookSet
+InstructionMix::hooks() const
+{
+    return HookSet::all();
+}
+
+void InstructionMix::onStart(Location) { bump("start"); }
+void InstructionMix::onNop(Location) { bump("nop"); }
+void InstructionMix::onUnreachable(Location) { bump("unreachable"); }
+void InstructionMix::onIf(Location, bool) { bump("if"); }
+void InstructionMix::onBr(Location, runtime::BranchTarget) { bump("br"); }
+void
+InstructionMix::onBrIf(Location, runtime::BranchTarget, bool)
+{
+    bump("br_if");
+}
+void
+InstructionMix::onBrTable(Location, std::span<const runtime::BranchTarget>,
+                          runtime::BranchTarget, uint32_t)
+{
+    bump("br_table");
+}
+void
+InstructionMix::onBegin(Location, runtime::BlockKind kind)
+{
+    // Block entries stand in for the block/loop instructions.
+    if (kind == runtime::BlockKind::Block)
+        bump("block");
+    else if (kind == runtime::BlockKind::Loop)
+        bump("loop");
+}
+void
+InstructionMix::onConst(Location, wasm::Opcode op, wasm::Value)
+{
+    bump(wasm::name(op));
+}
+void
+InstructionMix::onUnary(Location, wasm::Opcode op, wasm::Value, wasm::Value)
+{
+    bump(wasm::name(op));
+}
+void
+InstructionMix::onBinary(Location, wasm::Opcode op, wasm::Value,
+                         wasm::Value, wasm::Value)
+{
+    bump(wasm::name(op));
+}
+void InstructionMix::onDrop(Location, wasm::Value) { bump("drop"); }
+void
+InstructionMix::onSelect(Location, bool, wasm::Value, wasm::Value)
+{
+    bump("select");
+}
+void
+InstructionMix::onLocal(Location, wasm::Opcode op, uint32_t, wasm::Value)
+{
+    bump(wasm::name(op));
+}
+void
+InstructionMix::onGlobal(Location, wasm::Opcode op, uint32_t, wasm::Value)
+{
+    bump(wasm::name(op));
+}
+void
+InstructionMix::onLoad(Location, wasm::Opcode op, runtime::MemArg,
+                       wasm::Value)
+{
+    bump(wasm::name(op));
+}
+void
+InstructionMix::onStore(Location, wasm::Opcode op, runtime::MemArg,
+                        wasm::Value)
+{
+    bump(wasm::name(op));
+}
+void InstructionMix::onMemorySize(Location, uint32_t)
+{
+    bump("memory.size");
+}
+void
+InstructionMix::onMemoryGrow(Location, uint32_t, uint32_t)
+{
+    bump("memory.grow");
+}
+void
+InstructionMix::onCallPre(Location, uint32_t, std::span<const wasm::Value>,
+                          std::optional<uint32_t> table_index)
+{
+    bump(table_index ? "call_indirect" : "call");
+}
+void
+InstructionMix::onReturn(Location, std::span<const wasm::Value>)
+{
+    bump("return");
+}
+
+std::string
+InstructionMix::report(size_t top_n) const
+{
+    std::vector<std::pair<std::string, uint64_t>> sorted(counts_.begin(),
+                                                         counts_.end());
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second > b.second;
+              });
+    std::ostringstream os;
+    os << "total dynamic instructions observed: " << total_ << "\n";
+    for (size_t i = 0; i < sorted.size() && i < top_n; ++i)
+        os << "  " << sorted[i].first << ": " << sorted[i].second << "\n";
+    return os.str();
+}
+
+} // namespace wasabi::analyses

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Instruction mix analysis (paper Table 4): counts how often each kind
+ * of instruction is executed — a basis for performance and security
+ * analyses.
+ */
+
+#ifndef WASABI_ANALYSES_INSTRUCTION_MIX_H
+#define WASABI_ANALYSES_INSTRUCTION_MIX_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "runtime/analysis.h"
+
+namespace wasabi::analyses {
+
+/** Counts executed instructions, by opcode mnemonic and by hook kind. */
+class InstructionMix final : public runtime::Analysis {
+  public:
+    runtime::HookSet hooks() const override;
+
+    void onStart(runtime::Location) override;
+    void onNop(runtime::Location) override;
+    void onUnreachable(runtime::Location) override;
+    void onIf(runtime::Location, bool) override;
+    void onBr(runtime::Location, runtime::BranchTarget) override;
+    void onBrIf(runtime::Location, runtime::BranchTarget, bool) override;
+    void onBrTable(runtime::Location,
+                   std::span<const runtime::BranchTarget>,
+                   runtime::BranchTarget, uint32_t) override;
+    void onBegin(runtime::Location, runtime::BlockKind) override;
+    void onConst(runtime::Location, wasm::Opcode, wasm::Value) override;
+    void onUnary(runtime::Location, wasm::Opcode, wasm::Value,
+                 wasm::Value) override;
+    void onBinary(runtime::Location, wasm::Opcode, wasm::Value,
+                  wasm::Value, wasm::Value) override;
+    void onDrop(runtime::Location, wasm::Value) override;
+    void onSelect(runtime::Location, bool, wasm::Value,
+                  wasm::Value) override;
+    void onLocal(runtime::Location, wasm::Opcode, uint32_t,
+                 wasm::Value) override;
+    void onGlobal(runtime::Location, wasm::Opcode, uint32_t,
+                  wasm::Value) override;
+    void onLoad(runtime::Location, wasm::Opcode, runtime::MemArg,
+                wasm::Value) override;
+    void onStore(runtime::Location, wasm::Opcode, runtime::MemArg,
+                 wasm::Value) override;
+    void onMemorySize(runtime::Location, uint32_t) override;
+    void onMemoryGrow(runtime::Location, uint32_t, uint32_t) override;
+    void onCallPre(runtime::Location, uint32_t,
+                   std::span<const wasm::Value>,
+                   std::optional<uint32_t>) override;
+    void onReturn(runtime::Location,
+                  std::span<const wasm::Value>) override;
+
+    /** Executed-count per instruction mnemonic. */
+    const std::map<std::string, uint64_t> &counts() const
+    {
+        return counts_;
+    }
+
+    /** Total dynamic instruction count observed. */
+    uint64_t total() const { return total_; }
+
+    uint64_t
+    count(const std::string &mnemonic) const
+    {
+        auto it = counts_.find(mnemonic);
+        return it == counts_.end() ? 0 : it->second;
+    }
+
+    /** Human-readable report, most frequent first. */
+    std::string report(size_t top_n = 20) const;
+
+  private:
+    void
+    bump(const std::string &key)
+    {
+        ++counts_[key];
+        ++total_;
+    }
+
+    std::map<std::string, uint64_t> counts_;
+    uint64_t total_ = 0;
+};
+
+} // namespace wasabi::analyses
+
+#endif // WASABI_ANALYSES_INSTRUCTION_MIX_H

@@ -1,0 +1,55 @@
+#include "analyses/memory_trace.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace wasabi::analyses {
+
+size_t
+MemoryTrace::loads() const
+{
+    size_t n = 0;
+    for (const MemoryAccess &a : trace_)
+        n += a.isStore ? 0 : 1;
+    return n;
+}
+
+size_t
+MemoryTrace::stores() const
+{
+    return trace_.size() - loads();
+}
+
+double
+MemoryTrace::localityScore(uint64_t line_bytes) const
+{
+    if (trace_.size() < 2)
+        return 1.0;
+    size_t near = 0;
+    for (size_t i = 1; i < trace_.size(); ++i) {
+        uint64_t a = trace_[i - 1].address;
+        uint64_t b = trace_[i].address;
+        uint64_t dist = a > b ? a - b : b - a;
+        if (dist <= line_bytes)
+            ++near;
+    }
+    return static_cast<double>(near) / (trace_.size() - 1);
+}
+
+std::string
+MemoryTrace::report(size_t max_entries) const
+{
+    std::ostringstream os;
+    os << "memory accesses: " << trace_.size() << " (" << loads()
+       << " loads, " << stores() << " stores), locality "
+       << localityScore() << "\n";
+    for (size_t i = 0; i < trace_.size() && i < max_entries; ++i) {
+        const MemoryAccess &a = trace_[i];
+        os << "  " << (a.isStore ? "store" : "load ") << " "
+           << wasm::name(a.op) << " @" << a.address << " = "
+           << toString(a.value) << "\n";
+    }
+    return os.str();
+}
+
+} // namespace wasabi::analyses

@@ -1,0 +1,273 @@
+#include "analyses/taint.h"
+
+namespace wasabi::analyses {
+
+using runtime::BlockKind;
+using runtime::Location;
+
+TaintAnalysis::Frame &
+TaintAnalysis::top()
+{
+    if (frames_.empty())
+        frames_.emplace_back(); // tolerate host-initiated calls
+    return frames_.back();
+}
+
+void
+TaintAnalysis::push(bool t)
+{
+    top().stack.push_back(t);
+}
+
+bool
+TaintAnalysis::pop()
+{
+    Frame &f = top();
+    if (f.stack.empty())
+        return false; // drift tolerance: treat missing values as clean
+    bool t = f.stack.back();
+    f.stack.pop_back();
+    return t;
+}
+
+void
+TaintAnalysis::setLocal(uint32_t idx, bool t)
+{
+    Frame &f = top();
+    if (f.locals.size() <= idx)
+        f.locals.resize(idx + 1, false);
+    f.locals[idx] = t;
+}
+
+bool
+TaintAnalysis::getLocal(uint32_t idx)
+{
+    Frame &f = top();
+    return idx < f.locals.size() && f.locals[idx];
+}
+
+void
+TaintAnalysis::onBegin(Location loc, BlockKind kind)
+{
+    if (kind == BlockKind::Function) {
+        Frame f;
+        f.locals = pendingArgs_;
+        pendingArgs_.clear();
+        frames_.push_back(std::move(f));
+        return;
+    }
+    Frame &f = top();
+    uint64_t packed = core::packLoc(loc);
+    // A loop's begin hook fires once per iteration; only the first
+    // entry opens the block.
+    if (kind == BlockKind::Loop && !f.blocks.empty() &&
+        f.blocks.back().beginLoc == packed) {
+        return;
+    }
+    f.blocks.push_back({packed, f.stack.size()});
+}
+
+void
+TaintAnalysis::onEnd(Location, BlockKind kind, Location)
+{
+    if (kind == BlockKind::Function) {
+        // Implicit return: the remaining stack values are the results.
+        // After an explicit `return`, onReturn already captured them
+        // (and popped them), so don't clobber that capture.
+        if (!returnCaptured_)
+            pendingResults_ = top().stack;
+        returnCaptured_ = false;
+        if (!frames_.empty())
+            frames_.pop_back();
+        return;
+    }
+    Frame &f = top();
+    if (f.blocks.empty())
+        return;
+    BlockEntry entry = f.blocks.back();
+    f.blocks.pop_back();
+    // Values above the entry height are carried out of the block; in
+    // valid code that is the (at most one) block result.
+    bool result_taint = false;
+    bool has_result = f.stack.size() > entry.height;
+    if (has_result)
+        result_taint = f.stack.back();
+    f.stack.resize(entry.height);
+    if (has_result)
+        f.stack.push_back(result_taint);
+}
+
+void
+TaintAnalysis::onIf(Location, bool)
+{
+    pop(); // condition
+}
+
+void
+TaintAnalysis::onBr(Location, runtime::BranchTarget)
+{
+    // Stack unwinding is handled by the end hooks the branch fires.
+}
+
+void
+TaintAnalysis::onBrIf(Location, runtime::BranchTarget, bool)
+{
+    pop(); // condition
+}
+
+void
+TaintAnalysis::onBrTable(Location, std::span<const runtime::BranchTarget>,
+                         runtime::BranchTarget, uint32_t)
+{
+    pop(); // index
+}
+
+void
+TaintAnalysis::onConst(Location, wasm::Opcode, wasm::Value)
+{
+    push(false);
+}
+
+void
+TaintAnalysis::onUnary(Location, wasm::Opcode, wasm::Value, wasm::Value)
+{
+    push(pop());
+}
+
+void
+TaintAnalysis::onBinary(Location, wasm::Opcode, wasm::Value, wasm::Value,
+                        wasm::Value)
+{
+    bool b = pop();
+    bool a = pop();
+    push(a || b);
+}
+
+void
+TaintAnalysis::onDrop(Location, wasm::Value)
+{
+    pop();
+}
+
+void
+TaintAnalysis::onSelect(Location, bool, wasm::Value, wasm::Value)
+{
+    bool cond = pop();
+    bool second = pop();
+    bool first = pop();
+    push(cond || first || second);
+}
+
+void
+TaintAnalysis::onLocal(Location, wasm::Opcode op, uint32_t idx, wasm::Value)
+{
+    switch (op) {
+      case wasm::Opcode::LocalGet:
+        push(getLocal(idx));
+        break;
+      case wasm::Opcode::LocalSet:
+        setLocal(idx, pop());
+        break;
+      case wasm::Opcode::LocalTee:
+        setLocal(idx, top().stack.empty() ? false : top().stack.back());
+        break;
+      default:
+        break;
+    }
+}
+
+void
+TaintAnalysis::onGlobal(Location, wasm::Opcode op, uint32_t idx,
+                        wasm::Value)
+{
+    if (op == wasm::Opcode::GlobalGet) {
+        push(globalTaint_.count(idx) != 0);
+    } else {
+        if (pop())
+            globalTaint_.insert(idx);
+        else
+            globalTaint_.erase(idx);
+    }
+}
+
+void
+TaintAnalysis::onLoad(Location, wasm::Opcode op, runtime::MemArg memarg,
+                      wasm::Value)
+{
+    pop(); // address operand
+    size_t width = wasm::memAccessBytes(op);
+    push(memoryTainted(memarg.effective(), width));
+}
+
+void
+TaintAnalysis::onStore(Location, wasm::Opcode op, runtime::MemArg memarg,
+                       wasm::Value)
+{
+    bool value_taint = pop();
+    pop(); // address operand
+    size_t width = wasm::memAccessBytes(op);
+    uint64_t ea = memarg.effective();
+    for (size_t i = 0; i < width; ++i) {
+        if (value_taint)
+            memTaint_.insert(ea + i);
+        else
+            memTaint_.erase(ea + i);
+    }
+}
+
+void
+TaintAnalysis::onMemorySize(Location, uint32_t)
+{
+    push(false);
+}
+
+void
+TaintAnalysis::onMemoryGrow(Location, uint32_t, uint32_t)
+{
+    pop();
+    push(false);
+}
+
+void
+TaintAnalysis::onCallPre(Location loc, uint32_t func,
+                         std::span<const wasm::Value> args,
+                         std::optional<uint32_t> table_index)
+{
+    if (table_index)
+        pop(); // the runtime table index operand
+    pendingArgs_.assign(args.size(), false);
+    for (size_t i = args.size(); i-- > 0;)
+        pendingArgs_[i] = pop(); // top of stack is the last argument
+    pendingSourceCall_ = sources_.count(func) != 0;
+    pendingResults_.clear();
+    if (sinks_.count(func)) {
+        for (size_t i = 0; i < pendingArgs_.size(); ++i) {
+            if (pendingArgs_[i])
+                flows_.push_back({loc, func, i});
+        }
+    }
+}
+
+void
+TaintAnalysis::onCallPost(Location, std::span<const wasm::Value> results)
+{
+    for (size_t i = 0; i < results.size(); ++i) {
+        bool t = pendingSourceCall_ ||
+            (i < pendingResults_.size() && pendingResults_[i]);
+        push(t);
+    }
+    pendingSourceCall_ = false;
+    pendingResults_.clear();
+    pendingArgs_.clear(); // host callees never consumed them
+}
+
+void
+TaintAnalysis::onReturn(Location, std::span<const wasm::Value> results)
+{
+    pendingResults_.assign(results.size(), false);
+    for (size_t i = results.size(); i-- > 0;)
+        pendingResults_[i] = pop();
+    returnCaptured_ = true;
+}
+
+} // namespace wasabi::analyses

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Dynamic taint analysis (paper Table 4, 208 LOC of JS in the paper's
+ * implementation). Associates a taint bit with every value and tracks
+ * propagation through the operand stack, locals, globals, function
+ * calls, and linear memory (memory shadowing, paper §2.3): the shadow
+ * state lives entirely on the analysis side and never touches the
+ * program's own memory.
+ *
+ * Sources: values returned by configured source functions, or memory /
+ * globals tainted explicitly. Sinks: configured sink functions; a
+ * tainted argument reaching a sink is recorded as an illegal flow.
+ */
+
+#ifndef WASABI_ANALYSES_TAINT_H
+#define WASABI_ANALYSES_TAINT_H
+
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+#include "runtime/analysis.h"
+
+namespace wasabi::analyses {
+
+/** A detected source-to-sink flow. */
+struct TaintFlow {
+    runtime::Location loc; ///< call site of the sink
+    uint32_t sinkFunc = 0;
+    size_t argIndex = 0;
+};
+
+/** Shadow-state taint tracker over all 23 hooks. */
+class TaintAnalysis final : public runtime::Analysis {
+  public:
+    runtime::HookSet
+    hooks() const override
+    {
+        return runtime::HookSet::all();
+    }
+
+    /** Mark a function whose results are taint sources. */
+    void addSource(uint32_t func) { sources_.insert(func); }
+
+    /** Mark a function whose arguments are checked as sinks. */
+    void addSink(uint32_t func) { sinks_.insert(func); }
+
+    /** Taint a byte range of linear memory. */
+    void
+    taintMemory(uint64_t addr, size_t len)
+    {
+        for (size_t i = 0; i < len; ++i)
+            memTaint_.insert(addr + i);
+    }
+
+    /** Taint a global variable. */
+    void taintGlobal(uint32_t idx) { globalTaint_.insert(idx); }
+
+    bool
+    memoryTainted(uint64_t addr, size_t len = 1) const
+    {
+        for (size_t i = 0; i < len; ++i) {
+            if (memTaint_.count(addr + i))
+                return true;
+        }
+        return false;
+    }
+
+    bool
+    globalTainted(uint32_t idx) const
+    {
+        return globalTaint_.count(idx) != 0;
+    }
+
+    const std::vector<TaintFlow> &flows() const { return flows_; }
+
+    // ----- hook implementations (shadow-stack mirroring) -----------
+
+    void onBegin(runtime::Location loc, runtime::BlockKind kind) override;
+    void onEnd(runtime::Location loc, runtime::BlockKind kind,
+               runtime::Location begin) override;
+    void onIf(runtime::Location, bool) override;
+    void onBr(runtime::Location, runtime::BranchTarget) override;
+    void onBrIf(runtime::Location, runtime::BranchTarget, bool) override;
+    void onBrTable(runtime::Location,
+                   std::span<const runtime::BranchTarget>,
+                   runtime::BranchTarget, uint32_t) override;
+    void onConst(runtime::Location, wasm::Opcode, wasm::Value) override;
+    void onUnary(runtime::Location, wasm::Opcode, wasm::Value,
+                 wasm::Value) override;
+    void onBinary(runtime::Location, wasm::Opcode, wasm::Value,
+                  wasm::Value, wasm::Value) override;
+    void onDrop(runtime::Location, wasm::Value) override;
+    void onSelect(runtime::Location, bool, wasm::Value,
+                  wasm::Value) override;
+    void onLocal(runtime::Location, wasm::Opcode, uint32_t,
+                 wasm::Value) override;
+    void onGlobal(runtime::Location, wasm::Opcode, uint32_t,
+                  wasm::Value) override;
+    void onLoad(runtime::Location, wasm::Opcode, runtime::MemArg,
+                wasm::Value) override;
+    void onStore(runtime::Location, wasm::Opcode, runtime::MemArg,
+                 wasm::Value) override;
+    void onMemorySize(runtime::Location, uint32_t) override;
+    void onMemoryGrow(runtime::Location, uint32_t, uint32_t) override;
+    void onCallPre(runtime::Location, uint32_t,
+                   std::span<const wasm::Value>,
+                   std::optional<uint32_t>) override;
+    void onCallPost(runtime::Location,
+                    std::span<const wasm::Value>) override;
+    void onReturn(runtime::Location,
+                  std::span<const wasm::Value>) override;
+
+  private:
+    /** One block-entry record (for stack unwinding at block ends). */
+    struct BlockEntry {
+        uint64_t beginLoc = 0;
+        size_t height = 0;
+    };
+
+    /** Shadow state of one function activation. */
+    struct Frame {
+        std::vector<bool> stack;  ///< taint of operand-stack values
+        std::vector<bool> locals; ///< taint of locals (grown lazily)
+        std::vector<BlockEntry> blocks;
+    };
+
+    Frame &top();
+    void push(bool t);
+    bool pop();
+    void setLocal(uint32_t idx, bool t);
+    bool getLocal(uint32_t idx);
+
+    std::vector<Frame> frames_;
+    std::unordered_set<uint64_t> memTaint_; ///< tainted memory bytes
+    std::set<uint32_t> globalTaint_;
+    std::set<uint32_t> sources_;
+    std::set<uint32_t> sinks_;
+    std::vector<TaintFlow> flows_;
+
+    /** Call-linkage state between call_pre / begin(function) /
+     * return / call_post. */
+    std::vector<bool> pendingArgs_;
+    bool pendingSourceCall_ = false;
+    std::vector<bool> pendingResults_;
+    bool returnCaptured_ = false;
+};
+
+} // namespace wasabi::analyses
+
+#endif // WASABI_ANALYSES_TAINT_H

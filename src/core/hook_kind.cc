@@ -1,0 +1,86 @@
+#include "core/hook_kind.h"
+
+#include <bit>
+
+namespace wasabi::core {
+
+const char *
+name(HookKind kind)
+{
+    switch (kind) {
+      case HookKind::Nop: return "nop";
+      case HookKind::Unreachable: return "unreachable";
+      case HookKind::MemorySize: return "memory_size";
+      case HookKind::MemoryGrow: return "memory_grow";
+      case HookKind::Select: return "select";
+      case HookKind::Drop: return "drop";
+      case HookKind::Load: return "load";
+      case HookKind::Store: return "store";
+      case HookKind::Call: return "call";
+      case HookKind::Return: return "return";
+      case HookKind::Const: return "const";
+      case HookKind::Unary: return "unary";
+      case HookKind::Binary: return "binary";
+      case HookKind::Global: return "global";
+      case HookKind::Local: return "local";
+      case HookKind::Begin: return "begin";
+      case HookKind::End: return "end";
+      case HookKind::If: return "if";
+      case HookKind::Br: return "br";
+      case HookKind::BrIf: return "br_if";
+      case HookKind::BrTable: return "br_table";
+      case HookKind::Start: return "start";
+    }
+    return "?";
+}
+
+const std::vector<HookKind> &
+figureOrderHookKinds()
+{
+    static const std::vector<HookKind> kinds = {
+        HookKind::Nop,       HookKind::Unreachable, HookKind::MemorySize,
+        HookKind::MemoryGrow, HookKind::Select,     HookKind::Drop,
+        HookKind::Load,      HookKind::Store,       HookKind::Call,
+        HookKind::Return,    HookKind::Const,       HookKind::Unary,
+        HookKind::Binary,    HookKind::Global,      HookKind::Local,
+        HookKind::Begin,     HookKind::End,         HookKind::If,
+        HookKind::Br,        HookKind::BrIf,        HookKind::BrTable,
+    };
+    return kinds;
+}
+
+int
+HookSet::count() const
+{
+    return std::popcount(bits_);
+}
+
+std::string
+HookSet::toString() const
+{
+    std::string s;
+    for (int i = 0; i < kNumHookKinds; ++i) {
+        HookKind k = static_cast<HookKind>(i);
+        if (has(k)) {
+            if (!s.empty())
+                s += ",";
+            s += name(k);
+        }
+    }
+    return s;
+}
+
+const char *
+name(BlockKind kind)
+{
+    switch (kind) {
+      case BlockKind::Function: return "function";
+      case BlockKind::Block: return "block";
+      case BlockKind::Loop: return "loop";
+      case BlockKind::If: return "if";
+      case BlockKind::Else: return "else";
+    }
+    return "?";
+}
+
+} // namespace wasabi::core

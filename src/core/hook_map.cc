@@ -1,0 +1,183 @@
+#include "core/hook_map.h"
+
+#include <mutex>
+
+namespace wasabi::core {
+
+using wasm::FuncType;
+using wasm::ValType;
+
+std::string
+mangledName(const HookSpec &spec)
+{
+    auto withTypes = [&spec](std::string base) {
+        for (ValType t : spec.types) {
+            base += "_";
+            base += wasm::name(t);
+        }
+        return base;
+    };
+    switch (spec.kind) {
+      case HookKind::Nop: return "nop";
+      case HookKind::Unreachable: return "unreachable";
+      case HookKind::MemorySize: return "memory.size";
+      case HookKind::MemoryGrow: return "memory.grow";
+      case HookKind::Select: return withTypes("select");
+      case HookKind::Drop: return withTypes("drop");
+      // Per-opcode hooks use the instruction mnemonic directly, as in
+      // the paper ("one low-level hook per instruction", Table 3).
+      case HookKind::Load:
+      case HookKind::Store:
+      case HookKind::Const:
+      case HookKind::Unary:
+      case HookKind::Binary:
+        return wasm::name(spec.op);
+      // The mnemonic alone ("local.get") does not determine the
+      // variable's type, so these are additionally monomorphized by
+      // the referenced variable's type.
+      case HookKind::Global:
+      case HookKind::Local:
+        return withTypes(wasm::name(spec.op));
+      case HookKind::Call:
+        if (spec.post)
+            return withTypes("call_post");
+        return withTypes(spec.indirect ? "call_pre_indirect" : "call_pre");
+      case HookKind::Return: return withTypes("return");
+      case HookKind::Begin:
+        return std::string("begin_") + name(spec.block);
+      case HookKind::End:
+        return std::string("end_") + name(spec.block);
+      case HookKind::If: return "if_cond";
+      case HookKind::Br: return "br";
+      case HookKind::BrIf: return "br_if";
+      case HookKind::BrTable: return "br_table";
+      case HookKind::Start: return "start";
+    }
+    return "?";
+}
+
+wasm::FuncType
+lowLevelType(const HookSpec &spec, bool split_i64)
+{
+    std::vector<ValType> params{ValType::I32, ValType::I32}; // location
+
+    auto push = [&params, split_i64](ValType t) {
+        if (t == ValType::I64 && split_i64) {
+            params.push_back(ValType::I32); // low half
+            params.push_back(ValType::I32); // high half
+        } else {
+            params.push_back(t);
+        }
+    };
+
+    const wasm::OpInfo &info = wasm::opInfo(spec.op);
+    switch (spec.kind) {
+      case HookKind::Nop:
+      case HookKind::Unreachable:
+      case HookKind::Br:
+      case HookKind::Begin:
+      case HookKind::Start:
+        break;
+      case HookKind::End:
+        // End hooks additionally receive the instruction index of the
+        // matching block begin (paper Table 3: "end hooks receive
+        // location of the end and of the matching block begin").
+        push(ValType::I32);
+        break;
+      case HookKind::MemorySize:
+        push(ValType::I32); // current size
+        break;
+      case HookKind::MemoryGrow:
+        push(ValType::I32); // delta
+        push(ValType::I32); // previous size
+        break;
+      case HookKind::Select:
+        push(ValType::I32); // condition
+        push(spec.types.at(0));
+        push(spec.types.at(0));
+        break;
+      case HookKind::Drop:
+        push(spec.types.at(0));
+        break;
+      case HookKind::Load:
+        push(ValType::I32);  // address operand
+        push(info.out);      // loaded value
+        break;
+      case HookKind::Store:
+        push(ValType::I32);  // address operand
+        push(info.in[1]);    // stored value
+        break;
+      case HookKind::Const:
+        push(info.out);
+        break;
+      case HookKind::Unary:
+        push(info.in[0]);
+        push(info.out);
+        break;
+      case HookKind::Binary:
+        push(info.in[0]);
+        push(info.in[1]);
+        push(info.out);
+        break;
+      case HookKind::Global:
+      case HookKind::Local:
+        // The variable index is static; only the value is dynamic.
+        push(spec.types.at(0));
+        break;
+      case HookKind::Call:
+        if (!spec.post && spec.indirect)
+            push(ValType::I32); // runtime table index
+        for (ValType t : spec.types)
+            push(t);
+        break;
+      case HookKind::Return:
+        for (ValType t : spec.types)
+            push(t);
+        break;
+      case HookKind::If:
+      case HookKind::BrIf:
+        push(ValType::I32); // condition
+        break;
+      case HookKind::BrTable:
+        push(ValType::I32); // runtime table index
+        break;
+    }
+    return FuncType(std::move(params), {});
+}
+
+uint32_t
+HookMap::getOrAdd(const HookSpec &spec)
+{
+    std::string key = mangledName(spec);
+    {
+        std::shared_lock lock(mutex_);
+        auto it = byName_.find(key);
+        if (it != byName_.end())
+            return it->second;
+    }
+    std::unique_lock lock(mutex_);
+    // Re-check: another thread may have inserted meanwhile.
+    auto it = byName_.find(key);
+    if (it != byName_.end())
+        return it->second;
+    uint32_t id = static_cast<uint32_t>(specs_.size());
+    specs_.push_back(spec);
+    byName_.emplace(std::move(key), id);
+    return id;
+}
+
+uint32_t
+HookMap::size() const
+{
+    std::shared_lock lock(mutex_);
+    return static_cast<uint32_t>(specs_.size());
+}
+
+std::vector<HookSpec>
+HookMap::specs() const
+{
+    std::shared_lock lock(mutex_);
+    return specs_;
+}
+
+} // namespace wasabi::core

@@ -1,0 +1,817 @@
+#include "core/instrument.h"
+
+#include <atomic>
+#include <cassert>
+#include <map>
+#include <thread>
+
+#include "core/control_stack.h"
+#include "core/hook_map.h"
+#include "wasm/name_section.h"
+
+namespace wasabi::core {
+
+using wasm::FuncType;
+using wasm::Function;
+using wasm::Instr;
+using wasm::Module;
+using wasm::Opcode;
+using wasm::OpClass;
+using wasm::OpInfo;
+using wasm::ValType;
+
+namespace {
+
+/** Placeholder base for hook call indices, patched in a final pass.
+ * Keeping hook targets symbolic makes per-function instrumentation
+ * independent and hence parallelizable. */
+constexpr uint32_t kHookBase = 0x80000000u;
+
+/** Per-function instrumentation output. */
+struct FuncOut {
+    std::vector<Instr> body;
+    std::vector<ValType> extraLocals;
+    std::unordered_map<uint64_t, BranchTarget> brTargets;
+    std::unordered_map<uint64_t, BrTableInfo> brTables;
+    std::unordered_map<uint64_t, BlockEndInfo> blockEnds;
+};
+
+/** Instruments a single function (runs on a worker thread). */
+class FuncInstrumenter {
+  public:
+    /** @p local_hook_ids is a per-worker cache shared across the
+     * functions one thread instruments. */
+    FuncInstrumenter(const Module &m, uint32_t func_idx, HookSet hooks,
+                     const InstrumentOptions &opts, HookMap &hook_map,
+                     std::unordered_map<std::string, uint32_t>
+                         &local_hook_ids)
+        : m_(m), funcIdx_(func_idx), hooks_(hooks), opts_(opts),
+          hookMap_(hook_map), localHookIds_(local_hook_ids),
+          func_(m.functions.at(func_idx)), state_(m, func_idx)
+    {
+        firstScratch_ =
+            static_cast<uint32_t>(m.funcType(func_idx).params.size() +
+                                  func_.locals.size());
+    }
+
+    FuncOut
+    run()
+    {
+        // Function-entry hooks.
+        if (hooks_.has(HookKind::Start) && m_.start &&
+            *m_.start == funcIdx_) {
+            emitLoc(kFunctionEntry);
+            emitHookCall(HookSpec{.kind = HookKind::Start});
+        }
+        if (hooks_.has(HookKind::Begin)) {
+            emitLoc(kFunctionEntry);
+            emitHookCall(HookSpec{.kind = HookKind::Begin,
+                                  .block = BlockKind::Function});
+        }
+
+        for (uint32_t i = 0; i < func_.body.size(); ++i) {
+            instrumentInstr(func_.body[i], i);
+            state_.apply(func_.body[i], i);
+        }
+        return std::move(out_);
+    }
+
+  private:
+    // ----- emission helpers ------------------------------------------
+
+    void emit(Instr instr) { out_.body.push_back(std::move(instr)); }
+
+    /** Push the two location arguments (function, instruction). */
+    void
+    emitLoc(uint32_t instr_idx)
+    {
+        emit(Instr::i32Const(funcIdx_));
+        emit(Instr::i32Const(instr_idx));
+    }
+
+    /** Call into the (deduplicated) low-level hook for @p spec.
+     * A per-worker cache keeps the hot path off the shared map's
+     * readers/writer lock (important for parallel instrumentation —
+     * every instrumented instruction resolves a hook id). */
+    void
+    emitHookCall(const HookSpec &spec)
+    {
+        std::string key = mangledName(spec);
+        auto it = localHookIds_.find(key);
+        uint32_t id;
+        if (it != localHookIds_.end()) {
+            id = it->second;
+        } else {
+            id = hookMap_.getOrAdd(spec);
+            localHookIds_.emplace(std::move(key), id);
+        }
+        emit(Instr::call(kHookBase + id));
+    }
+
+    /** Scratch local of type @p t for slot @p slot; slots separate
+     * concurrently-live temporaries within one instrumentation unit. */
+    uint32_t
+    scratch(ValType t, int slot)
+    {
+        auto key = std::pair(t, slot);
+        auto it = scratch_.find(key);
+        if (it != scratch_.end())
+            return it->second;
+        uint32_t idx =
+            firstScratch_ + static_cast<uint32_t>(out_.extraLocals.size());
+        out_.extraLocals.push_back(t);
+        scratch_.emplace(key, idx);
+        return idx;
+    }
+
+    /** Push the value of a local as hook argument(s): i64 values are
+     * split into (low, high) i32 halves when the split ABI is on
+     * (paper §2.4.6, Table 3 row 6). */
+    void
+    emitLocalArg(uint32_t local, ValType t)
+    {
+        emit(Instr::localGet(local));
+        if (t == ValType::I64 && opts_.splitI64) {
+            emit(Instr(Opcode::I32WrapI64)); // low half
+            emit(Instr::localGet(local));
+            emit(Instr::i64Const(32));
+            emit(Instr(Opcode::I64ShrU));
+            emit(Instr(Opcode::I32WrapI64)); // high half
+        }
+    }
+
+    /** Push a global's value as hook argument(s). */
+    void
+    emitGlobalArg(uint32_t global, ValType t)
+    {
+        if (t == ValType::I64 && opts_.splitI64) {
+            uint32_t tmp = scratch(t, 0);
+            emit(Instr::globalGet(global));
+            emit(Instr::localSet(tmp));
+            emitLocalArg(tmp, t);
+        } else {
+            emit(Instr::globalGet(global));
+        }
+    }
+
+    // ----- control-stack derived info --------------------------------
+
+    /** End location of a frame; for the then-region of an if/else the
+     * region ends at the `else` instruction. */
+    uint32_t
+    frameEndIdx(const ControlFrame &f) const
+    {
+        if (f.kind == BlockKind::If && f.elseIdx)
+            return *f.elseIdx;
+        return f.endIdx;
+    }
+
+    /** Begin location of a frame (the `else` for else-regions). */
+    uint32_t
+    frameBeginIdx(const ControlFrame &f) const
+    {
+        if (f.kind == BlockKind::Else && f.elseIdx)
+            return *f.elseIdx;
+        return f.beginIdx;
+    }
+
+    EndedBlock
+    endedBlock(const ControlFrame &f) const
+    {
+        return EndedBlock{f.kind, Location{funcIdx_, frameEndIdx(f)},
+                          Location{funcIdx_, frameBeginIdx(f)}};
+    }
+
+    /** Emit the end-hook call for one traversed frame (§2.4.5). */
+    void
+    emitEndHookFor(const ControlFrame &f)
+    {
+        emitLoc(frameEndIdx(f));
+        emit(Instr::i32Const(frameBeginIdx(f)));
+        emitHookCall(HookSpec{.kind = HookKind::End, .block = f.kind});
+    }
+
+    BranchTarget
+    resolvedTarget(uint32_t label) const
+    {
+        return BranchTarget{label,
+                            Location{funcIdx_, state_.resolveLabel(label)}};
+    }
+
+    // ----- per-instruction instrumentation ----------------------------
+
+    void
+    instrumentInstr(const Instr &instr, uint32_t i)
+    {
+        const OpInfo &info = wasm::opInfo(instr.op);
+        const bool live = state_.reachable();
+
+        // Structural bookkeeping that happens regardless of liveness.
+        if (info.cls == OpClass::End || info.cls == OpClass::Else) {
+            const ControlFrame &f = state_.frames().back();
+            BlockKind kind =
+                info.cls == OpClass::Else ? BlockKind::If : f.kind;
+            uint32_t begin = info.cls == OpClass::Else
+                                 ? f.beginIdx
+                                 : frameBeginIdx(f);
+            out_.blockEnds[packLoc({funcIdx_, i})] =
+                BlockEndInfo{kind, Location{funcIdx_, begin}};
+        }
+
+        if (!live) {
+            // Dead code never executes: copy it unchanged. (Its types
+            // may be unknowable anyway, cf. drop in unreachable code.)
+            // Exception: an `else` whose *then*-branch ended dead still
+            // guards a reachable else-region and needs its begin hook,
+            // provided the `if` itself was entered live.
+            if (info.cls == OpClass::Else &&
+                !state_.frames().back().deadEntry) {
+                emit(instr);
+                if (hooks_.has(HookKind::Begin)) {
+                    emitLoc(i);
+                    emitHookCall(HookSpec{.kind = HookKind::Begin,
+                                          .block = BlockKind::Else});
+                }
+                return;
+            }
+            emit(instr);
+            return;
+        }
+
+        switch (info.cls) {
+          case OpClass::Nop:
+            emit(instr);
+            if (hooks_.has(HookKind::Nop)) {
+                emitLoc(i);
+                emitHookCall(HookSpec{.kind = HookKind::Nop});
+            }
+            break;
+
+          case OpClass::Unreachable:
+            // The hook must run *before* the trapping instruction.
+            if (hooks_.has(HookKind::Unreachable)) {
+                emitLoc(i);
+                emitHookCall(HookSpec{.kind = HookKind::Unreachable});
+            }
+            emit(instr);
+            break;
+
+          case OpClass::Block:
+          case OpClass::Loop: {
+            emit(instr);
+            if (hooks_.has(HookKind::Begin)) {
+                emitLoc(i);
+                emitHookCall(HookSpec{
+                    .kind = HookKind::Begin,
+                    .block = info.cls == OpClass::Block ? BlockKind::Block
+                                                        : BlockKind::Loop});
+            }
+            break;
+          }
+
+          case OpClass::If: {
+            if (hooks_.has(HookKind::If)) {
+                uint32_t c = scratch(ValType::I32, 0);
+                emit(Instr::localTee(c));
+                emitLoc(i);
+                emit(Instr::localGet(c));
+                emitHookCall(HookSpec{.kind = HookKind::If});
+            }
+            emit(instr);
+            if (hooks_.has(HookKind::Begin)) {
+                emitLoc(i);
+                emitHookCall(HookSpec{.kind = HookKind::Begin,
+                                      .block = BlockKind::If});
+            }
+            break;
+          }
+
+          case OpClass::Else: {
+            // Exiting the then-region: fire its end hook first.
+            if (hooks_.has(HookKind::End)) {
+                const ControlFrame &f = state_.frames().back();
+                emitLoc(i);
+                emit(Instr::i32Const(f.beginIdx));
+                emitHookCall(HookSpec{.kind = HookKind::End,
+                                      .block = BlockKind::If});
+            }
+            emit(instr);
+            if (hooks_.has(HookKind::Begin)) {
+                emitLoc(i);
+                emitHookCall(HookSpec{.kind = HookKind::Begin,
+                                      .block = BlockKind::Else});
+            }
+            break;
+          }
+
+          case OpClass::End: {
+            if (hooks_.has(HookKind::End)) {
+                const ControlFrame &f = state_.frames().back();
+                emitLoc(i);
+                emit(Instr::i32Const(frameBeginIdx(f)));
+                emitHookCall(
+                    HookSpec{.kind = HookKind::End, .block = f.kind});
+            }
+            emit(instr);
+            break;
+          }
+
+          case OpClass::Br: {
+            uint32_t label = instr.imm.idx;
+            out_.brTargets[packLoc({funcIdx_, i})] = resolvedTarget(label);
+            if (hooks_.has(HookKind::Br)) {
+                emitLoc(i);
+                emitHookCall(HookSpec{.kind = HookKind::Br});
+            }
+            if (hooks_.has(HookKind::End)) {
+                for (const ControlFrame &f : state_.traversedFrames(label))
+                    emitEndHookFor(f);
+            }
+            emit(instr);
+            break;
+          }
+
+          case OpClass::BrIf: {
+            uint32_t label = instr.imm.idx;
+            out_.brTargets[packLoc({funcIdx_, i})] = resolvedTarget(label);
+            bool want_hook = hooks_.has(HookKind::BrIf);
+            bool want_ends = hooks_.has(HookKind::End);
+            if (want_hook || want_ends) {
+                uint32_t c = scratch(ValType::I32, 0);
+                emit(Instr::localTee(c));
+                if (want_hook) {
+                    emitLoc(i);
+                    emit(Instr::localGet(c));
+                    emitHookCall(HookSpec{.kind = HookKind::BrIf});
+                }
+                if (want_ends) {
+                    // End hooks fire only if the branch is taken.
+                    emit(Instr::localGet(c));
+                    emit(Instr::blockStart(Opcode::If, std::nullopt));
+                    for (const ControlFrame &f :
+                         state_.traversedFrames(label)) {
+                        emitEndHookFor(f);
+                    }
+                    emit(Instr(Opcode::End));
+                }
+            }
+            emit(instr);
+            break;
+          }
+
+          case OpClass::BrTable: {
+            // Which branch is taken — and thus which blocks are left —
+            // is only known at runtime; store a side table and let the
+            // low-level hook dispatch (paper §2.4.5).
+            BrTableInfo table_info;
+            for (size_t k = 0; k + 1 < instr.table.size(); ++k)
+                table_info.cases.push_back(makeBrTableEntry(instr.table[k]));
+            table_info.defaultCase = makeBrTableEntry(instr.table.back());
+            out_.brTables[packLoc({funcIdx_, i})] = std::move(table_info);
+
+            if (hooks_.has(HookKind::BrTable) ||
+                hooks_.has(HookKind::End)) {
+                uint32_t idx = scratch(ValType::I32, 0);
+                emit(Instr::localTee(idx));
+                emitLoc(i);
+                emit(Instr::localGet(idx));
+                emitHookCall(HookSpec{.kind = HookKind::BrTable});
+            }
+            emit(instr);
+            break;
+          }
+
+          case OpClass::Return: {
+            const std::vector<ValType> &results =
+                m_.funcType(funcIdx_).results;
+            if (hooks_.has(HookKind::Return)) {
+                HookSpec spec{.kind = HookKind::Return, .types = results};
+                if (results.empty()) {
+                    emitLoc(i);
+                    emitHookCall(spec);
+                } else {
+                    uint32_t r = scratch(results[0], 0);
+                    emit(Instr::localTee(r));
+                    emitLoc(i);
+                    emitLocalArg(r, results[0]);
+                    emitHookCall(spec);
+                }
+            }
+            if (hooks_.has(HookKind::End)) {
+                for (const ControlFrame &f :
+                     state_.allFramesInnermostFirst()) {
+                    emitEndHookFor(f);
+                }
+            }
+            emit(instr);
+            break;
+          }
+
+          case OpClass::Call:
+          case OpClass::CallIndirect: {
+            bool indirect = info.cls == OpClass::CallIndirect;
+            const FuncType &type = indirect
+                                       ? m_.types.at(instr.imm.idx)
+                                       : m_.funcType(instr.imm.idx);
+            if (!hooks_.has(HookKind::Call)) {
+                emit(instr);
+                break;
+            }
+            int nargs = static_cast<int>(type.params.size());
+            uint32_t tbl = 0;
+            if (indirect) {
+                tbl = scratch(ValType::I32, nargs);
+                emit(Instr::localSet(tbl));
+            }
+            // Save arguments into fresh locals (top of stack first).
+            for (int j = nargs - 1; j >= 0; --j)
+                emit(Instr::localSet(scratch(type.params[j], j)));
+            // call_pre hook: loc, (table index,) args.
+            emitLoc(i);
+            if (indirect)
+                emit(Instr::localGet(tbl));
+            for (int j = 0; j < nargs; ++j)
+                emitLocalArg(scratch(type.params[j], j), type.params[j]);
+            emitHookCall(HookSpec{.kind = HookKind::Call,
+                                  .types = type.params,
+                                  .indirect = indirect});
+            // Restore arguments and perform the call.
+            for (int j = 0; j < nargs; ++j)
+                emit(Instr::localGet(scratch(type.params[j], j)));
+            if (indirect)
+                emit(Instr::localGet(tbl));
+            emit(instr);
+            // call_post hook: loc, results.
+            HookSpec post{.kind = HookKind::Call,
+                          .types = type.results,
+                          .post = true};
+            if (type.results.empty()) {
+                emitLoc(i);
+                emitHookCall(post);
+            } else {
+                uint32_t r = scratch(type.results[0], nargs + 1);
+                emit(Instr::localTee(r));
+                emitLoc(i);
+                emitLocalArg(r, type.results[0]);
+                emitHookCall(post);
+            }
+            break;
+          }
+
+          case OpClass::Drop: {
+            std::optional<ValType> t = state_.top(0);
+            assert(t && "drop input type must be known in live code");
+            if (!hooks_.has(HookKind::Drop)) {
+                emit(instr);
+                break;
+            }
+            // The hook call consumes the value in place of the drop
+            // (Table 3 row 4).
+            uint32_t v = scratch(*t, 0);
+            emit(Instr::localSet(v));
+            emitLoc(i);
+            emitLocalArg(v, *t);
+            emitHookCall(HookSpec{.kind = HookKind::Drop, .types = {*t}});
+            break;
+          }
+
+          case OpClass::Select: {
+            std::optional<ValType> t = state_.top(1);
+            assert(t && "select input type must be known in live code");
+            if (!hooks_.has(HookKind::Select)) {
+                emit(instr);
+                break;
+            }
+            uint32_t c = scratch(ValType::I32, 0);
+            uint32_t a = scratch(*t, 1);
+            uint32_t b = scratch(*t, 2);
+            emit(Instr::localSet(c));
+            emit(Instr::localSet(b));
+            emit(Instr::localTee(a));
+            emit(Instr::localGet(b));
+            emit(Instr::localGet(c));
+            emit(instr); // the select itself
+            emitLoc(i);
+            emit(Instr::localGet(c));
+            emitLocalArg(a, *t);
+            emitLocalArg(b, *t);
+            emitHookCall(
+                HookSpec{.kind = HookKind::Select, .types = {*t}});
+            break;
+          }
+
+          case OpClass::LocalGet:
+          case OpClass::LocalSet:
+          case OpClass::LocalTee: {
+            emit(instr);
+            if (hooks_.has(HookKind::Local)) {
+                ValType t = localType(instr.imm.idx);
+                emitLoc(i);
+                emitLocalArg(instr.imm.idx, t);
+                emitHookCall(HookSpec{.kind = HookKind::Local,
+                                      .op = instr.op,
+                                      .types = {t}});
+            }
+            break;
+          }
+
+          case OpClass::GlobalGet:
+          case OpClass::GlobalSet: {
+            emit(instr);
+            if (hooks_.has(HookKind::Global)) {
+                ValType t = m_.globals.at(instr.imm.idx).type;
+                emitLoc(i);
+                emitGlobalArg(instr.imm.idx, t);
+                emitHookCall(HookSpec{.kind = HookKind::Global,
+                                      .op = instr.op,
+                                      .types = {t}});
+            }
+            break;
+          }
+
+          case OpClass::Load: {
+            if (!hooks_.has(HookKind::Load)) {
+                emit(instr);
+                break;
+            }
+            uint32_t addr = scratch(ValType::I32, 0);
+            uint32_t v = scratch(info.out, 1);
+            emit(Instr::localTee(addr));
+            emit(instr);
+            emit(Instr::localTee(v));
+            emitLoc(i);
+            emit(Instr::localGet(addr));
+            emitLocalArg(v, info.out);
+            emitHookCall(
+                HookSpec{.kind = HookKind::Load, .op = instr.op});
+            break;
+          }
+
+          case OpClass::Store: {
+            if (!hooks_.has(HookKind::Store)) {
+                emit(instr);
+                break;
+            }
+            ValType vt = info.in[1];
+            uint32_t addr = scratch(ValType::I32, 0);
+            uint32_t v = scratch(vt, 1);
+            emit(Instr::localSet(v));
+            emit(Instr::localTee(addr));
+            emit(Instr::localGet(v));
+            emit(instr);
+            emitLoc(i);
+            emit(Instr::localGet(addr));
+            emitLocalArg(v, vt);
+            emitHookCall(
+                HookSpec{.kind = HookKind::Store, .op = instr.op});
+            break;
+          }
+
+          case OpClass::MemorySize: {
+            emit(instr);
+            if (hooks_.has(HookKind::MemorySize)) {
+                uint32_t s = scratch(ValType::I32, 0);
+                emit(Instr::localTee(s));
+                emitLoc(i);
+                emit(Instr::localGet(s));
+                emitHookCall(HookSpec{.kind = HookKind::MemorySize});
+            }
+            break;
+          }
+
+          case OpClass::MemoryGrow: {
+            if (!hooks_.has(HookKind::MemoryGrow)) {
+                emit(instr);
+                break;
+            }
+            uint32_t d = scratch(ValType::I32, 0);
+            uint32_t p = scratch(ValType::I32, 1);
+            emit(Instr::localTee(d));
+            emit(instr);
+            emit(Instr::localTee(p));
+            emitLoc(i);
+            emit(Instr::localGet(d));
+            emit(Instr::localGet(p));
+            emitHookCall(HookSpec{.kind = HookKind::MemoryGrow});
+            break;
+          }
+
+          case OpClass::Const: {
+            emit(instr);
+            if (hooks_.has(HookKind::Const)) {
+                emitLoc(i);
+                if (instr.op == Opcode::I64Const && opts_.splitI64) {
+                    // The halves are known statically.
+                    emit(Instr::i32Const(
+                        static_cast<uint32_t>(instr.imm.i64v)));
+                    emit(Instr::i32Const(
+                        static_cast<uint32_t>(instr.imm.i64v >> 32)));
+                } else {
+                    emit(instr); // re-push the constant for the hook
+                }
+                emitHookCall(
+                    HookSpec{.kind = HookKind::Const, .op = instr.op});
+            }
+            break;
+          }
+
+          case OpClass::Unary: {
+            if (!hooks_.has(HookKind::Unary)) {
+                emit(instr);
+                break;
+            }
+            uint32_t in = scratch(info.in[0], 0);
+            uint32_t r = scratch(info.out, 1);
+            emit(Instr::localTee(in));
+            emit(instr);
+            emit(Instr::localTee(r));
+            emitLoc(i);
+            emitLocalArg(in, info.in[0]);
+            emitLocalArg(r, info.out);
+            emitHookCall(
+                HookSpec{.kind = HookKind::Unary, .op = instr.op});
+            break;
+          }
+
+          case OpClass::Binary: {
+            if (!hooks_.has(HookKind::Binary)) {
+                emit(instr);
+                break;
+            }
+            uint32_t a = scratch(info.in[0], 0);
+            uint32_t b = scratch(info.in[1], 1);
+            uint32_t r = scratch(info.out, 2);
+            emit(Instr::localSet(b));
+            emit(Instr::localTee(a));
+            emit(Instr::localGet(b));
+            emit(instr);
+            emit(Instr::localTee(r));
+            emitLoc(i);
+            emitLocalArg(a, info.in[0]);
+            emitLocalArg(b, info.in[1]);
+            emitLocalArg(r, info.out);
+            emitHookCall(
+                HookSpec{.kind = HookKind::Binary, .op = instr.op});
+            break;
+          }
+        }
+    }
+
+    BrTableEntry
+    makeBrTableEntry(uint32_t label) const
+    {
+        BrTableEntry e;
+        e.target = resolvedTarget(label);
+        for (const ControlFrame &f : state_.traversedFrames(label))
+            e.ended.push_back(endedBlock(f));
+        return e;
+    }
+
+    ValType
+    localType(uint32_t idx) const
+    {
+        const std::vector<ValType> &params =
+            m_.funcType(funcIdx_).params;
+        if (idx < params.size())
+            return params[idx];
+        return func_.locals.at(idx - params.size());
+    }
+
+    const Module &m_;
+    uint32_t funcIdx_;
+    HookSet hooks_;
+    const InstrumentOptions &opts_;
+    HookMap &hookMap_;
+    std::unordered_map<std::string, uint32_t> &localHookIds_;
+    const Function &func_;
+    AbstractState state_;
+    FuncOut out_;
+    uint32_t firstScratch_;
+    std::map<std::pair<ValType, int>, uint32_t> scratch_;
+};
+
+/** Patch a function index after hook imports were inserted. */
+uint32_t
+remapFuncIdx(uint32_t idx, uint32_t num_orig_imports, uint32_t num_hooks)
+{
+    if (idx >= kHookBase)
+        return num_orig_imports + (idx - kHookBase);
+    if (idx < num_orig_imports)
+        return idx;
+    return idx + num_hooks;
+}
+
+} // namespace
+
+InstrumentResult
+instrument(const Module &m, HookSet hooks, const InstrumentOptions &opts)
+{
+    const uint32_t num_funcs = m.numFunctions();
+    HookMap hook_map;
+    std::vector<FuncOut> outs(num_funcs);
+
+    // `cache` is per worker: it keeps the hot hook-id lookups off the
+    // shared map's lock (paper §3: the monomorphization map is the
+    // only synchronization point of the parallel instrumentation).
+    auto work = [&](uint32_t f,
+                    std::unordered_map<std::string, uint32_t> &cache) {
+        if (!m.functions[f].imported()) {
+            outs[f] =
+                FuncInstrumenter(m, f, hooks, opts, hook_map, cache)
+                    .run();
+        }
+    };
+
+    if (opts.numThreads <= 1) {
+        std::unordered_map<std::string, uint32_t> cache;
+        for (uint32_t f = 0; f < num_funcs; ++f)
+            work(f, cache);
+    } else {
+        std::atomic<uint32_t> next{0};
+        std::vector<std::thread> threads;
+        for (unsigned t = 0; t < opts.numThreads; ++t) {
+            threads.emplace_back([&]() {
+                std::unordered_map<std::string, uint32_t> cache;
+                while (true) {
+                    uint32_t f = next.fetch_add(1);
+                    if (f >= num_funcs)
+                        return;
+                    work(f, cache);
+                }
+            });
+        }
+        for (std::thread &t : threads)
+            t.join();
+    }
+
+    auto info = std::make_shared<StaticInfo>();
+    info->original = m;
+    info->importModule = opts.importModule;
+    info->numOrigImports = m.numImportedFunctions();
+    info->splitI64 = opts.splitI64;
+    info->instrumentedHooks = hooks;
+    info->hooks = hook_map.specs();
+
+    const uint32_t num_hooks = static_cast<uint32_t>(info->hooks.size());
+    const uint32_t base = info->numOrigImports;
+
+    Module out = m;
+
+    // Lift any "name" custom section into debugNames now: its function
+    // indices refer to the pre-instrumentation index space and would be
+    // stale after hook imports shift them; the section is rebuilt from
+    // debugNames at the end.
+    wasm::applyNameSection(out);
+
+    // Create the hook import functions and splice them in right after
+    // the original imports, so hook id h gets function index base + h.
+    std::vector<Function> hook_funcs;
+    hook_funcs.reserve(num_hooks);
+    for (const HookSpec &spec : info->hooks) {
+        Function hf;
+        hf.typeIdx = out.addType(lowLevelType(spec, opts.splitI64));
+        hf.import = wasm::ImportRef{opts.importModule, mangledName(spec)};
+        hf.debugName = mangledName(spec);
+        hook_funcs.push_back(std::move(hf));
+    }
+    out.functions.insert(out.functions.begin() + base, hook_funcs.begin(),
+                         hook_funcs.end());
+
+    // Install the instrumented bodies and extra locals.
+    for (uint32_t f = 0; f < num_funcs; ++f) {
+        if (m.functions[f].imported())
+            continue;
+        Function &g = out.functions.at(f + num_hooks);
+        g.locals.insert(g.locals.end(), outs[f].extraLocals.begin(),
+                        outs[f].extraLocals.end());
+        g.body = std::move(outs[f].body);
+        // Merge this function's static-info contributions.
+        info->brTargets.merge(outs[f].brTargets);
+        info->brTables.merge(outs[f].brTables);
+        info->blockEnds.merge(outs[f].blockEnds);
+    }
+
+    // Final pass: patch all function references for the shifted index
+    // space (call immediates, element segments, start).
+    for (Function &g : out.functions) {
+        for (Instr &instr : g.body) {
+            if (instr.op == Opcode::Call)
+                instr.imm.idx =
+                    remapFuncIdx(instr.imm.idx, base, num_hooks);
+        }
+    }
+    for (wasm::ElementSegment &seg : out.elements) {
+        for (uint32_t &f : seg.funcIdxs)
+            f = remapFuncIdx(f, base, num_hooks);
+    }
+    if (out.start)
+        out.start = remapFuncIdx(*out.start, base, num_hooks);
+
+    // Re-emit the name section against the new index space (hook
+    // imports carry their mangled names as debug names).
+    wasm::buildNameSection(out);
+
+    return InstrumentResult{std::move(out), std::move(info)};
+}
+
+} // namespace wasabi::core

@@ -1,0 +1,1 @@
+#include "core/static_info.h"

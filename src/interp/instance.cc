@@ -1,0 +1,188 @@
+#include "interp/instance.h"
+
+#include <cstring>
+
+#include "interp/interpreter.h"
+
+namespace wasabi::interp {
+
+using wasm::Module;
+using wasm::Value;
+
+uint32_t
+LinearMemory::grow(uint32_t delta)
+{
+    uint32_t prev = sizePages();
+    uint64_t new_pages = static_cast<uint64_t>(prev) + delta;
+    uint32_t max = limits_.max.value_or(65536);
+    if (new_pages > max || new_pages > 65536)
+        return 0xFFFFFFFF;
+    bytes_.resize(static_cast<size_t>(new_pages) * wasm::kPageSize);
+    return prev;
+}
+
+const uint8_t *
+LinearMemory::readPtr(uint32_t addr, uint32_t offset, size_t n) const
+{
+    uint64_t ea = static_cast<uint64_t>(addr) + offset;
+    if (ea + n > bytes_.size())
+        throw Trap(TrapKind::MemoryOutOfBounds);
+    return bytes_.data() + ea;
+}
+
+uint8_t *
+LinearMemory::writePtr(uint32_t addr, uint32_t offset, size_t n)
+{
+    uint64_t ea = static_cast<uint64_t>(addr) + offset;
+    if (ea + n > bytes_.size())
+        throw Trap(TrapKind::MemoryOutOfBounds);
+    return bytes_.data() + ea;
+}
+
+uint64_t
+LinearMemory::readLE(uint32_t addr, uint32_t offset, size_t n) const
+{
+    const uint8_t *p = readPtr(addr, offset, n);
+    uint64_t v = 0;
+    for (size_t i = 0; i < n; ++i)
+        v |= static_cast<uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+void
+LinearMemory::writeLE(uint32_t addr, uint32_t offset, size_t n, uint64_t v)
+{
+    uint8_t *p = writePtr(addr, offset, n);
+    for (size_t i = 0; i < n; ++i)
+        p[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+const HostFunc &
+Instance::hostFunc(uint32_t func_idx) const
+{
+    return hostFuncs_.at(func_idx);
+}
+
+const ControlSideTable &
+Instance::sideTable(uint32_t func_idx)
+{
+    ControlSideTable &t = sideTables_.at(func_idx);
+    if (t.computed)
+        return t;
+    const std::vector<wasm::Instr> &body =
+        module_.functions.at(func_idx).body;
+    t.byInstr.resize(body.size());
+    std::vector<uint32_t> opens; // instr indices of open blocks
+    for (uint32_t i = 0; i < body.size(); ++i) {
+        wasm::Opcode op = body[i].op;
+        if (wasm::isBlockStart(op)) {
+            opens.push_back(i);
+        } else if (op == wasm::Opcode::Else) {
+            t.byInstr.at(opens.back()).elseIdx = i;
+        } else if (op == wasm::Opcode::End) {
+            if (!opens.empty()) {
+                t.byInstr.at(opens.back()).endIdx = i;
+                opens.pop_back();
+            }
+            // The function's final end has no matching open.
+        }
+    }
+    t.computed = true;
+    return t;
+}
+
+namespace {
+
+/** Evaluate a constant initializer expression. */
+Value
+evalConstExpr(const Instance &inst, const std::vector<wasm::Instr> &expr)
+{
+    const wasm::Instr &i = expr.at(0);
+    switch (i.op) {
+      case wasm::Opcode::I32Const:
+      case wasm::Opcode::I64Const:
+      case wasm::Opcode::F32Const:
+      case wasm::Opcode::F64Const:
+        return i.constValue();
+      case wasm::Opcode::GlobalGet:
+        return inst.globalGet(i.imm.idx);
+      default:
+        throw LinkError("unsupported constant expression");
+    }
+}
+
+} // namespace
+
+std::unique_ptr<Instance>
+Instance::instantiate(Module module, const Linker &linker)
+{
+    std::unique_ptr<Instance> inst(new Instance());
+    inst->module_ = std::move(module);
+    const Module &m = inst->module_;
+
+    // Resolve function imports.
+    inst->hostFuncs_.resize(m.numImportedFunctions());
+    for (uint32_t i = 0; i < m.numImportedFunctions(); ++i) {
+        const wasm::ImportRef &ref = *m.functions[i].import;
+        const HostFunc *f = linker.find(ref.module, ref.name);
+        if (f == nullptr) {
+            throw LinkError("unresolved function import " + ref.module +
+                            "." + ref.name);
+        }
+        inst->hostFuncs_[i] = *f;
+    }
+    // Imported tables/memories/globals are not supported by this
+    // engine (the workloads define their own).
+    for (const wasm::Table &t : m.tables) {
+        if (t.imported())
+            throw LinkError("imported tables are not supported");
+    }
+    for (const wasm::Memory &mem : m.memories) {
+        if (mem.imported())
+            throw LinkError("imported memories are not supported");
+    }
+    for (const wasm::Global &g : m.globals) {
+        if (g.imported())
+            throw LinkError("imported globals are not supported");
+    }
+
+    // Allocate memory and table.
+    if (!m.memories.empty())
+        inst->memory_ = LinearMemory(m.memories[0].limits);
+    if (!m.tables.empty())
+        inst->table_ = FuncTable(m.tables[0].limits);
+
+    // Initialize globals.
+    for (const wasm::Global &g : m.globals)
+        inst->globals_.push_back(evalConstExpr(*inst, g.init));
+
+    // Apply element segments.
+    for (const wasm::ElementSegment &seg : m.elements) {
+        uint32_t offset = evalConstExpr(*inst, seg.offset).i32();
+        for (size_t i = 0; i < seg.funcIdxs.size(); ++i)
+            inst->table_.set(offset + static_cast<uint32_t>(i),
+                             seg.funcIdxs[i]);
+    }
+
+    // Apply data segments.
+    for (const wasm::DataSegment &seg : m.data) {
+        uint32_t offset = evalConstExpr(*inst, seg.offset).i32();
+        if (!seg.bytes.empty()) {
+            uint8_t *dst =
+                inst->memory_.writePtr(offset, 0, seg.bytes.size());
+            std::memcpy(dst, seg.bytes.data(), seg.bytes.size());
+        }
+    }
+
+    inst->sideTables_.resize(m.functions.size());
+
+    // Run the start function.
+    if (m.start) {
+        Interpreter interp;
+        interp.invoke(*inst, *m.start, {});
+    }
+
+    return inst;
+}
+
+} // namespace wasabi::interp

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The execution engine: a structured-control-flow interpreter over the
+ * flat instruction representation, using per-function control side
+ * tables to resolve block ends and else branches.
+ */
+
+#ifndef WASABI_INTERP_INTERPRETER_H
+#define WASABI_INTERP_INTERPRETER_H
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "interp/instance.h"
+
+namespace wasabi::interp {
+
+/**
+ * Executes functions of an Instance. Stateless between invocations
+ * apart from configuration, so one Interpreter can be reused.
+ */
+class Interpreter {
+  public:
+    /** Maximum nested call depth before CallStackExhausted. */
+    size_t maxCallDepth = 1000;
+
+    /** Invoke function @p func_idx with @p args; returns its results.
+     * @throws Trap on any trapping execution. */
+    std::vector<wasm::Value> invoke(Instance &inst, uint32_t func_idx,
+                                    std::span<const wasm::Value> args);
+
+    /** Invoke an exported function by name. */
+    std::vector<wasm::Value> invokeExport(Instance &inst,
+                                          const std::string &name,
+                                          std::span<const wasm::Value> args);
+
+    /** Total instructions executed by this interpreter (statistics). */
+    uint64_t instructionsExecuted() const { return instrCount_; }
+
+  private:
+    std::vector<wasm::Value> callFunction(Instance &inst, uint32_t func_idx,
+                                          std::span<const wasm::Value> args,
+                                          size_t depth);
+
+    uint64_t instrCount_ = 0;
+};
+
+} // namespace wasabi::interp
+
+#endif // WASABI_INTERP_INTERPRETER_H

@@ -1,0 +1,360 @@
+#include "interp/numerics.h"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "interp/trap.h"
+
+namespace wasabi::interp {
+
+using wasm::Opcode;
+using wasm::Value;
+
+namespace {
+
+/** i32/i64 boolean result. */
+Value
+b(bool v)
+{
+    return Value::makeI32(v ? 1 : 0);
+}
+
+/** Wasm float min: NaN-propagating, -0 < +0. */
+template <typename F>
+F
+wasmMin(F a, F b)
+{
+    if (std::isnan(a) || std::isnan(b))
+        return std::numeric_limits<F>::quiet_NaN();
+    if (a == b) // handles +-0: return the negative one
+        return std::signbit(a) ? a : b;
+    return a < b ? a : b;
+}
+
+/** Wasm float max: NaN-propagating, +0 > -0. */
+template <typename F>
+F
+wasmMax(F a, F b)
+{
+    if (std::isnan(a) || std::isnan(b))
+        return std::numeric_limits<F>::quiet_NaN();
+    if (a == b)
+        return std::signbit(a) ? b : a;
+    return a > b ? a : b;
+}
+
+/** Round to nearest, ties to even (Wasm `nearest`). */
+template <typename F>
+F
+wasmNearest(F x)
+{
+    // nearbyint honors the current rounding mode, which defaults to
+    // round-to-nearest-even; rint would be equivalent here.
+    return std::nearbyint(x);
+}
+
+/**
+ * Checked float -> signed integer truncation. Traps on NaN and on
+ * values outside the representable range after truncation.
+ */
+template <typename Int, typename F>
+Int
+truncS(F x)
+{
+    if (std::isnan(x))
+        throw Trap(TrapKind::InvalidConversion);
+    F t = std::trunc(x);
+    // Exact bounds: t must be >= Int::min and <= Int::max. The upper
+    // bound Int::max is not exactly representable, so compare against
+    // 2^(bits-1) exclusive.
+    constexpr F lo = static_cast<F>(std::numeric_limits<Int>::min());
+    constexpr F hi =
+        -static_cast<F>(std::numeric_limits<Int>::min()); // 2^(bits-1)
+    if (t < lo || t >= hi)
+        throw Trap(TrapKind::IntegerOverflow);
+    return static_cast<Int>(t);
+}
+
+/** Checked float -> unsigned integer truncation. */
+template <typename Int, typename F>
+Int
+truncU(F x)
+{
+    if (std::isnan(x))
+        throw Trap(TrapKind::InvalidConversion);
+    F t = std::trunc(x);
+    constexpr F hi = static_cast<F>(std::numeric_limits<Int>::max() / 2 + 1) *
+        2.0; // 2^bits, exactly representable
+    if (t <= static_cast<F>(-1.0) || t >= hi)
+        throw Trap(TrapKind::IntegerOverflow);
+    return static_cast<Int>(t);
+}
+
+template <typename Int>
+Int
+divS(Int a, Int b)
+{
+    if (b == 0)
+        throw Trap(TrapKind::DivByZero);
+    if (a == std::numeric_limits<Int>::min() && b == -1)
+        throw Trap(TrapKind::IntegerOverflow);
+    return a / b;
+}
+
+template <typename Int>
+Int
+remS(Int a, Int b)
+{
+    if (b == 0)
+        throw Trap(TrapKind::DivByZero);
+    if (a == std::numeric_limits<Int>::min() && b == -1)
+        return 0;
+    return a % b;
+}
+
+template <typename UInt>
+UInt
+divU(UInt a, UInt b)
+{
+    if (b == 0)
+        throw Trap(TrapKind::DivByZero);
+    return a / b;
+}
+
+template <typename UInt>
+UInt
+remU(UInt a, UInt b)
+{
+    if (b == 0)
+        throw Trap(TrapKind::DivByZero);
+    return a % b;
+}
+
+} // namespace
+
+Value
+evalUnary(Opcode op, Value in)
+{
+    switch (op) {
+      case Opcode::I32Eqz: return b(in.i32() == 0);
+      case Opcode::I64Eqz: return b(in.i64() == 0);
+
+      case Opcode::I32Clz:
+        return Value::makeI32(std::countl_zero(in.i32()));
+      case Opcode::I32Ctz:
+        return Value::makeI32(std::countr_zero(in.i32()));
+      case Opcode::I32Popcnt:
+        return Value::makeI32(std::popcount(in.i32()));
+      case Opcode::I64Clz:
+        return Value::makeI64(std::countl_zero(in.i64()));
+      case Opcode::I64Ctz:
+        return Value::makeI64(std::countr_zero(in.i64()));
+      case Opcode::I64Popcnt:
+        return Value::makeI64(std::popcount(in.i64()));
+
+      case Opcode::F32Abs: return Value::makeF32(std::fabs(in.f32()));
+      case Opcode::F32Neg: return Value::makeF32(-in.f32());
+      case Opcode::F32Ceil: return Value::makeF32(std::ceil(in.f32()));
+      case Opcode::F32Floor: return Value::makeF32(std::floor(in.f32()));
+      case Opcode::F32Trunc: return Value::makeF32(std::trunc(in.f32()));
+      case Opcode::F32Nearest:
+        return Value::makeF32(wasmNearest(in.f32()));
+      case Opcode::F32Sqrt: return Value::makeF32(std::sqrt(in.f32()));
+      case Opcode::F64Abs: return Value::makeF64(std::fabs(in.f64()));
+      case Opcode::F64Neg: return Value::makeF64(-in.f64());
+      case Opcode::F64Ceil: return Value::makeF64(std::ceil(in.f64()));
+      case Opcode::F64Floor: return Value::makeF64(std::floor(in.f64()));
+      case Opcode::F64Trunc: return Value::makeF64(std::trunc(in.f64()));
+      case Opcode::F64Nearest:
+        return Value::makeF64(wasmNearest(in.f64()));
+      case Opcode::F64Sqrt: return Value::makeF64(std::sqrt(in.f64()));
+
+      case Opcode::I32WrapI64:
+        return Value::makeI32(static_cast<uint32_t>(in.i64()));
+      case Opcode::I32TruncF32S:
+        return Value::makeI32(
+            static_cast<uint32_t>(truncS<int32_t>(in.f32())));
+      case Opcode::I32TruncF32U:
+        return Value::makeI32(truncU<uint32_t>(in.f32()));
+      case Opcode::I32TruncF64S:
+        return Value::makeI32(
+            static_cast<uint32_t>(truncS<int32_t>(in.f64())));
+      case Opcode::I32TruncF64U:
+        return Value::makeI32(truncU<uint32_t>(in.f64()));
+      case Opcode::I64ExtendI32S:
+        return Value::makeI64(
+            static_cast<uint64_t>(static_cast<int64_t>(in.i32s())));
+      case Opcode::I64ExtendI32U:
+        return Value::makeI64(in.i32());
+      case Opcode::I64TruncF32S:
+        return Value::makeI64(
+            static_cast<uint64_t>(truncS<int64_t>(in.f32())));
+      case Opcode::I64TruncF32U:
+        return Value::makeI64(truncU<uint64_t>(in.f32()));
+      case Opcode::I64TruncF64S:
+        return Value::makeI64(
+            static_cast<uint64_t>(truncS<int64_t>(in.f64())));
+      case Opcode::I64TruncF64U:
+        return Value::makeI64(truncU<uint64_t>(in.f64()));
+      case Opcode::F32ConvertI32S:
+        return Value::makeF32(static_cast<float>(in.i32s()));
+      case Opcode::F32ConvertI32U:
+        return Value::makeF32(static_cast<float>(in.i32()));
+      case Opcode::F32ConvertI64S:
+        return Value::makeF32(static_cast<float>(in.i64s()));
+      case Opcode::F32ConvertI64U:
+        return Value::makeF32(static_cast<float>(in.i64()));
+      case Opcode::F32DemoteF64:
+        return Value::makeF32(static_cast<float>(in.f64()));
+      case Opcode::F64ConvertI32S:
+        return Value::makeF64(static_cast<double>(in.i32s()));
+      case Opcode::F64ConvertI32U:
+        return Value::makeF64(static_cast<double>(in.i32()));
+      case Opcode::F64ConvertI64S:
+        return Value::makeF64(static_cast<double>(in.i64s()));
+      case Opcode::F64ConvertI64U:
+        return Value::makeF64(static_cast<double>(in.i64()));
+      case Opcode::F64PromoteF32:
+        return Value::makeF64(static_cast<double>(in.f32()));
+      case Opcode::I32ReinterpretF32:
+        return Value::makeI32(in.i32()); // same bits, new type
+      case Opcode::I64ReinterpretF64:
+        return Value::makeI64(in.i64());
+      case Opcode::F32ReinterpretI32:
+        return Value(wasm::ValType::F32, in.i32());
+      case Opcode::F64ReinterpretI64:
+        return Value(wasm::ValType::F64, in.i64());
+
+      default:
+        throw std::logic_error(std::string("evalUnary: not unary: ") +
+                               wasm::name(op));
+    }
+}
+
+Value
+evalBinary(Opcode op, Value l, Value r)
+{
+    switch (op) {
+      // --- i32 comparisons.
+      case Opcode::I32Eq: return b(l.i32() == r.i32());
+      case Opcode::I32Ne: return b(l.i32() != r.i32());
+      case Opcode::I32LtS: return b(l.i32s() < r.i32s());
+      case Opcode::I32LtU: return b(l.i32() < r.i32());
+      case Opcode::I32GtS: return b(l.i32s() > r.i32s());
+      case Opcode::I32GtU: return b(l.i32() > r.i32());
+      case Opcode::I32LeS: return b(l.i32s() <= r.i32s());
+      case Opcode::I32LeU: return b(l.i32() <= r.i32());
+      case Opcode::I32GeS: return b(l.i32s() >= r.i32s());
+      case Opcode::I32GeU: return b(l.i32() >= r.i32());
+      // --- i64 comparisons.
+      case Opcode::I64Eq: return b(l.i64() == r.i64());
+      case Opcode::I64Ne: return b(l.i64() != r.i64());
+      case Opcode::I64LtS: return b(l.i64s() < r.i64s());
+      case Opcode::I64LtU: return b(l.i64() < r.i64());
+      case Opcode::I64GtS: return b(l.i64s() > r.i64s());
+      case Opcode::I64GtU: return b(l.i64() > r.i64());
+      case Opcode::I64LeS: return b(l.i64s() <= r.i64s());
+      case Opcode::I64LeU: return b(l.i64() <= r.i64());
+      case Opcode::I64GeS: return b(l.i64s() >= r.i64s());
+      case Opcode::I64GeU: return b(l.i64() >= r.i64());
+      // --- float comparisons.
+      case Opcode::F32Eq: return b(l.f32() == r.f32());
+      case Opcode::F32Ne: return b(l.f32() != r.f32());
+      case Opcode::F32Lt: return b(l.f32() < r.f32());
+      case Opcode::F32Gt: return b(l.f32() > r.f32());
+      case Opcode::F32Le: return b(l.f32() <= r.f32());
+      case Opcode::F32Ge: return b(l.f32() >= r.f32());
+      case Opcode::F64Eq: return b(l.f64() == r.f64());
+      case Opcode::F64Ne: return b(l.f64() != r.f64());
+      case Opcode::F64Lt: return b(l.f64() < r.f64());
+      case Opcode::F64Gt: return b(l.f64() > r.f64());
+      case Opcode::F64Le: return b(l.f64() <= r.f64());
+      case Opcode::F64Ge: return b(l.f64() >= r.f64());
+
+      // --- i32 arithmetic.
+      case Opcode::I32Add: return Value::makeI32(l.i32() + r.i32());
+      case Opcode::I32Sub: return Value::makeI32(l.i32() - r.i32());
+      case Opcode::I32Mul: return Value::makeI32(l.i32() * r.i32());
+      case Opcode::I32DivS:
+        return Value::makeI32(
+            static_cast<uint32_t>(divS<int32_t>(l.i32s(), r.i32s())));
+      case Opcode::I32DivU:
+        return Value::makeI32(divU<uint32_t>(l.i32(), r.i32()));
+      case Opcode::I32RemS:
+        return Value::makeI32(
+            static_cast<uint32_t>(remS<int32_t>(l.i32s(), r.i32s())));
+      case Opcode::I32RemU:
+        return Value::makeI32(remU<uint32_t>(l.i32(), r.i32()));
+      case Opcode::I32And: return Value::makeI32(l.i32() & r.i32());
+      case Opcode::I32Or: return Value::makeI32(l.i32() | r.i32());
+      case Opcode::I32Xor: return Value::makeI32(l.i32() ^ r.i32());
+      case Opcode::I32Shl:
+        return Value::makeI32(l.i32() << (r.i32() & 31));
+      case Opcode::I32ShrS:
+        return Value::makeI32(
+            static_cast<uint32_t>(l.i32s() >> (r.i32() & 31)));
+      case Opcode::I32ShrU:
+        return Value::makeI32(l.i32() >> (r.i32() & 31));
+      case Opcode::I32Rotl:
+        return Value::makeI32(std::rotl(l.i32(), r.i32() & 31));
+      case Opcode::I32Rotr:
+        return Value::makeI32(std::rotr(l.i32(), r.i32() & 31));
+      // --- i64 arithmetic.
+      case Opcode::I64Add: return Value::makeI64(l.i64() + r.i64());
+      case Opcode::I64Sub: return Value::makeI64(l.i64() - r.i64());
+      case Opcode::I64Mul: return Value::makeI64(l.i64() * r.i64());
+      case Opcode::I64DivS:
+        return Value::makeI64(
+            static_cast<uint64_t>(divS<int64_t>(l.i64s(), r.i64s())));
+      case Opcode::I64DivU:
+        return Value::makeI64(divU<uint64_t>(l.i64(), r.i64()));
+      case Opcode::I64RemS:
+        return Value::makeI64(
+            static_cast<uint64_t>(remS<int64_t>(l.i64s(), r.i64s())));
+      case Opcode::I64RemU:
+        return Value::makeI64(remU<uint64_t>(l.i64(), r.i64()));
+      case Opcode::I64And: return Value::makeI64(l.i64() & r.i64());
+      case Opcode::I64Or: return Value::makeI64(l.i64() | r.i64());
+      case Opcode::I64Xor: return Value::makeI64(l.i64() ^ r.i64());
+      case Opcode::I64Shl:
+        return Value::makeI64(l.i64() << (r.i64() & 63));
+      case Opcode::I64ShrS:
+        return Value::makeI64(
+            static_cast<uint64_t>(l.i64s() >> (r.i64() & 63)));
+      case Opcode::I64ShrU:
+        return Value::makeI64(l.i64() >> (r.i64() & 63));
+      case Opcode::I64Rotl:
+        return Value::makeI64(std::rotl(l.i64(), r.i64() & 63));
+      case Opcode::I64Rotr:
+        return Value::makeI64(std::rotr(l.i64(), r.i64() & 63));
+      // --- f32 arithmetic.
+      case Opcode::F32Add: return Value::makeF32(l.f32() + r.f32());
+      case Opcode::F32Sub: return Value::makeF32(l.f32() - r.f32());
+      case Opcode::F32Mul: return Value::makeF32(l.f32() * r.f32());
+      case Opcode::F32Div: return Value::makeF32(l.f32() / r.f32());
+      case Opcode::F32Min:
+        return Value::makeF32(wasmMin(l.f32(), r.f32()));
+      case Opcode::F32Max:
+        return Value::makeF32(wasmMax(l.f32(), r.f32()));
+      case Opcode::F32Copysign:
+        return Value::makeF32(std::copysign(l.f32(), r.f32()));
+      // --- f64 arithmetic.
+      case Opcode::F64Add: return Value::makeF64(l.f64() + r.f64());
+      case Opcode::F64Sub: return Value::makeF64(l.f64() - r.f64());
+      case Opcode::F64Mul: return Value::makeF64(l.f64() * r.f64());
+      case Opcode::F64Div: return Value::makeF64(l.f64() / r.f64());
+      case Opcode::F64Min:
+        return Value::makeF64(wasmMin(l.f64(), r.f64()));
+      case Opcode::F64Max:
+        return Value::makeF64(wasmMax(l.f64(), r.f64()));
+      case Opcode::F64Copysign:
+        return Value::makeF64(std::copysign(l.f64(), r.f64()));
+
+      default:
+        throw std::logic_error(std::string("evalBinary: not binary: ") +
+                               wasm::name(op));
+    }
+}
+
+} // namespace wasabi::interp

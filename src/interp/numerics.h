@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Evaluation of all WebAssembly numeric instructions (unary, binary,
+ * and conversions), with spec-conformant trapping behavior for
+ * division and float-to-integer truncation.
+ */
+
+#ifndef WASABI_INTERP_NUMERICS_H
+#define WASABI_INTERP_NUMERICS_H
+
+#include "wasm/opcode.h"
+#include "wasm/types.h"
+
+namespace wasabi::interp {
+
+/** Evaluate a unary operation (including eqz and all conversions). */
+wasm::Value evalUnary(wasm::Opcode op, wasm::Value input);
+
+/** Evaluate a binary operation (arithmetic and comparisons). */
+wasm::Value evalBinary(wasm::Opcode op, wasm::Value lhs, wasm::Value rhs);
+
+} // namespace wasabi::interp
+
+#endif // WASABI_INTERP_NUMERICS_H

@@ -1,0 +1,29 @@
+#include "interp/trap.h"
+
+namespace wasabi::interp {
+
+const char *
+name(TrapKind kind)
+{
+    switch (kind) {
+      case TrapKind::Unreachable: return "unreachable executed";
+      case TrapKind::MemoryOutOfBounds:
+        return "out of bounds memory access";
+      case TrapKind::DivByZero: return "integer divide by zero";
+      case TrapKind::IntegerOverflow: return "integer overflow";
+      case TrapKind::InvalidConversion:
+        return "invalid conversion to integer";
+      case TrapKind::IndirectCallTypeMismatch:
+        return "indirect call type mismatch";
+      case TrapKind::UninitializedTableElement:
+        return "uninitialized table element";
+      case TrapKind::TableOutOfBounds:
+        return "undefined table element";
+      case TrapKind::CallStackExhausted: return "call stack exhausted";
+      case TrapKind::FuelExhausted: return "fuel exhausted";
+      case TrapKind::HostError: return "host function error";
+    }
+    return "?";
+}
+
+} // namespace wasabi::interp

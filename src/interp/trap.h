@@ -1,0 +1,58 @@
+/**
+ * @file
+ * WebAssembly traps, modeled as a C++ exception carrying a trap kind.
+ * The differential (original vs. instrumented) tests compare execution
+ * outcomes as "result values or trap kind", so kinds must be stable.
+ */
+
+#ifndef WASABI_INTERP_TRAP_H
+#define WASABI_INTERP_TRAP_H
+
+#include <stdexcept>
+#include <string>
+
+namespace wasabi::interp {
+
+/** Reasons a WebAssembly computation can trap. */
+enum class TrapKind {
+    Unreachable,
+    MemoryOutOfBounds,
+    DivByZero,
+    IntegerOverflow,
+    InvalidConversion,   ///< float-to-int truncation of NaN
+    IndirectCallTypeMismatch,
+    UninitializedTableElement,
+    TableOutOfBounds,
+    CallStackExhausted,
+    FuelExhausted,       ///< engine-imposed instruction budget
+    HostError,           ///< raised by a host function
+};
+
+/** Short name of a trap kind, e.g. "divide by zero". */
+const char *name(TrapKind kind);
+
+/** Exception thrown when execution traps. */
+class Trap : public std::runtime_error {
+  public:
+    explicit Trap(TrapKind kind)
+        : std::runtime_error(std::string("trap: ") + name(kind)),
+          kind_(kind)
+    {
+    }
+
+    Trap(TrapKind kind, const std::string &detail)
+        : std::runtime_error(std::string("trap: ") + name(kind) + ": " +
+                             detail),
+          kind_(kind)
+    {
+    }
+
+    TrapKind kind() const { return kind_; }
+
+  private:
+    TrapKind kind_;
+};
+
+} // namespace wasabi::interp
+
+#endif // WASABI_INTERP_TRAP_H

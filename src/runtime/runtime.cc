@@ -1,0 +1,272 @@
+#include "runtime/runtime.h"
+
+#include <cassert>
+
+namespace wasabi::runtime {
+
+using core::HookSpec;
+using core::StaticInfo;
+using interp::Instance;
+using interp::Linker;
+using wasm::Value;
+using wasm::ValType;
+
+WasabiRuntime::WasabiRuntime(std::shared_ptr<const StaticInfo> info)
+    : info_(std::move(info))
+{
+}
+
+void
+WasabiRuntime::addAnalysis(Analysis *analysis)
+{
+    analyses_.push_back(analysis);
+}
+
+HookSet
+WasabiRuntime::requiredHooks(std::initializer_list<const Analysis *> analyses)
+{
+    HookSet set;
+    for (const Analysis *a : analyses)
+        set |= a->hooks();
+    return set;
+}
+
+void
+WasabiRuntime::bindHooks(Linker &linker)
+{
+    for (const HookSpec &spec : info_->hooks) {
+        auto bound = std::make_shared<BoundHook>();
+        bound->spec = spec;
+        // Resolve the logical argument types once; the dispatch path
+        // runs per executed instruction and must not recompute them.
+        wasm::FuncType logical =
+            core::lowLevelType(spec, /*split_i64=*/false);
+        bound->argTypes.assign(logical.params.begin() + 2,
+                               logical.params.end());
+        bound_.push_back(bound);
+        linker.func(info_->importModule, mangledName(spec),
+                    [this, bound](Instance &inst,
+                                  std::span<const Value> args,
+                                  std::vector<Value> &) {
+                        dispatch(*bound, inst, args);
+                    });
+    }
+}
+
+std::unique_ptr<Instance>
+WasabiRuntime::instantiate(const wasm::Module &instrumented_module,
+                           const Linker &extra)
+{
+    Linker linker;
+    linker.merge(extra);
+    bindHooks(linker);
+    return Instance::instantiate(instrumented_module, linker);
+}
+
+void
+WasabiRuntime::decodeArgs(const BoundHook &hook,
+                          std::span<const Value> raw,
+                          std::vector<Value> &out) const
+{
+    size_t k = 0;
+    out.reserve(hook.argTypes.size());
+    for (ValType t : hook.argTypes) {
+        if (t == ValType::I64 && info_->splitI64) {
+            uint64_t lo = raw[k].i32();
+            uint64_t hi = raw[k + 1].i32();
+            out.push_back(Value::makeI64((hi << 32) | lo));
+            k += 2;
+        } else {
+            // Raw hook params arrive with their wire type; re-tag so
+            // analyses see a properly typed Value.
+            out.push_back(Value(t, raw[k].bits));
+            k += 1;
+        }
+    }
+    assert(k == raw.size());
+}
+
+void
+WasabiRuntime::dispatch(const BoundHook &hook, Instance &inst,
+                        std::span<const Value> raw_args)
+{
+    const HookSpec &spec = hook.spec;
+    ++invocations_;
+    Location loc{raw_args[0].i32(), raw_args[1].i32()};
+    std::vector<Value> dyn;
+    decodeArgs(hook, raw_args.subspan(2), dyn);
+
+    auto forEach = [this, &spec](HookKind kind, auto &&fn) {
+        (void)spec;
+        for (Analysis *a : analyses_) {
+            if (a->hooks().has(kind))
+                fn(*a);
+        }
+    };
+
+    switch (spec.kind) {
+      case HookKind::Start:
+        forEach(HookKind::Start,
+                [&](Analysis &a) { a.onStart(loc); });
+        break;
+      case HookKind::Nop:
+        forEach(HookKind::Nop, [&](Analysis &a) { a.onNop(loc); });
+        break;
+      case HookKind::Unreachable:
+        forEach(HookKind::Unreachable,
+                [&](Analysis &a) { a.onUnreachable(loc); });
+        break;
+      case HookKind::If:
+        forEach(HookKind::If, [&](Analysis &a) {
+            a.onIf(loc, dyn[0].i32() != 0);
+        });
+        break;
+      case HookKind::Br: {
+        core::BranchTarget target =
+            info_->brTargets.at(core::packLoc(loc));
+        forEach(HookKind::Br,
+                [&](Analysis &a) { a.onBr(loc, target); });
+        break;
+      }
+      case HookKind::BrIf: {
+        core::BranchTarget target =
+            info_->brTargets.at(core::packLoc(loc));
+        bool cond = dyn[0].i32() != 0;
+        forEach(HookKind::BrIf, [&](Analysis &a) {
+            a.onBrIf(loc, target, cond);
+        });
+        break;
+      }
+      case HookKind::BrTable: {
+        const core::BrTableInfo &table =
+            info_->brTables.at(core::packLoc(loc));
+        uint32_t index = dyn[0].i32();
+        const core::BrTableEntry &selected =
+            index < table.cases.size() ? table.cases[index]
+                                       : table.defaultCase;
+        std::vector<core::BranchTarget> targets;
+        targets.reserve(table.cases.size());
+        for (const core::BrTableEntry &e : table.cases)
+            targets.push_back(e.target);
+        forEach(HookKind::BrTable, [&](Analysis &a) {
+            a.onBrTable(loc, targets, table.defaultCase.target, index);
+        });
+        // The blocks left by the selected entry are only known now;
+        // fire their end hooks at runtime (paper §2.4.5).
+        for (const core::EndedBlock &e : selected.ended) {
+            forEach(HookKind::End, [&](Analysis &a) {
+                a.onEnd(e.end, e.kind, e.begin);
+            });
+        }
+        break;
+      }
+      case HookKind::Begin:
+        forEach(HookKind::Begin,
+                [&](Analysis &a) { a.onBegin(loc, spec.block); });
+        break;
+      case HookKind::End: {
+        Location begin{loc.func, dyn[0].i32()};
+        forEach(HookKind::End, [&](Analysis &a) {
+            a.onEnd(loc, spec.block, begin);
+        });
+        break;
+      }
+      case HookKind::Const:
+        forEach(HookKind::Const, [&](Analysis &a) {
+            a.onConst(loc, spec.op, dyn[0]);
+        });
+        break;
+      case HookKind::Unary:
+        forEach(HookKind::Unary, [&](Analysis &a) {
+            a.onUnary(loc, spec.op, dyn[0], dyn[1]);
+        });
+        break;
+      case HookKind::Binary:
+        forEach(HookKind::Binary, [&](Analysis &a) {
+            a.onBinary(loc, spec.op, dyn[0], dyn[1], dyn[2]);
+        });
+        break;
+      case HookKind::Drop:
+        forEach(HookKind::Drop,
+                [&](Analysis &a) { a.onDrop(loc, dyn[0]); });
+        break;
+      case HookKind::Select:
+        forEach(HookKind::Select, [&](Analysis &a) {
+            a.onSelect(loc, dyn[0].i32() != 0, dyn[1], dyn[2]);
+        });
+        break;
+      case HookKind::Local: {
+        uint32_t index = info_->instrAt(loc).imm.idx;
+        forEach(HookKind::Local, [&](Analysis &a) {
+            a.onLocal(loc, spec.op, index, dyn[0]);
+        });
+        break;
+      }
+      case HookKind::Global: {
+        uint32_t index = info_->instrAt(loc).imm.idx;
+        forEach(HookKind::Global, [&](Analysis &a) {
+            a.onGlobal(loc, spec.op, index, dyn[0]);
+        });
+        break;
+      }
+      case HookKind::Load: {
+        MemArg memarg{dyn[0].i32(), info_->instrAt(loc).imm.mem.offset};
+        forEach(HookKind::Load, [&](Analysis &a) {
+            a.onLoad(loc, spec.op, memarg, dyn[1]);
+        });
+        break;
+      }
+      case HookKind::Store: {
+        MemArg memarg{dyn[0].i32(), info_->instrAt(loc).imm.mem.offset};
+        forEach(HookKind::Store, [&](Analysis &a) {
+            a.onStore(loc, spec.op, memarg, dyn[1]);
+        });
+        break;
+      }
+      case HookKind::MemorySize:
+        forEach(HookKind::MemorySize, [&](Analysis &a) {
+            a.onMemorySize(loc, dyn[0].i32());
+        });
+        break;
+      case HookKind::MemoryGrow:
+        forEach(HookKind::MemoryGrow, [&](Analysis &a) {
+            a.onMemoryGrow(loc, dyn[0].i32(), dyn[1].i32());
+        });
+        break;
+      case HookKind::Call: {
+        if (spec.post) {
+            forEach(HookKind::Call, [&](Analysis &a) {
+                a.onCallPost(loc, dyn);
+            });
+            break;
+        }
+        uint32_t func = 0;
+        std::optional<uint32_t> table_index;
+        std::span<const Value> args(dyn);
+        if (spec.indirect) {
+            uint32_t idx = dyn[0].i32();
+            table_index = idx;
+            args = args.subspan(1);
+            // Resolve the runtime table index to the actually called
+            // function, reported in the original index space (§2.3).
+            func = Analysis::kUnresolvedFunc;
+            if (idx < inst.table().size()) {
+                if (std::optional<uint32_t> f = inst.table().get(idx))
+                    func = info_->unmapFuncIdx(*f);
+            }
+        } else {
+            func = info_->instrAt(loc).imm.idx;
+        }
+        forEach(HookKind::Call, [&](Analysis &a) {
+            a.onCallPre(loc, func, args, table_index);
+        });
+        break;
+      }
+      case HookKind::Return:
+        forEach(HookKind::Return,
+                [&](Analysis &a) { a.onReturn(loc, dyn); });
+        break;
+    }
+}
+
+} // namespace wasabi::runtime

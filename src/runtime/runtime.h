@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The Wasabi runtime (paper Figure 2, right side): generates one host
+ * function per monomorphic low-level hook, decodes its arguments
+ * (joining split i64 halves), enriches them with static information
+ * (branch targets, instruction immediates, br_table side tables), and
+ * dispatches to the high-level hooks of the registered analyses.
+ */
+
+#ifndef WASABI_RUNTIME_RUNTIME_H
+#define WASABI_RUNTIME_RUNTIME_H
+
+#include <memory>
+
+#include "core/instrument.h"
+#include "interp/interpreter.h"
+#include "runtime/analysis.h"
+
+namespace wasabi::runtime {
+
+/**
+ * Connects an instrumented module with a set of analyses.
+ *
+ * Typical use:
+ * @code
+ *   MyAnalysis analysis;
+ *   auto r = core::instrument(module,
+ *                             WasabiRuntime::requiredHooks({&analysis}));
+ *   WasabiRuntime rt(r.info);
+ *   rt.addAnalysis(&analysis);
+ *   auto inst = rt.instantiate(r.module);
+ *   interp::Interpreter().invokeExport(*inst, "main", args);
+ * @endcode
+ */
+class WasabiRuntime {
+  public:
+    explicit WasabiRuntime(std::shared_ptr<const core::StaticInfo> info);
+
+    /** Register an analysis (not owned; must outlive the runtime). */
+    void addAnalysis(Analysis *analysis);
+
+    /** Union of the analyses' hook sets — the set to instrument for. */
+    static HookSet
+    requiredHooks(std::initializer_list<const Analysis *> analyses);
+
+    /**
+     * Bind every hook import into @p linker. Additional (non-hook)
+     * imports of the original program can be registered on the same
+     * linker before or after.
+     */
+    void bindHooks(interp::Linker &linker);
+
+    /** Convenience: bind hooks into a fresh linker (merged with
+     * @p extra) and instantiate the instrumented module. */
+    std::unique_ptr<interp::Instance>
+    instantiate(const wasm::Module &instrumented_module,
+                const interp::Linker &extra = {});
+
+    const core::StaticInfo &info() const { return *info_; }
+
+    /** Number of low-level hook invocations dispatched so far. */
+    uint64_t hookInvocations() const { return invocations_; }
+
+  private:
+    /** Pre-resolved dispatch state for one low-level hook, computed
+     * once at bind time so the per-invocation path is allocation-lean. */
+    struct BoundHook {
+        core::HookSpec spec;
+        /** Logical (unsplit) dynamic argument types. */
+        std::vector<wasm::ValType> argTypes;
+    };
+
+    void dispatch(const BoundHook &hook, interp::Instance &inst,
+                  std::span<const wasm::Value> raw_args);
+
+    /** Decode raw hook args (after the 2 location args) into logical
+     * values, joining (low, high) i64 pairs when splitI64 is on. */
+    void decodeArgs(const BoundHook &hook,
+                    std::span<const wasm::Value> raw,
+                    std::vector<wasm::Value> &out) const;
+
+    std::shared_ptr<const core::StaticInfo> info_;
+    std::vector<Analysis *> analyses_;
+    std::vector<std::shared_ptr<BoundHook>> bound_;
+    uint64_t invocations_ = 0;
+};
+
+} // namespace wasabi::runtime
+
+#endif // WASABI_RUNTIME_RUNTIME_H

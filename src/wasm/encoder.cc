@@ -1,0 +1,417 @@
+#include "wasm/encoder.h"
+
+#include <bit>
+
+#include "wasm/leb128.h"
+
+namespace wasabi::wasm {
+
+namespace {
+
+void
+putU32(std::vector<uint8_t> &out, uint32_t v)
+{
+    encodeULEB(out, v);
+}
+
+void
+putFixedU32(std::vector<uint8_t> &out, uint32_t v)
+{
+    out.push_back(v & 0xFF);
+    out.push_back((v >> 8) & 0xFF);
+    out.push_back((v >> 16) & 0xFF);
+    out.push_back((v >> 24) & 0xFF);
+}
+
+void
+putFixedU64(std::vector<uint8_t> &out, uint64_t v)
+{
+    putFixedU32(out, static_cast<uint32_t>(v));
+    putFixedU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+void
+putName(std::vector<uint8_t> &out, const std::string &s)
+{
+    putU32(out, static_cast<uint32_t>(s.size()));
+    out.insert(out.end(), s.begin(), s.end());
+}
+
+void
+putValType(std::vector<uint8_t> &out, ValType t)
+{
+    out.push_back(binaryByte(t));
+}
+
+void
+putLimits(std::vector<uint8_t> &out, const Limits &l)
+{
+    if (l.max) {
+        out.push_back(0x01);
+        putU32(out, l.min);
+        putU32(out, *l.max);
+    } else {
+        out.push_back(0x00);
+        putU32(out, l.min);
+    }
+}
+
+void
+putExpr(std::vector<uint8_t> &out, const std::vector<Instr> &expr)
+{
+    for (const Instr &i : expr)
+        encodeInstr(out, i);
+}
+
+/** Append a section with the given id; empty payloads are skipped. */
+void
+putSection(std::vector<uint8_t> &out, uint8_t id,
+           const std::vector<uint8_t> &payload)
+{
+    if (payload.empty())
+        return;
+    out.push_back(id);
+    putU32(out, static_cast<uint32_t>(payload.size()));
+    out.insert(out.end(), payload.begin(), payload.end());
+}
+
+/** Export entries collected across all index spaces. */
+struct ExportEntry {
+    std::string name;
+    uint8_t kind;
+    uint32_t idx;
+};
+
+} // namespace
+
+void
+encodeInstr(std::vector<uint8_t> &out, const Instr &instr)
+{
+    const OpInfo &info = opInfo(instr.op);
+    if (!info.valid())
+        throw EncodeError("invalid opcode");
+    out.push_back(static_cast<uint8_t>(instr.op));
+    switch (info.imm) {
+      case ImmKind::None:
+        break;
+      case ImmKind::BlockType:
+        out.push_back(instr.block ? binaryByte(*instr.block) : 0x40);
+        break;
+      case ImmKind::Label:
+      case ImmKind::Func:
+      case ImmKind::Local:
+      case ImmKind::Global:
+        putU32(out, instr.imm.idx);
+        break;
+      case ImmKind::CallInd:
+        putU32(out, instr.imm.idx);
+        out.push_back(0x00);
+        break;
+      case ImmKind::BrTableImm: {
+        if (instr.table.empty())
+            throw EncodeError("br_table without default target");
+        putU32(out, static_cast<uint32_t>(instr.table.size() - 1));
+        for (uint32_t label : instr.table)
+            putU32(out, label);
+        break;
+      }
+      case ImmKind::Mem:
+        putU32(out, instr.imm.mem.align);
+        putU32(out, instr.imm.mem.offset);
+        break;
+      case ImmKind::MemIdx:
+        out.push_back(0x00);
+        break;
+      case ImmKind::I32:
+        encodeSLEB(out, static_cast<int32_t>(instr.imm.i32v));
+        break;
+      case ImmKind::I64:
+        encodeSLEB(out, static_cast<int64_t>(instr.imm.i64v));
+        break;
+      case ImmKind::F32:
+        putFixedU32(out, std::bit_cast<uint32_t>(instr.imm.f32v));
+        break;
+      case ImmKind::F64:
+        putFixedU64(out, std::bit_cast<uint64_t>(instr.imm.f64v));
+        break;
+    }
+}
+
+std::vector<uint8_t>
+encodeModule(const Module &m)
+{
+    std::vector<uint8_t> out;
+    putFixedU32(out, 0x6D736100);
+    putFixedU32(out, 1);
+
+    // --- Type section.
+    {
+        std::vector<uint8_t> sec;
+        if (!m.types.empty()) {
+            putU32(sec, static_cast<uint32_t>(m.types.size()));
+            for (const FuncType &t : m.types) {
+                sec.push_back(0x60);
+                putU32(sec, static_cast<uint32_t>(t.params.size()));
+                for (ValType p : t.params)
+                    putValType(sec, p);
+                putU32(sec, static_cast<uint32_t>(t.results.size()));
+                for (ValType r : t.results)
+                    putValType(sec, r);
+            }
+        }
+        putSection(out, 1, sec);
+    }
+
+    // --- Import section, gathered from all index spaces.
+    {
+        std::vector<uint8_t> entries;
+        uint32_t count = 0;
+        for (const Function &f : m.functions) {
+            if (!f.imported())
+                break;
+            putName(entries, f.import->module);
+            putName(entries, f.import->name);
+            entries.push_back(0x00);
+            putU32(entries, f.typeIdx);
+            ++count;
+        }
+        for (const Table &t : m.tables) {
+            if (!t.imported())
+                break;
+            putName(entries, t.import->module);
+            putName(entries, t.import->name);
+            entries.push_back(0x01);
+            entries.push_back(0x70);
+            putLimits(entries, t.limits);
+            ++count;
+        }
+        for (const Memory &mem : m.memories) {
+            if (!mem.imported())
+                break;
+            putName(entries, mem.import->module);
+            putName(entries, mem.import->name);
+            entries.push_back(0x02);
+            putLimits(entries, mem.limits);
+            ++count;
+        }
+        for (const Global &g : m.globals) {
+            if (!g.imported())
+                break;
+            putName(entries, g.import->module);
+            putName(entries, g.import->name);
+            entries.push_back(0x03);
+            putValType(entries, g.type);
+            entries.push_back(g.mut ? 0x01 : 0x00);
+            ++count;
+        }
+        std::vector<uint8_t> sec;
+        if (count > 0) {
+            putU32(sec, count);
+            sec.insert(sec.end(), entries.begin(), entries.end());
+        }
+        putSection(out, 2, sec);
+    }
+
+    // Check import-before-defined invariant in every index space.
+    auto checkOrder = [](auto const &vec, const char *what) {
+        bool seen_defined = false;
+        for (const auto &e : vec) {
+            if (e.imported() && seen_defined) {
+                throw EncodeError(std::string(what) +
+                                  ": import after defined entity");
+            }
+            if (!e.imported())
+                seen_defined = true;
+        }
+    };
+    checkOrder(m.functions, "functions");
+    checkOrder(m.tables, "tables");
+    checkOrder(m.memories, "memories");
+    checkOrder(m.globals, "globals");
+
+    // --- Function section (type indices of defined functions).
+    {
+        std::vector<uint8_t> sec;
+        uint32_t count = 0;
+        std::vector<uint8_t> entries;
+        for (const Function &f : m.functions) {
+            if (f.imported())
+                continue;
+            putU32(entries, f.typeIdx);
+            ++count;
+        }
+        if (count > 0) {
+            putU32(sec, count);
+            sec.insert(sec.end(), entries.begin(), entries.end());
+        }
+        putSection(out, 3, sec);
+    }
+
+    // --- Table section.
+    {
+        std::vector<uint8_t> sec;
+        uint32_t count = 0;
+        std::vector<uint8_t> entries;
+        for (const Table &t : m.tables) {
+            if (t.imported())
+                continue;
+            entries.push_back(0x70);
+            putLimits(entries, t.limits);
+            ++count;
+        }
+        if (count > 0) {
+            putU32(sec, count);
+            sec.insert(sec.end(), entries.begin(), entries.end());
+        }
+        putSection(out, 4, sec);
+    }
+
+    // --- Memory section.
+    {
+        std::vector<uint8_t> sec;
+        uint32_t count = 0;
+        std::vector<uint8_t> entries;
+        for (const Memory &mem : m.memories) {
+            if (mem.imported())
+                continue;
+            putLimits(entries, mem.limits);
+            ++count;
+        }
+        if (count > 0) {
+            putU32(sec, count);
+            sec.insert(sec.end(), entries.begin(), entries.end());
+        }
+        putSection(out, 5, sec);
+    }
+
+    // --- Global section.
+    {
+        std::vector<uint8_t> sec;
+        uint32_t count = 0;
+        std::vector<uint8_t> entries;
+        for (const Global &g : m.globals) {
+            if (g.imported())
+                continue;
+            putValType(entries, g.type);
+            entries.push_back(g.mut ? 0x01 : 0x00);
+            putExpr(entries, g.init);
+            ++count;
+        }
+        if (count > 0) {
+            putU32(sec, count);
+            sec.insert(sec.end(), entries.begin(), entries.end());
+        }
+        putSection(out, 6, sec);
+    }
+
+    // --- Export section.
+    {
+        std::vector<ExportEntry> exports;
+        for (size_t i = 0; i < m.functions.size(); ++i) {
+            for (const std::string &n : m.functions[i].exportNames)
+                exports.push_back({n, 0x00, static_cast<uint32_t>(i)});
+        }
+        for (size_t i = 0; i < m.tables.size(); ++i) {
+            for (const std::string &n : m.tables[i].exportNames)
+                exports.push_back({n, 0x01, static_cast<uint32_t>(i)});
+        }
+        for (size_t i = 0; i < m.memories.size(); ++i) {
+            for (const std::string &n : m.memories[i].exportNames)
+                exports.push_back({n, 0x02, static_cast<uint32_t>(i)});
+        }
+        for (size_t i = 0; i < m.globals.size(); ++i) {
+            for (const std::string &n : m.globals[i].exportNames)
+                exports.push_back({n, 0x03, static_cast<uint32_t>(i)});
+        }
+        std::vector<uint8_t> sec;
+        if (!exports.empty()) {
+            putU32(sec, static_cast<uint32_t>(exports.size()));
+            for (const ExportEntry &e : exports) {
+                putName(sec, e.name);
+                sec.push_back(e.kind);
+                putU32(sec, e.idx);
+            }
+        }
+        putSection(out, 7, sec);
+    }
+
+    // --- Start section.
+    if (m.start) {
+        std::vector<uint8_t> sec;
+        putU32(sec, *m.start);
+        putSection(out, 8, sec);
+    }
+
+    // --- Element section.
+    if (!m.elements.empty()) {
+        std::vector<uint8_t> sec;
+        putU32(sec, static_cast<uint32_t>(m.elements.size()));
+        for (const ElementSegment &seg : m.elements) {
+            putU32(sec, seg.tableIdx);
+            putExpr(sec, seg.offset);
+            putU32(sec, static_cast<uint32_t>(seg.funcIdxs.size()));
+            for (uint32_t f : seg.funcIdxs)
+                putU32(sec, f);
+        }
+        putSection(out, 9, sec);
+    }
+
+    // --- Code section.
+    {
+        std::vector<uint8_t> sec;
+        uint32_t count = 0;
+        std::vector<uint8_t> entries;
+        for (const Function &f : m.functions) {
+            if (f.imported())
+                continue;
+            std::vector<uint8_t> body;
+            // Run-length encode the locals.
+            std::vector<std::pair<ValType, uint32_t>> runs;
+            for (ValType t : f.locals) {
+                if (!runs.empty() && runs.back().first == t)
+                    ++runs.back().second;
+                else
+                    runs.push_back({t, 1});
+            }
+            putU32(body, static_cast<uint32_t>(runs.size()));
+            for (auto [t, n] : runs) {
+                putU32(body, n);
+                putValType(body, t);
+            }
+            putExpr(body, f.body);
+            putU32(entries, static_cast<uint32_t>(body.size()));
+            entries.insert(entries.end(), body.begin(), body.end());
+            ++count;
+        }
+        if (count > 0) {
+            putU32(sec, count);
+            sec.insert(sec.end(), entries.begin(), entries.end());
+        }
+        putSection(out, 10, sec);
+    }
+
+    // --- Data section.
+    if (!m.data.empty()) {
+        std::vector<uint8_t> sec;
+        putU32(sec, static_cast<uint32_t>(m.data.size()));
+        for (const DataSegment &seg : m.data) {
+            putU32(sec, seg.memIdx);
+            putExpr(sec, seg.offset);
+            putU32(sec, static_cast<uint32_t>(seg.bytes.size()));
+            sec.insert(sec.end(), seg.bytes.begin(), seg.bytes.end());
+        }
+        putSection(out, 11, sec);
+    }
+
+    // --- Custom sections, appended at the end.
+    for (const CustomSection &c : m.customs) {
+        std::vector<uint8_t> sec;
+        putName(sec, c.name);
+        sec.insert(sec.end(), c.bytes.begin(), c.bytes.end());
+        putSection(out, 0, sec);
+    }
+
+    return out;
+}
+
+} // namespace wasabi::wasm

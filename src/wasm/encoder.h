@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Encoder from the Module AST to the WebAssembly binary format (MVP,
+ * version 1). The output of encodeModule(decodeModule(b)) is
+ * semantically identical to b (byte-identical up to LEB128 padding and
+ * custom-section placement).
+ */
+
+#ifndef WASABI_WASM_ENCODER_H
+#define WASABI_WASM_ENCODER_H
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "wasm/module.h"
+
+namespace wasabi::wasm {
+
+/** Error thrown when a module violates encodability invariants
+ * (e.g. an imported function appearing after a defined one). */
+class EncodeError : public std::runtime_error {
+  public:
+    explicit EncodeError(const std::string &what)
+        : std::runtime_error("encode error: " + what)
+    {
+    }
+};
+
+/** Encode a module to binary. */
+std::vector<uint8_t> encodeModule(const Module &m);
+
+/** Encode a single instruction (exposed for tests). */
+void encodeInstr(std::vector<uint8_t> &out, const Instr &instr);
+
+} // namespace wasabi::wasm
+
+#endif // WASABI_WASM_ENCODER_H

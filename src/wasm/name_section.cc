@@ -1,0 +1,97 @@
+#include "wasm/name_section.h"
+
+#include "wasm/leb128.h"
+
+namespace wasabi::wasm {
+
+size_t
+applyNameSection(Module &m)
+{
+    const CustomSection *section = nullptr;
+    for (const CustomSection &c : m.customs) {
+        if (c.name == "name") {
+            section = &c;
+            break;
+        }
+    }
+    if (section == nullptr)
+        return 0;
+
+    size_t applied = 0;
+    try {
+        ByteReader r(section->bytes);
+        while (!r.done()) {
+            uint8_t id = r.readByte();
+            uint32_t size = r.readU32();
+            if (id != 1) {
+                // Skip module/local/other name subsections.
+                r.readBytes(size);
+                continue;
+            }
+            ByteReader sub(section->bytes.data() + r.pos(), size);
+            uint32_t count = sub.readU32();
+            for (uint32_t i = 0; i < count; ++i) {
+                uint32_t func_idx = sub.readU32();
+                std::string name = sub.readName();
+                if (func_idx < m.functions.size()) {
+                    m.functions[func_idx].debugName = std::move(name);
+                    ++applied;
+                }
+            }
+            r.readBytes(size);
+        }
+    } catch (const DecodeError &) {
+        // Name payloads are non-semantic; ignore malformed ones.
+    }
+    return applied;
+}
+
+void
+buildNameSection(Module &m)
+{
+    // Collect named functions.
+    std::vector<std::pair<uint32_t, const std::string *>> names;
+    for (uint32_t i = 0; i < m.functions.size(); ++i) {
+        if (!m.functions[i].debugName.empty())
+            names.push_back({i, &m.functions[i].debugName});
+    }
+
+    // Drop any existing name section.
+    std::erase_if(m.customs, [](const CustomSection &c) {
+        return c.name == "name";
+    });
+    if (names.empty())
+        return;
+
+    std::vector<uint8_t> payload;
+    // Subsection 1: function names.
+    std::vector<uint8_t> sub;
+    encodeULEB(sub, names.size());
+    for (auto [idx, name] : names) {
+        encodeULEB(sub, idx);
+        encodeULEB(sub, name->size());
+        sub.insert(sub.end(), name->begin(), name->end());
+    }
+    payload.push_back(1);
+    encodeULEB(payload, sub.size());
+    payload.insert(payload.end(), sub.begin(), sub.end());
+
+    m.customs.push_back({"name", std::move(payload)});
+}
+
+std::string
+functionName(const Module &m, uint32_t func_idx)
+{
+    if (func_idx < m.functions.size()) {
+        const Function &f = m.functions[func_idx];
+        if (!f.debugName.empty())
+            return f.debugName;
+        if (!f.exportNames.empty())
+            return f.exportNames.front();
+        if (f.imported())
+            return f.import->module + "." + f.import->name;
+    }
+    return "f" + std::to_string(func_idx);
+}
+
+} // namespace wasabi::wasm

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Support for the standard "name" custom section: decoding function
+ * names into Function::debugName and re-encoding them. Wasabi keeps
+ * names across instrumentation so analyses can report human-readable
+ * function names (e.g. the paper's Figure 2 `func_name(loc.func)`).
+ */
+
+#ifndef WASABI_WASM_NAME_SECTION_H
+#define WASABI_WASM_NAME_SECTION_H
+
+#include "wasm/module.h"
+
+namespace wasabi::wasm {
+
+/**
+ * Parse the "name" custom section of @p m (if present) and fill
+ * Function::debugName for named functions. Returns the number of
+ * function names applied. Unknown subsections are ignored, as the
+ * spec requires. Malformed name payloads are ignored rather than
+ * rejected (they are non-semantic).
+ */
+size_t applyNameSection(Module &m);
+
+/**
+ * Build (or replace) the "name" custom section from the module's
+ * debugNames. Functions with empty debugName are omitted. If no
+ * function has a name, any existing name section is removed.
+ */
+void buildNameSection(Module &m);
+
+/** Best-effort human-readable name of a function: debug name, first
+ * export name, or "f<idx>". */
+std::string functionName(const Module &m, uint32_t func_idx);
+
+} // namespace wasabi::wasm
+
+#endif // WASABI_WASM_NAME_SECTION_H

@@ -1,0 +1,357 @@
+#include "wasm/opcode.h"
+
+#include <array>
+
+namespace wasabi::wasm {
+
+namespace {
+
+using enum ValType;
+
+struct Table {
+    std::array<OpInfo, 256> info{};
+    std::vector<Opcode> all;
+
+    void
+    set(Opcode op, const char *nm, ImmKind imm, OpClass cls, int8_t nin,
+        ValType in0, ValType in1, int8_t nout, ValType out)
+    {
+        OpInfo &e = info[static_cast<uint8_t>(op)];
+        e.name = nm;
+        e.imm = imm;
+        e.cls = cls;
+        e.numIn = nin;
+        e.in[0] = in0;
+        e.in[1] = in1;
+        e.numOut = nout;
+        e.out = out;
+        all.push_back(op);
+    }
+
+    /// Structural / polymorphic instruction (no fixed signature).
+    void
+    ctl(Opcode op, const char *nm, ImmKind imm, OpClass cls)
+    {
+        set(op, nm, imm, cls, -1, I32, I32, -1, I32);
+    }
+
+    /// Unary operation with fixed input/output types.
+    void
+    un(Opcode op, const char *nm, ValType in, ValType out)
+    {
+        set(op, nm, ImmKind::None, OpClass::Unary, 1, in, in, 1, out);
+    }
+
+    /// Binary operation [t, t] -> [out].
+    void
+    bin(Opcode op, const char *nm, ValType t, ValType out)
+    {
+        set(op, nm, ImmKind::None, OpClass::Binary, 2, t, t, 1, out);
+    }
+
+    /// Memory load [i32] -> [t].
+    void
+    load(Opcode op, const char *nm, ValType t)
+    {
+        set(op, nm, ImmKind::Mem, OpClass::Load, 1, I32, I32, 1, t);
+    }
+
+    /// Memory store [i32, t] -> [].
+    void
+    store(Opcode op, const char *nm, ValType t)
+    {
+        set(op, nm, ImmKind::Mem, OpClass::Store, 2, I32, t, 0, I32);
+    }
+
+    /// Constant [] -> [t].
+    void
+    cst(Opcode op, const char *nm, ImmKind imm, ValType t)
+    {
+        set(op, nm, imm, OpClass::Const, 0, I32, I32, 1, t);
+    }
+
+    Table();
+};
+
+Table::Table()
+{
+    using O = Opcode;
+    using I = ImmKind;
+    using C = OpClass;
+
+    ctl(O::Unreachable, "unreachable", I::None, C::Unreachable);
+    ctl(O::Nop, "nop", I::None, C::Nop);
+    ctl(O::Block, "block", I::BlockType, C::Block);
+    ctl(O::Loop, "loop", I::BlockType, C::Loop);
+    ctl(O::If, "if", I::BlockType, C::If);
+    ctl(O::Else, "else", I::None, C::Else);
+    ctl(O::End, "end", I::None, C::End);
+    ctl(O::Br, "br", I::Label, C::Br);
+    ctl(O::BrIf, "br_if", I::Label, C::BrIf);
+    ctl(O::BrTable, "br_table", I::BrTableImm, C::BrTable);
+    ctl(O::Return, "return", I::None, C::Return);
+    ctl(O::Call, "call", I::Func, C::Call);
+    ctl(O::CallIndirect, "call_indirect", I::CallInd, C::CallIndirect);
+
+    ctl(O::Drop, "drop", I::None, C::Drop);
+    ctl(O::Select, "select", I::None, C::Select);
+
+    ctl(O::LocalGet, "local.get", I::Local, C::LocalGet);
+    ctl(O::LocalSet, "local.set", I::Local, C::LocalSet);
+    ctl(O::LocalTee, "local.tee", I::Local, C::LocalTee);
+    ctl(O::GlobalGet, "global.get", I::Global, C::GlobalGet);
+    ctl(O::GlobalSet, "global.set", I::Global, C::GlobalSet);
+
+    load(O::I32Load, "i32.load", I32);
+    load(O::I64Load, "i64.load", I64);
+    load(O::F32Load, "f32.load", F32);
+    load(O::F64Load, "f64.load", F64);
+    load(O::I32Load8S, "i32.load8_s", I32);
+    load(O::I32Load8U, "i32.load8_u", I32);
+    load(O::I32Load16S, "i32.load16_s", I32);
+    load(O::I32Load16U, "i32.load16_u", I32);
+    load(O::I64Load8S, "i64.load8_s", I64);
+    load(O::I64Load8U, "i64.load8_u", I64);
+    load(O::I64Load16S, "i64.load16_s", I64);
+    load(O::I64Load16U, "i64.load16_u", I64);
+    load(O::I64Load32S, "i64.load32_s", I64);
+    load(O::I64Load32U, "i64.load32_u", I64);
+    store(O::I32Store, "i32.store", I32);
+    store(O::I64Store, "i64.store", I64);
+    store(O::F32Store, "f32.store", F32);
+    store(O::F64Store, "f64.store", F64);
+    store(O::I32Store8, "i32.store8", I32);
+    store(O::I32Store16, "i32.store16", I32);
+    store(O::I64Store8, "i64.store8", I64);
+    store(O::I64Store16, "i64.store16", I64);
+    store(O::I64Store32, "i64.store32", I64);
+    set(O::MemorySize, "memory.size", I::MemIdx, C::MemorySize,
+        0, I32, I32, 1, I32);
+    set(O::MemoryGrow, "memory.grow", I::MemIdx, C::MemoryGrow,
+        1, I32, I32, 1, I32);
+
+    cst(O::I32Const, "i32.const", I::I32, I32);
+    cst(O::I64Const, "i64.const", I::I64, I64);
+    cst(O::F32Const, "f32.const", I::F32, F32);
+    cst(O::F64Const, "f64.const", I::F64, F64);
+
+    un(O::I32Eqz, "i32.eqz", I32, I32);
+    bin(O::I32Eq, "i32.eq", I32, I32);
+    bin(O::I32Ne, "i32.ne", I32, I32);
+    bin(O::I32LtS, "i32.lt_s", I32, I32);
+    bin(O::I32LtU, "i32.lt_u", I32, I32);
+    bin(O::I32GtS, "i32.gt_s", I32, I32);
+    bin(O::I32GtU, "i32.gt_u", I32, I32);
+    bin(O::I32LeS, "i32.le_s", I32, I32);
+    bin(O::I32LeU, "i32.le_u", I32, I32);
+    bin(O::I32GeS, "i32.ge_s", I32, I32);
+    bin(O::I32GeU, "i32.ge_u", I32, I32);
+    un(O::I64Eqz, "i64.eqz", I64, I32);
+    bin(O::I64Eq, "i64.eq", I64, I32);
+    bin(O::I64Ne, "i64.ne", I64, I32);
+    bin(O::I64LtS, "i64.lt_s", I64, I32);
+    bin(O::I64LtU, "i64.lt_u", I64, I32);
+    bin(O::I64GtS, "i64.gt_s", I64, I32);
+    bin(O::I64GtU, "i64.gt_u", I64, I32);
+    bin(O::I64LeS, "i64.le_s", I64, I32);
+    bin(O::I64LeU, "i64.le_u", I64, I32);
+    bin(O::I64GeS, "i64.ge_s", I64, I32);
+    bin(O::I64GeU, "i64.ge_u", I64, I32);
+    bin(O::F32Eq, "f32.eq", F32, I32);
+    bin(O::F32Ne, "f32.ne", F32, I32);
+    bin(O::F32Lt, "f32.lt", F32, I32);
+    bin(O::F32Gt, "f32.gt", F32, I32);
+    bin(O::F32Le, "f32.le", F32, I32);
+    bin(O::F32Ge, "f32.ge", F32, I32);
+    bin(O::F64Eq, "f64.eq", F64, I32);
+    bin(O::F64Ne, "f64.ne", F64, I32);
+    bin(O::F64Lt, "f64.lt", F64, I32);
+    bin(O::F64Gt, "f64.gt", F64, I32);
+    bin(O::F64Le, "f64.le", F64, I32);
+    bin(O::F64Ge, "f64.ge", F64, I32);
+
+    un(O::I32Clz, "i32.clz", I32, I32);
+    un(O::I32Ctz, "i32.ctz", I32, I32);
+    un(O::I32Popcnt, "i32.popcnt", I32, I32);
+    bin(O::I32Add, "i32.add", I32, I32);
+    bin(O::I32Sub, "i32.sub", I32, I32);
+    bin(O::I32Mul, "i32.mul", I32, I32);
+    bin(O::I32DivS, "i32.div_s", I32, I32);
+    bin(O::I32DivU, "i32.div_u", I32, I32);
+    bin(O::I32RemS, "i32.rem_s", I32, I32);
+    bin(O::I32RemU, "i32.rem_u", I32, I32);
+    bin(O::I32And, "i32.and", I32, I32);
+    bin(O::I32Or, "i32.or", I32, I32);
+    bin(O::I32Xor, "i32.xor", I32, I32);
+    bin(O::I32Shl, "i32.shl", I32, I32);
+    bin(O::I32ShrS, "i32.shr_s", I32, I32);
+    bin(O::I32ShrU, "i32.shr_u", I32, I32);
+    bin(O::I32Rotl, "i32.rotl", I32, I32);
+    bin(O::I32Rotr, "i32.rotr", I32, I32);
+    un(O::I64Clz, "i64.clz", I64, I64);
+    un(O::I64Ctz, "i64.ctz", I64, I64);
+    un(O::I64Popcnt, "i64.popcnt", I64, I64);
+    bin(O::I64Add, "i64.add", I64, I64);
+    bin(O::I64Sub, "i64.sub", I64, I64);
+    bin(O::I64Mul, "i64.mul", I64, I64);
+    bin(O::I64DivS, "i64.div_s", I64, I64);
+    bin(O::I64DivU, "i64.div_u", I64, I64);
+    bin(O::I64RemS, "i64.rem_s", I64, I64);
+    bin(O::I64RemU, "i64.rem_u", I64, I64);
+    bin(O::I64And, "i64.and", I64, I64);
+    bin(O::I64Or, "i64.or", I64, I64);
+    bin(O::I64Xor, "i64.xor", I64, I64);
+    bin(O::I64Shl, "i64.shl", I64, I64);
+    bin(O::I64ShrS, "i64.shr_s", I64, I64);
+    bin(O::I64ShrU, "i64.shr_u", I64, I64);
+    bin(O::I64Rotl, "i64.rotl", I64, I64);
+    bin(O::I64Rotr, "i64.rotr", I64, I64);
+    un(O::F32Abs, "f32.abs", F32, F32);
+    un(O::F32Neg, "f32.neg", F32, F32);
+    un(O::F32Ceil, "f32.ceil", F32, F32);
+    un(O::F32Floor, "f32.floor", F32, F32);
+    un(O::F32Trunc, "f32.trunc", F32, F32);
+    un(O::F32Nearest, "f32.nearest", F32, F32);
+    un(O::F32Sqrt, "f32.sqrt", F32, F32);
+    bin(O::F32Add, "f32.add", F32, F32);
+    bin(O::F32Sub, "f32.sub", F32, F32);
+    bin(O::F32Mul, "f32.mul", F32, F32);
+    bin(O::F32Div, "f32.div", F32, F32);
+    bin(O::F32Min, "f32.min", F32, F32);
+    bin(O::F32Max, "f32.max", F32, F32);
+    bin(O::F32Copysign, "f32.copysign", F32, F32);
+    un(O::F64Abs, "f64.abs", F64, F64);
+    un(O::F64Neg, "f64.neg", F64, F64);
+    un(O::F64Ceil, "f64.ceil", F64, F64);
+    un(O::F64Floor, "f64.floor", F64, F64);
+    un(O::F64Trunc, "f64.trunc", F64, F64);
+    un(O::F64Nearest, "f64.nearest", F64, F64);
+    un(O::F64Sqrt, "f64.sqrt", F64, F64);
+    bin(O::F64Add, "f64.add", F64, F64);
+    bin(O::F64Sub, "f64.sub", F64, F64);
+    bin(O::F64Mul, "f64.mul", F64, F64);
+    bin(O::F64Div, "f64.div", F64, F64);
+    bin(O::F64Min, "f64.min", F64, F64);
+    bin(O::F64Max, "f64.max", F64, F64);
+    bin(O::F64Copysign, "f64.copysign", F64, F64);
+
+    un(O::I32WrapI64, "i32.wrap_i64", I64, I32);
+    un(O::I32TruncF32S, "i32.trunc_f32_s", F32, I32);
+    un(O::I32TruncF32U, "i32.trunc_f32_u", F32, I32);
+    un(O::I32TruncF64S, "i32.trunc_f64_s", F64, I32);
+    un(O::I32TruncF64U, "i32.trunc_f64_u", F64, I32);
+    un(O::I64ExtendI32S, "i64.extend_i32_s", I32, I64);
+    un(O::I64ExtendI32U, "i64.extend_i32_u", I32, I64);
+    un(O::I64TruncF32S, "i64.trunc_f32_s", F32, I64);
+    un(O::I64TruncF32U, "i64.trunc_f32_u", F32, I64);
+    un(O::I64TruncF64S, "i64.trunc_f64_s", F64, I64);
+    un(O::I64TruncF64U, "i64.trunc_f64_u", F64, I64);
+    un(O::F32ConvertI32S, "f32.convert_i32_s", I32, F32);
+    un(O::F32ConvertI32U, "f32.convert_i32_u", I32, F32);
+    un(O::F32ConvertI64S, "f32.convert_i64_s", I64, F32);
+    un(O::F32ConvertI64U, "f32.convert_i64_u", I64, F32);
+    un(O::F32DemoteF64, "f32.demote_f64", F64, F32);
+    un(O::F64ConvertI32S, "f64.convert_i32_s", I32, F64);
+    un(O::F64ConvertI32U, "f64.convert_i32_u", I32, F64);
+    un(O::F64ConvertI64S, "f64.convert_i64_s", I64, F64);
+    un(O::F64ConvertI64U, "f64.convert_i64_u", I64, F64);
+    un(O::F64PromoteF32, "f64.promote_f32", F32, F64);
+    un(O::I32ReinterpretF32, "i32.reinterpret_f32", F32, I32);
+    un(O::I64ReinterpretF64, "i64.reinterpret_f64", F64, I64);
+    un(O::F32ReinterpretI32, "f32.reinterpret_i32", I32, F32);
+    un(O::F64ReinterpretI64, "f64.reinterpret_i64", I64, F64);
+}
+
+const Table &
+table()
+{
+    static const Table t;
+    return t;
+}
+
+} // namespace
+
+const OpInfo &
+opInfo(Opcode op)
+{
+    return table().info[static_cast<uint8_t>(op)];
+}
+
+const OpInfo &
+opInfoByte(uint8_t byte)
+{
+    return table().info[byte];
+}
+
+const char *
+name(Opcode op)
+{
+    const OpInfo &i = opInfo(op);
+    return i.valid() ? i.name : "";
+}
+
+const std::vector<Opcode> &
+allOpcodes()
+{
+    return table().all;
+}
+
+bool
+isBlockStart(Opcode op)
+{
+    OpClass c = opInfo(op).cls;
+    return c == OpClass::Block || c == OpClass::Loop || c == OpClass::If;
+}
+
+bool
+isBranch(Opcode op)
+{
+    OpClass c = opInfo(op).cls;
+    return c == OpClass::Br || c == OpClass::BrIf || c == OpClass::BrTable;
+}
+
+bool
+isNumeric(Opcode op)
+{
+    OpClass c = opInfo(op).cls;
+    return c == OpClass::Const || c == OpClass::Unary ||
+        c == OpClass::Binary;
+}
+
+size_t
+memAccessBytes(Opcode op)
+{
+    switch (op) {
+      case Opcode::I32Load8S:
+      case Opcode::I32Load8U:
+      case Opcode::I64Load8S:
+      case Opcode::I64Load8U:
+      case Opcode::I32Store8:
+      case Opcode::I64Store8:
+        return 1;
+      case Opcode::I32Load16S:
+      case Opcode::I32Load16U:
+      case Opcode::I64Load16S:
+      case Opcode::I64Load16U:
+      case Opcode::I32Store16:
+      case Opcode::I64Store16:
+        return 2;
+      case Opcode::I32Load:
+      case Opcode::F32Load:
+      case Opcode::I64Load32S:
+      case Opcode::I64Load32U:
+      case Opcode::I32Store:
+      case Opcode::F32Store:
+      case Opcode::I64Store32:
+        return 4;
+      case Opcode::I64Load:
+      case Opcode::F64Load:
+      case Opcode::I64Store:
+      case Opcode::F64Store:
+        return 8;
+      default:
+        return 0; // not a memory access
+    }
+}
+
+} // namespace wasabi::wasm

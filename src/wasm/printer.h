@@ -1,0 +1,27 @@
+/**
+ * @file
+ * WAT-style text rendering of modules, functions and instructions,
+ * mainly for debugging, tests and example output.
+ */
+
+#ifndef WASABI_WASM_PRINTER_H
+#define WASABI_WASM_PRINTER_H
+
+#include <string>
+
+#include "wasm/module.h"
+
+namespace wasabi::wasm {
+
+/** Render one instruction, e.g. "i32.const 42" or "br_table 0 1 2". */
+std::string toString(const Instr &instr);
+
+/** Render a function (header, locals and indented body). */
+std::string toString(const Module &m, uint32_t func_idx);
+
+/** Render a whole module. */
+std::string toString(const Module &m);
+
+} // namespace wasabi::wasm
+
+#endif // WASABI_WASM_PRINTER_H

@@ -1,0 +1,89 @@
+#include "wasm/types.h"
+
+#include <sstream>
+
+namespace wasabi::wasm {
+
+const char *
+name(ValType t)
+{
+    switch (t) {
+      case ValType::I32: return "i32";
+      case ValType::I64: return "i64";
+      case ValType::F32: return "f32";
+      case ValType::F64: return "f64";
+    }
+    return "?";
+}
+
+uint8_t
+binaryByte(ValType t)
+{
+    switch (t) {
+      case ValType::I32: return 0x7F;
+      case ValType::I64: return 0x7E;
+      case ValType::F32: return 0x7D;
+      case ValType::F64: return 0x7C;
+    }
+    return 0;
+}
+
+std::optional<ValType>
+valTypeFromByte(uint8_t b)
+{
+    switch (b) {
+      case 0x7F: return ValType::I32;
+      case 0x7E: return ValType::I64;
+      case 0x7D: return ValType::F32;
+      case 0x7C: return ValType::F64;
+      default: return std::nullopt;
+    }
+}
+
+double
+Value::toDouble() const
+{
+    switch (type) {
+      case ValType::I32: return static_cast<double>(i32s());
+      case ValType::I64: return static_cast<double>(i64s());
+      case ValType::F32: return static_cast<double>(f32());
+      case ValType::F64: return f64();
+    }
+    return 0.0;
+}
+
+std::string
+toString(const Value &v)
+{
+    std::ostringstream os;
+    os << name(v.type) << ":";
+    switch (v.type) {
+      case ValType::I32: os << v.i32(); break;
+      case ValType::I64: os << v.i64(); break;
+      case ValType::F32: os << v.f32(); break;
+      case ValType::F64: os << v.f64(); break;
+    }
+    return os.str();
+}
+
+std::string
+toString(const FuncType &t)
+{
+    std::ostringstream os;
+    os << "[";
+    for (size_t i = 0; i < t.params.size(); ++i) {
+        if (i > 0)
+            os << " ";
+        os << name(t.params[i]);
+    }
+    os << "] -> [";
+    for (size_t i = 0; i < t.results.size(); ++i) {
+        if (i > 0)
+            os << " ";
+        os << name(t.results[i]);
+    }
+    os << "]";
+    return os.str();
+}
+
+} // namespace wasabi::wasm

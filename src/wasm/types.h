@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Core value and function types of WebAssembly (MVP), plus the runtime
+ * Value representation shared by the validator, interpreter and the
+ * Wasabi analysis API.
+ */
+
+#ifndef WASABI_WASM_TYPES_H
+#define WASABI_WASM_TYPES_H
+
+#include <bit>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace wasabi::wasm {
+
+/** The four primitive WebAssembly value types. */
+enum class ValType : uint8_t {
+    I32 = 0,
+    I64 = 1,
+    F32 = 2,
+    F64 = 3,
+};
+
+/** Number of distinct value types (useful for per-type tables). */
+inline constexpr int kNumValTypes = 4;
+
+/** Short textual name, e.g. "i32". */
+const char *name(ValType t);
+
+/** Binary-format encoding byte (0x7F..0x7C). */
+uint8_t binaryByte(ValType t);
+
+/** Decode a binary-format value type byte; nullopt if invalid. */
+std::optional<ValType> valTypeFromByte(uint8_t b);
+
+/** True for i32/i64. */
+inline bool
+isInt(ValType t)
+{
+    return t == ValType::I32 || t == ValType::I64;
+}
+
+/** True for f32/f64. */
+inline bool
+isFloat(ValType t)
+{
+    return !isInt(t);
+}
+
+/**
+ * A runtime WebAssembly value. The payload is stored as raw bits so
+ * that equality and hashing are exact even for NaN floats, which is
+ * required by the differential (original vs. instrumented) tests.
+ */
+struct Value {
+    ValType type = ValType::I32;
+    uint64_t bits = 0;
+
+    Value() = default;
+
+    Value(ValType t, uint64_t raw_bits) : type(t), bits(raw_bits) {}
+
+    static Value
+    makeI32(uint32_t v)
+    {
+        return Value(ValType::I32, v);
+    }
+
+    static Value
+    makeI64(uint64_t v)
+    {
+        return Value(ValType::I64, v);
+    }
+
+    static Value
+    makeF32(float v)
+    {
+        return Value(ValType::F32, std::bit_cast<uint32_t>(v));
+    }
+
+    static Value
+    makeF64(double v)
+    {
+        return Value(ValType::F64, std::bit_cast<uint64_t>(v));
+    }
+
+    /** Zero value of the given type (Wasm default for locals). */
+    static Value
+    zero(ValType t)
+    {
+        return Value(t, 0);
+    }
+
+    uint32_t i32() const { return static_cast<uint32_t>(bits); }
+    int32_t i32s() const { return static_cast<int32_t>(i32()); }
+    uint64_t i64() const { return bits; }
+    int64_t i64s() const { return static_cast<int64_t>(bits); }
+    float f32() const { return std::bit_cast<float>(i32()); }
+    double f64() const { return std::bit_cast<double>(bits); }
+
+    /** Numeric payload as double, for analyses that aggregate values. */
+    double toDouble() const;
+
+    bool operator==(const Value &other) const = default;
+};
+
+/** Human-readable rendering, e.g. "i32:42" or "f64:3.5". */
+std::string toString(const Value &v);
+
+/** A function type: params -> results. */
+struct FuncType {
+    std::vector<ValType> params;
+    std::vector<ValType> results;
+
+    FuncType() = default;
+
+    FuncType(std::vector<ValType> p, std::vector<ValType> r)
+        : params(std::move(p)), results(std::move(r))
+    {
+    }
+
+    bool operator==(const FuncType &other) const = default;
+};
+
+/** Human-readable rendering, e.g. "[i32 f64] -> [i32]". */
+std::string toString(const FuncType &t);
+
+/** Size limits of a table or memory (in entries / 64 KiB pages). */
+struct Limits {
+    uint32_t min = 0;
+    std::optional<uint32_t> max;
+
+    bool operator==(const Limits &other) const = default;
+};
+
+/** WebAssembly page size in bytes. */
+inline constexpr uint32_t kPageSize = 65536;
+
+} // namespace wasabi::wasm
+
+#endif // WASABI_WASM_TYPES_H

@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Shared emission helpers for the PolyBench kernel builders: array
+ * layout in linear memory, address computation, counted and dynamic
+ * loops, deterministic initializers and checksums. All arrays are f64
+ * unless the i32 variants are used (floyd-warshall, nussinov).
+ */
+
+#ifndef WASABI_WORKLOADS_KERNEL_UTIL_H
+#define WASABI_WORKLOADS_KERNEL_UTIL_H
+
+#include <functional>
+
+#include "wasm/builder.h"
+
+namespace wasabi::workloads {
+
+/**
+ * Kernel builder: wraps a FunctionBuilder with PolyBench-style
+ * helpers. One KB instance drives the whole `kernel` function of one
+ * benchmark. Loop variables are i32 locals; floating state is f64.
+ */
+struct KB {
+    wasm::FunctionBuilder &f;
+    /** Problem size N (arrays are N, NxN or NxNxN). */
+    int n;
+    /** Next free byte offset in linear memory. */
+    uint32_t nextOffset = 64;
+
+    KB(wasm::FunctionBuilder &fb, int size) : f(fb), n(size) {}
+
+    // ----- array allocation (byte offsets) ---------------------------
+
+    uint32_t
+    alloc(uint32_t elems, uint32_t elem_size = 8)
+    {
+        uint32_t base = nextOffset;
+        nextOffset += elems * elem_size;
+        return base;
+    }
+
+    uint32_t arr1() { return alloc(n); }
+    uint32_t arr2() { return alloc(n * n); }
+    uint32_t arr3() { return alloc(n * n * n); }
+    uint32_t arr1i() { return alloc(n, 4); }
+    uint32_t arr2i() { return alloc(n * n, 4); }
+
+    // ----- locals -----------------------------------------------------
+
+    uint32_t ilocal() { return f.addLocal(wasm::ValType::I32); }
+    uint32_t flocal() { return f.addLocal(wasm::ValType::F64); }
+
+    // ----- loops -------------------------------------------------------
+
+    /** for (var = from; var < to; ++var) body(); */
+    void
+    loop(uint32_t var, int from, int to, const std::function<void()> &body)
+    {
+        f.forLoop(var, from, to, body);
+    }
+
+    /**
+     * Fully dynamic loop: for (var = <push_from()>; var < <push_to()>;
+     * ++var) body(). push_from/push_to must each push one i32.
+     */
+    void
+    loopDyn(uint32_t var, const std::function<void()> &push_from,
+            const std::function<void()> &push_to,
+            const std::function<void()> &body)
+    {
+        push_from();
+        f.localSet(var);
+        f.block();
+        f.loop();
+        f.localGet(var);
+        push_to();
+        f.op(wasm::Opcode::I32GeS);
+        f.brIf(1);
+        body();
+        f.localGet(var);
+        f.i32Const(1);
+        f.op(wasm::Opcode::I32Add);
+        f.localSet(var);
+        f.br(0);
+        f.end();
+        f.end();
+    }
+
+    /** for (var = from_local; var < n; ...) — common triangular form. */
+    void
+    loopFrom(uint32_t var, uint32_t from_local,
+             const std::function<void()> &body)
+    {
+        loopDyn(
+            var, [&] { f.localGet(from_local); },
+            [&] { f.i32Const(n); }, body);
+    }
+
+    /** for (var = 0; var < to_local; ...) */
+    void
+    loopTo(uint32_t var, uint32_t to_local,
+           const std::function<void()> &body)
+    {
+        loopDyn(
+            var, [&] { f.i32Const(0); },
+            [&] { f.localGet(to_local); }, body);
+    }
+
+    // ----- addresses (push an i32 address) -----------------------------
+
+    void
+    addr1(uint32_t base, uint32_t iv, uint32_t elem_size = 8)
+    {
+        f.localGet(iv);
+        f.i32Const(static_cast<int32_t>(elem_size));
+        f.op(wasm::Opcode::I32Mul);
+        f.i32Const(static_cast<int32_t>(base));
+        f.op(wasm::Opcode::I32Add);
+    }
+
+    void
+    addr2(uint32_t base, uint32_t iv, uint32_t jv, uint32_t elem_size = 8)
+    {
+        f.localGet(iv);
+        f.i32Const(n);
+        f.op(wasm::Opcode::I32Mul);
+        f.localGet(jv);
+        f.op(wasm::Opcode::I32Add);
+        f.i32Const(static_cast<int32_t>(elem_size));
+        f.op(wasm::Opcode::I32Mul);
+        f.i32Const(static_cast<int32_t>(base));
+        f.op(wasm::Opcode::I32Add);
+    }
+
+    void
+    addr3(uint32_t base, uint32_t iv, uint32_t jv, uint32_t kv)
+    {
+        f.localGet(iv);
+        f.i32Const(n);
+        f.op(wasm::Opcode::I32Mul);
+        f.localGet(jv);
+        f.op(wasm::Opcode::I32Add);
+        f.i32Const(n);
+        f.op(wasm::Opcode::I32Mul);
+        f.localGet(kv);
+        f.op(wasm::Opcode::I32Add);
+        f.i32Const(8);
+        f.op(wasm::Opcode::I32Mul);
+        f.i32Const(static_cast<int32_t>(base));
+        f.op(wasm::Opcode::I32Add);
+    }
+
+    // ----- loads (push an f64/i32 value) --------------------------------
+
+    void load1(uint32_t base, uint32_t iv) { addr1(base, iv); f.f64Load(); }
+    void
+    load2(uint32_t base, uint32_t iv, uint32_t jv)
+    {
+        addr2(base, iv, jv);
+        f.f64Load();
+    }
+    void
+    load3(uint32_t base, uint32_t iv, uint32_t jv, uint32_t kv)
+    {
+        addr3(base, iv, jv, kv);
+        f.f64Load();
+    }
+    void
+    load2i(uint32_t base, uint32_t iv, uint32_t jv)
+    {
+        addr2(base, iv, jv, 4);
+        f.i32Load();
+    }
+    void
+    load1i(uint32_t base, uint32_t iv)
+    {
+        addr1(base, iv, 4);
+        f.i32Load();
+    }
+
+    // Stores: push the address with addrN, push the value, then:
+    void store() { f.f64Store(); }
+    void storei() { f.i32Store(); }
+
+    // ----- constants and conversions ------------------------------------
+
+    void c(double v) { f.f64Const(v); }
+
+    /** Convert the i32 on the stack top to f64. */
+    void toF64() { f.op(wasm::Opcode::F64ConvertI32S); }
+
+    // ----- deterministic initializers ------------------------------------
+
+    /** Push ((i*mi + j*mj + add) % n) / n as f64 (uses locals iv, jv). */
+    void
+    valIJ(uint32_t iv, uint32_t jv, int mi = 1, int mj = 1, int add = 1)
+    {
+        f.localGet(iv);
+        f.i32Const(mi);
+        f.op(wasm::Opcode::I32Mul);
+        f.localGet(jv);
+        f.i32Const(mj);
+        f.op(wasm::Opcode::I32Mul);
+        f.op(wasm::Opcode::I32Add);
+        f.i32Const(add);
+        f.op(wasm::Opcode::I32Add);
+        f.i32Const(n);
+        f.op(wasm::Opcode::I32RemS);
+        toF64();
+        c(static_cast<double>(n));
+        f.op(wasm::Opcode::F64Div);
+    }
+
+    /** A[i][j] = ((i*mi + j*mj + add) % n) / n for all i, j. */
+    void
+    init2(uint32_t base, uint32_t iv, uint32_t jv, int mi = 1, int mj = 1,
+          int add = 1)
+    {
+        loop(iv, 0, n, [&] {
+            loop(jv, 0, n, [&] {
+                addr2(base, iv, jv);
+                valIJ(iv, jv, mi, mj, add);
+                store();
+            });
+        });
+    }
+
+    /** x[i] = ((i*mi + add) % n) / n for all i. */
+    void
+    init1(uint32_t base, uint32_t iv, int mi = 1, int add = 1)
+    {
+        loop(iv, 0, n, [&] {
+            addr1(base, iv);
+            f.localGet(iv);
+            f.i32Const(mi);
+            f.op(wasm::Opcode::I32Mul);
+            f.i32Const(add);
+            f.op(wasm::Opcode::I32Add);
+            f.i32Const(n);
+            f.op(wasm::Opcode::I32RemS);
+            toF64();
+            c(static_cast<double>(n));
+            f.op(wasm::Opcode::F64Div);
+            store();
+        });
+    }
+
+    /** Make the diagonal of A dominant: A[i][i] += bump (for solvers). */
+    void
+    dominantDiag(uint32_t base, uint32_t iv, double bump)
+    {
+        loop(iv, 0, n, [&] {
+            addr2(base, iv, iv);
+            load2(base, iv, iv);
+            c(bump);
+            f.op(wasm::Opcode::F64Add);
+            store();
+        });
+    }
+
+    // ----- checksums -----------------------------------------------------
+
+    /** acc += sum of 1-D array. */
+    void
+    sum1(uint32_t base, uint32_t iv, uint32_t acc)
+    {
+        loop(iv, 0, n, [&] {
+            f.localGet(acc);
+            load1(base, iv);
+            f.op(wasm::Opcode::F64Add);
+            f.localSet(acc);
+        });
+    }
+
+    /** acc += sum of 2-D array. */
+    void
+    sum2(uint32_t base, uint32_t iv, uint32_t jv, uint32_t acc)
+    {
+        loop(iv, 0, n, [&] {
+            loop(jv, 0, n, [&] {
+                f.localGet(acc);
+                load2(base, iv, jv);
+                f.op(wasm::Opcode::F64Add);
+                f.localSet(acc);
+            });
+        });
+    }
+
+    /** acc += sum of 2-D i32 array (converted). */
+    void
+    sum2i(uint32_t base, uint32_t iv, uint32_t jv, uint32_t acc)
+    {
+        loop(iv, 0, n, [&] {
+            loop(jv, 0, n, [&] {
+                f.localGet(acc);
+                load2i(base, iv, jv);
+                toF64();
+                f.op(wasm::Opcode::F64Add);
+                f.localSet(acc);
+            });
+        });
+    }
+};
+
+} // namespace wasabi::workloads
+
+#endif // WASABI_WORKLOADS_KERNEL_UTIL_H

@@ -1,0 +1,101 @@
+#include "workloads/polybench.h"
+
+#include <stdexcept>
+
+#include "workloads/polybench_internal.h"
+
+namespace wasabi::workloads {
+
+namespace {
+
+struct KernelEntry {
+    const char *name;
+    KernelEmitter emit;
+};
+
+const KernelEntry kKernels[] = {
+    {"correlation", emitCorrelation},
+    {"covariance", emitCovariance},
+    {"gemm", emitGemm},
+    {"gemver", emitGemver},
+    {"gesummv", emitGesummv},
+    {"symm", emitSymm},
+    {"syr2k", emitSyr2k},
+    {"syrk", emitSyrk},
+    {"trmm", emitTrmm},
+    {"2mm", emit2mm},
+    {"3mm", emit3mm},
+    {"atax", emitAtax},
+    {"bicg", emitBicg},
+    {"doitgen", emitDoitgen},
+    {"mvt", emitMvt},
+    {"cholesky", emitCholesky},
+    {"durbin", emitDurbin},
+    {"gramschmidt", emitGramschmidt},
+    {"lu", emitLu},
+    {"ludcmp", emitLudcmp},
+    {"trisolv", emitTrisolv},
+    {"deriche", emitDeriche},
+    {"floyd-warshall", emitFloydWarshall},
+    {"nussinov", emitNussinov},
+    {"adi", emitAdi},
+    {"fdtd-2d", emitFdtd2d},
+    {"heat-3d", emitHeat3d},
+    {"jacobi-1d", emitJacobi1d},
+    {"jacobi-2d", emitJacobi2d},
+    {"seidel-2d", emitSeidel2d},
+};
+
+} // namespace
+
+const std::vector<std::string> &
+polybenchNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> v;
+        for (const KernelEntry &e : kKernels)
+            v.push_back(e.name);
+        return v;
+    }();
+    return names;
+}
+
+Workload
+polybench(const std::string &name, int n)
+{
+    const KernelEntry *entry = nullptr;
+    for (const KernelEntry &e : kKernels) {
+        if (name == e.name) {
+            entry = &e;
+            break;
+        }
+    }
+    if (entry == nullptr)
+        throw std::invalid_argument("unknown PolyBench kernel: " + name);
+
+    wasm::ModuleBuilder mb;
+    wasm::FunctionBuilder fb = mb.startFunction(
+        wasm::FuncType({}, {wasm::ValType::F64}), "kernel", name);
+    KB kb(fb, n);
+    entry->emit(kb);
+    fb.finish();
+    uint32_t pages = (kb.nextOffset + wasm::kPageSize - 1) / wasm::kPageSize;
+    mb.memory(pages, pages, "memory");
+
+    Workload w;
+    w.name = name;
+    w.module = mb.build();
+    w.entry = "kernel";
+    return w;
+}
+
+std::vector<Workload>
+polybenchSuite(int n)
+{
+    std::vector<Workload> suite;
+    for (const std::string &name : polybenchNames())
+        suite.push_back(polybench(name, n));
+    return suite;
+}
+
+} // namespace wasabi::workloads

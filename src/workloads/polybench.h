@@ -1,0 +1,37 @@
+/**
+ * @file
+ * The 30 PolyBench/C benchmarks re-implemented as WebAssembly module
+ * builders (see DESIGN.md: the paper compiles PolyBench with
+ * emscripten; offline we emit equivalent loop nests directly).
+ *
+ * Every workload exports `kernel: [] -> [f64]` which initializes its
+ * arrays deterministically in linear memory, runs the kernel, and
+ * returns a checksum over the outputs — the analogue of the paper's
+ * "output intermediate results" faithfulness check (RQ2).
+ */
+
+#ifndef WASABI_WORKLOADS_POLYBENCH_H
+#define WASABI_WORKLOADS_POLYBENCH_H
+
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace wasabi::workloads {
+
+/** Names of all 30 PolyBench benchmarks. */
+const std::vector<std::string> &polybenchNames();
+
+/**
+ * Build one PolyBench benchmark at problem size @p n (arrays are n,
+ * n*n or n*n*n elements).
+ * @throws std::invalid_argument for unknown names.
+ */
+Workload polybench(const std::string &name, int n = 20);
+
+/** Build the whole suite. */
+std::vector<Workload> polybenchSuite(int n = 20);
+
+} // namespace wasabi::workloads
+
+#endif // WASABI_WORKLOADS_POLYBENCH_H

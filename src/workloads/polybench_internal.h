@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Internal registry interface between polybench.cc and the kernel
+ * emitter translation units.
+ */
+
+#ifndef WASABI_WORKLOADS_POLYBENCH_INTERNAL_H
+#define WASABI_WORKLOADS_POLYBENCH_INTERNAL_H
+
+#include "workloads/kernel_util.h"
+
+namespace wasabi::workloads {
+
+/** Emits the complete body of one kernel: initialization, the
+ * computation loops, and finally pushes the f64 checksum. */
+using KernelEmitter = void (*)(KB &);
+
+/** Linear algebra / BLAS-style kernels (polybench_kernels_a.cc). @{ */
+void emitGemm(KB &kb);
+void emit2mm(KB &kb);
+void emit3mm(KB &kb);
+void emitAtax(KB &kb);
+void emitBicg(KB &kb);
+void emitMvt(KB &kb);
+void emitGemver(KB &kb);
+void emitGesummv(KB &kb);
+void emitSymm(KB &kb);
+void emitSyrk(KB &kb);
+void emitSyr2k(KB &kb);
+void emitTrmm(KB &kb);
+/** @} */
+
+/** Solvers and data mining (polybench_kernels_b.cc). @{ */
+void emitCholesky(KB &kb);
+void emitDurbin(KB &kb);
+void emitGramschmidt(KB &kb);
+void emitLu(KB &kb);
+void emitLudcmp(KB &kb);
+void emitTrisolv(KB &kb);
+void emitCorrelation(KB &kb);
+void emitCovariance(KB &kb);
+void emitDoitgen(KB &kb);
+void emitDeriche(KB &kb);
+/** @} */
+
+/** Stencils and medley (polybench_kernels_c.cc). @{ */
+void emitFloydWarshall(KB &kb);
+void emitNussinov(KB &kb);
+void emitAdi(KB &kb);
+void emitFdtd2d(KB &kb);
+void emitHeat3d(KB &kb);
+void emitJacobi1d(KB &kb);
+void emitJacobi2d(KB &kb);
+void emitSeidel2d(KB &kb);
+/** @} */
+
+} // namespace wasabi::workloads
+
+#endif // WASABI_WORKLOADS_POLYBENCH_INTERNAL_H

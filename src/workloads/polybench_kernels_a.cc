@@ -1,0 +1,583 @@
+/**
+ * @file
+ * PolyBench kernel emitters, part A: linear-algebra (BLAS-style)
+ * kernels. Loop structures follow PolyBench/C 4.2; scalar parameters
+ * alpha/beta are fixed constants as in the PolyBench defaults.
+ */
+
+#include "workloads/polybench_internal.h"
+
+namespace wasabi::workloads {
+
+using wasm::Opcode;
+
+namespace {
+constexpr double kAlpha = 1.5;
+constexpr double kBeta = 1.2;
+} // namespace
+
+void
+emitGemm(KB &kb)
+{
+    auto &f = kb.f;
+    uint32_t i = kb.ilocal(), j = kb.ilocal(), k = kb.ilocal();
+    uint32_t acc = kb.flocal();
+    uint32_t A = kb.arr2(), B = kb.arr2(), C = kb.arr2();
+    kb.init2(A, i, j, 1, 1, 1);
+    kb.init2(B, i, j, 1, 2, 2);
+    kb.init2(C, i, j, 2, 1, 3);
+    // C = alpha*A*B + beta*C
+    kb.loop(i, 0, kb.n, [&] {
+        kb.loop(j, 0, kb.n, [&] {
+            kb.addr2(C, i, j);
+            kb.load2(C, i, j);
+            kb.c(kBeta);
+            f.op(Opcode::F64Mul);
+            kb.store();
+            kb.loop(k, 0, kb.n, [&] {
+                kb.addr2(C, i, j);
+                kb.load2(C, i, j);
+                kb.c(kAlpha);
+                kb.load2(A, i, k);
+                f.op(Opcode::F64Mul);
+                kb.load2(B, k, j);
+                f.op(Opcode::F64Mul);
+                f.op(Opcode::F64Add);
+                kb.store();
+            });
+        });
+    });
+    kb.sum2(C, i, j, acc);
+    f.localGet(acc);
+}
+
+void
+emit2mm(KB &kb)
+{
+    auto &f = kb.f;
+    uint32_t i = kb.ilocal(), j = kb.ilocal(), k = kb.ilocal();
+    uint32_t acc = kb.flocal();
+    uint32_t A = kb.arr2(), B = kb.arr2(), C = kb.arr2(), D = kb.arr2();
+    uint32_t tmp = kb.arr2();
+    kb.init2(A, i, j, 1, 1, 1);
+    kb.init2(B, i, j, 1, 3, 2);
+    kb.init2(C, i, j, 3, 1, 1);
+    kb.init2(D, i, j, 2, 2, 2);
+    // tmp = alpha * A * B
+    kb.loop(i, 0, kb.n, [&] {
+        kb.loop(j, 0, kb.n, [&] {
+            kb.addr2(tmp, i, j);
+            kb.c(0.0);
+            kb.store();
+            kb.loop(k, 0, kb.n, [&] {
+                kb.addr2(tmp, i, j);
+                kb.load2(tmp, i, j);
+                kb.c(kAlpha);
+                kb.load2(A, i, k);
+                f.op(Opcode::F64Mul);
+                kb.load2(B, k, j);
+                f.op(Opcode::F64Mul);
+                f.op(Opcode::F64Add);
+                kb.store();
+            });
+        });
+    });
+    // D = tmp * C + beta * D
+    kb.loop(i, 0, kb.n, [&] {
+        kb.loop(j, 0, kb.n, [&] {
+            kb.addr2(D, i, j);
+            kb.load2(D, i, j);
+            kb.c(kBeta);
+            f.op(Opcode::F64Mul);
+            kb.store();
+            kb.loop(k, 0, kb.n, [&] {
+                kb.addr2(D, i, j);
+                kb.load2(D, i, j);
+                kb.load2(tmp, i, k);
+                kb.load2(C, k, j);
+                f.op(Opcode::F64Mul);
+                f.op(Opcode::F64Add);
+                kb.store();
+            });
+        });
+    });
+    kb.sum2(D, i, j, acc);
+    f.localGet(acc);
+}
+
+void
+emit3mm(KB &kb)
+{
+    auto &f = kb.f;
+    uint32_t i = kb.ilocal(), j = kb.ilocal(), k = kb.ilocal();
+    uint32_t acc = kb.flocal();
+    uint32_t A = kb.arr2(), B = kb.arr2(), C = kb.arr2(), D = kb.arr2();
+    uint32_t E = kb.arr2(), F = kb.arr2(), G = kb.arr2();
+    kb.init2(A, i, j, 1, 1, 1);
+    kb.init2(B, i, j, 1, 2, 2);
+    kb.init2(C, i, j, 3, 1, 3);
+    kb.init2(D, i, j, 2, 3, 4);
+    auto matmul = [&](uint32_t dst, uint32_t lhs, uint32_t rhs) {
+        kb.loop(i, 0, kb.n, [&] {
+            kb.loop(j, 0, kb.n, [&] {
+                kb.addr2(dst, i, j);
+                kb.c(0.0);
+                kb.store();
+                kb.loop(k, 0, kb.n, [&] {
+                    kb.addr2(dst, i, j);
+                    kb.load2(dst, i, j);
+                    kb.load2(lhs, i, k);
+                    kb.load2(rhs, k, j);
+                    f.op(Opcode::F64Mul);
+                    f.op(Opcode::F64Add);
+                    kb.store();
+                });
+            });
+        });
+    };
+    matmul(E, A, B);
+    matmul(F, C, D);
+    matmul(G, E, F);
+    kb.sum2(G, i, j, acc);
+    f.localGet(acc);
+}
+
+void
+emitAtax(KB &kb)
+{
+    auto &f = kb.f;
+    uint32_t i = kb.ilocal(), j = kb.ilocal();
+    uint32_t acc = kb.flocal();
+    uint32_t A = kb.arr2(), x = kb.arr1(), y = kb.arr1(), tmp = kb.arr1();
+    kb.init2(A, i, j, 1, 1, 1);
+    kb.init1(x, i, 1, 1);
+    kb.loop(i, 0, kb.n, [&] {
+        kb.addr1(y, i);
+        kb.c(0.0);
+        kb.store();
+    });
+    kb.loop(i, 0, kb.n, [&] {
+        kb.addr1(tmp, i);
+        kb.c(0.0);
+        kb.store();
+        kb.loop(j, 0, kb.n, [&] {
+            kb.addr1(tmp, i);
+            kb.load1(tmp, i);
+            kb.load2(A, i, j);
+            kb.load1(x, j);
+            f.op(Opcode::F64Mul);
+            f.op(Opcode::F64Add);
+            kb.store();
+        });
+        kb.loop(j, 0, kb.n, [&] {
+            kb.addr1(y, j);
+            kb.load1(y, j);
+            kb.load2(A, i, j);
+            kb.load1(tmp, i);
+            f.op(Opcode::F64Mul);
+            f.op(Opcode::F64Add);
+            kb.store();
+        });
+    });
+    kb.sum1(y, i, acc);
+    f.localGet(acc);
+}
+
+void
+emitBicg(KB &kb)
+{
+    auto &f = kb.f;
+    uint32_t i = kb.ilocal(), j = kb.ilocal();
+    uint32_t acc = kb.flocal();
+    uint32_t A = kb.arr2(), s = kb.arr1(), q = kb.arr1();
+    uint32_t p = kb.arr1(), r = kb.arr1();
+    kb.init2(A, i, j, 1, 1, 1);
+    kb.init1(p, i, 1, 1);
+    kb.init1(r, i, 2, 1);
+    kb.loop(j, 0, kb.n, [&] {
+        kb.addr1(s, j);
+        kb.c(0.0);
+        kb.store();
+    });
+    kb.loop(i, 0, kb.n, [&] {
+        kb.addr1(q, i);
+        kb.c(0.0);
+        kb.store();
+        kb.loop(j, 0, kb.n, [&] {
+            kb.addr1(s, j);
+            kb.load1(s, j);
+            kb.load1(r, i);
+            kb.load2(A, i, j);
+            f.op(Opcode::F64Mul);
+            f.op(Opcode::F64Add);
+            kb.store();
+            kb.addr1(q, i);
+            kb.load1(q, i);
+            kb.load2(A, i, j);
+            kb.load1(p, j);
+            f.op(Opcode::F64Mul);
+            f.op(Opcode::F64Add);
+            kb.store();
+        });
+    });
+    kb.sum1(s, i, acc);
+    kb.sum1(q, i, acc);
+    f.localGet(acc);
+}
+
+void
+emitMvt(KB &kb)
+{
+    auto &f = kb.f;
+    uint32_t i = kb.ilocal(), j = kb.ilocal();
+    uint32_t acc = kb.flocal();
+    uint32_t A = kb.arr2(), x1 = kb.arr1(), x2 = kb.arr1();
+    uint32_t y1 = kb.arr1(), y2 = kb.arr1();
+    kb.init2(A, i, j, 1, 1, 1);
+    kb.init1(x1, i, 1, 1);
+    kb.init1(x2, i, 2, 2);
+    kb.init1(y1, i, 3, 1);
+    kb.init1(y2, i, 4, 2);
+    kb.loop(i, 0, kb.n, [&] {
+        kb.loop(j, 0, kb.n, [&] {
+            kb.addr1(x1, i);
+            kb.load1(x1, i);
+            kb.load2(A, i, j);
+            kb.load1(y1, j);
+            f.op(Opcode::F64Mul);
+            f.op(Opcode::F64Add);
+            kb.store();
+        });
+    });
+    kb.loop(i, 0, kb.n, [&] {
+        kb.loop(j, 0, kb.n, [&] {
+            kb.addr1(x2, i);
+            kb.load1(x2, i);
+            kb.load2(A, j, i);
+            kb.load1(y2, j);
+            f.op(Opcode::F64Mul);
+            f.op(Opcode::F64Add);
+            kb.store();
+        });
+    });
+    kb.sum1(x1, i, acc);
+    kb.sum1(x2, i, acc);
+    f.localGet(acc);
+}
+
+void
+emitGemver(KB &kb)
+{
+    auto &f = kb.f;
+    uint32_t i = kb.ilocal(), j = kb.ilocal();
+    uint32_t acc = kb.flocal();
+    uint32_t A = kb.arr2();
+    uint32_t u1 = kb.arr1(), v1 = kb.arr1(), u2 = kb.arr1(),
+             v2 = kb.arr1();
+    uint32_t w = kb.arr1(), x = kb.arr1(), y = kb.arr1(), z = kb.arr1();
+    kb.init2(A, i, j, 1, 1, 1);
+    kb.init1(u1, i, 1, 1);
+    kb.init1(v1, i, 2, 1);
+    kb.init1(u2, i, 3, 2);
+    kb.init1(v2, i, 4, 3);
+    kb.init1(y, i, 5, 1);
+    kb.init1(z, i, 6, 2);
+    kb.loop(i, 0, kb.n, [&] {
+        kb.addr1(w, i);
+        kb.c(0.0);
+        kb.store();
+        kb.addr1(x, i);
+        kb.c(0.0);
+        kb.store();
+    });
+    // A += u1 v1^T + u2 v2^T
+    kb.loop(i, 0, kb.n, [&] {
+        kb.loop(j, 0, kb.n, [&] {
+            kb.addr2(A, i, j);
+            kb.load2(A, i, j);
+            kb.load1(u1, i);
+            kb.load1(v1, j);
+            f.op(Opcode::F64Mul);
+            f.op(Opcode::F64Add);
+            kb.load1(u2, i);
+            kb.load1(v2, j);
+            f.op(Opcode::F64Mul);
+            f.op(Opcode::F64Add);
+            kb.store();
+        });
+    });
+    // x = beta * A^T y + z
+    kb.loop(i, 0, kb.n, [&] {
+        kb.loop(j, 0, kb.n, [&] {
+            kb.addr1(x, i);
+            kb.load1(x, i);
+            kb.c(kBeta);
+            kb.load2(A, j, i);
+            f.op(Opcode::F64Mul);
+            kb.load1(y, j);
+            f.op(Opcode::F64Mul);
+            f.op(Opcode::F64Add);
+            kb.store();
+        });
+        kb.addr1(x, i);
+        kb.load1(x, i);
+        kb.load1(z, i);
+        f.op(Opcode::F64Add);
+        kb.store();
+    });
+    // w = alpha * A x
+    kb.loop(i, 0, kb.n, [&] {
+        kb.loop(j, 0, kb.n, [&] {
+            kb.addr1(w, i);
+            kb.load1(w, i);
+            kb.c(kAlpha);
+            kb.load2(A, i, j);
+            f.op(Opcode::F64Mul);
+            kb.load1(x, j);
+            f.op(Opcode::F64Mul);
+            f.op(Opcode::F64Add);
+            kb.store();
+        });
+    });
+    kb.sum1(w, i, acc);
+    f.localGet(acc);
+}
+
+void
+emitGesummv(KB &kb)
+{
+    auto &f = kb.f;
+    uint32_t i = kb.ilocal(), j = kb.ilocal();
+    uint32_t acc = kb.flocal();
+    uint32_t A = kb.arr2(), B = kb.arr2();
+    uint32_t x = kb.arr1(), y = kb.arr1(), tmp = kb.arr1();
+    kb.init2(A, i, j, 1, 1, 1);
+    kb.init2(B, i, j, 2, 1, 2);
+    kb.init1(x, i, 1, 1);
+    kb.loop(i, 0, kb.n, [&] {
+        kb.addr1(tmp, i);
+        kb.c(0.0);
+        kb.store();
+        kb.addr1(y, i);
+        kb.c(0.0);
+        kb.store();
+        kb.loop(j, 0, kb.n, [&] {
+            kb.addr1(tmp, i);
+            kb.load1(tmp, i);
+            kb.load2(A, i, j);
+            kb.load1(x, j);
+            f.op(Opcode::F64Mul);
+            f.op(Opcode::F64Add);
+            kb.store();
+            kb.addr1(y, i);
+            kb.load1(y, i);
+            kb.load2(B, i, j);
+            kb.load1(x, j);
+            f.op(Opcode::F64Mul);
+            f.op(Opcode::F64Add);
+            kb.store();
+        });
+        kb.addr1(y, i);
+        kb.c(kAlpha);
+        kb.load1(tmp, i);
+        f.op(Opcode::F64Mul);
+        kb.c(kBeta);
+        kb.load1(y, i);
+        f.op(Opcode::F64Mul);
+        f.op(Opcode::F64Add);
+        kb.store();
+    });
+    kb.sum1(y, i, acc);
+    f.localGet(acc);
+}
+
+void
+emitSymm(KB &kb)
+{
+    auto &f = kb.f;
+    uint32_t i = kb.ilocal(), j = kb.ilocal(), k = kb.ilocal();
+    uint32_t acc = kb.flocal(), temp2 = kb.flocal();
+    uint32_t A = kb.arr2(), B = kb.arr2(), C = kb.arr2();
+    kb.init2(A, i, j, 1, 1, 1);
+    kb.init2(B, i, j, 1, 2, 2);
+    kb.init2(C, i, j, 2, 1, 3);
+    kb.loop(i, 0, kb.n, [&] {
+        kb.loop(j, 0, kb.n, [&] {
+            f.f64Const(0.0);
+            f.localSet(temp2);
+            kb.loopTo(k, i, [&] {
+                kb.addr2(C, k, j);
+                kb.load2(C, k, j);
+                kb.c(kAlpha);
+                kb.load2(B, i, j);
+                f.op(Opcode::F64Mul);
+                kb.load2(A, i, k);
+                f.op(Opcode::F64Mul);
+                f.op(Opcode::F64Add);
+                kb.store();
+                f.localGet(temp2);
+                kb.load2(B, k, j);
+                kb.load2(A, i, k);
+                f.op(Opcode::F64Mul);
+                f.op(Opcode::F64Add);
+                f.localSet(temp2);
+            });
+            kb.addr2(C, i, j);
+            kb.c(kBeta);
+            kb.load2(C, i, j);
+            f.op(Opcode::F64Mul);
+            kb.c(kAlpha);
+            kb.load2(B, i, j);
+            f.op(Opcode::F64Mul);
+            kb.load2(A, i, i);
+            f.op(Opcode::F64Mul);
+            f.op(Opcode::F64Add);
+            kb.c(kAlpha);
+            f.localGet(temp2);
+            f.op(Opcode::F64Mul);
+            f.op(Opcode::F64Add);
+            kb.store();
+        });
+    });
+    kb.sum2(C, i, j, acc);
+    f.localGet(acc);
+}
+
+void
+emitSyrk(KB &kb)
+{
+    auto &f = kb.f;
+    uint32_t i = kb.ilocal(), j = kb.ilocal(), k = kb.ilocal();
+    uint32_t acc = kb.flocal();
+    uint32_t A = kb.arr2(), C = kb.arr2();
+    kb.init2(A, i, j, 1, 1, 1);
+    kb.init2(C, i, j, 2, 1, 2);
+    auto upto_i_incl = [&](uint32_t var, const std::function<void()> &body) {
+        kb.loopDyn(
+            var, [&] { f.i32Const(0); },
+            [&] {
+                f.localGet(i);
+                f.i32Const(1);
+                f.op(Opcode::I32Add);
+            },
+            body);
+    };
+    kb.loop(i, 0, kb.n, [&] {
+        upto_i_incl(j, [&] {
+            kb.addr2(C, i, j);
+            kb.load2(C, i, j);
+            kb.c(kBeta);
+            f.op(Opcode::F64Mul);
+            kb.store();
+        });
+        kb.loop(k, 0, kb.n, [&] {
+            upto_i_incl(j, [&] {
+                kb.addr2(C, i, j);
+                kb.load2(C, i, j);
+                kb.c(kAlpha);
+                kb.load2(A, i, k);
+                f.op(Opcode::F64Mul);
+                kb.load2(A, j, k);
+                f.op(Opcode::F64Mul);
+                f.op(Opcode::F64Add);
+                kb.store();
+            });
+        });
+    });
+    kb.sum2(C, i, j, acc);
+    f.localGet(acc);
+}
+
+void
+emitSyr2k(KB &kb)
+{
+    auto &f = kb.f;
+    uint32_t i = kb.ilocal(), j = kb.ilocal(), k = kb.ilocal();
+    uint32_t acc = kb.flocal();
+    uint32_t A = kb.arr2(), B = kb.arr2(), C = kb.arr2();
+    kb.init2(A, i, j, 1, 1, 1);
+    kb.init2(B, i, j, 1, 2, 2);
+    kb.init2(C, i, j, 2, 1, 3);
+    auto upto_i_incl = [&](uint32_t var, const std::function<void()> &body) {
+        kb.loopDyn(
+            var, [&] { f.i32Const(0); },
+            [&] {
+                f.localGet(i);
+                f.i32Const(1);
+                f.op(Opcode::I32Add);
+            },
+            body);
+    };
+    kb.loop(i, 0, kb.n, [&] {
+        upto_i_incl(j, [&] {
+            kb.addr2(C, i, j);
+            kb.load2(C, i, j);
+            kb.c(kBeta);
+            f.op(Opcode::F64Mul);
+            kb.store();
+        });
+        kb.loop(k, 0, kb.n, [&] {
+            upto_i_incl(j, [&] {
+                kb.addr2(C, i, j);
+                kb.load2(C, i, j);
+                kb.load2(A, j, k);
+                kb.c(kAlpha);
+                f.op(Opcode::F64Mul);
+                kb.load2(B, i, k);
+                f.op(Opcode::F64Mul);
+                f.op(Opcode::F64Add);
+                kb.load2(B, j, k);
+                kb.c(kAlpha);
+                f.op(Opcode::F64Mul);
+                kb.load2(A, i, k);
+                f.op(Opcode::F64Mul);
+                f.op(Opcode::F64Add);
+                kb.store();
+            });
+        });
+    });
+    kb.sum2(C, i, j, acc);
+    f.localGet(acc);
+}
+
+void
+emitTrmm(KB &kb)
+{
+    auto &f = kb.f;
+    uint32_t i = kb.ilocal(), j = kb.ilocal(), k = kb.ilocal();
+    uint32_t acc = kb.flocal();
+    uint32_t A = kb.arr2(), B = kb.arr2();
+    kb.init2(A, i, j, 1, 1, 1);
+    kb.init2(B, i, j, 1, 2, 2);
+    kb.loop(i, 0, kb.n, [&] {
+        kb.loop(j, 0, kb.n, [&] {
+            // for k = i+1 .. n
+            kb.loopDyn(
+                k,
+                [&] {
+                    f.localGet(i);
+                    f.i32Const(1);
+                    f.op(Opcode::I32Add);
+                },
+                [&] { f.i32Const(kb.n); },
+                [&] {
+                    kb.addr2(B, i, j);
+                    kb.load2(B, i, j);
+                    kb.load2(A, k, i);
+                    kb.load2(B, k, j);
+                    f.op(Opcode::F64Mul);
+                    f.op(Opcode::F64Add);
+                    kb.store();
+                });
+            kb.addr2(B, i, j);
+            kb.c(kAlpha);
+            kb.load2(B, i, j);
+            f.op(Opcode::F64Mul);
+            kb.store();
+        });
+    });
+    kb.sum2(B, i, j, acc);
+    f.localGet(acc);
+}
+
+} // namespace wasabi::workloads

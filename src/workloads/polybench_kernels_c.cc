@@ -1,0 +1,679 @@
+/**
+ * @file
+ * PolyBench kernel emitters, part C: stencils (adi, fdtd-2d, heat-3d,
+ * jacobi-1d/2d, seidel-2d) and the medley kernels (floyd-warshall,
+ * nussinov), the latter two on i32 arrays as in PolyBench.
+ */
+
+#include "workloads/polybench_internal.h"
+
+namespace wasabi::workloads {
+
+using wasm::Opcode;
+
+namespace {
+
+int
+tsteps(const KB &kb)
+{
+    return kb.n / 8 < 2 ? 2 : kb.n / 8;
+}
+
+/** dst_local = src_local + delta (i32). */
+void
+offsetLocal(KB &kb, uint32_t dst, uint32_t src, int delta)
+{
+    auto &f = kb.f;
+    f.localGet(src);
+    f.i32Const(delta);
+    f.op(Opcode::I32Add);
+    f.localSet(dst);
+}
+
+/** for (var = hi-1; var >= lo; --var) body(). */
+void
+loopDownFrom(KB &kb, uint32_t var, int hi, int lo,
+             const std::function<void()> &body)
+{
+    auto &f = kb.f;
+    f.i32Const(hi - 1);
+    f.localSet(var);
+    f.block();
+    f.loop();
+    f.localGet(var);
+    f.i32Const(lo);
+    f.op(Opcode::I32LtS);
+    f.brIf(1);
+    body();
+    f.localGet(var);
+    f.i32Const(1);
+    f.op(Opcode::I32Sub);
+    f.localSet(var);
+    f.br(0);
+    f.end();
+    f.end();
+}
+
+} // namespace
+
+void
+emitFloydWarshall(KB &kb)
+{
+    auto &f = kb.f;
+    uint32_t i = kb.ilocal(), j = kb.ilocal(), k = kb.ilocal();
+    uint32_t pa = kb.ilocal(), pb = kb.ilocal();
+    uint32_t acc = kb.flocal();
+    uint32_t path = kb.arr2i();
+    // path[i][j] = (i*j % 7 + 1), with some "infinite" edges = 999.
+    kb.loop(i, 0, kb.n, [&] {
+        kb.loop(j, 0, kb.n, [&] {
+            kb.addr2(path, i, j, 4);
+            // ((i + j) % 13 == 0) ? 999 : i*j%7 + 1
+            f.i32Const(999);
+            f.localGet(i);
+            f.localGet(j);
+            f.op(Opcode::I32Mul);
+            f.i32Const(7);
+            f.op(Opcode::I32RemS);
+            f.i32Const(1);
+            f.op(Opcode::I32Add);
+            f.localGet(i);
+            f.localGet(j);
+            f.op(Opcode::I32Add);
+            f.i32Const(13);
+            f.op(Opcode::I32RemS);
+            f.op(Opcode::I32Eqz);
+            f.select();
+            kb.storei();
+        });
+    });
+    kb.loop(k, 0, kb.n, [&] {
+        kb.loop(i, 0, kb.n, [&] {
+            kb.loop(j, 0, kb.n, [&] {
+                kb.load2i(path, i, j);
+                f.localSet(pa);
+                kb.load2i(path, i, k);
+                kb.load2i(path, k, j);
+                f.op(Opcode::I32Add);
+                f.localSet(pb);
+                kb.addr2(path, i, j, 4);
+                f.localGet(pa);
+                f.localGet(pb);
+                f.localGet(pa);
+                f.localGet(pb);
+                f.op(Opcode::I32LeS);
+                f.select();
+                kb.storei();
+            });
+        });
+    });
+    kb.sum2i(path, i, j, acc);
+    f.localGet(acc);
+}
+
+void
+emitNussinov(KB &kb)
+{
+    auto &f = kb.f;
+    uint32_t i = kb.ilocal(), j = kb.ilocal(), k = kb.ilocal();
+    uint32_t ip = kb.ilocal(), jm = kb.ilocal(), kp = kb.ilocal();
+    uint32_t tx = kb.ilocal();
+    uint32_t acc = kb.flocal();
+    uint32_t table = kb.arr2i(), seq = kb.arr1i();
+    // seq[i] = (i + 1) % 4; table zero-initialized.
+    kb.loop(i, 0, kb.n, [&] {
+        kb.addr1(seq, i, 4);
+        f.localGet(i);
+        f.i32Const(1);
+        f.op(Opcode::I32Add);
+        f.i32Const(4);
+        f.op(Opcode::I32RemS);
+        kb.storei();
+    });
+    kb.loop(i, 0, kb.n, [&] {
+        kb.loop(j, 0, kb.n, [&] {
+            kb.addr2(table, i, j, 4);
+            f.i32Const(0);
+            kb.storei();
+        });
+    });
+    // table[i][j] = max(...) over the standard Nussinov recurrences.
+    auto maxInto = [&](const std::function<void()> &push_candidate) {
+        push_candidate();
+        f.localSet(tx);
+        kb.addr2(table, i, j, 4);
+        kb.load2i(table, i, j);
+        f.localGet(tx);
+        kb.load2i(table, i, j);
+        f.localGet(tx);
+        f.op(Opcode::I32GeS);
+        f.select();
+        kb.storei();
+    };
+    loopDownFrom(kb, i, kb.n, 0, [&] {
+        kb.loopDyn(
+            j,
+            [&] {
+                f.localGet(i);
+                f.i32Const(1);
+                f.op(Opcode::I32Add);
+            },
+            [&] { f.i32Const(kb.n); },
+            [&] {
+                offsetLocal(kb, ip, i, 1);
+                offsetLocal(kb, jm, j, -1);
+                // table[i][j-1]
+                maxInto([&] { kb.load2i(table, i, jm); });
+                // table[i+1][j] (if i+1 < n; j >= i+1 >= 1 so safe)
+                f.localGet(ip);
+                f.i32Const(kb.n);
+                f.op(Opcode::I32LtS);
+                f.if_();
+                maxInto([&] { kb.load2i(table, ip, j); });
+                // table[i+1][j-1] (+ match(seq[i], seq[j]) if i<j-1)
+                maxInto([&] {
+                    kb.load2i(table, ip, jm);
+                    // match = (seq[i] + seq[j] == 3) ? 1 : 0
+                    kb.load1i(seq, i);
+                    kb.load1i(seq, j);
+                    f.op(Opcode::I32Add);
+                    f.i32Const(3);
+                    f.op(Opcode::I32Eq);
+                    // add match only when i < j-1
+                    f.i32Const(0);
+                    f.localGet(i);
+                    f.localGet(jm);
+                    f.op(Opcode::I32GeS);
+                    f.select();
+                    f.op(Opcode::I32Add);
+                });
+                f.end();
+                // split choices: table[i][k] + table[k+1][j]
+                kb.loopDyn(
+                    k,
+                    [&] {
+                        f.localGet(i);
+                        f.i32Const(1);
+                        f.op(Opcode::I32Add);
+                    },
+                    [&] { f.localGet(j); },
+                    [&] {
+                        offsetLocal(kb, kp, k, 1);
+                        maxInto([&] {
+                            kb.load2i(table, i, k);
+                            kb.load2i(table, kp, j);
+                            f.op(Opcode::I32Add);
+                        });
+                    });
+            });
+    });
+    kb.sum2i(table, i, j, acc);
+    f.localGet(acc);
+}
+
+void
+emitAdi(KB &kb)
+{
+    auto &f = kb.f;
+    const int n = kb.n;
+    const int steps = tsteps(kb);
+    uint32_t t = kb.ilocal(), i = kb.ilocal(), j = kb.ilocal();
+    uint32_t jm = kb.ilocal(), jp = kb.ilocal(), im = kb.ilocal(),
+             ip = kb.ilocal();
+    uint32_t acc = kb.flocal();
+    uint32_t u = kb.arr2(), v = kb.arr2(), p = kb.arr2(), q = kb.arr2();
+
+    const double dx = 1.0 / n, dy = 1.0 / n, dt = 1.0 / steps;
+    const double b1 = 2.0, b2 = 1.0;
+    const double mul1 = b1 * dt / (dx * dx);
+    const double mul2 = b2 * dt / (dy * dy);
+    const double ca = -mul1 / 2.0, cb = 1.0 + mul1, cc = ca;
+    const double cd = -mul2 / 2.0, ce = 1.0 + mul2, cf = cd;
+
+    kb.init2(u, i, j, 1, 2, 1);
+
+    kb.loop(t, 0, steps, [&] {
+        // Column sweep.
+        kb.loop(i, 1, n - 1, [&] {
+            f.i32Const(0);
+            f.localSet(j);
+            kb.addr2(v, j, i);
+            kb.c(1.0);
+            kb.store();
+            kb.addr2(p, i, j);
+            kb.c(0.0);
+            kb.store();
+            kb.addr2(q, i, j);
+            kb.c(1.0);
+            kb.store();
+            kb.loop(j, 1, n - 1, [&] {
+                offsetLocal(kb, jm, j, -1);
+                offsetLocal(kb, im, i, -1);
+                offsetLocal(kb, ip, i, 1);
+                // p[i][j] = -cc / (ca*p[i][j-1] + cb)
+                kb.addr2(p, i, j);
+                kb.c(-cc);
+                kb.c(ca);
+                kb.load2(p, i, jm);
+                f.op(Opcode::F64Mul);
+                kb.c(cb);
+                f.op(Opcode::F64Add);
+                f.op(Opcode::F64Div);
+                kb.store();
+                // q[i][j] = (-cd*u[j][i-1] + (1+2cd)*u[j][i]
+                //            - cf*u[j][i+1] - ca*q[i][j-1])
+                //           / (ca*p[i][j-1] + cb)
+                kb.addr2(q, i, j);
+                kb.c(-cd);
+                kb.load2(u, j, im);
+                f.op(Opcode::F64Mul);
+                kb.c(1.0 + 2.0 * cd);
+                kb.load2(u, j, i);
+                f.op(Opcode::F64Mul);
+                f.op(Opcode::F64Add);
+                kb.c(cf);
+                kb.load2(u, j, ip);
+                f.op(Opcode::F64Mul);
+                f.op(Opcode::F64Sub);
+                kb.c(ca);
+                kb.load2(q, i, jm);
+                f.op(Opcode::F64Mul);
+                f.op(Opcode::F64Sub);
+                kb.c(ca);
+                kb.load2(p, i, jm);
+                f.op(Opcode::F64Mul);
+                kb.c(cb);
+                f.op(Opcode::F64Add);
+                f.op(Opcode::F64Div);
+                kb.store();
+            });
+            f.i32Const(n - 1);
+            f.localSet(j);
+            kb.addr2(v, j, i);
+            kb.c(1.0);
+            kb.store();
+            loopDownFrom(kb, j, n - 1, 1, [&] {
+                offsetLocal(kb, jp, j, 1);
+                kb.addr2(v, j, i);
+                kb.load2(p, i, j);
+                kb.load2(v, jp, i);
+                f.op(Opcode::F64Mul);
+                kb.load2(q, i, j);
+                f.op(Opcode::F64Add);
+                kb.store();
+            });
+        });
+        // Row sweep.
+        kb.loop(i, 1, n - 1, [&] {
+            f.i32Const(0);
+            f.localSet(j);
+            kb.addr2(u, i, j);
+            kb.c(1.0);
+            kb.store();
+            kb.addr2(p, i, j);
+            kb.c(0.0);
+            kb.store();
+            kb.addr2(q, i, j);
+            kb.c(1.0);
+            kb.store();
+            kb.loop(j, 1, n - 1, [&] {
+                offsetLocal(kb, jm, j, -1);
+                offsetLocal(kb, im, i, -1);
+                offsetLocal(kb, ip, i, 1);
+                kb.addr2(p, i, j);
+                kb.c(-cf);
+                kb.c(cd);
+                kb.load2(p, i, jm);
+                f.op(Opcode::F64Mul);
+                kb.c(ce);
+                f.op(Opcode::F64Add);
+                f.op(Opcode::F64Div);
+                kb.store();
+                kb.addr2(q, i, j);
+                kb.c(-ca);
+                kb.load2(v, im, j);
+                f.op(Opcode::F64Mul);
+                kb.c(1.0 + 2.0 * ca);
+                kb.load2(v, i, j);
+                f.op(Opcode::F64Mul);
+                f.op(Opcode::F64Add);
+                kb.c(cc);
+                kb.load2(v, ip, j);
+                f.op(Opcode::F64Mul);
+                f.op(Opcode::F64Sub);
+                kb.c(cd);
+                kb.load2(q, i, jm);
+                f.op(Opcode::F64Mul);
+                f.op(Opcode::F64Sub);
+                kb.c(cd);
+                kb.load2(p, i, jm);
+                f.op(Opcode::F64Mul);
+                kb.c(ce);
+                f.op(Opcode::F64Add);
+                f.op(Opcode::F64Div);
+                kb.store();
+            });
+            f.i32Const(n - 1);
+            f.localSet(j);
+            kb.addr2(u, i, j);
+            kb.c(1.0);
+            kb.store();
+            loopDownFrom(kb, j, n - 1, 1, [&] {
+                offsetLocal(kb, jp, j, 1);
+                kb.addr2(u, i, j);
+                kb.load2(p, i, j);
+                kb.load2(u, i, jp);
+                f.op(Opcode::F64Mul);
+                kb.load2(q, i, j);
+                f.op(Opcode::F64Add);
+                kb.store();
+            });
+        });
+    });
+    kb.sum2(u, i, j, acc);
+    f.localGet(acc);
+}
+
+void
+emitFdtd2d(KB &kb)
+{
+    auto &f = kb.f;
+    const int n = kb.n;
+    uint32_t t = kb.ilocal(), i = kb.ilocal(), j = kb.ilocal();
+    uint32_t im = kb.ilocal(), jm = kb.ilocal(), ip = kb.ilocal(),
+             jp = kb.ilocal();
+    uint32_t acc = kb.flocal();
+    uint32_t ex = kb.arr2(), ey = kb.arr2(), hz = kb.arr2();
+    kb.init2(ex, i, j, 1, 1, 1);
+    kb.init2(ey, i, j, 1, 2, 2);
+    kb.init2(hz, i, j, 2, 1, 3);
+    kb.loop(t, 0, tsteps(kb), [&] {
+        kb.loop(j, 0, n, [&] {
+            f.i32Const(0);
+            f.localSet(i);
+            kb.addr2(ey, i, j);
+            f.localGet(t);
+            kb.toF64();
+            kb.store();
+        });
+        kb.loop(i, 1, n, [&] {
+            kb.loop(j, 0, n, [&] {
+                offsetLocal(kb, im, i, -1);
+                kb.addr2(ey, i, j);
+                kb.load2(ey, i, j);
+                kb.c(0.5);
+                kb.load2(hz, i, j);
+                kb.load2(hz, im, j);
+                f.op(Opcode::F64Sub);
+                f.op(Opcode::F64Mul);
+                f.op(Opcode::F64Sub);
+                kb.store();
+            });
+        });
+        kb.loop(i, 0, n, [&] {
+            kb.loop(j, 1, n, [&] {
+                offsetLocal(kb, jm, j, -1);
+                kb.addr2(ex, i, j);
+                kb.load2(ex, i, j);
+                kb.c(0.5);
+                kb.load2(hz, i, j);
+                kb.load2(hz, i, jm);
+                f.op(Opcode::F64Sub);
+                f.op(Opcode::F64Mul);
+                f.op(Opcode::F64Sub);
+                kb.store();
+            });
+        });
+        kb.loop(i, 0, n - 1, [&] {
+            kb.loop(j, 0, n - 1, [&] {
+                offsetLocal(kb, ip, i, 1);
+                offsetLocal(kb, jp, j, 1);
+                kb.addr2(hz, i, j);
+                kb.load2(hz, i, j);
+                kb.c(0.7);
+                kb.load2(ex, i, jp);
+                kb.load2(ex, i, j);
+                f.op(Opcode::F64Sub);
+                kb.load2(ey, ip, j);
+                f.op(Opcode::F64Add);
+                kb.load2(ey, i, j);
+                f.op(Opcode::F64Sub);
+                f.op(Opcode::F64Mul);
+                f.op(Opcode::F64Sub);
+                kb.store();
+            });
+        });
+    });
+    kb.sum2(hz, i, j, acc);
+    f.localGet(acc);
+}
+
+void
+emitHeat3d(KB &kb)
+{
+    auto &f = kb.f;
+    const int n = kb.n;
+    uint32_t t = kb.ilocal(), i = kb.ilocal(), j = kb.ilocal(),
+             k = kb.ilocal();
+    uint32_t im = kb.ilocal(), ip = kb.ilocal(), jm = kb.ilocal(),
+             jp = kb.ilocal(), km = kb.ilocal(), kp = kb.ilocal();
+    uint32_t acc = kb.flocal();
+    uint32_t A = kb.arr3(), B = kb.arr3();
+    // init A[i][j][k] = (i + j + (n - k)) * 10.0 / n; B likewise.
+    kb.loop(i, 0, n, [&] {
+        kb.loop(j, 0, n, [&] {
+            kb.loop(k, 0, n, [&] {
+                for (uint32_t arr : {A, B}) {
+                    kb.addr3(arr, i, j, k);
+                    f.localGet(i);
+                    f.localGet(j);
+                    f.op(Opcode::I32Add);
+                    f.i32Const(n);
+                    f.localGet(k);
+                    f.op(Opcode::I32Sub);
+                    f.op(Opcode::I32Add);
+                    kb.toF64();
+                    kb.c(10.0 / n);
+                    f.op(Opcode::F64Mul);
+                    kb.store();
+                }
+            });
+        });
+    });
+    auto stencil = [&](uint32_t dst, uint32_t src) {
+        kb.loop(i, 1, n - 1, [&] {
+            kb.loop(j, 1, n - 1, [&] {
+                kb.loop(k, 1, n - 1, [&] {
+                    offsetLocal(kb, im, i, -1);
+                    offsetLocal(kb, ip, i, 1);
+                    offsetLocal(kb, jm, j, -1);
+                    offsetLocal(kb, jp, j, 1);
+                    offsetLocal(kb, km, k, -1);
+                    offsetLocal(kb, kp, k, 1);
+                    kb.addr3(dst, i, j, k);
+                    // 0.125 * (src[ip]-2src+src[im]) over each axis,
+                    // plus src itself.
+                    auto axis = [&](uint32_t a, uint32_t b) {
+                        kb.c(0.125);
+                        kb.load3(src, a, j, k);
+                        (void)b;
+                        kb.c(2.0);
+                        kb.load3(src, i, j, k);
+                        f.op(Opcode::F64Mul);
+                        f.op(Opcode::F64Sub);
+                        kb.load3(src, b, j, k);
+                        f.op(Opcode::F64Add);
+                        f.op(Opcode::F64Mul);
+                    };
+                    axis(ip, im);
+                    // j axis
+                    kb.c(0.125);
+                    kb.load3(src, i, jp, k);
+                    kb.c(2.0);
+                    kb.load3(src, i, j, k);
+                    f.op(Opcode::F64Mul);
+                    f.op(Opcode::F64Sub);
+                    kb.load3(src, i, jm, k);
+                    f.op(Opcode::F64Add);
+                    f.op(Opcode::F64Mul);
+                    f.op(Opcode::F64Add);
+                    // k axis
+                    kb.c(0.125);
+                    kb.load3(src, i, j, kp);
+                    kb.c(2.0);
+                    kb.load3(src, i, j, k);
+                    f.op(Opcode::F64Mul);
+                    f.op(Opcode::F64Sub);
+                    kb.load3(src, i, j, km);
+                    f.op(Opcode::F64Add);
+                    f.op(Opcode::F64Mul);
+                    f.op(Opcode::F64Add);
+                    kb.load3(src, i, j, k);
+                    f.op(Opcode::F64Add);
+                    kb.store();
+                });
+            });
+        });
+    };
+    kb.loop(t, 0, tsteps(kb), [&] {
+        stencil(B, A);
+        stencil(A, B);
+    });
+    // Checksum over the middle slice of A.
+    kb.loop(j, 0, n, [&] {
+        kb.loop(k, 0, n, [&] {
+            f.localGet(acc);
+            f.i32Const(n / 2);
+            f.localSet(i);
+            kb.load3(A, i, j, k);
+            f.op(Opcode::F64Add);
+            f.localSet(acc);
+        });
+    });
+    f.localGet(acc);
+}
+
+void
+emitJacobi1d(KB &kb)
+{
+    auto &f = kb.f;
+    const int n = kb.n;
+    uint32_t t = kb.ilocal(), i = kb.ilocal();
+    uint32_t im = kb.ilocal(), ip = kb.ilocal();
+    uint32_t acc = kb.flocal();
+    uint32_t A = kb.arr1(), B = kb.arr1();
+    kb.init1(A, i, 1, 2);
+    kb.init1(B, i, 2, 3);
+    auto sweep = [&](uint32_t dst, uint32_t src) {
+        kb.loop(i, 1, n - 1, [&] {
+            offsetLocal(kb, im, i, -1);
+            offsetLocal(kb, ip, i, 1);
+            kb.addr1(dst, i);
+            kb.c(1.0 / 3.0);
+            kb.load1(src, im);
+            kb.load1(src, i);
+            f.op(Opcode::F64Add);
+            kb.load1(src, ip);
+            f.op(Opcode::F64Add);
+            f.op(Opcode::F64Mul);
+            kb.store();
+        });
+    };
+    kb.loop(t, 0, tsteps(kb), [&] {
+        sweep(B, A);
+        sweep(A, B);
+    });
+    kb.sum1(A, i, acc);
+    f.localGet(acc);
+}
+
+void
+emitJacobi2d(KB &kb)
+{
+    auto &f = kb.f;
+    const int n = kb.n;
+    uint32_t t = kb.ilocal(), i = kb.ilocal(), j = kb.ilocal();
+    uint32_t im = kb.ilocal(), ip = kb.ilocal(), jm = kb.ilocal(),
+             jp = kb.ilocal();
+    uint32_t acc = kb.flocal();
+    uint32_t A = kb.arr2(), B = kb.arr2();
+    kb.init2(A, i, j, 1, 1, 1);
+    kb.init2(B, i, j, 1, 2, 2);
+    auto sweep = [&](uint32_t dst, uint32_t src) {
+        kb.loop(i, 1, n - 1, [&] {
+            kb.loop(j, 1, n - 1, [&] {
+                offsetLocal(kb, im, i, -1);
+                offsetLocal(kb, ip, i, 1);
+                offsetLocal(kb, jm, j, -1);
+                offsetLocal(kb, jp, j, 1);
+                kb.addr2(dst, i, j);
+                kb.c(0.2);
+                kb.load2(src, i, j);
+                kb.load2(src, i, jm);
+                f.op(Opcode::F64Add);
+                kb.load2(src, i, jp);
+                f.op(Opcode::F64Add);
+                kb.load2(src, ip, j);
+                f.op(Opcode::F64Add);
+                kb.load2(src, im, j);
+                f.op(Opcode::F64Add);
+                f.op(Opcode::F64Mul);
+                kb.store();
+            });
+        });
+    };
+    kb.loop(t, 0, tsteps(kb), [&] {
+        sweep(B, A);
+        sweep(A, B);
+    });
+    kb.sum2(A, i, j, acc);
+    f.localGet(acc);
+}
+
+void
+emitSeidel2d(KB &kb)
+{
+    auto &f = kb.f;
+    const int n = kb.n;
+    uint32_t t = kb.ilocal(), i = kb.ilocal(), j = kb.ilocal();
+    uint32_t im = kb.ilocal(), ip = kb.ilocal(), jm = kb.ilocal(),
+             jp = kb.ilocal();
+    uint32_t acc = kb.flocal();
+    uint32_t A = kb.arr2();
+    kb.init2(A, i, j, 1, 1, 2);
+    kb.loop(t, 0, tsteps(kb), [&] {
+        kb.loop(i, 1, n - 1, [&] {
+            kb.loop(j, 1, n - 1, [&] {
+                offsetLocal(kb, im, i, -1);
+                offsetLocal(kb, ip, i, 1);
+                offsetLocal(kb, jm, j, -1);
+                offsetLocal(kb, jp, j, 1);
+                kb.addr2(A, i, j);
+                kb.load2(A, im, jm);
+                kb.load2(A, im, j);
+                f.op(Opcode::F64Add);
+                kb.load2(A, im, jp);
+                f.op(Opcode::F64Add);
+                kb.load2(A, i, jm);
+                f.op(Opcode::F64Add);
+                kb.load2(A, i, j);
+                f.op(Opcode::F64Add);
+                kb.load2(A, i, jp);
+                f.op(Opcode::F64Add);
+                kb.load2(A, ip, jm);
+                f.op(Opcode::F64Add);
+                kb.load2(A, ip, j);
+                f.op(Opcode::F64Add);
+                kb.load2(A, ip, jp);
+                f.op(Opcode::F64Add);
+                kb.c(9.0);
+                f.op(Opcode::F64Div);
+                kb.store();
+            });
+        });
+    });
+    kb.sum2(A, i, j, acc);
+    f.localGet(acc);
+}
+
+} // namespace wasabi::workloads

@@ -1,0 +1,631 @@
+#include "workloads/random_program.h"
+
+#include <vector>
+
+#include "wasm/builder.h"
+
+namespace wasabi::workloads {
+
+using wasm::FuncType;
+using wasm::FunctionBuilder;
+using wasm::ModuleBuilder;
+using wasm::Opcode;
+using wasm::OpClass;
+using wasm::Value;
+using wasm::ValType;
+
+namespace {
+
+/** SplitMix64: small, fast, deterministic PRNG. */
+class Rng {
+  public:
+    explicit Rng(uint64_t seed) : state_(seed) {}
+
+    uint64_t
+    next()
+    {
+        uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+        return z ^ (z >> 31);
+    }
+
+    uint32_t pick(uint32_t n) { return n == 0 ? 0 : next() % n; }
+    bool chance(int pct) { return pick(100) < static_cast<uint32_t>(pct); }
+
+  private:
+    uint64_t state_;
+};
+
+constexpr uint32_t kTableSize = 4;
+constexpr int32_t kAddrMask = 0xFF8; // keep accesses in the first page
+
+class Generator {
+  public:
+    explicit Generator(const RandomProgramOptions &opts)
+        : opts_(opts), rng_(opts.seed ^ 0xC0FFEE)
+    {
+    }
+
+    Workload
+    run()
+    {
+        if (opts_.useMemory)
+            mb_.memory(1, 1, "memory");
+        if (opts_.useGlobals) {
+            mb_.global(ValType::I32, true, Value::makeI32(11));
+            mb_.global(ValType::I64, true, Value::makeI64(22));
+            mb_.global(ValType::F32, true, Value::makeF32(1.5f));
+            mb_.global(ValType::F64, true, Value::makeF64(2.5));
+        }
+
+        // A few homogeneous [i32]->[i32] functions to populate the
+        // indirect-call table.
+        FuncType table_type({ValType::I32}, {ValType::I32});
+        std::vector<uint32_t> table_funcs;
+        if (opts_.useTable) {
+            allowIndirect_ = false;
+            for (uint32_t i = 0; i < kTableSize; ++i) {
+                uint32_t idx = genFunction(table_type, "");
+                table_funcs.push_back(idx);
+            }
+            allowIndirect_ = true;
+            mb_.table(kTableSize, kTableSize);
+            mb_.elem(0, table_funcs);
+        }
+
+        for (uint32_t i = 0; i < opts_.numFunctions; ++i)
+            genFunction(randomSignature(), "");
+
+        genMain();
+
+        Workload w;
+        w.name = "random-" + std::to_string(opts_.seed);
+        w.module = mb_.build();
+        w.entry = "main";
+        w.args = {Value::makeI32(static_cast<uint32_t>(opts_.seed * 31))};
+        return w;
+    }
+
+  private:
+    ValType
+    randType()
+    {
+        switch (rng_.pick(opts_.useI64 ? 4 : 3)) {
+          case 0: return ValType::I32;
+          case 1: return ValType::F64;
+          case 2: return ValType::F32;
+          default: return ValType::I64;
+        }
+    }
+
+    FuncType
+    randomSignature()
+    {
+        std::vector<ValType> params;
+        uint32_t n = rng_.pick(opts_.maxParams + 1);
+        for (uint32_t i = 0; i < n; ++i)
+            params.push_back(randType());
+        return FuncType(std::move(params), {randType()});
+    }
+
+    // ----- expressions -------------------------------------------------
+
+    void
+    constExpr(ValType t)
+    {
+        switch (t) {
+          case ValType::I32:
+            f_->i32Const(static_cast<int32_t>(rng_.next()));
+            break;
+          case ValType::I64:
+            f_->i64Const(static_cast<int64_t>(rng_.next()));
+            break;
+          case ValType::F32:
+            f_->f32Const(
+                static_cast<float>(static_cast<int32_t>(rng_.pick(2000)) -
+                                   1000) /
+                8.0f);
+            break;
+          case ValType::F64:
+            f_->f64Const(
+                static_cast<double>(static_cast<int32_t>(rng_.pick(2000)) -
+                                    1000) /
+                8.0);
+            break;
+        }
+    }
+
+    /** Index of some local with type @p t, or nullopt. */
+    std::optional<uint32_t>
+    someLocal(ValType t)
+    {
+        std::vector<uint32_t> cands;
+        for (uint32_t i = 0; i < locals_.size(); ++i) {
+            if (locals_[i] == t)
+                cands.push_back(i);
+        }
+        if (cands.empty())
+            return std::nullopt;
+        return cands[rng_.pick(static_cast<uint32_t>(cands.size()))];
+    }
+
+    void
+    leafExpr(ValType t)
+    {
+        if (auto l = someLocal(t); l && rng_.chance(60)) {
+            f_->localGet(*l);
+            return;
+        }
+        if (opts_.useGlobals && rng_.chance(20)) {
+            f_->globalGet(static_cast<uint32_t>(t));
+            return;
+        }
+        constExpr(t);
+    }
+
+    /** Push a masked in-bounds address. */
+    void
+    addrExpr(int depth)
+    {
+        expr(ValType::I32, depth - 1);
+        f_->i32Const(kAddrMask);
+        f_->op(Opcode::I32And);
+    }
+
+    /** A non-trapping unary opcode producing @p t, if any. */
+    std::optional<Opcode>
+    randUnary(ValType t)
+    {
+        std::vector<Opcode> cands;
+        for (Opcode op : wasm::allOpcodes()) {
+            const wasm::OpInfo &info = wasm::opInfo(op);
+            if (info.cls != OpClass::Unary || info.out != t)
+                continue;
+            // Exclude trapping float-to-int truncations.
+            switch (op) {
+              case Opcode::I32TruncF32S:
+              case Opcode::I32TruncF32U:
+              case Opcode::I32TruncF64S:
+              case Opcode::I32TruncF64U:
+              case Opcode::I64TruncF32S:
+              case Opcode::I64TruncF32U:
+              case Opcode::I64TruncF64S:
+              case Opcode::I64TruncF64U:
+                continue;
+              default:
+                break;
+            }
+            if (!opts_.useI64 &&
+                (info.in[0] == ValType::I64 || info.out == ValType::I64))
+                continue;
+            cands.push_back(op);
+        }
+        if (cands.empty())
+            return std::nullopt;
+        return cands[rng_.pick(static_cast<uint32_t>(cands.size()))];
+    }
+
+    /** A binary opcode producing @p t; signed div/rem excluded. */
+    std::optional<Opcode>
+    randBinary(ValType t)
+    {
+        std::vector<Opcode> cands;
+        for (Opcode op : wasm::allOpcodes()) {
+            const wasm::OpInfo &info = wasm::opInfo(op);
+            if (info.cls != OpClass::Binary || info.out != t)
+                continue;
+            if (op == Opcode::I32DivS || op == Opcode::I32RemS ||
+                op == Opcode::I64DivS || op == Opcode::I64RemS) {
+                continue; // INT_MIN / -1 still traps even with |1
+            }
+            if (!opts_.useI64 &&
+                (info.in[0] == ValType::I64 || info.out == ValType::I64))
+                continue;
+            cands.push_back(op);
+        }
+        if (cands.empty())
+            return std::nullopt;
+        return cands[rng_.pick(static_cast<uint32_t>(cands.size()))];
+    }
+
+    Opcode
+    loadOpFor(ValType t)
+    {
+        switch (t) {
+          case ValType::I32: return Opcode::I32Load;
+          case ValType::I64: return Opcode::I64Load;
+          case ValType::F32: return Opcode::F32Load;
+          case ValType::F64: return Opcode::F64Load;
+        }
+        return Opcode::I32Load;
+    }
+
+    Opcode
+    storeOpFor(ValType t)
+    {
+        switch (t) {
+          case ValType::I32: return Opcode::I32Store;
+          case ValType::I64: return Opcode::I64Store;
+          case ValType::F32: return Opcode::F32Store;
+          case ValType::F64: return Opcode::F64Store;
+        }
+        return Opcode::I32Store;
+    }
+
+    void
+    expr(ValType t, int depth)
+    {
+        if (depth <= 0) {
+            leafExpr(t);
+            return;
+        }
+        switch (rng_.pick(10)) {
+          case 0:
+            leafExpr(t);
+            break;
+          case 1: { // unary
+            if (auto op = randUnary(t)) {
+                expr(wasm::opInfo(*op).in[0], depth - 1);
+                f_->op(*op);
+            } else {
+                leafExpr(t);
+            }
+            break;
+          }
+          case 2:
+          case 3: { // binary (with division guards)
+            if (auto op = randBinary(t)) {
+                ValType in = wasm::opInfo(*op).in[0];
+                expr(in, depth - 1);
+                expr(in, depth - 1);
+                if (*op == Opcode::I32DivU || *op == Opcode::I32RemU) {
+                    f_->i32Const(1);
+                    f_->op(Opcode::I32Or);
+                } else if (*op == Opcode::I64DivU ||
+                           *op == Opcode::I64RemU) {
+                    f_->i64Const(1);
+                    f_->op(Opcode::I64Or);
+                }
+                f_->op(*op);
+            } else {
+                leafExpr(t);
+            }
+            break;
+          }
+          case 4: { // load
+            if (opts_.useMemory) {
+                addrExpr(depth);
+                f_->load(loadOpFor(t));
+            } else {
+                leafExpr(t);
+            }
+            break;
+          }
+          case 5: { // select
+            expr(t, depth - 1);
+            expr(t, depth - 1);
+            expr(ValType::I32, depth - 1);
+            f_->select();
+            break;
+          }
+          case 6: { // if/else expression
+            expr(ValType::I32, depth - 1);
+            f_->if_(t);
+            expr(t, depth - 1);
+            f_->else_();
+            expr(t, depth - 1);
+            f_->end();
+            break;
+          }
+          case 7: { // direct call to a callable function returning t
+            // Calls never appear inside loop bodies and are budgeted
+            // per function, bounding the dynamic call tree.
+            if (inLoop_ || callBudget_ == 0) {
+                leafExpr(t);
+                break;
+            }
+            std::vector<uint32_t> cands;
+            for (uint32_t i = 0; i < curFunc_; ++i) {
+                const FuncType &ft = funcTypes_[i];
+                if (callable(i) && ft.results.size() == 1 &&
+                    ft.results[0] == t) {
+                    cands.push_back(i);
+                }
+            }
+            if (cands.empty()) {
+                leafExpr(t);
+                break;
+            }
+            --callBudget_;
+            uint32_t callee =
+                cands[rng_.pick(static_cast<uint32_t>(cands.size()))];
+            for (ValType p : funcTypes_[callee].params)
+                expr(p, depth - 1);
+            f_->call(callee);
+            break;
+          }
+          case 8: { // indirect call (only for i32 results)
+            // Functions that are themselves table entries must not
+            // call indirectly, or the call graph could recurse
+            // unboundedly through the table.
+            if (!opts_.useTable || !allowIndirect_ || inLoop_ ||
+                callBudget_ == 0 || t != ValType::I32) {
+                leafExpr(t);
+                break;
+            }
+            --callBudget_;
+            expr(ValType::I32, depth - 1); // argument
+            expr(ValType::I32, depth - 1); // index
+            f_->i32Const(kTableSize - 1);
+            f_->op(Opcode::I32And);
+            f_->callIndirect(
+                mb_.type(FuncType({ValType::I32}, {ValType::I32})));
+            break;
+          }
+          default: { // block expression
+            f_->block(t);
+            expr(t, depth - 1);
+            if (rng_.chance(30)) {
+                // Optionally turn it into an early exit carrying the
+                // value.
+                f_->br(0);
+            }
+            f_->end();
+            break;
+          }
+        }
+    }
+
+    // ----- statements ---------------------------------------------------
+
+    void
+    stmt(int depth)
+    {
+        switch (rng_.pick(10)) {
+          case 0: { // local.set
+            ValType t = randType();
+            if (auto l = someLocal(t)) {
+                expr(t, depth);
+                f_->localSet(*l);
+            } else {
+                f_->nop();
+            }
+            break;
+          }
+          case 1: { // store
+            if (!opts_.useMemory) {
+                f_->nop();
+                break;
+            }
+            ValType t = randType();
+            addrExpr(depth);
+            expr(t, depth - 1);
+            f_->store(storeOpFor(t));
+            break;
+          }
+          case 2: { // if/else statement
+            expr(ValType::I32, depth - 1);
+            f_->if_();
+            stmt(depth - 1);
+            if (rng_.chance(60)) {
+                f_->else_();
+                stmt(depth - 1);
+            }
+            f_->end();
+            break;
+          }
+          case 3: { // bounded loop
+            // The counter local is deliberately NOT registered in
+            // locals_: nested statements must never clobber it, or the
+            // loop bound would no longer be guaranteed.
+            uint32_t var = f_->addLocal(ValType::I32);
+            uint32_t iters = 1 + rng_.pick(4);
+            bool was_in_loop = inLoop_;
+            inLoop_ = true;
+            f_->forLoop(var, 0, static_cast<int32_t>(iters), [&] {
+                stmt(depth - 1);
+            });
+            inLoop_ = was_in_loop;
+            break;
+          }
+          case 4: { // block with conditional early exit
+            f_->block();
+            stmt(depth - 1);
+            expr(ValType::I32, depth - 1);
+            f_->brIf(0);
+            stmt(depth - 1);
+            f_->end();
+            break;
+          }
+          case 5: { // br_table over three nested blocks
+            f_->block();
+            f_->block();
+            f_->block();
+            expr(ValType::I32, depth - 1);
+            f_->brTable({0, 1}, 2);
+            f_->end();
+            stmt(depth - 1);
+            f_->end();
+            stmt(depth - 1);
+            f_->end();
+            break;
+          }
+          case 6: { // drop an arbitrary value
+            ValType t = randType();
+            expr(t, depth);
+            f_->drop();
+            break;
+          }
+          case 7: { // global.set
+            if (opts_.useGlobals) {
+                ValType t = randType();
+                expr(t, depth - 1);
+                f_->globalSet(static_cast<uint32_t>(t));
+            } else {
+                f_->nop();
+            }
+            break;
+          }
+          case 8: { // memory.size / memory.grow (by 0, to stay at 1pg)
+            if (opts_.useMemory) {
+                if (rng_.chance(50)) {
+                    f_->op(Opcode::MemorySize);
+                } else {
+                    f_->i32Const(0);
+                    f_->op(Opcode::MemoryGrow);
+                }
+                f_->drop();
+            } else {
+                f_->nop();
+            }
+            break;
+          }
+          default:
+            f_->nop();
+            break;
+        }
+    }
+
+    // ----- functions ------------------------------------------------------
+
+    uint32_t
+    genFunction(const FuncType &type, const std::string &export_name)
+    {
+        FunctionBuilder fb = mb_.startFunction(type, export_name);
+        f_ = &fb;
+        curFunc_ = static_cast<uint32_t>(funcTypes_.size());
+        curLevel_ = levelOf(curFunc_);
+        callBudget_ = 6;
+        inLoop_ = false;
+        locals_ = type.params;
+        // A few extra locals of each used type.
+        for (int i = 0; i < 3; ++i) {
+            ValType t = randType();
+            fb.addLocal(t);
+            locals_.push_back(t);
+        }
+        for (uint32_t s = 0; s < opts_.stmtsPerFunction; ++s)
+            stmt(static_cast<int>(opts_.exprDepth));
+        expr(type.results[0], static_cast<int>(opts_.exprDepth));
+        fb.finish();
+        funcTypes_.push_back(type);
+        f_ = nullptr;
+        return curFunc_;
+    }
+
+    void
+    genMain()
+    {
+        FuncType main_type({ValType::I32}, {ValType::I64});
+        FunctionBuilder fb = mb_.startFunction(main_type, "main");
+        f_ = &fb;
+        uint32_t acc = fb.addLocal(ValType::I64);
+        // Fold the parameter in.
+        fb.localGet(0);
+        fb.op(Opcode::I64ExtendI32U);
+        fb.localSet(acc);
+        // Call every function with deterministic arguments and fold
+        // each result (bit-exactly) into the accumulator.
+        for (uint32_t i = 0; i < funcTypes_.size(); ++i) {
+            const FuncType &ft = funcTypes_[i];
+            for (size_t p = 0; p < ft.params.size(); ++p) {
+                switch (ft.params[p]) {
+                  case ValType::I32:
+                    fb.i32Const(static_cast<int32_t>(i * 17 + p));
+                    break;
+                  case ValType::I64:
+                    fb.i64Const(static_cast<int64_t>(i * 31 + p));
+                    break;
+                  case ValType::F32:
+                    fb.f32Const(static_cast<float>(i) + 0.25f);
+                    break;
+                  case ValType::F64:
+                    fb.f64Const(static_cast<double>(i) + 0.5);
+                    break;
+                }
+            }
+            fb.call(i);
+            switch (ft.results[0]) {
+              case ValType::I32:
+                fb.op(Opcode::I64ExtendI32U);
+                break;
+              case ValType::I64:
+                break;
+              case ValType::F32:
+                fb.op(Opcode::I32ReinterpretF32);
+                fb.op(Opcode::I64ExtendI32U);
+                break;
+              case ValType::F64:
+                fb.op(Opcode::I64ReinterpretF64);
+                break;
+            }
+            fb.localGet(acc);
+            fb.op(Opcode::I64Add);
+            fb.i64Const(0x9E3779B97F4A7C15ll);
+            fb.op(Opcode::I64Mul);
+            fb.localSet(acc);
+        }
+        // Fold a memory checksum.
+        if (opts_.useMemory) {
+            uint32_t i = fb.addLocal(ValType::I32);
+            fb.forLoop(i, 0, 512, [&] {
+                fb.localGet(acc);
+                fb.localGet(i);
+                fb.i32Const(8);
+                fb.op(Opcode::I32Mul);
+                fb.i64Load();
+                fb.op(Opcode::I64Add);
+                fb.localSet(acc);
+            });
+        }
+        fb.localGet(acc);
+        fb.finish();
+        f_ = nullptr;
+    }
+
+    /**
+     * Call-depth discipline: every function gets a level; calls only
+     * target functions exactly one level below the caller. This keeps
+     * the dynamic call tree polynomial — without it, an average
+     * out-degree above one makes total work exponential in the number
+     * of functions (a ~400-function module would never finish).
+     */
+    static constexpr uint32_t kCallLevels = 4;
+
+    uint32_t
+    levelOf(uint32_t func) const
+    {
+        return func % kCallLevels;
+    }
+
+    /** May the function currently being generated call @p callee? */
+    bool
+    callable(uint32_t callee) const
+    {
+        uint32_t my_level = curLevel_;
+        return my_level > 0 && levelOf(callee) == my_level - 1;
+    }
+
+    RandomProgramOptions opts_;
+    Rng rng_;
+    ModuleBuilder mb_;
+    std::vector<FuncType> funcTypes_;
+    uint32_t curLevel_ = 0;
+    FunctionBuilder *f_ = nullptr;
+    std::vector<ValType> locals_;
+    uint32_t curFunc_ = 0;
+    bool allowIndirect_ = true;
+    bool inLoop_ = false;
+    uint32_t callBudget_ = 6;
+};
+
+} // namespace
+
+Workload
+randomProgram(const RandomProgramOptions &opts)
+{
+    return Generator(opts).run();
+}
+
+} // namespace wasabi::workloads

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Seeded random WebAssembly program generator. Produces valid,
+ * deterministic, terminating modules covering the full instruction
+ * set: typed expression trees, nested control flow, direct and
+ * indirect calls, memory traffic, globals, i64 values, br_table, etc.
+ *
+ * Used for (a) the differential original-vs-instrumented faithfulness
+ * corpus (the repository's stand-in for the paper's use of the Wasm
+ * spec test suite, RQ2) and (b) as a building block of the synthetic
+ * large applications.
+ */
+
+#ifndef WASABI_WORKLOADS_RANDOM_PROGRAM_H
+#define WASABI_WORKLOADS_RANDOM_PROGRAM_H
+
+#include "workloads/workload.h"
+
+namespace wasabi::workloads {
+
+/** Generation parameters. */
+struct RandomProgramOptions {
+    uint64_t seed = 1;
+    uint32_t numFunctions = 8;
+    /** Maximum function parameter count (the paper's real-world app
+     * has calls with up to 22 arguments, which is what makes eager
+     * monomorphization of call hooks infeasible). */
+    uint32_t maxParams = 4;
+    /** Statements emitted per function body. */
+    uint32_t stmtsPerFunction = 12;
+    /** Maximum expression tree depth. */
+    uint32_t exprDepth = 3;
+    bool useMemory = true;
+    bool useTable = true;
+    bool useGlobals = true;
+    bool useI64 = true;
+};
+
+/**
+ * Generate a module. Exports "main: [i32] -> [i64]" which calls every
+ * generated function with seed-derived arguments and folds all results
+ * and a memory checksum into one i64. Deterministic for a given
+ * options value. Calls only target lower-indexed functions and loops
+ * are bounded, so every run terminates (no recursion, no unbounded
+ * backward branches).
+ */
+Workload randomProgram(const RandomProgramOptions &opts);
+
+} // namespace wasabi::workloads
+
+#endif // WASABI_WORKLOADS_RANDOM_PROGRAM_H

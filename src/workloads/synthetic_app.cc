@@ -1,0 +1,41 @@
+#include "workloads/synthetic_app.h"
+
+#include "workloads/random_program.h"
+
+namespace wasabi::workloads {
+
+Workload
+syntheticApp(AppSize size, uint64_t seed)
+{
+    RandomProgramOptions opts;
+    opts.seed = seed;
+    switch (size) {
+      case AppSize::Small:
+        opts.numFunctions = 20;
+        opts.stmtsPerFunction = 10;
+        opts.exprDepth = 3;
+        break;
+      case AppSize::PdfkitLike:
+        opts.numFunctions = 400;
+        opts.stmtsPerFunction = 24;
+        opts.exprDepth = 4;
+        opts.maxParams = 9;
+        break;
+      case AppSize::UnrealLike:
+        opts.numFunctions = 1600;
+        opts.stmtsPerFunction = 28;
+        opts.exprDepth = 4;
+        // The paper observes a 22-argument call in the Unreal binary.
+        opts.maxParams = 22;
+        break;
+    }
+    Workload w = randomProgram(opts);
+    switch (size) {
+      case AppSize::Small: w.name = "app-small"; break;
+      case AppSize::PdfkitLike: w.name = "pspdfkit-like"; break;
+      case AppSize::UnrealLike: w.name = "unreal-like"; break;
+    }
+    return w;
+}
+
+} // namespace wasabi::workloads

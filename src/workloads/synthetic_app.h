@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Synthetic large-application workloads — the repository's stand-ins
+ * for the paper's two real-world programs (the Unreal Engine 4 Zen
+ * Garden demo, 39.5 MB, and the PSPDFKit benchmark, 9.5 MB), which are
+ * proprietary binaries we cannot ship. Per DESIGN.md the substitution
+ * preserves what matters for the experiments: large function counts
+ * and *diverse* code (calls, indirect calls, branchy control flow,
+ * mixed types) rather than the numeric-kernel profile of PolyBench.
+ */
+
+#ifndef WASABI_WORKLOADS_SYNTHETIC_APP_H
+#define WASABI_WORKLOADS_SYNTHETIC_APP_H
+
+#include "workloads/workload.h"
+
+namespace wasabi::workloads {
+
+/** Size classes mirroring the paper's two applications. */
+enum class AppSize {
+    Small,       ///< quick tests
+    PdfkitLike,  ///< medium, ~hundreds of functions
+    UnrealLike,  ///< large, ~thousands of functions
+};
+
+/** Build a synthetic application of the given size class. Exports
+ * "main: [i32] -> [i64]". Deterministic. */
+Workload syntheticApp(AppSize size, uint64_t seed = 7);
+
+} // namespace wasabi::workloads
+
+#endif // WASABI_WORKLOADS_SYNTHETIC_APP_H

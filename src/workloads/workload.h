@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Common workload descriptor: a module plus the entry point to drive
+ * it. Stands in for the paper's benchmark programs (PolyBench/C
+ * compiled with emscripten, plus two large real-world applications).
+ */
+
+#ifndef WASABI_WORKLOADS_WORKLOAD_H
+#define WASABI_WORKLOADS_WORKLOAD_H
+
+#include <string>
+#include <vector>
+
+#include "wasm/module.h"
+
+namespace wasabi::workloads {
+
+/** A runnable benchmark program. */
+struct Workload {
+    std::string name;
+    wasm::Module module;
+    /** Name of the exported entry function. */
+    std::string entry = "kernel";
+    /** Arguments to pass to the entry function. */
+    std::vector<wasm::Value> args;
+};
+
+} // namespace wasabi::workloads
+
+#endif // WASABI_WORKLOADS_WORKLOAD_H

@@ -1,0 +1,472 @@
+/**
+ * @file
+ * Tests for the eight paper analyses (Table 4) against small programs
+ * with known expected results.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analyses/basic_block_profile.h"
+#include "analyses/branch_coverage.h"
+#include "analyses/call_graph.h"
+#include "analyses/cryptominer.h"
+#include "analyses/instruction_coverage.h"
+#include "analyses/instruction_mix.h"
+#include "analyses/memory_trace.h"
+#include "analyses/taint.h"
+#include "core/instrument.h"
+#include "runtime/runtime.h"
+#include "wasm/builder.h"
+
+namespace wasabi::analyses {
+namespace {
+
+using core::instrument;
+using core::InstrumentResult;
+using interp::Interpreter;
+using runtime::WasabiRuntime;
+using wasm::FuncType;
+using wasm::FunctionBuilder;
+using wasm::ModuleBuilder;
+using wasm::Opcode;
+using wasm::Value;
+using wasm::ValType;
+
+/** Instrument for the analysis, run entry, return results. */
+std::vector<Value>
+analyze(const wasm::Module &m, runtime::Analysis &analysis,
+        const std::string &entry, std::vector<Value> args = {})
+{
+    InstrumentResult r =
+        instrument(m, WasabiRuntime::requiredHooks({&analysis}));
+    WasabiRuntime rt(r.info);
+    rt.addAnalysis(&analysis);
+    auto inst = rt.instantiate(r.module);
+    Interpreter interp;
+    return interp.invokeExport(*inst, entry, args);
+}
+
+TEST(InstructionMixTest, CountsPerMnemonic)
+{
+    ModuleBuilder mb;
+    mb.addFunction(FuncType({}, {ValType::I32}), "f",
+                   [](FunctionBuilder &f) {
+                       uint32_t i = f.addLocal(ValType::I32);
+                       uint32_t acc = f.addLocal(ValType::I32);
+                       f.forLoop(i, 0, 5, [&] {
+                           f.localGet(acc)
+                               .localGet(i)
+                               .op(Opcode::I32Add)
+                               .localSet(acc);
+                       });
+                       f.localGet(acc);
+                   });
+    InstructionMix mix;
+    auto results = analyze(mb.build(), mix, "f");
+    EXPECT_EQ(results[0].i32(), 10u);
+    // Each of the 5 iterations executes one accumulator add and one
+    // loop-increment add.
+    EXPECT_EQ(mix.count("i32.add"), 10u);
+    EXPECT_GT(mix.total(), 20u);
+}
+
+TEST(BasicBlockProfileTest, CountsLoopIterations)
+{
+    ModuleBuilder mb;
+    mb.addFunction(FuncType({}, {}), "f", [](FunctionBuilder &f) {
+        uint32_t i = f.addLocal(ValType::I32);
+        f.forLoop(i, 0, 7, [] {});
+    });
+    BasicBlockProfile profile;
+    analyze(mb.build(), profile, "f");
+    // forLoop structure: block @2, loop @3. The loop header runs 8
+    // times (7 iterations + exit check).
+    EXPECT_EQ(profile.count({0, 3}, runtime::BlockKind::Loop), 8u);
+    EXPECT_EQ(profile.count({0, 2}, runtime::BlockKind::Block), 1u);
+    EXPECT_EQ(
+        profile.count({0, core::kFunctionEntry},
+                      runtime::BlockKind::Function),
+        1u);
+    EXPECT_FALSE(profile.report().empty());
+}
+
+TEST(InstructionCoverageTest, DetectsUnexecutedBranch)
+{
+    ModuleBuilder mb;
+    mb.addFunction(FuncType({ValType::I32}, {ValType::I32}), "f",
+                   [](FunctionBuilder &f) {
+                       f.localGet(0); // @0
+                       f.if_(ValType::I32); // @1
+                       f.i32Const(1); // @2 (then)
+                       f.else_();     // @3
+                       f.i32Const(2); // @4 (else)
+                       f.end();       // @5
+                   });
+    InstructionCoverage cov;
+    std::vector<Value> one{Value::makeI32(1)};
+    analyze(mb.build(), cov, "f", one);
+    EXPECT_TRUE(cov.covered({0, 2}));  // then-branch const executed
+    EXPECT_FALSE(cov.covered({0, 4})); // else-branch const not
+    EXPECT_GT(cov.coveredCount(), 0u);
+}
+
+TEST(BranchCoverageTest, RecordsBothOutcomes)
+{
+    // Mirrors the paper's Figure 7 analysis.
+    ModuleBuilder mb;
+    mb.addFunction(FuncType({ValType::I32}, {ValType::I32}), "f",
+                   [](FunctionBuilder &f) {
+                       f.localGet(0);
+                       f.if_(ValType::I32); // branch site @1
+                       f.i32Const(1);
+                       f.else_();
+                       f.i32Const(2);
+                       f.end();
+                   });
+    wasm::Module m = mb.build();
+    BranchCoverage cov;
+    InstrumentResult r =
+        instrument(m, WasabiRuntime::requiredHooks({&cov}));
+    WasabiRuntime rt(r.info);
+    rt.addAnalysis(&cov);
+    auto inst = rt.instantiate(r.module);
+    Interpreter interp;
+    std::vector<Value> t{Value::makeI32(1)};
+    interp.invokeExport(*inst, "f", t);
+    EXPECT_EQ(cov.branches({0, 1}), std::set<int>{1});
+    EXPECT_EQ(cov.partiallyCoveredTwoWaySites(), 1u);
+    std::vector<Value> fse{Value::makeI32(0)};
+    interp.invokeExport(*inst, "f", fse);
+    EXPECT_EQ(cov.branches({0, 1}), (std::set<int>{0, 1}));
+    EXPECT_EQ(cov.partiallyCoveredTwoWaySites(), 0u);
+}
+
+TEST(CallGraphTest, RecordsDirectIndirectAndCounts)
+{
+    ModuleBuilder mb;
+    mb.table(1, 1);
+    FuncType t({}, {ValType::I32});
+    uint32_t leaf = mb.addFunction(t, "", [](FunctionBuilder &f) {
+        f.i32Const(1);
+    });
+    mb.elem(0, {leaf});
+    uint32_t mid = mb.addFunction(t, "", [&](FunctionBuilder &f) {
+        f.i32Const(0);
+        f.callIndirect(mb.type(t)); // mid -> leaf (indirect)
+    });
+    uint32_t main_idx =
+        mb.addFunction(FuncType({}, {ValType::I32}), "main",
+                       [&](FunctionBuilder &f) {
+                           f.call(mid);
+                           f.call(leaf);
+                           f.op(Opcode::I32Add);
+                       });
+    CallGraph graph;
+    wasm::Module m = mb.build();
+    analyze(m, graph, "main");
+    EXPECT_EQ(graph.numEdges(), 3u);
+    EXPECT_TRUE(graph.hasEdge(main_idx, mid));
+    EXPECT_TRUE(graph.hasEdge(main_idx, leaf));
+    EXPECT_TRUE(graph.hasEdge(mid, leaf));
+    EXPECT_TRUE(graph.hasIndirectEdge(mid, leaf));
+    EXPECT_FALSE(graph.hasIndirectEdge(main_idx, mid));
+    EXPECT_EQ(graph.callCount(main_idx, mid), 1u);
+    EXPECT_TRUE(graph.dynamicallyDead(m, main_idx).empty());
+    EXPECT_NE(graph.toDot(m).find("digraph"), std::string::npos);
+}
+
+TEST(CallGraphTest, FindsDynamicallyDeadFunctions)
+{
+    ModuleBuilder mb;
+    FuncType t({}, {ValType::I32});
+    mb.addFunction(t, "", [](FunctionBuilder &f) {
+        f.i32Const(1);
+    }); // never called
+    uint32_t main_idx = mb.addFunction(t, "main", [](FunctionBuilder &f) {
+        f.i32Const(0);
+    });
+    CallGraph graph;
+    wasm::Module m = mb.build();
+    analyze(m, graph, "main");
+    EXPECT_EQ(graph.dynamicallyDead(m, main_idx), std::set<uint32_t>{0});
+}
+
+TEST(CryptominerTest, FlagsHashLikeKernelNotPlainLoop)
+{
+    // A xor/shift/add-heavy mixing loop (miner-like).
+    ModuleBuilder mb;
+    mb.addFunction(FuncType({}, {ValType::I32}), "mine",
+                   [](FunctionBuilder &f) {
+                       uint32_t i = f.addLocal(ValType::I32);
+                       uint32_t h = f.addLocal(ValType::I32);
+                       f.i32Const(0x9E3779B9).localSet(h);
+                       f.forLoop(i, 0, 600, [&] {
+                           f.localGet(h).i32Const(13).op(Opcode::I32Shl);
+                           f.localGet(h).op(Opcode::I32Xor).localSet(h);
+                           f.localGet(h).i32Const(7).op(Opcode::I32ShrU);
+                           f.localGet(h).op(Opcode::I32Xor).localSet(h);
+                           f.localGet(h).localGet(i).op(Opcode::I32Add);
+                           f.localGet(h).op(Opcode::I32Xor).localSet(h);
+                           f.localGet(h).i32Const(0x45D9F3B);
+                           f.op(Opcode::I32And).localSet(h);
+                       });
+                       f.localGet(h);
+                   });
+    CryptominerDetector miner;
+    analyze(mb.build(), miner, "mine");
+    EXPECT_TRUE(miner.suspicious());
+    EXPECT_GT(miner.signatureRatio(), 0.8);
+
+    // An f64 numeric loop (PolyBench-like) must not be flagged.
+    ModuleBuilder mb2;
+    mb2.addFunction(FuncType({}, {ValType::F64}), "compute",
+                    [](FunctionBuilder &f) {
+                        uint32_t i = f.addLocal(ValType::I32);
+                        uint32_t x = f.addLocal(ValType::F64);
+                        f.forLoop(i, 0, 600, [&] {
+                            f.localGet(x).f64Const(1.000001);
+                            f.op(Opcode::F64Mul).f64Const(0.5);
+                            f.op(Opcode::F64Add).localSet(x);
+                        });
+                        f.localGet(x);
+                    });
+    CryptominerDetector benign;
+    analyze(mb2.build(), benign, "compute");
+    EXPECT_FALSE(benign.suspicious());
+}
+
+TEST(MemoryTraceTest, RecordsAccessesInOrder)
+{
+    ModuleBuilder mb;
+    mb.memory(1);
+    mb.addFunction(FuncType({}, {ValType::I32}), "f",
+                   [](FunctionBuilder &f) {
+                       f.i32Const(100);
+                       f.i32Const(7);
+                       f.i32Store(4);
+                       f.i32Const(100);
+                       f.i32Load(4);
+                   });
+    MemoryTrace trace;
+    analyze(mb.build(), trace, "f");
+    ASSERT_EQ(trace.trace().size(), 2u);
+    EXPECT_TRUE(trace.trace()[0].isStore);
+    EXPECT_EQ(trace.trace()[0].address, 104u);
+    EXPECT_EQ(trace.trace()[0].value.i32(), 7u);
+    EXPECT_FALSE(trace.trace()[1].isStore);
+    EXPECT_EQ(trace.trace()[1].address, 104u);
+    EXPECT_EQ(trace.loads(), 1u);
+    EXPECT_EQ(trace.stores(), 1u);
+}
+
+TEST(MemoryTraceTest, LocalityScoreSeparatesPatterns)
+{
+    auto make = [](bool strided) {
+        ModuleBuilder mb;
+        mb.memory(1);
+        mb.addFunction(FuncType({}, {}), "f", [&](FunctionBuilder &f) {
+            uint32_t i = f.addLocal(ValType::I32);
+            f.forLoop(i, 0, 64, [&] {
+                f.localGet(i);
+                f.i32Const(strided ? 997 : 8);
+                f.op(Opcode::I32Mul);
+                f.i32Const(0xFFF8);
+                f.op(Opcode::I32And);
+                f.i32Const(1);
+                f.i32Store();
+            });
+        });
+        return mb.build();
+    };
+    MemoryTrace seq;
+    analyze(make(false), seq, "f");
+    MemoryTrace rnd;
+    analyze(make(true), rnd, "f");
+    EXPECT_GT(seq.localityScore(), rnd.localityScore());
+}
+
+// ---------------------------------------------------------------------
+// Taint analysis.
+
+TEST(TaintTest, DirectFlowFromSourceToSink)
+{
+    ModuleBuilder mb;
+    FuncType t({}, {ValType::I32});
+    uint32_t source = mb.addFunction(t, "", [](FunctionBuilder &f) {
+        f.i32Const(1234);
+    });
+    uint32_t sink = mb.addFunction(FuncType({ValType::I32}, {}), "",
+                                   [](FunctionBuilder &f) {
+                                       f.localGet(0);
+                                       f.drop();
+                                   });
+    mb.addFunction(FuncType({}, {}), "main", [&](FunctionBuilder &f) {
+        f.call(source);
+        f.i32Const(10);
+        f.op(Opcode::I32Add); // taint propagates through arithmetic
+        f.call(sink);
+    });
+    TaintAnalysis taint;
+    taint.addSource(source);
+    taint.addSink(sink);
+    analyze(mb.build(), taint, "main");
+    ASSERT_EQ(taint.flows().size(), 1u);
+    EXPECT_EQ(taint.flows()[0].sinkFunc, sink);
+    EXPECT_EQ(taint.flows()[0].argIndex, 0u);
+}
+
+TEST(TaintTest, NoFlowWhenValueIsClean)
+{
+    ModuleBuilder mb;
+    FuncType t({}, {ValType::I32});
+    uint32_t source = mb.addFunction(t, "", [](FunctionBuilder &f) {
+        f.i32Const(1234);
+    });
+    uint32_t sink = mb.addFunction(FuncType({ValType::I32}, {}), "",
+                                   [](FunctionBuilder &f) {
+                                       f.localGet(0);
+                                       f.drop();
+                                   });
+    mb.addFunction(FuncType({}, {}), "main", [&](FunctionBuilder &f) {
+        f.call(source);
+        f.drop(); // tainted value dropped
+        f.i32Const(10);
+        f.call(sink); // clean constant reaches the sink
+    });
+    TaintAnalysis taint;
+    taint.addSource(source);
+    taint.addSink(sink);
+    analyze(mb.build(), taint, "main");
+    EXPECT_TRUE(taint.flows().empty());
+}
+
+TEST(TaintTest, FlowThroughMemoryShadowing)
+{
+    // Tainted value stored to memory, loaded back, then passed to the
+    // sink — the memory-shadowing use case of §2.3.
+    ModuleBuilder mb;
+    mb.memory(1);
+    FuncType t({}, {ValType::I32});
+    uint32_t source = mb.addFunction(t, "", [](FunctionBuilder &f) {
+        f.i32Const(42);
+    });
+    uint32_t sink = mb.addFunction(FuncType({ValType::I32}, {}), "",
+                                   [](FunctionBuilder &f) {
+                                       f.localGet(0);
+                                       f.drop();
+                                   });
+    mb.addFunction(FuncType({}, {}), "main", [&](FunctionBuilder &f) {
+        f.i32Const(64);
+        f.call(source);
+        f.i32Store(); // mem[64] = tainted
+        f.i32Const(64);
+        f.i32Load();
+        f.call(sink);
+    });
+    TaintAnalysis taint;
+    taint.addSource(source);
+    taint.addSink(sink);
+    analyze(mb.build(), taint, "main");
+    ASSERT_EQ(taint.flows().size(), 1u);
+    EXPECT_TRUE(taint.memoryTainted(64, 4));
+}
+
+TEST(TaintTest, OverwritingMemoryClearsTaint)
+{
+    ModuleBuilder mb;
+    mb.memory(1);
+    FuncType t({}, {ValType::I32});
+    uint32_t source = mb.addFunction(t, "", [](FunctionBuilder &f) {
+        f.i32Const(42);
+    });
+    uint32_t sink = mb.addFunction(FuncType({ValType::I32}, {}), "",
+                                   [](FunctionBuilder &f) {
+                                       f.localGet(0);
+                                       f.drop();
+                                   });
+    mb.addFunction(FuncType({}, {}), "main", [&](FunctionBuilder &f) {
+        f.i32Const(64);
+        f.call(source);
+        f.i32Store();
+        f.i32Const(64);
+        f.i32Const(0);
+        f.i32Store(); // overwrite with a clean constant
+        f.i32Const(64);
+        f.i32Load();
+        f.call(sink);
+    });
+    TaintAnalysis taint;
+    taint.addSource(source);
+    taint.addSink(sink);
+    analyze(mb.build(), taint, "main");
+    EXPECT_TRUE(taint.flows().empty());
+    EXPECT_FALSE(taint.memoryTainted(64, 4));
+}
+
+TEST(TaintTest, FlowThroughLocalsGlobalsAndCalleeReturn)
+{
+    ModuleBuilder mb;
+    mb.global(ValType::I32, true, Value::makeI32(0));
+    FuncType t({}, {ValType::I32});
+    uint32_t source = mb.addFunction(t, "", [](FunctionBuilder &f) {
+        f.i32Const(7);
+    });
+    // passthrough(x) = x * 2 — taint flows through the callee.
+    uint32_t passthrough = mb.addFunction(
+        FuncType({ValType::I32}, {ValType::I32}), "",
+        [](FunctionBuilder &f) {
+            f.localGet(0);
+            f.i32Const(2);
+            f.op(Opcode::I32Mul);
+        });
+    uint32_t sink = mb.addFunction(FuncType({ValType::I32}, {}), "",
+                                   [](FunctionBuilder &f) {
+                                       f.localGet(0);
+                                       f.drop();
+                                   });
+    mb.addFunction(FuncType({}, {}), "main", [&](FunctionBuilder &f) {
+        uint32_t tmp = f.addLocal(ValType::I32);
+        f.call(source);
+        f.localSet(tmp);      // taint into a local
+        f.localGet(tmp);
+        f.globalSet(0);       // ... into a global
+        f.globalGet(0);
+        f.call(passthrough);  // ... through a callee
+        f.call(sink);
+    });
+    TaintAnalysis taint;
+    taint.addSource(source);
+    taint.addSink(sink);
+    analyze(mb.build(), taint, "main");
+    ASSERT_EQ(taint.flows().size(), 1u);
+    EXPECT_TRUE(taint.globalTainted(0));
+}
+
+TEST(TaintTest, SelectPropagatesFromEitherOperand)
+{
+    ModuleBuilder mb;
+    FuncType t({}, {ValType::I32});
+    uint32_t source = mb.addFunction(t, "", [](FunctionBuilder &f) {
+        f.i32Const(3);
+    });
+    uint32_t sink = mb.addFunction(FuncType({ValType::I32}, {}), "",
+                                   [](FunctionBuilder &f) {
+                                       f.localGet(0);
+                                       f.drop();
+                                   });
+    mb.addFunction(FuncType({}, {}), "main", [&](FunctionBuilder &f) {
+        f.call(source);
+        f.i32Const(5);
+        f.i32Const(0); // condition false: picks the clean 5...
+        f.select();
+        f.call(sink); // ...but conservative taint still flags it
+    });
+    TaintAnalysis taint;
+    taint.addSource(source);
+    taint.addSink(sink);
+    analyze(mb.build(), taint, "main");
+    EXPECT_EQ(taint.flows().size(), 1u);
+}
+
+} // namespace
+} // namespace wasabi::analyses

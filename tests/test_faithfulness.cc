@@ -1,0 +1,221 @@
+/**
+ * @file
+ * RQ2 faithfulness (paper §4.3) as a property-based test suite:
+ * for a corpus of random programs and PolyBench kernels, the fully
+ * instrumented binary must (a) pass the validator and (b) produce
+ * exactly the same results — and the same final memory — as the
+ * original, under a full-coverage analysis runtime.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analyses/instruction_mix.h"
+#include "core/instrument.h"
+#include "interp/interpreter.h"
+#include "runtime/runtime.h"
+#include "wasm/builder.h"
+#include "wasm/validator.h"
+#include "workloads/polybench.h"
+#include "workloads/random_program.h"
+
+namespace wasabi {
+namespace {
+
+using analyses::InstructionMix;
+using core::HookSet;
+using core::instrument;
+using core::InstrumentResult;
+using interp::Instance;
+using interp::Interpreter;
+using interp::Linker;
+using interp::Trap;
+using runtime::WasabiRuntime;
+using wasm::Value;
+using workloads::Workload;
+
+/** Execution outcome: results, or the trap kind. */
+struct Outcome {
+    std::vector<Value> results;
+    std::optional<interp::TrapKind> trap;
+    std::vector<uint8_t> memory;
+
+    bool operator==(const Outcome &other) const = default;
+};
+
+Outcome
+runOriginal(const Workload &w)
+{
+    Outcome out;
+    auto inst = Instance::instantiate(w.module, Linker());
+    Interpreter interp;
+    try {
+        out.results = interp.invokeExport(*inst, w.entry, w.args);
+    } catch (const Trap &t) {
+        out.trap = t.kind();
+    }
+    out.memory = inst->memory().raw();
+    return out;
+}
+
+Outcome
+runInstrumented(const Workload &w, HookSet hooks,
+                runtime::Analysis *analysis = nullptr)
+{
+    InstrumentResult r = instrument(w.module, hooks);
+    // (a) The instrumented module must validate (the paper's
+    // wasm-validate check).
+    EXPECT_EQ(validationError(r.module), std::nullopt) << w.name;
+
+    WasabiRuntime rt(r.info);
+    InstructionMix default_analysis;
+    rt.addAnalysis(analysis != nullptr ? analysis : &default_analysis);
+    auto inst = rt.instantiate(r.module);
+    Outcome out;
+    Interpreter interp;
+    try {
+        out.results = interp.invokeExport(*inst, w.entry, w.args);
+    } catch (const Trap &t) {
+        out.trap = t.kind();
+    }
+    out.memory = inst->memory().raw();
+    return out;
+}
+
+class RandomFaithfulness : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomFaithfulness, FullInstrumentationPreservesBehavior)
+{
+    workloads::RandomProgramOptions opts;
+    opts.seed = GetParam();
+    opts.numFunctions = 10;
+    opts.stmtsPerFunction = 14;
+    Workload w = workloads::randomProgram(opts);
+    ASSERT_EQ(validationError(w.module), std::nullopt);
+    Outcome expected = runOriginal(w);
+    Outcome actual = runInstrumented(w, HookSet::all());
+    EXPECT_EQ(expected, actual) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomFaithfulness,
+                         ::testing::Range<uint64_t>(100, 140));
+
+class PolybenchFaithfulness
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PolybenchFaithfulness, FullInstrumentationPreservesChecksum)
+{
+    Workload w = workloads::polybench(GetParam(), 8);
+    Outcome expected = runOriginal(w);
+    Outcome actual = runInstrumented(w, HookSet::all());
+    EXPECT_EQ(expected, actual) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, PolybenchFaithfulness,
+    ::testing::ValuesIn(workloads::polybenchNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string n = info.param;
+        for (char &c : n)
+            if (c == '-')
+                c = '_';
+        return n;
+    });
+
+TEST(Faithfulness, EverySingleHookPreservesARandomProgram)
+{
+    workloads::RandomProgramOptions opts;
+    opts.seed = 4242;
+    Workload w = workloads::randomProgram(opts);
+    Outcome expected = runOriginal(w);
+    for (core::HookKind kind : core::figureOrderHookKinds()) {
+        Outcome actual = runInstrumented(w, HookSet::only(kind));
+        EXPECT_EQ(expected, actual) << "hook " << name(kind);
+    }
+}
+
+TEST(Faithfulness, TrapsArePreservedIdentically)
+{
+    // A program that traps with divide-by-zero must trap identically
+    // when instrumented.
+    wasm::ModuleBuilder mb;
+    mb.addFunction(wasm::FuncType({wasm::ValType::I32},
+                                  {wasm::ValType::I32}),
+                   "f", [](wasm::FunctionBuilder &f) {
+                       f.i32Const(100);
+                       f.localGet(0);
+                       f.op(wasm::Opcode::I32DivU);
+                   });
+    Workload w;
+    w.module = mb.build();
+    w.entry = "f";
+    w.args = {Value::makeI32(0)};
+    Outcome expected = runOriginal(w);
+    ASSERT_TRUE(expected.trap.has_value());
+    EXPECT_EQ(*expected.trap, interp::TrapKind::DivByZero);
+    Outcome actual = runInstrumented(w, HookSet::all());
+    EXPECT_EQ(expected, actual);
+}
+
+TEST(Faithfulness, ParallelInstrumentationIsFaithfulToo)
+{
+    workloads::RandomProgramOptions opts;
+    opts.seed = 777;
+    opts.numFunctions = 16;
+    Workload w = workloads::randomProgram(opts);
+    Outcome expected = runOriginal(w);
+
+    core::InstrumentOptions iopts;
+    iopts.numThreads = 4;
+    InstrumentResult r = instrument(w.module, HookSet::all(), iopts);
+    ASSERT_EQ(validationError(r.module), std::nullopt);
+    WasabiRuntime rt(r.info);
+    InstructionMix mix;
+    rt.addAnalysis(&mix);
+    auto inst = rt.instantiate(r.module);
+    Interpreter interp;
+    Outcome actual;
+    actual.results = interp.invokeExport(*inst, w.entry, w.args);
+    actual.memory = inst->memory().raw();
+    EXPECT_EQ(expected, actual);
+}
+
+TEST(Faithfulness, NativeI64AbiIsEquallyFaithful)
+{
+    workloads::RandomProgramOptions opts;
+    opts.seed = 31337;
+    Workload w = workloads::randomProgram(opts);
+    Outcome expected = runOriginal(w);
+
+    core::InstrumentOptions iopts;
+    iopts.splitI64 = false;
+    InstrumentResult r = instrument(w.module, HookSet::all(), iopts);
+    ASSERT_EQ(validationError(r.module), std::nullopt);
+    WasabiRuntime rt(r.info);
+    InstructionMix mix;
+    rt.addAnalysis(&mix);
+    auto inst = rt.instantiate(r.module);
+    Interpreter interp;
+    Outcome actual;
+    actual.results = interp.invokeExport(*inst, w.entry, w.args);
+    actual.memory = inst->memory().raw();
+    EXPECT_EQ(expected, actual);
+}
+
+TEST(Faithfulness, DoubleInstrumentationStillValidatesAndRuns)
+{
+    // Instrumenting an already-instrumented module is unusual but must
+    // produce a valid module (idempotence of the rewriting machinery).
+    workloads::RandomProgramOptions opts;
+    opts.seed = 9;
+    opts.numFunctions = 4;
+    Workload w = workloads::randomProgram(opts);
+    InstrumentResult once =
+        instrument(w.module, HookSet{core::HookKind::Call});
+    ASSERT_EQ(validationError(once.module), std::nullopt);
+    InstrumentResult twice =
+        instrument(once.module, HookSet{core::HookKind::Const});
+    EXPECT_EQ(validationError(twice.module), std::nullopt);
+}
+
+} // namespace
+} // namespace wasabi

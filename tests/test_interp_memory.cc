@@ -1,0 +1,383 @@
+/**
+ * @file
+ * Interpreter tests for linear memory, globals, locals, tables,
+ * function calls (direct, indirect, host imports) and instantiation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "interp/interpreter.h"
+#include "wasm/builder.h"
+#include "wasm/validator.h"
+
+namespace wasabi::interp {
+namespace {
+
+using wasm::FuncType;
+using wasm::FunctionBuilder;
+using wasm::ModuleBuilder;
+using wasm::Opcode;
+using wasm::Value;
+using wasm::ValType;
+
+TEST(InterpMemory, StoreThenLoadRoundtrips)
+{
+    ModuleBuilder mb;
+    mb.memory(1);
+    mb.addFunction(FuncType({}, {ValType::I32}), "f",
+                   [](FunctionBuilder &f) {
+                       f.i32Const(16);
+                       f.i32Const(0xDEADBEEF);
+                       f.i32Store();
+                       f.i32Const(16);
+                       f.i32Load();
+                   });
+    auto inst = Instance::instantiate(mb.build(), Linker());
+    Interpreter interp;
+    EXPECT_EQ(interp.invokeExport(*inst, "f", {})[0].i32(), 0xDEADBEEFu);
+}
+
+TEST(InterpMemory, NarrowLoadsSignAndZeroExtend)
+{
+    ModuleBuilder mb;
+    mb.memory(1);
+    // Store 0xFF at address 0, then read it back four ways.
+    auto make = [&](const char *name, Opcode load_op) {
+        mb.addFunction(FuncType({}, {ValType::I32}), name,
+                       [&](FunctionBuilder &f) {
+                           f.i32Const(0);
+                           f.i32Const(0xFF);
+                           f.store(Opcode::I32Store8);
+                           f.i32Const(0);
+                           f.load(load_op);
+                       });
+    };
+    make("s8", Opcode::I32Load8S);
+    make("u8", Opcode::I32Load8U);
+    auto inst = Instance::instantiate(mb.build(), Linker());
+    Interpreter interp;
+    EXPECT_EQ(interp.invokeExport(*inst, "s8", {})[0].i32s(), -1);
+    EXPECT_EQ(interp.invokeExport(*inst, "u8", {})[0].i32(), 0xFFu);
+}
+
+TEST(InterpMemory, I64NarrowAccesses)
+{
+    ModuleBuilder mb;
+    mb.memory(1);
+    mb.addFunction(FuncType({}, {ValType::I64}), "f",
+                   [](FunctionBuilder &f) {
+                       f.i32Const(8);
+                       f.i64Const(-2); // 0xFFFF...FE
+                       f.store(Opcode::I64Store32);
+                       f.i32Const(8);
+                       f.load(Opcode::I64Load32S);
+                   });
+    auto inst = Instance::instantiate(mb.build(), Linker());
+    Interpreter interp;
+    EXPECT_EQ(interp.invokeExport(*inst, "f", {})[0].i64s(), -2);
+}
+
+TEST(InterpMemory, LittleEndianLayout)
+{
+    ModuleBuilder mb;
+    mb.memory(1);
+    mb.addFunction(FuncType({}, {ValType::I32}), "f",
+                   [](FunctionBuilder &f) {
+                       f.i32Const(0);
+                       f.i32Const(0x11223344);
+                       f.i32Store();
+                       f.i32Const(0);
+                       f.load(Opcode::I32Load8U); // lowest byte first
+                   });
+    auto inst = Instance::instantiate(mb.build(), Linker());
+    Interpreter interp;
+    EXPECT_EQ(interp.invokeExport(*inst, "f", {})[0].i32(), 0x44u);
+}
+
+TEST(InterpMemory, OutOfBoundsTraps)
+{
+    ModuleBuilder mb;
+    mb.memory(1); // 64 KiB
+    mb.addFunction(FuncType({ValType::I32}, {ValType::I32}), "f",
+                   [](FunctionBuilder &f) {
+                       f.localGet(0);
+                       f.i32Load();
+                   });
+    auto inst = Instance::instantiate(mb.build(), Linker());
+    Interpreter interp;
+    // Last valid 4-byte access is at 65532.
+    std::vector<Value> ok{Value::makeI32(65532)};
+    EXPECT_NO_THROW(interp.invokeExport(*inst, "f", ok));
+    std::vector<Value> bad{Value::makeI32(65533)};
+    try {
+        interp.invokeExport(*inst, "f", bad);
+        FAIL();
+    } catch (const Trap &t) {
+        EXPECT_EQ(t.kind(), TrapKind::MemoryOutOfBounds);
+    }
+}
+
+TEST(InterpMemory, OffsetAdditionDoesNotWrap)
+{
+    ModuleBuilder mb;
+    mb.memory(1);
+    mb.addFunction(FuncType({}, {ValType::I32}), "f",
+                   [](FunctionBuilder &f) {
+                       f.i32Const(static_cast<int32_t>(0xFFFFFFFC));
+                       f.i32Load(8); // 0xFFFFFFFC + 8 must not wrap
+                   });
+    auto inst = Instance::instantiate(mb.build(), Linker());
+    Interpreter interp;
+    EXPECT_THROW(interp.invokeExport(*inst, "f", {}), Trap);
+}
+
+TEST(InterpMemory, GrowReturnsPreviousSizeAndZeroFills)
+{
+    ModuleBuilder mb;
+    mb.memory(1, 4);
+    mb.addFunction(FuncType({ValType::I32}, {ValType::I32}), "grow",
+                   [](FunctionBuilder &f) {
+                       f.localGet(0);
+                       f.op(Opcode::MemoryGrow);
+                   });
+    mb.addFunction(FuncType({}, {ValType::I32}), "size",
+                   [](FunctionBuilder &f) { f.op(Opcode::MemorySize); });
+    auto inst = Instance::instantiate(mb.build(), Linker());
+    Interpreter interp;
+    EXPECT_EQ(interp.invokeExport(*inst, "size", {})[0].i32(), 1u);
+    std::vector<Value> one{Value::makeI32(2)};
+    EXPECT_EQ(interp.invokeExport(*inst, "grow", one)[0].i32(), 1u);
+    EXPECT_EQ(interp.invokeExport(*inst, "size", {})[0].i32(), 3u);
+    // Growing beyond max fails with -1.
+    std::vector<Value> too_much{Value::makeI32(5)};
+    EXPECT_EQ(interp.invokeExport(*inst, "grow", too_much)[0].i32(),
+              0xFFFFFFFFu);
+}
+
+TEST(InterpMemory, DataSegmentsInitializeMemory)
+{
+    ModuleBuilder mb;
+    mb.memory(1);
+    mb.data(10, {0x01, 0x02, 0x03, 0x04});
+    mb.addFunction(FuncType({}, {ValType::I32}), "f",
+                   [](FunctionBuilder &f) {
+                       f.i32Const(10);
+                       f.i32Load();
+                   });
+    auto inst = Instance::instantiate(mb.build(), Linker());
+    Interpreter interp;
+    EXPECT_EQ(interp.invokeExport(*inst, "f", {})[0].i32(), 0x04030201u);
+}
+
+TEST(InterpMemory, GlobalsReadAndWrite)
+{
+    ModuleBuilder mb;
+    mb.global(ValType::I64, true, Value::makeI64(5));
+    mb.addFunction(FuncType({}, {ValType::I64}), "bump",
+                   [](FunctionBuilder &f) {
+                       f.globalGet(0);
+                       f.i64Const(1);
+                       f.op(Opcode::I64Add);
+                       f.globalSet(0);
+                       f.globalGet(0);
+                   });
+    auto inst = Instance::instantiate(mb.build(), Linker());
+    Interpreter interp;
+    EXPECT_EQ(interp.invokeExport(*inst, "bump", {})[0].i64(), 6u);
+    EXPECT_EQ(interp.invokeExport(*inst, "bump", {})[0].i64(), 7u);
+}
+
+TEST(InterpCalls, DirectCallPassesArgsAndResults)
+{
+    ModuleBuilder mb;
+    uint32_t add = mb.addFunction(
+        FuncType({ValType::I32, ValType::I32}, {ValType::I32}), "",
+        [](FunctionBuilder &f) {
+            f.localGet(0).localGet(1).op(Opcode::I32Add);
+        });
+    mb.addFunction(FuncType({}, {ValType::I32}), "f",
+                   [&](FunctionBuilder &f) {
+                       f.i32Const(30);
+                       f.i32Const(12);
+                       f.call(add);
+                   });
+    auto inst = Instance::instantiate(mb.build(), Linker());
+    Interpreter interp;
+    EXPECT_EQ(interp.invokeExport(*inst, "f", {})[0].i32(), 42u);
+}
+
+TEST(InterpCalls, RecursiveFibonacci)
+{
+    ModuleBuilder mb;
+    FunctionBuilder fb =
+        mb.startFunction(FuncType({ValType::I32}, {ValType::I32}), "fib");
+    fb.localGet(0);
+    fb.i32Const(2);
+    fb.op(Opcode::I32LtU);
+    fb.if_(ValType::I32);
+    fb.localGet(0);
+    fb.else_();
+    fb.localGet(0).i32Const(1).op(Opcode::I32Sub).call(0);
+    fb.localGet(0).i32Const(2).op(Opcode::I32Sub).call(0);
+    fb.op(Opcode::I32Add);
+    fb.end();
+    fb.finish();
+    auto inst = Instance::instantiate(mb.build(), Linker());
+    Interpreter interp;
+    std::vector<Value> args{Value::makeI32(15)};
+    EXPECT_EQ(interp.invokeExport(*inst, "fib", args)[0].i32(), 610u);
+}
+
+TEST(InterpCalls, IndirectCallThroughTable)
+{
+    ModuleBuilder mb;
+    mb.table(2, 2);
+    FuncType unary({ValType::I32}, {ValType::I32});
+    uint32_t dbl = mb.addFunction(unary, "", [](FunctionBuilder &f) {
+        f.localGet(0).i32Const(2).op(Opcode::I32Mul);
+    });
+    uint32_t sqr = mb.addFunction(unary, "", [](FunctionBuilder &f) {
+        f.localGet(0).localGet(0).op(Opcode::I32Mul);
+    });
+    mb.elem(0, {dbl, sqr});
+    mb.addFunction(FuncType({ValType::I32, ValType::I32}, {ValType::I32}),
+                   "dispatch", [&](FunctionBuilder &f) {
+                       f.localGet(0); // argument
+                       f.localGet(1); // table index
+                       f.callIndirect(mb.type(unary));
+                   });
+    auto inst = Instance::instantiate(mb.build(), Linker());
+    Interpreter interp;
+    std::vector<Value> a{Value::makeI32(7), Value::makeI32(0)};
+    EXPECT_EQ(interp.invokeExport(*inst, "dispatch", a)[0].i32(), 14u);
+    std::vector<Value> b{Value::makeI32(7), Value::makeI32(1)};
+    EXPECT_EQ(interp.invokeExport(*inst, "dispatch", b)[0].i32(), 49u);
+}
+
+TEST(InterpCalls, IndirectCallTypeMismatchTraps)
+{
+    ModuleBuilder mb;
+    mb.table(1, 1);
+    FuncType nullary({}, {});
+    FuncType unary({ValType::I32}, {ValType::I32});
+    uint32_t f0 =
+        mb.addFunction(nullary, "", [](FunctionBuilder &) {});
+    mb.elem(0, {f0});
+    mb.addFunction(FuncType({}, {ValType::I32}), "f",
+                   [&](FunctionBuilder &f) {
+                       f.i32Const(1);
+                       f.i32Const(0);
+                       f.callIndirect(mb.type(unary));
+                   });
+    auto inst = Instance::instantiate(mb.build(), Linker());
+    Interpreter interp;
+    try {
+        interp.invokeExport(*inst, "f", {});
+        FAIL();
+    } catch (const Trap &t) {
+        EXPECT_EQ(t.kind(), TrapKind::IndirectCallTypeMismatch);
+    }
+}
+
+TEST(InterpCalls, UninitializedTableEntryTraps)
+{
+    ModuleBuilder mb;
+    mb.table(4, 4);
+    FuncType nullary({}, {});
+    mb.addFunction(nullary, "f", [&](FunctionBuilder &f) {
+        f.i32Const(2); // never initialized
+        f.callIndirect(mb.type(nullary));
+    });
+    auto inst = Instance::instantiate(mb.build(), Linker());
+    Interpreter interp;
+    try {
+        interp.invokeExport(*inst, "f", {});
+        FAIL();
+    } catch (const Trap &t) {
+        EXPECT_EQ(t.kind(), TrapKind::UninitializedTableElement);
+    }
+}
+
+TEST(InterpCalls, TableIndexOutOfBoundsTraps)
+{
+    ModuleBuilder mb;
+    mb.table(1, 1);
+    FuncType nullary({}, {});
+    mb.addFunction(nullary, "f", [&](FunctionBuilder &f) {
+        f.i32Const(100);
+        f.callIndirect(mb.type(nullary));
+    });
+    auto inst = Instance::instantiate(mb.build(), Linker());
+    Interpreter interp;
+    EXPECT_THROW(interp.invokeExport(*inst, "f", {}), Trap);
+}
+
+TEST(InterpCalls, HostFunctionReceivesArgsReturnsResults)
+{
+    ModuleBuilder mb;
+    uint32_t host = mb.importFunction(
+        "env", "add10", FuncType({ValType::I32}, {ValType::I32}));
+    mb.addFunction(FuncType({}, {ValType::I32}), "f",
+                   [&](FunctionBuilder &f) {
+                       f.i32Const(32);
+                       f.call(host);
+                   });
+    Linker linker;
+    int call_count = 0;
+    linker.func("env", "add10",
+                [&](Instance &, std::span<const Value> args,
+                    std::vector<Value> &results) {
+                    ++call_count;
+                    results.push_back(
+                        Value::makeI32(args[0].i32() + 10));
+                });
+    auto inst = Instance::instantiate(mb.build(), linker);
+    Interpreter interp;
+    EXPECT_EQ(interp.invokeExport(*inst, "f", {})[0].i32(), 42u);
+    EXPECT_EQ(call_count, 1);
+}
+
+TEST(InterpCalls, MissingImportFailsLink)
+{
+    ModuleBuilder mb;
+    mb.importFunction("env", "missing", FuncType({}, {}));
+    EXPECT_THROW(Instance::instantiate(mb.build(), Linker()), LinkError);
+}
+
+TEST(InterpCalls, StartFunctionRunsAtInstantiation)
+{
+    ModuleBuilder mb;
+    mb.global(ValType::I32, true, Value::makeI32(0), "flag");
+    uint32_t s = mb.addFunction(FuncType({}, {}), "",
+                                [](FunctionBuilder &f) {
+                                    f.i32Const(123);
+                                    f.globalSet(0);
+                                });
+    mb.start(s);
+    auto inst = Instance::instantiate(mb.build(), Linker());
+    EXPECT_EQ(inst->globalGet(0).i32(), 123u);
+}
+
+TEST(InterpCalls, LocalsAreZeroInitialized)
+{
+    ModuleBuilder mb;
+    FunctionBuilder fb =
+        mb.startFunction(FuncType({}, {ValType::F64}), "f");
+    uint32_t l = fb.addLocal(ValType::F64);
+    fb.localGet(l);
+    fb.finish();
+    auto inst = Instance::instantiate(mb.build(), Linker());
+    Interpreter interp;
+    EXPECT_EQ(interp.invokeExport(*inst, "f", {})[0], Value::makeF64(0.0));
+}
+
+TEST(InterpMemory, DataSegmentOutOfBoundsTrapsAtInstantiation)
+{
+    ModuleBuilder mb;
+    mb.memory(1);
+    mb.data(wasm::kPageSize - 2, {1, 2, 3, 4});
+    EXPECT_THROW(Instance::instantiate(mb.build(), Linker()), Trap);
+}
+
+} // namespace
+} // namespace wasabi::interp

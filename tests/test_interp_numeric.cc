@@ -1,0 +1,360 @@
+/**
+ * @file
+ * Interpreter tests for numeric instruction semantics: arithmetic,
+ * comparisons, conversions, and their trapping behavior. Uses
+ * parameterized sweeps over (op, inputs, expected) triples.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "interp/interpreter.h"
+#include "interp/numerics.h"
+#include "wasm/builder.h"
+
+namespace wasabi::interp {
+namespace {
+
+using wasm::Opcode;
+using wasm::Value;
+using wasm::ValType;
+
+// ---------------------------------------------------------------------
+// Direct unit tests of evalUnary / evalBinary.
+
+struct BinCase {
+    Opcode op;
+    Value lhs, rhs, expected;
+};
+
+std::ostream &
+operator<<(std::ostream &os, const BinCase &c)
+{
+    return os << wasm::name(c.op) << "(" << toString(c.lhs) << ", "
+              << toString(c.rhs) << ") = " << toString(c.expected);
+}
+
+class BinaryOps : public ::testing::TestWithParam<BinCase> {};
+
+TEST_P(BinaryOps, Evaluates)
+{
+    const BinCase &c = GetParam();
+    EXPECT_EQ(evalBinary(c.op, c.lhs, c.rhs), c.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    I32Arith, BinaryOps,
+    ::testing::Values(
+        BinCase{Opcode::I32Add, Value::makeI32(2), Value::makeI32(3),
+                Value::makeI32(5)},
+        BinCase{Opcode::I32Add, Value::makeI32(0xFFFFFFFF),
+                Value::makeI32(1), Value::makeI32(0)},
+        BinCase{Opcode::I32Sub, Value::makeI32(2), Value::makeI32(3),
+                Value::makeI32(0xFFFFFFFF)},
+        BinCase{Opcode::I32Mul, Value::makeI32(0x10000),
+                Value::makeI32(0x10000), Value::makeI32(0)},
+        BinCase{Opcode::I32DivS,
+                Value::makeI32(static_cast<uint32_t>(-7)),
+                Value::makeI32(2),
+                Value::makeI32(static_cast<uint32_t>(-3))},
+        BinCase{Opcode::I32DivU, Value::makeI32(0xFFFFFFFE),
+                Value::makeI32(2), Value::makeI32(0x7FFFFFFF)},
+        BinCase{Opcode::I32RemS,
+                Value::makeI32(static_cast<uint32_t>(-7)),
+                Value::makeI32(2),
+                Value::makeI32(static_cast<uint32_t>(-1))},
+        BinCase{Opcode::I32RemS, Value::makeI32(0x80000000),
+                Value::makeI32(static_cast<uint32_t>(-1)),
+                Value::makeI32(0)},
+        BinCase{Opcode::I32RemU, Value::makeI32(7), Value::makeI32(4),
+                Value::makeI32(3)},
+        BinCase{Opcode::I32And, Value::makeI32(0b1100),
+                Value::makeI32(0b1010), Value::makeI32(0b1000)},
+        BinCase{Opcode::I32Or, Value::makeI32(0b1100),
+                Value::makeI32(0b1010), Value::makeI32(0b1110)},
+        BinCase{Opcode::I32Xor, Value::makeI32(0b1100),
+                Value::makeI32(0b1010), Value::makeI32(0b0110)},
+        BinCase{Opcode::I32Shl, Value::makeI32(1), Value::makeI32(33),
+                Value::makeI32(2)}, // count masked to 1
+        BinCase{Opcode::I32ShrS, Value::makeI32(0x80000000),
+                Value::makeI32(31), Value::makeI32(0xFFFFFFFF)},
+        BinCase{Opcode::I32ShrU, Value::makeI32(0x80000000),
+                Value::makeI32(31), Value::makeI32(1)},
+        BinCase{Opcode::I32Rotl, Value::makeI32(0x80000001),
+                Value::makeI32(1), Value::makeI32(3)},
+        BinCase{Opcode::I32Rotr, Value::makeI32(3), Value::makeI32(1),
+                Value::makeI32(0x80000001)}));
+
+INSTANTIATE_TEST_SUITE_P(
+    I64Arith, BinaryOps,
+    ::testing::Values(
+        BinCase{Opcode::I64Add, Value::makeI64(0xFFFFFFFFFFFFFFFFull),
+                Value::makeI64(1), Value::makeI64(0)},
+        BinCase{Opcode::I64Mul, Value::makeI64(1ull << 33),
+                Value::makeI64(1ull << 33), Value::makeI64(0)},
+        BinCase{Opcode::I64DivS,
+                Value::makeI64(static_cast<uint64_t>(-10)),
+                Value::makeI64(3),
+                Value::makeI64(static_cast<uint64_t>(-3))},
+        BinCase{Opcode::I64Shl, Value::makeI64(1), Value::makeI64(65),
+                Value::makeI64(2)},
+        BinCase{Opcode::I64Rotr, Value::makeI64(1), Value::makeI64(1),
+                Value::makeI64(1ull << 63)}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Comparisons, BinaryOps,
+    ::testing::Values(
+        BinCase{Opcode::I32LtS, Value::makeI32(static_cast<uint32_t>(-1)),
+                Value::makeI32(1), Value::makeI32(1)},
+        BinCase{Opcode::I32LtU, Value::makeI32(static_cast<uint32_t>(-1)),
+                Value::makeI32(1), Value::makeI32(0)},
+        BinCase{Opcode::I64GeU, Value::makeI64(5), Value::makeI64(5),
+                Value::makeI32(1)},
+        BinCase{Opcode::F32Lt, Value::makeF32(1.0f), Value::makeF32(2.0f),
+                Value::makeI32(1)},
+        BinCase{Opcode::F64Ge, Value::makeF64(-0.0), Value::makeF64(0.0),
+                Value::makeI32(1)},
+        BinCase{Opcode::F64Eq, Value::makeF64(NAN), Value::makeF64(NAN),
+                Value::makeI32(0)},
+        BinCase{Opcode::F64Ne, Value::makeF64(NAN), Value::makeF64(NAN),
+                Value::makeI32(1)}));
+
+INSTANTIATE_TEST_SUITE_P(
+    FloatArith, BinaryOps,
+    ::testing::Values(
+        BinCase{Opcode::F64Add, Value::makeF64(1.5), Value::makeF64(2.25),
+                Value::makeF64(3.75)},
+        BinCase{Opcode::F64Div, Value::makeF64(1.0), Value::makeF64(0.0),
+                Value::makeF64(std::numeric_limits<double>::infinity())},
+        BinCase{Opcode::F64Min, Value::makeF64(-0.0), Value::makeF64(0.0),
+                Value::makeF64(-0.0)},
+        BinCase{Opcode::F64Max, Value::makeF64(-0.0), Value::makeF64(0.0),
+                Value::makeF64(0.0)},
+        BinCase{Opcode::F32Copysign, Value::makeF32(3.0f),
+                Value::makeF32(-1.0f), Value::makeF32(-3.0f)},
+        BinCase{Opcode::F32Min, Value::makeF32(1.0f), Value::makeF32(2.0f),
+                Value::makeF32(1.0f)}));
+
+struct UnCase {
+    Opcode op;
+    Value input, expected;
+};
+
+std::ostream &
+operator<<(std::ostream &os, const UnCase &c)
+{
+    return os << wasm::name(c.op) << "(" << toString(c.input)
+              << ") = " << toString(c.expected);
+}
+
+class UnaryOps : public ::testing::TestWithParam<UnCase> {};
+
+TEST_P(UnaryOps, Evaluates)
+{
+    const UnCase &c = GetParam();
+    EXPECT_EQ(evalUnary(c.op, c.input), c.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    IntUnary, UnaryOps,
+    ::testing::Values(
+        UnCase{Opcode::I32Eqz, Value::makeI32(0), Value::makeI32(1)},
+        UnCase{Opcode::I32Eqz, Value::makeI32(7), Value::makeI32(0)},
+        UnCase{Opcode::I64Eqz, Value::makeI64(0), Value::makeI32(1)},
+        UnCase{Opcode::I32Clz, Value::makeI32(1), Value::makeI32(31)},
+        UnCase{Opcode::I32Clz, Value::makeI32(0), Value::makeI32(32)},
+        UnCase{Opcode::I32Ctz, Value::makeI32(0x80000000),
+               Value::makeI32(31)},
+        UnCase{Opcode::I32Popcnt, Value::makeI32(0xF0F0),
+               Value::makeI32(8)},
+        UnCase{Opcode::I64Clz, Value::makeI64(1), Value::makeI64(63)},
+        UnCase{Opcode::I64Popcnt, Value::makeI64(~0ull),
+               Value::makeI64(64)}));
+
+INSTANTIATE_TEST_SUITE_P(
+    FloatUnary, UnaryOps,
+    ::testing::Values(
+        UnCase{Opcode::F64Abs, Value::makeF64(-2.5), Value::makeF64(2.5)},
+        UnCase{Opcode::F64Neg, Value::makeF64(0.0), Value::makeF64(-0.0)},
+        UnCase{Opcode::F64Ceil, Value::makeF64(1.2), Value::makeF64(2.0)},
+        UnCase{Opcode::F64Floor, Value::makeF64(-1.2),
+               Value::makeF64(-2.0)},
+        UnCase{Opcode::F64Trunc, Value::makeF64(-1.7),
+               Value::makeF64(-1.0)},
+        UnCase{Opcode::F64Nearest, Value::makeF64(2.5),
+               Value::makeF64(2.0)}, // ties to even
+        UnCase{Opcode::F64Nearest, Value::makeF64(3.5),
+               Value::makeF64(4.0)},
+        UnCase{Opcode::F64Sqrt, Value::makeF64(9.0), Value::makeF64(3.0)},
+        UnCase{Opcode::F32Sqrt, Value::makeF32(4.0f),
+               Value::makeF32(2.0f)}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Conversions, UnaryOps,
+    ::testing::Values(
+        UnCase{Opcode::I32WrapI64, Value::makeI64(0x1FFFFFFFFull),
+               Value::makeI32(0xFFFFFFFF)},
+        UnCase{Opcode::I64ExtendI32S,
+               Value::makeI32(static_cast<uint32_t>(-5)),
+               Value::makeI64(static_cast<uint64_t>(-5))},
+        UnCase{Opcode::I64ExtendI32U,
+               Value::makeI32(static_cast<uint32_t>(-5)),
+               Value::makeI64(0xFFFFFFFBull)},
+        UnCase{Opcode::I32TruncF64S, Value::makeF64(-3.99),
+               Value::makeI32(static_cast<uint32_t>(-3))},
+        UnCase{Opcode::I32TruncF64U, Value::makeF64(3.99),
+               Value::makeI32(3)},
+        UnCase{Opcode::I32TruncF64U, Value::makeF64(-0.5),
+               Value::makeI32(0)},
+        UnCase{Opcode::I64TruncF64S, Value::makeF64(1e15),
+               Value::makeI64(1000000000000000ull)},
+        UnCase{Opcode::F32ConvertI32U,
+               Value::makeI32(static_cast<uint32_t>(-1)),
+               Value::makeF32(4294967296.0f)},
+        UnCase{Opcode::F64ConvertI64U, Value::makeI64(~0ull),
+               Value::makeF64(18446744073709551616.0)},
+        UnCase{Opcode::F64ConvertI32S,
+               Value::makeI32(static_cast<uint32_t>(-7)),
+               Value::makeF64(-7.0)},
+        UnCase{Opcode::F64PromoteF32, Value::makeF32(1.5f),
+               Value::makeF64(1.5)},
+        UnCase{Opcode::F32DemoteF64, Value::makeF64(1.5),
+               Value::makeF32(1.5f)},
+        UnCase{Opcode::I32ReinterpretF32, Value::makeF32(1.0f),
+               Value::makeI32(0x3F800000)},
+        UnCase{Opcode::F64ReinterpretI64,
+               Value::makeI64(0x3FF0000000000000ull),
+               Value::makeF64(1.0)}));
+
+// ---------------------------------------------------------------------
+// Trapping behavior.
+
+TEST(NumericTraps, DivisionByZero)
+{
+    EXPECT_THROW(evalBinary(Opcode::I32DivS, Value::makeI32(1),
+                            Value::makeI32(0)),
+                 Trap);
+    EXPECT_THROW(evalBinary(Opcode::I64RemU, Value::makeI64(1),
+                            Value::makeI64(0)),
+                 Trap);
+    try {
+        evalBinary(Opcode::I32DivU, Value::makeI32(1), Value::makeI32(0));
+        FAIL();
+    } catch (const Trap &t) {
+        EXPECT_EQ(t.kind(), TrapKind::DivByZero);
+    }
+}
+
+TEST(NumericTraps, SignedDivisionOverflow)
+{
+    try {
+        evalBinary(Opcode::I32DivS, Value::makeI32(0x80000000),
+                   Value::makeI32(static_cast<uint32_t>(-1)));
+        FAIL();
+    } catch (const Trap &t) {
+        EXPECT_EQ(t.kind(), TrapKind::IntegerOverflow);
+    }
+    EXPECT_THROW(evalBinary(Opcode::I64DivS,
+                            Value::makeI64(0x8000000000000000ull),
+                            Value::makeI64(~0ull)),
+                 Trap);
+}
+
+TEST(NumericTraps, TruncOfNaN)
+{
+    try {
+        evalUnary(Opcode::I32TruncF32S, Value::makeF32(NAN));
+        FAIL();
+    } catch (const Trap &t) {
+        EXPECT_EQ(t.kind(), TrapKind::InvalidConversion);
+    }
+}
+
+TEST(NumericTraps, TruncOutOfRange)
+{
+    EXPECT_THROW(evalUnary(Opcode::I32TruncF64S, Value::makeF64(3e9)),
+                 Trap);
+    EXPECT_THROW(evalUnary(Opcode::I32TruncF64S, Value::makeF64(-3e9)),
+                 Trap);
+    EXPECT_THROW(evalUnary(Opcode::I32TruncF64U, Value::makeF64(-1.0)),
+                 Trap);
+    EXPECT_THROW(evalUnary(Opcode::I32TruncF64U, Value::makeF64(4.3e9)),
+                 Trap);
+    EXPECT_THROW(evalUnary(Opcode::I64TruncF64S, Value::makeF64(1e19)),
+                 Trap);
+    // Boundary values that must NOT trap.
+    EXPECT_EQ(evalUnary(Opcode::I32TruncF64S, Value::makeF64(-2147483648.0))
+                  .i32s(),
+              -2147483648);
+    EXPECT_EQ(
+        evalUnary(Opcode::I32TruncF64U, Value::makeF64(4294967295.0)).i32(),
+        4294967295u);
+}
+
+TEST(NumericTraps, MinMaxPropagateNaN)
+{
+    Value r = evalBinary(Opcode::F64Min, Value::makeF64(NAN),
+                         Value::makeF64(1.0));
+    EXPECT_TRUE(std::isnan(r.f64()));
+    r = evalBinary(Opcode::F32Max, Value::makeF32(1.0f),
+                   Value::makeF32(NAN));
+    EXPECT_TRUE(std::isnan(r.f32()));
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: numeric ops through the interpreter.
+
+TEST(InterpNumeric, ComputesFactorialIteratively)
+{
+    wasm::ModuleBuilder mb;
+    wasm::FunctionBuilder fb = mb.startFunction(
+        wasm::FuncType({ValType::I64}, {ValType::I64}), "fact");
+    uint32_t acc = fb.addLocal(ValType::I64);
+    fb.i64Const(1).localSet(acc);
+    fb.block();
+    fb.loop();
+    // if (n == 0) break
+    fb.localGet(0).op(Opcode::I64Eqz).brIf(1);
+    // acc *= n
+    fb.localGet(acc).localGet(0).op(Opcode::I64Mul).localSet(acc);
+    // n -= 1
+    fb.localGet(0).i64Const(1).op(Opcode::I64Sub).localSet(0);
+    fb.br(0);
+    fb.end();
+    fb.end();
+    fb.localGet(acc);
+    fb.finish();
+
+    auto inst = Instance::instantiate(mb.build(), Linker());
+    Interpreter interp;
+    std::vector<Value> args{Value::makeI64(20)};
+    auto results = interp.invokeExport(*inst, "fact", args);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].i64(), 2432902008176640000ull);
+}
+
+TEST(InterpNumeric, TrapPropagatesFromNestedCode)
+{
+    wasm::ModuleBuilder mb;
+    mb.addFunction(wasm::FuncType({}, {ValType::I32}), "f",
+                   [](wasm::FunctionBuilder &f) {
+                       f.block(ValType::I32);
+                       f.i32Const(1);
+                       f.i32Const(0);
+                       f.op(Opcode::I32DivU);
+                       f.end();
+                   });
+    auto inst = Instance::instantiate(mb.build(), Linker());
+    Interpreter interp;
+    try {
+        interp.invokeExport(*inst, "f", {});
+        FAIL();
+    } catch (const Trap &t) {
+        EXPECT_EQ(t.kind(), TrapKind::DivByZero);
+    }
+}
+
+} // namespace
+} // namespace wasabi::interp

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Integration sweep over the entire numeric instruction set: for every
+ * unary and binary opcode, a module is built, encoded, decoded,
+ * validated and executed end-to-end, and the result must match the
+ * direct semantic evaluation (evalUnary/evalBinary). This pins down
+ * the full decode -> validate -> execute pipeline per opcode.
+ */
+
+#include <gtest/gtest.h>
+
+#include "interp/interpreter.h"
+#include "interp/numerics.h"
+#include "wasm/builder.h"
+#include "wasm/decoder.h"
+#include "wasm/encoder.h"
+#include "wasm/validator.h"
+
+namespace wasabi::interp {
+namespace {
+
+using wasm::FuncType;
+using wasm::Instr;
+using wasm::ModuleBuilder;
+using wasm::Opcode;
+using wasm::OpClass;
+using wasm::OpInfo;
+using wasm::Value;
+using wasm::ValType;
+
+/** Deterministic, interesting sample inputs per type. */
+std::vector<Value>
+samples(ValType t)
+{
+    switch (t) {
+      case ValType::I32:
+        return {Value::makeI32(0), Value::makeI32(1),
+                Value::makeI32(static_cast<uint32_t>(-1)),
+                Value::makeI32(0x7FFFFFFF), Value::makeI32(0x80000000),
+                Value::makeI32(42)};
+      case ValType::I64:
+        return {Value::makeI64(0), Value::makeI64(1),
+                Value::makeI64(~0ull), Value::makeI64(1ull << 63),
+                Value::makeI64(0x0123456789ABCDEFull)};
+      case ValType::F32:
+        return {Value::makeF32(0.0f), Value::makeF32(-0.0f),
+                Value::makeF32(1.5f), Value::makeF32(-3.75f),
+                Value::makeF32(100.0f)};
+      case ValType::F64:
+        return {Value::makeF64(0.0), Value::makeF64(-0.0),
+                Value::makeF64(2.5), Value::makeF64(-1e10),
+                Value::makeF64(0.015625)};
+    }
+    return {};
+}
+
+Instr
+constOf(Value v)
+{
+    switch (v.type) {
+      case ValType::I32: return Instr::i32Const(v.i32());
+      case ValType::I64: return Instr::i64Const(v.i64());
+      case ValType::F32: return Instr::f32Const(v.f32());
+      case ValType::F64: return Instr::f64Const(v.f64());
+    }
+    return Instr();
+}
+
+/** Execute `op` applied to consts through the full pipeline. */
+std::optional<Value>
+runOp(Opcode op, const std::vector<Value> &inputs)
+{
+    const OpInfo &info = wasm::opInfo(op);
+    ModuleBuilder mb;
+    mb.addFunction(FuncType({}, {info.out}), "f",
+                   [&](wasm::FunctionBuilder &f) {
+                       for (const Value &v : inputs)
+                           f.emit(constOf(v));
+                       f.op(op);
+                   });
+    wasm::Module m = wasm::decodeModule(wasm::encodeModule(mb.build()));
+    EXPECT_EQ(validationError(m), std::nullopt) << wasm::name(op);
+    auto inst = Instance::instantiate(std::move(m), Linker());
+    Interpreter interp;
+    try {
+        auto results = interp.invokeExport(*inst, "f", {});
+        return results.at(0);
+    } catch (const Trap &) {
+        return std::nullopt;
+    }
+}
+
+std::optional<Value>
+evalDirect(Opcode op, const std::vector<Value> &inputs)
+{
+    try {
+        if (inputs.size() == 1)
+            return evalUnary(op, inputs[0]);
+        return evalBinary(op, inputs[0], inputs[1]);
+    } catch (const Trap &) {
+        return std::nullopt;
+    }
+}
+
+class NumericOpcodeSweep : public ::testing::TestWithParam<Opcode> {};
+
+TEST_P(NumericOpcodeSweep, PipelineMatchesDirectSemantics)
+{
+    Opcode op = GetParam();
+    const OpInfo &info = wasm::opInfo(op);
+    if (info.cls == OpClass::Unary) {
+        for (Value in : samples(info.in[0])) {
+            auto expected = evalDirect(op, {in});
+            auto actual = runOp(op, {in});
+            EXPECT_EQ(expected, actual)
+                << wasm::name(op) << "(" << toString(in) << ")";
+        }
+    } else {
+        for (Value a : samples(info.in[0])) {
+            for (Value b : samples(info.in[1])) {
+                auto expected = evalDirect(op, {a, b});
+                auto actual = runOp(op, {a, b});
+                EXPECT_EQ(expected, actual)
+                    << wasm::name(op) << "(" << toString(a) << ", "
+                    << toString(b) << ")";
+            }
+        }
+    }
+}
+
+std::vector<Opcode>
+numericOpcodes()
+{
+    std::vector<Opcode> ops;
+    for (Opcode op : wasm::allOpcodes()) {
+        OpClass c = wasm::opInfo(op).cls;
+        if (c == OpClass::Unary || c == OpClass::Binary)
+            ops.push_back(op);
+    }
+    return ops;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, NumericOpcodeSweep, ::testing::ValuesIn(numericOpcodes()),
+    [](const ::testing::TestParamInfo<Opcode> &info) {
+        std::string n = wasm::name(info.param);
+        for (char &c : n) {
+            if (c == '.' || c == '/')
+                c = '_';
+        }
+        return n;
+    });
+
+/** Loads and stores of every width, swept over byte patterns. */
+TEST(MemoryOpcodeSweep, AllLoadStoreWidths)
+{
+    struct Case {
+        Opcode store, load;
+        uint64_t pattern, expected;
+        ValType t;
+    };
+    const Case cases[] = {
+        {Opcode::I32Store8, Opcode::I32Load8U, 0x1FF, 0xFF, ValType::I32},
+        {Opcode::I32Store8, Opcode::I32Load8S, 0x80, 0xFFFFFF80,
+         ValType::I32},
+        {Opcode::I32Store16, Opcode::I32Load16U, 0x18000, 0x8000,
+         ValType::I32},
+        {Opcode::I32Store16, Opcode::I32Load16S, 0x8000, 0xFFFF8000,
+         ValType::I32},
+        {Opcode::I32Store, Opcode::I32Load, 0xDEADBEEF, 0xDEADBEEF,
+         ValType::I32},
+        {Opcode::I64Store8, Opcode::I64Load8U, 0xAB, 0xAB, ValType::I64},
+        {Opcode::I64Store16, Opcode::I64Load16S, 0xFFFF,
+         0xFFFFFFFFFFFFFFFF, ValType::I64},
+        {Opcode::I64Store32, Opcode::I64Load32U, 0xFFFFFFFF, 0xFFFFFFFF,
+         ValType::I64},
+        {Opcode::I64Store32, Opcode::I64Load32S, 0x80000000,
+         0xFFFFFFFF80000000, ValType::I64},
+        {Opcode::I64Store, Opcode::I64Load, 0x0123456789ABCDEF,
+         0x0123456789ABCDEF, ValType::I64},
+    };
+    for (const Case &c : cases) {
+        ModuleBuilder mb;
+        mb.memory(1);
+        mb.addFunction(
+            FuncType({}, {c.t}), "f", [&](wasm::FunctionBuilder &f) {
+                f.i32Const(32);
+                if (c.t == ValType::I32)
+                    f.i32Const(static_cast<uint32_t>(c.pattern));
+                else
+                    f.i64Const(c.pattern);
+                f.store(c.store);
+                f.i32Const(32);
+                f.load(c.load);
+            });
+        auto inst = Instance::instantiate(mb.build(), Linker());
+        Interpreter interp;
+        Value got = interp.invokeExport(*inst, "f", {})[0];
+        EXPECT_EQ(got.bits, c.expected)
+            << wasm::name(c.store) << "/" << wasm::name(c.load);
+    }
+}
+
+/** Float loads/stores roundtrip bit patterns including NaNs. */
+TEST(MemoryOpcodeSweep, FloatRoundtripsPreserveBits)
+{
+    ModuleBuilder mb;
+    mb.memory(1);
+    mb.addFunction(FuncType({ValType::F64}, {ValType::F64}), "d",
+                   [](wasm::FunctionBuilder &f) {
+                       f.i32Const(0);
+                       f.localGet(0);
+                       f.f64Store();
+                       f.i32Const(0);
+                       f.f64Load();
+                   });
+    mb.addFunction(FuncType({ValType::F32}, {ValType::F32}), "s",
+                   [](wasm::FunctionBuilder &f) {
+                       f.i32Const(8);
+                       f.localGet(0);
+                       f.store(Opcode::F32Store);
+                       f.i32Const(8);
+                       f.load(Opcode::F32Load);
+                   });
+    auto inst = Instance::instantiate(mb.build(), Linker());
+    Interpreter interp;
+    Value nan64 = Value(ValType::F64, 0x7FF4000000000001ull);
+    std::vector<Value> a{nan64};
+    EXPECT_EQ(interp.invokeExport(*inst, "d", a)[0].bits, nan64.bits);
+    Value nan32 = Value(ValType::F32, 0x7FA00001u);
+    std::vector<Value> b{nan32};
+    EXPECT_EQ(interp.invokeExport(*inst, "s", b)[0].bits, nan32.bits);
+}
+
+} // namespace
+} // namespace wasabi::interp

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Unit tests for LEB128 encoding/decoding and the ByteReader.
+ */
+
+#include <gtest/gtest.h>
+
+#include "wasm/leb128.h"
+
+namespace wasabi::wasm {
+namespace {
+
+TEST(ULEB, EncodesSmallValuesAsSingleByte)
+{
+    std::vector<uint8_t> out;
+    encodeULEB(out, 0);
+    encodeULEB(out, 1);
+    encodeULEB(out, 127);
+    EXPECT_EQ(out, (std::vector<uint8_t>{0x00, 0x01, 0x7F}));
+}
+
+TEST(ULEB, EncodesMultiByteValues)
+{
+    std::vector<uint8_t> out;
+    encodeULEB(out, 128);
+    EXPECT_EQ(out, (std::vector<uint8_t>{0x80, 0x01}));
+    out.clear();
+    encodeULEB(out, 624485);
+    EXPECT_EQ(out, (std::vector<uint8_t>{0xE5, 0x8E, 0x26}));
+}
+
+TEST(SLEB, EncodesNegativeValues)
+{
+    std::vector<uint8_t> out;
+    encodeSLEB(out, -1);
+    EXPECT_EQ(out, (std::vector<uint8_t>{0x7F}));
+    out.clear();
+    encodeSLEB(out, -123456);
+    EXPECT_EQ(out, (std::vector<uint8_t>{0xC0, 0xBB, 0x78}));
+}
+
+TEST(SLEB, SignBitForcesExtraByte)
+{
+    // 64 has bit 6 set, so the single byte 0x40 would decode as -64.
+    std::vector<uint8_t> out;
+    encodeSLEB(out, 64);
+    EXPECT_EQ(out, (std::vector<uint8_t>{0xC0, 0x00}));
+}
+
+class RoundtripU : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RoundtripU, ULEBRoundtrips)
+{
+    std::vector<uint8_t> out;
+    encodeULEB(out, GetParam());
+    ByteReader r(out);
+    EXPECT_EQ(r.readULEB(64), GetParam());
+    EXPECT_TRUE(r.done());
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, RoundtripU,
+                         ::testing::Values(0ull, 1ull, 127ull, 128ull,
+                                           300ull, 16383ull, 16384ull,
+                                           0xFFFFFFFFull,
+                                           0xFFFFFFFFFFFFFFFFull));
+
+class RoundtripS : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(RoundtripS, SLEBRoundtrips)
+{
+    std::vector<uint8_t> out;
+    encodeSLEB(out, GetParam());
+    ByteReader r(out);
+    EXPECT_EQ(r.readSLEB(64), GetParam());
+    EXPECT_TRUE(r.done());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, RoundtripS,
+    ::testing::Values(0ll, 1ll, -1ll, 63ll, 64ll, -64ll, -65ll, 8191ll,
+                      -8192ll, 0x7FFFFFFFll, -0x80000000ll,
+                      0x7FFFFFFFFFFFFFFFll,
+                      -0x7FFFFFFFFFFFFFFFll - 1));
+
+TEST(ByteReader, ThrowsOnTruncatedInput)
+{
+    std::vector<uint8_t> bytes{0x80}; // continuation bit but no next byte
+    ByteReader r(bytes);
+    EXPECT_THROW(r.readULEB(32), DecodeError);
+}
+
+TEST(ByteReader, ThrowsOnOverlongULEB)
+{
+    // Six continuation bytes exceed the 32-bit budget.
+    std::vector<uint8_t> bytes{0x80, 0x80, 0x80, 0x80, 0x80, 0x01};
+    ByteReader r(bytes);
+    EXPECT_THROW(r.readULEB(32), DecodeError);
+}
+
+TEST(ByteReader, ReadsFixedWidthLittleEndian)
+{
+    std::vector<uint8_t> bytes{0x78, 0x56, 0x34, 0x12,
+                               0x01, 0x00, 0x00, 0x00,
+                               0x00, 0x00, 0x00, 0x80};
+    ByteReader r(bytes);
+    EXPECT_EQ(r.readFixedU32(), 0x12345678u);
+    EXPECT_EQ(r.readFixedU64(), 0x8000000000000001ull);
+}
+
+TEST(ByteReader, ReadsNames)
+{
+    std::vector<uint8_t> bytes{0x03, 'a', 'b', 'c'};
+    ByteReader r(bytes);
+    EXPECT_EQ(r.readName(), "abc");
+}
+
+TEST(ByteReader, NameLengthBeyondInputThrows)
+{
+    std::vector<uint8_t> bytes{0x05, 'a', 'b'};
+    ByteReader r(bytes);
+    EXPECT_THROW(r.readName(), DecodeError);
+}
+
+} // namespace
+} // namespace wasabi::wasm

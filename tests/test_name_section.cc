@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for the "name" custom section: decoding, re-encoding, and
+ * correctness of the rebuilt section across instrumentation (function
+ * indices shift when hook imports are inserted).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/instrument.h"
+#include "wasm/builder.h"
+#include "wasm/decoder.h"
+#include "wasm/encoder.h"
+#include "wasm/name_section.h"
+
+namespace wasabi::wasm {
+namespace {
+
+TEST(NameSection, RoundtripsThroughBinary)
+{
+    ModuleBuilder mb;
+    mb.addFunction(FuncType({}, {}), "", [](FunctionBuilder &) {});
+    mb.addFunction(FuncType({}, {}), "", [](FunctionBuilder &) {});
+    Module m = mb.build();
+    m.functions[0].debugName = "alpha";
+    m.functions[1].debugName = "beta";
+    buildNameSection(m);
+    ASSERT_EQ(m.customs.size(), 1u);
+
+    Module decoded = decodeModule(encodeModule(m));
+    EXPECT_TRUE(decoded.functions[0].debugName.empty()); // not auto-applied
+    EXPECT_EQ(applyNameSection(decoded), 2u);
+    EXPECT_EQ(decoded.functions[0].debugName, "alpha");
+    EXPECT_EQ(decoded.functions[1].debugName, "beta");
+}
+
+TEST(NameSection, BuildRemovesStaleSectionWhenNoNames)
+{
+    ModuleBuilder mb;
+    mb.addFunction(FuncType({}, {}), "", [](FunctionBuilder &) {});
+    Module m = mb.build();
+    m.customs.push_back({"name", {0x01, 0x01, 0x00}});
+    buildNameSection(m); // no debug names -> section dropped
+    EXPECT_TRUE(m.customs.empty());
+}
+
+TEST(NameSection, MalformedPayloadIsIgnored)
+{
+    ModuleBuilder mb;
+    mb.addFunction(FuncType({}, {}), "", [](FunctionBuilder &) {});
+    Module m = mb.build();
+    m.customs.push_back({"name", {0x01, 0xFF, 0xFF}}); // bogus size
+    EXPECT_EQ(applyNameSection(m), 0u);
+}
+
+TEST(NameSection, UnknownSubsectionsAreSkipped)
+{
+    ModuleBuilder mb;
+    mb.addFunction(FuncType({}, {}), "", [](FunctionBuilder &) {});
+    Module m = mb.build();
+    // Subsection 0 (module name "m"), then subsection 1 naming func 0.
+    std::vector<uint8_t> payload{
+        0x00, 0x02, 0x01, 'm',             // module name
+        0x01, 0x04, 0x01, 0x00, 0x01, 'g', // function names
+    };
+    m.customs.push_back({"name", payload});
+    EXPECT_EQ(applyNameSection(m), 1u);
+    EXPECT_EQ(m.functions[0].debugName, "g");
+}
+
+TEST(NameSection, FunctionNameFallbacks)
+{
+    ModuleBuilder mb;
+    mb.importFunction("env", "imp", FuncType({}, {}));
+    mb.addFunction(FuncType({}, {}), "exported",
+                   [](FunctionBuilder &) {});
+    mb.addFunction(FuncType({}, {}), "", [](FunctionBuilder &) {});
+    Module m = mb.build();
+    m.functions[2].debugName = "internal_helper";
+    EXPECT_EQ(functionName(m, 0), "env.imp");
+    EXPECT_EQ(functionName(m, 1), "exported");
+    EXPECT_EQ(functionName(m, 2), "internal_helper");
+    EXPECT_EQ(functionName(m, 99), "f99");
+}
+
+TEST(NameSection, InstrumentationRebuildsNamesForShiftedIndices)
+{
+    ModuleBuilder mb;
+    mb.addFunction(FuncType({}, {ValType::I32}), "compute",
+                   [](FunctionBuilder &f) { f.i32Const(1); });
+    Module m = mb.build();
+    m.functions[0].debugName = "compute_impl";
+    buildNameSection(m);
+
+    core::InstrumentResult r =
+        core::instrument(m, core::HookSet::only(core::HookKind::Const));
+    // Decode the instrumented module fresh and check the name refers
+    // to the *shifted* function index.
+    Module decoded = decodeModule(encodeModule(r.module));
+    applyNameSection(decoded);
+    uint32_t shifted = *decoded.findFuncExport("compute");
+    EXPECT_GT(shifted, 0u); // hooks were inserted before it
+    EXPECT_EQ(decoded.functions[shifted].debugName, "compute_impl");
+    // Hook imports are named after their mangled hook name.
+    EXPECT_EQ(decoded.functions[0].debugName, "i32.const");
+}
+
+} // namespace
+} // namespace wasabi::wasm

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests for the opcode metadata table: coverage, classification and
+ * type signatures.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "wasm/opcode.h"
+
+namespace wasabi::wasm {
+namespace {
+
+TEST(OpcodeTable, CoversFullMVPInstructionSet)
+{
+    // MVP: 11 control + call/call_indirect + 2 parametric + 5 variable
+    // + 23 memory + memory.size/grow + 4 const + 123 numeric = 172.
+    EXPECT_EQ(allOpcodes().size(), 172u);
+}
+
+TEST(OpcodeTable, NamesAreUniqueAndNonEmpty)
+{
+    std::set<std::string> names;
+    for (Opcode op : allOpcodes()) {
+        std::string n = name(op);
+        EXPECT_FALSE(n.empty());
+        EXPECT_TRUE(names.insert(n).second) << "duplicate name " << n;
+    }
+}
+
+TEST(OpcodeTable, GapsAreInvalid)
+{
+    EXPECT_FALSE(opInfoByte(0x06).valid());
+    EXPECT_FALSE(opInfoByte(0x12).valid());
+    EXPECT_FALSE(opInfoByte(0x1C).valid());
+    EXPECT_FALSE(opInfoByte(0x25).valid());
+    EXPECT_FALSE(opInfoByte(0xC0).valid());
+    EXPECT_FALSE(opInfoByte(0xFF).valid());
+}
+
+TEST(OpcodeTable, NumericOpcodeCount)
+{
+    // The paper notes "there are 123 numeric instructions alone".
+    int numeric = 0;
+    for (Opcode op : allOpcodes()) {
+        OpClass c = opInfo(op).cls;
+        if (c == OpClass::Unary || c == OpClass::Binary)
+            ++numeric;
+    }
+    EXPECT_EQ(numeric, 123);
+}
+
+TEST(OpcodeTable, BinaryOpsHaveTwoInputsOneOutput)
+{
+    for (Opcode op : allOpcodes()) {
+        const OpInfo &info = opInfo(op);
+        if (info.cls == OpClass::Binary) {
+            EXPECT_EQ(info.numIn, 2) << info.name;
+            EXPECT_EQ(info.numOut, 1) << info.name;
+            EXPECT_EQ(info.in[0], info.in[1]) << info.name;
+        } else if (info.cls == OpClass::Unary) {
+            EXPECT_EQ(info.numIn, 1) << info.name;
+            EXPECT_EQ(info.numOut, 1) << info.name;
+        }
+    }
+}
+
+TEST(OpcodeTable, ComparisonOpsProduceI32)
+{
+    EXPECT_EQ(opInfo(Opcode::F64Lt).out, ValType::I32);
+    EXPECT_EQ(opInfo(Opcode::I64Eq).out, ValType::I32);
+    EXPECT_EQ(opInfo(Opcode::I64Eqz).out, ValType::I32);
+    EXPECT_EQ(opInfo(Opcode::I64Eqz).in[0], ValType::I64);
+}
+
+TEST(OpcodeTable, ConversionSignatures)
+{
+    EXPECT_EQ(opInfo(Opcode::I32WrapI64).in[0], ValType::I64);
+    EXPECT_EQ(opInfo(Opcode::I32WrapI64).out, ValType::I32);
+    EXPECT_EQ(opInfo(Opcode::F64PromoteF32).in[0], ValType::F32);
+    EXPECT_EQ(opInfo(Opcode::F64PromoteF32).out, ValType::F64);
+    EXPECT_EQ(opInfo(Opcode::I64ReinterpretF64).in[0], ValType::F64);
+    EXPECT_EQ(opInfo(Opcode::I64ReinterpretF64).out, ValType::I64);
+}
+
+TEST(OpcodeTable, LoadsAndStoresCarryMemImmediates)
+{
+    for (Opcode op : allOpcodes()) {
+        const OpInfo &info = opInfo(op);
+        if (info.cls == OpClass::Load || info.cls == OpClass::Store) {
+            EXPECT_EQ(info.imm, ImmKind::Mem) << info.name;
+        }
+    }
+    EXPECT_EQ(opInfo(Opcode::I64Load32U).out, ValType::I64);
+    EXPECT_EQ(opInfo(Opcode::F32Store).in[1], ValType::F32);
+}
+
+TEST(OpcodeTable, WellKnownEncodings)
+{
+    EXPECT_EQ(static_cast<uint8_t>(Opcode::Unreachable), 0x00);
+    EXPECT_EQ(static_cast<uint8_t>(Opcode::End), 0x0B);
+    EXPECT_EQ(static_cast<uint8_t>(Opcode::I32Const), 0x41);
+    EXPECT_EQ(static_cast<uint8_t>(Opcode::I32Add), 0x6A);
+    EXPECT_EQ(static_cast<uint8_t>(Opcode::F64ReinterpretI64), 0xBF);
+    EXPECT_STREQ(name(Opcode::I32ShrU), "i32.shr_u");
+    EXPECT_STREQ(name(Opcode::F32ConvertI64U), "f32.convert_i64_u");
+}
+
+TEST(OpcodeTable, ClassificationHelpers)
+{
+    EXPECT_TRUE(isBlockStart(Opcode::If));
+    EXPECT_FALSE(isBlockStart(Opcode::Else));
+    EXPECT_TRUE(isBranch(Opcode::BrTable));
+    EXPECT_FALSE(isBranch(Opcode::Return));
+    EXPECT_TRUE(isNumeric(Opcode::F64Const));
+    EXPECT_FALSE(isNumeric(Opcode::Drop));
+}
+
+} // namespace
+} // namespace wasabi::wasm

@@ -1,0 +1,333 @@
+/**
+ * @file
+ * Tests that mirror the paper's own listings and figures directly:
+ *
+ *  - Figure 4: structured control flow and forward-branch resolution,
+ *  - Figure 6: the abstract control stack at a branch,
+ *  - Table 3: the per-row instrumentation transformations (inspected
+ *    structurally on the instrumented body),
+ *  - Figure 1: the cryptominer-detection analysis,
+ *  - Figure 7: the branch-coverage analysis.
+ *
+ * Modules are authored in WAT using the paper's (pre-1.0) mnemonics,
+ * which the parser accepts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analyses/branch_coverage.h"
+#include "analyses/cryptominer.h"
+#include "core/control_stack.h"
+#include "core/instrument.h"
+#include "interp/interpreter.h"
+#include "runtime/runtime.h"
+#include "wasm/validator.h"
+#include "wasm/wat_parser.h"
+
+namespace wasabi {
+namespace {
+
+using core::AbstractState;
+using core::BlockKind;
+using core::HookKind;
+using core::HookSet;
+using core::instrument;
+using core::InstrumentResult;
+using interp::Interpreter;
+using runtime::WasabiRuntime;
+using wasm::Module;
+using wasm::Opcode;
+using wasm::Value;
+
+// ---------------------------------------------------------------------
+// Figure 4: "Structured control-flow in WebAssembly".
+//
+//   1 block <---------,
+//   2   block         |
+//   3     get_local 0 |
+//   4     br_if 1 ---'   ;; block reference by label
+//   5     ;; next instruction if local #0 == false
+//   6   end
+//   7 end                ;; matching end for first block
+//   8 ;; next instruction if local #0 == true
+
+TEST(PaperFigure4, BrIfLabelResolvesPastTheOuterEnd)
+{
+    Module m = wasm::parseWat(R"((module
+        (func (export "f") (param i32) (result i32)
+            block        ;; @0
+                block    ;; @1
+                    get_local 0   ;; @2
+                    br_if 1       ;; @3
+                    nop           ;; @4 ("if local #0 == false")
+                end      ;; @5
+            end          ;; @6
+            i32.const 1  ;; @7 ("if local #0 == true")
+        )))");
+    ASSERT_EQ(validationError(m), std::nullopt);
+    InstrumentResult r = instrument(m, HookSet::only(HookKind::BrIf));
+    auto it = r.info->brTargets.find(core::packLoc({0, 3}));
+    ASSERT_NE(it, r.info->brTargets.end());
+    EXPECT_EQ(it->second.label, 1u);       // the "raw" relative label
+    EXPECT_EQ(it->second.location.instr, 7u); // resolved: after end @6
+}
+
+// ---------------------------------------------------------------------
+// Figure 6: abstract control stack at the br in Table 3 row 5,
+// "assuming the example is preceded by four other instructions":
+//
+//   type      begin  end
+//   loop        4     7
+//   block       3     8
+//   function   -1     n_instr
+
+TEST(PaperFigure6, ControlStackHasFunctionBlockLoop)
+{
+    Module m = wasm::parseWat(R"((module
+        (func (export "f")
+            nop nop nop    ;; @0 @1 @2 (one replaced by block below)
+            block          ;; @3
+                loop       ;; @4
+                    br 1   ;; @5
+                end        ;; @6  (paper: 7; we have one fewer filler)
+            end            ;; @7
+        )))");
+    // Instruction indices: nop@0,1,2 block@3 loop@4 br@5 end@6 end@7
+    // function end @8.
+    AbstractState state(m, 0);
+    const auto &body = m.functions[0].body;
+    for (uint32_t i = 0; i < 5; ++i)
+        state.apply(body[i], i);
+    // Now positioned at the br @5.
+    const auto &frames = state.frames();
+    ASSERT_EQ(frames.size(), 3u);
+    EXPECT_EQ(frames[0].kind, BlockKind::Function);
+    EXPECT_EQ(frames[0].beginIdx, core::kFunctionEntry); // paper: -1
+    EXPECT_EQ(frames[0].endIdx, 8u);                     // n_instr
+    EXPECT_EQ(frames[1].kind, BlockKind::Block);
+    EXPECT_EQ(frames[1].beginIdx, 3u);
+    EXPECT_EQ(frames[1].endIdx, 7u);
+    EXPECT_EQ(frames[2].kind, BlockKind::Loop);
+    EXPECT_EQ(frames[2].beginIdx, 4u);
+    EXPECT_EQ(frames[2].endIdx, 6u);
+    // Branch traversal: the br 1 leaves loop then block (both incl.).
+    auto traversed = state.traversedFrames(1);
+    ASSERT_EQ(traversed.size(), 2u);
+    EXPECT_EQ(traversed[0].kind, BlockKind::Loop);
+    EXPECT_EQ(traversed[1].kind, BlockKind::Block);
+}
+
+// ---------------------------------------------------------------------
+// Table 3 transformations, checked structurally on the instrumented
+// body.
+
+/** The instrumented body of the first defined function. */
+const std::vector<wasm::Instr> &
+instrumentedBody(const InstrumentResult &r)
+{
+    for (const wasm::Function &f : r.module.functions) {
+        if (!f.imported())
+            return f.body;
+    }
+    throw std::logic_error("no defined function");
+}
+
+TEST(PaperTable3Row1, ConstIsFollowedByLocAndDuplicateAndHookCall)
+{
+    Module m = wasm::parseWat(
+        "(module (func (export \"f\") (result i32) i32.const 7))");
+    InstrumentResult r = instrument(m, HookSet::only(HookKind::Const));
+    const auto &body = instrumentedBody(r);
+    // i32.const 7 ; i32.const <func> ; i32.const <instr> ;
+    // i32.const 7 (duplicated value) ; call hook ; end
+    ASSERT_GE(body.size(), 6u);
+    EXPECT_EQ(body[0].op, Opcode::I32Const);
+    EXPECT_EQ(body[0].imm.i32v, 7u);
+    EXPECT_EQ(body[1].op, Opcode::I32Const); // loc.func
+    EXPECT_EQ(body[2].op, Opcode::I32Const); // loc.instr
+    EXPECT_EQ(body[3].op, Opcode::I32Const); // duplicated value
+    EXPECT_EQ(body[3].imm.i32v, 7u);
+    EXPECT_EQ(body[4].op, Opcode::Call);
+    EXPECT_EQ(body[4].imm.idx, r.info->hookFuncIdx(0));
+}
+
+TEST(PaperTable3Row2, UnaryStoresInputAndResultInFreshLocals)
+{
+    Module m = wasm::parseWat(R"((module (func (export "f") (result f32)
+        f32.const 2.0 f32.abs)))");
+    InstrumentResult r = instrument(m, HookSet::only(HookKind::Unary));
+    const auto &body = instrumentedBody(r);
+    // const ; tee input-local ; f32.abs ; tee result-local ; loc ;
+    // get input ; get result ; call hook ; end
+    ASSERT_GE(body.size(), 9u);
+    EXPECT_EQ(body[1].op, Opcode::LocalTee);
+    EXPECT_EQ(body[2].op, Opcode::F32Abs);
+    EXPECT_EQ(body[3].op, Opcode::LocalTee);
+    EXPECT_EQ(body[6].op, Opcode::LocalGet);
+    EXPECT_EQ(body[7].op, Opcode::LocalGet);
+    EXPECT_EQ(body[8].op, Opcode::Call);
+    // The two fresh locals were appended to the function.
+    const wasm::Function &f = *std::find_if(
+        r.module.functions.begin(), r.module.functions.end(),
+        [](const wasm::Function &fn) { return !fn.imported(); });
+    EXPECT_EQ(f.locals.size(), 2u);
+}
+
+TEST(PaperTable3Row3, CallIsSurroundedByPreAndPostHooks)
+{
+    Module m = wasm::parseWat(R"((module
+        (func $callee (param i32) (result i32) get_local 0)
+        (func (export "f") (result i32)
+            i32.const 5 call $callee)))");
+    InstrumentResult r = instrument(m, HookSet::only(HookKind::Call));
+    // Two hooks: call_pre_i32 and call_post_i32.
+    std::vector<std::string> names;
+    for (const core::HookSpec &s : r.info->hooks)
+        names.push_back(mangledName(s));
+    std::sort(names.begin(), names.end());
+    EXPECT_EQ(names,
+              (std::vector<std::string>{"call_post_i32", "call_pre_i32"}));
+    // In the caller: ... call hook_pre ... call callee ... call
+    // hook_post, in that order.
+    const wasm::Function &caller = r.module.functions.back();
+    std::vector<uint32_t> call_targets;
+    for (const wasm::Instr &i : caller.body) {
+        if (i.op == Opcode::Call)
+            call_targets.push_back(i.imm.idx);
+    }
+    ASSERT_EQ(call_targets.size(), 3u);
+    uint32_t callee_idx = 2; // after 2 hook imports
+    EXPECT_NE(call_targets[0], callee_idx); // pre hook
+    EXPECT_EQ(call_targets[1], callee_idx); // original call (remapped)
+    EXPECT_NE(call_targets[2], callee_idx); // post hook
+}
+
+TEST(PaperTable3Row4, DropHookConsumesValueInPlaceOfDrop)
+{
+    Module m = wasm::parseWat(R"((module (func (export "f")
+        i32.const 1 drop)))");
+    InstrumentResult r = instrument(m, HookSet::only(HookKind::Drop));
+    const auto &body = instrumentedBody(r);
+    // The drop instruction itself is gone; the hook call consumed the
+    // value (via a local, since the location args go underneath).
+    for (const wasm::Instr &i : body)
+        EXPECT_NE(i.op, Opcode::Drop);
+    EXPECT_EQ(mangledName(r.info->hooks.at(0)), "drop_i32");
+}
+
+TEST(PaperTable3Row5, BranchHookThenEndHooksThenBranch)
+{
+    Module m = wasm::parseWat(R"((module (func (export "f")
+        block block br 1 end end)))");
+    InstrumentResult r =
+        instrument(m, HookSet{HookKind::Br, HookKind::End});
+    const auto &body = instrumentedBody(r);
+    // Find the br instruction; before it there must be 3 calls (the
+    // br hook, then end hooks for the two traversed blocks), in the
+    // order: br hook first (paper Table 3 row 5).
+    size_t br_pos = 0;
+    for (size_t i = 0; i < body.size(); ++i) {
+        if (body[i].op == Opcode::Br)
+            br_pos = i;
+    }
+    ASSERT_GT(br_pos, 0u);
+    std::vector<uint32_t> calls_before;
+    for (size_t i = 0; i < br_pos; ++i) {
+        if (body[i].op == Opcode::Call)
+            calls_before.push_back(body[i].imm.idx);
+    }
+    ASSERT_EQ(calls_before.size(), 3u);
+    // Map hook function indices back to their mangled names.
+    auto hook_name = [&](uint32_t func_idx) {
+        return mangledName(
+            r.info->hooks.at(func_idx - r.info->numOrigImports));
+    };
+    EXPECT_EQ(hook_name(calls_before[0]), "br");
+    EXPECT_EQ(hook_name(calls_before[1]), "end_block");
+    EXPECT_EQ(hook_name(calls_before[2]), "end_block");
+}
+
+TEST(PaperTable3Row6, I64ConstIsSplitIntoTwoI32Halves)
+{
+    Module m = wasm::parseWat(R"((module (func (export "f")
+        i64.const 0x1122334455667788 drop)))");
+    InstrumentResult r = instrument(m, HookSet::only(HookKind::Const));
+    const auto &body = instrumentedBody(r);
+    // i64.const ; loc x2 ; i32.const low ; i32.const high ; call ; ...
+    ASSERT_GE(body.size(), 6u);
+    EXPECT_EQ(body[0].op, Opcode::I64Const);
+    EXPECT_EQ(body[3].op, Opcode::I32Const);
+    EXPECT_EQ(body[3].imm.i32v, 0x55667788u); // low half
+    EXPECT_EQ(body[4].op, Opcode::I32Const);
+    EXPECT_EQ(body[4].imm.i32v, 0x11223344u); // high half
+    EXPECT_EQ(body[5].op, Opcode::Call);
+}
+
+// ---------------------------------------------------------------------
+// Figure 1: cryptominer detection (see also
+// examples/cryptominer_detection.cpp). The signature counts exactly
+// the operations the paper's listing switches on.
+
+TEST(PaperFigure1, SignatureCountsTheListedBinaryOps)
+{
+    Module m = wasm::parseWat(R"((module (func (export "f") (result i32)
+        i32.const 1 i32.const 2 i32.add     ;; counted
+        i32.const 3 i32.and                 ;; counted
+        i32.const 1 i32.shl                 ;; counted
+        i32.const 1 i32.shr_u               ;; counted
+        i32.const 5 i32.xor                 ;; counted
+        i32.const 7 i32.mul                 ;; NOT in the signature
+    )))");
+    analyses::CryptominerDetector det;
+    InstrumentResult r =
+        instrument(m, WasabiRuntime::requiredHooks({&det}));
+    WasabiRuntime rt(r.info);
+    rt.addAnalysis(&det);
+    auto inst = rt.instantiate(r.module);
+    Interpreter interp;
+    interp.invokeExport(*inst, "f", {});
+    EXPECT_EQ(det.totalBinaryOps(), 6u);
+    EXPECT_EQ(det.signature().size(), 5u);
+    EXPECT_EQ(det.signature().count("i32.mul"), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Figure 7: branch coverage via the if/br_if/br_table/select hooks.
+
+TEST(PaperFigure7, BranchCoverageTracksAllFourHookKinds)
+{
+    Module m = wasm::parseWat(R"((module
+        (func (export "f") (param i32)
+            ;; if @1
+            (if (local.get 0) (then nop))
+            ;; br_if inside a block
+            block
+                local.get 0
+                br_if 0
+            end
+            ;; br_table
+            block block
+                local.get 0
+                br_table 0 1
+            end end
+            ;; select
+            i32.const 1 i32.const 2 local.get 0 select drop
+        )))");
+    analyses::BranchCoverage cov;
+    InstrumentResult r =
+        instrument(m, WasabiRuntime::requiredHooks({&cov}));
+    WasabiRuntime rt(r.info);
+    rt.addAnalysis(&cov);
+    auto inst = rt.instantiate(r.module);
+    Interpreter interp;
+    std::vector<Value> zero{Value::makeI32(0)};
+    std::vector<Value> one{Value::makeI32(1)};
+    interp.invokeExport(*inst, "f", zero);
+    EXPECT_EQ(cov.sites(), 4u);
+    interp.invokeExport(*inst, "f", one);
+    // All four sites now saw both decisions (br_table: indices 0/1).
+    EXPECT_EQ(cov.partiallyCoveredTwoWaySites(), 0u);
+}
+
+} // namespace
+} // namespace wasabi

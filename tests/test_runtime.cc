@@ -1,0 +1,397 @@
+/**
+ * @file
+ * WasabiRuntime tests: high-level hooks receive pre-computed,
+ * correctly decoded information (joined i64s, resolved branch targets,
+ * resolved indirect call targets in the original index space, memarg
+ * offsets, block begin/end matching, br_table runtime end events).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/instrument.h"
+#include "runtime/runtime.h"
+#include "wasm/builder.h"
+#include "wasm/validator.h"
+
+namespace wasabi::runtime {
+namespace {
+
+using core::HookSet;
+using core::instrument;
+using core::InstrumentResult;
+using interp::Interpreter;
+using wasm::FuncType;
+using wasm::FunctionBuilder;
+using wasm::ModuleBuilder;
+using wasm::Opcode;
+using wasm::Value;
+using wasm::ValType;
+
+/** Analysis that records every event as a readable string. */
+class EventLog final : public Analysis {
+  public:
+    explicit EventLog(HookSet set = HookSet::all()) : set_(set) {}
+
+    HookSet hooks() const override { return set_; }
+
+    std::vector<std::string> events;
+
+    void
+    onConst(Location loc, wasm::Opcode op, wasm::Value v) override
+    {
+        add(loc, std::string(wasm::name(op)) + " " + toString(v));
+    }
+    void
+    onBinary(Location loc, wasm::Opcode op, wasm::Value a, wasm::Value b,
+             wasm::Value r) override
+    {
+        add(loc, std::string(wasm::name(op)) + " " + toString(a) + " " +
+                     toString(b) + " -> " + toString(r));
+    }
+    void
+    onBr(Location loc, BranchTarget t) override
+    {
+        add(loc, "br label=" + std::to_string(t.label) + " ->@" +
+                     std::to_string(t.location.instr));
+    }
+    void
+    onBrIf(Location loc, BranchTarget t, bool cond) override
+    {
+        add(loc, "br_if label=" + std::to_string(t.label) + " ->@" +
+                     std::to_string(t.location.instr) +
+                     (cond ? " taken" : " not-taken"));
+    }
+    void
+    onBrTable(Location loc, std::span<const BranchTarget> table,
+              BranchTarget def, uint32_t idx) override
+    {
+        add(loc, "br_table n=" + std::to_string(table.size()) +
+                     " default->@" + std::to_string(def.location.instr) +
+                     " idx=" + std::to_string(idx));
+    }
+    void
+    onBegin(Location loc, BlockKind kind) override
+    {
+        add(loc, std::string("begin ") + name(kind));
+    }
+    void
+    onEnd(Location loc, BlockKind kind, Location begin) override
+    {
+        add(loc, std::string("end ") + name(kind) + " begin@" +
+                     (begin.instr == core::kFunctionEntry
+                          ? std::string("entry")
+                          : std::to_string(begin.instr)));
+    }
+    void
+    onLoad(Location loc, wasm::Opcode op, MemArg m, wasm::Value v) override
+    {
+        add(loc, std::string(wasm::name(op)) + " addr=" +
+                     std::to_string(m.addr) + "+" +
+                     std::to_string(m.offset) + " = " + toString(v));
+    }
+    void
+    onStore(Location loc, wasm::Opcode op, MemArg m, wasm::Value v) override
+    {
+        add(loc, std::string(wasm::name(op)) + " addr=" +
+                     std::to_string(m.addr) + "+" +
+                     std::to_string(m.offset) + " = " + toString(v));
+    }
+    void
+    onLocal(Location loc, wasm::Opcode op, uint32_t idx,
+            wasm::Value v) override
+    {
+        add(loc, std::string(wasm::name(op)) + " " + std::to_string(idx) +
+                     " = " + toString(v));
+    }
+    void
+    onCallPre(Location loc, uint32_t func,
+              std::span<const wasm::Value> args,
+              std::optional<uint32_t> table_index) override
+    {
+        std::string s = "call_pre f" + std::to_string(func);
+        if (table_index)
+            s += " tbl=" + std::to_string(*table_index);
+        for (const wasm::Value &v : args)
+            s += " " + toString(v);
+        add(loc, s);
+    }
+    void
+    onCallPost(Location loc, std::span<const wasm::Value> results) override
+    {
+        std::string s = "call_post";
+        for (const wasm::Value &v : results)
+            s += " " + toString(v);
+        add(loc, s);
+    }
+    void
+    onReturn(Location loc, std::span<const wasm::Value> results) override
+    {
+        std::string s = "return";
+        for (const wasm::Value &v : results)
+            s += " " + toString(v);
+        add(loc, s);
+    }
+
+  private:
+    void
+    add(Location loc, const std::string &what)
+    {
+        events.push_back("@" +
+                         (loc.instr == core::kFunctionEntry
+                              ? std::string("entry")
+                              : std::to_string(loc.instr)) +
+                         " " + what);
+    }
+
+    HookSet set_;
+};
+
+/** Instrument, run under the runtime with the given analysis. */
+std::vector<Value>
+runWith(const wasm::Module &m, Analysis &analysis, const char *entry,
+        std::vector<Value> args = {},
+        std::shared_ptr<const core::StaticInfo> *info_out = nullptr)
+{
+    InstrumentResult r =
+        instrument(m, WasabiRuntime::requiredHooks({&analysis}));
+    EXPECT_EQ(validationError(r.module), std::nullopt);
+    WasabiRuntime rt(r.info);
+    rt.addAnalysis(&analysis);
+    auto inst = rt.instantiate(r.module);
+    if (info_out)
+        *info_out = r.info;
+    Interpreter interp;
+    return interp.invokeExport(*inst, entry, args);
+}
+
+TEST(Runtime, I64ValuesAreJoinedAcrossTheSplitAbi)
+{
+    ModuleBuilder mb;
+    mb.addFunction(FuncType({}, {ValType::I64}), "f",
+                   [](FunctionBuilder &f) {
+                       f.i64Const(0x1122334455667788ll);
+                       f.i64Const(1);
+                       f.op(Opcode::I64Add);
+                   });
+    EventLog log(HookSet{core::HookKind::Binary});
+    auto results = runWith(mb.build(), log, "f");
+    EXPECT_EQ(results[0].i64(), 0x1122334455667789ull);
+    ASSERT_EQ(log.events.size(), 1u);
+    EXPECT_EQ(log.events[0],
+              "@2 i64.add i64:1234605616436508552 i64:1 -> "
+              "i64:1234605616436508553");
+}
+
+TEST(Runtime, BranchTargetsArePassedResolved)
+{
+    ModuleBuilder mb;
+    mb.addFunction(FuncType({}, {}), "f", [](FunctionBuilder &f) {
+        f.block();     // @0
+        f.i32Const(1); // @1
+        f.brIf(0);     // @2 -> resolves to @4 (after the end @3)
+        f.end();       // @3
+    });
+    EventLog log(HookSet{core::HookKind::BrIf});
+    runWith(mb.build(), log, "f");
+    ASSERT_EQ(log.events.size(), 1u);
+    EXPECT_EQ(log.events[0], "@2 br_if label=0 ->@4 taken");
+}
+
+TEST(Runtime, LoopBranchResolvesToLoopBody)
+{
+    ModuleBuilder mb;
+    mb.addFunction(FuncType({}, {}), "f", [](FunctionBuilder &f) {
+        uint32_t c = f.addLocal(ValType::I32);
+        f.block();      // @0
+        f.loop();       // @1
+        f.localGet(c);  // @2
+        f.i32Const(1);  // @3
+        f.op(Opcode::I32Add); // @4
+        f.localTee(c);  // @5
+        f.i32Const(2);  // @6
+        f.op(Opcode::I32GeS); // @7
+        f.brIf(1);      // @8 -> @11 (exit)
+        f.br(0);        // @9 -> @2 (loop body start)
+        f.end();        // @10
+        f.end();        // @11
+    });
+    EventLog log(HookSet{core::HookKind::Br, core::HookKind::BrIf});
+    runWith(mb.build(), log, "f");
+    ASSERT_EQ(log.events.size(), 3u);
+    EXPECT_EQ(log.events[0], "@8 br_if label=1 ->@12 not-taken");
+    EXPECT_EQ(log.events[1], "@9 br label=0 ->@2");
+    EXPECT_EQ(log.events[2], "@8 br_if label=1 ->@12 taken");
+}
+
+TEST(Runtime, IndirectCallTargetResolvedToOriginalIndexSpace)
+{
+    ModuleBuilder mb;
+    mb.table(2, 2);
+    FuncType t({}, {ValType::I32});
+    uint32_t f0 = mb.addFunction(t, "", [](FunctionBuilder &f) {
+        f.i32Const(10);
+    });
+    uint32_t f1 = mb.addFunction(t, "", [](FunctionBuilder &f) {
+        f.i32Const(20);
+    });
+    mb.elem(0, {f0, f1});
+    mb.addFunction(FuncType({ValType::I32}, {ValType::I32}), "main",
+                   [&](FunctionBuilder &f) {
+                       f.localGet(0);
+                       f.callIndirect(mb.type(t));
+                   });
+    EventLog log(HookSet{core::HookKind::Call});
+    std::vector<Value> args{Value::makeI32(1)};
+    auto results = runWith(mb.build(), log, "main", args);
+    EXPECT_EQ(results[0].i32(), 20u);
+    ASSERT_EQ(log.events.size(), 2u);
+    // Callee must be reported as original function index 1 (f1), not
+    // the shifted index in the instrumented module.
+    EXPECT_EQ(log.events[0],
+              "@1 call_pre f" + std::to_string(f1) + " tbl=1");
+    EXPECT_EQ(log.events[1], "@1 call_post i32:20");
+}
+
+TEST(Runtime, MemargOffsetsComeFromStaticInfo)
+{
+    ModuleBuilder mb;
+    mb.memory(1);
+    mb.addFunction(FuncType({}, {ValType::I32}), "f",
+                   [](FunctionBuilder &f) {
+                       f.i32Const(16);
+                       f.i32Const(99);
+                       f.i32Store(8); // offset 8
+                       f.i32Const(16);
+                       f.i32Load(8);
+                   });
+    EventLog log(HookSet{core::HookKind::Load, core::HookKind::Store});
+    runWith(mb.build(), log, "f");
+    ASSERT_EQ(log.events.size(), 2u);
+    EXPECT_EQ(log.events[0], "@2 i32.store addr=16+8 = i32:99");
+    EXPECT_EQ(log.events[1], "@4 i32.load addr=16+8 = i32:99");
+}
+
+TEST(Runtime, EndHooksCarryMatchingBegin)
+{
+    ModuleBuilder mb;
+    mb.addFunction(FuncType({}, {}), "f", [](FunctionBuilder &f) {
+        f.block(); // @0
+        f.nop();   // @1
+        f.end();   // @2
+        // function end @3
+    });
+    EventLog log(HookSet{core::HookKind::Begin, core::HookKind::End});
+    runWith(mb.build(), log, "f");
+    ASSERT_EQ(log.events.size(), 4u);
+    EXPECT_EQ(log.events[0], "@entry begin function");
+    EXPECT_EQ(log.events[1], "@0 begin block");
+    EXPECT_EQ(log.events[2], "@2 end block begin@0");
+    EXPECT_EQ(log.events[3], "@3 end function begin@entry");
+}
+
+TEST(Runtime, BrTableFiresRuntimeSelectedEndHooks)
+{
+    ModuleBuilder mb;
+    mb.addFunction(FuncType({ValType::I32}, {}), "f",
+                   [](FunctionBuilder &f) {
+                       f.block();         // @0 (label 1)
+                       f.block();         // @1 (label 0)
+                       f.localGet(0);     // @2
+                       f.brTable({0}, 1); // @3
+                       f.end();           // @4
+                       f.nop();           // @5
+                       f.end();           // @6
+                   });
+    EventLog log(HookSet{core::HookKind::BrTable, core::HookKind::End});
+    std::shared_ptr<const core::StaticInfo> info;
+
+    // Case 0: leaves only the inner block.
+    {
+        InstrumentResult r = instrument(
+            mb.module(), WasabiRuntime::requiredHooks({&log}));
+        WasabiRuntime rt(r.info);
+        rt.addAnalysis(&log);
+        auto inst = rt.instantiate(r.module);
+        Interpreter interp;
+        std::vector<Value> zero{Value::makeI32(0)};
+        interp.invokeExport(*inst, "f", zero);
+        // br_table + end(inner, from br_table) + end(outer, static)
+        // + end(function).
+        ASSERT_EQ(log.events.size(), 4u);
+        EXPECT_EQ(log.events[0], "@3 br_table n=1 default->@7 idx=0");
+        EXPECT_EQ(log.events[1], "@4 end block begin@1");
+        EXPECT_EQ(log.events[2], "@6 end block begin@0");
+        EXPECT_EQ(log.events[3], "@7 end function begin@entry");
+
+        // Default case: leaves both blocks at the branch.
+        log.events.clear();
+        std::vector<Value> five{Value::makeI32(5)};
+        interp.invokeExport(*inst, "f", five);
+        ASSERT_EQ(log.events.size(), 4u);
+        EXPECT_EQ(log.events[0], "@3 br_table n=1 default->@7 idx=5");
+        EXPECT_EQ(log.events[1], "@4 end block begin@1");
+        EXPECT_EQ(log.events[2], "@6 end block begin@0");
+        EXPECT_EQ(log.events[3], "@7 end function begin@entry");
+    }
+}
+
+TEST(Runtime, MultipleAnalysesAreMultiplexedSelectively)
+{
+    ModuleBuilder mb;
+    mb.addFunction(FuncType({}, {ValType::I32}), "f",
+                   [](FunctionBuilder &f) {
+                       f.i32Const(1);
+                       f.i32Const(2);
+                       f.op(Opcode::I32Add);
+                   });
+    EventLog consts(HookSet{core::HookKind::Const});
+    EventLog binaries(HookSet{core::HookKind::Binary});
+    HookSet set = WasabiRuntime::requiredHooks({&consts, &binaries});
+    InstrumentResult r = instrument(mb.build(), set);
+    WasabiRuntime rt(r.info);
+    rt.addAnalysis(&consts);
+    rt.addAnalysis(&binaries);
+    auto inst = rt.instantiate(r.module);
+    Interpreter interp;
+    interp.invokeExport(*inst, "f", {});
+    EXPECT_EQ(consts.events.size(), 2u);  // two consts only
+    EXPECT_EQ(binaries.events.size(), 1u); // the add only
+    EXPECT_EQ(binaries.events[0], "@2 i32.add i32:1 i32:2 -> i32:3");
+}
+
+TEST(Runtime, ReturnHookSeesResults)
+{
+    ModuleBuilder mb;
+    mb.addFunction(FuncType({}, {ValType::F64}), "f",
+                   [](FunctionBuilder &f) {
+                       f.f64Const(6.25);
+                       f.ret();
+                   });
+    EventLog log(HookSet{core::HookKind::Return});
+    auto results = runWith(mb.build(), log, "f");
+    EXPECT_EQ(results[0].f64(), 6.25);
+    ASSERT_EQ(log.events.size(), 1u);
+    EXPECT_EQ(log.events[0], "@1 return f64:6.25");
+}
+
+TEST(Runtime, HookInvocationCountMatches)
+{
+    ModuleBuilder mb;
+    mb.addFunction(FuncType({}, {}), "f", [](FunctionBuilder &f) {
+        f.nop();
+        f.nop();
+        f.nop();
+    });
+    EventLog log(HookSet{core::HookKind::Nop});
+    InstrumentResult r =
+        instrument(mb.build(), WasabiRuntime::requiredHooks({&log}));
+    WasabiRuntime rt(r.info);
+    rt.addAnalysis(&log);
+    auto inst = rt.instantiate(r.module);
+    Interpreter interp;
+    interp.invokeExport(*inst, "f", {});
+    EXPECT_EQ(rt.hookInvocations(), 3u);
+}
+
+} // namespace
+} // namespace wasabi::runtime

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Runtime tests for less-traveled hook paths: the start hook, i64
+ * globals through the split ABI, memory.size/grow dynamics, nop and
+ * unreachable hooks, and hook behavior across traps.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/instrument.h"
+#include "interp/interpreter.h"
+#include "runtime/runtime.h"
+#include "wasm/validator.h"
+#include "wasm/wat_parser.h"
+
+namespace wasabi::runtime {
+namespace {
+
+using core::HookKind;
+using core::HookSet;
+using core::instrument;
+using core::InstrumentResult;
+using interp::Interpreter;
+using interp::Trap;
+using wasm::Module;
+using wasm::Value;
+
+/** Analysis recording a flat list of event strings. */
+class Recorder final : public Analysis {
+  public:
+    explicit Recorder(HookSet set) : set_(set) {}
+    HookSet hooks() const override { return set_; }
+
+    std::vector<std::string> events;
+
+    void
+    onStart(Location loc) override
+    {
+        events.push_back("start f" + std::to_string(loc.func));
+    }
+    void onNop(Location) override { events.push_back("nop"); }
+    void
+    onUnreachable(Location) override
+    {
+        events.push_back("unreachable");
+    }
+    void
+    onGlobal(Location, wasm::Opcode op, uint32_t idx,
+             wasm::Value v) override
+    {
+        events.push_back(std::string(wasm::name(op)) + " g" +
+                         std::to_string(idx) + "=" + toString(v));
+    }
+    void
+    onMemorySize(Location, uint32_t pages) override
+    {
+        events.push_back("memory.size=" + std::to_string(pages));
+    }
+    void
+    onMemoryGrow(Location, uint32_t delta, uint32_t prev) override
+    {
+        events.push_back("memory.grow delta=" + std::to_string(delta) +
+                         " prev=" + std::to_string(prev));
+    }
+
+  private:
+    HookSet set_;
+};
+
+std::unique_ptr<interp::Instance>
+runWith(const Module &m, Analysis &a, WasabiRuntime &rt,
+        const char *entry = nullptr)
+{
+    InstrumentResult r = instrument(m, a.hooks());
+    EXPECT_EQ(validationError(r.module), std::nullopt);
+    rt = WasabiRuntime(r.info);
+    rt.addAnalysis(&a);
+    auto inst = rt.instantiate(r.module);
+    if (entry != nullptr) {
+        Interpreter interp;
+        interp.invokeExport(*inst, entry, {});
+    }
+    return inst;
+}
+
+TEST(RuntimeExtra, StartHookFiresDuringInstantiation)
+{
+    Module m = wasm::parseWat(R"((module
+        (global $g (mut i32) (i32.const 0))
+        (func $boot i32.const 7 global.set $g)
+        (start $boot)))");
+    Recorder rec(HookSet{HookKind::Start});
+    WasabiRuntime rt(nullptr);
+    auto inst = runWith(m, rec, rt);
+    ASSERT_EQ(rec.events.size(), 1u);
+    EXPECT_EQ(rec.events[0], "start f0");
+    EXPECT_EQ(inst->globalGet(0).i32(), 7u);
+}
+
+TEST(RuntimeExtra, I64GlobalValueCrossesTheSplitAbi)
+{
+    Module m = wasm::parseWat(R"((module
+        (global $g (mut i64) (i64.const 0))
+        (func (export "f")
+            i64.const 0x0123456789ABCDEF
+            global.set $g
+            global.get $g
+            drop)))");
+    Recorder rec(HookSet{HookKind::Global});
+    WasabiRuntime rt(nullptr);
+    runWith(m, rec, rt, "f");
+    ASSERT_EQ(rec.events.size(), 2u);
+    EXPECT_EQ(rec.events[0], "global.set g0=i64:81985529216486895");
+    EXPECT_EQ(rec.events[1], "global.get g0=i64:81985529216486895");
+}
+
+TEST(RuntimeExtra, MemorySizeAndGrowDynamics)
+{
+    Module m = wasm::parseWat(R"((module
+        (memory 1 4)
+        (func (export "f")
+            memory.size drop
+            i32.const 2 memory.grow drop
+            memory.size drop
+            i32.const 99 memory.grow drop)))"); // fails -> prev = -1
+    Recorder rec(HookSet{HookKind::MemorySize, HookKind::MemoryGrow});
+    WasabiRuntime rt(nullptr);
+    runWith(m, rec, rt, "f");
+    ASSERT_EQ(rec.events.size(), 4u);
+    EXPECT_EQ(rec.events[0], "memory.size=1");
+    EXPECT_EQ(rec.events[1], "memory.grow delta=2 prev=1");
+    EXPECT_EQ(rec.events[2], "memory.size=3");
+    EXPECT_EQ(rec.events[3],
+              "memory.grow delta=99 prev=4294967295"); // -1: failed
+}
+
+TEST(RuntimeExtra, NopAndUnreachableHooks)
+{
+    Module m = wasm::parseWat(R"((module
+        (func (export "f") nop nop unreachable)))");
+    Recorder rec(HookSet{HookKind::Nop, HookKind::Unreachable});
+    InstrumentResult r = instrument(m, rec.hooks());
+    WasabiRuntime rt(r.info);
+    rt.addAnalysis(&rec);
+    auto inst = rt.instantiate(r.module);
+    Interpreter interp;
+    EXPECT_THROW(interp.invokeExport(*inst, "f", {}), Trap);
+    // The unreachable hook fires *before* the trap (paper Table 2
+    // includes it exactly so analyses can observe the abort).
+    ASSERT_EQ(rec.events.size(), 3u);
+    EXPECT_EQ(rec.events[0], "nop");
+    EXPECT_EQ(rec.events[1], "nop");
+    EXPECT_EQ(rec.events[2], "unreachable");
+}
+
+TEST(RuntimeExtra, HooksBeforeTrappingInstructionStillFire)
+{
+    Module m = wasm::parseWat(R"((module
+        (memory 1)
+        (func (export "f") (result i32)
+            i32.const 999999999 ;; way out of bounds
+            i32.load)))");
+    class Counter final : public Analysis {
+      public:
+        HookSet
+        hooks() const override
+        {
+            return HookSet{HookKind::Load, HookKind::Const};
+        }
+        int loads = 0;
+        int consts = 0;
+        void
+        onLoad(Location, wasm::Opcode, MemArg, wasm::Value) override
+        {
+            ++loads;
+        }
+        void
+        onConst(Location, wasm::Opcode, wasm::Value) override
+        {
+            ++consts;
+        }
+    } counter;
+    InstrumentResult r = instrument(m, counter.hooks());
+    WasabiRuntime rt(r.info);
+    rt.addAnalysis(&counter);
+    auto inst = rt.instantiate(r.module);
+    Interpreter interp;
+    EXPECT_THROW(interp.invokeExport(*inst, "f", {}), Trap);
+    // The const before the load was observed; the load hook was not
+    // reached (it sits after the instruction, which trapped).
+    EXPECT_EQ(counter.consts, 1);
+    EXPECT_EQ(counter.loads, 0);
+}
+
+} // namespace
+} // namespace wasabi::runtime

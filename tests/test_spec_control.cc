@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Spec-suite-style semantic tests for structured control flow, written
+ * in WAT (the repository's stand-in for the official WebAssembly spec
+ * test suite, cf. RQ2). Each case pins a subtle corner of block/loop/
+ * branch semantics, executed both uninstrumented and under full
+ * instrumentation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analyses/instruction_mix.h"
+#include "core/instrument.h"
+#include "interp/interpreter.h"
+#include "runtime/runtime.h"
+#include "wasm/validator.h"
+#include "wasm/wat_parser.h"
+
+namespace wasabi {
+namespace {
+
+using interp::Instance;
+using interp::Interpreter;
+using interp::Linker;
+using wasm::Module;
+using wasm::Value;
+
+struct SpecCase {
+    const char *name;
+    const char *wat;        ///< module exporting f: [i32] -> [i32]
+    int32_t input;
+    int32_t expected;
+};
+
+class SpecControl : public ::testing::TestWithParam<SpecCase> {};
+
+std::ostream &
+operator<<(std::ostream &os, const SpecCase &c)
+{
+    return os << c.name << "(" << c.input << ") = " << c.expected;
+}
+
+TEST_P(SpecControl, UninstrumentedSemantics)
+{
+    const SpecCase &c = GetParam();
+    Module m = wasm::parseWat(c.wat);
+    ASSERT_EQ(validationError(m), std::nullopt);
+    auto inst = Instance::instantiate(std::move(m), Linker());
+    Interpreter interp;
+    std::vector<Value> args{
+        Value::makeI32(static_cast<uint32_t>(c.input))};
+    EXPECT_EQ(interp.invokeExport(*inst, "f", args)[0].i32s(),
+              c.expected);
+}
+
+TEST_P(SpecControl, FullyInstrumentedSemantics)
+{
+    const SpecCase &c = GetParam();
+    Module m = wasm::parseWat(c.wat);
+    analyses::InstructionMix mix;
+    core::InstrumentResult r =
+        core::instrument(m, core::HookSet::all());
+    ASSERT_EQ(validationError(r.module), std::nullopt);
+    runtime::WasabiRuntime rt(r.info);
+    rt.addAnalysis(&mix);
+    auto inst = rt.instantiate(r.module);
+    Interpreter interp;
+    std::vector<Value> args{
+        Value::makeI32(static_cast<uint32_t>(c.input))};
+    EXPECT_EQ(interp.invokeExport(*inst, "f", args)[0].i32s(),
+              c.expected);
+}
+
+const SpecCase kCases[] = {
+    {"block_result_via_fallthrough",
+     R"((module (func (export "f") (param i32) (result i32)
+         (block (result i32) (i32.add (local.get 0) (i32.const 1))))))",
+     41, 42},
+
+    {"br_carries_result_out_of_two_blocks",
+     R"((module (func (export "f") (param i32) (result i32)
+         block (result i32)
+             block
+                 local.get 0
+                 br 1
+             end
+             i32.const -1
+         end)))",
+     7, 7},
+
+    {"br_if_fallthrough_keeps_value",
+     R"((module (func (export "f") (param i32) (result i32)
+         block (result i32)
+             i32.const 10
+             local.get 0
+             br_if 0
+             drop
+             i32.const 20
+         end)))",
+     0, 20},
+
+    {"br_if_taken_keeps_value",
+     R"((module (func (export "f") (param i32) (result i32)
+         block (result i32)
+             i32.const 10
+             local.get 0
+             br_if 0
+             drop
+             i32.const 20
+         end)))",
+     1, 10},
+
+    {"loop_label_branches_backwards",
+     R"((module (func (export "f") (param i32) (result i32)
+         (local $acc i32)
+         block $done
+             loop $again
+                 local.get 0
+                 i32.eqz
+                 br_if $done
+                 local.get $acc
+                 local.get 0
+                 i32.add
+                 local.set $acc
+                 local.get 0
+                 i32.const 1
+                 i32.sub
+                 local.set 0
+                 br $again
+             end
+         end
+         local.get $acc)))",
+     5, 15},
+
+    {"if_without_else_skips",
+     R"((module (func (export "f") (param i32) (result i32)
+         (local $r i32)
+         i32.const 1
+         local.set $r
+         local.get 0
+         if
+             i32.const 2
+             local.set $r
+         end
+         local.get $r)))",
+     0, 1},
+
+    {"nested_if_else_chain",
+     R"((module (func (export "f") (param i32) (result i32)
+         (if (result i32) (i32.eqz (local.get 0))
+             (then (i32.const 100))
+             (else (if (result i32)
+                       (i32.eq (local.get 0) (i32.const 1))
+                       (then (i32.const 200))
+                       (else (i32.const 300))))))))",
+     1, 200},
+
+    {"br_table_inside_loop",
+     R"((module (func (export "f") (param i32) (result i32)
+         (local $acc i32)
+         block $exit
+             loop $top
+                 ;; acc += n; dispatch on n
+                 local.get $acc local.get 0 i32.add local.set $acc
+                 local.get 0 i32.const 1 i32.sub local.set 0
+                 block $case0
+                     local.get 0
+                     br_table $case0 $top $top $exit
+                 end
+                 ;; n == 0 falls out here
+                 br $exit
+             end
+         end
+         local.get $acc)))",
+     3, 6},
+
+    {"return_unwinds_everything",
+     R"((module (func (export "f") (param i32) (result i32)
+         block
+             loop
+                 block
+                     local.get 0
+                     return
+                 end
+             end
+         end
+         i32.const -1)))",
+     9, 9},
+
+    {"unreachable_behind_taken_branch_is_harmless",
+     R"((module (func (export "f") (param i32) (result i32)
+         block (result i32)
+             local.get 0
+             br 0
+             unreachable
+         end)))",
+     13, 13},
+
+    {"select_is_not_short_circuiting",
+     R"((module
+         (global $count (mut i32) (i32.const 0))
+         (func $bump (result i32)
+             global.get $count i32.const 1 i32.add global.set $count
+             global.get $count)
+         (func (export "f") (param i32) (result i32)
+             (select (call $bump) (call $bump) (local.get 0))
+             drop
+             global.get $count)))",
+     1, 2},
+
+    {"loop_with_result_type",
+     R"((module (func (export "f") (param i32) (result i32)
+         (loop (result i32) (i32.mul (local.get 0) (i32.const 3))))))",
+     4, 12},
+
+    {"deeply_nested_blocks_branch_middle",
+     R"((module (func (export "f") (param i32) (result i32)
+         (local $r i32)
+         block $a
+           block $b
+             block $c
+               block $d
+                 local.get 0
+                 br_table $d $c $b $a
+               end
+               i32.const 1 local.set $r br $a
+             end
+             i32.const 2 local.set $r br $a
+           end
+           i32.const 3 local.set $r
+         end
+         local.get $r)))",
+     2, 3},
+
+    {"else_branch_with_branch_out",
+     R"((module (func (export "f") (param i32) (result i32)
+         block $out (result i32)
+             (if (local.get 0)
+                 (then nop)
+                 (else i32.const 5 br $out))
+             i32.const 6
+         end)))",
+     0, 5},
+
+    {"call_inside_loop_accumulates",
+     R"((module
+         (func $sq (param i32) (result i32)
+             local.get 0 local.get 0 i32.mul)
+         (func (export "f") (param i32) (result i32)
+             (local $acc i32)
+             block $done
+                 loop $top
+                     local.get 0 i32.eqz br_if $done
+                     local.get $acc
+                     (call $sq (local.get 0))
+                     i32.add local.set $acc
+                     local.get 0 i32.const 1 i32.sub local.set 0
+                     br $top
+                 end
+             end
+             local.get $acc)))",
+     3, 14},
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SpecControl, ::testing::ValuesIn(kCases),
+    [](const ::testing::TestParamInfo<SpecCase> &info) {
+        return info.param.name;
+    });
+
+} // namespace
+} // namespace wasabi
