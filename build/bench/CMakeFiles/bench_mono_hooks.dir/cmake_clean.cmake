@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mono_hooks.dir/bench_mono_hooks.cc.o"
+  "CMakeFiles/bench_mono_hooks.dir/bench_mono_hooks.cc.o.d"
+  "bench_mono_hooks"
+  "bench_mono_hooks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mono_hooks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

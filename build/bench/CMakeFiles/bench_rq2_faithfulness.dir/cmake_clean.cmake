@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rq2_faithfulness.dir/bench_rq2_faithfulness.cc.o"
+  "CMakeFiles/bench_rq2_faithfulness.dir/bench_rq2_faithfulness.cc.o.d"
+  "bench_rq2_faithfulness"
+  "bench_rq2_faithfulness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rq2_faithfulness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_analyses.dir/bench_table4_analyses.cc.o"
+  "CMakeFiles/bench_table4_analyses.dir/bench_table4_analyses.cc.o.d"
+  "bench_table4_analyses"
+  "bench_table4_analyses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_analyses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/call_graph_extraction.dir/call_graph_extraction.cpp.o"
+  "CMakeFiles/call_graph_extraction.dir/call_graph_extraction.cpp.o.d"
+  "call_graph_extraction"
+  "call_graph_extraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/call_graph_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coverage.dir/coverage.cpp.o"
+  "CMakeFiles/coverage.dir/coverage.cpp.o.d"
+  "coverage"
+  "coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryptominer_detection.dir/cryptominer_detection.cpp.o"
+  "CMakeFiles/cryptominer_detection.dir/cryptominer_detection.cpp.o.d"
+  "cryptominer_detection"
+  "cryptominer_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryptominer_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/taint_tracking.cpp" "examples/CMakeFiles/taint_tracking.dir/taint_tracking.cpp.o" "gcc" "examples/CMakeFiles/taint_tracking.dir/taint_tracking.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analyses/CMakeFiles/analyses.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/wasabi_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wasabi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/wasm/CMakeFiles/wasm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analyses/basic_block_profile.cc" "src/analyses/CMakeFiles/analyses.dir/basic_block_profile.cc.o" "gcc" "src/analyses/CMakeFiles/analyses.dir/basic_block_profile.cc.o.d"
+  "/root/repo/src/analyses/branch_coverage.cc" "src/analyses/CMakeFiles/analyses.dir/branch_coverage.cc.o" "gcc" "src/analyses/CMakeFiles/analyses.dir/branch_coverage.cc.o.d"
+  "/root/repo/src/analyses/call_graph.cc" "src/analyses/CMakeFiles/analyses.dir/call_graph.cc.o" "gcc" "src/analyses/CMakeFiles/analyses.dir/call_graph.cc.o.d"
+  "/root/repo/src/analyses/cryptominer.cc" "src/analyses/CMakeFiles/analyses.dir/cryptominer.cc.o" "gcc" "src/analyses/CMakeFiles/analyses.dir/cryptominer.cc.o.d"
+  "/root/repo/src/analyses/instruction_coverage.cc" "src/analyses/CMakeFiles/analyses.dir/instruction_coverage.cc.o" "gcc" "src/analyses/CMakeFiles/analyses.dir/instruction_coverage.cc.o.d"
+  "/root/repo/src/analyses/instruction_mix.cc" "src/analyses/CMakeFiles/analyses.dir/instruction_mix.cc.o" "gcc" "src/analyses/CMakeFiles/analyses.dir/instruction_mix.cc.o.d"
+  "/root/repo/src/analyses/memory_trace.cc" "src/analyses/CMakeFiles/analyses.dir/memory_trace.cc.o" "gcc" "src/analyses/CMakeFiles/analyses.dir/memory_trace.cc.o.d"
+  "/root/repo/src/analyses/taint.cc" "src/analyses/CMakeFiles/analyses.dir/taint.cc.o" "gcc" "src/analyses/CMakeFiles/analyses.dir/taint.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/wasabi_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wasabi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/wasm/CMakeFiles/wasm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

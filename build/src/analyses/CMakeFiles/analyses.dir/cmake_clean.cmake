@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyses.dir/basic_block_profile.cc.o"
+  "CMakeFiles/analyses.dir/basic_block_profile.cc.o.d"
+  "CMakeFiles/analyses.dir/branch_coverage.cc.o"
+  "CMakeFiles/analyses.dir/branch_coverage.cc.o.d"
+  "CMakeFiles/analyses.dir/call_graph.cc.o"
+  "CMakeFiles/analyses.dir/call_graph.cc.o.d"
+  "CMakeFiles/analyses.dir/cryptominer.cc.o"
+  "CMakeFiles/analyses.dir/cryptominer.cc.o.d"
+  "CMakeFiles/analyses.dir/instruction_coverage.cc.o"
+  "CMakeFiles/analyses.dir/instruction_coverage.cc.o.d"
+  "CMakeFiles/analyses.dir/instruction_mix.cc.o"
+  "CMakeFiles/analyses.dir/instruction_mix.cc.o.d"
+  "CMakeFiles/analyses.dir/memory_trace.cc.o"
+  "CMakeFiles/analyses.dir/memory_trace.cc.o.d"
+  "CMakeFiles/analyses.dir/taint.cc.o"
+  "CMakeFiles/analyses.dir/taint.cc.o.d"
+  "libanalyses.a"
+  "libanalyses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/control_stack.cc" "src/core/CMakeFiles/wasabi_core.dir/control_stack.cc.o" "gcc" "src/core/CMakeFiles/wasabi_core.dir/control_stack.cc.o.d"
+  "/root/repo/src/core/hook_kind.cc" "src/core/CMakeFiles/wasabi_core.dir/hook_kind.cc.o" "gcc" "src/core/CMakeFiles/wasabi_core.dir/hook_kind.cc.o.d"
+  "/root/repo/src/core/hook_map.cc" "src/core/CMakeFiles/wasabi_core.dir/hook_map.cc.o" "gcc" "src/core/CMakeFiles/wasabi_core.dir/hook_map.cc.o.d"
+  "/root/repo/src/core/instrument.cc" "src/core/CMakeFiles/wasabi_core.dir/instrument.cc.o" "gcc" "src/core/CMakeFiles/wasabi_core.dir/instrument.cc.o.d"
+  "/root/repo/src/core/static_info.cc" "src/core/CMakeFiles/wasabi_core.dir/static_info.cc.o" "gcc" "src/core/CMakeFiles/wasabi_core.dir/static_info.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wasm/CMakeFiles/wasm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasabi_core.dir/control_stack.cc.o"
+  "CMakeFiles/wasabi_core.dir/control_stack.cc.o.d"
+  "CMakeFiles/wasabi_core.dir/hook_kind.cc.o"
+  "CMakeFiles/wasabi_core.dir/hook_kind.cc.o.d"
+  "CMakeFiles/wasabi_core.dir/hook_map.cc.o"
+  "CMakeFiles/wasabi_core.dir/hook_map.cc.o.d"
+  "CMakeFiles/wasabi_core.dir/instrument.cc.o"
+  "CMakeFiles/wasabi_core.dir/instrument.cc.o.d"
+  "CMakeFiles/wasabi_core.dir/static_info.cc.o"
+  "CMakeFiles/wasabi_core.dir/static_info.cc.o.d"
+  "libwasabi_core.a"
+  "libwasabi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasabi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/interp/instance.cc" "src/interp/CMakeFiles/interp.dir/instance.cc.o" "gcc" "src/interp/CMakeFiles/interp.dir/instance.cc.o.d"
+  "/root/repo/src/interp/interpreter.cc" "src/interp/CMakeFiles/interp.dir/interpreter.cc.o" "gcc" "src/interp/CMakeFiles/interp.dir/interpreter.cc.o.d"
+  "/root/repo/src/interp/numerics.cc" "src/interp/CMakeFiles/interp.dir/numerics.cc.o" "gcc" "src/interp/CMakeFiles/interp.dir/numerics.cc.o.d"
+  "/root/repo/src/interp/trap.cc" "src/interp/CMakeFiles/interp.dir/trap.cc.o" "gcc" "src/interp/CMakeFiles/interp.dir/trap.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wasm/CMakeFiles/wasm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

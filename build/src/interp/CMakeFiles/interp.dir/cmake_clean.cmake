@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interp.dir/instance.cc.o"
+  "CMakeFiles/interp.dir/instance.cc.o.d"
+  "CMakeFiles/interp.dir/interpreter.cc.o"
+  "CMakeFiles/interp.dir/interpreter.cc.o.d"
+  "CMakeFiles/interp.dir/numerics.cc.o"
+  "CMakeFiles/interp.dir/numerics.cc.o.d"
+  "CMakeFiles/interp.dir/trap.cc.o"
+  "CMakeFiles/interp.dir/trap.cc.o.d"
+  "libinterp.a"
+  "libinterp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasabi_runtime.dir/analysis.cc.o"
+  "CMakeFiles/wasabi_runtime.dir/analysis.cc.o.d"
+  "CMakeFiles/wasabi_runtime.dir/runtime.cc.o"
+  "CMakeFiles/wasabi_runtime.dir/runtime.cc.o.d"
+  "libwasabi_runtime.a"
+  "libwasabi_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasabi_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wasm/builder.cc" "src/wasm/CMakeFiles/wasm.dir/builder.cc.o" "gcc" "src/wasm/CMakeFiles/wasm.dir/builder.cc.o.d"
+  "/root/repo/src/wasm/decoder.cc" "src/wasm/CMakeFiles/wasm.dir/decoder.cc.o" "gcc" "src/wasm/CMakeFiles/wasm.dir/decoder.cc.o.d"
+  "/root/repo/src/wasm/encoder.cc" "src/wasm/CMakeFiles/wasm.dir/encoder.cc.o" "gcc" "src/wasm/CMakeFiles/wasm.dir/encoder.cc.o.d"
+  "/root/repo/src/wasm/instr.cc" "src/wasm/CMakeFiles/wasm.dir/instr.cc.o" "gcc" "src/wasm/CMakeFiles/wasm.dir/instr.cc.o.d"
+  "/root/repo/src/wasm/leb128.cc" "src/wasm/CMakeFiles/wasm.dir/leb128.cc.o" "gcc" "src/wasm/CMakeFiles/wasm.dir/leb128.cc.o.d"
+  "/root/repo/src/wasm/module.cc" "src/wasm/CMakeFiles/wasm.dir/module.cc.o" "gcc" "src/wasm/CMakeFiles/wasm.dir/module.cc.o.d"
+  "/root/repo/src/wasm/name_section.cc" "src/wasm/CMakeFiles/wasm.dir/name_section.cc.o" "gcc" "src/wasm/CMakeFiles/wasm.dir/name_section.cc.o.d"
+  "/root/repo/src/wasm/opcode.cc" "src/wasm/CMakeFiles/wasm.dir/opcode.cc.o" "gcc" "src/wasm/CMakeFiles/wasm.dir/opcode.cc.o.d"
+  "/root/repo/src/wasm/printer.cc" "src/wasm/CMakeFiles/wasm.dir/printer.cc.o" "gcc" "src/wasm/CMakeFiles/wasm.dir/printer.cc.o.d"
+  "/root/repo/src/wasm/types.cc" "src/wasm/CMakeFiles/wasm.dir/types.cc.o" "gcc" "src/wasm/CMakeFiles/wasm.dir/types.cc.o.d"
+  "/root/repo/src/wasm/validator.cc" "src/wasm/CMakeFiles/wasm.dir/validator.cc.o" "gcc" "src/wasm/CMakeFiles/wasm.dir/validator.cc.o.d"
+  "/root/repo/src/wasm/wat_parser.cc" "src/wasm/CMakeFiles/wasm.dir/wat_parser.cc.o" "gcc" "src/wasm/CMakeFiles/wasm.dir/wat_parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasm.dir/builder.cc.o"
+  "CMakeFiles/wasm.dir/builder.cc.o.d"
+  "CMakeFiles/wasm.dir/decoder.cc.o"
+  "CMakeFiles/wasm.dir/decoder.cc.o.d"
+  "CMakeFiles/wasm.dir/encoder.cc.o"
+  "CMakeFiles/wasm.dir/encoder.cc.o.d"
+  "CMakeFiles/wasm.dir/instr.cc.o"
+  "CMakeFiles/wasm.dir/instr.cc.o.d"
+  "CMakeFiles/wasm.dir/leb128.cc.o"
+  "CMakeFiles/wasm.dir/leb128.cc.o.d"
+  "CMakeFiles/wasm.dir/module.cc.o"
+  "CMakeFiles/wasm.dir/module.cc.o.d"
+  "CMakeFiles/wasm.dir/name_section.cc.o"
+  "CMakeFiles/wasm.dir/name_section.cc.o.d"
+  "CMakeFiles/wasm.dir/opcode.cc.o"
+  "CMakeFiles/wasm.dir/opcode.cc.o.d"
+  "CMakeFiles/wasm.dir/printer.cc.o"
+  "CMakeFiles/wasm.dir/printer.cc.o.d"
+  "CMakeFiles/wasm.dir/types.cc.o"
+  "CMakeFiles/wasm.dir/types.cc.o.d"
+  "CMakeFiles/wasm.dir/validator.cc.o"
+  "CMakeFiles/wasm.dir/validator.cc.o.d"
+  "CMakeFiles/wasm.dir/wat_parser.cc.o"
+  "CMakeFiles/wasm.dir/wat_parser.cc.o.d"
+  "libwasm.a"
+  "libwasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/polybench.cc" "src/workloads/CMakeFiles/workloads.dir/polybench.cc.o" "gcc" "src/workloads/CMakeFiles/workloads.dir/polybench.cc.o.d"
+  "/root/repo/src/workloads/polybench_kernels_a.cc" "src/workloads/CMakeFiles/workloads.dir/polybench_kernels_a.cc.o" "gcc" "src/workloads/CMakeFiles/workloads.dir/polybench_kernels_a.cc.o.d"
+  "/root/repo/src/workloads/polybench_kernels_b.cc" "src/workloads/CMakeFiles/workloads.dir/polybench_kernels_b.cc.o" "gcc" "src/workloads/CMakeFiles/workloads.dir/polybench_kernels_b.cc.o.d"
+  "/root/repo/src/workloads/polybench_kernels_c.cc" "src/workloads/CMakeFiles/workloads.dir/polybench_kernels_c.cc.o" "gcc" "src/workloads/CMakeFiles/workloads.dir/polybench_kernels_c.cc.o.d"
+  "/root/repo/src/workloads/random_program.cc" "src/workloads/CMakeFiles/workloads.dir/random_program.cc.o" "gcc" "src/workloads/CMakeFiles/workloads.dir/random_program.cc.o.d"
+  "/root/repo/src/workloads/synthetic_app.cc" "src/workloads/CMakeFiles/workloads.dir/synthetic_app.cc.o" "gcc" "src/workloads/CMakeFiles/workloads.dir/synthetic_app.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wasm/CMakeFiles/wasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/interp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads.dir/polybench.cc.o"
+  "CMakeFiles/workloads.dir/polybench.cc.o.d"
+  "CMakeFiles/workloads.dir/polybench_kernels_a.cc.o"
+  "CMakeFiles/workloads.dir/polybench_kernels_a.cc.o.d"
+  "CMakeFiles/workloads.dir/polybench_kernels_b.cc.o"
+  "CMakeFiles/workloads.dir/polybench_kernels_b.cc.o.d"
+  "CMakeFiles/workloads.dir/polybench_kernels_c.cc.o"
+  "CMakeFiles/workloads.dir/polybench_kernels_c.cc.o.d"
+  "CMakeFiles/workloads.dir/random_program.cc.o"
+  "CMakeFiles/workloads.dir/random_program.cc.o.d"
+  "CMakeFiles/workloads.dir/synthetic_app.cc.o"
+  "CMakeFiles/workloads.dir/synthetic_app.cc.o.d"
+  "libworkloads.a"
+  "libworkloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

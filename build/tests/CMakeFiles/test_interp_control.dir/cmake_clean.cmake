@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interp_control.dir/test_interp_control.cc.o"
+  "CMakeFiles/test_interp_control.dir/test_interp_control.cc.o.d"
+  "test_interp_control"
+  "test_interp_control.pdb"
+  "test_interp_control[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interp_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

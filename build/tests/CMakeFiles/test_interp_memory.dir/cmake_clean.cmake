@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interp_memory.dir/test_interp_memory.cc.o"
+  "CMakeFiles/test_interp_memory.dir/test_interp_memory.cc.o.d"
+  "test_interp_memory"
+  "test_interp_memory.pdb"
+  "test_interp_memory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interp_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interp_numeric.dir/test_interp_numeric.cc.o"
+  "CMakeFiles/test_interp_numeric.dir/test_interp_numeric.cc.o.d"
+  "test_interp_numeric"
+  "test_interp_numeric.pdb"
+  "test_interp_numeric[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interp_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

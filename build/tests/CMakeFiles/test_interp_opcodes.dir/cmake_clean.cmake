@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interp_opcodes.dir/test_interp_opcodes.cc.o"
+  "CMakeFiles/test_interp_opcodes.dir/test_interp_opcodes.cc.o.d"
+  "test_interp_opcodes"
+  "test_interp_opcodes.pdb"
+  "test_interp_opcodes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interp_opcodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

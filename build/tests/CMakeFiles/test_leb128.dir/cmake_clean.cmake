@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_leb128.dir/test_leb128.cc.o"
+  "CMakeFiles/test_leb128.dir/test_leb128.cc.o.d"
+  "test_leb128"
+  "test_leb128.pdb"
+  "test_leb128[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_leb128.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_name_section.dir/test_name_section.cc.o"
+  "CMakeFiles/test_name_section.dir/test_name_section.cc.o.d"
+  "test_name_section"
+  "test_name_section.pdb"
+  "test_name_section[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_name_section.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_runtime_extra.cc" "tests/CMakeFiles/test_runtime_extra.dir/test_runtime_extra.cc.o" "gcc" "tests/CMakeFiles/test_runtime_extra.dir/test_runtime_extra.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analyses/CMakeFiles/analyses.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/wasabi_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wasabi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/wasm/CMakeFiles/wasm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

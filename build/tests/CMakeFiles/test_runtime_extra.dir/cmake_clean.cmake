@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime_extra.dir/test_runtime_extra.cc.o"
+  "CMakeFiles/test_runtime_extra.dir/test_runtime_extra.cc.o.d"
+  "test_runtime_extra"
+  "test_runtime_extra.pdb"
+  "test_runtime_extra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

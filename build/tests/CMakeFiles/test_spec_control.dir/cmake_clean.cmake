@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spec_control.dir/test_spec_control.cc.o"
+  "CMakeFiles/test_spec_control.dir/test_spec_control.cc.o.d"
+  "test_spec_control"
+  "test_spec_control.pdb"
+  "test_spec_control[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spec_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_leb128[1]_include.cmake")
+include("/root/repo/build/tests/test_opcode[1]_include.cmake")
+include("/root/repo/build/tests/test_builder[1]_include.cmake")
+include("/root/repo/build/tests/test_roundtrip[1]_include.cmake")
+include("/root/repo/build/tests/test_validator[1]_include.cmake")
+include("/root/repo/build/tests/test_interp_numeric[1]_include.cmake")
+include("/root/repo/build/tests/test_interp_control[1]_include.cmake")
+include("/root/repo/build/tests/test_interp_memory[1]_include.cmake")
+include("/root/repo/build/tests/test_instrument[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_analyses[1]_include.cmake")
+include("/root/repo/build/tests/test_faithfulness[1]_include.cmake")
+include("/root/repo/build/tests/test_core_units[1]_include.cmake")
+include("/root/repo/build/tests/test_printer[1]_include.cmake")
+include("/root/repo/build/tests/test_interp_opcodes[1]_include.cmake")
+include("/root/repo/build/tests/test_name_section[1]_include.cmake")
+include("/root/repo/build/tests/test_decoder_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_wat_parser[1]_include.cmake")
+include("/root/repo/build/tests/test_paper_figures[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime_extra[1]_include.cmake")
+include("/root/repo/build/tests/test_spec_control[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasabi.dir/wasabi_cli.cc.o"
+  "CMakeFiles/wasabi.dir/wasabi_cli.cc.o.d"
+  "wasabi"
+  "wasabi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasabi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for wasabi.
+# This may be replaced when dependencies are built.
