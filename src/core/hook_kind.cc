@@ -34,6 +34,58 @@ name(HookKind kind)
     return "?";
 }
 
+std::optional<HookKind>
+hookKindByName(const std::string &hook_name)
+{
+    for (int i = 0; i < kNumHookKinds; ++i) {
+        HookKind k = static_cast<HookKind>(i);
+        if (hook_name == name(k))
+            return k;
+    }
+    return std::nullopt;
+}
+
+std::optional<HookKind>
+hookKindForClass(wasm::OpClass cls)
+{
+    using wasm::OpClass;
+    switch (cls) {
+      case OpClass::Nop: return HookKind::Nop;
+      case OpClass::Unreachable: return HookKind::Unreachable;
+      case OpClass::Block:
+      case OpClass::Loop:
+        return HookKind::Begin;
+      case OpClass::If: return HookKind::If;
+      case OpClass::Else:
+      case OpClass::End:
+        return HookKind::End;
+      case OpClass::Br: return HookKind::Br;
+      case OpClass::BrIf: return HookKind::BrIf;
+      case OpClass::BrTable: return HookKind::BrTable;
+      case OpClass::Return: return HookKind::Return;
+      case OpClass::Call:
+      case OpClass::CallIndirect:
+        return HookKind::Call;
+      case OpClass::Drop: return HookKind::Drop;
+      case OpClass::Select: return HookKind::Select;
+      case OpClass::LocalGet:
+      case OpClass::LocalSet:
+      case OpClass::LocalTee:
+        return HookKind::Local;
+      case OpClass::GlobalGet:
+      case OpClass::GlobalSet:
+        return HookKind::Global;
+      case OpClass::Load: return HookKind::Load;
+      case OpClass::Store: return HookKind::Store;
+      case OpClass::MemorySize: return HookKind::MemorySize;
+      case OpClass::MemoryGrow: return HookKind::MemoryGrow;
+      case OpClass::Const: return HookKind::Const;
+      case OpClass::Unary: return HookKind::Unary;
+      case OpClass::Binary: return HookKind::Binary;
+    }
+    return std::nullopt;
+}
+
 const std::vector<HookKind> &
 figureOrderHookKinds()
 {

@@ -11,8 +11,11 @@
 
 #include <cstdint>
 #include <initializer_list>
+#include <optional>
 #include <string>
 #include <vector>
+
+#include "wasm/opcode.h"
 
 namespace wasabi::core {
 
@@ -56,8 +59,21 @@ inline constexpr int kNumHookKinds = 22;
 /** Figure-style name, e.g. "memory_size" or "br_table". */
 const char *name(HookKind kind);
 
+/** Hook kind by figure-style name; nullopt if unknown. */
+std::optional<HookKind> hookKindByName(const std::string &name);
+
 /** The kinds in Figure 8/9 x-axis order (excludes `start`). */
 const std::vector<HookKind> &figureOrderHookKinds();
+
+/**
+ * The selective-instrumentation category of an instruction class:
+ * which HookKind's presence in the HookSet makes the instrumenter
+ * touch instructions of this class (paper §2.4.2). Structural classes
+ * map to their primary hook: block/loop map to Begin, end to End, if
+ * to If (its Begin/End instrumentation is additionally governed by
+ * those kinds), else to End.
+ */
+std::optional<HookKind> hookKindForClass(wasm::OpClass cls);
 
 /** A set of hook kinds; drives selective instrumentation. */
 class HookSet {

@@ -56,6 +56,196 @@ mangledName(const HookSpec &spec)
     return "?";
 }
 
+namespace {
+
+std::optional<ValType>
+valTypeByName(const std::string &s)
+{
+    for (int i = 0; i < wasm::kNumValTypes; ++i) {
+        ValType t = static_cast<ValType>(i);
+        if (s == wasm::name(t))
+            return t;
+    }
+    return std::nullopt;
+}
+
+std::optional<BlockKind>
+blockKindByName(const std::string &s)
+{
+    for (BlockKind k :
+         {BlockKind::Function, BlockKind::Block, BlockKind::Loop,
+          BlockKind::If, BlockKind::Else}) {
+        if (s == name(k))
+            return k;
+    }
+    return std::nullopt;
+}
+
+/** Parse the "_i32_f64"-style type suffix starting at @p pos. */
+std::optional<std::vector<ValType>>
+parseTypeList(const std::string &s, size_t pos)
+{
+    std::vector<ValType> out;
+    while (pos < s.size()) {
+        if (s[pos] != '_')
+            return std::nullopt;
+        size_t next = s.find('_', pos + 1);
+        std::string tok =
+            s.substr(pos + 1, next == std::string::npos
+                                  ? std::string::npos
+                                  : next - pos - 1);
+        std::optional<ValType> t = valTypeByName(tok);
+        if (!t)
+            return std::nullopt;
+        out.push_back(*t);
+        pos = next == std::string::npos ? s.size() : next;
+    }
+    return out;
+}
+
+/** True if @p s equals @p prefix or continues it with '_'. */
+bool
+hasPrefix(const std::string &s, const std::string &prefix)
+{
+    if (s.size() < prefix.size() ||
+        s.compare(0, prefix.size(), prefix) != 0)
+        return false;
+    return s.size() == prefix.size() || s[prefix.size()] == '_';
+}
+
+const std::unordered_map<std::string, wasm::Opcode> &
+opcodeByMnemonic()
+{
+    static const auto *map = [] {
+        auto *m = new std::unordered_map<std::string, wasm::Opcode>;
+        for (wasm::Opcode op : wasm::allOpcodes())
+            m->emplace(wasm::name(op), op);
+        return m;
+    }();
+    return *map;
+}
+
+} // namespace
+
+std::optional<HookSpec>
+parseHookName(const std::string &name)
+{
+    // Fixed names of the monomorphic hooks.
+    static const std::unordered_map<std::string, HookKind> fixed = {
+        {"nop", HookKind::Nop},
+        {"unreachable", HookKind::Unreachable},
+        {"memory.size", HookKind::MemorySize},
+        {"memory.grow", HookKind::MemoryGrow},
+        {"if_cond", HookKind::If},
+        {"br", HookKind::Br},
+        {"br_if", HookKind::BrIf},
+        {"br_table", HookKind::BrTable},
+        {"start", HookKind::Start},
+    };
+    if (auto it = fixed.find(name); it != fixed.end())
+        return HookSpec{.kind = it->second};
+
+    auto typed = [&name](size_t prefix_len)
+        -> std::optional<std::vector<ValType>> {
+        return parseTypeList(name, prefix_len);
+    };
+
+    // Begin/end hooks, keyed by block kind.
+    for (auto [prefix, kind] :
+         {std::pair{"begin_", HookKind::Begin},
+          std::pair{"end_", HookKind::End}}) {
+        size_t len = std::string(prefix).size();
+        if (name.compare(0, len, prefix) == 0) {
+            if (auto b = blockKindByName(name.substr(len)))
+                return HookSpec{.kind = kind, .block = *b};
+            return std::nullopt;
+        }
+    }
+
+    // Polymorphic hooks monomorphized by value types.
+    if (hasPrefix(name, "select")) {
+        auto types = typed(6);
+        if (types && types->size() == 1)
+            return HookSpec{.kind = HookKind::Select, .types = *types};
+        return std::nullopt;
+    }
+    if (hasPrefix(name, "drop")) {
+        auto types = typed(4);
+        if (types && types->size() == 1)
+            return HookSpec{.kind = HookKind::Drop, .types = *types};
+        return std::nullopt;
+    }
+    if (hasPrefix(name, "call_pre_indirect")) {
+        auto types = typed(17);
+        if (types)
+            return HookSpec{.kind = HookKind::Call,
+                            .types = *types,
+                            .indirect = true};
+        return std::nullopt;
+    }
+    if (hasPrefix(name, "call_pre")) {
+        auto types = typed(8);
+        if (types)
+            return HookSpec{.kind = HookKind::Call, .types = *types};
+        return std::nullopt;
+    }
+    if (hasPrefix(name, "call_post")) {
+        auto types = typed(9);
+        if (types)
+            return HookSpec{.kind = HookKind::Call,
+                            .types = *types,
+                            .post = true};
+        return std::nullopt;
+    }
+    if (hasPrefix(name, "return")) {
+        auto types = typed(6);
+        if (types)
+            return HookSpec{.kind = HookKind::Return, .types = *types};
+        return std::nullopt;
+    }
+
+    // Variable hooks: "<mnemonic>_<type>" (mnemonic has no '_').
+    if (name.rfind("local.", 0) == 0 || name.rfind("global.", 0) == 0) {
+        size_t us = name.find('_');
+        if (us == std::string::npos)
+            return std::nullopt;
+        auto it = opcodeByMnemonic().find(name.substr(0, us));
+        auto types = typed(us);
+        if (it == opcodeByMnemonic().end() || !types ||
+            types->size() != 1)
+            return std::nullopt;
+        wasm::OpClass cls = wasm::opInfo(it->second).cls;
+        bool is_local = cls == wasm::OpClass::LocalGet ||
+                        cls == wasm::OpClass::LocalSet ||
+                        cls == wasm::OpClass::LocalTee;
+        bool is_global = cls == wasm::OpClass::GlobalGet ||
+                         cls == wasm::OpClass::GlobalSet;
+        if (!is_local && !is_global)
+            return std::nullopt;
+        return HookSpec{.kind = is_local ? HookKind::Local
+                                         : HookKind::Global,
+                        .op = it->second,
+                        .types = *types};
+    }
+
+    // Per-opcode hooks: the instruction mnemonic itself.
+    if (auto it = opcodeByMnemonic().find(name);
+        it != opcodeByMnemonic().end()) {
+        std::optional<HookKind> kind;
+        switch (wasm::opInfo(it->second).cls) {
+          case wasm::OpClass::Load: kind = HookKind::Load; break;
+          case wasm::OpClass::Store: kind = HookKind::Store; break;
+          case wasm::OpClass::Const: kind = HookKind::Const; break;
+          case wasm::OpClass::Unary: kind = HookKind::Unary; break;
+          case wasm::OpClass::Binary: kind = HookKind::Binary; break;
+          default: break;
+        }
+        if (kind)
+            return HookSpec{.kind = *kind, .op = it->second};
+    }
+    return std::nullopt;
+}
+
 wasm::FuncType
 lowLevelType(const HookSpec &spec, bool split_i64)
 {

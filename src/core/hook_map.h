@@ -16,6 +16,7 @@
 #ifndef WASABI_CORE_HOOK_MAP_H
 #define WASABI_CORE_HOOK_MAP_H
 
+#include <optional>
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
@@ -57,6 +58,16 @@ struct HookSpec {
  * deduplication key in the HookMap.
  */
 std::string mangledName(const HookSpec &spec);
+
+/**
+ * Inverse of mangledName: reconstruct the HookSpec from a hook-import
+ * name, or nullopt if the name is not a well-formed hook name. For
+ * every spec the instrumenter can generate,
+ * `parseHookName(mangledName(spec)) == spec`. Used by the static
+ * checker (`wasabi check`) to recover hook identities from an
+ * instrumented binary's import section.
+ */
+std::optional<HookSpec> parseHookName(const std::string &name);
 
 /**
  * The low-level hook's function type. Every hook takes two leading

@@ -127,6 +127,30 @@ class StaticInfo {
     {
         return original.functions.at(loc.func).body.at(loc.instr);
     }
+
+    /** Lookup helpers for the static checker (`wasabi check`); return
+     * nullptr when no metadata was recorded at the location. @{ */
+    const BranchTarget *
+    findBrTarget(Location loc) const
+    {
+        auto it = brTargets.find(packLoc(loc));
+        return it == brTargets.end() ? nullptr : &it->second;
+    }
+
+    const BrTableInfo *
+    findBrTable(Location loc) const
+    {
+        auto it = brTables.find(packLoc(loc));
+        return it == brTables.end() ? nullptr : &it->second;
+    }
+
+    const BlockEndInfo *
+    findBlockEnd(Location loc) const
+    {
+        auto it = blockEnds.find(packLoc(loc));
+        return it == blockEnds.end() ? nullptr : &it->second;
+    }
+    /** @} */
 };
 
 } // namespace wasabi::core

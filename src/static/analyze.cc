@@ -1,0 +1,116 @@
+#include "static/analyze.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "static/call_graph.h"
+#include "static/cfg.h"
+#include "static/dataflow.h"
+
+namespace wasabi::static_analysis {
+
+using wasm::Module;
+
+ModuleReport
+analyzeModule(const Module &m)
+{
+    ModuleReport r;
+    r.numFunctions = m.numFunctions();
+    r.numImportedFunctions = m.numImportedFunctions();
+    r.numInstructions = static_cast<uint32_t>(m.numInstructions());
+
+    StaticCallGraph cg(m);
+    r.numCallEdges = cg.numEdges();
+    r.deadFunctions = cg.deadFunctions();
+
+    for (uint32_t f = 0; f < m.numFunctions(); ++f) {
+        if (m.functions[f].imported())
+            continue;
+        Cfg cfg(m, f);
+        FunctionStats s;
+        s.funcIdx = f;
+        s.numInstrs = static_cast<uint32_t>(m.functions[f].body.size());
+        s.numBlocks = cfg.numBlocks();
+        s.numEdges = cfg.numEdges();
+        s.numBackEdges = static_cast<uint32_t>(backEdges(cfg).size());
+        std::vector<bool> reach = reachableBlocks(cfg);
+        s.numUnreachable = static_cast<uint32_t>(
+            std::count(reach.begin(), reach.end(), false));
+        s.dead = !cg.reachable(f);
+        r.functions.push_back(s);
+    }
+    return r;
+}
+
+std::string
+toString(const ModuleReport &r)
+{
+    std::string out;
+    out += "module: " + std::to_string(r.numFunctions) + " functions (" +
+           std::to_string(r.numImportedFunctions) + " imported), " +
+           std::to_string(r.numInstructions) + " instructions, " +
+           std::to_string(r.numCallEdges) + " call edges\n";
+    out += "func  instrs  blocks  edges  loops  unreachable\n";
+    for (const FunctionStats &s : r.functions) {
+        char line[128];
+        std::snprintf(line, sizeof line, "%4u  %6u  %6u  %5u  %5u  %11u%s\n",
+                      s.funcIdx, s.numInstrs, s.numBlocks, s.numEdges,
+                      s.numBackEdges, s.numUnreachable,
+                      s.dead ? "  [dead]" : "");
+        out += line;
+    }
+    if (!r.deadFunctions.empty()) {
+        out += "dead functions:";
+        for (uint32_t f : r.deadFunctions)
+            out += " " + std::to_string(f);
+        out += "\n";
+    }
+    return out;
+}
+
+std::string
+toJson(const ModuleReport &r)
+{
+    std::string out = "{";
+    out += "\"functions\":" + std::to_string(r.numFunctions);
+    out += ",\"imported\":" + std::to_string(r.numImportedFunctions);
+    out += ",\"instructions\":" + std::to_string(r.numInstructions);
+    out += ",\"callEdges\":" + std::to_string(r.numCallEdges);
+    out += ",\"deadFunctions\":[";
+    for (size_t i = 0; i < r.deadFunctions.size(); ++i) {
+        if (i)
+            out += ",";
+        out += std::to_string(r.deadFunctions[i]);
+    }
+    out += "],\"perFunction\":[";
+    for (size_t i = 0; i < r.functions.size(); ++i) {
+        const FunctionStats &s = r.functions[i];
+        if (i)
+            out += ",";
+        out += "{\"func\":" + std::to_string(s.funcIdx);
+        out += ",\"instrs\":" + std::to_string(s.numInstrs);
+        out += ",\"blocks\":" + std::to_string(s.numBlocks);
+        out += ",\"edges\":" + std::to_string(s.numEdges);
+        out += ",\"backEdges\":" + std::to_string(s.numBackEdges);
+        out += ",\"unreachableBlocks\":" +
+               std::to_string(s.numUnreachable);
+        out += std::string(",\"dead\":") + (s.dead ? "true" : "false");
+        out += "}";
+    }
+    out += "]}";
+    return out;
+}
+
+std::string
+cfgDot(const Module &m, uint32_t func_idx)
+{
+    return Cfg(m, func_idx).toDot(m);
+}
+
+std::string
+callGraphDot(const Module &m)
+{
+    return StaticCallGraph(m).toDot(m);
+}
+
+} // namespace wasabi::static_analysis

@@ -1,0 +1,136 @@
+#include "static/call_graph.h"
+
+#include <algorithm>
+
+#include "wasm/opcode.h"
+
+namespace wasabi::static_analysis {
+
+using wasm::OpClass;
+
+StaticCallGraph::StaticCallGraph(const wasm::Module &m)
+{
+    const uint32_t n = m.numFunctions();
+    callees_.resize(n);
+    callers_.resize(n);
+
+    // Functions exposed through the (at most one, MVP) table, per
+    // signature type index: conservative call_indirect targets.
+    std::vector<uint32_t> table_funcs;
+    for (const wasm::ElementSegment &seg : m.elements) {
+        table_funcs.insert(table_funcs.end(), seg.funcIdxs.begin(),
+                           seg.funcIdxs.end());
+    }
+    std::sort(table_funcs.begin(), table_funcs.end());
+    table_funcs.erase(
+        std::unique(table_funcs.begin(), table_funcs.end()),
+        table_funcs.end());
+
+    for (uint32_t f = 0; f < n; ++f) {
+        const wasm::Function &func = m.functions[f];
+        if (func.imported())
+            continue;
+        for (const wasm::Instr &instr : func.body) {
+            OpClass cls = wasm::opInfo(instr.op).cls;
+            if (cls == OpClass::Call) {
+                callees_[f].push_back(instr.imm.idx);
+            } else if (cls == OpClass::CallIndirect) {
+                const wasm::FuncType &sig = m.types.at(instr.imm.idx);
+                for (uint32_t t : table_funcs) {
+                    if (m.funcType(t) == sig)
+                        callees_[f].push_back(t);
+                }
+            }
+        }
+        std::sort(callees_[f].begin(), callees_[f].end());
+        callees_[f].erase(
+            std::unique(callees_[f].begin(), callees_[f].end()),
+            callees_[f].end());
+        for (uint32_t c : callees_[f])
+            callers_[c].push_back(f);
+    }
+    for (uint32_t f = 0; f < n; ++f) {
+        std::sort(callers_[f].begin(), callers_[f].end());
+        callers_[f].erase(
+            std::unique(callers_[f].begin(), callers_[f].end()),
+            callers_[f].end());
+    }
+
+    // Roots: exports, start, and — if the table itself is visible to
+    // the host — every table-exposed function.
+    for (uint32_t f = 0; f < n; ++f) {
+        if (!m.functions[f].exportNames.empty())
+            roots_.push_back(f);
+    }
+    if (m.start)
+        roots_.push_back(*m.start);
+    bool table_exported =
+        !m.tables.empty() && (!m.tables[0].exportNames.empty() ||
+                              m.tables[0].imported());
+    if (table_exported) {
+        roots_.insert(roots_.end(), table_funcs.begin(),
+                      table_funcs.end());
+    }
+    std::sort(roots_.begin(), roots_.end());
+    roots_.erase(std::unique(roots_.begin(), roots_.end()),
+                 roots_.end());
+
+    // Reachability from the roots (plain BFS).
+    reachable_.assign(n, false);
+    std::vector<uint32_t> worklist = roots_;
+    for (uint32_t r : roots_)
+        reachable_[r] = true;
+    while (!worklist.empty()) {
+        uint32_t f = worklist.back();
+        worklist.pop_back();
+        for (uint32_t c : callees_[f]) {
+            if (!reachable_[c]) {
+                reachable_[c] = true;
+                worklist.push_back(c);
+            }
+        }
+    }
+}
+
+std::vector<uint32_t>
+StaticCallGraph::deadFunctions() const
+{
+    std::vector<uint32_t> dead;
+    for (uint32_t f = 0; f < reachable_.size(); ++f) {
+        if (!reachable_[f])
+            dead.push_back(f);
+    }
+    return dead;
+}
+
+size_t
+StaticCallGraph::numEdges() const
+{
+    size_t edges = 0;
+    for (const std::vector<uint32_t> &c : callees_)
+        edges += c.size();
+    return edges;
+}
+
+std::string
+StaticCallGraph::toDot(const wasm::Module &m) const
+{
+    std::string out = "digraph callgraph {\n  node [shape=box];\n";
+    for (uint32_t f = 0; f < callees_.size(); ++f) {
+        const wasm::Function &func = m.functions[f];
+        std::string label = func.debugName.empty()
+                                ? "f" + std::to_string(f)
+                                : func.debugName;
+        out += "  f" + std::to_string(f) + " [label=\"" + label + "\"";
+        if (!reachable_[f])
+            out += ", style=dashed";
+        out += "];\n";
+        for (uint32_t c : callees_[f])
+            out += "  f" + std::to_string(f) + " -> f" +
+                   std::to_string(c) + ";\n";
+    }
+    out += "}\n";
+    return out;
+}
+
+} // namespace wasabi::static_analysis

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The static call graph of a module: direct `call` edges plus
+ * conservative `call_indirect` edges to every table-exposed function
+ * of a matching type. Roots are the module's exports, the start
+ * function, and (for analyses that care) nothing else — functions
+ * unreachable from the roots are statically dead.
+ *
+ * This is the static counterpart of the dynamic analyses'
+ * `analyses::CallGraph`, which records edges actually taken at
+ * runtime; comparing the two is the classic precision experiment.
+ */
+
+#ifndef WASABI_STATIC_CALL_GRAPH_H
+#define WASABI_STATIC_CALL_GRAPH_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "wasm/module.h"
+
+namespace wasabi::static_analysis {
+
+class StaticCallGraph {
+  public:
+    explicit StaticCallGraph(const wasm::Module &m);
+
+    /** Callees of function @p func_idx (sorted, deduplicated). */
+    const std::vector<uint32_t> &callees(uint32_t func_idx) const
+    {
+        return callees_.at(func_idx);
+    }
+
+    /** Callers of function @p func_idx (sorted, deduplicated). */
+    const std::vector<uint32_t> &callers(uint32_t func_idx) const
+    {
+        return callers_.at(func_idx);
+    }
+
+    /** Root set: exported functions, the start function, and functions
+     * referenced by element segments of an exported table. */
+    const std::vector<uint32_t> &roots() const { return roots_; }
+
+    /** True if @p func_idx is reachable from the root set. */
+    bool reachable(uint32_t func_idx) const
+    {
+        return reachable_.at(func_idx);
+    }
+
+    /** Functions not reachable from any root (statically dead). */
+    std::vector<uint32_t> deadFunctions() const;
+
+    size_t numEdges() const;
+
+    /** Graphviz rendering (dead functions drawn dashed). */
+    std::string toDot(const wasm::Module &m) const;
+
+  private:
+    std::vector<std::vector<uint32_t>> callees_;
+    std::vector<std::vector<uint32_t>> callers_;
+    std::vector<uint32_t> roots_;
+    std::vector<bool> reachable_;
+};
+
+} // namespace wasabi::static_analysis
+
+#endif // WASABI_STATIC_CALL_GRAPH_H

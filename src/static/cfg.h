@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Per-function control-flow graphs over the flat structured
+ * instruction stream. Branch edges are resolved with the same
+ * abstract-control-stack label resolution the instrumenter uses
+ * (paper §2.4.4): a `br n` targets the first instruction inside a
+ * loop, or the instruction after the matching `end` otherwise.
+ *
+ * Basic blocks are maximal ranges [first, last] of instruction
+ * indices. Structural no-ops (`block`, `end`, ...) stay inside blocks
+ * wherever control flow permits; only real branch points split them.
+ * A synthetic exit node collects `return`, the function's final `end`,
+ * and (as a no-successor sink) `unreachable`.
+ */
+
+#ifndef WASABI_STATIC_CFG_H
+#define WASABI_STATIC_CFG_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "wasm/module.h"
+
+namespace wasabi::static_analysis {
+
+/** Index of the synthetic exit node in Cfg::blocks(). */
+inline constexpr uint32_t kCfgEntryBlock = 0;
+
+struct BasicBlock {
+    /** First and last instruction index, both inclusive. The synthetic
+     * exit block has first > last (an empty range). */
+    uint32_t first = 0;
+    uint32_t last = 0;
+    std::vector<uint32_t> succs;
+    std::vector<uint32_t> preds;
+
+    bool empty() const { return first > last; }
+    size_t size() const { return empty() ? 0 : last - first + 1; }
+};
+
+/**
+ * The control-flow graph of one defined function. Block 0 is the
+ * entry block (it starts at instruction 0); the synthetic exit block
+ * is last. The function must come from a validated module.
+ */
+class Cfg {
+  public:
+    /** Build the CFG of defined function @p func_idx. */
+    Cfg(const wasm::Module &m, uint32_t func_idx);
+
+    const std::vector<BasicBlock> &blocks() const { return blocks_; }
+    uint32_t numBlocks() const
+    {
+        return static_cast<uint32_t>(blocks_.size());
+    }
+
+    uint32_t funcIdx() const { return funcIdx_; }
+    uint32_t entry() const { return kCfgEntryBlock; }
+    uint32_t exit() const { return numBlocks() - 1; }
+
+    /** Total number of edges. */
+    size_t numEdges() const;
+
+    /** Block containing instruction @p instr_idx. */
+    uint32_t blockOf(uint32_t instr_idx) const
+    {
+        return instrToBlock_.at(instr_idx);
+    }
+
+    /** Blocks in reverse post-order from the entry (unreachable blocks
+     * appended at the end in index order). */
+    std::vector<uint32_t> reversePostOrder() const;
+
+    /** Graphviz rendering, for debugging and `wasabi analyze --dot`. */
+    std::string toDot(const wasm::Module &m) const;
+
+  private:
+    uint32_t funcIdx_;
+    std::vector<BasicBlock> blocks_;
+    std::vector<uint32_t> instrToBlock_;
+};
+
+} // namespace wasabi::static_analysis
+
+#endif // WASABI_STATIC_CFG_H

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * A small forward dataflow framework over per-function CFGs: a
+ * worklist solver in reverse post-order, parameterized over the
+ * lattice (merge) and transfer function, plus the two standard
+ * instances the checker and `wasabi analyze` need — reachability and
+ * dominators (with immediate dominators and back-edge detection).
+ */
+
+#ifndef WASABI_STATIC_DATAFLOW_H
+#define WASABI_STATIC_DATAFLOW_H
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "static/cfg.h"
+
+namespace wasabi::static_analysis {
+
+/**
+ * Solve a forward dataflow problem to a fixpoint. The problem type
+ * supplies:
+ *
+ *   using Value = ...;             // one lattice element
+ *   Value boundary();              // entry block's in-value
+ *   Value initial();               // all other blocks' in-value
+ *   Value transfer(const Cfg &, uint32_t block, const Value &in);
+ *   bool  merge(Value &into, const Value &from);  // true if changed
+ *
+ * Returns the in-value of every block. Iterates blocks in reverse
+ * post-order, which converges in O(loop-nesting-depth) passes for the
+ * reducible CFGs structured Wasm control flow produces.
+ */
+template <typename Problem>
+std::vector<typename Problem::Value>
+solveForward(const Cfg &cfg, Problem &problem)
+{
+    using Value = typename Problem::Value;
+    const uint32_t n = cfg.numBlocks();
+    std::vector<Value> in(n, problem.initial());
+    in[cfg.entry()] = problem.boundary();
+
+    std::vector<uint32_t> order = cfg.reversePostOrder();
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (uint32_t b : order) {
+            Value out = problem.transfer(cfg, b, in[b]);
+            for (uint32_t s : cfg.blocks()[b].succs) {
+                // Copy in/out of the container: std::vector<bool>'s
+                // proxy references cannot bind to Value&.
+                Value merged = in[s];
+                if (problem.merge(merged, out)) {
+                    in[s] = std::move(merged);
+                    changed = true;
+                }
+            }
+        }
+    }
+    return in;
+}
+
+/** A fixed-size bit set, the lattice element of set-based analyses. */
+class BitSet {
+  public:
+    BitSet() = default;
+    explicit BitSet(uint32_t size, bool all_ones = false);
+
+    void set(uint32_t i) { words_[i >> 6] |= 1ull << (i & 63); }
+    bool test(uint32_t i) const
+    {
+        return (words_[i >> 6] >> (i & 63)) & 1;
+    }
+
+    /** this &= other; returns true if this changed. */
+    bool intersectWith(const BitSet &other);
+    /** this |= other; returns true if this changed. */
+    bool unionWith(const BitSet &other);
+
+    uint32_t count() const;
+    uint32_t size() const { return size_; }
+
+    bool operator==(const BitSet &other) const = default;
+
+  private:
+    uint32_t size_ = 0;
+    std::vector<uint64_t> words_;
+};
+
+/** Reachability from the entry block (a trivial dataflow instance). */
+std::vector<bool> reachableBlocks(const Cfg &cfg);
+
+/**
+ * Dominator sets: doms[b] contains block d iff d dominates b.
+ * Unreachable blocks keep the full universe (vacuous domination).
+ */
+std::vector<BitSet> dominatorSets(const Cfg &cfg);
+
+/** Sentinel for "no immediate dominator" (entry / unreachable). */
+inline constexpr uint32_t kNoIdom = 0xFFFFFFFF;
+
+/** Immediate dominators derived from dominatorSets. */
+std::vector<uint32_t> immediateDominators(const Cfg &cfg);
+
+/** Back edges (tail, head) where head dominates tail — one natural
+ * loop per distinct head in structured Wasm code. */
+std::vector<std::pair<uint32_t, uint32_t>> backEdges(const Cfg &cfg);
+
+} // namespace wasabi::static_analysis
+
+#endif // WASABI_STATIC_DATAFLOW_H

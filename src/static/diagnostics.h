@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Structured diagnostics emitted by the static-analysis subsystem:
+ * severity, stable machine-readable code, free-form message, and an
+ * optional (function, instruction) location in the *original* module's
+ * index space. Diagnostics render either as one-line human-readable
+ * strings (`file:func:instr`-style) or as a JSON array for tooling.
+ */
+
+#ifndef WASABI_STATIC_DIAGNOSTICS_H
+#define WASABI_STATIC_DIAGNOSTICS_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace wasabi::static_analysis {
+
+enum class Severity : uint8_t {
+    Note = 0,
+    Warning,
+    Error,
+};
+
+/** Name, e.g. "error" or "warning". */
+const char *name(Severity s);
+
+/**
+ * One finding. `code` is a stable dotted identifier (e.g.
+ * "check.selective.missing-hook") that tests and tools match on;
+ * `message` is for humans. Locations refer to the original module.
+ */
+struct Diagnostic {
+    Severity severity = Severity::Error;
+    std::string code;
+    std::string message;
+    std::optional<uint32_t> func;
+    std::optional<uint32_t> instr;
+
+    bool operator==(const Diagnostic &other) const = default;
+};
+
+/** Accumulates diagnostics; shared by all static checks. */
+class Diagnostics {
+  public:
+    void
+    add(Severity sev, std::string code, std::string message,
+        std::optional<uint32_t> func = std::nullopt,
+        std::optional<uint32_t> instr = std::nullopt)
+    {
+        all_.push_back(Diagnostic{sev, std::move(code), std::move(message),
+                                  func, instr});
+    }
+
+    void
+    error(std::string code, std::string message,
+          std::optional<uint32_t> func = std::nullopt,
+          std::optional<uint32_t> instr = std::nullopt)
+    {
+        add(Severity::Error, std::move(code), std::move(message), func,
+            instr);
+    }
+
+    void
+    warning(std::string code, std::string message,
+            std::optional<uint32_t> func = std::nullopt,
+            std::optional<uint32_t> instr = std::nullopt)
+    {
+        add(Severity::Warning, std::move(code), std::move(message), func,
+            instr);
+    }
+
+    const std::vector<Diagnostic> &all() const { return all_; }
+    bool empty() const { return all_.empty(); }
+    size_t size() const { return all_.size(); }
+
+    /** Number of diagnostics with severity >= Error. */
+    size_t errorCount() const;
+
+    /** True if any diagnostic matches the given code. */
+    bool hasCode(const std::string &code) const;
+
+    /** Append another list's diagnostics. */
+    void merge(const Diagnostics &other);
+
+  private:
+    std::vector<Diagnostic> all_;
+};
+
+/** One line, e.g. "error check.i64.unsplit (func 3, instr 17): ...". */
+std::string toString(const Diagnostic &d);
+
+/** All diagnostics, one per line. */
+std::string toString(const Diagnostics &ds);
+
+/** Machine-readable JSON array of diagnostic objects. */
+std::string toJson(const Diagnostics &ds);
+
+} // namespace wasabi::static_analysis
+
+#endif // WASABI_STATIC_DIAGNOSTICS_H

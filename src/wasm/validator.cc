@@ -368,13 +368,15 @@ class FuncValidator {
     size_t instrIdx_ = 0;
 };
 
-/** Check a constant initializer expression of the expected type. */
+/** Check a constant initializer expression of the expected type.
+ * @p what names the owning entity including its index, e.g.
+ * "global 3" or "element segment 0". */
 void
 checkConstExpr(const Module &m, const std::vector<Instr> &expr,
-               ValType expected, const char *what)
+               ValType expected, const std::string &what)
 {
     if (expr.size() != 2 || expr.back().op != Opcode::End) {
-        throw ValidationError(std::string(what) +
+        throw ValidationError(what +
                               ": initializer must be one constant "
                               "instruction followed by end");
     }
@@ -387,25 +389,31 @@ checkConstExpr(const Module &m, const std::vector<Instr> &expr,
       case Opcode::F64Const: produced = ValType::F64; break;
       case Opcode::GlobalGet: {
         if (instr.imm.idx >= m.globals.size()) {
-            throw ValidationError(std::string(what) +
-                                  ": init global index out of range");
+            throw ValidationError(
+                what + ": init global index " +
+                std::to_string(instr.imm.idx) + " out of range (" +
+                std::to_string(m.globals.size()) + " globals)");
         }
         const Global &g = m.globals[instr.imm.idx];
         if (!g.imported() || g.mut) {
-            throw ValidationError(std::string(what) +
-                                  ": init global.get must reference an "
-                                  "imported immutable global");
+            throw ValidationError(what + ": init global.get " +
+                                  std::to_string(instr.imm.idx) +
+                                  " must reference an imported "
+                                  "immutable global");
         }
         produced = g.type;
         break;
       }
       default:
-        throw ValidationError(std::string(what) +
-                              ": non-constant initializer instruction");
+        throw ValidationError(what + ": non-constant initializer "
+                                     "instruction '" +
+                              name(instr.op) + "'");
     }
     if (produced != expected) {
-        throw ValidationError(std::string(what) +
-                              ": initializer type mismatch");
+        throw ValidationError(what + ": initializer produces " +
+                              std::string(name(produced)) +
+                              " but the entity expects " +
+                              name(expected));
     }
 }
 
@@ -422,12 +430,14 @@ validateModule(const Module &m)
 
     auto checkOrder = [](auto const &vec, const char *what) {
         bool seen_defined = false;
-        for (const auto &e : vec) {
-            if (e.imported() && seen_defined) {
-                throw ValidationError(std::string(what) +
-                                      ": import after defined entity");
+        for (size_t i = 0; i < vec.size(); ++i) {
+            if (vec[i].imported() && seen_defined) {
+                throw ValidationError(std::string(what) + ": import at "
+                                      "index " +
+                                      std::to_string(i) +
+                                      " after defined entity");
             }
-            if (!e.imported())
+            if (!vec[i].imported())
                 seen_defined = true;
         }
     };
@@ -436,16 +446,28 @@ validateModule(const Module &m)
     checkOrder(m.memories, "memories");
     checkOrder(m.globals, "globals");
 
-    for (const Function &f : m.functions) {
-        if (f.typeIdx >= m.types.size())
-            throw ValidationError("function type index out of range");
-        if (m.types[f.typeIdx].results.size() > 1)
-            throw ValidationError("multiple results not allowed (MVP)");
+    for (uint32_t i = 0; i < m.functions.size(); ++i) {
+        const Function &f = m.functions[i];
+        if (f.typeIdx >= m.types.size()) {
+            throw ValidationError("type index " +
+                                      std::to_string(f.typeIdx) +
+                                      " out of range (" +
+                                      std::to_string(m.types.size()) +
+                                      " types)",
+                                  i);
+        }
+        if (m.types[f.typeIdx].results.size() > 1) {
+            throw ValidationError("multiple results not allowed (MVP)",
+                                  i);
+        }
     }
 
-    for (const Global &g : m.globals) {
-        if (!g.imported())
-            checkConstExpr(m, g.init, g.type, "global");
+    for (size_t i = 0; i < m.globals.size(); ++i) {
+        const Global &g = m.globals[i];
+        if (!g.imported()) {
+            checkConstExpr(m, g.init, g.type,
+                           "global " + std::to_string(i));
+        }
     }
 
     if (!m.tables.empty()) {
@@ -461,30 +483,51 @@ validateModule(const Module &m)
             throw ValidationError("memory limits exceed 4 GiB");
     }
 
-    for (const ElementSegment &seg : m.elements) {
-        if (seg.tableIdx >= m.tables.size())
-            throw ValidationError("element segment table out of range");
-        checkConstExpr(m, seg.offset, ValType::I32, "element segment");
+    for (size_t i = 0; i < m.elements.size(); ++i) {
+        const ElementSegment &seg = m.elements[i];
+        std::string what = "element segment " + std::to_string(i);
+        if (seg.tableIdx >= m.tables.size()) {
+            throw ValidationError(what + ": table index " +
+                                  std::to_string(seg.tableIdx) +
+                                  " out of range");
+        }
+        checkConstExpr(m, seg.offset, ValType::I32, what);
         for (uint32_t f : seg.funcIdxs) {
             if (f >= m.functions.size()) {
                 throw ValidationError(
-                    "element segment function index out of range");
+                    what + ": function index " + std::to_string(f) +
+                    " out of range (" +
+                    std::to_string(m.functions.size()) + " functions)");
             }
         }
     }
 
-    for (const DataSegment &seg : m.data) {
-        if (seg.memIdx >= m.memories.size())
-            throw ValidationError("data segment memory out of range");
-        checkConstExpr(m, seg.offset, ValType::I32, "data segment");
+    for (size_t i = 0; i < m.data.size(); ++i) {
+        const DataSegment &seg = m.data[i];
+        std::string what = "data segment " + std::to_string(i);
+        if (seg.memIdx >= m.memories.size()) {
+            throw ValidationError(what + ": memory index " +
+                                  std::to_string(seg.memIdx) +
+                                  " out of range");
+        }
+        checkConstExpr(m, seg.offset, ValType::I32, what);
     }
 
     if (m.start) {
-        if (*m.start >= m.functions.size())
-            throw ValidationError("start function index out of range");
+        if (*m.start >= m.functions.size()) {
+            throw ValidationError("start function index " +
+                                  std::to_string(*m.start) +
+                                  " out of range (" +
+                                  std::to_string(m.functions.size()) +
+                                  " functions)");
+        }
         const FuncType &t = m.funcType(*m.start);
-        if (!t.params.empty() || !t.results.empty())
-            throw ValidationError("start function must have type []->[]");
+        if (!t.params.empty() || !t.results.empty()) {
+            throw ValidationError("start function must have type "
+                                  "[]->[], has " +
+                                      toString(t),
+                                  *m.start);
+        }
     }
 
     for (uint32_t i = 0; i < m.functions.size(); ++i) {

@@ -32,6 +32,15 @@ class ValidationError : public std::runtime_error {
     {
     }
 
+    /** Module-level error attributable to one function but no
+     * particular instruction (e.g. a bad type index). */
+    ValidationError(const std::string &what, uint32_t func_idx)
+        : std::runtime_error("validation error (func " +
+                             std::to_string(func_idx) + "): " + what),
+          funcIdx(func_idx), instrIdx(0)
+    {
+    }
+
     explicit ValidationError(const std::string &what)
         : std::runtime_error("validation error: " + what), funcIdx(0),
           instrIdx(0)

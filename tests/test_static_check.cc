@@ -1,0 +1,422 @@
+/**
+ * @file
+ * Tests of the instrumentation-invariant checker (`wasabi check`).
+ * Every negative case starts from a genuine instrumenter output that
+ * checks clean, applies one targeted tampering, and asserts that the
+ * checker reports the specific diagnostic code at the right original
+ * location — so each invariant is known to be actually enforced, not
+ * vacuously true.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/instrument.h"
+#include "static/check.h"
+#include "wasm/builder.h"
+#include "wasm/validator.h"
+
+namespace wasabi::static_analysis {
+namespace {
+
+using core::HookKind;
+using core::HookSet;
+using core::InstrumentResult;
+using core::Location;
+using core::packLoc;
+using wasm::FuncType;
+using wasm::FunctionBuilder;
+using wasm::Instr;
+using wasm::Module;
+using wasm::ModuleBuilder;
+using wasm::Opcode;
+using wasm::ValType;
+
+Module
+singleFunction(const FuncType &type,
+               const std::function<void(FunctionBuilder &)> &fill)
+{
+    ModuleBuilder mb;
+    mb.addFunction(type, "f", fill);
+    Module m = mb.build();
+    wasm::validateModule(m);
+    return m;
+}
+
+/** Function index of the hook import with the given mangled name. */
+std::optional<uint32_t>
+hookImport(const Module &m, const std::string &name)
+{
+    for (uint32_t i = 0; i < m.numFunctions(); ++i) {
+        if (m.functions[i].imported() && m.functions[i].import->name == name)
+            return i;
+    }
+    return std::nullopt;
+}
+
+/** Index of the first `call` to @p callee in @p body. */
+std::optional<size_t>
+findCall(const std::vector<Instr> &body, uint32_t callee)
+{
+    for (size_t i = 0; i < body.size(); ++i) {
+        if (body[i].op == Opcode::Call && body[i].imm.idx == callee)
+            return i;
+    }
+    return std::nullopt;
+}
+
+const Diagnostic *
+findCode(const Diagnostics &ds, const std::string &code)
+{
+    for (const Diagnostic &d : ds.all()) {
+        if (d.code == code)
+            return &d;
+    }
+    return nullptr;
+}
+
+/** Instrument and require a clean bill of health on both check paths
+ * (with metadata and two-binary); returns the result for tampering. */
+InstrumentResult
+instrumentClean(const Module &orig, HookSet hooks)
+{
+    InstrumentResult r = core::instrument(orig, hooks);
+    Diagnostics with_info = checkInstrumentation(*r.info, r.module);
+    EXPECT_TRUE(with_info.empty()) << toString(with_info);
+    Diagnostics two_binary = checkInstrumentation(orig, r.module);
+    EXPECT_TRUE(two_binary.empty()) << toString(two_binary);
+    return r;
+}
+
+TEST(Check, MissingHookCallIsReported)
+{
+    Module orig = singleFunction(
+        FuncType({}, {}), [](FunctionBuilder &f) { f.nop(); });
+    InstrumentResult r = instrumentClean(orig, {HookKind::Nop});
+
+    // Strip the hook call (two location consts + the call) from the
+    // defined function, leaving the original [nop, end] body.
+    std::vector<Instr> &body = r.module.functions.back().body;
+    ASSERT_GE(body.size(), 5u);
+    body.erase(body.begin(), body.begin() + 3);
+
+    Diagnostics d = checkInstrumentation(*r.info, r.module);
+    const Diagnostic *miss = findCode(d, "check.selective.missing-hook");
+    ASSERT_NE(miss, nullptr) << toString(d);
+    EXPECT_EQ(miss->func, std::optional<uint32_t>(0));
+    EXPECT_EQ(miss->instr, std::optional<uint32_t>(0));
+}
+
+TEST(Check, TamperedLocationConstantIsKindMismatch)
+{
+    Module orig = singleFunction(
+        FuncType({}, {}), [](FunctionBuilder &f) { f.nop(); });
+    InstrumentResult r = instrumentClean(orig, {HookKind::Nop, HookKind::End});
+
+    // Redirect the nop hook's instruction-index constant from the nop
+    // (instr 0) to the function's final `end` (instr 1): the hook's
+    // kind no longer matches the instruction class at its location.
+    std::optional<uint32_t> h = hookImport(r.module, "nop");
+    ASSERT_TRUE(h.has_value());
+    std::vector<Instr> &body = r.module.functions.back().body;
+    std::optional<size_t> call = findCall(body, *h);
+    ASSERT_TRUE(call.has_value());
+    ASSERT_EQ(body[*call - 1].op, Opcode::I32Const);
+    body[*call - 1].imm.i32v = 1;
+
+    Diagnostics d = checkInstrumentation(*r.info, r.module);
+    const Diagnostic *mis = findCode(d, "check.selective.kind-mismatch");
+    ASSERT_NE(mis, nullptr) << toString(d);
+    EXPECT_EQ(mis->instr, std::optional<uint32_t>(1));
+    // The nop at instr 0 lost its hook call, too.
+    EXPECT_NE(findCode(d, "check.selective.missing-hook"), nullptr);
+}
+
+TEST(Check, TamperedEndHookBeginArgument)
+{
+    Module orig = singleFunction(FuncType({}, {}), [](FunctionBuilder &f) {
+        f.block();
+        f.nop();
+        f.end();
+    });
+    InstrumentResult r =
+        instrumentClean(orig, {HookKind::Begin, HookKind::End});
+
+    // The end_block hook carries (func, instr, begin); point the begin
+    // argument at the wrong instruction.
+    std::optional<uint32_t> h = hookImport(r.module, "end_block");
+    ASSERT_TRUE(h.has_value());
+    std::vector<Instr> &body = r.module.functions.back().body;
+    std::optional<size_t> call = findCall(body, *h);
+    ASSERT_TRUE(call.has_value());
+    ASSERT_EQ(body[*call - 1].op, Opcode::I32Const);
+    ASSERT_EQ(body[*call - 1].imm.i32v, 0u); // block begins at instr 0
+    body[*call - 1].imm.i32v = 1;
+
+    Diagnostics d = checkInstrumentation(*r.info, r.module);
+    const Diagnostic *wrong = findCode(d, "check.end.wrong-begin");
+    ASSERT_NE(wrong, nullptr) << toString(d);
+    EXPECT_EQ(wrong->func, std::optional<uint32_t>(0));
+    EXPECT_EQ(wrong->instr, std::optional<uint32_t>(2));
+}
+
+TEST(Check, TamperedI64ConstHalves)
+{
+    Module orig = singleFunction(FuncType({}, {}), [](FunctionBuilder &f) {
+        f.i64Const(5).drop();
+    });
+    InstrumentResult r = instrumentClean(orig, {HookKind::Const});
+
+    // The i64.const hook receives the constant statically split into
+    // (low, high) i32 halves; corrupt the high half.
+    std::optional<uint32_t> h = hookImport(r.module, "i64.const");
+    ASSERT_TRUE(h.has_value());
+    std::vector<Instr> &body = r.module.functions.back().body;
+    std::optional<size_t> call = findCall(body, *h);
+    ASSERT_TRUE(call.has_value());
+    ASSERT_EQ(body[*call - 1].op, Opcode::I32Const);
+    body[*call - 1].imm.i32v = 7;
+
+    Diagnostics d = checkInstrumentation(*r.info, r.module);
+    const Diagnostic *halves = findCode(d, "check.i64.const-halves");
+    ASSERT_NE(halves, nullptr) << toString(d);
+    EXPECT_EQ(halves->instr, std::optional<uint32_t>(0));
+}
+
+TEST(Check, BrokenI64SplitSequence)
+{
+    Module orig = singleFunction(FuncType({}, {}), [](FunctionBuilder &f) {
+        f.i64Const(5).drop();
+    });
+    InstrumentResult r = instrumentClean(orig, {HookKind::Drop});
+
+    // The dropped i64 travels as local.get; i32.wrap_i64; local.get;
+    // i64.const 32; i64.shr_u; i32.wrap_i64. Break the shift amount so
+    // the high half is no longer derived from the same value.
+    std::vector<Instr> &body = r.module.functions.back().body;
+    bool tampered = false;
+    for (Instr &in : body) {
+        if (in.op == Opcode::I64Const && in.imm.i64v == 32) {
+            in.imm.i64v = 16;
+            tampered = true;
+            break;
+        }
+    }
+    ASSERT_TRUE(tampered);
+
+    Diagnostics d = checkInstrumentation(*r.info, r.module);
+    const Diagnostic *unsplit = findCode(d, "check.i64.unsplit");
+    ASSERT_NE(unsplit, nullptr) << toString(d);
+    EXPECT_EQ(unsplit->instr, std::optional<uint32_t>(1)); // the drop
+}
+
+TEST(Check, HookImportTypeMismatch)
+{
+    Module orig = singleFunction(
+        FuncType({}, {}), [](FunctionBuilder &f) { f.nop(); });
+    InstrumentResult r = instrumentClean(orig, {HookKind::Nop});
+
+    std::optional<uint32_t> h = hookImport(r.module, "nop");
+    ASSERT_TRUE(h.has_value());
+    r.module.functions[*h].typeIdx =
+        r.module.addType(FuncType({ValType::I32}, {}));
+
+    Diagnostics d = checkInstrumentation(*r.info, r.module);
+    EXPECT_TRUE(d.hasCode("check.hooks.bad-type")) << toString(d);
+}
+
+TEST(Check, UnknownAndDuplicateHookImports)
+{
+    Module orig = singleFunction(
+        FuncType({}, {}), [](FunctionBuilder &f) { f.nop(); });
+    InstrumentResult r = instrumentClean(orig, {HookKind::Nop, HookKind::End});
+
+    Module bogus = r.module;
+    std::optional<uint32_t> h = hookImport(bogus, "end_function");
+    ASSERT_TRUE(h.has_value());
+    bogus.functions[*h].import->name = "definitely_not_a_hook";
+    Diagnostics d1 = checkInstrumentation(orig, bogus);
+    EXPECT_TRUE(d1.hasCode("check.hooks.unknown-import")) << toString(d1);
+
+    Module dup = r.module;
+    dup.functions[*h].import->name = "nop"; // now imported twice
+    Diagnostics d2 = checkInstrumentation(orig, dup);
+    EXPECT_TRUE(d2.hasCode("check.hooks.duplicate")) << toString(d2);
+}
+
+TEST(Check, DisabledKindDetectedViaExplicitHookSet)
+{
+    Module orig = singleFunction(FuncType({}, {}), [](FunctionBuilder &f) {
+        f.nop();
+        f.i32Const(1).drop();
+    });
+    InstrumentResult r =
+        instrumentClean(orig, {HookKind::Nop, HookKind::Const});
+
+    // Claim only `nop` was enabled: the const hook import and its call
+    // site both violate selective instrumentation.
+    CheckOptions opts;
+    opts.hooks = HookSet{HookKind::Nop};
+    Diagnostics d = checkInstrumentation(orig, r.module, opts);
+    EXPECT_TRUE(d.hasCode("check.selective.disabled-kind-import"))
+        << toString(d);
+    const Diagnostic *site =
+        findCode(d, "check.selective.disabled-kind-site");
+    ASSERT_NE(site, nullptr) << toString(d);
+    EXPECT_EQ(site->instr, std::optional<uint32_t>(1)); // the i32.const
+}
+
+TEST(Check, StructuralTampering)
+{
+    Module orig = singleFunction(
+        FuncType({}, {}), [](FunctionBuilder &f) { f.nop(); });
+    InstrumentResult r = instrumentClean(orig, {HookKind::Nop});
+
+    Module unexported = r.module;
+    unexported.functions.back().exportNames.clear();
+    Diagnostics d1 = checkInstrumentation(*r.info, unexported);
+    const Diagnostic *exp = findCode(d1, "check.structure.exports");
+    ASSERT_NE(exp, nullptr) << toString(d1);
+    EXPECT_EQ(exp->func, std::optional<uint32_t>(0));
+
+    Module truncated = r.module;
+    truncated.functions.pop_back();
+    Diagnostics d2 = checkInstrumentation(*r.info, truncated);
+    EXPECT_TRUE(d2.hasCode("check.structure.function-count"))
+        << toString(d2);
+}
+
+TEST(Check, MismatchedModulePairReportsInsteadOfCrashing)
+{
+    // An instrumented binary from a completely different (and larger)
+    // original: every recovered site points into the wrong index
+    // space; the checker must diagnose, not walk out of bounds.
+    ModuleBuilder mb;
+    for (int i = 0; i < 3; ++i) {
+        mb.addFunction(FuncType({}, {}), i == 0 ? "main" : "",
+                       [&](FunctionBuilder &f) {
+                           f.i32Const(i).drop();
+                           if (i < 2)
+                               f.call(static_cast<uint32_t>(i) + 1);
+                       });
+    }
+    Module other = mb.build();
+    wasm::validateModule(other);
+    InstrumentResult r = core::instrument(other, HookSet::all());
+
+    Module orig = singleFunction(
+        FuncType({}, {}), [](FunctionBuilder &f) { f.nop(); });
+    Diagnostics d = checkInstrumentation(orig, r.module);
+    EXPECT_FALSE(d.empty());
+    EXPECT_TRUE(d.hasCode("check.structure.function-count")) << toString(d);
+}
+
+TEST(Check, InvalidOriginalIsRejected)
+{
+    Module bad;
+    bad.types.push_back(FuncType({}, {}));
+    wasm::Function f;
+    f.typeIdx = 7; // out of range
+    bad.functions.push_back(f);
+
+    Diagnostics d = checkInstrumentation(bad, bad);
+    EXPECT_TRUE(d.hasCode("check.input.invalid-original")) << toString(d);
+}
+
+TEST(Check, TamperedBrTargetMetadata)
+{
+    Module orig = singleFunction(FuncType({}, {}), [](FunctionBuilder &f) {
+        f.block();
+        f.br(0);
+        f.end();
+    });
+    InstrumentResult r = instrumentClean(orig, {HookKind::Br});
+
+    // Shift the recorded branch destination of the br at (0, 1).
+    core::StaticInfo info = *r.info;
+    auto it = info.brTargets.find(packLoc(Location{0, 1}));
+    ASSERT_NE(it, info.brTargets.end());
+    it->second.location.instr += 1;
+    Diagnostics d1 = checkInstrumentation(info, r.module);
+    const Diagnostic *bt = findCode(d1, "check.sidetable.br-target");
+    ASSERT_NE(bt, nullptr) << toString(d1);
+    EXPECT_EQ(bt->instr, std::optional<uint32_t>(1));
+
+    // Dropping the record entirely is reported at the same location.
+    info = *r.info;
+    info.brTargets.erase(packLoc(Location{0, 1}));
+    Diagnostics d2 = checkInstrumentation(info, r.module);
+    EXPECT_TRUE(d2.hasCode("check.sidetable.br-target")) << toString(d2);
+}
+
+TEST(Check, TamperedBrTableSideTable)
+{
+    Module orig = singleFunction(
+        FuncType({ValType::I32}, {}), [](FunctionBuilder &f) {
+            f.block().block();
+            f.localGet(0).brTable({0}, 1);
+            f.end().end();
+        });
+    // Body: 0 block / 1 block / 2 get / 3 br_table / 4 end / 5 end / 6 end.
+    InstrumentResult r = instrumentClean(orig, {HookKind::BrTable});
+    const uint64_t key = packLoc(Location{0, 3});
+
+    core::StaticInfo info = *r.info;
+    auto it = info.brTables.find(key);
+    ASSERT_NE(it, info.brTables.end());
+    ASSERT_EQ(it->second.cases.size(), 1u);
+    it->second.cases[0].target.location.instr += 1;
+    Diagnostics d1 = checkInstrumentation(info, r.module);
+    const Diagnostic *entry = findCode(d1, "check.sidetable.entry");
+    ASSERT_NE(entry, nullptr) << toString(d1);
+    EXPECT_EQ(entry->instr, std::optional<uint32_t>(3));
+
+    info = *r.info;
+    info.brTables.at(key).cases.clear();
+    Diagnostics d2 = checkInstrumentation(info, r.module);
+    EXPECT_TRUE(d2.hasCode("check.sidetable.case-count")) << toString(d2);
+
+    info = *r.info;
+    info.brTables.erase(key);
+    Diagnostics d3 = checkInstrumentation(info, r.module);
+    const Diagnostic *miss = findCode(d3, "check.sidetable.missing");
+    ASSERT_NE(miss, nullptr) << toString(d3);
+    EXPECT_EQ(miss->instr, std::optional<uint32_t>(3));
+
+    info = *r.info;
+    ASSERT_EQ(info.blockEnds.erase(packLoc(Location{0, 4})), 1u);
+    Diagnostics d4 = checkInstrumentation(info, r.module);
+    const Diagnostic *be = findCode(d4, "check.sidetable.block-end");
+    ASSERT_NE(be, nullptr) << toString(d4);
+    EXPECT_EQ(be->instr, std::optional<uint32_t>(4));
+}
+
+TEST(Check, CleanAcrossControlFlowShapes)
+{
+    // A function exercising if/else, loops, br_if, br_table, return
+    // and i64 flows all at once, checked with every hook enabled.
+    ModuleBuilder mb;
+    FunctionBuilder f = mb.startFunction(
+        FuncType({ValType::I32}, {ValType::I64}), "main");
+    uint32_t acc = f.addLocal(ValType::I64);
+    f.localGet(0).if_();
+    f.i64Const(1).localSet(acc);
+    f.else_();
+    f.i64Const(2).localSet(acc);
+    f.end();
+    f.block().loop();
+    f.localGet(0).i32Const(1).op(Opcode::I32Sub).localTee(0);
+    f.brIf(0);
+    f.localGet(0).brTable({0, 1}, 1);
+    f.end().end();
+    f.localGet(acc);
+    f.finish();
+    Module orig = mb.build();
+    wasm::validateModule(orig);
+
+    instrumentClean(orig, HookSet::all());
+    instrumentClean(orig, {HookKind::Begin, HookKind::End});
+    instrumentClean(orig, {HookKind::Br, HookKind::BrIf, HookKind::BrTable});
+}
+
+} // namespace
+} // namespace wasabi::static_analysis

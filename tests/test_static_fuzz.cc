@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Fuzz wiring for the instrumentation-invariant checker: random
+ * programs, PolyBench kernels and the synthetic app are run through
+ * the instrumenter under many hook subsets and the checker must come
+ * back empty every time. This is the end-to-end guarantee behind
+ * `wasabi check` — any instrumenter regression that breaks one of the
+ * paper's invariants (selective instrumentation, constant locations,
+ * i64 splitting, side tables) trips these tests before it can skew a
+ * faithfulness experiment.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/instrument.h"
+#include "static/analyze.h"
+#include "static/check.h"
+#include "wasm/validator.h"
+#include "workloads/polybench.h"
+#include "workloads/random_program.h"
+#include "workloads/synthetic_app.h"
+
+namespace wasabi::static_analysis {
+namespace {
+
+using core::HookKind;
+using core::HookSet;
+using core::InstrumentResult;
+using wasm::Module;
+
+/** The hook subsets every fuzzed module is instrumented under. */
+const std::vector<HookSet> &
+hookSubsets()
+{
+    static const std::vector<HookSet> subsets = {
+        HookSet::all(),
+        {HookKind::Begin, HookKind::End},
+        {HookKind::Call, HookKind::Return},
+        {HookKind::Const, HookKind::Unary, HookKind::Binary},
+        {HookKind::Load, HookKind::Store},
+        {HookKind::Br, HookKind::BrIf, HookKind::BrTable},
+        {HookKind::Local, HookKind::Global, HookKind::Drop,
+         HookKind::Select, HookKind::If},
+    };
+    return subsets;
+}
+
+void
+expectClean(const Module &orig, HookSet hooks, bool split_i64,
+            const std::string &what)
+{
+    core::InstrumentOptions opts;
+    opts.splitI64 = split_i64;
+    InstrumentResult r = core::instrument(orig, hooks, opts);
+    Diagnostics d = checkInstrumentation(*r.info, r.module);
+    EXPECT_TRUE(d.empty())
+        << what << " [hooks " << hooks.toString() << ", splitI64 "
+        << split_i64 << "]:\n"
+        << toString(d);
+}
+
+class RandomProgramCheck : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomProgramCheck, InstrumenterOutputSatisfiesAllInvariants)
+{
+    workloads::RandomProgramOptions opts;
+    opts.seed = GetParam();
+    Module orig = workloads::randomProgram(opts).module;
+    wasm::validateModule(orig);
+
+    for (const HookSet &hooks : hookSubsets())
+        expectClean(orig, hooks, true,
+                    "random seed " + std::to_string(opts.seed));
+    expectClean(orig, HookSet::all(), false,
+                "random seed " + std::to_string(opts.seed));
+}
+
+TEST_P(RandomProgramCheck, TwoBinaryPathAgreesWithMetadataPath)
+{
+    workloads::RandomProgramOptions opts;
+    opts.seed = GetParam();
+    Module orig = workloads::randomProgram(opts).module;
+
+    InstrumentResult r = core::instrument(orig, HookSet::all());
+    Diagnostics d = checkInstrumentation(orig, r.module);
+    EXPECT_TRUE(d.empty())
+        << "two-binary check, seed " << opts.seed << ":\n" << toString(d);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramCheck,
+                         ::testing::Range<uint64_t>(1, 11));
+
+TEST(StaticFuzz, PolybenchKernelsCheckClean)
+{
+    for (const std::string name : {"gemm", "jacobi-2d", "cholesky"}) {
+        Module orig = workloads::polybench(name, 8).module;
+        for (const HookSet &hooks : hookSubsets())
+            expectClean(orig, hooks, true, "polybench " + name);
+    }
+}
+
+TEST(StaticFuzz, SyntheticAppChecksClean)
+{
+    Module orig =
+        workloads::syntheticApp(workloads::AppSize::Small).module;
+    for (const HookSet &hooks : hookSubsets())
+        expectClean(orig, hooks, true, "synthetic app");
+    expectClean(orig, HookSet::all(), false, "synthetic app");
+}
+
+TEST(StaticFuzz, ParallelInstrumentationChecksClean)
+{
+    workloads::RandomProgramOptions opts;
+    opts.seed = 42;
+    Module orig = workloads::randomProgram(opts).module;
+
+    core::InstrumentOptions iopts;
+    iopts.numThreads = 4;
+    InstrumentResult r =
+        core::instrument(orig, HookSet::all(), iopts);
+    Diagnostics d = checkInstrumentation(*r.info, r.module);
+    EXPECT_TRUE(d.empty()) << toString(d);
+}
+
+TEST(StaticFuzz, AnalyzeRunsOnAllFuzzedModules)
+{
+    // The CFG/dataflow layer must handle whatever the generators emit.
+    for (uint64_t seed = 1; seed <= 5; ++seed) {
+        workloads::RandomProgramOptions opts;
+        opts.seed = seed;
+        Module m = workloads::randomProgram(opts).module;
+        ModuleReport r = analyzeModule(m);
+        EXPECT_EQ(r.numFunctions, m.numFunctions());
+        uint32_t blocks = 0;
+        for (const FunctionStats &s : r.functions)
+            blocks += s.numBlocks;
+        EXPECT_GT(blocks, 0u);
+    }
+}
+
+} // namespace
+} // namespace wasabi::static_analysis

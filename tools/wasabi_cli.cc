@@ -12,8 +12,15 @@
  *                     [--arg=i32:N ...]
  *   wasabi gen       <polybench:NAME[:N] | random:SEED | app:SIZE>
  *                     <out.wasm>
+ *   wasabi check     <orig.wasm> <instrumented.wasm> [--hooks=...]
+ *                     [--no-split-i64] [--import-module=NAME]
+ *                     [--no-side-tables] [--json]
+ *   wasabi analyze   <in.wasm> [--json] [--dot=callgraph|cfg:FUNC]
  *
  * Analyses: mix, blocks, icov, branch, callgraph, taint, miner, mem.
+ *
+ * Exit codes: 0 success / no findings, 1 runtime error or invalid
+ * module, 2 usage error, 3 `check` found invariant violations.
  */
 
 #include <cstdio>
@@ -32,6 +39,8 @@
 #include "analyses/taint.h"
 #include "core/instrument.h"
 #include "interp/interpreter.h"
+#include "static/analyze.h"
+#include "static/check.h"
 #include "runtime/runtime.h"
 #include "wasm/decoder.h"
 #include "wasm/encoder.h"
@@ -46,6 +55,11 @@
 using namespace wasabi;
 
 namespace {
+
+/** Bad invocation (missing operands) — exits 2, not 1. */
+struct UsageError : std::runtime_error {
+    using std::runtime_error::runtime_error;
+};
 
 std::vector<uint8_t>
 readFile(const std::string &path)
@@ -151,7 +165,7 @@ cmdInstrument(const std::vector<std::string> &args)
             out_path = a;
     }
     if (in_path.empty() || out_path.empty())
-        throw std::runtime_error("usage: instrument <in> <out> [opts]");
+        throw UsageError("usage: instrument <in> <out> [opts]");
     wasm::Module m = loadModule(in_path);
     core::InstrumentResult r =
         core::instrument(m, parseHooks(hooks), opts);
@@ -256,7 +270,7 @@ cmdRun(const std::vector<std::string> &args)
         }
     }
     if (path.empty())
-        throw std::runtime_error("usage: run <in.wasm> [opts]");
+        throw UsageError("usage: run <in.wasm> [opts]");
     wasm::Module m = loadModule(path);
     auto a = makeAnalysis(analysis);
     core::InstrumentResult r = core::instrument(
@@ -313,10 +327,97 @@ cmdGen(const std::string &spec, const std::string &out_path)
 }
 
 int
-usage()
+cmdCheck(const std::vector<std::string> &args)
+{
+    std::string orig_path, instr_path;
+    static_analysis::CheckOptions opts;
+    bool json = false;
+    for (const std::string &a : args) {
+        if (a.rfind("--hooks=", 0) == 0)
+            opts.hooks = parseHooks(a.substr(8));
+        else if (a == "--no-split-i64")
+            opts.splitI64 = false;
+        else if (a.rfind("--import-module=", 0) == 0)
+            opts.importModule = a.substr(16);
+        else if (a == "--no-side-tables")
+            opts.checkSideTables = false;
+        else if (a == "--json")
+            json = true;
+        else if (orig_path.empty())
+            orig_path = a;
+        else
+            instr_path = a;
+    }
+    if (orig_path.empty() || instr_path.empty())
+        throw UsageError(
+            "usage: check <orig.wasm> <instrumented.wasm> [opts]");
+    wasm::Module orig = loadModule(orig_path);
+    wasm::Module instr = loadModule(instr_path);
+    static_analysis::Diagnostics diags =
+        static_analysis::checkInstrumentation(orig, instr, opts);
+    if (json) {
+        std::fputs(static_analysis::toJson(diags).c_str(), stdout);
+        std::fputs("\n", stdout);
+    } else if (diags.empty()) {
+        std::printf("OK: all instrumentation invariants hold\n");
+    } else {
+        std::fputs(static_analysis::toString(diags).c_str(), stdout);
+        std::printf("%zu finding(s)\n", diags.size());
+    }
+    return diags.empty() ? 0 : 3;
+}
+
+int
+cmdAnalyze(const std::vector<std::string> &args)
+{
+    std::string path, dot;
+    bool json = false;
+    for (const std::string &a : args) {
+        if (a == "--json")
+            json = true;
+        else if (a.rfind("--dot=", 0) == 0)
+            dot = a.substr(6);
+        else
+            path = a;
+    }
+    if (path.empty())
+        throw UsageError("usage: analyze <in.wasm> [opts]");
+    wasm::Module m = loadModule(path);
+    if (auto err = wasm::validationError(m)) {
+        std::fprintf(stderr, "INVALID: %s\n", err->c_str());
+        return 1;
+    }
+    if (!dot.empty()) {
+        if (dot == "callgraph") {
+            std::fputs(static_analysis::callGraphDot(m).c_str(), stdout);
+        } else if (dot.rfind("cfg:", 0) == 0) {
+            uint32_t f =
+                static_cast<uint32_t>(std::stoul(dot.substr(4)));
+            if (f >= m.numFunctions() || m.functions[f].imported())
+                throw std::runtime_error(
+                    "--dot=cfg: not a defined function: " +
+                    dot.substr(4));
+            std::fputs(static_analysis::cfgDot(m, f).c_str(), stdout);
+        } else {
+            throw std::runtime_error("unknown --dot target: " + dot);
+        }
+        return 0;
+    }
+    static_analysis::ModuleReport report =
+        static_analysis::analyzeModule(m);
+    std::fputs(json ? static_analysis::toJson(report).c_str()
+                    : static_analysis::toString(report).c_str(),
+               stdout);
+    if (json)
+        std::fputs("\n", stdout);
+    return 0;
+}
+
+void
+printUsage(std::FILE *to)
 {
     std::fputs(
-        "usage: wasabi <validate|dump|instrument|run|gen> ...\n"
+        "usage: wasabi <command> ...\n"
         "  validate   <in.wasm>\n"
         "  dump       <in.wasm>\n"
         "  instrument <in.wasm> <out.wasm> [--hooks=h1,h2|all]\n"
@@ -325,8 +426,23 @@ usage()
         "             icov|branch|callgraph|taint|miner|mem]\n"
         "             [--arg=i32:N] [--arg=i64:N] [--arg=f64:X]\n"
         "  gen        <polybench:NAME[:N]|random:SEED|app:SIZE> "
-        "<out.wasm>\n",
-        stderr);
+        "<out.wasm>\n"
+        "  check      <orig.wasm> <instrumented.wasm> [--hooks=h1,h2]\n"
+        "             [--no-split-i64] [--import-module=NAME]\n"
+        "             [--no-side-tables] [--json]\n"
+        "             verifies instrumentation invariants; exit 3 if\n"
+        "             any are violated\n"
+        "  analyze    <in.wasm> [--json] [--dot=callgraph|cfg:FUNC]\n"
+        "             per-function CFG statistics, dominator-based\n"
+        "             loop counts, dead functions\n"
+        "  help, --help\n",
+        to);
+}
+
+int
+usage()
+{
+    printUsage(stderr);
     return 2;
 }
 
@@ -339,6 +455,10 @@ main(int argc, char **argv)
         return usage();
     std::vector<std::string> args(argv + 2, argv + argc);
     std::string cmd = argv[1];
+    if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+        printUsage(stdout);
+        return 0;
+    }
     try {
         if (cmd == "validate" && args.size() == 1)
             return cmdValidate(args[0]);
@@ -350,7 +470,16 @@ main(int argc, char **argv)
             return cmdRun(args);
         if (cmd == "gen" && args.size() == 2)
             return cmdGen(args[0], args[1]);
+        if (cmd == "check")
+            return cmdCheck(args);
+        if (cmd == "analyze")
+            return cmdAnalyze(args);
+        std::fprintf(stderr, "wasabi: unknown command '%s'\n",
+                     cmd.c_str());
         return usage();
+    } catch (const UsageError &e) {
+        std::fprintf(stderr, "wasabi: %s\n", e.what());
+        return 2;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "wasabi: %s\n", e.what());
         return 1;
