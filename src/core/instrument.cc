@@ -1,5 +1,6 @@
 #include "core/instrument.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <map>
@@ -47,7 +48,9 @@ class FuncInstrumenter {
                          &local_hook_ids)
         : m_(m), funcIdx_(func_idx), hooks_(hooks), opts_(opts),
           hookMap_(hook_map), localHookIds_(local_hook_ids),
-          func_(m.functions.at(func_idx)), state_(m, func_idx)
+          func_(m.functions.at(func_idx)), state_(m, func_idx),
+          plan_(opts.plan),
+          funcDead_(plan_ && plan_->deadFunctions.count(func_idx) != 0)
     {
         firstScratch_ =
             static_cast<uint32_t>(m.funcType(func_idx).params.size() +
@@ -57,6 +60,14 @@ class FuncInstrumenter {
     FuncOut
     run()
     {
+        // A call-graph-dead function never runs: no entry hooks.
+        if (funcDead_) {
+            for (uint32_t i = 0; i < func_.body.size(); ++i) {
+                instrumentInstr(func_.body[i], i);
+                state_.apply(func_.body[i], i);
+            }
+            return std::move(out_);
+        }
         // Function-entry hooks.
         if (hooks_.has(HookKind::Start) && m_.start &&
             *m_.start == funcIdx_) {
@@ -198,6 +209,67 @@ class FuncInstrumenter {
                             Location{funcIdx_, state_.resolveLabel(label)}};
     }
 
+    // ----- optimization-plan queries ----------------------------------
+
+    /** Hooks at instruction @p i are skipped by the plan (the site is
+     * CFG-unreachable, or the whole function is call-graph dead). */
+    bool
+    planSkips(uint32_t i) const
+    {
+        return funcDead_ ||
+               (plan_ &&
+                plan_->skips.count(packLoc({funcIdx_, i})) != 0);
+    }
+
+    bool
+    planElidesBegin(uint32_t i) const
+    {
+        return plan_ &&
+               plan_->elidedBegins.count(packLoc({funcIdx_, i})) != 0;
+    }
+
+    bool
+    planElidesEnd(uint32_t i) const
+    {
+        return plan_ &&
+               plan_->elidedEnds.count(packLoc({funcIdx_, i})) != 0;
+    }
+
+    /** Constant br_table index proven by the plan, or nullptr. */
+    const uint32_t *
+    planConstIndex(uint32_t i) const
+    {
+        if (!plan_)
+            return nullptr;
+        auto it = plan_->constBrTableIndex.find(packLoc({funcIdx_, i}));
+        return it == plan_->constBrTableIndex.end() ? nullptr
+                                                    : &it->second;
+    }
+
+    /** Record the branch metadata for a skipped (uninstrumented)
+     * branch: the runtime and checker key side tables off live sites
+     * whether or not hooks were emitted there. */
+    void
+    recordBranchMetadata(const Instr &instr, OpClass cls, uint32_t i)
+    {
+        if (cls == OpClass::Br || cls == OpClass::BrIf) {
+            out_.brTargets[packLoc({funcIdx_, i})] =
+                resolvedTarget(instr.imm.idx);
+        } else if (cls == OpClass::BrTable) {
+            recordBrTable(instr, i);
+        }
+    }
+
+    void
+    recordBrTable(const Instr &instr, uint32_t i)
+    {
+        BrTableInfo table_info;
+        for (size_t k = 0; k + 1 < instr.table.size(); ++k)
+            table_info.cases.push_back(makeBrTableEntry(instr.table[k]));
+        table_info.defaultCase = makeBrTableEntry(instr.table.back());
+        out_.brTables[packLoc({funcIdx_, i})] = std::move(table_info);
+    }
+
     // ----- per-instruction instrumentation ----------------------------
 
     void
@@ -216,6 +288,17 @@ class FuncInstrumenter {
                                  : frameBeginIdx(f);
             out_.blockEnds[packLoc({funcIdx_, i})] =
                 BlockEndInfo{kind, Location{funcIdx_, begin}};
+        }
+
+        if (planSkips(i)) {
+            // The pass pipeline proved this site can never execute;
+            // copy it unchanged, but keep recording branch metadata
+            // at structurally-live sites — the metadata invariant is
+            // independent of hook emission.
+            if (live)
+                recordBranchMetadata(instr, info.cls, i);
+            emit(instr);
+            return;
         }
 
         if (!live) {
@@ -259,7 +342,7 @@ class FuncInstrumenter {
           case OpClass::Block:
           case OpClass::Loop: {
             emit(instr);
-            if (hooks_.has(HookKind::Begin)) {
+            if (hooks_.has(HookKind::Begin) && !planElidesBegin(i)) {
                 emitLoc(i);
                 emitHookCall(HookSpec{
                     .kind = HookKind::Begin,
@@ -305,7 +388,7 @@ class FuncInstrumenter {
           }
 
           case OpClass::End: {
-            if (hooks_.has(HookKind::End)) {
+            if (hooks_.has(HookKind::End) && !planElidesEnd(i)) {
                 const ControlFrame &f = state_.frames().back();
                 emitLoc(i);
                 emit(Instr::i32Const(frameBeginIdx(f)));
@@ -363,11 +446,30 @@ class FuncInstrumenter {
             // Which branch is taken — and thus which blocks are left —
             // is only known at runtime; store a side table and let the
             // low-level hook dispatch (paper §2.4.5).
-            BrTableInfo table_info;
-            for (size_t k = 0; k + 1 < instr.table.size(); ++k)
-                table_info.cases.push_back(makeBrTableEntry(instr.table[k]));
-            table_info.defaultCase = makeBrTableEntry(instr.table.back());
-            out_.brTables[packLoc({funcIdx_, i})] = std::move(table_info);
+            recordBrTable(instr, i);
+
+            if (const uint32_t *cidx = planConstIndex(i)) {
+                // The index operand is a compile-time constant: the
+                // taken label — and the frames it exits — are known
+                // statically, so the runtime side-table dispatch
+                // narrows to a plain br hook plus static end hooks.
+                size_t sel = std::min<size_t>(
+                    *cidx, instr.table.size() - 1);
+                uint32_t label = instr.table[sel];
+                out_.brTargets[packLoc({funcIdx_, i})] =
+                    resolvedTarget(label);
+                if (hooks_.has(HookKind::BrTable)) {
+                    emitLoc(i);
+                    emitHookCall(HookSpec{.kind = HookKind::Br});
+                }
+                if (hooks_.has(HookKind::End)) {
+                    for (const ControlFrame &f :
+                         state_.traversedFrames(label))
+                        emitEndHookFor(f);
+                }
+                emit(instr);
+                break;
+            }
 
             if (hooks_.has(HookKind::BrTable) ||
                 hooks_.has(HookKind::End)) {
@@ -685,6 +787,8 @@ class FuncInstrumenter {
     std::unordered_map<std::string, uint32_t> &localHookIds_;
     const Function &func_;
     AbstractState state_;
+    const HookOptimizationPlan *plan_;
+    bool funcDead_;
     FuncOut out_;
     uint32_t firstScratch_;
     std::map<std::pair<ValType, int>, uint32_t> scratch_;
@@ -751,6 +855,8 @@ instrument(const Module &m, HookSet hooks, const InstrumentOptions &opts)
     info->splitI64 = opts.splitI64;
     info->instrumentedHooks = hooks;
     info->hooks = hook_map.specs();
+    if (opts.plan)
+        info->optimization = *opts.plan;
 
     const uint32_t num_hooks = static_cast<uint32_t>(info->hooks.size());
     const uint32_t base = info->numOrigImports;

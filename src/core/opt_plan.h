@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Hook-optimization plan: the contract between the static pass
+ * pipeline (src/static/passes/) and the instrumenter.
+ *
+ * The plan is plain data on purpose. `wasabi_static` links against
+ * `wasabi_core`, so the instrumenter cannot call the passes; instead
+ * the passes *compute* a plan and the instrumenter *consumes* it via
+ * InstrumentOptions. Each entry is a per-site license to deviate from
+ * the default "complete and exclusive" instrumentation:
+ *
+ *  - skips: (func, instr) locations that are statically unreachable
+ *    on the CFG; no hook calls are emitted for them (the instruction
+ *    itself is copied unchanged).
+ *  - deadFunctions: functions unreachable from any export/start/table
+ *    root; no hooks at all are emitted in their bodies, including the
+ *    function-entry begin/start hooks.
+ *  - constBrTableIndex: br_table locations whose index operand is a
+ *    compile-time constant; the monomorphized br_table hook (runtime
+ *    side-table dispatch) is narrowed to a plain br hook with the
+ *    statically selected target, and the traversed blocks' end hooks
+ *    are emitted statically as for a plain br (paper §2.4.5).
+ *  - elidedBegins/elidedEnds: begin/end locations of statically-empty
+ *    blocks and loops (`block end` with no instruction in between);
+ *    their begin/end hook pair is elided. Empty blocks execute no
+ *    instructions and their labels cannot be referenced by any branch,
+ *    so no other hook can observe the difference.
+ *
+ * All locations are packLoc-packed keys into the *original* module.
+ */
+
+#ifndef WASABI_CORE_OPT_PLAN_H
+#define WASABI_CORE_OPT_PLAN_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace wasabi::core {
+
+/** A set of per-site hook-emission optimizations, computed by the
+ * static pass pipeline and consumed by core::instrument. */
+struct HookOptimizationPlan {
+    /** Packed locations whose hooks are skipped (CFG-unreachable). */
+    std::unordered_set<uint64_t> skips;
+
+    /** Functions with no emitted hooks at all (call-graph dead). */
+    std::unordered_set<uint32_t> deadFunctions;
+
+    /** br_table locations with a constant index operand, mapped to
+     * that index (clamped to the default case by the consumer). */
+    std::unordered_map<uint64_t, uint32_t> constBrTableIndex;
+
+    /** Begin locations of elided statically-empty blocks. */
+    std::unordered_set<uint64_t> elidedBegins;
+
+    /** End locations matching elidedBegins (same blocks). */
+    std::unordered_set<uint64_t> elidedEnds;
+
+    bool
+    empty() const
+    {
+        return skips.empty() && deadFunctions.empty() &&
+               constBrTableIndex.empty() && elidedBegins.empty() &&
+               elidedEnds.empty();
+    }
+
+    /** Total number of per-site claims (for reporting). */
+    size_t
+    size() const
+    {
+        return skips.size() + deadFunctions.size() +
+               constBrTableIndex.size() + elidedBegins.size();
+    }
+};
+
+} // namespace wasabi::core
+
+#endif // WASABI_CORE_OPT_PLAN_H

@@ -11,11 +11,13 @@
 #ifndef WASABI_CORE_STATIC_INFO_H
 #define WASABI_CORE_STATIC_INFO_H
 
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "core/control_stack.h"
 #include "core/hook_map.h"
+#include "core/opt_plan.h"
 #include "wasm/module.h"
 
 namespace wasabi::core {
@@ -102,6 +104,11 @@ class StaticInfo {
 
     /** Block info keyed by end (and else) locations. */
     std::unordered_map<uint64_t, BlockEndInfo> blockEnds;
+
+    /** The hook-optimization plan applied during instrumentation (set
+     * iff `--optimize-hooks` was used); the checker verifies every
+     * per-site deviation it licenses against the original module. */
+    std::optional<HookOptimizationPlan> optimization;
 
     /** Function index of a hook id in the instrumented module. */
     uint32_t

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "static/dot_util.h"
 #include "wasm/opcode.h"
 
 namespace wasabi::static_analysis {
@@ -120,7 +121,7 @@ StaticCallGraph::toDot(const wasm::Module &m) const
         const wasm::Function &func = m.functions[f];
         std::string label = func.debugName.empty()
                                 ? "f" + std::to_string(f)
-                                : func.debugName;
+                                : escapeDotLabel(func.debugName);
         out += "  f" + std::to_string(f) + " [label=\"" + label + "\"";
         if (!reachable_[f])
             out += ", style=dashed";

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "core/control_stack.h"
+#include "static/dot_util.h"
 #include "wasm/opcode.h"
 
 namespace wasabi::static_analysis {
@@ -233,7 +234,8 @@ Cfg::toDot(const wasm::Module &m) const
         } else {
             out += " [" + std::to_string(blocks_[b].first) + ".." +
                    std::to_string(blocks_[b].last) + "] " +
-                   wasm::name(func.body[blocks_[b].first].op);
+                   escapeDotLabel(
+                       wasm::name(func.body[blocks_[b].first].op));
         }
         out += "\"];\n";
         for (uint32_t s : blocks_[b].succs)

@@ -10,6 +10,7 @@
 #ifndef WASABI_STATIC_DATAFLOW_H
 #define WASABI_STATIC_DATAFLOW_H
 
+#include <algorithm>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -61,6 +62,42 @@ solveForward(const Cfg &cfg, Problem &problem)
     return in;
 }
 
+/**
+ * Solve a backward dataflow problem to a fixpoint (same problem
+ * signature as solveForward, with transfer mapping a block's
+ * *out*-value to its *in*-value). The boundary value seeds the
+ * synthetic exit block; blocks are iterated in post order, the
+ * backward analogue of reverse post-order. Returns the out-value of
+ * every block.
+ */
+template <typename Problem>
+std::vector<typename Problem::Value>
+solveBackward(const Cfg &cfg, Problem &problem)
+{
+    using Value = typename Problem::Value;
+    const uint32_t n = cfg.numBlocks();
+    std::vector<Value> out(n, problem.initial());
+    out[cfg.exit()] = problem.boundary();
+
+    std::vector<uint32_t> order = cfg.reversePostOrder();
+    std::reverse(order.begin(), order.end());
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (uint32_t b : order) {
+            Value in = problem.transfer(cfg, b, out[b]);
+            for (uint32_t p : cfg.blocks()[b].preds) {
+                Value merged = out[p];
+                if (problem.merge(merged, in)) {
+                    out[p] = std::move(merged);
+                    changed = true;
+                }
+            }
+        }
+    }
+    return out;
+}
+
 /** A fixed-size bit set, the lattice element of set-based analyses. */
 class BitSet {
   public:
@@ -68,6 +105,7 @@ class BitSet {
     explicit BitSet(uint32_t size, bool all_ones = false);
 
     void set(uint32_t i) { words_[i >> 6] |= 1ull << (i & 63); }
+    void reset(uint32_t i) { words_[i >> 6] &= ~(1ull << (i & 63)); }
     bool test(uint32_t i) const
     {
         return (words_[i >> 6] >> (i & 63)) & 1;

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Graphviz label escaping shared by every DOT emitter (`wasabi
+ * analyze --dot=`, `--callgraph-dot=`). Function debug names come
+ * from an untrusted name section and may contain quotes, backslashes
+ * or arbitrary non-ASCII bytes; emitted verbatim inside a quoted DOT
+ * string they would break the output's syntax.
+ */
+
+#ifndef WASABI_STATIC_DOT_UTIL_H
+#define WASABI_STATIC_DOT_UTIL_H
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace wasabi::static_analysis {
+
+/**
+ * Escape @p s for use inside a double-quoted DOT string: quotes and
+ * backslashes are backslash-escaped, newlines become the `\n` label
+ * escape, and control/non-ASCII bytes are rendered as literal
+ * `\xNN` text (with the backslash itself escaped, so Graphviz treats
+ * it as plain characters). The result is always valid inside
+ * `"`...`"`.
+ */
+inline std::string
+escapeDotLabel(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        if (c == '"') {
+            out += "\\\"";
+        } else if (c == '\\') {
+            out += "\\\\";
+        } else if (c == '\n') {
+            out += "\\n";
+        } else if (c < 0x20 || c >= 0x7F) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\\\x%02X", c);
+            out += buf;
+        } else {
+            out += static_cast<char>(c);
+        }
+    }
+    return out;
+}
+
+} // namespace wasabi::static_analysis
+
+#endif // WASABI_STATIC_DOT_UTIL_H

@@ -1,0 +1,405 @@
+#include "static/passes/constprop.h"
+
+#include <optional>
+#include <vector>
+
+#include "core/static_info.h"
+#include "static/dataflow.h"
+
+namespace wasabi::static_analysis::passes {
+
+using wasm::Instr;
+using wasm::Module;
+using wasm::OpClass;
+using wasm::Opcode;
+using wasm::ValType;
+
+namespace {
+
+/** One abstract value: a known i32 constant or unknown (⊤). Values of
+ * other types are always unknown; that is sound, just imprecise. */
+using AbsConst = std::optional<uint32_t>;
+
+/** Fold an i32-producing unary op over a known input. */
+AbsConst
+foldUnary(Opcode op, uint32_t a)
+{
+    switch (op) {
+      case Opcode::I32Eqz:
+        return a == 0 ? 1u : 0u;
+      case Opcode::I32Clz: {
+        uint32_t n = 0;
+        for (uint32_t bit = 31;; --bit) {
+            if (a & (1u << bit))
+                break;
+            ++n;
+            if (bit == 0)
+                break;
+        }
+        return n;
+      }
+      case Opcode::I32Ctz: {
+        uint32_t n = 0;
+        for (uint32_t bit = 0; bit < 32 && !(a & (1u << bit)); ++bit)
+            ++n;
+        return n;
+      }
+      case Opcode::I32Popcnt: {
+        uint32_t n = 0;
+        for (uint32_t bit = 0; bit < 32; ++bit)
+            n += (a >> bit) & 1;
+        return n;
+      }
+      default:
+        return std::nullopt;
+    }
+}
+
+/** Fold an i32-producing binary op over known inputs. Trapping inputs
+ * (division by zero, INT_MIN / -1) stay unknown — the instruction
+ * never completes, so no constant reaches the branch anyway. */
+AbsConst
+foldBinary(Opcode op, uint32_t a, uint32_t b)
+{
+    const int32_t sa = static_cast<int32_t>(a);
+    const int32_t sb = static_cast<int32_t>(b);
+    const int64_t wa = sa, wb = sb;
+    switch (op) {
+      case Opcode::I32Add:
+        return a + b;
+      case Opcode::I32Sub:
+        return a - b;
+      case Opcode::I32Mul:
+        return a * b;
+      case Opcode::I32DivS:
+        if (b == 0 || (a == 0x80000000u && b == 0xFFFFFFFFu))
+            return std::nullopt;
+        return static_cast<uint32_t>(wa / wb);
+      case Opcode::I32DivU:
+        return b == 0 ? AbsConst{} : AbsConst{a / b};
+      case Opcode::I32RemS:
+        if (b == 0)
+            return std::nullopt;
+        if (a == 0x80000000u && b == 0xFFFFFFFFu)
+            return 0u;
+        return static_cast<uint32_t>(wa % wb);
+      case Opcode::I32RemU:
+        return b == 0 ? AbsConst{} : AbsConst{a % b};
+      case Opcode::I32And:
+        return a & b;
+      case Opcode::I32Or:
+        return a | b;
+      case Opcode::I32Xor:
+        return a ^ b;
+      case Opcode::I32Shl:
+        return a << (b & 31);
+      case Opcode::I32ShrS:
+        return static_cast<uint32_t>(sa >> (b & 31));
+      case Opcode::I32ShrU:
+        return a >> (b & 31);
+      case Opcode::I32Rotl:
+        return (b & 31) == 0 ? a
+                             : (a << (b & 31)) | (a >> (32 - (b & 31)));
+      case Opcode::I32Rotr:
+        return (b & 31) == 0 ? a
+                             : (a >> (b & 31)) | (a << (32 - (b & 31)));
+      case Opcode::I32Eq:
+        return a == b ? 1u : 0u;
+      case Opcode::I32Ne:
+        return a != b ? 1u : 0u;
+      case Opcode::I32LtS:
+        return sa < sb ? 1u : 0u;
+      case Opcode::I32LtU:
+        return a < b ? 1u : 0u;
+      case Opcode::I32GtS:
+        return sa > sb ? 1u : 0u;
+      case Opcode::I32GtU:
+        return a > b ? 1u : 0u;
+      case Opcode::I32LeS:
+        return sa <= sb ? 1u : 0u;
+      case Opcode::I32LeU:
+        return a <= b ? 1u : 0u;
+      case Opcode::I32GeS:
+        return sa >= sb ? 1u : 0u;
+      case Opcode::I32GeU:
+        return a >= b ? 1u : 0u;
+      default:
+        return std::nullopt;
+    }
+}
+
+/** Records constant branch controls during a block simulation. */
+struct FactSink {
+    uint32_t funcIdx = 0;
+    ConstFacts *facts = nullptr;
+
+    void
+    record(OpClass cls, uint32_t i, const AbsConst &v) const
+    {
+        if (!facts || !v)
+            return;
+        uint64_t key = core::packLoc({funcIdx, i});
+        if (cls == OpClass::BrIf)
+            facts->brIfCond[key] = *v;
+        else if (cls == OpClass::If)
+            facts->ifCond[key] = *v;
+        else if (cls == OpClass::BrTable)
+            facts->brTableIndex[key] = *v;
+    }
+};
+
+/** The dataflow lattice element: reached flag (⊥ when false) plus one
+ * abstract constant per local. */
+struct LocalsValue {
+    bool reached = false;
+    std::vector<AbsConst> locals;
+};
+
+class ConstPropProblem {
+  public:
+    using Value = LocalsValue;
+
+    ConstPropProblem(const Module &m, uint32_t func_idx)
+        : m_(m), funcIdx_(func_idx),
+          body_(m.functions.at(func_idx).body)
+    {
+        const std::vector<ValType> &params =
+            m.funcType(func_idx).params;
+        localTypes_ = params;
+        const std::vector<ValType> &locals =
+            m.functions.at(func_idx).locals;
+        localTypes_.insert(localTypes_.end(), locals.begin(),
+                           locals.end());
+        numParams_ = static_cast<uint32_t>(params.size());
+    }
+
+    Value
+    boundary() const
+    {
+        Value v;
+        v.reached = true;
+        v.locals.resize(localTypes_.size());
+        // Parameters are unknown; declared locals are zero-initialized
+        // by the Wasm semantics (tracked for i32 only).
+        for (size_t k = numParams_; k < localTypes_.size(); ++k) {
+            if (localTypes_[k] == ValType::I32)
+                v.locals[k] = 0;
+        }
+        return v;
+    }
+
+    Value initial() const { return Value{}; }
+
+    bool
+    merge(Value &into, const Value &from) const
+    {
+        if (!from.reached)
+            return false;
+        if (!into.reached) {
+            into = from;
+            return true;
+        }
+        bool changed = false;
+        for (size_t k = 0; k < into.locals.size(); ++k) {
+            if (into.locals[k] &&
+                (!from.locals[k] ||
+                 *from.locals[k] != *into.locals[k])) {
+                into.locals[k] = std::nullopt;
+                changed = true;
+            }
+        }
+        return changed;
+    }
+
+    Value
+    transfer(const Cfg &cfg, uint32_t b, const Value &in) const
+    {
+        if (!in.reached)
+            return in;
+        Value out = in;
+        simulate(cfg.blocks()[b], out.locals, nullptr);
+        return out;
+    }
+
+    /**
+     * Symbolically execute one basic block over @p locals, tracking a
+     * block-local operand stack. Values flowing in on the operand
+     * stack from outside the block are unknown (pop on empty yields
+     * ⊤), as is anything crossing a structural boundary — sound and
+     * cheap, and enough for the `const; br_if` / folded-expression
+     * shapes real producers emit.
+     */
+    void
+    simulate(const BasicBlock &blk, std::vector<AbsConst> &locals,
+             const FactSink *sink) const
+    {
+        if (blk.empty())
+            return;
+        std::vector<AbsConst> stack;
+        auto pop = [&stack]() -> AbsConst {
+            if (stack.empty())
+                return std::nullopt;
+            AbsConst v = stack.back();
+            stack.pop_back();
+            return v;
+        };
+        auto popN = [&pop](size_t n) {
+            for (size_t k = 0; k < n; ++k)
+                pop();
+        };
+        auto pushUnknown = [&stack](size_t n) {
+            stack.insert(stack.end(), n, std::nullopt);
+        };
+
+        for (uint32_t i = blk.first; i <= blk.last; ++i) {
+            const Instr &in = body_[i];
+            const wasm::OpInfo &info = wasm::opInfo(in.op);
+            switch (info.cls) {
+              case OpClass::Const:
+                if (in.op == Opcode::I32Const)
+                    stack.push_back(in.imm.i32v);
+                else
+                    pushUnknown(1);
+                break;
+              case OpClass::LocalGet:
+                stack.push_back(localTypes_[in.imm.idx] == ValType::I32
+                                    ? locals[in.imm.idx]
+                                    : std::nullopt);
+                break;
+              case OpClass::LocalSet: {
+                AbsConst v = pop();
+                locals[in.imm.idx] =
+                    localTypes_[in.imm.idx] == ValType::I32
+                        ? v
+                        : AbsConst{};
+                break;
+              }
+              case OpClass::LocalTee:
+                if (localTypes_[in.imm.idx] == ValType::I32 &&
+                    !stack.empty())
+                    locals[in.imm.idx] = stack.back();
+                else
+                    locals[in.imm.idx] = std::nullopt;
+                break;
+              case OpClass::GlobalGet:
+                pushUnknown(1);
+                break;
+              case OpClass::GlobalSet:
+                pop();
+                break;
+              case OpClass::Unary: {
+                AbsConst v = pop();
+                stack.push_back(v ? foldUnary(in.op, *v)
+                                  : std::nullopt);
+                break;
+              }
+              case OpClass::Binary: {
+                AbsConst b2 = pop();
+                AbsConst a = pop();
+                stack.push_back(a && b2 ? foldBinary(in.op, *a, *b2)
+                                        : std::nullopt);
+                break;
+              }
+              case OpClass::Drop:
+                pop();
+                break;
+              case OpClass::Select: {
+                AbsConst c = pop();
+                AbsConst onFalse = pop();
+                AbsConst onTrue = pop();
+                stack.push_back(c ? (*c ? onTrue : onFalse)
+                                  : std::nullopt);
+                break;
+              }
+              case OpClass::Load:
+                pop();
+                pushUnknown(1);
+                break;
+              case OpClass::Store:
+                popN(2);
+                break;
+              case OpClass::MemorySize:
+                pushUnknown(1);
+                break;
+              case OpClass::MemoryGrow:
+                pop();
+                pushUnknown(1);
+                break;
+              case OpClass::Call: {
+                const wasm::FuncType &t = m_.funcType(in.imm.idx);
+                popN(t.params.size());
+                pushUnknown(t.results.size());
+                break;
+              }
+              case OpClass::CallIndirect: {
+                const wasm::FuncType &t = m_.types.at(in.imm.idx);
+                pop(); // table index
+                popN(t.params.size());
+                pushUnknown(t.results.size());
+                break;
+              }
+              case OpClass::Nop:
+                break;
+              case OpClass::If: {
+                AbsConst c = pop();
+                if (sink)
+                    sink->record(OpClass::If, i, c);
+                stack.clear();
+                break;
+              }
+              case OpClass::BrIf: {
+                AbsConst c = pop();
+                if (sink)
+                    sink->record(OpClass::BrIf, i, c);
+                break;
+              }
+              case OpClass::BrTable: {
+                AbsConst idx = pop();
+                if (sink)
+                    sink->record(OpClass::BrTable, i, idx);
+                stack.clear();
+                break;
+              }
+              default:
+                // block/loop/else/end/br/return/unreachable: operand
+                // values do not flow across structural boundaries in
+                // this abstraction.
+                stack.clear();
+                break;
+            }
+        }
+    }
+
+  private:
+    const Module &m_;
+    uint32_t funcIdx_;
+    const std::vector<Instr> &body_;
+    std::vector<ValType> localTypes_;
+    uint32_t numParams_ = 0;
+};
+
+} // namespace
+
+ConstFacts
+constantFacts(const Module &m, uint32_t func_idx)
+{
+    ConstFacts facts;
+    const wasm::Function &func = m.functions.at(func_idx);
+    if (func.imported() || func.body.empty())
+        return facts;
+
+    Cfg cfg(m, func_idx);
+    ConstPropProblem problem(m, func_idx);
+    std::vector<LocalsValue> in = solveForward(cfg, problem);
+
+    FactSink sink{func_idx, &facts};
+    for (uint32_t b = 0; b < cfg.numBlocks(); ++b) {
+        if (!in[b].reached)
+            continue; // unreachable: no facts (reported elsewhere)
+        std::vector<AbsConst> locals = in[b].locals;
+        problem.simulate(cfg.blocks()[b], locals, &sink);
+    }
+    return facts;
+}
+
+} // namespace wasabi::static_analysis::passes

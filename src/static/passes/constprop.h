@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Constant/stack-value propagation (pass 1 of the lint/optimizer
+ * pipeline): a forward dataflow instance over the PR-1 solver whose
+ * lattice element maps every i32 local to ⊥ / a known constant / ⊤,
+ * combined with a per-block symbolic operand-stack evaluation that
+ * folds i32 arithmetic over known values.
+ *
+ * The extracted facts are the constant-controlled branch points:
+ * `br_if`/`if` conditions and `br_table` indices whose value is the
+ * same compile-time constant on every execution. They feed
+ *  - `wasabi lint` (lint.branch.const-condition / const-index), and
+ *  - the `--optimize-hooks` plan (br_table -> br hook narrowing),
+ * and are recomputed by `wasabi check --manifest=` to verify every
+ * narrowing the manifest claims.
+ */
+
+#ifndef WASABI_STATIC_PASSES_CONSTPROP_H
+#define WASABI_STATIC_PASSES_CONSTPROP_H
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "wasm/module.h"
+
+namespace wasabi::static_analysis::passes {
+
+/** Constant-valued branch controls of one defined function, keyed by
+ * core::packLoc-packed (function, instruction) location. */
+struct ConstFacts {
+    /** br_if locations whose condition is always this constant. */
+    std::unordered_map<uint64_t, uint32_t> brIfCond;
+
+    /** if locations whose condition is always this constant. */
+    std::unordered_map<uint64_t, uint32_t> ifCond;
+
+    /** br_table locations whose index is always this constant. */
+    std::unordered_map<uint64_t, uint32_t> brTableIndex;
+
+    bool
+    empty() const
+    {
+        return brIfCond.empty() && ifCond.empty() &&
+               brTableIndex.empty();
+    }
+};
+
+/**
+ * Run constant propagation over defined function @p func_idx of the
+ * validated module @p m. Only facts in CFG-reachable blocks are
+ * reported. Deterministic: the checker re-runs this to verify
+ * manifest claims.
+ */
+ConstFacts constantFacts(const wasm::Module &m, uint32_t func_idx);
+
+} // namespace wasabi::static_analysis::passes
+
+#endif // WASABI_STATIC_PASSES_CONSTPROP_H

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Dead-store-to-local detection (pass 3): a backward liveness
+ * analysis over the function's locals (BitSet lattice, union merge,
+ * solved with the solveBackward worklist solver). A `local.set` whose
+ * local is not live-out at the store is a dead store — its value can
+ * never be observed by a `local.get`. Feeds `wasabi lint`
+ * (lint.deadstore.local); purely diagnostic, never the optimizer.
+ */
+
+#ifndef WASABI_STATIC_PASSES_DEADSTORE_H
+#define WASABI_STATIC_PASSES_DEADSTORE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "wasm/module.h"
+
+namespace wasabi::static_analysis::passes {
+
+/** One dead `local.set`: the stored value is never read. */
+struct DeadStore {
+    uint32_t func = 0;
+    uint32_t instr = 0;
+    uint32_t local = 0;
+};
+
+/** Find dead stores in defined function @p func_idx. Stores in
+ * CFG-unreachable code are not reported (reachability already flags
+ * the whole range). */
+std::vector<DeadStore> deadStores(const wasm::Module &m,
+                                  uint32_t func_idx);
+
+} // namespace wasabi::static_analysis::passes
+
+#endif // WASABI_STATIC_PASSES_DEADSTORE_H

@@ -1,0 +1,494 @@
+#include "static/passes/pipeline.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "core/control_stack.h"
+#include "core/static_info.h"
+#include "static/passes/branch_refine.h"
+#include "static/passes/constprop.h"
+#include "static/passes/deadstore.h"
+#include "static/passes/reachability.h"
+
+namespace wasabi::static_analysis::passes {
+
+using wasm::Instr;
+using wasm::Module;
+using wasm::OpClass;
+
+std::vector<std::pair<uint32_t, uint32_t>>
+emptyBlockPairs(const Module &m, uint32_t func_idx)
+{
+    std::vector<std::pair<uint32_t, uint32_t>> pairs;
+    const wasm::Function &func = m.functions.at(func_idx);
+    if (func.imported() || func.body.empty())
+        return pairs;
+    std::vector<core::BlockMatch> matches =
+        core::matchBlocks(func.body);
+    for (uint32_t i = 0; i < func.body.size(); ++i) {
+        OpClass cls = wasm::opInfo(func.body[i].op).cls;
+        if ((cls == OpClass::Block || cls == OpClass::Loop) &&
+            matches[i].endIdx == i + 1)
+            pairs.emplace_back(i, i + 1);
+    }
+    return pairs;
+}
+
+Diagnostics
+lintModule(const Module &m)
+{
+    Diagnostics diags;
+    ReachabilityFacts reach = reachabilityFacts(m);
+
+    std::vector<bool> dead(m.numFunctions(), false);
+    for (uint32_t f : reach.deadFunctions)
+        dead[f] = true;
+
+    size_t range_pos = 0;
+    for (uint32_t f = 0; f < m.numFunctions(); ++f) {
+        const wasm::Function &func = m.functions[f];
+        if (func.imported())
+            continue;
+
+        if (dead[f]) {
+            diags.warning(kLintDeadFunction,
+                          "function is never called: unreachable from "
+                          "any export, the start function, or a "
+                          "host-visible table",
+                          f);
+        }
+
+        for (; range_pos < reach.unreachableBlocks.size() &&
+               reach.unreachableBlocks[range_pos].func == f;
+             ++range_pos) {
+            const UnreachableRange &r =
+                reach.unreachableBlocks[range_pos];
+            diags.warning(kLintUnreachableCode,
+                          "instructions " + std::to_string(r.first) +
+                              ".." + std::to_string(r.last) +
+                              " can never execute",
+                          f, r.first);
+        }
+
+        ConstFacts facts = constantFacts(m, f);
+        BranchRefinements refs = refineBranches(m, f, facts);
+        for (const ConstCondition &c : refs.constConditions) {
+            std::string what = c.isIf ? "if" : "br_if";
+            std::string effect =
+                c.isIf ? (c.cond ? "the then-branch is always taken"
+                                 : "the else-branch is always taken")
+                       : (c.cond ? "the branch is always taken"
+                                 : "the branch is never taken");
+            diags.warning(kLintConstCondition,
+                          what + " condition is always " +
+                              std::to_string(c.cond) + ": " + effect,
+                          c.func, c.instr);
+        }
+        for (const ConstBrTable &t : refs.constBrTables) {
+            std::string which =
+                t.isDefault ? "the default case"
+                            : "case " + std::to_string(t.index);
+            diags.warning(kLintConstIndex,
+                          "br_table index is always " +
+                              std::to_string(t.index) +
+                              ": always takes " + which + " (label " +
+                              std::to_string(t.label) + " -> instr " +
+                              std::to_string(t.target) + ")",
+                          t.func, t.instr);
+        }
+
+        for (const DeadStore &s : deadStores(m, f)) {
+            diags.warning(kLintDeadStore,
+                          "value stored to local " +
+                              std::to_string(s.local) +
+                              " is never read",
+                          s.func, s.instr);
+        }
+
+        for (auto [begin, end] : emptyBlockPairs(m, f)) {
+            OpClass cls = wasm::opInfo(func.body[begin].op).cls;
+            diags.add(Severity::Note, kLintEmptyBlock,
+                      std::string(cls == OpClass::Loop ? "loop"
+                                                       : "block") +
+                          " is empty (end at instr " +
+                          std::to_string(end) + ")",
+                      f, begin);
+        }
+    }
+    return diags;
+}
+
+core::HookOptimizationPlan
+computePlan(const Module &m)
+{
+    core::HookOptimizationPlan plan;
+    ReachabilityFacts reach = reachabilityFacts(m);
+
+    for (uint32_t f : reach.deadFunctions)
+        plan.deadFunctions.insert(f);
+
+    for (const UnreachableRange &r : reach.unreachableBlocks) {
+        if (plan.deadFunctions.count(r.func))
+            continue; // subsumed: no hooks in the whole function
+        const wasm::Function &func = m.functions[r.func];
+        for (uint32_t i = r.first; i <= r.last; ++i) {
+            // Never skip an `else`: its begin hook is emitted at the
+            // top of the else *region*, which can be live even when
+            // the `else` instruction itself is CFG-unreachable
+            // (then-region ends in br).
+            if (wasm::opInfo(func.body[i].op).cls == OpClass::Else)
+                continue;
+            plan.skips.insert(core::packLoc({r.func, i}));
+        }
+    }
+
+    for (uint32_t f = 0; f < m.numFunctions(); ++f) {
+        if (m.functions[f].imported() || plan.deadFunctions.count(f))
+            continue;
+        ConstFacts facts = constantFacts(m, f);
+        for (const auto &[key, index] : facts.brTableIndex) {
+            if (!plan.skips.count(key))
+                plan.constBrTableIndex[key] = index;
+        }
+        for (auto [begin, end] : emptyBlockPairs(m, f)) {
+            uint64_t bkey = core::packLoc({f, begin});
+            uint64_t ekey = core::packLoc({f, end});
+            if (plan.skips.count(bkey) || plan.skips.count(ekey))
+                continue; // subsumed by unreachability
+            plan.elidedBegins.insert(bkey);
+            plan.elidedEnds.insert(ekey);
+        }
+    }
+    return plan;
+}
+
+// ----- manifest serialization ----------------------------------------
+
+namespace {
+
+core::Location
+unpackLoc(uint64_t key)
+{
+    return core::Location{static_cast<uint32_t>(key >> 32),
+                          static_cast<uint32_t>(key)};
+}
+
+/** Sorted copy, for deterministic manifests. */
+template <typename Set>
+std::vector<uint64_t>
+sorted(const Set &s)
+{
+    std::vector<uint64_t> v(s.begin(), s.end());
+    std::sort(v.begin(), v.end());
+    return v;
+}
+
+} // namespace
+
+std::string
+planToManifest(const core::HookOptimizationPlan &plan)
+{
+    std::string out = "{\n  \"version\": 1,\n  \"skips\": [";
+    bool first = true;
+    for (uint64_t key : sorted(plan.skips)) {
+        core::Location loc = unpackLoc(key);
+        out += std::string(first ? "" : ", ") + "[" +
+               std::to_string(loc.func) + ", " +
+               std::to_string(loc.instr) + "]";
+        first = false;
+    }
+    out += "],\n  \"deadFunctions\": [";
+    first = true;
+    for (uint64_t f : sorted(plan.deadFunctions)) {
+        out += std::string(first ? "" : ", ") + std::to_string(f);
+        first = false;
+    }
+    out += "],\n  \"brTableToBr\": [";
+    first = true;
+    {
+        std::vector<uint64_t> keys;
+        for (const auto &[key, _] : plan.constBrTableIndex)
+            keys.push_back(key);
+        std::sort(keys.begin(), keys.end());
+        for (uint64_t key : keys) {
+            core::Location loc = unpackLoc(key);
+            out += std::string(first ? "" : ", ") + "[" +
+                   std::to_string(loc.func) + ", " +
+                   std::to_string(loc.instr) + ", " +
+                   std::to_string(plan.constBrTableIndex.at(key)) +
+                   "]";
+            first = false;
+        }
+    }
+    out += "],\n  \"elidedBlocks\": [";
+    first = true;
+    for (uint64_t key : sorted(plan.elidedBegins)) {
+        core::Location loc = unpackLoc(key);
+        out += std::string(first ? "" : ", ") + "[" +
+               std::to_string(loc.func) + ", " +
+               std::to_string(loc.instr) + ", " +
+               std::to_string(loc.instr + 1) + "]";
+        first = false;
+    }
+    out += "]\n}\n";
+    return out;
+}
+
+// ----- manifest parsing ----------------------------------------------
+
+namespace {
+
+/** A minimal parser for the manifest's JSON subset: objects with
+ * string keys, arrays, and non-negative integers. No external JSON
+ * dependency is available (or needed). */
+class ManifestParser {
+  public:
+    explicit ManifestParser(const std::string &text) : text_(text) {}
+
+    bool
+    parse(core::HookOptimizationPlan &plan, std::string &error)
+    {
+        skipWs();
+        if (!expect('{')) {
+            error = err_;
+            return false;
+        }
+        bool first = true;
+        while (true) {
+            skipWs();
+            if (peek() == '}') {
+                ++pos_;
+                break;
+            }
+            if (!first && !expect(',')) {
+                error = err_;
+                return false;
+            }
+            first = false;
+            skipWs();
+            std::string key;
+            if (!parseString(key)) {
+                error = err_;
+                return false;
+            }
+            skipWs();
+            if (!expect(':')) {
+                error = err_;
+                return false;
+            }
+            skipWs();
+            if (!parseField(key, plan)) {
+                error = err_;
+                return false;
+            }
+        }
+        skipWs();
+        if (pos_ != text_.size()) {
+            error = "trailing characters after manifest object";
+            return false;
+        }
+        if (!sawVersion_) {
+            error = "manifest lacks a \"version\" field";
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    char
+    peek() const
+    {
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    expect(char c)
+    {
+        if (peek() != c) {
+            err_ = std::string("expected '") + c + "' at offset " +
+                   std::to_string(pos_);
+            return false;
+        }
+        ++pos_;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!expect('"'))
+            return false;
+        out.clear();
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            if (text_[pos_] == '\\') {
+                err_ = "escape sequences not supported in manifest "
+                       "keys";
+                return false;
+            }
+            out += text_[pos_++];
+        }
+        return expect('"');
+    }
+
+    bool
+    parseUint(uint64_t &out)
+    {
+        if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+            err_ = "expected a number at offset " +
+                   std::to_string(pos_);
+            return false;
+        }
+        out = 0;
+        while (std::isdigit(static_cast<unsigned char>(peek()))) {
+            out = out * 10 + static_cast<uint64_t>(peek() - '0');
+            if (out > 0xFFFFFFFFull) {
+                err_ = "number out of range at offset " +
+                       std::to_string(pos_);
+                return false;
+            }
+            ++pos_;
+        }
+        return true;
+    }
+
+    /** Parse "[n, n, ...]" rows of fixed width into @p rows. */
+    bool
+    parseRows(size_t width, std::vector<std::vector<uint64_t>> &rows)
+    {
+        if (!expect('['))
+            return false;
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            std::vector<uint64_t> row;
+            if (width == 1) {
+                uint64_t v;
+                if (!parseUint(v))
+                    return false;
+                row.push_back(v);
+            } else {
+                if (!expect('['))
+                    return false;
+                for (size_t k = 0; k < width; ++k) {
+                    skipWs();
+                    if (k && !expect(','))
+                        return false;
+                    skipWs();
+                    uint64_t v;
+                    if (!parseUint(v))
+                        return false;
+                    row.push_back(v);
+                }
+                skipWs();
+                if (!expect(']'))
+                    return false;
+            }
+            rows.push_back(std::move(row));
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            return expect(']');
+        }
+    }
+
+    bool
+    parseField(const std::string &key,
+               core::HookOptimizationPlan &plan)
+    {
+        if (key == "version") {
+            uint64_t v;
+            if (!parseUint(v))
+                return false;
+            if (v != 1) {
+                err_ = "unsupported manifest version " +
+                       std::to_string(v);
+                return false;
+            }
+            sawVersion_ = true;
+            return true;
+        }
+        std::vector<std::vector<uint64_t>> rows;
+        if (key == "skips") {
+            if (!parseRows(2, rows))
+                return false;
+            for (const auto &r : rows)
+                plan.skips.insert(core::packLoc(
+                    {static_cast<uint32_t>(r[0]),
+                     static_cast<uint32_t>(r[1])}));
+            return true;
+        }
+        if (key == "deadFunctions") {
+            if (!parseRows(1, rows))
+                return false;
+            for (const auto &r : rows)
+                plan.deadFunctions.insert(
+                    static_cast<uint32_t>(r[0]));
+            return true;
+        }
+        if (key == "brTableToBr") {
+            if (!parseRows(3, rows))
+                return false;
+            for (const auto &r : rows)
+                plan.constBrTableIndex[core::packLoc(
+                    {static_cast<uint32_t>(r[0]),
+                     static_cast<uint32_t>(r[1])})] =
+                    static_cast<uint32_t>(r[2]);
+            return true;
+        }
+        if (key == "elidedBlocks") {
+            if (!parseRows(3, rows))
+                return false;
+            for (const auto &r : rows) {
+                if (r[2] != r[1] + 1) {
+                    err_ = "elided block end must be begin + 1";
+                    return false;
+                }
+                plan.elidedBegins.insert(core::packLoc(
+                    {static_cast<uint32_t>(r[0]),
+                     static_cast<uint32_t>(r[1])}));
+                plan.elidedEnds.insert(core::packLoc(
+                    {static_cast<uint32_t>(r[0]),
+                     static_cast<uint32_t>(r[2])}));
+            }
+            return true;
+        }
+        err_ = "unknown manifest field \"" + key + "\"";
+        return false;
+    }
+
+    const std::string &text_;
+    size_t pos_ = 0;
+    bool sawVersion_ = false;
+    std::string err_;
+};
+
+} // namespace
+
+std::optional<core::HookOptimizationPlan>
+planFromManifest(const std::string &text, std::string *error)
+{
+    core::HookOptimizationPlan plan;
+    std::string err;
+    if (!ManifestParser(text).parse(plan, err)) {
+        if (error)
+            *error = err;
+        return std::nullopt;
+    }
+    return plan;
+}
+
+} // namespace wasabi::static_analysis::passes

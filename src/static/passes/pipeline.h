@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The static pass pipeline driver behind `wasabi lint` and
+ * `wasabi instrument --optimize-hooks`:
+ *
+ *  - lintModule() runs every pass (constant propagation,
+ *    reachability, dead stores, branch refinement) and renders the
+ *    facts as structured diagnostics with stable lint.* codes;
+ *  - computePlan() turns the subset of facts that licenses hook
+ *    optimizations into a core::HookOptimizationPlan for the
+ *    instrumenter;
+ *  - planToManifest()/planFromManifest() round-trip the plan through
+ *    the JSON optimization manifest that `wasabi instrument
+ *    --optimize-hooks` emits and `wasabi check --manifest=` consumes,
+ *    so the completeness/exclusivity invariant stays verifiable on
+ *    optimized output.
+ */
+
+#ifndef WASABI_STATIC_PASSES_PIPELINE_H
+#define WASABI_STATIC_PASSES_PIPELINE_H
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/opt_plan.h"
+#include "static/diagnostics.h"
+#include "wasm/module.h"
+
+namespace wasabi::static_analysis::passes {
+
+/** Stable lint diagnostic codes. @{ */
+inline constexpr const char *kLintUnreachableCode =
+    "lint.unreachable.code";
+inline constexpr const char *kLintDeadFunction =
+    "lint.deadcode.function";
+inline constexpr const char *kLintDeadStore = "lint.deadstore.local";
+inline constexpr const char *kLintConstCondition =
+    "lint.branch.const-condition";
+inline constexpr const char *kLintConstIndex =
+    "lint.branch.const-index";
+inline constexpr const char *kLintEmptyBlock = "lint.block.empty";
+/** @} */
+
+/**
+ * Run the full pass suite over a validated module and report every
+ * finding. Findings are warnings/notes about the *original* program;
+ * an empty result means the linter proved nothing suspicious.
+ */
+Diagnostics lintModule(const wasm::Module &m);
+
+/**
+ * Compute the hook-optimization plan for a validated module: skips
+ * for CFG-unreachable sites (never at an `else`, whose begin hook
+ * guards the — possibly live — else region), dead functions,
+ * constant-index br_table narrowings, and empty-block begin/end
+ * elisions. Claims subsumed by a stronger one (sites inside dead
+ * functions, elisions of skipped blocks) are omitted.
+ */
+core::HookOptimizationPlan computePlan(const wasm::Module &m);
+
+/** (begin, end) instruction pairs of statically-empty blocks/loops of
+ * defined function @p func_idx (end == begin + 1). */
+std::vector<std::pair<uint32_t, uint32_t>>
+emptyBlockPairs(const wasm::Module &m, uint32_t func_idx);
+
+/** Serialize a plan as the JSON optimization manifest. */
+std::string planToManifest(const core::HookOptimizationPlan &plan);
+
+/**
+ * Parse an optimization manifest. Returns std::nullopt and sets
+ * @p error on malformed input; the *claims* themselves are verified
+ * later by the checker, not here.
+ */
+std::optional<core::HookOptimizationPlan>
+planFromManifest(const std::string &text, std::string *error);
+
+} // namespace wasabi::static_analysis::passes
+
+#endif // WASABI_STATIC_PASSES_PIPELINE_H

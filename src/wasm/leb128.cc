@@ -100,7 +100,7 @@ ByteReader::readSLEB(int max_bits)
         if ((byte & 0x80) == 0) {
             // Sign-extend from the last byte's sign bit.
             if (shift < 64 && (byte & 0x40))
-                result |= -(static_cast<int64_t>(1) << shift);
+                result |= static_cast<int64_t>(~uint64_t{0} << shift);
             return result;
         }
     }

@@ -15,6 +15,8 @@
 #include "core/instrument.h"
 #include "static/analyze.h"
 #include "static/check.h"
+#include "static/passes/pipeline.h"
+#include "wasm/encoder.h"
 #include "wasm/validator.h"
 #include "workloads/polybench.h"
 #include "workloads/random_program.h"
@@ -89,6 +91,81 @@ TEST_P(RandomProgramCheck, TwoBinaryPathAgreesWithMetadataPath)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramCheck,
                          ::testing::Range<uint64_t>(1, 11));
+
+TEST_P(RandomProgramCheck, OptimizedInstrumentationChecksClean)
+{
+    // The analysis-guided optimizer must keep every invariant the
+    // checker knows about: each omitted hook is licensed by the plan
+    // embedded in the StaticInfo, and the checker re-proves each
+    // claim before honoring it.
+    workloads::RandomProgramOptions opts;
+    opts.seed = GetParam();
+    Module orig = workloads::randomProgram(opts).module;
+    wasm::validateModule(orig);
+
+    core::HookOptimizationPlan plan = passes::computePlan(orig);
+    for (const HookSet &hooks : hookSubsets()) {
+        core::InstrumentOptions iopts;
+        iopts.plan = &plan;
+        InstrumentResult r = core::instrument(orig, hooks, iopts);
+        Diagnostics d = checkInstrumentation(*r.info, r.module);
+        EXPECT_TRUE(d.empty())
+            << "optimized, seed " << opts.seed << ", hooks "
+            << hooks.toString() << ":\n"
+            << toString(d);
+    }
+}
+
+TEST_P(RandomProgramCheck, ManifestRoundTripTwoBinaryChecksClean)
+{
+    // The CLI flow: `instrument --optimize-hooks --manifest-out=` then
+    // `check --manifest=`. The plan travels through its JSON manifest
+    // and the two-binary checker must accept every licensed omission.
+    workloads::RandomProgramOptions opts;
+    opts.seed = GetParam();
+    Module orig = workloads::randomProgram(opts).module;
+
+    core::HookOptimizationPlan plan = passes::computePlan(orig);
+    std::string error;
+    std::optional<core::HookOptimizationPlan> parsed =
+        passes::planFromManifest(passes::planToManifest(plan), &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+
+    core::InstrumentOptions iopts;
+    iopts.plan = &*parsed;
+    InstrumentResult r = core::instrument(orig, HookSet::all(), iopts);
+
+    CheckOptions copts;
+    copts.plan = *parsed;
+    Diagnostics d = checkInstrumentation(orig, r.module, copts);
+    EXPECT_TRUE(d.empty())
+        << "manifest round trip, seed " << opts.seed << ":\n"
+        << toString(d);
+}
+
+TEST_P(RandomProgramCheck, OptimizedInstrumentationNeverGrows)
+{
+    workloads::RandomProgramOptions opts;
+    opts.seed = GetParam();
+    Module orig = workloads::randomProgram(opts).module;
+
+    core::HookOptimizationPlan plan = passes::computePlan(orig);
+    const HookSet branch = {HookKind::If, HookKind::BrIf,
+                            HookKind::BrTable, HookKind::Select};
+    InstrumentResult plain = core::instrument(orig, branch);
+    core::InstrumentOptions iopts;
+    iopts.plan = &plan;
+    InstrumentResult optimized = core::instrument(orig, branch, iopts);
+    size_t plain_size = wasm::encodeModule(plain.module).size();
+    size_t opt_size = wasm::encodeModule(optimized.module).size();
+    // Under a branch-hook-only config every plan claim can only
+    // remove code; a br_table -> br narrowing removes the index
+    // plumbing, so it shrinks the binary strictly.
+    EXPECT_LE(opt_size, plain_size) << "seed " << opts.seed;
+    if (!plan.constBrTableIndex.empty()) {
+        EXPECT_LT(opt_size, plain_size) << "seed " << opts.seed;
+    }
+}
 
 TEST(StaticFuzz, PolybenchKernelsCheckClean)
 {

@@ -8,19 +8,23 @@
  *   wasabi dump      <in.wasm>
  *   wasabi instrument <in.wasm> <out.wasm> [--hooks=h1,h2|all]
  *                     [--threads=N] [--no-split-i64]
+ *                     [--optimize-hooks] [--manifest-out=FILE]
  *   wasabi run       <in.wasm> [--entry=name] [--analysis=NAME]
  *                     [--arg=i32:N ...]
  *   wasabi gen       <polybench:NAME[:N] | random:SEED | app:SIZE>
  *                     <out.wasm>
  *   wasabi check     <orig.wasm> <instrumented.wasm> [--hooks=...]
  *                     [--no-split-i64] [--import-module=NAME]
- *                     [--no-side-tables] [--json]
+ *                     [--no-side-tables] [--manifest=FILE] [--json]
+ *   wasabi lint      <in.wasm> [--json]
  *   wasabi analyze   <in.wasm> [--json] [--dot=callgraph|cfg:FUNC]
+ *   wasabi help      [<command>]
+ *   wasabi --version
  *
  * Analyses: mix, blocks, icov, branch, callgraph, taint, miner, mem.
  *
  * Exit codes: 0 success / no findings, 1 runtime error or invalid
- * module, 2 usage error, 3 `check` found invariant violations.
+ * module, 2 usage error, 3 `check`/`lint` found findings.
  */
 
 #include <cstdio>
@@ -41,6 +45,7 @@
 #include "interp/interpreter.h"
 #include "static/analyze.h"
 #include "static/check.h"
+#include "static/passes/pipeline.h"
 #include "runtime/runtime.h"
 #include "wasm/decoder.h"
 #include "wasm/encoder.h"
@@ -53,6 +58,11 @@
 #include "workloads/synthetic_app.h"
 
 using namespace wasabi;
+
+// Injected by the build (tools/CMakeLists.txt) from project(VERSION).
+#ifndef WASABI_VERSION
+#define WASABI_VERSION "unknown"
+#endif
 
 namespace {
 
@@ -149,7 +159,8 @@ cmdDump(const std::string &path)
 int
 cmdInstrument(const std::vector<std::string> &args)
 {
-    std::string in_path, out_path, hooks = "all";
+    std::string in_path, out_path, hooks = "all", manifest_out;
+    bool optimize = false;
     core::InstrumentOptions opts;
     for (const std::string &a : args) {
         if (a.rfind("--hooks=", 0) == 0)
@@ -159,6 +170,10 @@ cmdInstrument(const std::vector<std::string> &args)
                 static_cast<unsigned>(std::stoul(a.substr(10)));
         else if (a == "--no-split-i64")
             opts.splitI64 = false;
+        else if (a == "--optimize-hooks")
+            optimize = true;
+        else if (a.rfind("--manifest-out=", 0) == 0)
+            manifest_out = a.substr(15);
         else if (in_path.empty())
             in_path = a;
         else
@@ -166,7 +181,18 @@ cmdInstrument(const std::vector<std::string> &args)
     }
     if (in_path.empty() || out_path.empty())
         throw UsageError("usage: instrument <in> <out> [opts]");
+    if (!manifest_out.empty() && !optimize)
+        throw UsageError(
+            "--manifest-out requires --optimize-hooks");
     wasm::Module m = loadModule(in_path);
+    core::HookOptimizationPlan plan;
+    if (optimize) {
+        if (auto err = wasm::validationError(m))
+            throw std::runtime_error(
+                "--optimize-hooks needs a valid module: " + *err);
+        plan = static_analysis::passes::computePlan(m);
+        opts.plan = &plan;
+    }
     core::InstrumentResult r =
         core::instrument(m, parseHooks(hooks), opts);
     std::vector<uint8_t> out = wasm::encodeModule(r.module);
@@ -178,6 +204,26 @@ cmdInstrument(const std::vector<std::string> &args)
     std::printf("  size: %zu -> %zu bytes (%.1f%%)\n",
                 readFile(in_path).size(), out.size(),
                 100.0 * out.size() / readFile(in_path).size());
+    if (optimize) {
+        std::printf("  optimization plan: %zu skips, %zu dead "
+                    "functions, %zu narrowed br_tables, %zu elided "
+                    "blocks\n",
+                    plan.skips.size(), plan.deadFunctions.size(),
+                    plan.constBrTableIndex.size(),
+                    plan.elidedBegins.size());
+        if (!manifest_out.empty()) {
+            std::string manifest =
+                static_analysis::passes::planToManifest(plan);
+            std::ofstream mf(manifest_out);
+            if (!mf)
+                throw std::runtime_error("cannot write " +
+                                         manifest_out);
+            mf << manifest;
+            std::printf("  manifest: %s (verify with `wasabi check "
+                        "--manifest=%s`)\n",
+                        manifest_out.c_str(), manifest_out.c_str());
+        }
+    }
     return 0;
 }
 
@@ -329,7 +375,7 @@ cmdGen(const std::string &spec, const std::string &out_path)
 int
 cmdCheck(const std::vector<std::string> &args)
 {
-    std::string orig_path, instr_path;
+    std::string orig_path, instr_path, manifest_path;
     static_analysis::CheckOptions opts;
     bool json = false;
     for (const std::string &a : args) {
@@ -341,6 +387,8 @@ cmdCheck(const std::vector<std::string> &args)
             opts.importModule = a.substr(16);
         else if (a == "--no-side-tables")
             opts.checkSideTables = false;
+        else if (a.rfind("--manifest=", 0) == 0)
+            manifest_path = a.substr(11);
         else if (a == "--json")
             json = true;
         else if (orig_path.empty())
@@ -351,6 +399,17 @@ cmdCheck(const std::vector<std::string> &args)
     if (orig_path.empty() || instr_path.empty())
         throw UsageError(
             "usage: check <orig.wasm> <instrumented.wasm> [opts]");
+    if (!manifest_path.empty()) {
+        std::vector<uint8_t> bytes = readFile(manifest_path);
+        std::string error;
+        std::optional<core::HookOptimizationPlan> plan =
+            static_analysis::passes::planFromManifest(
+                std::string(bytes.begin(), bytes.end()), &error);
+        if (!plan)
+            throw std::runtime_error("malformed manifest " +
+                                     manifest_path + ": " + error);
+        opts.plan = std::move(plan);
+    }
     wasm::Module orig = loadModule(orig_path);
     wasm::Module instr = loadModule(instr_path);
     static_analysis::Diagnostics diags =
@@ -360,6 +419,38 @@ cmdCheck(const std::vector<std::string> &args)
         std::fputs("\n", stdout);
     } else if (diags.empty()) {
         std::printf("OK: all instrumentation invariants hold\n");
+    } else {
+        std::fputs(static_analysis::toString(diags).c_str(), stdout);
+        std::printf("%zu finding(s)\n", diags.size());
+    }
+    return diags.empty() ? 0 : 3;
+}
+
+int
+cmdLint(const std::vector<std::string> &args)
+{
+    std::string path;
+    bool json = false;
+    for (const std::string &a : args) {
+        if (a == "--json")
+            json = true;
+        else
+            path = a;
+    }
+    if (path.empty())
+        throw UsageError("usage: lint <in.wasm> [--json]");
+    wasm::Module m = loadModule(path);
+    if (auto err = wasm::validationError(m)) {
+        std::fprintf(stderr, "INVALID: %s\n", err->c_str());
+        return 1;
+    }
+    static_analysis::Diagnostics diags =
+        static_analysis::passes::lintModule(m);
+    if (json) {
+        std::fputs(static_analysis::toJson(diags).c_str(), stdout);
+        std::fputs("\n", stdout);
+    } else if (diags.empty()) {
+        std::printf("OK: no findings\n");
     } else {
         std::fputs(static_analysis::toString(diags).c_str(), stdout);
         std::printf("%zu finding(s)\n", diags.size());
@@ -422,6 +513,7 @@ printUsage(std::FILE *to)
         "  dump       <in.wasm>\n"
         "  instrument <in.wasm> <out.wasm> [--hooks=h1,h2|all]\n"
         "             [--threads=N] [--no-split-i64]\n"
+        "             [--optimize-hooks] [--manifest-out=FILE]\n"
         "  run        <in.wasm> [--entry=NAME] [--analysis=mix|blocks|\n"
         "             icov|branch|callgraph|taint|miner|mem]\n"
         "             [--arg=i32:N] [--arg=i64:N] [--arg=f64:X]\n"
@@ -429,14 +521,119 @@ printUsage(std::FILE *to)
         "<out.wasm>\n"
         "  check      <orig.wasm> <instrumented.wasm> [--hooks=h1,h2]\n"
         "             [--no-split-i64] [--import-module=NAME]\n"
-        "             [--no-side-tables] [--json]\n"
+        "             [--no-side-tables] [--manifest=FILE] [--json]\n"
         "             verifies instrumentation invariants; exit 3 if\n"
         "             any are violated\n"
+        "  lint       <in.wasm> [--json]\n"
+        "             static pass suite findings; exit 3 if any\n"
         "  analyze    <in.wasm> [--json] [--dot=callgraph|cfg:FUNC]\n"
         "             per-function CFG statistics, dominator-based\n"
         "             loop counts, dead functions\n"
-        "  help, --help\n",
+        "  help       [<command>], --help\n"
+        "  --version\n",
         to);
+}
+
+/** Detailed per-subcommand help for `wasabi help <command>`.
+ * Returns false for an unknown command name. */
+bool
+printCommandHelp(const std::string &cmd, std::FILE *to)
+{
+    if (cmd == "validate") {
+        std::fputs(
+            "wasabi validate <in.wasm>\n"
+            "  Decode (or parse, for .wat input) and validate the\n"
+            "  module. Exit 0 if valid, 1 otherwise.\n",
+            to);
+    } else if (cmd == "dump") {
+        std::fputs("wasabi dump <in.wasm>\n"
+                   "  Print the module in text form.\n",
+                   to);
+    } else if (cmd == "instrument") {
+        std::fputs(
+            "wasabi instrument <in.wasm> <out.wasm> [options]\n"
+            "  --hooks=h1,h2|all   hook kinds to instrument (default\n"
+            "                      all)\n"
+            "  --threads=N         parallel per-function\n"
+            "                      instrumentation\n"
+            "  --no-split-i64      pass i64 hook operands directly\n"
+            "                      instead of as (low, high) i32 pairs\n"
+            "  --optimize-hooks    run the static pass suite first and\n"
+            "                      skip hooks in provably-unreachable\n"
+            "                      code, narrow constant-index\n"
+            "                      br_table hooks to plain br hooks,\n"
+            "                      and elide begin/end pairs of empty\n"
+            "                      blocks\n"
+            "  --manifest-out=FILE write the JSON optimization\n"
+            "                      manifest describing every licensed\n"
+            "                      omission (feed it to `wasabi check\n"
+            "                      --manifest=FILE`)\n",
+            to);
+    } else if (cmd == "run") {
+        std::fputs(
+            "wasabi run <in.wasm> [--entry=NAME] [--analysis=NAME]\n"
+            "           [--arg=i32:N] [--arg=i64:N] [--arg=f64:X]\n"
+            "  Instrument, instantiate and execute the module with a\n"
+            "  dynamic analysis attached (default entry `main`,\n"
+            "  default analysis `mix`). Analyses: mix, blocks, icov,\n"
+            "  branch, callgraph, taint, miner, mem.\n",
+            to);
+    } else if (cmd == "gen") {
+        std::fputs(
+            "wasabi gen <spec> <out.wasm>\n"
+            "  Generate a workload module: polybench:NAME[:N],\n"
+            "  random:SEED, or app:small|medium|large.\n",
+            to);
+    } else if (cmd == "check") {
+        std::fputs(
+            "wasabi check <orig.wasm> <instrumented.wasm> [options]\n"
+            "  Statically verify the instrumentation invariants\n"
+            "  (monomorphic well-typed hooks, selective completeness\n"
+            "  and exclusivity, constant locations, i64 splitting,\n"
+            "  side tables, structure preservation). Exit 3 if any\n"
+            "  finding, 0 otherwise.\n"
+            "  --hooks=h1,h2        hook kinds that were enabled\n"
+            "                       (default: inferred from imports)\n"
+            "  --no-split-i64       the i64-split ABI was not used\n"
+            "  --import-module=NAME hook import module (default\n"
+            "                       `wasabi`)\n"
+            "  --no-side-tables     skip side-table re-derivation\n"
+            "  --manifest=FILE      optimization manifest emitted by\n"
+            "                       `instrument --optimize-hooks\n"
+            "                       --manifest-out=`; every claimed\n"
+            "                       omission is re-proved against the\n"
+            "                       original module before it exempts\n"
+            "                       a site from completeness\n"
+            "  --json               machine-readable findings\n",
+            to);
+    } else if (cmd == "lint") {
+        std::fputs(
+            "wasabi lint <in.wasm> [--json]\n"
+            "  Run the static pass suite (constant propagation,\n"
+            "  reachability, dead stores, branch refinement) and\n"
+            "  report findings about the program itself:\n"
+            "    lint.unreachable.code      CFG-unreachable ranges\n"
+            "    lint.deadcode.function     call-graph-dead functions\n"
+            "    lint.deadstore.local       stores no load observes\n"
+            "    lint.branch.const-condition provably constant br_if/\n"
+            "                               if conditions\n"
+            "    lint.branch.const-index    provably constant br_table\n"
+            "                               indices\n"
+            "    lint.block.empty           empty block/loop regions\n"
+            "  Exit 3 if there are findings, 0 otherwise.\n",
+            to);
+    } else if (cmd == "analyze") {
+        std::fputs(
+            "wasabi analyze <in.wasm> [--json]\n"
+            "               [--dot=callgraph|cfg:FUNC]\n"
+            "  Static module report: per-function CFG statistics,\n"
+            "  dominator-based loop counts, dead functions; or a\n"
+            "  Graphviz rendering of the call graph / one CFG.\n",
+            to);
+    } else {
+        return false;
+    }
+    return true;
 }
 
 int
@@ -455,9 +652,20 @@ main(int argc, char **argv)
         return usage();
     std::vector<std::string> args(argv + 2, argv + argc);
     std::string cmd = argv[1];
-    if (cmd == "help" || cmd == "--help" || cmd == "-h") {
-        printUsage(stdout);
+    if (cmd == "--version" || cmd == "version") {
+        std::printf("wasabi %s\n", WASABI_VERSION);
         return 0;
+    }
+    if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+        if (args.empty()) {
+            printUsage(stdout);
+            return 0;
+        }
+        if (printCommandHelp(args[0], stdout))
+            return 0;
+        std::fprintf(stderr, "wasabi: unknown command '%s'\n",
+                     args[0].c_str());
+        return usage();
     }
     try {
         if (cmd == "validate" && args.size() == 1)
@@ -472,6 +680,8 @@ main(int argc, char **argv)
             return cmdGen(args[0], args[1]);
         if (cmd == "check")
             return cmdCheck(args);
+        if (cmd == "lint")
+            return cmdLint(args);
         if (cmd == "analyze")
             return cmdAnalyze(args);
         std::fprintf(stderr, "wasabi: unknown command '%s'\n",
