@@ -235,6 +235,17 @@ class FuncInstrumenter {
                plan_->elidedEnds.count(packLoc({funcIdx_, i})) != 0;
     }
 
+    /** The plan's unique call_indirect target claim at @p i, if any. */
+    const HookOptimizationPlan::CallTargetClaim *
+    planCallTarget(uint32_t i) const
+    {
+        if (!plan_)
+            return nullptr;
+        auto it = plan_->constCallTargets.find(packLoc({funcIdx_, i}));
+        return it == plan_->constCallTargets.end() ? nullptr
+                                                   : &it->second;
+    }
+
     /** Constant br_table index proven by the plan, or nullptr. */
     const uint32_t *
     planConstIndex(uint32_t i) const
@@ -519,6 +530,12 @@ class FuncInstrumenter {
                 emit(instr);
                 break;
             }
+            // A plan-claimed constant-index call_indirect narrows to
+            // the direct call_pre variant: the table-index hook
+            // argument is dropped (the runtime reports the statically
+            // known target instead), but the index value itself is
+            // still saved/restored for the actual call.
+            bool narrowed = indirect && planCallTarget(i) != nullptr;
             int nargs = static_cast<int>(type.params.size());
             uint32_t tbl = 0;
             if (indirect) {
@@ -530,13 +547,13 @@ class FuncInstrumenter {
                 emit(Instr::localSet(scratch(type.params[j], j)));
             // call_pre hook: loc, (table index,) args.
             emitLoc(i);
-            if (indirect)
+            if (indirect && !narrowed)
                 emit(Instr::localGet(tbl));
             for (int j = 0; j < nargs; ++j)
                 emitLocalArg(scratch(type.params[j], j), type.params[j]);
             emitHookCall(HookSpec{.kind = HookKind::Call,
                                   .types = type.params,
-                                  .indirect = indirect});
+                                  .indirect = indirect && !narrowed});
             // Restore arguments and perform the call.
             for (int j = 0; j < nargs; ++j)
                 emit(Instr::localGet(scratch(type.params[j], j)));

@@ -25,6 +25,12 @@
  *    their begin/end hook pair is elided. Empty blocks execute no
  *    instructions and their labels cannot be referenced by any branch,
  *    so no other hook can observe the difference.
+ *  - constCallTargets: call_indirect locations whose table index is a
+ *    compile-time constant resolving (through an exact, non-host-
+ *    visible element layout) to one unique target; the indirect
+ *    call_pre hook (extra runtime table-index argument) is narrowed
+ *    to the direct variant and the runtime reports the statically
+ *    known callee.
  *
  * All locations are packLoc-packed keys into the *original* module.
  */
@@ -57,12 +63,25 @@ struct HookOptimizationPlan {
     /** End locations matching elidedBegins (same blocks). */
     std::unordered_set<uint64_t> elidedEnds;
 
+    /** A call_indirect narrowed to a direct-call hook: the constant
+     * table index and the unique function it resolves to (original
+     * index space). */
+    struct CallTargetClaim {
+        uint32_t tableIndex = 0;
+        uint32_t target = 0;
+
+        bool operator==(const CallTargetClaim &other) const = default;
+    };
+
+    /** call_indirect locations with a statically known target. */
+    std::unordered_map<uint64_t, CallTargetClaim> constCallTargets;
+
     bool
     empty() const
     {
         return skips.empty() && deadFunctions.empty() &&
                constBrTableIndex.empty() && elidedBegins.empty() &&
-               elidedEnds.empty();
+               elidedEnds.empty() && constCallTargets.empty();
     }
 
     /** Total number of per-site claims (for reporting). */
@@ -70,7 +89,8 @@ struct HookOptimizationPlan {
     size() const
     {
         return skips.size() + deadFunctions.size() +
-               constBrTableIndex.size() + elidedBegins.size();
+               constBrTableIndex.size() + elidedBegins.size() +
+               constCallTargets.size();
     }
 };
 

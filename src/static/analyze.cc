@@ -6,6 +6,8 @@
 #include "static/call_graph.h"
 #include "static/cfg.h"
 #include "static/dataflow.h"
+#include "static/interproc/refined_call_graph.h"
+#include "static/interproc/summaries.h"
 
 namespace wasabi::static_analysis {
 
@@ -111,6 +113,20 @@ std::string
 callGraphDot(const Module &m)
 {
     return StaticCallGraph(m).toDot(m);
+}
+
+std::string
+refinedCallGraphDot(const Module &m)
+{
+    return interproc::RefinedCallGraph(m).toDot(m);
+}
+
+std::string
+summariesJson(const Module &m, unsigned num_threads)
+{
+    interproc::RefinedCallGraph cg(m);
+    return interproc::summariesToJson(
+        m, cg, interproc::functionSummaries(m, cg, num_threads));
 }
 
 } // namespace wasabi::static_analysis

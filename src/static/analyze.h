@@ -53,6 +53,16 @@ std::string toJson(const ModuleReport &r);
 std::string cfgDot(const wasm::Module &m, uint32_t func_idx);
 std::string callGraphDot(const wasm::Module &m);
 
+/** Refined call graph (per-site call_indirect edges) as Graphviz. */
+std::string refinedCallGraphDot(const wasm::Module &m);
+
+/**
+ * Per-function effect summaries (interprocedural solver over the SCC
+ * condensation of the refined call graph) as a JSON object. The output
+ * is deterministic: byte-identical for any @p num_threads.
+ */
+std::string summariesJson(const wasm::Module &m, unsigned num_threads = 1);
+
 } // namespace wasabi::static_analysis
 
 #endif // WASABI_STATIC_ANALYZE_H

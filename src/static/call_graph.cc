@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "static/dot_util.h"
+#include "static/interproc/table_layout.h"
 #include "wasm/opcode.h"
 
 namespace wasabi::static_analysis {
@@ -16,16 +17,12 @@ StaticCallGraph::StaticCallGraph(const wasm::Module &m)
     callers_.resize(n);
 
     // Functions exposed through the (at most one, MVP) table, per
-    // signature type index: conservative call_indirect targets.
-    std::vector<uint32_t> table_funcs;
-    for (const wasm::ElementSegment &seg : m.elements) {
-        table_funcs.insert(table_funcs.end(), seg.funcIdxs.begin(),
-                           seg.funcIdxs.end());
-    }
-    std::sort(table_funcs.begin(), table_funcs.end());
-    table_funcs.erase(
-        std::unique(table_funcs.begin(), table_funcs.end()),
-        table_funcs.end());
+    // signature type index: conservative call_indirect targets. The
+    // layout resolver validates segment contents — out-of-range
+    // indices are diagnosed there and dropped here instead of being
+    // silently folded in (and corrupting the caller lists).
+    const std::vector<uint32_t> table_funcs =
+        interproc::computeTableLayout(m).segmentFuncs;
 
     for (uint32_t f = 0; f < n; ++f) {
         const wasm::Function &func = m.functions[f];
@@ -34,7 +31,8 @@ StaticCallGraph::StaticCallGraph(const wasm::Module &m)
         for (const wasm::Instr &instr : func.body) {
             OpClass cls = wasm::opInfo(instr.op).cls;
             if (cls == OpClass::Call) {
-                callees_[f].push_back(instr.imm.idx);
+                if (instr.imm.idx < n)
+                    callees_[f].push_back(instr.imm.idx);
             } else if (cls == OpClass::CallIndirect) {
                 const wasm::FuncType &sig = m.types.at(instr.imm.idx);
                 for (uint32_t t : table_funcs) {
@@ -116,22 +114,19 @@ StaticCallGraph::numEdges() const
 std::string
 StaticCallGraph::toDot(const wasm::Module &m) const
 {
-    std::string out = "digraph callgraph {\n  node [shape=box];\n";
+    std::vector<DotNode> nodes;
+    std::vector<DotEdge> edges;
     for (uint32_t f = 0; f < callees_.size(); ++f) {
         const wasm::Function &func = m.functions[f];
+        std::string id = "f" + std::to_string(f);
         std::string label = func.debugName.empty()
-                                ? "f" + std::to_string(f)
+                                ? id
                                 : escapeDotLabel(func.debugName);
-        out += "  f" + std::to_string(f) + " [label=\"" + label + "\"";
-        if (!reachable_[f])
-            out += ", style=dashed";
-        out += "];\n";
+        nodes.push_back({id, label, /*dashed=*/!reachable_[f]});
         for (uint32_t c : callees_[f])
-            out += "  f" + std::to_string(f) + " -> f" +
-                   std::to_string(c) + ";\n";
+            edges.push_back({id, "f" + std::to_string(c), ""});
     }
-    out += "}\n";
-    return out;
+    return renderDigraph("callgraph", nodes, edges);
 }
 
 } // namespace wasabi::static_analysis

@@ -10,6 +10,7 @@
 #include "core/instrument.h"
 #include "static/call_graph.h"
 #include "static/dataflow.h"
+#include "static/interproc/refined_call_graph.h"
 #include "static/passes/constprop.h"
 #include "wasm/validator.h"
 
@@ -743,7 +744,12 @@ class Checker {
                          std::string(wasm::name(in.op)) +
                          "' is not a call");
             } else if (!spec.post &&
-                       spec.indirect != (cls == OpClass::CallIndirect)) {
+                       spec.indirect != (cls == OpClass::CallIndirect) &&
+                       !(cls == OpClass::CallIndirect &&
+                         !spec.indirect &&
+                         planCallTarget(f, site.origInstr))) {
+                // Exception: a verified plan claim narrows the
+                // indirect call_pre to the direct variant.
                 mismatch("call_pre direct/indirect flavor does not "
                          "match the instruction");
             }
@@ -1096,11 +1102,19 @@ class Checker {
             const FuncType &type = indirect
                                        ? orig_.types.at(in.imm.idx)
                                        : orig_.funcType(in.imm.idx);
-            requireSite(f, i, indirect ? "call_pre_indirect" : "call_pre",
-                        [&type, indirect](const Site &s) {
+            // A verified constant-target claim narrows the expected
+            // call_pre flavor to direct (no table-index argument).
+            bool expect_indirect =
+                indirect && !planCallTarget(f, i);
+            requireSite(f, i,
+                        expect_indirect ? "call_pre_indirect"
+                        : indirect ? "call_pre (narrowed call_indirect)"
+                                   : "call_pre",
+                        [&type, expect_indirect](const Site &s) {
                             return s.spec->kind == HookKind::Call &&
                                    !s.spec->post &&
-                                   s.spec->indirect == indirect &&
+                                   s.spec->indirect ==
+                                       expect_indirect &&
                                    s.spec->types == type.params;
                         });
             requireSite(f, i, "call_post", [&type](const Site &s) {
@@ -1200,6 +1214,17 @@ class Checker {
                                                     : nullptr;
     }
 
+    /** Unique call_indirect target claimed by the plan at (f, i). */
+    const core::HookOptimizationPlan::CallTargetClaim *
+    planCallTarget(uint32_t f, uint32_t i) const
+    {
+        if (!plan_)
+            return nullptr;
+        auto it = plan_->constCallTargets.find(packLoc({f, i}));
+        return it != plan_->constCallTargets.end() ? &it->second
+                                                   : nullptr;
+    }
+
     /** True for a defined-function location inside the body; emits
      * @p code otherwise. */
     bool
@@ -1245,9 +1270,17 @@ class Checker {
                             static_cast<uint32_t>(packed)};
         };
 
-        // Dead functions must be defined and call-graph-dead.
+        // Dead functions must be defined and dead under the *refined*
+        // call graph (per-site call_indirect resolution) — the same
+        // graph the optimizer widened the elision with, re-derived
+        // here from the original module alone.
+        std::optional<interproc::RefinedCallGraph> rcg;
+        auto refined = [&]() -> interproc::RefinedCallGraph & {
+            if (!rcg)
+                rcg.emplace(orig_);
+            return *rcg;
+        };
         if (!plan.deadFunctions.empty()) {
-            StaticCallGraph cg(orig_);
             std::vector<uint32_t> dead(plan.deadFunctions.begin(),
                                        plan.deadFunctions.end());
             std::sort(dead.begin(), dead.end());
@@ -1260,14 +1293,61 @@ class Checker {
                                      ", which is not a defined "
                                      "function",
                                  f);
-                } else if (cg.reachable(f)) {
+                } else if (refined().reachable(f)) {
                     diags_.error("check.manifest.bad-dead-function",
                                  "dead-function claim names function " +
                                      std::to_string(f) +
                                      ", which is reachable from the "
-                                     "module's roots",
+                                     "module's roots (refined call "
+                                     "graph)",
                                  f);
                 }
+            }
+        }
+
+        // Narrowed call_indirect sites must re-resolve — through the
+        // checker's own refined graph — to a constant index and the
+        // same unique target the manifest claims.
+        std::vector<std::pair<uint64_t,
+                              core::HookOptimizationPlan::
+                                  CallTargetClaim>>
+            callNarrows(plan.constCallTargets.begin(),
+                        plan.constCallTargets.end());
+        std::sort(callNarrows.begin(), callNarrows.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.first < b.first;
+                  });
+        for (const auto &[packed, claim] : callNarrows) {
+            Location loc = unpack(packed);
+            if (planSkips(loc.func, loc.instr))
+                continue; // skip/dead wins; the claim is moot
+            if (!validPlanLoc(loc, "check.manifest.bad-call-target",
+                              "call-target"))
+                continue;
+            const Instr &in =
+                orig_.functions[loc.func].body[loc.instr];
+            if (wasm::opInfo(in.op).cls != OpClass::CallIndirect) {
+                diags_.error("check.manifest.bad-call-target",
+                             "call-target claim targets a "
+                             "non-call_indirect instruction",
+                             loc.func, loc.instr);
+                continue;
+            }
+            const interproc::CallSite *site =
+                refined().siteAt(loc.func, loc.instr);
+            if (!site ||
+                site->kind != interproc::SiteKind::IndirectConst ||
+                *site->constIndex != claim.tableIndex ||
+                site->targets.size() != 1 ||
+                site->targets[0] != claim.target) {
+                diags_.error(
+                    "check.manifest.bad-call-target",
+                    "call-target claim (index " +
+                        std::to_string(claim.tableIndex) +
+                        " -> function " +
+                        std::to_string(claim.target) +
+                        ") is not proven by the refined call graph",
+                    loc.func, loc.instr);
             }
         }
 

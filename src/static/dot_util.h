@@ -1,10 +1,12 @@
 /**
  * @file
- * Graphviz label escaping shared by every DOT emitter (`wasabi
- * analyze --dot=`, `--callgraph-dot=`). Function debug names come
- * from an untrusted name section and may contain quotes, backslashes
- * or arbitrary non-ASCII bytes; emitted verbatim inside a quoted DOT
- * string they would break the output's syntax.
+ * Graphviz helpers shared by every DOT emitter (`wasabi analyze
+ * --dot=`, the static and refined call graphs): label escaping plus
+ * one generic digraph renderer, so node/edge styling conventions live
+ * in a single place. Function debug names come from an untrusted name
+ * section and may contain quotes, backslashes or arbitrary non-ASCII
+ * bytes; emitted verbatim inside a quoted DOT string they would break
+ * the output's syntax.
  */
 
 #ifndef WASABI_STATIC_DOT_UTIL_H
@@ -13,6 +15,7 @@
 #include <cstdio>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace wasabi::static_analysis {
 
@@ -44,6 +47,58 @@ escapeDotLabel(std::string_view s)
             out += static_cast<char>(c);
         }
     }
+    return out;
+}
+
+/** One node of a rendered digraph. `label` must be pre-escaped. */
+struct DotNode {
+    std::string id;
+    std::string label;
+    bool dashed = false; ///< rendered `style=dashed` (dead/unknown)
+};
+
+/** One edge of a rendered digraph. `label` must be pre-escaped. */
+struct DotEdge {
+    std::string from;
+    std::string to;
+    std::string label;   ///< optional edge label (e.g. site index)
+    bool dashed = false; ///< unresolved/approximate edge
+    bool bold = false;   ///< statically proven unique edge
+};
+
+/**
+ * Render a digraph with the house style (box nodes). All call-graph
+ * emitters — whole-module, refined, per-site — go through here so the
+ * styling stays consistent and escaping cannot be forgotten per
+ * emitter.
+ */
+inline std::string
+renderDigraph(const std::string &name, const std::vector<DotNode> &nodes,
+              const std::vector<DotEdge> &edges)
+{
+    std::string out = "digraph " + name + " {\n  node [shape=box];\n";
+    for (const DotNode &n : nodes) {
+        out += "  " + n.id + " [label=\"" + n.label + "\"";
+        if (n.dashed)
+            out += ", style=dashed";
+        out += "];\n";
+    }
+    for (const DotEdge &e : edges) {
+        out += "  " + e.from + " -> " + e.to;
+        std::string attrs;
+        if (!e.label.empty())
+            attrs += "label=\"" + e.label + "\"";
+        if (e.dashed)
+            attrs += std::string(attrs.empty() ? "" : ", ") +
+                     "style=dashed";
+        if (e.bold)
+            attrs += std::string(attrs.empty() ? "" : ", ") +
+                     "style=bold";
+        if (!attrs.empty())
+            out += " [" + attrs + "]";
+        out += ";\n";
+    }
+    out += "}\n";
     return out;
 }
 

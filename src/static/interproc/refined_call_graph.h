@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The refined call graph: per-site `call_indirect` resolution on top
+ * of the seed StaticCallGraph's whole-table approximation.
+ *
+ * Each call site is classified:
+ *  - Direct: a plain `call` with one known callee.
+ *  - IndirectConst: the table index operand is a compile-time constant
+ *    (PR-2 constprop lattice), the element layout is exact, and the
+ *    table is not host-visible — the site resolves to the unique
+ *    element-segment target.
+ *  - IndirectTyped: the exact slot layout is known; targets are the
+ *    type-matching functions actually placed in slots.
+ *  - IndirectUnknown: host-visible table or unknown layout; targets
+ *    fall back to the type-matched segment union (and, because the
+ *    host can insert arbitrary exports, consumers must treat the
+ *    callee set as open).
+ *  - IndirectNone: no possible target — the call always traps
+ *    (constant index out of range / null slot / signature mismatch,
+ *    or no type-matching table entry at all).
+ *
+ * Every refined callee set is a subset of the seed graph's for the
+ * same site and the root set is identical, so refined reachability is
+ * a subset of — and refined dead-function detection a superset of —
+ * the seed graph's. That monotonicity is what licenses widening the
+ * hook optimizer's dead-function elision to this graph.
+ */
+
+#ifndef WASABI_STATIC_INTERPROC_REFINED_CALL_GRAPH_H
+#define WASABI_STATIC_INTERPROC_REFINED_CALL_GRAPH_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "static/interproc/table_layout.h"
+#include "wasm/module.h"
+
+namespace wasabi::static_analysis::interproc {
+
+enum class SiteKind : uint8_t {
+    Direct,
+    IndirectConst,
+    IndirectTyped,
+    IndirectUnknown,
+    IndirectNone,
+};
+
+/** Name, e.g. "direct" or "indirect-const". */
+const char *name(SiteKind k);
+
+/** One call site of a defined function, with its resolved targets. */
+struct CallSite {
+    uint32_t func = 0;
+    uint32_t instr = 0;
+    SiteKind kind = SiteKind::Direct;
+
+    /** The constant table index (IndirectConst only). */
+    std::optional<uint32_t> constIndex;
+
+    /** Possible callees (sorted, deduplicated; empty for
+     * IndirectNone). */
+    std::vector<uint32_t> targets;
+};
+
+class RefinedCallGraph {
+  public:
+    explicit RefinedCallGraph(const wasm::Module &m);
+
+    const TableLayout &table() const { return table_; }
+
+    /** All call sites in (func, instr) order. */
+    const std::vector<CallSite> &sites() const { return sites_; }
+
+    /** The site at (func, instr), or nullptr. */
+    const CallSite *siteAt(uint32_t func, uint32_t instr) const;
+
+    /** Callees of @p func_idx (sorted, deduplicated). */
+    const std::vector<uint32_t> &callees(uint32_t func_idx) const
+    {
+        return callees_.at(func_idx);
+    }
+
+    /** Callers of @p func_idx (sorted, deduplicated). */
+    const std::vector<uint32_t> &callers(uint32_t func_idx) const
+    {
+        return callers_.at(func_idx);
+    }
+
+    /** Root set (same as StaticCallGraph: exports, start, and every
+     * segment function when the table is host-visible). */
+    const std::vector<uint32_t> &roots() const { return roots_; }
+
+    bool reachable(uint32_t func_idx) const
+    {
+        return reachable_.at(func_idx);
+    }
+
+    /** Functions unreachable from any root under refinement; always a
+     * superset of StaticCallGraph::deadFunctions(). */
+    std::vector<uint32_t> deadFunctions() const;
+
+    size_t numFunctions() const { return callees_.size(); }
+    size_t numEdges() const;
+
+    /** Graphviz rendering with one edge per (site, target): constant
+     * sites bold with their index, unresolved sites dashed, dead
+     * functions dashed. */
+    std::string toDot(const wasm::Module &m) const;
+
+  private:
+    TableLayout table_;
+    std::vector<CallSite> sites_;
+    std::unordered_map<uint64_t, size_t> siteIndex_;
+    std::vector<std::vector<uint32_t>> callees_;
+    std::vector<std::vector<uint32_t>> callers_;
+    std::vector<uint32_t> roots_;
+    std::vector<bool> reachable_;
+};
+
+} // namespace wasabi::static_analysis::interproc
+
+#endif // WASABI_STATIC_INTERPROC_REFINED_CALL_GRAPH_H

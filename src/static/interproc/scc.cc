@@ -1,0 +1,107 @@
+#include "static/interproc/scc.h"
+
+#include <algorithm>
+
+namespace wasabi::static_analysis::interproc {
+
+namespace {
+
+constexpr uint32_t kUnvisited = 0xFFFFFFFFu;
+
+/** One frame of the explicit Tarjan DFS stack. */
+struct Frame {
+    uint32_t node;
+    uint32_t nextSucc; ///< index into succs_of(node) to resume at
+};
+
+} // namespace
+
+SccGraph
+condense(uint32_t n,
+         const std::function<const std::vector<uint32_t> &(uint32_t)>
+             &succs_of)
+{
+    SccGraph g;
+    g.sccOf.assign(n, kUnvisited);
+
+    std::vector<uint32_t> index(n, kUnvisited);
+    std::vector<uint32_t> lowlink(n, 0);
+    std::vector<bool> on_stack(n, false);
+    std::vector<uint32_t> stack;
+    std::vector<Frame> dfs;
+    uint32_t next_index = 0;
+
+    for (uint32_t root = 0; root < n; ++root) {
+        if (index[root] != kUnvisited)
+            continue;
+        dfs.push_back({root, 0});
+        index[root] = lowlink[root] = next_index++;
+        stack.push_back(root);
+        on_stack[root] = true;
+
+        while (!dfs.empty()) {
+            Frame &fr = dfs.back();
+            const std::vector<uint32_t> &succs = succs_of(fr.node);
+            if (fr.nextSucc < succs.size()) {
+                uint32_t w = succs[fr.nextSucc++];
+                if (index[w] == kUnvisited) {
+                    dfs.push_back({w, 0});
+                    index[w] = lowlink[w] = next_index++;
+                    stack.push_back(w);
+                    on_stack[w] = true;
+                } else if (on_stack[w]) {
+                    lowlink[fr.node] =
+                        std::min(lowlink[fr.node], index[w]);
+                }
+                continue;
+            }
+            // All successors done: maybe close an SCC, then propagate
+            // the lowlink to the parent.
+            uint32_t v = fr.node;
+            dfs.pop_back();
+            if (lowlink[v] == index[v]) {
+                uint32_t id = g.numSccs();
+                g.members.emplace_back();
+                while (true) {
+                    uint32_t w = stack.back();
+                    stack.pop_back();
+                    on_stack[w] = false;
+                    g.sccOf[w] = id;
+                    g.members.back().push_back(w);
+                    if (w == v)
+                        break;
+                }
+                std::sort(g.members.back().begin(),
+                          g.members.back().end());
+            }
+            if (!dfs.empty()) {
+                uint32_t p = dfs.back().node;
+                lowlink[p] = std::min(lowlink[p], lowlink[v]);
+            }
+        }
+    }
+
+    g.succs.resize(g.numSccs());
+    g.preds.resize(g.numSccs());
+    for (uint32_t v = 0; v < n; ++v) {
+        uint32_t from = g.sccOf[v];
+        for (uint32_t w : succs_of(v)) {
+            uint32_t to = g.sccOf[w];
+            if (to != from)
+                g.succs[from].push_back(to);
+        }
+    }
+    for (uint32_t s = 0; s < g.numSccs(); ++s) {
+        std::sort(g.succs[s].begin(), g.succs[s].end());
+        g.succs[s].erase(
+            std::unique(g.succs[s].begin(), g.succs[s].end()),
+            g.succs[s].end());
+        for (uint32_t t : g.succs[s])
+            g.preds[t].push_back(s);
+    }
+    for (uint32_t s = 0; s < g.numSccs(); ++s)
+        std::sort(g.preds[s].begin(), g.preds[s].end());
+    return g;
+}
+
+} // namespace wasabi::static_analysis::interproc

@@ -1,0 +1,286 @@
+#include "static/interproc/summaries.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "wasm/opcode.h"
+
+namespace wasabi::static_analysis::interproc {
+
+using wasm::Module;
+using wasm::OpClass;
+using wasm::Opcode;
+
+namespace {
+
+/** Whether executing @p op can trap (syntactic classification;
+ * loads/stores count because of out-of-bounds accesses). */
+bool
+mayTrapOp(Opcode op, OpClass cls)
+{
+    if (cls == OpClass::Load || cls == OpClass::Store ||
+        cls == OpClass::Unreachable || cls == OpClass::CallIndirect)
+        return true;
+    switch (op) {
+      case Opcode::I32DivS:
+      case Opcode::I32DivU:
+      case Opcode::I32RemS:
+      case Opcode::I32RemU:
+      case Opcode::I64DivS:
+      case Opcode::I64DivU:
+      case Opcode::I64RemS:
+      case Opcode::I64RemU:
+      case Opcode::I32TruncF32S:
+      case Opcode::I32TruncF32U:
+      case Opcode::I32TruncF64S:
+      case Opcode::I32TruncF64U:
+      case Opcode::I64TruncF32S:
+      case Opcode::I64TruncF32U:
+      case Opcode::I64TruncF64S:
+      case Opcode::I64TruncF64U:
+        return true;
+      default:
+        return false;
+    }
+}
+
+void
+sortUnique(std::vector<uint32_t> &v)
+{
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+/** Union @p from's scalar effects and sets into @p into (the sets are
+ * deduplicated once at SCC finalization). */
+void
+mergeEffects(EffectSummary &into, const EffectSummary &from)
+{
+    into.readsMemory |= from.readsMemory;
+    into.writesMemory |= from.writesMemory;
+    into.growsMemory |= from.growsMemory;
+    into.mayTrap |= from.mayTrap;
+    into.callsImport |= from.callsImport;
+    into.globalsRead.insert(into.globalsRead.end(),
+                            from.globalsRead.begin(),
+                            from.globalsRead.end());
+    into.globalsWritten.insert(into.globalsWritten.end(),
+                               from.globalsWritten.begin(),
+                               from.globalsWritten.end());
+}
+
+/** The body-local (non-call) effects of one function. */
+EffectSummary
+directEffects(const Module &m, const RefinedCallGraph &cg, uint32_t f)
+{
+    EffectSummary s;
+    const wasm::Function &func = m.functions[f];
+    if (func.imported()) {
+        // The import's body is host code: unknown effects beyond what
+        // the lattice tracks, represented by callsImport (+ may-trap).
+        s.callsImport = true;
+        s.mayTrap = true;
+        return s;
+    }
+    for (uint32_t i = 0; i < func.body.size(); ++i) {
+        const wasm::Instr &in = func.body[i];
+        OpClass cls = wasm::opInfo(in.op).cls;
+        if (mayTrapOp(in.op, cls))
+            s.mayTrap = true;
+        switch (cls) {
+          case OpClass::Load:
+            s.readsMemory = true;
+            break;
+          case OpClass::Store:
+            s.writesMemory = true;
+            break;
+          case OpClass::MemoryGrow:
+            s.growsMemory = true;
+            break;
+          case OpClass::GlobalGet:
+            s.globalsRead.push_back(in.imm.idx);
+            break;
+          case OpClass::GlobalSet:
+            s.globalsWritten.push_back(in.imm.idx);
+            break;
+          case OpClass::CallIndirect: {
+            const CallSite *site = cg.siteAt(f, i);
+            // Through a host-visible table the callee set is open
+            // (the host may insert any function it owns).
+            if (!site || site->kind == SiteKind::IndirectUnknown)
+                s.callsImport = true;
+            break;
+          }
+          default:
+            break;
+        }
+    }
+    sortUnique(s.globalsRead);
+    sortUnique(s.globalsWritten);
+    return s;
+}
+
+} // namespace
+
+std::vector<EffectSummary>
+functionSummaries(const Module &m, const RefinedCallGraph &cg,
+                  unsigned num_threads)
+{
+    const uint32_t n = m.numFunctions();
+    std::vector<EffectSummary> summaries(n);
+    if (n == 0)
+        return summaries;
+
+    SccGraph scc = condense(
+        n, [&cg](uint32_t f) -> const std::vector<uint32_t> & {
+            return cg.callees(f);
+        });
+    const uint32_t num_sccs = scc.numSccs();
+
+    // One SCC = one solver unit; only reads finalized callee-SCC rows
+    // and writes its own members' rows.
+    auto solveScc = [&](uint32_t sid) {
+        const std::vector<uint32_t> &members = scc.members[sid];
+        EffectSummary sum;
+        bool self_edge = false;
+        for (uint32_t f : members) {
+            mergeEffects(sum, directEffects(m, cg, f));
+            for (uint32_t c : cg.callees(f)) {
+                if (scc.sccOf[c] == sid) {
+                    self_edge = true;
+                    continue; // effects covered by the member merge
+                }
+                const EffectSummary &callee = summaries[c];
+                mergeEffects(sum, callee);
+                sum.callees.push_back(c);
+                sum.callees.insert(sum.callees.end(),
+                                   callee.callees.begin(),
+                                   callee.callees.end());
+            }
+        }
+        // In a non-trivial SCC every member reaches every member via a
+        // non-empty in-SCC path; a singleton is in its own closure iff
+        // it calls itself.
+        if (members.size() > 1 || self_edge) {
+            sum.callees.insert(sum.callees.end(), members.begin(),
+                               members.end());
+        }
+        sortUnique(sum.globalsRead);
+        sortUnique(sum.globalsWritten);
+        sortUnique(sum.callees);
+        for (uint32_t f : members)
+            summaries[f] = sum;
+    };
+
+    unsigned workers = std::max(1u, num_threads);
+    if (workers == 1) {
+        // Tarjan ids are reverse-topological: ascending is bottom-up.
+        for (uint32_t sid = 0; sid < num_sccs; ++sid)
+            solveScc(sid);
+        return summaries;
+    }
+
+    // Parallel bottom-up walk of the condensation DAG: an SCC becomes
+    // ready once all its callee SCCs are solved. Results are published
+    // under the queue mutex, so readers are ordered after writers.
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<uint32_t> ready;
+    std::vector<uint32_t> pending(num_sccs);
+    uint32_t solved = 0;
+    for (uint32_t sid = 0; sid < num_sccs; ++sid) {
+        pending[sid] = static_cast<uint32_t>(scc.succs[sid].size());
+        if (pending[sid] == 0)
+            ready.push_back(sid);
+    }
+
+    auto worker = [&] {
+        std::unique_lock<std::mutex> lock(mu);
+        while (solved < num_sccs) {
+            if (ready.empty()) {
+                cv.wait(lock, [&] {
+                    return !ready.empty() || solved == num_sccs;
+                });
+                continue;
+            }
+            uint32_t sid = ready.front();
+            ready.pop_front();
+            lock.unlock();
+            solveScc(sid);
+            lock.lock();
+            ++solved;
+            for (uint32_t p : scc.preds[sid]) {
+                if (--pending[p] == 0)
+                    ready.push_back(p);
+            }
+            cv.notify_all();
+        }
+    };
+
+    std::vector<std::thread> pool;
+    unsigned count = std::min<unsigned>(workers, num_sccs);
+    pool.reserve(count);
+    for (unsigned t = 0; t < count; ++t)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+    return summaries;
+}
+
+std::vector<EffectSummary>
+functionSummaries(const Module &m, unsigned num_threads)
+{
+    RefinedCallGraph cg(m);
+    return functionSummaries(m, cg, num_threads);
+}
+
+namespace {
+
+void
+appendSet(std::string &out, const char *key,
+          const std::vector<uint32_t> &v)
+{
+    out += std::string(",\"") + key + "\":[";
+    for (size_t i = 0; i < v.size(); ++i) {
+        if (i)
+            out += ",";
+        out += std::to_string(v[i]);
+    }
+    out += "]";
+}
+
+} // namespace
+
+std::string
+summariesToJson(const Module &m, const RefinedCallGraph &cg,
+                const std::vector<EffectSummary> &summaries)
+{
+    auto flag = [](bool b) { return b ? "true" : "false"; };
+    std::string out = "{\"functions\":[";
+    for (uint32_t f = 0; f < summaries.size(); ++f) {
+        const EffectSummary &s = summaries[f];
+        if (f)
+            out += ",";
+        out += "{\"func\":" + std::to_string(f);
+        out += std::string(",\"imported\":") +
+               flag(m.functions[f].imported());
+        out += std::string(",\"reachable\":") + flag(cg.reachable(f));
+        out += std::string(",\"readsMemory\":") + flag(s.readsMemory);
+        out +=
+            std::string(",\"writesMemory\":") + flag(s.writesMemory);
+        out += std::string(",\"growsMemory\":") + flag(s.growsMemory);
+        out += std::string(",\"mayTrap\":") + flag(s.mayTrap);
+        out += std::string(",\"callsImport\":") + flag(s.callsImport);
+        appendSet(out, "globalsRead", s.globalsRead);
+        appendSet(out, "globalsWritten", s.globalsWritten);
+        appendSet(out, "callees", s.callees);
+        out += "}";
+    }
+    out += "]}";
+    return out;
+}
+
+} // namespace wasabi::static_analysis::interproc

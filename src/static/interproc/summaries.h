@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Per-function effect summaries, solved bottom-up over the refined
+ * call graph's SCC condensation — in parallel, the same way
+ * instrumentation is parallel across functions (paper §3).
+ *
+ * The summary lattice is a finite product of monotone components
+ * (booleans ordered false < true, sets ordered by inclusion), so the
+ * least fixpoint exists and is unique. One SCC is one solver unit:
+ * within an SCC every member reaches every other via paths that stay
+ * inside the SCC, so the per-SCC fixpoint is a single union over the
+ * members' direct effects plus the (already final) summaries of
+ * callee SCCs — no iteration needed. Workers pick up an SCC only once
+ * all its callee SCCs are solved (dependency counting over the
+ * condensation DAG); since each unit reads only finalized results and
+ * writes only its own rows, the outcome is the unique least fixpoint
+ * regardless of scheduling — which is what makes `--threads=1` and
+ * `--threads=N` byte-identical.
+ */
+
+#ifndef WASABI_STATIC_INTERPROC_SUMMARIES_H
+#define WASABI_STATIC_INTERPROC_SUMMARIES_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "static/interproc/refined_call_graph.h"
+#include "static/interproc/scc.h"
+#include "wasm/module.h"
+
+namespace wasabi::static_analysis::interproc {
+
+/** What one function (transitively) may do. For imported functions —
+ * and for calls through a host-visible table — the body is unknown:
+ * `callsImport` is set and subsumes any memory/global effect the host
+ * code might have. */
+struct EffectSummary {
+    bool readsMemory = false;
+    bool writesMemory = false;
+    bool growsMemory = false;
+    /** May execute a trapping instruction (unreachable, div/rem,
+     * float->int truncation, memory access, call_indirect). */
+    bool mayTrap = false;
+    /** May transfer control outside the module. */
+    bool callsImport = false;
+
+    /** Global indices read/written (sorted, deduplicated). */
+    std::vector<uint32_t> globalsRead;
+    std::vector<uint32_t> globalsWritten;
+
+    /** Transitive callee closure: every function some execution may
+     * enter from this one (sorted; includes self iff recursive). */
+    std::vector<uint32_t> callees;
+
+    bool operator==(const EffectSummary &other) const = default;
+
+    /** No observable effect beyond computing values: nothing written,
+     * no trap, no escape to the host. */
+    bool
+    effectFree() const
+    {
+        return !writesMemory && !growsMemory && !mayTrap &&
+               !callsImport && globalsWritten.empty();
+    }
+};
+
+/**
+ * Solve summaries for every function of validated module @p m with
+ * @p num_threads workers (clamped to at least 1). Deterministic:
+ * the result is the unique least fixpoint, independent of the worker
+ * count and scheduling.
+ */
+std::vector<EffectSummary>
+functionSummaries(const wasm::Module &m, const RefinedCallGraph &cg,
+                  unsigned num_threads = 1);
+
+/** Convenience overload building the refined graph internally. */
+std::vector<EffectSummary>
+functionSummaries(const wasm::Module &m, unsigned num_threads = 1);
+
+/** Deterministic JSON rendering (the `wasabi analyze --summaries`
+ * payload): one object per function, ascending, with sorted sets. */
+std::string
+summariesToJson(const wasm::Module &m, const RefinedCallGraph &cg,
+                const std::vector<EffectSummary> &summaries);
+
+} // namespace wasabi::static_analysis::interproc
+
+#endif // WASABI_STATIC_INTERPROC_SUMMARIES_H

@@ -1,0 +1,117 @@
+#include "static/interproc/table_layout.h"
+
+#include <algorithm>
+
+#include "wasm/opcode.h"
+
+namespace wasabi::static_analysis::interproc {
+
+using wasm::ElementSegment;
+using wasm::Module;
+using wasm::Opcode;
+
+namespace {
+
+/** The segment's offset if it is a plain `i32.const k; end`. */
+std::optional<uint32_t>
+constOffset(const ElementSegment &seg)
+{
+    if (seg.offset.size() != 2 ||
+        seg.offset[0].op != Opcode::I32Const ||
+        seg.offset[1].op != Opcode::End)
+        return std::nullopt;
+    return seg.offset[0].imm.i32v;
+}
+
+} // namespace
+
+TableLayout
+computeTableLayout(const Module &m)
+{
+    TableLayout layout;
+    layout.hasTable = !m.tables.empty();
+    if (layout.hasTable) {
+        const wasm::Table &t = m.tables[0];
+        layout.hostVisible = t.imported() || !t.exportNames.empty();
+        layout.slots.resize(t.limits.min);
+    }
+    // An imported table's instantiation-time size (and prior contents)
+    // are the host's business; the declared minimum is only a lower
+    // bound on what exists, not on what is null.
+    if (layout.hasTable && m.tables[0].imported())
+        layout.exact = false;
+
+    const uint32_t num_funcs = m.numFunctions();
+    for (uint32_t s = 0; s < m.elements.size(); ++s) {
+        const ElementSegment &seg = m.elements[s];
+
+        // Collect the target set first: valid indices feed the
+        // conservative type-matched union even when the exact slot
+        // layout is unknown.
+        for (uint32_t k = 0; k < seg.funcIdxs.size(); ++k) {
+            uint32_t fn = seg.funcIdxs[k];
+            if (fn >= num_funcs) {
+                layout.diags.warning(
+                    kLintTableFuncOutOfRange,
+                    "element segment " + std::to_string(s) +
+                        " entry " + std::to_string(k) +
+                        " names function " + std::to_string(fn) +
+                        ", but the module has only " +
+                        std::to_string(num_funcs) +
+                        " functions; entry ignored");
+                continue;
+            }
+            layout.segmentFuncs.push_back(fn);
+        }
+
+        std::optional<uint32_t> off = constOffset(seg);
+        if (!off) {
+            layout.diags.add(
+                Severity::Note, kLintTableNonConstOffset,
+                "element segment " + std::to_string(s) +
+                    " has a non-constant offset expression; the "
+                    "slot layout is unknown statically");
+            layout.exact = false;
+            continue;
+        }
+        if (static_cast<uint64_t>(*off) + seg.funcIdxs.size() >
+            layout.slots.size()) {
+            layout.diags.warning(
+                kLintTableSegmentOutOfRange,
+                "element segment " + std::to_string(s) +
+                    " (offset " + std::to_string(*off) + ", " +
+                    std::to_string(seg.funcIdxs.size()) +
+                    " entries) extends past the table's declared "
+                    "minimum size " +
+                    std::to_string(layout.slots.size()) +
+                    "; instantiation would trap");
+            layout.exact = false;
+            continue;
+        }
+        for (uint32_t k = 0; k < seg.funcIdxs.size(); ++k) {
+            uint32_t fn = seg.funcIdxs[k];
+            if (fn >= num_funcs)
+                continue; // diagnosed above
+            uint32_t slot = *off + k;
+            if (layout.slots[slot]) {
+                layout.diags.warning(
+                    kLintTableOverlap,
+                    "element segment " + std::to_string(s) +
+                        " overwrites table slot " +
+                        std::to_string(slot) + " (function " +
+                        std::to_string(*layout.slots[slot]) +
+                        " -> " + std::to_string(fn) +
+                        "); later segments win at instantiation");
+            }
+            layout.slots[slot] = fn;
+        }
+    }
+
+    std::sort(layout.segmentFuncs.begin(), layout.segmentFuncs.end());
+    layout.segmentFuncs.erase(std::unique(layout.segmentFuncs.begin(),
+                                          layout.segmentFuncs.end()),
+                              layout.segmentFuncs.end());
+    return layout;
+}
+
+} // namespace wasabi::static_analysis::interproc

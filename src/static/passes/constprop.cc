@@ -145,6 +145,8 @@ struct FactSink {
             facts->ifCond[key] = *v;
         else if (cls == OpClass::BrTable)
             facts->brTableIndex[key] = *v;
+        else if (cls == OpClass::CallIndirect)
+            facts->callIndirectIndex[key] = *v;
     }
 };
 
@@ -333,7 +335,9 @@ class ConstPropProblem {
               }
               case OpClass::CallIndirect: {
                 const wasm::FuncType &t = m_.types.at(in.imm.idx);
-                pop(); // table index
+                AbsConst idx = pop(); // table index
+                if (sink)
+                    sink->record(OpClass::CallIndirect, i, idx);
                 popN(t.params.size());
                 pushUnknown(t.results.size());
                 break;

@@ -37,11 +37,16 @@ struct ConstFacts {
     /** br_table locations whose index is always this constant. */
     std::unordered_map<uint64_t, uint32_t> brTableIndex;
 
+    /** call_indirect locations whose table index is always this
+     * constant (feeds the interprocedural call_indirect refinement
+     * and the call-hook narrowing plan). */
+    std::unordered_map<uint64_t, uint32_t> callIndirectIndex;
+
     bool
     empty() const
     {
         return brIfCond.empty() && ifCond.empty() &&
-               brTableIndex.empty();
+               brTableIndex.empty() && callIndirectIndex.empty();
     }
 };
 

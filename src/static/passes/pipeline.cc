@@ -5,6 +5,8 @@
 
 #include "core/control_stack.h"
 #include "core/static_info.h"
+#include "static/interproc/refined_call_graph.h"
+#include "static/interproc/summaries.h"
 #include "static/passes/branch_refine.h"
 #include "static/passes/constprop.h"
 #include "static/passes/deadstore.h"
@@ -33,6 +35,69 @@ emptyBlockPairs(const Module &m, uint32_t func_idx)
     }
     return pairs;
 }
+
+namespace {
+
+/** The lint.interproc.* findings: refined-graph-only dead functions,
+ * always-trapping or unresolvable indirect call sites, and reachable
+ * effect-free functions (from the summary solver). */
+void
+lintInterproc(const Module &m, const std::vector<bool> &base_dead,
+              Diagnostics &diags)
+{
+    interproc::RefinedCallGraph rcg(m);
+    diags.merge(rcg.table().diags);
+
+    for (uint32_t f : rcg.deadFunctions()) {
+        if (base_dead[f] || m.functions[f].imported())
+            continue; // already reported as lint.deadcode.function
+        diags.warning(kLintInterprocDeadFunction,
+                      "function is only reachable through indirect "
+                      "call sites the refinement proves it cannot "
+                      "take: dead under the refined call graph",
+                      f);
+    }
+
+    for (const interproc::CallSite &s : rcg.sites()) {
+        if (s.kind == interproc::SiteKind::IndirectNone) {
+            std::string why =
+                s.constIndex
+                    ? "its constant table index " +
+                          std::to_string(*s.constIndex) +
+                          " resolves to no callable function of the "
+                          "expected signature"
+                    : "no table entry matches the expected signature";
+            diags.warning(kLintInterprocNoTargets,
+                          "call_indirect has zero possible targets (" +
+                              why + "); it always traps",
+                          s.func, s.instr);
+        } else if (s.kind == interproc::SiteKind::IndirectUnknown) {
+            diags.add(Severity::Note, kLintInterprocUnresolvable,
+                      "call_indirect cannot be refined: the table is "
+                      "host-visible or its element layout is not "
+                      "statically known",
+                      s.func, s.instr);
+        }
+    }
+
+    std::vector<interproc::EffectSummary> summaries =
+        interproc::functionSummaries(m, rcg);
+    for (uint32_t f = 0; f < m.numFunctions(); ++f) {
+        if (m.functions[f].imported() || !rcg.reachable(f))
+            continue;
+        if (!m.funcType(f).results.empty())
+            continue; // computes a value; calls are not removable
+        if (summaries[f].effectFree()) {
+            diags.add(Severity::Note, kLintInterprocEffectFree,
+                      "reachable function has no observable effect "
+                      "(no writes, traps, or host calls) and no "
+                      "result: calls to it can be removed",
+                      f);
+        }
+    }
+}
+
+} // namespace
 
 Diagnostics
 lintModule(const Module &m)
@@ -115,6 +180,7 @@ lintModule(const Module &m)
                       f, begin);
         }
     }
+    lintInterproc(m, dead, diags);
     return diags;
 }
 
@@ -124,8 +190,15 @@ computePlan(const Module &m)
     core::HookOptimizationPlan plan;
     ReachabilityFacts reach = reachabilityFacts(m);
 
-    for (uint32_t f : reach.deadFunctions)
-        plan.deadFunctions.insert(f);
+    // Dead-function elision is widened to the refined call graph —
+    // a strict superset of reach.deadFunctions whenever constant-index
+    // call_indirect sites prune whole-table edges. The checker
+    // re-proves each claim against the same refined graph.
+    interproc::RefinedCallGraph rcg(m);
+    for (uint32_t f : rcg.deadFunctions()) {
+        if (!m.functions[f].imported())
+            plan.deadFunctions.insert(f);
+    }
 
     for (const UnreachableRange &r : reach.unreachableBlocks) {
         if (plan.deadFunctions.count(r.func))
@@ -158,6 +231,21 @@ computePlan(const Module &m)
             plan.elidedBegins.insert(bkey);
             plan.elidedEnds.insert(ekey);
         }
+    }
+
+    // Constant-index call_indirect sites with a unique proven target:
+    // narrow the indirect call_pre hook to the direct variant. The
+    // site kind already encodes every soundness gate (exact element
+    // layout, non-host-visible table, in-range slot, signature match).
+    for (const interproc::CallSite &s : rcg.sites()) {
+        if (s.kind != interproc::SiteKind::IndirectConst)
+            continue;
+        uint64_t key = core::packLoc({s.func, s.instr});
+        if (plan.deadFunctions.count(s.func) || plan.skips.count(key))
+            continue; // subsumed: no hooks at this site anyway
+        plan.constCallTargets[key] =
+            core::HookOptimizationPlan::CallTargetClaim{
+                *s.constIndex, s.targets[0]};
     }
     return plan;
 }
@@ -229,6 +317,24 @@ planToManifest(const core::HookOptimizationPlan &plan)
                std::to_string(loc.instr) + ", " +
                std::to_string(loc.instr + 1) + "]";
         first = false;
+    }
+    out += "],\n  \"callIndirectToCall\": [";
+    first = true;
+    {
+        std::vector<uint64_t> keys;
+        for (const auto &[key, _] : plan.constCallTargets)
+            keys.push_back(key);
+        std::sort(keys.begin(), keys.end());
+        for (uint64_t key : keys) {
+            core::Location loc = unpackLoc(key);
+            const auto &claim = plan.constCallTargets.at(key);
+            out += std::string(first ? "" : ", ") + "[" +
+                   std::to_string(loc.func) + ", " +
+                   std::to_string(loc.instr) + ", " +
+                   std::to_string(claim.tableIndex) + ", " +
+                   std::to_string(claim.target) + "]";
+            first = false;
+        }
     }
     out += "]\n}\n";
     return out;
@@ -447,6 +553,18 @@ class ManifestParser {
                     {static_cast<uint32_t>(r[0]),
                      static_cast<uint32_t>(r[1])})] =
                     static_cast<uint32_t>(r[2]);
+            return true;
+        }
+        if (key == "callIndirectToCall") {
+            if (!parseRows(4, rows))
+                return false;
+            for (const auto &r : rows)
+                plan.constCallTargets[core::packLoc(
+                    {static_cast<uint32_t>(r[0]),
+                     static_cast<uint32_t>(r[1])})] =
+                    core::HookOptimizationPlan::CallTargetClaim{
+                        static_cast<uint32_t>(r[2]),
+                        static_cast<uint32_t>(r[3])};
             return true;
         }
         if (key == "elidedBlocks") {

@@ -41,6 +41,15 @@ inline constexpr const char *kLintConstCondition =
 inline constexpr const char *kLintConstIndex =
     "lint.branch.const-index";
 inline constexpr const char *kLintEmptyBlock = "lint.block.empty";
+/** Interprocedural codes (refined call graph + effect summaries). */
+inline constexpr const char *kLintInterprocDeadFunction =
+    "lint.interproc.dead-function";
+inline constexpr const char *kLintInterprocNoTargets =
+    "lint.interproc.no-targets";
+inline constexpr const char *kLintInterprocUnresolvable =
+    "lint.interproc.unresolvable-indirect";
+inline constexpr const char *kLintInterprocEffectFree =
+    "lint.interproc.effect-free-function";
 /** @} */
 
 /**
@@ -53,8 +62,10 @@ Diagnostics lintModule(const wasm::Module &m);
 /**
  * Compute the hook-optimization plan for a validated module: skips
  * for CFG-unreachable sites (never at an `else`, whose begin hook
- * guards the — possibly live — else region), dead functions,
- * constant-index br_table narrowings, and empty-block begin/end
+ * guards the — possibly live — else region), dead functions (under
+ * the *refined* call graph, a superset of the whole-table
+ * approximation), constant-index br_table narrowings, constant-index
+ * call_indirect -> direct-call narrowings, and empty-block begin/end
  * elisions. Claims subsumed by a stronger one (sites inside dead
  * functions, elisions of skipped blocks) are omitted.
  */

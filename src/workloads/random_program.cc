@@ -355,12 +355,7 @@ class Generator {
                 break;
             }
             --callBudget_;
-            expr(ValType::I32, depth - 1); // argument
-            expr(ValType::I32, depth - 1); // index
-            f_->i32Const(kTableSize - 1);
-            f_->op(Opcode::I32And);
-            f_->callIndirect(
-                mb_.type(FuncType({ValType::I32}, {ValType::I32})));
+            emitIndirectCall(depth);
             break;
           }
           default: { // block expression
@@ -377,11 +372,44 @@ class Generator {
         }
     }
 
+    /**
+     * Emit `call_indirect` through the homogeneous [i32]->[i32] table
+     * slice, leaving the i32 result on the stack. The index is either
+     * a masked dynamic expression or — with constIndexIndirectPct —
+     * a plain in-range constant, the shape the interprocedural
+     * refinement resolves to a unique target. Both knob checks
+     * short-circuit before consuming randomness so the legacy streams
+     * (knobs at 0) are byte-exact.
+     */
+    void
+    emitIndirectCall(int depth)
+    {
+        expr(ValType::I32, depth - 1); // argument
+        if (opts_.constIndexIndirectPct > 0 &&
+            rng_.chance(static_cast<int>(opts_.constIndexIndirectPct))) {
+            f_->i32Const(static_cast<int32_t>(rng_.pick(kTableSize)));
+        } else {
+            expr(ValType::I32, depth - 1); // index
+            f_->i32Const(kTableSize - 1);
+            f_->op(Opcode::I32And);
+        }
+        f_->callIndirect(
+            mb_.type(FuncType({ValType::I32}, {ValType::I32})));
+    }
+
     // ----- statements ---------------------------------------------------
 
     void
     stmt(int depth)
     {
+        if (opts_.indirectCallPct > 0 && opts_.useTable &&
+            allowIndirect_ && !inLoop_ && callBudget_ > 0 &&
+            rng_.chance(static_cast<int>(opts_.indirectCallPct))) {
+            --callBudget_;
+            emitIndirectCall(depth);
+            f_->drop();
+            return;
+        }
         switch (rng_.pick(10)) {
           case 0: { // local.set
             ValType t = randType();

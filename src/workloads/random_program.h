@@ -34,6 +34,15 @@ struct RandomProgramOptions {
     bool useTable = true;
     bool useGlobals = true;
     bool useI64 = true;
+    /** Percent chance per statement to emit an extra `call_indirect`
+     * (result dropped). 0 keeps the legacy random stream byte-exact
+     * for existing seeds. */
+    uint32_t indirectCallPct = 0;
+    /** Of the emitted indirect calls, percent whose table index is a
+     * plain in-range `i32.const` — the shape the interprocedural
+     * refinement narrows to a direct-call hook. 0 = always dynamic
+     * (masked expression), preserving the legacy stream. */
+    uint32_t constIndexIndirectPct = 0;
 };
 
 /**

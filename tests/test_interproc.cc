@@ -1,0 +1,672 @@
+/**
+ * @file
+ * Tests of the interprocedural engine: Tarjan SCC condensation,
+ * element-segment layout resolution with structured diagnostics,
+ * per-site call_indirect refinement (constant-index narrowing, typed
+ * target sets, host-visibility soundness gates), the parallel
+ * bottom-up effect-summary solver and its determinism guarantee, the
+ * lint.interproc.* codes, the plan's call-target claims end to end
+ * (instrument -> check, manifest round trip, checker rejection of
+ * tampered claims), and the runtime's static-target reporting at
+ * narrowed sites.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/instrument.h"
+#include "runtime/runtime.h"
+#include "static/analyze.h"
+#include "static/call_graph.h"
+#include "static/check.h"
+#include "static/interproc/refined_call_graph.h"
+#include "static/interproc/scc.h"
+#include "static/interproc/summaries.h"
+#include "static/interproc/table_layout.h"
+#include "static/passes/pipeline.h"
+#include "wasm/builder.h"
+#include "wasm/validator.h"
+#include "workloads/polybench.h"
+#include "workloads/random_program.h"
+
+namespace wasabi::static_analysis::interproc {
+namespace {
+
+using core::HookKind;
+using core::HookSet;
+using wasm::FuncType;
+using wasm::FunctionBuilder;
+using wasm::Instr;
+using wasm::Module;
+using wasm::ModuleBuilder;
+using wasm::Opcode;
+using wasm::ValType;
+
+const FuncType kTableType({ValType::I32}, {ValType::I32});
+
+/** [i32]->[i32] function computing `arg + delta`. */
+uint32_t
+addConst(ModuleBuilder &mb, int32_t delta)
+{
+    return mb.addFunction(kTableType, "", [&](FunctionBuilder &f) {
+        f.localGet(0).i32Const(delta).op(Opcode::I32Add);
+    });
+}
+
+/**
+ * The strict-superset fixture: two table functions, a non-exported
+ * table, and an exported main whose only call is `call_indirect` with
+ * the constant index 1. The whole-table seed graph keeps both table
+ * functions alive; the refined graph proves slot 0 is never called.
+ */
+Module
+constIndexFixture(bool export_table = false)
+{
+    ModuleBuilder mb;
+    uint32_t f0 = addConst(mb, 10);
+    uint32_t f1 = addConst(mb, 20);
+    uint32_t type_idx = mb.type(kTableType);
+    mb.addFunction(FuncType({}, {ValType::I32}), "main",
+                   [&](FunctionBuilder &f) {
+                       f.i32Const(7);
+                       f.i32Const(1);
+                       f.callIndirect(type_idx);
+                   });
+    mb.table(2, 2);
+    mb.elem(0, {f0, f1});
+    Module m = mb.build();
+    if (export_table)
+        m.tables[0].exportNames.push_back("table");
+    wasm::validateModule(m);
+    return m;
+}
+
+// ----- SCC condensation ----------------------------------------------
+
+SccGraph
+condenseAdjacency(const std::vector<std::vector<uint32_t>> &g)
+{
+    return condense(static_cast<uint32_t>(g.size()),
+                    [&](uint32_t n) -> const std::vector<uint32_t> & {
+                        return g[n];
+                    });
+}
+
+TEST(Scc, MutualRecursionCollapsesIntoOneScc)
+{
+    // 0 <-> 1, both -> 2, 3 isolated.
+    SccGraph s = condenseAdjacency({{1, 2}, {0, 2}, {}, {}});
+    EXPECT_EQ(s.sccOf[0], s.sccOf[1]);
+    EXPECT_NE(s.sccOf[0], s.sccOf[2]);
+    ASSERT_EQ(s.numSccs(), 3u);
+    EXPECT_EQ(s.members[s.sccOf[0]], (std::vector<uint32_t>{0, 1}));
+    // Condensation edges exclude the intra-SCC 0<->1 pair.
+    EXPECT_EQ(s.succs[s.sccOf[0]],
+              (std::vector<uint32_t>{s.sccOf[2]}));
+    EXPECT_EQ(s.preds[s.sccOf[2]],
+              (std::vector<uint32_t>{s.sccOf[0]}));
+}
+
+TEST(Scc, AscendingIdsAreBottomUp)
+{
+    // A diamond plus a 3-cycle: every condensation edge must go from
+    // a higher SCC id to a lower one, so ascending order is bottom-up.
+    SccGraph s =
+        condenseAdjacency({{1, 2}, {3}, {3}, {4}, {5}, {3}, {0}});
+    for (uint32_t scc = 0; scc < s.numSccs(); ++scc) {
+        for (uint32_t callee : s.succs[scc])
+            EXPECT_LT(callee, scc);
+    }
+    // 3 -> 4 -> 5 -> 3 is one SCC.
+    EXPECT_EQ(s.sccOf[3], s.sccOf[4]);
+    EXPECT_EQ(s.sccOf[4], s.sccOf[5]);
+}
+
+TEST(Scc, SelfLoopIsItsOwnSccWithoutSelfEdge)
+{
+    SccGraph s = condenseAdjacency({{0, 1}, {}});
+    ASSERT_EQ(s.numSccs(), 2u);
+    EXPECT_EQ(s.members[s.sccOf[0]], (std::vector<uint32_t>{0}));
+    // succs never contain the SCC itself, even for self-loops.
+    EXPECT_EQ(s.succs[s.sccOf[0]],
+              (std::vector<uint32_t>{s.sccOf[1]}));
+}
+
+TEST(Scc, EmptyGraph)
+{
+    SccGraph s = condenseAdjacency({});
+    EXPECT_EQ(s.numSccs(), 0u);
+}
+
+// ----- table layout --------------------------------------------------
+
+TEST(TableLayout, ExactLayoutOfWellFormedSegments)
+{
+    Module m = constIndexFixture();
+    TableLayout t = computeTableLayout(m);
+    EXPECT_TRUE(t.hasTable);
+    EXPECT_FALSE(t.hostVisible);
+    EXPECT_TRUE(t.exact);
+    ASSERT_EQ(t.slots.size(), 2u);
+    EXPECT_EQ(t.slots[0], std::optional<uint32_t>(0));
+    EXPECT_EQ(t.slots[1], std::optional<uint32_t>(1));
+    EXPECT_EQ(t.segmentFuncs, (std::vector<uint32_t>{0, 1}));
+    EXPECT_TRUE(t.diags.empty());
+}
+
+TEST(TableLayout, OutOfRangeFunctionIndexIsDiagnosedAndDropped)
+{
+    // Regression: the seed StaticCallGraph silently folded any
+    // segment content into the target set, including indices past the
+    // function space (a hostile or truncated module).
+    Module m = constIndexFixture();
+    m.elements[0].funcIdxs.push_back(99);
+    TableLayout t = computeTableLayout(m);
+    EXPECT_TRUE(t.diags.hasCode(kLintTableFuncOutOfRange));
+    EXPECT_EQ(t.segmentFuncs, (std::vector<uint32_t>{0, 1}));
+    // The invalid entry also must not survive into the seed graph.
+    StaticCallGraph cg(m);
+    for (uint32_t f = 0; f < m.numFunctions(); ++f) {
+        for (uint32_t c : cg.callees(f))
+            EXPECT_LT(c, m.numFunctions());
+    }
+}
+
+TEST(TableLayout, OverlappingSegmentsDiagnosedLaterWins)
+{
+    ModuleBuilder mb;
+    uint32_t f0 = addConst(mb, 1);
+    uint32_t f1 = addConst(mb, 2);
+    mb.table(2, 2);
+    mb.elem(0, {f0, f0});
+    mb.elem(1, {f1}); // overwrites slot 1
+    Module m = mb.build();
+    TableLayout t = computeTableLayout(m);
+    EXPECT_TRUE(t.diags.hasCode(kLintTableOverlap));
+    // Later segments win at instantiation; the layout stays exact.
+    EXPECT_TRUE(t.exact);
+    ASSERT_EQ(t.slots.size(), 2u);
+    EXPECT_EQ(t.slots[0], std::optional<uint32_t>(f0));
+    EXPECT_EQ(t.slots[1], std::optional<uint32_t>(f1));
+}
+
+TEST(TableLayout, NonConstantOffsetDegradesToInexact)
+{
+    Module m = constIndexFixture();
+    m.elements[0].offset = {Instr::globalGet(0),
+                            Instr(Opcode::End)};
+    TableLayout t = computeTableLayout(m);
+    EXPECT_TRUE(t.diags.hasCode(kLintTableNonConstOffset));
+    EXPECT_FALSE(t.exact);
+    // The conservative union still includes the segment's functions.
+    EXPECT_EQ(t.segmentFuncs, (std::vector<uint32_t>{0, 1}));
+}
+
+TEST(TableLayout, SegmentPastTableMinimumDiagnosed)
+{
+    Module m = constIndexFixture();
+    m.elements[0].offset = {Instr::i32Const(1), Instr(Opcode::End)};
+    TableLayout t = computeTableLayout(m); // offset 1 + 2 funcs > min 2
+    EXPECT_TRUE(t.diags.hasCode(kLintTableSegmentOutOfRange));
+    EXPECT_FALSE(t.exact);
+}
+
+TEST(TableLayout, ImportedTableIsHostVisibleAndInexact)
+{
+    Module m = constIndexFixture();
+    m.tables[0].import = wasm::ImportRef{"env", "table"};
+    TableLayout t = computeTableLayout(m);
+    EXPECT_TRUE(t.hostVisible);
+    EXPECT_FALSE(t.exact);
+}
+
+// ----- refined call graph --------------------------------------------
+
+TEST(RefinedCallGraph, ConstantIndexResolvesToUniqueTarget)
+{
+    Module m = constIndexFixture();
+    RefinedCallGraph rcg(m);
+    // main: 0 i32.const 7 / 1 i32.const 1 / 2 call_indirect
+    const CallSite *site = rcg.siteAt(2, 2);
+    ASSERT_NE(site, nullptr);
+    EXPECT_EQ(site->kind, SiteKind::IndirectConst);
+    EXPECT_EQ(site->constIndex, std::optional<uint32_t>(1));
+    EXPECT_EQ(site->targets, (std::vector<uint32_t>{1}));
+}
+
+TEST(RefinedCallGraph, DeadFunctionsAreStrictSupersetOfSeed)
+{
+    // The acceptance fixture: seed whole-table reachability keeps both
+    // table functions alive; refinement proves slot 0 dead.
+    Module m = constIndexFixture();
+    std::vector<uint32_t> seed_dead = StaticCallGraph(m).deadFunctions();
+    std::vector<uint32_t> refined_dead =
+        RefinedCallGraph(m).deadFunctions();
+    EXPECT_TRUE(seed_dead.empty());
+    EXPECT_EQ(refined_dead, (std::vector<uint32_t>{0}));
+    EXPECT_TRUE(std::includes(refined_dead.begin(), refined_dead.end(),
+                              seed_dead.begin(), seed_dead.end()));
+}
+
+TEST(RefinedCallGraph, HostVisibleTableBlocksNarrowing)
+{
+    // Exporting the table lets the host rewrite any slot; the same
+    // constant-index site must degrade to an open target set.
+    Module m = constIndexFixture(/*export_table=*/true);
+    RefinedCallGraph rcg(m);
+    const CallSite *site = rcg.siteAt(2, 2);
+    ASSERT_NE(site, nullptr);
+    EXPECT_EQ(site->kind, SiteKind::IndirectUnknown);
+    // ... and every table function is reachable again (table = root).
+    EXPECT_TRUE(rcg.deadFunctions().empty());
+}
+
+TEST(RefinedCallGraph, DynamicIndexYieldsTypedTargetSet)
+{
+    ModuleBuilder mb;
+    uint32_t f0 = addConst(mb, 1);
+    uint32_t f1 = addConst(mb, 2);
+    uint32_t other = mb.addFunction(
+        FuncType({}, {ValType::I32}), "",
+        [&](FunctionBuilder &f) { f.i32Const(3); });
+    uint32_t type_idx = mb.type(kTableType);
+    mb.addFunction(FuncType({ValType::I32}, {ValType::I32}), "main",
+                   [&](FunctionBuilder &f) {
+                       f.i32Const(7);
+                       f.localGet(0);
+                       f.callIndirect(type_idx);
+                   });
+    mb.table(3, 3);
+    mb.elem(0, {f0, f1, other});
+    Module m = mb.build();
+    wasm::validateModule(m);
+
+    RefinedCallGraph rcg(m);
+    const CallSite *site = rcg.siteAt(3, 2);
+    ASSERT_NE(site, nullptr);
+    // Only the signature-matching slot occupants, not `other`.
+    EXPECT_EQ(site->kind, SiteKind::IndirectTyped);
+    EXPECT_EQ(site->targets, (std::vector<uint32_t>{f0, f1}));
+}
+
+TEST(RefinedCallGraph, SignatureMismatchAtConstantIndexHasNoTargets)
+{
+    ModuleBuilder mb;
+    uint32_t f0 = addConst(mb, 1);
+    uint32_t wrong = mb.type(FuncType({}, {ValType::F64}));
+    mb.addFunction(FuncType({}, {}), "main", [&](FunctionBuilder &f) {
+        f.i32Const(0);
+        f.callIndirect(wrong);
+        f.drop();
+    });
+    mb.table(1, 1);
+    mb.elem(0, {f0});
+    Module m = mb.build();
+
+    RefinedCallGraph rcg(m);
+    // main: 0 i32.const 0 / 1 call_indirect / 2 drop
+    const CallSite *site = rcg.siteAt(1, 1);
+    ASSERT_NE(site, nullptr);
+    EXPECT_EQ(site->kind, SiteKind::IndirectNone);
+    EXPECT_TRUE(site->targets.empty());
+}
+
+TEST(RefinedCallGraph, RefinedDotRendersPerSiteEdges)
+{
+    Module m = constIndexFixture();
+    std::string dot = refinedCallGraphDot(m);
+    // The proven-unique edge is bold and labeled with site + index;
+    // the dead slot-0 function renders dashed.
+    EXPECT_NE(dot.find("f2 -> f1"), std::string::npos) << dot;
+    EXPECT_NE(dot.find("style=bold"), std::string::npos) << dot;
+    EXPECT_NE(dot.find("[1]"), std::string::npos) << dot;
+    EXPECT_NE(dot.find("f0 [label=\"f0\", style=dashed]"),
+              std::string::npos)
+        << dot;
+}
+
+// ----- effect summaries ----------------------------------------------
+
+TEST(Summaries, DirectEffectsOfLeafFunctions)
+{
+    ModuleBuilder mb;
+    mb.memory(1, 1);
+    mb.global(ValType::I32, true, wasm::Value::makeI32(0));
+    mb.addFunction(FuncType({}, {}), "w", [&](FunctionBuilder &f) {
+        f.i32Const(0).i32Const(5).store(Opcode::I32Store);
+    });
+    mb.addFunction(FuncType({}, {ValType::I32}), "r",
+                   [&](FunctionBuilder &f) {
+                       f.globalGet(0);
+                   });
+    Module m = mb.build();
+    wasm::validateModule(m);
+
+    std::vector<EffectSummary> s = functionSummaries(m);
+    ASSERT_EQ(s.size(), 2u);
+    EXPECT_TRUE(s[0].writesMemory);
+    EXPECT_TRUE(s[0].mayTrap); // stores can go out of bounds
+    EXPECT_FALSE(s[0].readsMemory);
+    EXPECT_FALSE(s[1].mayTrap);
+    EXPECT_EQ(s[1].globalsRead, (std::vector<uint32_t>{0}));
+    EXPECT_TRUE(s[1].globalsWritten.empty());
+    EXPECT_TRUE(s[1].effectFree());
+    EXPECT_FALSE(s[0].effectFree());
+}
+
+TEST(Summaries, EffectsPropagateTransitively)
+{
+    ModuleBuilder mb;
+    mb.memory(1, 1);
+    uint32_t leaf =
+        mb.addFunction(FuncType({}, {}), "", [&](FunctionBuilder &f) {
+            f.i32Const(0).i32Const(5).store(Opcode::I32Store);
+        });
+    uint32_t mid =
+        mb.addFunction(FuncType({}, {}), "", [&](FunctionBuilder &f) {
+            f.call(leaf);
+        });
+    mb.addFunction(FuncType({}, {}), "main", [&](FunctionBuilder &f) {
+        f.call(mid);
+    });
+    Module m = mb.build();
+    wasm::validateModule(m);
+
+    std::vector<EffectSummary> s = functionSummaries(m);
+    EXPECT_TRUE(s[2].writesMemory);
+    EXPECT_TRUE(s[2].mayTrap);
+    // The callee closure is transitive.
+    EXPECT_EQ(s[2].callees, (std::vector<uint32_t>{leaf, mid}));
+    EXPECT_EQ(s[1].callees, (std::vector<uint32_t>{leaf}));
+    EXPECT_TRUE(s[0].callees.empty());
+}
+
+TEST(Summaries, RecursiveFunctionsIncludeThemselvesInClosure)
+{
+    ModuleBuilder mb;
+    // 0 <-> 1 mutual recursion (statically; never executed).
+    uint32_t f0_idx = 0, f1_idx = 1;
+    mb.addFunction(FuncType({}, {}), "a", [&](FunctionBuilder &f) {
+        f.block();
+        f.i32Const(0).brIf(0);
+        f.call(f1_idx);
+        f.end();
+    });
+    mb.addFunction(FuncType({}, {}), "b", [&](FunctionBuilder &f) {
+        f.block();
+        f.i32Const(0).brIf(0);
+        f.call(f0_idx);
+        f.end();
+    });
+    Module m = mb.build();
+    wasm::validateModule(m);
+
+    std::vector<EffectSummary> s = functionSummaries(m);
+    EXPECT_EQ(s[0].callees, (std::vector<uint32_t>{0, 1}));
+    EXPECT_EQ(s[1].callees, (std::vector<uint32_t>{0, 1}));
+}
+
+TEST(Summaries, ImportedCalleeSubsumesUnknownHostEffects)
+{
+    ModuleBuilder mb;
+    uint32_t imp = mb.importFunction("env", "host", FuncType({}, {}));
+    mb.addFunction(FuncType({}, {}), "main", [&](FunctionBuilder &f) {
+        f.call(imp);
+    });
+    Module m = mb.build();
+    wasm::validateModule(m);
+
+    std::vector<EffectSummary> s = functionSummaries(m);
+    EXPECT_TRUE(s[imp].callsImport);
+    EXPECT_TRUE(s[1].callsImport);
+    EXPECT_FALSE(s[1].effectFree());
+}
+
+TEST(Summaries, JsonIsByteIdenticalAcrossThreadCounts)
+{
+    // The determinism gate: the solver output is the unique least
+    // fixpoint, so worker count and scheduling cannot change a byte.
+    for (const auto &w : workloads::polybenchSuite(8)) {
+        std::string one = summariesJson(w.module, 1);
+        for (unsigned threads : {2u, 4u, 8u})
+            EXPECT_EQ(one, summariesJson(w.module, threads))
+                << w.name << " threads=" << threads;
+    }
+    for (uint64_t seed = 1; seed <= 4; ++seed) {
+        workloads::RandomProgramOptions opts;
+        opts.seed = seed;
+        opts.indirectCallPct = 25;
+        opts.constIndexIndirectPct = 50;
+        Module m = workloads::randomProgram(opts).module;
+        EXPECT_EQ(summariesJson(m, 1), summariesJson(m, 8))
+            << "random seed " << seed;
+    }
+}
+
+// ----- lint integration ----------------------------------------------
+
+TEST(InterprocLint, RefinedOnlyDeadFunctionReported)
+{
+    Module m = constIndexFixture();
+    Diagnostics d = passes::lintModule(m);
+    EXPECT_TRUE(d.hasCode(passes::kLintInterprocDeadFunction))
+        << toString(d);
+}
+
+TEST(InterprocLint, NoTargetSiteReported)
+{
+    ModuleBuilder mb;
+    uint32_t f0 = addConst(mb, 1);
+    uint32_t wrong = mb.type(FuncType({}, {ValType::F64}));
+    mb.addFunction(FuncType({}, {}), "main", [&](FunctionBuilder &f) {
+        f.i32Const(0);
+        f.callIndirect(wrong);
+        f.drop();
+    });
+    mb.table(1, 1);
+    mb.elem(0, {f0});
+    Module m = mb.build();
+    Diagnostics d = passes::lintModule(m);
+    EXPECT_TRUE(d.hasCode(passes::kLintInterprocNoTargets))
+        << toString(d);
+}
+
+TEST(InterprocLint, UnresolvableSiteOnHostVisibleTableReported)
+{
+    Module m = constIndexFixture(/*export_table=*/true);
+    Diagnostics d = passes::lintModule(m);
+    EXPECT_TRUE(d.hasCode(passes::kLintInterprocUnresolvable))
+        << toString(d);
+}
+
+TEST(InterprocLint, EffectFreeReachableFunctionReported)
+{
+    ModuleBuilder mb;
+    uint32_t pure =
+        mb.addFunction(FuncType({}, {}), "", [&](FunctionBuilder &f) {
+            uint32_t l = f.addLocal(ValType::I32);
+            f.i32Const(1).i32Const(2).op(Opcode::I32Add).localSet(l);
+        });
+    mb.addFunction(FuncType({}, {}), "main", [&](FunctionBuilder &f) {
+        f.call(pure);
+    });
+    Module m = mb.build();
+    wasm::validateModule(m);
+    Diagnostics d = passes::lintModule(m);
+    EXPECT_TRUE(d.hasCode(passes::kLintInterprocEffectFree))
+        << toString(d);
+}
+
+TEST(InterprocLint, TableDiagnosticsSurfaceInLint)
+{
+    Module m = constIndexFixture();
+    m.elements[0].funcIdxs.push_back(99);
+    Diagnostics d = passes::lintModule(m);
+    EXPECT_TRUE(d.hasCode(kLintTableFuncOutOfRange)) << toString(d);
+}
+
+// ----- plan integration + checker re-proof ---------------------------
+
+TEST(InterprocPlan, NarrowsConstIndexSiteAndWidensDeadElision)
+{
+    Module m = constIndexFixture();
+    core::HookOptimizationPlan plan = passes::computePlan(m);
+    EXPECT_EQ(plan.deadFunctions,
+              (std::unordered_set<uint32_t>{0}));
+    ASSERT_EQ(plan.constCallTargets.size(), 1u);
+    const auto &claim =
+        plan.constCallTargets.at(core::packLoc({2, 2}));
+    EXPECT_EQ(claim.tableIndex, 1u);
+    EXPECT_EQ(claim.target, 1u);
+}
+
+TEST(InterprocPlan, HostVisibleTableYieldsNoCallClaims)
+{
+    Module m = constIndexFixture(/*export_table=*/true);
+    core::HookOptimizationPlan plan = passes::computePlan(m);
+    EXPECT_TRUE(plan.constCallTargets.empty());
+    EXPECT_TRUE(plan.deadFunctions.empty());
+}
+
+TEST(InterprocPlan, NarrowedInstrumentationChecksClean)
+{
+    Module m = constIndexFixture();
+    core::HookOptimizationPlan plan = passes::computePlan(m);
+    core::InstrumentOptions iopts;
+    iopts.plan = &plan;
+    core::InstrumentResult r =
+        core::instrument(m, HookSet::all(), iopts);
+    Diagnostics d = checkInstrumentation(*r.info, r.module);
+    EXPECT_TRUE(d.empty()) << toString(d);
+}
+
+TEST(InterprocPlan, ManifestRoundTripPreservesCallClaims)
+{
+    Module m = constIndexFixture();
+    core::HookOptimizationPlan plan = passes::computePlan(m);
+    std::string error;
+    std::optional<core::HookOptimizationPlan> parsed =
+        passes::planFromManifest(passes::planToManifest(plan), &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    EXPECT_EQ(parsed->constCallTargets, plan.constCallTargets);
+    EXPECT_EQ(parsed->deadFunctions, plan.deadFunctions);
+
+    core::InstrumentOptions iopts;
+    iopts.plan = &*parsed;
+    core::InstrumentResult r =
+        core::instrument(m, HookSet::all(), iopts);
+    CheckOptions copts;
+    copts.plan = *parsed;
+    Diagnostics d = checkInstrumentation(m, r.module, copts);
+    EXPECT_TRUE(d.empty()) << toString(d);
+}
+
+TEST(InterprocPlan, CheckerRejectsTamperedCallTarget)
+{
+    // An attacker (or a stale manifest) claiming the wrong callee must
+    // be caught by the checker's re-proof, not trusted.
+    Module m = constIndexFixture();
+    core::HookOptimizationPlan plan = passes::computePlan(m);
+    core::InstrumentOptions iopts;
+    iopts.plan = &plan;
+    core::InstrumentResult r =
+        core::instrument(m, HookSet::all(), iopts);
+
+    core::HookOptimizationPlan tampered = plan;
+    tampered.constCallTargets.at(core::packLoc({2, 2})).target = 0;
+    CheckOptions copts;
+    copts.plan = tampered;
+    Diagnostics d = checkInstrumentation(m, r.module, copts);
+    EXPECT_TRUE(d.hasCode("check.manifest.bad-call-target"))
+        << toString(d);
+}
+
+TEST(InterprocPlan, CheckerRejectsCallClaimOnNonCallSite)
+{
+    Module m = constIndexFixture();
+    core::HookOptimizationPlan plan = passes::computePlan(m);
+    core::InstrumentOptions iopts;
+    iopts.plan = &plan;
+    core::InstrumentResult r =
+        core::instrument(m, HookSet::all(), iopts);
+
+    core::HookOptimizationPlan tampered = plan;
+    tampered.constCallTargets[core::packLoc({2, 0})] = {1, 1};
+    CheckOptions copts;
+    copts.plan = tampered;
+    Diagnostics d = checkInstrumentation(m, r.module, copts);
+    EXPECT_TRUE(d.hasCode("check.manifest.bad-call-target"))
+        << toString(d);
+}
+
+TEST(InterprocPlan, CheckerRejectsUnprovableClaimOnHostVisibleTable)
+{
+    // Instrument the host-visible variant unoptimized, then claim the
+    // narrowing anyway: the refined graph cannot prove it.
+    Module m = constIndexFixture(/*export_table=*/true);
+    core::InstrumentResult r = core::instrument(m, HookSet::all());
+
+    core::HookOptimizationPlan tampered;
+    tampered.constCallTargets[core::packLoc({2, 2})] = {1, 1};
+    CheckOptions copts;
+    copts.plan = tampered;
+    Diagnostics d = checkInstrumentation(m, r.module, copts);
+    EXPECT_TRUE(d.hasCode("check.manifest.bad-call-target"))
+        << toString(d);
+}
+
+// ----- runtime behavior at narrowed sites ----------------------------
+
+/** Records every onCallPre as (callee, table index or -1). */
+class CallRecorder final : public runtime::Analysis {
+  public:
+    core::HookSet hooks() const override
+    {
+        return {HookKind::Call};
+    }
+
+    std::vector<std::pair<uint32_t, int64_t>> calls;
+
+    void
+    onCallPre(runtime::Location, uint32_t func,
+              std::span<const wasm::Value>,
+              std::optional<uint32_t> table_index) override
+    {
+        calls.emplace_back(func,
+                           table_index ? static_cast<int64_t>(*table_index)
+                                       : -1);
+    }
+};
+
+TEST(InterprocRuntime, NarrowedSiteReportsStaticTargetAndIndex)
+{
+    // At a plan-narrowed call_indirect the direct call_pre hook has no
+    // runtime table-index argument; the runtime must report the
+    // statically proven callee and constant index instead of
+    // misreading the type-index immediate.
+    Module m = constIndexFixture();
+    core::HookOptimizationPlan plan = passes::computePlan(m);
+    ASSERT_FALSE(plan.constCallTargets.empty());
+    core::InstrumentOptions iopts;
+    iopts.plan = &plan;
+    core::InstrumentResult r =
+        core::instrument(m, HookSet::all(), iopts);
+
+    CallRecorder rec;
+    runtime::WasabiRuntime rt(r.info);
+    rt.addAnalysis(&rec);
+    auto inst = rt.instantiate(r.module);
+    interp::Interpreter interp;
+    std::vector<wasm::Value> out =
+        interp.invokeExport(*inst, "main", {});
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].i32(), 27u); // 7 + 20 through slot 1
+
+    ASSERT_EQ(rec.calls.size(), 1u);
+    EXPECT_EQ(rec.calls[0].first, 1u);  // original-space callee
+    EXPECT_EQ(rec.calls[0].second, 1);  // the constant table index
+}
+
+} // namespace
+} // namespace wasabi::static_analysis::interproc

@@ -17,7 +17,8 @@
  *                     [--no-split-i64] [--import-module=NAME]
  *                     [--no-side-tables] [--manifest=FILE] [--json]
  *   wasabi lint      <in.wasm> [--json]
- *   wasabi analyze   <in.wasm> [--json] [--dot=callgraph|cfg:FUNC]
+ *   wasabi analyze   <in.wasm> [--json] [--summaries] [--threads=N]
+ *                     [--dot=callgraph|refined|cfg:FUNC]
  *   wasabi help      [<command>]
  *   wasabi --version
  *
@@ -206,10 +207,11 @@ cmdInstrument(const std::vector<std::string> &args)
                 100.0 * out.size() / readFile(in_path).size());
     if (optimize) {
         std::printf("  optimization plan: %zu skips, %zu dead "
-                    "functions, %zu narrowed br_tables, %zu elided "
-                    "blocks\n",
+                    "functions, %zu narrowed br_tables, %zu narrowed "
+                    "call_indirects, %zu elided blocks\n",
                     plan.skips.size(), plan.deadFunctions.size(),
                     plan.constBrTableIndex.size(),
+                    plan.constCallTargets.size(),
                     plan.elidedBegins.size());
         if (!manifest_out.empty()) {
             std::string manifest =
@@ -462,10 +464,15 @@ int
 cmdAnalyze(const std::vector<std::string> &args)
 {
     std::string path, dot;
-    bool json = false;
+    bool json = false, summaries = false;
+    unsigned threads = 1;
     for (const std::string &a : args) {
         if (a == "--json")
             json = true;
+        else if (a == "--summaries")
+            summaries = true;
+        else if (a.rfind("--threads=", 0) == 0)
+            threads = static_cast<unsigned>(std::stoul(a.substr(10)));
         else if (a.rfind("--dot=", 0) == 0)
             dot = a.substr(6);
         else
@@ -478,9 +485,18 @@ cmdAnalyze(const std::vector<std::string> &args)
         std::fprintf(stderr, "INVALID: %s\n", err->c_str());
         return 1;
     }
+    if (summaries) {
+        std::fputs(
+            static_analysis::summariesJson(m, threads).c_str(), stdout);
+        std::fputs("\n", stdout);
+        return 0;
+    }
     if (!dot.empty()) {
         if (dot == "callgraph") {
             std::fputs(static_analysis::callGraphDot(m).c_str(), stdout);
+        } else if (dot == "refined") {
+            std::fputs(static_analysis::refinedCallGraphDot(m).c_str(),
+                       stdout);
         } else if (dot.rfind("cfg:", 0) == 0) {
             uint32_t f =
                 static_cast<uint32_t>(std::stoul(dot.substr(4)));
@@ -526,9 +542,10 @@ printUsage(std::FILE *to)
         "             any are violated\n"
         "  lint       <in.wasm> [--json]\n"
         "             static pass suite findings; exit 3 if any\n"
-        "  analyze    <in.wasm> [--json] [--dot=callgraph|cfg:FUNC]\n"
+        "  analyze    <in.wasm> [--json] [--summaries] [--threads=N]\n"
+        "             [--dot=callgraph|refined|cfg:FUNC]\n"
         "             per-function CFG statistics, dominator-based\n"
-        "             loop counts, dead functions\n"
+        "             loop counts, dead functions, effect summaries\n"
         "  help       [<command>], --help\n"
         "  --version\n",
         to);
@@ -624,11 +641,19 @@ printCommandHelp(const std::string &cmd, std::FILE *to)
             to);
     } else if (cmd == "analyze") {
         std::fputs(
-            "wasabi analyze <in.wasm> [--json]\n"
-            "               [--dot=callgraph|cfg:FUNC]\n"
+            "wasabi analyze <in.wasm> [--json] [--summaries]\n"
+            "               [--threads=N]\n"
+            "               [--dot=callgraph|refined|cfg:FUNC]\n"
             "  Static module report: per-function CFG statistics,\n"
             "  dominator-based loop counts, dead functions; or a\n"
-            "  Graphviz rendering of the call graph / one CFG.\n",
+            "  Graphviz rendering of the call graph / one CFG.\n"
+            "  --summaries solves interprocedural effect summaries\n"
+            "  (memory/global effects, may-trap, import escape,\n"
+            "  callee closure) over the refined call graph's SCC\n"
+            "  condensation with N workers and prints them as JSON;\n"
+            "  output is byte-identical for every N.\n"
+            "  --dot=refined renders per-site call_indirect edges:\n"
+            "  bold = proven unique target, dashed = unresolved.\n",
             to);
     } else {
         return false;
