@@ -11,14 +11,18 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <functional>
 #include <numeric>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analyses/instruction_mix.h"
 #include "core/instrument.h"
 #include "interp/interpreter.h"
+#include "obs/profile.h"
 #include "runtime/runtime.h"
 #include "wasm/encoder.h"
 #include "wasm/validator.h"
@@ -114,6 +118,39 @@ humanBytes(size_t bytes)
     else
         std::snprintf(buf, sizeof buf, "%zu B", bytes);
     return buf;
+}
+
+/**
+ * Write bench results as a wasabi-profile v1 document (the same schema
+ * `wasabi profile --json` emits) with the measurements under the
+ * "bench" section. @p fields are (key, raw JSON value) pairs — the
+ * caller formats numbers/arrays itself. The document is validated
+ * against the schema before it is written, so a bench can never emit
+ * a file that `wasabi profile --check=` rejects.
+ */
+inline void
+writeBenchProfileJson(
+    const std::string &path, const std::string &bench_name,
+    const std::vector<std::pair<std::string, std::string>> &fields)
+{
+    std::string j = "{\n  \"schema\": \"";
+    j += obs::kProfileSchemaName;
+    j += "\",\n  \"version\": " +
+         std::to_string(obs::kProfileSchemaVersion) +
+         ",\n  \"deterministic\": false,\n"
+         "  \"runtime\": {\"hookInvocations\": 0, \"perKind\": []},\n"
+         "  \"bench\": {\"name\": \"" +
+         bench_name + "\"";
+    for (const auto &[key, value] : fields)
+        j += ",\n    \"" + key + "\": " + value;
+    j += "\n  }\n}\n";
+    std::string error;
+    if (!obs::validateProfileJson(j, &error))
+        throw std::runtime_error("bench profile JSON invalid: " + error);
+    std::ofstream out(path);
+    if (!out)
+        throw std::runtime_error("cannot write " + path);
+    out << j;
 }
 
 /** Geometric mean. */

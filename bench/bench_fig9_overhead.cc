@@ -62,8 +62,19 @@ baselineSeconds(const workloads::Workload &w)
 int
 main(int argc, char **argv)
 {
-    const int n = argc > 1 ? std::atoi(argv[1]) : 14;
-    const int poly_subset = argc > 2 ? std::atoi(argv[2]) : 10;
+    std::vector<std::string> positional;
+    std::string json_out;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a.rfind("--json=", 0) == 0)
+            json_out = a.substr(7);
+        else
+            positional.push_back(a);
+    }
+    const int n = positional.size() > 0 ? std::atoi(positional[0].c_str())
+                                        : 14;
+    const int poly_subset =
+        positional.size() > 1 ? std::atoi(positional[1].c_str()) : 10;
 
     // A subset of PolyBench keeps the total bench time manageable; the
     // subset spans blas / solver / stencil categories.
@@ -93,6 +104,7 @@ main(int argc, char **argv)
         poly_base.push_back(baselineSeconds(w));
     double pdf_base = baselineSeconds(pdfkit);
 
+    std::string rows_json;
     for (core::HookKind kind : core::figureOrderHookKinds()) {
         core::HookSet set = core::HookSet::only(kind);
         double sum = 0;
@@ -103,6 +115,13 @@ main(int argc, char **argv)
         std::printf("%-12s %15.2fx %15.2fx\n", name(kind), poly_rel,
                     pdf_rel);
         std::fflush(stdout);
+        char row[160];
+        std::snprintf(row, sizeof row,
+                      "%s\n      {\"hook\": \"%s\", \"polybench\": "
+                      "%.4f, \"pdfkit\": %.4f}",
+                      rows_json.empty() ? "" : ",", name(kind),
+                      poly_rel, pdf_rel);
+        rows_json += row;
     }
 
     core::HookSet all = core::HookSet::all();
@@ -116,5 +135,19 @@ main(int argc, char **argv)
                 "begin/end 1.5-9.9x, load 1.8-20x, const 2-32x, "
                 "local 4-48.5x, binary 2.6-77.5x; all 49-163x, with "
                 "numeric kernels far above the real-world apps)\n");
+
+    if (!json_out.empty()) {
+        char all_row[128];
+        std::snprintf(all_row, sizeof all_row,
+                      "{\"polybench\": %.4f, \"pdfkit\": %.4f}",
+                      geomean(rels), pdf_all_rel);
+        writeBenchProfileJson(
+            json_out, "fig9_overhead",
+            {{"n", std::to_string(n)},
+             {"polybenchKernels", std::to_string(poly.size())},
+             {"perHook", "[" + rows_json + "\n    ]"},
+             {"all", all_row}});
+        std::printf("wrote %s\n", json_out.c_str());
+    }
     return 0;
 }

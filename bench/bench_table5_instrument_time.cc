@@ -55,8 +55,19 @@ printRow(const Row &row)
 int
 main(int argc, char **argv)
 {
-    const int reps = argc > 1 ? std::atoi(argv[1]) : 10;
-    const int n = argc > 2 ? std::atoi(argv[2]) : 20;
+    std::vector<std::string> positional;
+    std::string json_out;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a.rfind("--json=", 0) == 0)
+            json_out = a.substr(7);
+        else
+            positional.push_back(a);
+    }
+    const int reps =
+        positional.size() > 0 ? std::atoi(positional[0].c_str()) : 10;
+    const int n =
+        positional.size() > 1 ? std::atoi(positional[1].c_str()) : 20;
     const unsigned hw_threads =
         std::max(2u, std::thread::hardware_concurrency());
 
@@ -84,7 +95,8 @@ main(int argc, char **argv)
 
     workloads::Workload pdfkit =
         workloads::syntheticApp(workloads::AppSize::PdfkitLike);
-    printRow(measure(pdfkit.name, pdfkit.module, reps, 1));
+    Row pdfkit_row = measure(pdfkit.name, pdfkit.module, reps, 1);
+    printRow(pdfkit_row);
 
     workloads::Workload unreal =
         workloads::syntheticApp(workloads::AppSize::UnrealLike);
@@ -122,6 +134,23 @@ main(int argc, char **argv)
         std::printf("workers=%u: %8.2f ms +- %.2f  (speedup %.2fx)\n",
                     workers, s.mean * 1e3, s.stddev * 1e3,
                     base / s.mean);
+    }
+
+    if (!json_out.empty()) {
+        char buf[256];
+        std::snprintf(buf, sizeof buf,
+                      "{\"polybenchMeanMs\": %.4f, \"pdfkitMs\": %.4f, "
+                      "\"unrealMs\": %.4f, \"unrealParallelMs\": %.4f, "
+                      "\"parallelRatio\": %.4f, \"threads\": %u}",
+                      total_time / 30 * 1e3, pdfkit_row.time.mean * 1e3,
+                      unreal_1t.time.mean * 1e3,
+                      unreal_mt.time.mean * 1e3,
+                      unreal_mt.time.mean / unreal_1t.time.mean,
+                      hw_threads);
+        writeBenchProfileJson(json_out, "table5_instrument_time",
+                              {{"reps", std::to_string(reps)},
+                               {"results", buf}});
+        std::printf("wrote %s\n", json_out.c_str());
     }
     return 0;
 }

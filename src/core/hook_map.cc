@@ -342,18 +342,32 @@ HookMap::getOrAdd(const HookSpec &spec)
     {
         std::shared_lock lock(mutex_);
         auto it = byName_.find(key);
-        if (it != byName_.end())
+        if (it != byName_.end()) {
+            hits_.fetch_add(1, std::memory_order_relaxed);
             return it->second;
+        }
     }
+    misses_.fetch_add(1, std::memory_order_relaxed);
     std::unique_lock lock(mutex_);
     // Re-check: another thread may have inserted meanwhile.
     auto it = byName_.find(key);
     if (it != byName_.end())
         return it->second;
+    inserts_.fetch_add(1, std::memory_order_relaxed);
     uint32_t id = static_cast<uint32_t>(specs_.size());
     specs_.push_back(spec);
     byName_.emplace(std::move(key), id);
     return id;
+}
+
+HookMap::Stats
+HookMap::stats() const
+{
+    Stats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.inserts = inserts_.load(std::memory_order_relaxed);
+    return s;
 }
 
 uint32_t

@@ -16,6 +16,7 @@
 #ifndef WASABI_CORE_HOOK_MAP_H
 #define WASABI_CORE_HOOK_MAP_H
 
+#include <atomic>
 #include <optional>
 #include <shared_mutex>
 #include <string>
@@ -87,6 +88,16 @@ wasm::FuncType lowLevelType(const HookSpec &spec, bool split_i64);
  */
 class HookMap {
   public:
+    /** Lock-contention counters of the shared map (observability):
+     * a hit resolves under the shared lock, a miss upgrades to the
+     * exclusive lock, an insert actually created a new hook there
+     * (misses > inserts means another thread won the race). */
+    struct Stats {
+        uint64_t hits = 0;
+        uint64_t misses = 0;
+        uint64_t inserts = 0;
+    };
+
     /** Id of the hook for @p spec, creating it on demand. */
     uint32_t getOrAdd(const HookSpec &spec);
 
@@ -96,10 +107,16 @@ class HookMap {
     /** Snapshot of all specs, indexed by hook id. */
     std::vector<HookSpec> specs() const;
 
+    /** Snapshot of the hit/miss/insert counters. */
+    Stats stats() const;
+
   private:
     mutable std::shared_mutex mutex_;
     std::unordered_map<std::string, uint32_t> byName_;
     std::vector<HookSpec> specs_;
+    std::atomic<uint64_t> hits_{0};
+    std::atomic<uint64_t> misses_{0};
+    std::atomic<uint64_t> inserts_{0};
 };
 
 } // namespace wasabi::core

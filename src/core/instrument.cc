@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <chrono>
 #include <map>
 #include <thread>
 
@@ -827,43 +828,66 @@ remapFuncIdx(uint32_t idx, uint32_t num_orig_imports, uint32_t num_hooks)
 InstrumentResult
 instrument(const Module &m, HookSet hooks, const InstrumentOptions &opts)
 {
+    using Clock = std::chrono::steady_clock;
+    const auto t_begin = Clock::now();
+    auto since_begin = [&t_begin]() {
+        return static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - t_begin)
+                .count());
+    };
+
     const uint32_t num_funcs = m.numFunctions();
     HookMap hook_map;
     std::vector<FuncOut> outs(num_funcs);
+    InstrumentStats stats;
 
     // `cache` is per worker: it keeps the hot hook-id lookups off the
     // shared map's lock (paper §3: the monomorphization map is the
     // only synchronization point of the parallel instrumentation).
     auto work = [&](uint32_t f,
-                    std::unordered_map<std::string, uint32_t> &cache) {
+                    std::unordered_map<std::string, uint32_t> &cache,
+                    InstrumentStats::Worker &wstats) {
         if (!m.functions[f].imported()) {
             outs[f] =
                 FuncInstrumenter(m, f, hooks, opts, hook_map, cache)
                     .run();
+            ++wstats.functions;
         }
     };
 
     if (opts.numThreads <= 1) {
+        InstrumentStats::Worker wstats;
+        wstats.startNanos = since_begin();
         std::unordered_map<std::string, uint32_t> cache;
         for (uint32_t f = 0; f < num_funcs; ++f)
-            work(f, cache);
+            work(f, cache, wstats);
+        wstats.nanos = since_begin() - wstats.startNanos;
+        stats.workers.push_back(wstats);
     } else {
         std::atomic<uint32_t> next{0};
         std::vector<std::thread> threads;
+        stats.workers.resize(opts.numThreads);
         for (unsigned t = 0; t < opts.numThreads; ++t) {
-            threads.emplace_back([&]() {
+            threads.emplace_back([&, t]() {
+                InstrumentStats::Worker &wstats = stats.workers[t];
+                wstats.startNanos = since_begin();
                 std::unordered_map<std::string, uint32_t> cache;
                 while (true) {
                     uint32_t f = next.fetch_add(1);
                     if (f >= num_funcs)
-                        return;
-                    work(f, cache);
+                        break;
+                    work(f, cache, wstats);
                 }
+                wstats.nanos = since_begin() - wstats.startNanos;
             });
         }
         for (std::thread &t : threads)
             t.join();
     }
+    for (const InstrumentStats::Worker &w : stats.workers)
+        stats.functionsInstrumented += w.functions;
+    stats.hookMap = hook_map.stats();
 
     auto info = std::make_shared<StaticInfo>();
     info->original = m;
@@ -934,7 +958,10 @@ instrument(const Module &m, HookSet hooks, const InstrumentOptions &opts)
     // imports carry their mangled names as debug names).
     wasm::buildNameSection(out);
 
-    return InstrumentResult{std::move(out), std::move(info)};
+    stats.hooksGenerated = num_hooks;
+    stats.wallNanos = since_begin();
+    return InstrumentResult{std::move(out), std::move(info),
+                            std::move(stats)};
 }
 
 } // namespace wasabi::core

@@ -51,11 +51,45 @@ struct InstrumentOptions {
     const HookOptimizationPlan *plan = nullptr;
 };
 
+/**
+ * Instrumentation-phase metrics, always collected (the counters are
+ * per-worker and the clock is read only a handful of times per run,
+ * so the overhead is unmeasurable). The observability layer
+ * (`src/obs/`) ingests this verbatim for `wasabi profile`.
+ */
+struct InstrumentStats {
+    /** Wall time of the whole instrument() call. */
+    uint64_t wallNanos = 0;
+
+    /** One entry per worker thread of the parallel phase. */
+    struct Worker {
+        /** Functions this worker instrumented. */
+        uint64_t functions = 0;
+        /** Start of the worker's span, ns relative to instrument()
+         * entry (for trace-event rendering). */
+        uint64_t startNanos = 0;
+        /** Wall time of the worker's span. */
+        uint64_t nanos = 0;
+    };
+    std::vector<Worker> workers;
+
+    /** Shared hook-map lock statistics (readers/writer lock, §3). */
+    HookMap::Stats hookMap;
+
+    /** Total defined functions instrumented (= Σ workers[i].functions,
+     * deterministic for any thread count). */
+    uint64_t functionsInstrumented = 0;
+
+    /** Low-level hooks generated (on-demand monomorphization). */
+    uint64_t hooksGenerated = 0;
+};
+
 /** Result: the instrumented module plus the static info that the
  * runtime needs to drive high-level hooks. */
 struct InstrumentResult {
     wasm::Module module;
     std::shared_ptr<StaticInfo> info;
+    InstrumentStats stats;
 };
 
 /**

@@ -80,7 +80,12 @@ std::vector<Value>
 Interpreter::invoke(Instance &inst, uint32_t func_idx,
                     std::span<const Value> args)
 {
-    return callFunction(inst, func_idx, args, 0);
+    try {
+        return callFunction(inst, func_idx, args, 0);
+    } catch (const Trap &) {
+        ++stats_.traps;
+        throw;
+    }
 }
 
 std::vector<Value>
@@ -152,7 +157,7 @@ Interpreter::callFunction(Instance &inst, uint32_t func_idx,
                 throw Trap(TrapKind::FuelExhausted);
             --*inst.fuel();
         }
-        ++instrCount_;
+        ++stats_.instructions;
 
         const Instr &instr = body[pc];
         const OpInfo &info = wasm::opInfo(instr.op);
@@ -227,6 +232,7 @@ Interpreter::callFunction(Instance &inst, uint32_t func_idx,
             return results;
           }
           case OpClass::Call: {
+            ++stats_.calls;
             uint32_t callee = instr.imm.idx;
             const wasm::FuncType &ct = m.funcType(callee);
             std::vector<Value> call_args(ct.params.size());
@@ -239,6 +245,7 @@ Interpreter::callFunction(Instance &inst, uint32_t func_idx,
             break;
           }
           case OpClass::CallIndirect: {
+            ++stats_.calls;
             uint32_t table_idx = pop().i32();
             std::optional<uint32_t> callee = inst.table().get(table_idx);
             if (!callee)
@@ -281,6 +288,7 @@ Interpreter::callFunction(Instance &inst, uint32_t func_idx,
             inst.globalSet(instr.imm.idx, pop());
             break;
           case OpClass::Load: {
+            ++stats_.memoryOps;
             uint32_t addr = pop().i32();
             size_t width = accessWidth(instr.op);
             uint64_t raw =
@@ -289,6 +297,7 @@ Interpreter::callFunction(Instance &inst, uint32_t func_idx,
             break;
           }
           case OpClass::Store: {
+            ++stats_.memoryOps;
             Value v = pop();
             uint32_t addr = pop().i32();
             size_t width = accessWidth(instr.op);
@@ -297,9 +306,11 @@ Interpreter::callFunction(Instance &inst, uint32_t func_idx,
             break;
           }
           case OpClass::MemorySize:
+            ++stats_.memoryOps;
             stack.push_back(Value::makeI32(inst.memory().sizePages()));
             break;
           case OpClass::MemoryGrow: {
+            ++stats_.memoryOps;
             uint32_t delta = pop().i32();
             stack.push_back(Value::makeI32(inst.memory().grow(delta)));
             break;

@@ -16,6 +16,16 @@
 
 namespace wasabi::interp {
 
+/** Cheap execution counters, maintained on paths that already touch
+ * adjacent state (fuel, the instruction counter); the observability
+ * layer snapshots them after a run. */
+struct ExecStats {
+    uint64_t instructions = 0; ///< instructions retired
+    uint64_t calls = 0;        ///< call + call_indirect executed
+    uint64_t memoryOps = 0;    ///< load/store/memory.size/memory.grow
+    uint64_t traps = 0;        ///< traps propagated out of invoke()
+};
+
 /**
  * Executes functions of an Instance. Stateless between invocations
  * apart from configuration, so one Interpreter can be reused.
@@ -36,14 +46,17 @@ class Interpreter {
                                           std::span<const wasm::Value> args);
 
     /** Total instructions executed by this interpreter (statistics). */
-    uint64_t instructionsExecuted() const { return instrCount_; }
+    uint64_t instructionsExecuted() const { return stats_.instructions; }
+
+    /** All execution counters accumulated by this interpreter. */
+    const ExecStats &stats() const { return stats_; }
 
   private:
     std::vector<wasm::Value> callFunction(Instance &inst, uint32_t func_idx,
                                           std::span<const wasm::Value> args,
                                           size_t depth);
 
-    uint64_t instrCount_ = 0;
+    ExecStats stats_;
 };
 
 } // namespace wasabi::interp

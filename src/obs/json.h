@@ -1,0 +1,58 @@
+/**
+ * @file
+ * A minimal recursive-descent JSON reader for the observability
+ * layer: schema validation of profile JSON (`wasabi profile
+ * --check=`) and structural checks on Chrome trace-event output in
+ * tests. Parse-only — the profile writers emit JSON by hand, this
+ * reader verifies it. Not a general-purpose JSON library: numbers are
+ * doubles, \uXXXX escapes decode the code point naively (no surrogate
+ * pairs), and input size is bounded by the caller.
+ */
+
+#ifndef WASABI_OBS_JSON_H
+#define WASABI_OBS_JSON_H
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace wasabi::obs::json {
+
+/** One parsed JSON value (a small tagged tree). */
+struct Value {
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0;
+    std::string str;
+    std::vector<Value> array;
+    /** Insertion-ordered key/value pairs. */
+    std::vector<std::pair<std::string, Value>> object;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isBool() const { return kind == Kind::Bool; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** Member of an object by key; nullptr if absent (or not an
+     * object). */
+    const Value *find(const std::string &key) const;
+
+    /** Number rounded to uint64 (0 if not a number). */
+    uint64_t asU64() const;
+};
+
+/**
+ * Parse @p text as one JSON document (trailing whitespace allowed,
+ * trailing garbage rejected). Returns nullopt and fills @p error
+ * (if non-null) on malformed input.
+ */
+std::optional<Value> parse(const std::string &text, std::string *error);
+
+} // namespace wasabi::obs::json
+
+#endif // WASABI_OBS_JSON_H

@@ -17,9 +17,20 @@ WasabiRuntime::WasabiRuntime(std::shared_ptr<const StaticInfo> info)
 }
 
 void
-WasabiRuntime::addAnalysis(Analysis *analysis)
+WasabiRuntime::addAnalysis(Analysis *analysis, std::string name)
 {
     analyses_.push_back(analysis);
+    analysisNames_.push_back(std::move(name));
+    if (profiler_)
+        profiler_->setAnalysisNames(analysisNames_);
+}
+
+void
+WasabiRuntime::setProfiler(obs::ProfileCollector *profiler)
+{
+    profiler_ = profiler;
+    if (profiler_)
+        profiler_->setAnalysisNames(analysisNames_);
 }
 
 HookSet
@@ -43,6 +54,10 @@ WasabiRuntime::bindHooks(Linker &linker)
             core::lowLevelType(spec, /*split_i64=*/false);
         bound->argTypes.assign(logical.params.begin() + 2,
                                logical.params.end());
+        // Raw arity as dispatched on the wire: the split-i64 type's
+        // parameter count. Checked before reading any raw argument.
+        bound->expectedRawArgs =
+            core::lowLevelType(spec, info_->splitI64).params.size();
         bound_.push_back(bound);
         linker.func(info_->importModule, mangledName(spec),
                     [this, bound](Instance &inst,
@@ -53,10 +68,45 @@ WasabiRuntime::bindHooks(Linker &linker)
     }
 }
 
+void
+WasabiRuntime::validateHookImports(
+    const wasm::Module &instrumented_module) const
+{
+    for (const wasm::Function &f : instrumented_module.functions) {
+        if (!f.imported() || f.import->module != info_->importModule)
+            continue;
+        const core::HookSpec *spec = nullptr;
+        for (const core::HookSpec &s : info_->hooks) {
+            if (mangledName(s) == f.import->name) {
+                spec = &s;
+                break;
+            }
+        }
+        if (!spec) {
+            throw interp::LinkError(
+                "module imports unknown wasabi hook \"" +
+                info_->importModule + "." + f.import->name + "\"");
+        }
+        const wasm::FuncType &declared =
+            instrumented_module.types.at(f.typeIdx);
+        wasm::FuncType expected =
+            core::lowLevelType(*spec, info_->splitI64);
+        if (!(declared == expected)) {
+            throw interp::LinkError(
+                "hook import \"" + info_->importModule + "." +
+                f.import->name + "\" has type " + toString(declared) +
+                " but the runtime dispatches it as " +
+                toString(expected) +
+                " (module instrumented with different options?)");
+        }
+    }
+}
+
 std::unique_ptr<Instance>
 WasabiRuntime::instantiate(const wasm::Module &instrumented_module,
                            const Linker &extra)
 {
+    validateHookImports(instrumented_module);
     Linker linker;
     linker.merge(extra);
     bindHooks(linker);
@@ -91,16 +141,40 @@ WasabiRuntime::dispatch(const BoundHook &hook, Instance &inst,
                         std::span<const Value> raw_args)
 {
     const HookSpec &spec = hook.spec;
+    // Arity guard before any raw_args element is read: a hook called
+    // with the wrong argument count (hand-edited module, stale
+    // StaticInfo, mismatched splitI64) must trap with a diagnostic,
+    // not read past the caller's argument span.
+    if (raw_args.size() != hook.expectedRawArgs) {
+        throw interp::Trap(
+            interp::TrapKind::HostError,
+            "wasabi hook arity mismatch: \"" + mangledName(spec) +
+                "\" dispatched with " +
+                std::to_string(raw_args.size()) +
+                " raw argument(s), expected " +
+                std::to_string(hook.expectedRawArgs));
+    }
     ++invocations_;
+    const bool prof = profiler_ && profiler_->enabled();
+    const uint64_t t_begin = prof ? profiler_->now() : 0;
     Location loc{raw_args[0].i32(), raw_args[1].i32()};
     std::vector<Value> dyn;
     decodeArgs(hook, raw_args.subspan(2), dyn);
 
-    auto forEach = [this, &spec](HookKind kind, auto &&fn) {
+    auto forEach = [this, &spec, prof](HookKind kind, auto &&fn) {
         (void)spec;
-        for (Analysis *a : analyses_) {
-            if (a->hooks().has(kind))
+        for (size_t i = 0; i < analyses_.size(); ++i) {
+            Analysis *a = analyses_[i];
+            if (!a->hooks().has(kind))
+                continue;
+            if (prof) {
+                uint64_t t0 = profiler_->now();
                 fn(*a);
+                profiler_->addAnalysisHook(i, kind,
+                                           profiler_->now() - t0);
+            } else {
+                fn(*a);
+            }
         }
     };
 
@@ -284,6 +358,9 @@ WasabiRuntime::dispatch(const BoundHook &hook, Instance &inst,
                 [&](Analysis &a) { a.onReturn(loc, dyn); });
         break;
     }
+
+    if (prof)
+        profiler_->addDispatch(spec.kind, profiler_->now() - t_begin);
 }
 
 } // namespace wasabi::runtime

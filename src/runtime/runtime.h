@@ -11,9 +11,11 @@
 #define WASABI_RUNTIME_RUNTIME_H
 
 #include <memory>
+#include <string>
 
 #include "core/instrument.h"
 #include "interp/interpreter.h"
+#include "obs/profile.h"
 #include "runtime/analysis.h"
 
 namespace wasabi::runtime {
@@ -36,8 +38,15 @@ class WasabiRuntime {
   public:
     explicit WasabiRuntime(std::shared_ptr<const core::StaticInfo> info);
 
-    /** Register an analysis (not owned; must outlive the runtime). */
-    void addAnalysis(Analysis *analysis);
+    /** Register an analysis (not owned; must outlive the runtime).
+     * @p name labels the analysis in profile output; empty means
+     * "analysis <index>". */
+    void addAnalysis(Analysis *analysis, std::string name = "");
+
+    /** Attach a profile collector (not owned; may be null to detach).
+     * When attached and enabled, every dispatch is counted and timed
+     * per hook kind and attributed per analysis. */
+    void setProfiler(obs::ProfileCollector *profiler);
 
     /** Union of the analyses' hook sets — the set to instrument for. */
     static HookSet
@@ -51,10 +60,18 @@ class WasabiRuntime {
     void bindHooks(interp::Linker &linker);
 
     /** Convenience: bind hooks into a fresh linker (merged with
-     * @p extra) and instantiate the instrumented module. */
+     * @p extra) and instantiate the instrumented module. Validates
+     * first that every hook import the module declares has exactly
+     * the low-level type the runtime will dispatch with
+     * (@throws interp::LinkError otherwise — a mis-typed hook import
+     * must fail at link time, not corrupt dispatch later). */
     std::unique_ptr<interp::Instance>
     instantiate(const wasm::Module &instrumented_module,
                 const interp::Linker &extra = {});
+
+    /** The link-time hook-import type check, exposed for callers that
+     * bind hooks into their own linker. @throws interp::LinkError */
+    void validateHookImports(const wasm::Module &instrumented_module) const;
 
     const core::StaticInfo &info() const { return *info_; }
 
@@ -68,6 +85,11 @@ class WasabiRuntime {
         core::HookSpec spec;
         /** Logical (unsplit) dynamic argument types. */
         std::vector<wasm::ValType> argTypes;
+        /** Raw (wire) parameter count the low-level hook must be
+         * called with: 2 location args + the dynamic args with i64s
+         * split if the module was instrumented that way. Checked on
+         * every dispatch before any raw_args element is read. */
+        size_t expectedRawArgs = 2;
     };
 
     void dispatch(const BoundHook &hook, interp::Instance &inst,
@@ -81,8 +103,10 @@ class WasabiRuntime {
 
     std::shared_ptr<const core::StaticInfo> info_;
     std::vector<Analysis *> analyses_;
+    std::vector<std::string> analysisNames_;
     std::vector<std::shared_ptr<BoundHook>> bound_;
     uint64_t invocations_ = 0;
+    obs::ProfileCollector *profiler_ = nullptr;
 };
 
 } // namespace wasabi::runtime

@@ -94,6 +94,16 @@ ByteReader::readSLEB(int max_bits)
     int shift = 0;
     for (int i = 0; i < max_bytes; ++i) {
         uint8_t byte = readByte();
+        // In the last allowed byte only `r` bits carry value (the
+        // topmost of them is the sign); the bits above must all equal
+        // that sign bit, or the encoding smuggles in extra magnitude
+        // (spec: "unused bits must be a sign extension").
+        int r = max_bits - shift;
+        if (r < 7) {
+            uint8_t ext = static_cast<uint8_t>((byte & 0x7F) >> (r - 1));
+            if (ext != 0 && ext != (0x7F >> (r - 1)))
+                throw DecodeError("SLEB128 value too large");
+        }
         if (shift < 64)
             result |= static_cast<int64_t>(byte & 0x7F) << shift;
         shift += 7;

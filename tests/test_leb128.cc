@@ -97,6 +97,102 @@ TEST(ByteReader, ThrowsOnOverlongULEB)
     EXPECT_THROW(r.readULEB(32), DecodeError);
 }
 
+// --- spec boundary vectors ------------------------------------------
+// The wasm spec caps an uN/sN LEB at ceil(N/7) bytes and constrains
+// the final byte: for uN the spare bits must be zero, for sN the
+// unused bits must equal the sign extension of the value's sign bit.
+
+TEST(ByteReader, ULEBMaximalCanonicalFifthByteDecodes)
+{
+    // u32 max: 5th byte carries 4 significant bits (0x0F).
+    std::vector<uint8_t> bytes{0xFF, 0xFF, 0xFF, 0xFF, 0x0F};
+    ByteReader r(bytes);
+    EXPECT_EQ(r.readULEB(32), 0xFFFFFFFFull);
+}
+
+TEST(ByteReader, ULEBSpareBitsInFifthByteThrow)
+{
+    // Same as above but with a spare bit (bit 4) smuggled into the
+    // 5th byte: would need 33 value bits.
+    std::vector<uint8_t> bytes{0xFF, 0xFF, 0xFF, 0xFF, 0x1F};
+    ByteReader r(bytes);
+    EXPECT_THROW(r.readULEB(32), DecodeError);
+}
+
+TEST(ByteReader, ULEBNonCanonicalZeroPaddingIsLegal)
+{
+    // 0x80 0x00 is a redundant-but-legal 2-byte encoding of 0; the
+    // spec permits non-minimal encodings within the byte budget.
+    std::vector<uint8_t> bytes{0x80, 0x00};
+    ByteReader r(bytes);
+    EXPECT_EQ(r.readULEB(32), 0u);
+    EXPECT_TRUE(r.done());
+}
+
+TEST(ByteReader, SLEBOverlongThrows)
+{
+    // Six bytes exceed the s32 budget of ceil(32/7) = 5.
+    std::vector<uint8_t> bytes{0x80, 0x80, 0x80, 0x80, 0x80, 0x7F};
+    ByteReader r(bytes);
+    EXPECT_THROW(r.readSLEB(32), DecodeError);
+}
+
+TEST(ByteReader, SLEBBoundaryFifthByteDecodes)
+{
+    // INT32_MIN: 5th byte 0x78 = sign bit plus matching extension.
+    std::vector<uint8_t> min{0x80, 0x80, 0x80, 0x80, 0x78};
+    EXPECT_EQ(ByteReader(min).readSLEB(32), -0x80000000ll);
+    // INT32_MAX: 5th byte 0x07, extension bits all zero.
+    std::vector<uint8_t> max{0xFF, 0xFF, 0xFF, 0xFF, 0x07};
+    EXPECT_EQ(ByteReader(max).readSLEB(32), 0x7FFFFFFFll);
+}
+
+TEST(ByteReader, SLEBNonCanonicalExtensionBitsThrow)
+{
+    // 5th byte of an s32 has 4 value bits; bits above the sign bit
+    // must all equal it. 0x0F has sign bit 0 but ones above -> the
+    // encoding smuggles in magnitude beyond 32 bits.
+    std::vector<uint8_t> positive{0xFF, 0xFF, 0xFF, 0xFF, 0x0F};
+    EXPECT_THROW(ByteReader(positive).readSLEB(32), DecodeError);
+    // 0x70 has sign bit 1 but a zero among the extension bits.
+    std::vector<uint8_t> negative{0x80, 0x80, 0x80, 0x80, 0x70};
+    EXPECT_THROW(ByteReader(negative).readSLEB(32), DecodeError);
+    // Mixed extension bits (neither all-zero nor all-one).
+    std::vector<uint8_t> mixed{0xFF, 0xFF, 0xFF, 0xFF, 0x4F};
+    EXPECT_THROW(ByteReader(mixed).readSLEB(32), DecodeError);
+}
+
+TEST(ByteReader, SLEB33BoundaryVectors)
+{
+    // s33 (block types): 5th byte carries 5 value bits. 2^32 - 1 is
+    // representable...
+    std::vector<uint8_t> ok{0xFF, 0xFF, 0xFF, 0xFF, 0x0F};
+    EXPECT_EQ(ByteReader(ok).readSLEB(33), 0xFFFFFFFFll);
+    // ...but a spare bit above the s33 sign must still match it.
+    std::vector<uint8_t> bad{0xFF, 0xFF, 0xFF, 0xFF, 0x2F};
+    EXPECT_THROW(ByteReader(bad).readSLEB(33), DecodeError);
+}
+
+TEST(ByteReader, SLEB64FinalByteVectors)
+{
+    // s64: the 10th byte carries exactly 1 value bit, so its payload
+    // must be 0x00 or 0x7F.
+    std::vector<uint8_t> min{0x80, 0x80, 0x80, 0x80, 0x80,
+                             0x80, 0x80, 0x80, 0x80, 0x7F};
+    EXPECT_EQ(ByteReader(min).readSLEB(64),
+              -0x7FFFFFFFFFFFFFFFll - 1);
+    std::vector<uint8_t> max{0xFF, 0xFF, 0xFF, 0xFF, 0xFF,
+                             0xFF, 0xFF, 0xFF, 0xFF, 0x00};
+    EXPECT_EQ(ByteReader(max).readSLEB(64), 0x7FFFFFFFFFFFFFFFll);
+    // Any other payload in the 10th byte is malformed.
+    std::vector<uint8_t> bad{0xFF, 0xFF, 0xFF, 0xFF, 0xFF,
+                             0xFF, 0xFF, 0xFF, 0xFF, 0x01};
+    EXPECT_THROW(ByteReader(bad).readSLEB(64), DecodeError);
+    std::vector<uint8_t> bad2{0x80, 0x80, 0x80, 0x80, 0x80,
+                              0x80, 0x80, 0x80, 0x80, 0x3F};
+    EXPECT_THROW(ByteReader(bad2).readSLEB(64), DecodeError);
+}
+
 TEST(ByteReader, ReadsFixedWidthLittleEndian)
 {
     std::vector<uint8_t> bytes{0x78, 0x56, 0x34, 0x12,

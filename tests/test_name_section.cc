@@ -105,5 +105,62 @@ TEST(NameSection, InstrumentationRebuildsNamesForShiftedIndices)
     EXPECT_EQ(decoded.functions[0].debugName, "i32.const");
 }
 
+TEST(NameSection, InstrumentationRemapsManyNamesAndImports)
+{
+    // A module with a pre-existing import, several named defined
+    // functions (some unnamed in between), and calls between them:
+    // after hook-import injection every custom name must still point
+    // at the function that carried it, across an encode/decode
+    // roundtrip of the instrumented binary.
+    ModuleBuilder mb;
+    mb.importFunction("env", "host_log", FuncType({ValType::I32}, {}));
+    mb.addFunction(FuncType({}, {ValType::I32}), "first",
+                   [](FunctionBuilder &f) { f.i32Const(11); });
+    mb.addFunction(FuncType({}, {ValType::I32}), "",
+                   [](FunctionBuilder &f) { f.i32Const(22); });
+    mb.addFunction(FuncType({}, {ValType::I32}), "third",
+                   [](FunctionBuilder &f) {
+                       f.call(1);
+                       f.drop();
+                       f.i32Const(33);
+                   });
+    Module m = mb.build();
+    m.functions[1].debugName = "named_first";
+    // functions[2] deliberately unnamed.
+    m.functions[3].debugName = "named_third";
+    buildNameSection(m);
+
+    core::InstrumentResult r = core::instrument(
+        m, {core::HookKind::Const, core::HookKind::Call,
+            core::HookKind::Drop});
+    ASSERT_GE(r.info->hooks.size(), 3u);
+
+    Module decoded = decodeModule(encodeModule(r.module));
+    applyNameSection(decoded);
+
+    // Original-module imports and defined functions shifted by the
+    // number of injected hook imports; their names must have moved
+    // with them (located via exports, which the encoder also remaps).
+    uint32_t first = *decoded.findFuncExport("first");
+    uint32_t third = *decoded.findFuncExport("third");
+    EXPECT_EQ(decoded.functions[first].debugName, "named_first");
+    EXPECT_EQ(decoded.functions[third].debugName, "named_third");
+    // The non-hook import kept its import ref and gained no bogus name.
+    bool found_host_import = false;
+    for (const Function &f : decoded.functions) {
+        if (f.imported() && f.import->module == "env") {
+            EXPECT_EQ(f.import->name, "host_log");
+            found_host_import = true;
+        }
+    }
+    EXPECT_TRUE(found_host_import);
+    // Every hook import is named after its mangled hook, so the name
+    // count covers hooks + the two explicitly named functions.
+    size_t named = 0;
+    for (const Function &f : decoded.functions)
+        named += !f.debugName.empty();
+    EXPECT_EQ(named, r.info->hooks.size() + 2);
+}
+
 } // namespace
 } // namespace wasabi::wasm

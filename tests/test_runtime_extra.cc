@@ -10,6 +10,7 @@
 #include "core/instrument.h"
 #include "interp/interpreter.h"
 #include "runtime/runtime.h"
+#include "wasm/builder.h"
 #include "wasm/validator.h"
 #include "wasm/wat_parser.h"
 
@@ -190,6 +191,126 @@ TEST(RuntimeExtra, HooksBeforeTrappingInstructionStillFire)
     // reached (it sits after the instruction, which trapped).
     EXPECT_EQ(counter.consts, 1);
     EXPECT_EQ(counter.loads, 0);
+}
+
+// --- hook-dispatch hardening ----------------------------------------
+// Regression: a module whose hook import is mis-typed (fewer params
+// than the runtime dispatches with) used to make dispatch() read past
+// the caller's argument span. It must now fail loudly instead.
+
+/** Instrument a one-const module so the StaticInfo carries exactly
+ * the i32.const hook spec. */
+InstrumentResult
+constHookInfo()
+{
+    wasm::ModuleBuilder mb;
+    mb.addFunction(wasm::FuncType({}, {wasm::ValType::I32}), "main",
+                   [](wasm::FunctionBuilder &f) { f.i32Const(7); });
+    return instrument(mb.build(), HookSet::only(HookKind::Const));
+}
+
+TEST(DispatchHardening, MistypedHookImportFailsAtLinkTime)
+{
+    InstrumentResult r = constHookInfo();
+    // Tamper: retype the i32.const hook import to (i32) -> () — one
+    // param instead of (func, instr, value).
+    Module tampered = r.module;
+    for (wasm::Function &f : tampered.functions) {
+        if (f.imported() && f.import->module == "wasabi")
+            f.typeIdx = tampered.addType(
+                wasm::FuncType({wasm::ValType::I32}, {}));
+    }
+    Recorder rec(HookSet::only(HookKind::Const));
+    WasabiRuntime rt(r.info);
+    rt.addAnalysis(&rec);
+    EXPECT_THROW(rt.instantiate(tampered), interp::LinkError);
+    try {
+        rt.instantiate(tampered);
+        FAIL() << "expected LinkError";
+    } catch (const interp::LinkError &e) {
+        EXPECT_NE(std::string(e.what()).find("i32.const"),
+                  std::string::npos);
+    }
+}
+
+TEST(DispatchHardening, UnknownHookImportFailsAtLinkTime)
+{
+    InstrumentResult r = constHookInfo();
+    Module tampered = r.module;
+    for (wasm::Function &f : tampered.functions) {
+        if (f.imported() && f.import->module == "wasabi")
+            f.import->name = "no.such.hook";
+    }
+    Recorder rec(HookSet::only(HookKind::Const));
+    WasabiRuntime rt(r.info);
+    rt.addAnalysis(&rec);
+    EXPECT_THROW(rt.instantiate(tampered), interp::LinkError);
+}
+
+TEST(DispatchHardening, ShortArgumentSpanTrapsInsteadOfOOBRead)
+{
+    // Bypass the link-time check by binding the hooks into a plain
+    // Linker and instantiating a handcrafted module that imports the
+    // i32.const hook with only ONE parameter and calls it: the raw
+    // argument span at dispatch is shorter than (func, instr, value).
+    InstrumentResult r = constHookInfo();
+    wasm::ModuleBuilder mb;
+    mb.importFunction("wasabi", "i32.const",
+                      wasm::FuncType({wasm::ValType::I32}, {}));
+    mb.addFunction(wasm::FuncType({}, {}), "main",
+                   [](wasm::FunctionBuilder &f) {
+                       f.i32Const(7);
+                       f.call(0);
+                   });
+    Module caller = mb.build();
+    ASSERT_EQ(validationError(caller), std::nullopt);
+
+    Recorder rec(HookSet::only(HookKind::Const));
+    WasabiRuntime rt(r.info);
+    rt.addAnalysis(&rec);
+    interp::Linker linker;
+    rt.bindHooks(linker);
+    auto inst = interp::Instance::instantiate(caller, linker);
+    Interpreter interp;
+    try {
+        interp.invokeExport(*inst, "main", {});
+        FAIL() << "expected a trap";
+    } catch (const Trap &t) {
+        EXPECT_EQ(t.kind(), interp::TrapKind::HostError);
+        EXPECT_NE(std::string(t.what()).find("arity"),
+                  std::string::npos);
+    }
+    EXPECT_TRUE(rec.events.empty());
+    EXPECT_EQ(rt.hookInvocations(), 0u);
+}
+
+TEST(DispatchHardening, OversizedArgumentSpanTrapsToo)
+{
+    InstrumentResult r = constHookInfo();
+    wasm::ModuleBuilder mb;
+    mb.importFunction("wasabi", "i32.const",
+                      wasm::FuncType({wasm::ValType::I32,
+                                      wasm::ValType::I32,
+                                      wasm::ValType::I32,
+                                      wasm::ValType::I32},
+                                     {}));
+    mb.addFunction(wasm::FuncType({}, {}), "main",
+                   [](wasm::FunctionBuilder &f) {
+                       f.i32Const(0).i32Const(0).i32Const(7).i32Const(9);
+                       f.call(0);
+                   });
+    Module caller = mb.build();
+    ASSERT_EQ(validationError(caller), std::nullopt);
+
+    Recorder rec(HookSet::only(HookKind::Const));
+    WasabiRuntime rt(r.info);
+    rt.addAnalysis(&rec);
+    interp::Linker linker;
+    rt.bindHooks(linker);
+    auto inst = interp::Instance::instantiate(caller, linker);
+    Interpreter interp;
+    EXPECT_THROW(interp.invokeExport(*inst, "main", {}), Trap);
+    EXPECT_EQ(rt.hookInvocations(), 0u);
 }
 
 } // namespace

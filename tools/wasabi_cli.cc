@@ -19,6 +19,11 @@
  *   wasabi lint      <in.wasm> [--json]
  *   wasabi analyze   <in.wasm> [--json] [--summaries] [--threads=N]
  *                     [--dot=callgraph|refined|cfg:FUNC]
+ *   wasabi profile   <in.wasm> [--analysis=NAME] [--hooks=...]
+ *                     [--entry=NAME] [--arg=...] [--threads=N]
+ *                     [--json] [--deterministic] [--out=FILE]
+ *                     [--trace-out=FILE]
+ *   wasabi profile   --check=FILE
  *   wasabi help      [<command>]
  *   wasabi --version
  *
@@ -44,6 +49,7 @@
 #include "analyses/taint.h"
 #include "core/instrument.h"
 #include "interp/interpreter.h"
+#include "obs/profile.h"
 #include "static/analyze.h"
 #include "static/check.h"
 #include "static/passes/pipeline.h"
@@ -90,6 +96,15 @@ writeFile(const std::string &path, const std::vector<uint8_t> &bytes)
         throw std::runtime_error("cannot write " + path);
     out.write(reinterpret_cast<const char *>(bytes.data()),
               static_cast<std::streamsize>(bytes.size()));
+}
+
+void
+writeTextFile(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path);
+    if (!out)
+        throw std::runtime_error("cannot write " + path);
+    out << text;
 }
 
 /** Load a module from .wasm binary or .wat text (by content). */
@@ -161,7 +176,8 @@ int
 cmdInstrument(const std::vector<std::string> &args)
 {
     std::string in_path, out_path, hooks = "all", manifest_out;
-    bool optimize = false;
+    std::string profile_out;
+    bool optimize = false, profile = false;
     core::InstrumentOptions opts;
     for (const std::string &a : args) {
         if (a.rfind("--hooks=", 0) == 0)
@@ -175,6 +191,10 @@ cmdInstrument(const std::vector<std::string> &args)
             optimize = true;
         else if (a.rfind("--manifest-out=", 0) == 0)
             manifest_out = a.substr(15);
+        else if (a == "--profile")
+            profile = true;
+        else if (a.rfind("--profile-out=", 0) == 0)
+            profile_out = a.substr(14);
         else if (in_path.empty())
             in_path = a;
         else
@@ -185,7 +205,11 @@ cmdInstrument(const std::vector<std::string> &args)
     if (!manifest_out.empty() && !optimize)
         throw UsageError(
             "--manifest-out requires --optimize-hooks");
-    wasm::Module m = loadModule(in_path);
+    obs::ProfileCollector collector(profile || !profile_out.empty());
+    wasm::Module m = [&] {
+        obs::ProfileCollector::ScopedPhase p(&collector, "decode");
+        return loadModule(in_path);
+    }();
     core::HookOptimizationPlan plan;
     if (optimize) {
         if (auto err = wasm::validationError(m))
@@ -194,9 +218,15 @@ cmdInstrument(const std::vector<std::string> &args)
         plan = static_analysis::passes::computePlan(m);
         opts.plan = &plan;
     }
-    core::InstrumentResult r =
-        core::instrument(m, parseHooks(hooks), opts);
-    std::vector<uint8_t> out = wasm::encodeModule(r.module);
+    core::InstrumentResult r = [&] {
+        obs::ProfileCollector::ScopedPhase p(&collector, "instrument");
+        return core::instrument(m, parseHooks(hooks), opts);
+    }();
+    collector.recordInstrumentation(r.stats);
+    std::vector<uint8_t> out = [&] {
+        obs::ProfileCollector::ScopedPhase p(&collector, "encode");
+        return wasm::encodeModule(r.module);
+    }();
     writeFile(out_path, out);
     std::printf("instrumented %s -> %s\n", in_path.c_str(),
                 out_path.c_str());
@@ -226,6 +256,10 @@ cmdInstrument(const std::vector<std::string> &args)
                         manifest_out.c_str(), manifest_out.c_str());
         }
     }
+    if (!profile_out.empty())
+        writeTextFile(profile_out, collector.toJson());
+    else if (profile)
+        std::fputs(collector.toText().c_str(), stdout);
     return 0;
 }
 
@@ -297,13 +331,18 @@ printReport(const std::string &name, runtime::Analysis &a,
 int
 cmdRun(const std::vector<std::string> &args)
 {
-    std::string path, entry = "main", analysis = "mix";
+    std::string path, entry = "main", analysis = "mix", profile_out;
+    bool profile = false;
     std::vector<wasm::Value> call_args;
     for (const std::string &a : args) {
         if (a.rfind("--entry=", 0) == 0) {
             entry = a.substr(8);
         } else if (a.rfind("--analysis=", 0) == 0) {
             analysis = a.substr(11);
+        } else if (a == "--profile") {
+            profile = true;
+        } else if (a.rfind("--profile-out=", 0) == 0) {
+            profile_out = a.substr(14);
         } else if (a.rfind("--arg=i32:", 0) == 0) {
             call_args.push_back(wasm::Value::makeI32(
                 static_cast<uint32_t>(std::stoll(a.substr(10)))));
@@ -319,15 +358,31 @@ cmdRun(const std::vector<std::string> &args)
     }
     if (path.empty())
         throw UsageError("usage: run <in.wasm> [opts]");
-    wasm::Module m = loadModule(path);
+    obs::ProfileCollector collector(profile || !profile_out.empty());
+    wasm::Module m = [&] {
+        obs::ProfileCollector::ScopedPhase p(&collector, "decode");
+        return loadModule(path);
+    }();
     auto a = makeAnalysis(analysis);
-    core::InstrumentResult r = core::instrument(
-        m, runtime::WasabiRuntime::requiredHooks({a.get()}));
+    core::InstrumentResult r = [&] {
+        obs::ProfileCollector::ScopedPhase p(&collector, "instrument");
+        return core::instrument(
+            m, runtime::WasabiRuntime::requiredHooks({a.get()}));
+    }();
+    collector.recordInstrumentation(r.stats);
     runtime::WasabiRuntime rt(r.info);
-    rt.addAnalysis(a.get());
+    rt.addAnalysis(a.get(), analysis);
+    if (collector.enabled())
+        rt.setProfiler(&collector);
     auto inst = rt.instantiate(r.module);
     interp::Interpreter interp;
-    auto results = interp.invokeExport(*inst, entry, call_args);
+    auto results = [&] {
+        obs::ProfileCollector::ScopedPhase p(&collector, "execute");
+        return interp.invokeExport(*inst, entry, call_args);
+    }();
+    const interp::ExecStats &es = interp.stats();
+    collector.setInterpCounters(obs::InterpCounters{
+        es.instructions, es.calls, es.memoryOps, es.traps});
     std::printf("%s(", entry.c_str());
     for (size_t i = 0; i < call_args.size(); ++i)
         std::printf("%s%s", i ? ", " : "",
@@ -337,6 +392,117 @@ cmdRun(const std::vector<std::string> &args)
         std::printf("%s ", toString(v).c_str());
     std::printf("\n\n--- %s analysis ---\n", analysis.c_str());
     printReport(analysis, *a, m);
+    if (!profile_out.empty())
+        writeTextFile(profile_out, collector.toJson());
+    else if (profile)
+        std::fputs(collector.toText().c_str(), stdout);
+    return 0;
+}
+
+int
+cmdProfile(const std::vector<std::string> &args)
+{
+    std::string path, entry, analysis = "mix", out_path, trace_out;
+    std::string check_path;
+    bool json = false, deterministic = false;
+    core::InstrumentOptions iopts;
+    std::string hooks;
+    std::vector<wasm::Value> call_args;
+    for (const std::string &a : args) {
+        if (a.rfind("--entry=", 0) == 0)
+            entry = a.substr(8);
+        else if (a.rfind("--analysis=", 0) == 0)
+            analysis = a.substr(11);
+        else if (a.rfind("--hooks=", 0) == 0)
+            hooks = a.substr(8);
+        else if (a.rfind("--threads=", 0) == 0)
+            iopts.numThreads =
+                static_cast<unsigned>(std::stoul(a.substr(10)));
+        else if (a == "--json")
+            json = true;
+        else if (a == "--deterministic")
+            deterministic = true;
+        else if (a.rfind("--out=", 0) == 0)
+            out_path = a.substr(6);
+        else if (a.rfind("--trace-out=", 0) == 0)
+            trace_out = a.substr(12);
+        else if (a.rfind("--check=", 0) == 0)
+            check_path = a.substr(8);
+        else if (a.rfind("--arg=i32:", 0) == 0)
+            call_args.push_back(wasm::Value::makeI32(
+                static_cast<uint32_t>(std::stoll(a.substr(10)))));
+        else if (a.rfind("--arg=i64:", 0) == 0)
+            call_args.push_back(wasm::Value::makeI64(
+                static_cast<uint64_t>(std::stoll(a.substr(10)))));
+        else if (a.rfind("--arg=f64:", 0) == 0)
+            call_args.push_back(
+                wasm::Value::makeF64(std::stod(a.substr(10))));
+        else
+            path = a;
+    }
+
+    // Validation mode: check an existing profile JSON against the
+    // schema and exit.
+    if (!check_path.empty()) {
+        std::vector<uint8_t> bytes = readFile(check_path);
+        std::string error;
+        if (!obs::validateProfileJson(
+                std::string(bytes.begin(), bytes.end()), &error)) {
+            std::fprintf(stderr, "%s: %s\n", check_path.c_str(),
+                         error.c_str());
+            return 1;
+        }
+        std::printf("%s: valid %s v%d\n", check_path.c_str(),
+                    obs::kProfileSchemaName, obs::kProfileSchemaVersion);
+        return 0;
+    }
+
+    if (path.empty())
+        throw UsageError(
+            "usage: profile <in.wasm> [opts] | profile --check=FILE");
+    obs::ProfileCollector collector;
+    wasm::Module m = [&] {
+        obs::ProfileCollector::ScopedPhase p(&collector, "decode");
+        return loadModule(path);
+    }();
+    auto a = makeAnalysis(analysis);
+    core::HookSet hook_set =
+        hooks.empty() ? runtime::WasabiRuntime::requiredHooks({a.get()})
+                      : parseHooks(hooks);
+    core::InstrumentResult r = [&] {
+        obs::ProfileCollector::ScopedPhase p(&collector, "instrument");
+        return core::instrument(m, hook_set, iopts);
+    }();
+    collector.recordInstrumentation(r.stats);
+    runtime::WasabiRuntime rt(r.info);
+    rt.addAnalysis(a.get(), analysis);
+    rt.setProfiler(&collector);
+    auto inst = rt.instantiate(r.module);
+    // PolyBench workloads export `kernel`, applications `main`; with
+    // no explicit --entry try both.
+    if (entry.empty()) {
+        entry = "main";
+        if (!m.findFuncExport(entry) && m.findFuncExport("kernel"))
+            entry = "kernel";
+    }
+    interp::Interpreter interp;
+    {
+        obs::ProfileCollector::ScopedPhase p(&collector, "execute");
+        interp.invokeExport(*inst, entry, call_args);
+    }
+    const interp::ExecStats &es = interp.stats();
+    collector.setInterpCounters(obs::InterpCounters{
+        es.instructions, es.calls, es.memoryOps, es.traps});
+
+    if (!trace_out.empty())
+        writeTextFile(trace_out, collector.toChromeTrace());
+    std::string report = json || !out_path.empty() || deterministic
+                             ? collector.toJson(deterministic)
+                             : collector.toText();
+    if (!out_path.empty())
+        writeTextFile(out_path, report);
+    else
+        std::fputs(report.c_str(), stdout);
     return 0;
 }
 
@@ -533,6 +699,7 @@ printUsage(std::FILE *to)
         "  run        <in.wasm> [--entry=NAME] [--analysis=mix|blocks|\n"
         "             icov|branch|callgraph|taint|miner|mem]\n"
         "             [--arg=i32:N] [--arg=i64:N] [--arg=f64:X]\n"
+        "             [--profile] [--profile-out=FILE]\n"
         "  gen        <polybench:NAME[:N]|random:SEED|app:SIZE> "
         "<out.wasm>\n"
         "  check      <orig.wasm> <instrumented.wasm> [--hooks=h1,h2]\n"
@@ -546,6 +713,13 @@ printUsage(std::FILE *to)
         "             [--dot=callgraph|refined|cfg:FUNC]\n"
         "             per-function CFG statistics, dominator-based\n"
         "             loop counts, dead functions, effect summaries\n"
+        "  profile    <in.wasm> [--analysis=NAME] [--hooks=h1,h2]\n"
+        "             [--entry=NAME] [--arg=...] [--threads=N]\n"
+        "             [--json] [--deterministic] [--out=FILE]\n"
+        "             [--trace-out=FILE]  |  profile --check=FILE\n"
+        "             instrument + execute with full observability:\n"
+        "             phase times, per-hook-kind dispatch counts,\n"
+        "             interpreter counters, Chrome trace output\n"
         "  help       [<command>], --help\n"
         "  --version\n",
         to);
@@ -590,10 +764,43 @@ printCommandHelp(const std::string &cmd, std::FILE *to)
         std::fputs(
             "wasabi run <in.wasm> [--entry=NAME] [--analysis=NAME]\n"
             "           [--arg=i32:N] [--arg=i64:N] [--arg=f64:X]\n"
+            "           [--profile] [--profile-out=FILE]\n"
             "  Instrument, instantiate and execute the module with a\n"
             "  dynamic analysis attached (default entry `main`,\n"
             "  default analysis `mix`). Analyses: mix, blocks, icov,\n"
-            "  branch, callgraph, taint, miner, mem.\n",
+            "  branch, callgraph, taint, miner, mem.\n"
+            "  --profile prints a profile table after the analysis\n"
+            "  report; --profile-out=FILE writes the wasabi-profile\n"
+            "  JSON document instead.\n",
+            to);
+    } else if (cmd == "profile") {
+        std::fputs(
+            "wasabi profile <in.wasm> [options]\n"
+            "wasabi profile --check=FILE\n"
+            "  Instrument and execute the module with the\n"
+            "  observability layer attached, then report:\n"
+            "    - decode/instrument/encode/execute phase wall times\n"
+            "    - per-worker-thread instrumentation spans and the\n"
+            "      hook-map readers/writer-lock hit/miss/insert counts\n"
+            "    - per-hook-kind dispatch counts and cumulative time,\n"
+            "      attributed per analysis\n"
+            "    - interpreter counters (instructions, calls, memory\n"
+            "      ops, traps)\n"
+            "  --analysis=NAME    analysis to attach (default mix)\n"
+            "  --hooks=h1,h2|all  override the instrumented hook set\n"
+            "  --entry=NAME       entry export (default: main, then\n"
+            "                     kernel)\n"
+            "  --arg=i32:N ...    entry arguments\n"
+            "  --threads=N        parallel instrumentation workers\n"
+            "  --json             emit wasabi-profile JSON (v1)\n"
+            "  --deterministic    JSON with timings zeroed and\n"
+            "                     schedule-dependent sections omitted;\n"
+            "                     byte-identical for any --threads=N\n"
+            "  --out=FILE         write the report to FILE\n"
+            "  --trace-out=FILE   also write Chrome trace-event JSON\n"
+            "                     (load in Perfetto / about:tracing)\n"
+            "  --check=FILE       validate FILE against the\n"
+            "                     wasabi-profile schema and exit\n",
             to);
     } else if (cmd == "gen") {
         std::fputs(
@@ -709,6 +916,8 @@ main(int argc, char **argv)
             return cmdLint(args);
         if (cmd == "analyze")
             return cmdAnalyze(args);
+        if (cmd == "profile")
+            return cmdProfile(args);
         std::fprintf(stderr, "wasabi: unknown command '%s'\n",
                      cmd.c_str());
         return usage();
