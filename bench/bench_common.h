@@ -75,12 +75,14 @@ class EmptyAnalysis final : public runtime::Analysis {
     core::HookSet set_;
 };
 
-/** Run a workload uninstrumented; returns wall seconds. */
+/** Run a workload uninstrumented on @p engine; returns wall seconds. */
 inline double
-runOriginalSeconds(const workloads::Workload &w)
+runOriginalSeconds(const workloads::Workload &w,
+                   interp::EngineKind engine = interp::EngineKind::Fast)
 {
     auto inst = interp::Instance::instantiate(w.module, interp::Linker());
     interp::Interpreter interp;
+    interp.engine = engine;
     return timeSeconds(
         [&] { interp.invokeExport(*inst, w.entry, w.args); });
 }

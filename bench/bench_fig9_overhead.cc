@@ -57,6 +57,15 @@ baselineSeconds(const workloads::Workload &w)
     return t[2];
 }
 
+/** Median-of-3 uninstrumented seconds on a specific engine. */
+double
+engineSeconds(const workloads::Workload &w, interp::EngineKind engine)
+{
+    return median3(runOriginalSeconds(w, engine),
+                   runOriginalSeconds(w, engine),
+                   runOriginalSeconds(w, engine));
+}
+
 } // namespace
 
 int
@@ -64,10 +73,13 @@ main(int argc, char **argv)
 {
     std::vector<std::string> positional;
     std::string json_out;
+    bool engines_only = false;
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
         if (a.rfind("--json=", 0) == 0)
             json_out = a.substr(7);
+        else if (a == "--engines-only")
+            engines_only = true;
         else
             positional.push_back(a);
     }
@@ -90,6 +102,52 @@ main(int argc, char **argv)
     }
     workloads::Workload pdfkit =
         workloads::syntheticApp(workloads::AppSize::PdfkitLike);
+
+    // --- Engine comparison: legacy structured walker vs pre-decoded
+    // engine, uninstrumented, per kernel (median of 3 each). ---
+    std::printf("=== Execution engines: legacy walker vs pre-decoded "
+                "(uninstrumented) ===\n");
+    std::printf("%-16s %12s %12s %10s\n", "kernel", "legacy(s)",
+                "fast(s)", "speedup");
+    std::fflush(stdout);
+    std::string engines_rows;
+    std::vector<double> speedups;
+    for (const auto &w : poly) {
+        double legacy_s = engineSeconds(w, interp::EngineKind::Legacy);
+        double fast_s = engineSeconds(w, interp::EngineKind::Fast);
+        double sp = fast_s > 0 ? legacy_s / fast_s : 0;
+        speedups.push_back(sp);
+        std::printf("%-16s %12.4f %12.4f %9.2fx\n", w.name.c_str(),
+                    legacy_s, fast_s, sp);
+        std::fflush(stdout);
+        char row[192];
+        std::snprintf(row, sizeof row,
+                      "%s\n      {\"kernel\": \"%s\", \"legacySeconds\":"
+                      " %.6f, \"fastSeconds\": %.6f, \"speedup\": %.4f}",
+                      engines_rows.empty() ? "" : ",", w.name.c_str(),
+                      legacy_s, fast_s, sp);
+        engines_rows += row;
+    }
+    double engine_geomean = geomean(speedups);
+    std::printf("%-16s %35.2fx (geomean)\n\n", "GEOMEAN",
+                engine_geomean);
+    char geo_buf[64];
+    std::snprintf(geo_buf, sizeof geo_buf, "%.4f", engine_geomean);
+    std::string engines_json = "{\"perKernel\": [" + engines_rows +
+                               "\n    ], \"geomeanSpeedup\": " + geo_buf +
+                               "}";
+
+    if (engines_only) {
+        if (!json_out.empty()) {
+            writeBenchProfileJson(
+                json_out, "fig9_overhead",
+                {{"n", std::to_string(n)},
+                 {"polybenchKernels", std::to_string(poly.size())},
+                 {"engines", engines_json}});
+            std::printf("wrote %s\n", json_out.c_str());
+        }
+        return 0;
+    }
 
     std::printf("=== Figure 9: relative runtime per instrumented hook "
                 "(empty analysis) ===\n");
@@ -145,6 +203,7 @@ main(int argc, char **argv)
             json_out, "fig9_overhead",
             {{"n", std::to_string(n)},
              {"polybenchKernels", std::to_string(poly.size())},
+             {"engines", engines_json},
              {"perHook", "[" + rows_json + "\n    ]"},
              {"all", all_row}});
         std::printf("wrote %s\n", json_out.c_str());

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * The pre-decoded internal code format of the fast execution engine.
+ *
+ * Each defined function is translated once per instance into a flat
+ * array of fixed-size FInstr slots with the control side table fused
+ * in: branch targets are absolute code indices, branch arities and
+ * operand-stack unwind heights are immediate operands, locals are
+ * frame-relative slots, and call_indirect type checks compare
+ * pre-canonicalized type ids. No `opInfo()` lookups, label stacks or
+ * `byInstr` side-table reads remain at runtime.
+ *
+ * Fuel and ExecStats accounting is batched: only "charge point" ops
+ * (control transfers, calls, and anything that can trap or has
+ * effects observable after a trap) carry a non-zero `charge` — the
+ * number of source instructions retired since the previous charge
+ * point, inclusive. Pure stack ops between charge points execute with
+ * zero bookkeeping, yet the accounting stays exactly equivalent to
+ * the legacy per-instruction scheme on every path, including
+ * mid-block fuel exhaustion (see DESIGN.md §9).
+ */
+
+#ifndef WASABI_INTERP_ENGINE_CODE_H
+#define WASABI_INTERP_ENGINE_CODE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "wasm/module.h"
+
+namespace wasabi::interp::engine {
+
+/**
+ * Internal opcodes, X-macro'd so the computed-goto jump table in
+ * engine.cc is generated in lockstep with the enum. Grouped by
+ * dispatch shape, not by source opcode.
+ */
+#define WASABI_ENGINE_FOPS(X)                                           \
+    /* accounting & control */                                          \
+    X(Charge)      /* flush batched accounting at a join point */       \
+    X(Jump)        /* a=target (else -> end) */                         \
+    X(Br)          /* a=target, aux=keep, b=unwind slot */              \
+    X(BrIf)        /* pop cond; branch if true */                       \
+    X(BrIfNot)     /* pop cond; branch if false (lowered `if`) */       \
+    X(BrTable)     /* pop idx; a=pool start, b=entry count */           \
+    X(Return)      /* aux=result arity */                               \
+    X(End)         /* function end: aux=arity, checked frame exit */    \
+    X(FrameExit)   /* branch-to-function-label landing pad, no charge */\
+    X(Call)        /* a=callee func idx */                              \
+    X(CallHost)    /* a=callee func idx, b=param count */               \
+    X(CallIndirect) /* a=canonical type id */                           \
+    X(Unreachable)                                                      \
+    /* parametric & variables */                                        \
+    X(Drop)                                                             \
+    X(Select)                                                           \
+    X(LocalGet)    /* a=slot */                                         \
+    X(LocalSet)                                                         \
+    X(LocalTee)                                                         \
+    X(GlobalGet)   /* a=global idx */                                   \
+    X(GlobalSet)                                                        \
+    /* memory (all charge points; a=static offset) */                   \
+    X(I32Load)                                                          \
+    X(I64Load)                                                          \
+    X(F32Load)                                                          \
+    X(F64Load)                                                          \
+    X(LoadExt)     /* narrow/extending loads; aux=source opcode */      \
+    X(I32Store)                                                         \
+    X(I64Store)                                                         \
+    X(F32Store)                                                         \
+    X(F64Store)                                                         \
+    X(StoreNarrow) /* aux=access width in bytes */                      \
+    X(MemorySize)                                                       \
+    X(MemoryGrow)                                                       \
+    /* constants */                                                     \
+    X(Const)       /* b=bits, aux=ValType */                            \
+    /* generic numerics (aux=source opcode) */                          \
+    X(UnaryPure)                                                        \
+    X(UnaryTrap)   /* float->int truncations (charge point) */          \
+    X(BinaryPure)                                                       \
+    X(BinaryTrap)  /* integer div/rem (charge point) */                 \
+    /* specialized hot numerics (batched) */                            \
+    X(I32Add)                                                           \
+    X(I32Sub)                                                           \
+    X(I32Mul)                                                           \
+    X(I32And)                                                           \
+    X(I32Or)                                                            \
+    X(I32Xor)                                                           \
+    X(I32Shl)                                                           \
+    X(I32ShrS)                                                          \
+    X(I32ShrU)                                                          \
+    X(I32Eqz)                                                           \
+    X(I32Eq)                                                            \
+    X(I32Ne)                                                            \
+    X(I32LtS)                                                           \
+    X(I32LtU)                                                           \
+    X(I32GtS)                                                           \
+    X(I32GtU)                                                           \
+    X(I32LeS)                                                           \
+    X(I32LeU)                                                           \
+    X(I32GeS)                                                           \
+    X(I32GeU)                                                           \
+    X(I64Add)                                                           \
+    X(F32Add)                                                           \
+    X(F32Mul)                                                           \
+    X(F64Add)                                                           \
+    X(F64Sub)                                                           \
+    X(F64Mul)                                                           \
+    X(F64Div)
+
+enum class FOp : uint8_t {
+#define WASABI_ENGINE_ENUM(name) name,
+    WASABI_ENGINE_FOPS(WASABI_ENGINE_ENUM)
+#undef WASABI_ENGINE_ENUM
+};
+
+/** One pre-decoded instruction slot (16 bytes). */
+struct FInstr {
+    FOp op = FOp::Charge;
+    uint8_t aux = 0;     ///< small operand: keep arity, opcode, type
+    uint16_t charge = 0; ///< batched source instructions to account
+    uint32_t a = 0;      ///< target pc / slot / index / mem offset
+    uint64_t b = 0;      ///< const bits / unwind slot / param count
+};
+
+static_assert(sizeof(FInstr) == 16, "FInstr packs into one 16-byte slot");
+
+/** One br_table target (pool entry). */
+struct BrTarget {
+    uint32_t pc = 0;     ///< absolute code index
+    uint32_t keep = 0;   ///< values the branch carries
+    uint32_t slot = 0;   ///< frame-relative unwind destination slot
+};
+
+/** A translated function body plus its frame layout. */
+struct CompiledFunction {
+    std::vector<FInstr> code;
+    std::vector<BrTarget> tablePool; ///< br_table targets, by segment
+    /** Zero values of the non-parameter locals, copied on entry. */
+    std::vector<wasm::Value> localInit;
+    uint32_t numParams = 0;
+    uint32_t numLocals = 0;   ///< params + declared locals
+    uint32_t maxOperand = 0;  ///< static peak operand-stack height
+    uint32_t resultArity = 0;
+    bool compiled = false;
+
+    /** Value-stack slots one frame of this function needs. */
+    size_t frameSlots() const { return numLocals + maxOperand; }
+};
+
+/**
+ * Per-instance translation cache: one CompiledFunction slot per
+ * function (translated lazily, on first call), plus structural type
+ * canonicalization so call_indirect checks are integer compares.
+ * Slots are pre-sized so FInstr arrays and CompiledFunction pointers
+ * stay stable while execution is in progress.
+ */
+class CompiledModule {
+  public:
+    explicit CompiledModule(const wasm::Module &module);
+
+    const wasm::Module &module() const { return module_; }
+
+    /** Translated code of defined function @p func_idx; translates on
+     * first use. @throws Trap(InternalError) for untranslatable
+     * (invalid) bodies. */
+    const CompiledFunction &function(uint32_t func_idx);
+
+    /** Canonical (structure-deduplicated) id of a type index. */
+    uint32_t canonicalType(uint32_t type_idx) const
+    {
+        return typeCanon_[type_idx];
+    }
+
+    /** Canonical type id of a function's signature. */
+    uint32_t funcCanonicalType(uint32_t func_idx) const
+    {
+        return funcTypeCanon_[func_idx];
+    }
+
+  private:
+    const wasm::Module &module_;
+    std::vector<CompiledFunction> funcs_;
+    std::vector<uint32_t> typeCanon_;
+    std::vector<uint32_t> funcTypeCanon_;
+};
+
+/** Translate one defined function (exposed for tests). */
+CompiledFunction translateFunction(const wasm::Module &module,
+                                   uint32_t func_idx,
+                                   const CompiledModule &cm);
+
+} // namespace wasabi::interp::engine
+
+#endif // WASABI_INTERP_ENGINE_CODE_H

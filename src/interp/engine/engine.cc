@@ -1,0 +1,628 @@
+/**
+ * @file
+ * The fast engine's inner loop: a computed-goto (switch fallback)
+ * dispatcher over pre-decoded FInstr code running on one contiguous
+ * value stack with an explicit frame stack. Locals live in the value
+ * stack (a call's arguments become the callee's first locals in
+ * place), so calls allocate nothing.
+ *
+ * Hot state — instruction pointer, stack pointer, locals base, memory
+ * base/size, globals base, fuel, stat counters — is held in locals
+ * and synced back to the Instance/ExecStats at the points where it
+ * can be observed: host calls, memory growth, and unwind.
+ */
+
+#include <bit>
+#include <cstring>
+
+#include "interp/engine/code.h"
+#include "interp/engine/engine.h"
+#include "interp/numerics.h"
+
+namespace wasabi::interp::engine {
+
+using wasm::Opcode;
+using wasm::Value;
+using wasm::ValType;
+
+// All narrow loads/stores assemble values bytewise little-endian via
+// memcpy of the low bytes; that shortcut is only correct on LE hosts.
+static_assert(std::endian::native == std::endian::little,
+              "fast engine assumes a little-endian host");
+
+namespace {
+
+/** A suspended caller: where to resume, and its frame base. */
+struct Frame {
+    const CompiledFunction *fn;
+    const FInstr *retIp;
+    size_t baseOff; ///< offset into the value stack (it can move)
+};
+
+} // namespace
+
+#if defined(__GNUC__) || defined(__clang__)
+#define WASABI_VM_GOTO 1
+#else
+#define WASABI_VM_GOTO 0
+#endif
+
+#if WASABI_VM_GOTO
+#define VM_CASE(name) lbl_##name
+#define VM_NEXT()                                                       \
+    do {                                                                \
+        in = ip++;                                                      \
+        goto *kJump[static_cast<size_t>(in->op)];                       \
+    } while (0)
+#else
+#define VM_CASE(name) case FOp::name
+#define VM_NEXT() goto vm_top
+#endif
+
+/**
+ * Batched fuel + instruction accounting. Matches the legacy
+ * per-dispatch scheme exactly: with f fuel remaining and a batch of c
+ * instructions, the legacy walker executes f of them (each counted)
+ * and traps dispatching the next — everything it executed was pure
+ * and frame-local, so retiring the whole batch up front and reporting
+ * `instructions += f` on exhaustion is observationally identical.
+ */
+#define VM_CHARGE(cexpr)                                                \
+    do {                                                                \
+        uint32_t c__ = (cexpr);                                         \
+        if (c__ != 0) {                                                 \
+            if (hasFuel) {                                              \
+                if (fuel < c__) {                                       \
+                    statInstr += fuel;                                  \
+                    fuel = 0;                                           \
+                    throw Trap(TrapKind::FuelExhausted);                \
+                }                                                       \
+                fuel -= c__;                                            \
+            }                                                           \
+            statInstr += c__;                                           \
+        }                                                               \
+    } while (0)
+
+#define VM_BIN_U32(name, expr)                                          \
+    VM_CASE(name) : {                                                   \
+        uint32_t r = (--sp)->i32();                                     \
+        uint32_t l = (sp - 1)->i32();                                   \
+        (void)l;                                                        \
+        *(sp - 1) = Value::makeI32(expr);                               \
+        VM_NEXT();                                                      \
+    }
+
+#define VM_BIN_F64(name, op_)                                           \
+    VM_CASE(name) : {                                                   \
+        double r = (--sp)->f64();                                       \
+        double l = (sp - 1)->f64();                                     \
+        *(sp - 1) = Value::makeF64(l op_ r);                            \
+        VM_NEXT();                                                      \
+    }
+
+std::vector<Value>
+execute(Instance &inst, uint32_t func_idx, std::span<const Value> args,
+        ExecStats &stats, size_t max_call_depth)
+{
+    CompiledModule &cm = inst.engineCode();
+    const wasm::Module &m = cm.module();
+    const CompiledFunction &entry = cm.function(func_idx);
+
+    // --- value + frame stacks --------------------------------------
+    std::vector<Value> stack;
+    size_t entry_locals = args.size() + entry.localInit.size();
+    stack.resize(std::max<size_t>(
+        std::max(entry_locals, static_cast<size_t>(entry.numLocals)) +
+            entry.maxOperand,
+        512));
+    Value *stackData = stack.data();
+    std::copy(args.begin(), args.end(), stackData);
+    std::copy(entry.localInit.begin(), entry.localInit.end(),
+              stackData + args.size());
+
+    std::vector<Frame> frames;
+    frames.reserve(64);
+
+    // --- hot state, hoisted out of the Instance --------------------
+    const CompiledFunction *fn = &entry;
+    const FInstr *ip = entry.code.data();
+    const FInstr *in = ip;
+    size_t curBase = 0;
+    Value *lb = stackData;              ///< locals base of current frame
+    Value *sp = stackData + entry_locals; ///< one past top of stack
+    std::optional<uint64_t> &fuelSlot = inst.fuel();
+    bool hasFuel = fuelSlot.has_value();
+    uint64_t fuel = hasFuel ? *fuelSlot : 0;
+    uint64_t statInstr = 0, statCalls = 0, statMem = 0;
+    uint8_t *mb = inst.memory().raw().data();
+    size_t msz = inst.memory().raw().size();
+    Value *gl = inst.globalsData();
+
+    // Scratch shared by the common call/return blocks below.
+    uint32_t retArity = 0;
+    uint32_t calleeIdx = 0;
+    uint32_t hostParams = 0;
+    uint32_t hostRet = 0;
+    std::vector<Value> hostResults;
+
+    auto flushCounters = [&] {
+        stats.instructions += statInstr;
+        stats.calls += statCalls;
+        stats.memoryOps += statMem;
+        statInstr = statCalls = statMem = 0;
+        if (hasFuel)
+            fuelSlot = fuel;
+    };
+    auto reloadAfterHost = [&] {
+        hasFuel = fuelSlot.has_value();
+        fuel = hasFuel ? *fuelSlot : 0;
+        mb = inst.memory().raw().data();
+        msz = inst.memory().raw().size();
+        gl = inst.globalsData();
+    };
+
+#if WASABI_VM_GOTO
+    static const void *const kJump[] = {
+#define WASABI_VM_LBL(name) &&lbl_##name,
+        WASABI_ENGINE_FOPS(WASABI_VM_LBL)
+#undef WASABI_VM_LBL
+    };
+#endif
+
+    try {
+#if WASABI_VM_GOTO
+        VM_NEXT();
+#else
+      vm_top:
+        in = ip++;
+        switch (in->op) {
+#endif
+
+        VM_CASE(Charge) : {
+            VM_CHARGE(in->charge);
+            VM_NEXT();
+        }
+        VM_CASE(Jump) : {
+            VM_CHARGE(in->charge);
+            ip = fn->code.data() + in->a;
+            VM_NEXT();
+        }
+        VM_CASE(Br) : {
+            VM_CHARGE(in->charge);
+            uint32_t keep = in->aux;
+            Value *dst = lb + in->b;
+            for (uint32_t k = 0; k < keep; ++k)
+                dst[k] = *(sp - keep + k);
+            sp = dst + keep;
+            ip = fn->code.data() + in->a;
+            VM_NEXT();
+        }
+        VM_CASE(BrIf) : {
+            VM_CHARGE(in->charge);
+            if ((--sp)->i32() != 0) {
+                uint32_t keep = in->aux;
+                Value *dst = lb + in->b;
+                for (uint32_t k = 0; k < keep; ++k)
+                    dst[k] = *(sp - keep + k);
+                sp = dst + keep;
+                ip = fn->code.data() + in->a;
+            }
+            VM_NEXT();
+        }
+        VM_CASE(BrIfNot) : {
+            VM_CHARGE(in->charge);
+            if ((--sp)->i32() == 0)
+                ip = fn->code.data() + in->a;
+            VM_NEXT();
+        }
+        VM_CASE(BrTable) : {
+            VM_CHARGE(in->charge);
+            uint32_t idx = (--sp)->i32();
+            uint32_t n = static_cast<uint32_t>(in->b);
+            const BrTarget &t =
+                fn->tablePool[in->a + (idx < n - 1 ? idx : n - 1)];
+            Value *dst = lb + t.slot;
+            for (uint32_t k = 0; k < t.keep; ++k)
+                dst[k] = *(sp - t.keep + k);
+            sp = dst + t.keep;
+            ip = fn->code.data() + t.pc;
+            VM_NEXT();
+        }
+        VM_CASE(Return) : {
+            VM_CHARGE(in->charge);
+            retArity = in->aux;
+            goto do_return;
+        }
+        VM_CASE(End) : {
+            VM_CHARGE(in->charge);
+            if (static_cast<size_t>(sp - lb) != fn->numLocals + in->aux) {
+                // Replaces the old debug-only assert: a structurally
+                // broken body leaves the wrong number of results.
+                throw Trap(TrapKind::InternalError,
+                           "operand stack height at function exit does "
+                           "not match the result arity");
+            }
+            retArity = in->aux;
+            goto do_return;
+        }
+        VM_CASE(FrameExit) : {
+            // Landing pad of branches to the function label; the
+            // legacy walker exits without charging anything more.
+            retArity = in->aux;
+            goto do_return;
+        }
+        VM_CASE(Call) : {
+            VM_CHARGE(in->charge);
+            ++statCalls;
+            calleeIdx = in->a;
+            goto do_wasm_call;
+        }
+        VM_CASE(CallHost) : {
+            VM_CHARGE(in->charge);
+            ++statCalls;
+            calleeIdx = in->a;
+            hostParams = static_cast<uint32_t>(in->b);
+            hostRet = in->aux;
+            goto do_host_call;
+        }
+        VM_CASE(CallIndirect) : {
+            VM_CHARGE(in->charge);
+            ++statCalls;
+            std::optional<uint32_t> callee =
+                inst.table().get((--sp)->i32());
+            if (!callee)
+                throw Trap(TrapKind::UninitializedTableElement);
+            if (cm.funcCanonicalType(*callee) != in->a)
+                throw Trap(TrapKind::IndirectCallTypeMismatch);
+            calleeIdx = *callee;
+            if (m.functions[calleeIdx].imported()) {
+                hostParams = static_cast<uint32_t>(in->b);
+                hostRet = in->aux;
+                goto do_host_call;
+            }
+            goto do_wasm_call;
+        }
+        VM_CASE(Unreachable) : {
+            VM_CHARGE(in->charge);
+            throw Trap(TrapKind::Unreachable);
+        }
+        VM_CASE(Drop) : {
+            --sp;
+            VM_NEXT();
+        }
+        VM_CASE(Select) : {
+            uint32_t cond = (--sp)->i32();
+            Value second = *--sp;
+            if (cond == 0)
+                *(sp - 1) = second;
+            VM_NEXT();
+        }
+        VM_CASE(LocalGet) : {
+            *sp++ = lb[in->a];
+            VM_NEXT();
+        }
+        VM_CASE(LocalSet) : {
+            lb[in->a] = *--sp;
+            VM_NEXT();
+        }
+        VM_CASE(LocalTee) : {
+            lb[in->a] = *(sp - 1);
+            VM_NEXT();
+        }
+        VM_CASE(GlobalGet) : {
+            *sp++ = gl[in->a];
+            VM_NEXT();
+        }
+        VM_CASE(GlobalSet) : {
+            VM_CHARGE(in->charge);
+            gl[in->a] = *--sp;
+            VM_NEXT();
+        }
+        VM_CASE(I32Load) : {
+            VM_CHARGE(in->charge);
+            ++statMem;
+            uint64_t ea =
+                static_cast<uint64_t>((sp - 1)->i32()) + in->a;
+            if (ea + 4 > msz)
+                throw Trap(TrapKind::MemoryOutOfBounds);
+            uint32_t v;
+            std::memcpy(&v, mb + ea, 4);
+            *(sp - 1) = Value::makeI32(v);
+            VM_NEXT();
+        }
+        VM_CASE(I64Load) : {
+            VM_CHARGE(in->charge);
+            ++statMem;
+            uint64_t ea =
+                static_cast<uint64_t>((sp - 1)->i32()) + in->a;
+            if (ea + 8 > msz)
+                throw Trap(TrapKind::MemoryOutOfBounds);
+            uint64_t v;
+            std::memcpy(&v, mb + ea, 8);
+            *(sp - 1) = Value::makeI64(v);
+            VM_NEXT();
+        }
+        VM_CASE(F32Load) : {
+            VM_CHARGE(in->charge);
+            ++statMem;
+            uint64_t ea =
+                static_cast<uint64_t>((sp - 1)->i32()) + in->a;
+            if (ea + 4 > msz)
+                throw Trap(TrapKind::MemoryOutOfBounds);
+            uint32_t v;
+            std::memcpy(&v, mb + ea, 4);
+            *(sp - 1) = Value(ValType::F32, v);
+            VM_NEXT();
+        }
+        VM_CASE(F64Load) : {
+            VM_CHARGE(in->charge);
+            ++statMem;
+            uint64_t ea =
+                static_cast<uint64_t>((sp - 1)->i32()) + in->a;
+            if (ea + 8 > msz)
+                throw Trap(TrapKind::MemoryOutOfBounds);
+            uint64_t v;
+            std::memcpy(&v, mb + ea, 8);
+            *(sp - 1) = Value(ValType::F64, v);
+            VM_NEXT();
+        }
+        VM_CASE(LoadExt) : {
+            VM_CHARGE(in->charge);
+            ++statMem;
+            uint64_t w = in->b;
+            uint64_t ea =
+                static_cast<uint64_t>((sp - 1)->i32()) + in->a;
+            if (ea + w > msz)
+                throw Trap(TrapKind::MemoryOutOfBounds);
+            uint64_t raw = 0;
+            std::memcpy(&raw, mb + ea, w);
+            *(sp - 1) =
+                loadedValue(static_cast<Opcode>(in->aux), raw);
+            VM_NEXT();
+        }
+        VM_CASE(I32Store) : {
+            VM_CHARGE(in->charge);
+            ++statMem;
+            Value v = *--sp;
+            uint64_t ea =
+                static_cast<uint64_t>((--sp)->i32()) + in->a;
+            if (ea + 4 > msz)
+                throw Trap(TrapKind::MemoryOutOfBounds);
+            uint32_t bits = static_cast<uint32_t>(v.bits);
+            std::memcpy(mb + ea, &bits, 4);
+            VM_NEXT();
+        }
+        VM_CASE(I64Store) : {
+            VM_CHARGE(in->charge);
+            ++statMem;
+            Value v = *--sp;
+            uint64_t ea =
+                static_cast<uint64_t>((--sp)->i32()) + in->a;
+            if (ea + 8 > msz)
+                throw Trap(TrapKind::MemoryOutOfBounds);
+            std::memcpy(mb + ea, &v.bits, 8);
+            VM_NEXT();
+        }
+        VM_CASE(F32Store) : {
+            VM_CHARGE(in->charge);
+            ++statMem;
+            Value v = *--sp;
+            uint64_t ea =
+                static_cast<uint64_t>((--sp)->i32()) + in->a;
+            if (ea + 4 > msz)
+                throw Trap(TrapKind::MemoryOutOfBounds);
+            uint32_t bits = static_cast<uint32_t>(v.bits);
+            std::memcpy(mb + ea, &bits, 4);
+            VM_NEXT();
+        }
+        VM_CASE(F64Store) : {
+            VM_CHARGE(in->charge);
+            ++statMem;
+            Value v = *--sp;
+            uint64_t ea =
+                static_cast<uint64_t>((--sp)->i32()) + in->a;
+            if (ea + 8 > msz)
+                throw Trap(TrapKind::MemoryOutOfBounds);
+            std::memcpy(mb + ea, &v.bits, 8);
+            VM_NEXT();
+        }
+        VM_CASE(StoreNarrow) : {
+            VM_CHARGE(in->charge);
+            ++statMem;
+            Value v = *--sp;
+            uint64_t w = in->aux;
+            uint64_t ea =
+                static_cast<uint64_t>((--sp)->i32()) + in->a;
+            if (ea + w > msz)
+                throw Trap(TrapKind::MemoryOutOfBounds);
+            std::memcpy(mb + ea, &v.bits, w);
+            VM_NEXT();
+        }
+        VM_CASE(MemorySize) : {
+            VM_CHARGE(in->charge);
+            ++statMem;
+            *sp++ = Value::makeI32(
+                static_cast<uint32_t>(msz / wasm::kPageSize));
+            VM_NEXT();
+        }
+        VM_CASE(MemoryGrow) : {
+            VM_CHARGE(in->charge);
+            ++statMem;
+            uint32_t delta = (sp - 1)->i32();
+            *(sp - 1) = Value::makeI32(inst.memory().grow(delta));
+            mb = inst.memory().raw().data();
+            msz = inst.memory().raw().size();
+            VM_NEXT();
+        }
+        VM_CASE(Const) : {
+            *sp++ = Value(static_cast<ValType>(in->aux), in->b);
+            VM_NEXT();
+        }
+        VM_CASE(UnaryPure) : {
+            *(sp - 1) =
+                evalUnary(static_cast<Opcode>(in->aux), *(sp - 1));
+            VM_NEXT();
+        }
+        VM_CASE(UnaryTrap) : {
+            VM_CHARGE(in->charge);
+            *(sp - 1) =
+                evalUnary(static_cast<Opcode>(in->aux), *(sp - 1));
+            VM_NEXT();
+        }
+        VM_CASE(BinaryPure) : {
+            Value r = *--sp;
+            *(sp - 1) =
+                evalBinary(static_cast<Opcode>(in->aux), *(sp - 1), r);
+            VM_NEXT();
+        }
+        VM_CASE(BinaryTrap) : {
+            VM_CHARGE(in->charge);
+            Value r = *--sp;
+            *(sp - 1) =
+                evalBinary(static_cast<Opcode>(in->aux), *(sp - 1), r);
+            VM_NEXT();
+        }
+
+        // Specialized batched numerics; each expression mirrors the
+        // corresponding evalUnary/evalBinary case bit for bit.
+        VM_BIN_U32(I32Add, l + r)
+        VM_BIN_U32(I32Sub, l - r)
+        VM_BIN_U32(I32Mul, l *r)
+        VM_BIN_U32(I32And, l &r)
+        VM_BIN_U32(I32Or, l | r)
+        VM_BIN_U32(I32Xor, l ^ r)
+        VM_BIN_U32(I32Shl, l << (r & 31))
+        VM_BIN_U32(I32ShrS, static_cast<uint32_t>(
+                                static_cast<int32_t>(l) >> (r & 31)))
+        VM_BIN_U32(I32ShrU, l >> (r & 31))
+        VM_CASE(I32Eqz) : {
+            *(sp - 1) = Value::makeI32((sp - 1)->i32() == 0 ? 1 : 0);
+            VM_NEXT();
+        }
+        VM_BIN_U32(I32Eq, l == r ? 1 : 0)
+        VM_BIN_U32(I32Ne, l != r ? 1 : 0)
+        VM_BIN_U32(I32LtS, static_cast<int32_t>(l) <
+                                   static_cast<int32_t>(r)
+                               ? 1
+                               : 0)
+        VM_BIN_U32(I32LtU, l < r ? 1 : 0)
+        VM_BIN_U32(I32GtS, static_cast<int32_t>(l) >
+                                   static_cast<int32_t>(r)
+                               ? 1
+                               : 0)
+        VM_BIN_U32(I32GtU, l > r ? 1 : 0)
+        VM_BIN_U32(I32LeS, static_cast<int32_t>(l) <=
+                                   static_cast<int32_t>(r)
+                               ? 1
+                               : 0)
+        VM_BIN_U32(I32LeU, l <= r ? 1 : 0)
+        VM_BIN_U32(I32GeS, static_cast<int32_t>(l) >=
+                                   static_cast<int32_t>(r)
+                               ? 1
+                               : 0)
+        VM_BIN_U32(I32GeU, l >= r ? 1 : 0)
+        VM_CASE(I64Add) : {
+            uint64_t r = (--sp)->i64();
+            *(sp - 1) = Value::makeI64((sp - 1)->i64() + r);
+            VM_NEXT();
+        }
+        VM_CASE(F32Add) : {
+            float r = (--sp)->f32();
+            *(sp - 1) = Value::makeF32((sp - 1)->f32() + r);
+            VM_NEXT();
+        }
+        VM_CASE(F32Mul) : {
+            float r = (--sp)->f32();
+            *(sp - 1) = Value::makeF32((sp - 1)->f32() * r);
+            VM_NEXT();
+        }
+        VM_BIN_F64(F64Add, +)
+        VM_BIN_F64(F64Sub, -)
+        VM_BIN_F64(F64Mul, *)
+        VM_BIN_F64(F64Div, /)
+
+#if !WASABI_VM_GOTO
+        } // switch
+        throw std::logic_error("fast engine: invalid opcode");
+#endif
+
+      do_wasm_call : {
+        if (frames.size() + 1 > max_call_depth)
+            throw Trap(TrapKind::CallStackExhausted);
+        const CompiledFunction &callee = cm.function(calleeIdx);
+        size_t sp_off = static_cast<size_t>(sp - stackData);
+        size_t new_base = sp_off - callee.numParams;
+        size_t need = new_base + callee.frameSlots();
+        if (need > stack.size()) {
+            stack.resize(std::max(need, stack.size() * 2));
+            stackData = stack.data();
+            sp = stackData + sp_off;
+        }
+        frames.push_back(Frame{fn, ip, curBase});
+        if (!callee.localInit.empty()) {
+            std::memcpy(sp, callee.localInit.data(),
+                        callee.localInit.size() * sizeof(Value));
+            sp += callee.localInit.size();
+        }
+        fn = &callee;
+        curBase = new_base;
+        lb = stackData + new_base;
+        ip = callee.code.data();
+        VM_NEXT();
+      }
+
+      do_host_call : {
+        if (frames.size() + 1 > max_call_depth)
+            throw Trap(TrapKind::CallStackExhausted);
+        flushCounters(); // the host can observe stats and fuel
+        hostResults.clear();
+        inst.hostFunc(calleeIdx)(
+            inst, std::span<const Value>(sp - hostParams, hostParams),
+            hostResults);
+        reloadAfterHost();
+        if (hostResults.size() != hostRet) {
+            // Hardening: a buggy host silently corrupted the legacy
+            // walker's stack; both engines now trap instead.
+            throw Trap(TrapKind::InternalError,
+                       "host function returned " +
+                           std::to_string(hostResults.size()) +
+                           " results, expected " +
+                           std::to_string(hostRet));
+        }
+        sp -= hostParams;
+        for (const Value &v : hostResults)
+            *sp++ = v;
+        VM_NEXT();
+      }
+
+      do_return : {
+        Value *dst = stackData + curBase;
+        std::memmove(dst, sp - retArity, retArity * sizeof(Value));
+        sp = dst + retArity;
+        if (frames.empty())
+            goto vm_done;
+        Frame f = frames.back();
+        frames.pop_back();
+        fn = f.fn;
+        ip = f.retIp;
+        curBase = f.baseOff;
+        lb = stackData + curBase;
+        VM_NEXT();
+      }
+
+      vm_done:
+        flushCounters();
+        return std::vector<Value>(stackData, stackData + retArity);
+    } catch (...) {
+        flushCounters();
+        throw;
+    }
+}
+
+#undef VM_BIN_F64
+#undef VM_BIN_U32
+#undef VM_CHARGE
+#undef VM_NEXT
+#undef VM_CASE
+
+} // namespace wasabi::interp::engine

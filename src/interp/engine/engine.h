@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Entry point of the fast pre-decoded execution engine. Drop-in
+ * equivalent of the legacy tree walker: same results, same trap
+ * kinds, same fuel consumption, same ExecStats — verified by the
+ * differential test gate (tests/test_engine_differential.cc).
+ */
+
+#ifndef WASABI_INTERP_ENGINE_ENGINE_H
+#define WASABI_INTERP_ENGINE_ENGINE_H
+
+#include <span>
+#include <vector>
+
+#include "interp/interpreter.h"
+
+namespace wasabi::interp::engine {
+
+/**
+ * Execute defined function @p func_idx of @p inst on the fast engine.
+ * Translated code is cached on the instance. @p stats is updated
+ * incrementally (flushed before host calls and on unwind), and
+ * Instance fuel is honored with legacy-identical accounting.
+ * @throws Trap exactly where the legacy engine would.
+ */
+std::vector<wasm::Value> execute(Instance &inst, uint32_t func_idx,
+                                 std::span<const wasm::Value> args,
+                                 ExecStats &stats, size_t max_call_depth);
+
+} // namespace wasabi::interp::engine
+
+#endif // WASABI_INTERP_ENGINE_ENGINE_H

@@ -1,0 +1,812 @@
+/**
+ * @file
+ * Translation of flat wasm function bodies into the fast engine's
+ * pre-decoded FInstr format (see code.h for the format itself).
+ *
+ * The translator is a single forward pass that mirrors a validator:
+ * it tracks the static operand-stack height, a control-frame stack,
+ * and reachability, resolving every branch to an absolute code index,
+ * a carried-value count and an absolute unwind slot. Alongside, it
+ * computes the batched accounting (`charge`) of every charge point so
+ * that fuel and ExecStats behave exactly like the legacy walker's
+ * per-dispatch accounting on every path — including the paths the
+ * legacy walker takes implicitly (an `if` with a false condition
+ * dispatches the `end`; falling out of a then-branch dispatches both
+ * `else` and `end`; a branch to the function label exits without
+ * dispatching anything else).
+ *
+ * Invariant: the pending (not yet charged) instruction count is zero
+ * on every edge into a join point, so a charge can never depend on
+ * which path reached it. Fallthrough edges flush through synthetic
+ * Charge ops that branch edges jump over.
+ *
+ * Structurally invalid bodies (operand underflow, out-of-range
+ * indices, unbalanced blocks) fail translation with an InternalError
+ * trap; the legacy engine would hit undefined behavior on them.
+ */
+
+#include <string>
+#include <utility>
+
+#include "interp/engine/code.h"
+#include "interp/numerics.h"
+#include "interp/trap.h"
+
+namespace wasabi::interp::engine {
+
+using wasm::Instr;
+using wasm::OpClass;
+using wasm::Opcode;
+using wasm::Value;
+using wasm::ValType;
+
+namespace {
+
+/** Fixups may patch either a code slot or a br_table pool entry. */
+constexpr uint32_t kPoolFixupBit = 0x80000000u;
+
+/** Flush batched charges before they can overflow the u16 field. */
+constexpr uint32_t kChargeFlushLimit = 0xFFF0;
+
+/** One open control construct during translation. */
+struct CtrlFrame {
+    enum Kind : uint8_t { Func, Block, Loop, If } kind = Block;
+    uint32_t brArity = 0;     ///< values a branch to this label carries
+    uint32_t resultArity = 0; ///< values left on the stack after `end`
+    uint32_t entryHeight = 0; ///< operand height at entry (cond popped)
+    uint32_t loopTarget = 0;  ///< Loop: absolute back-edge target
+    bool enteredReachable = true;
+    bool hasElse = false;
+    bool thenJumped = false;  ///< If: then-path emitted a Jump at `else`
+    uint32_t falseFixup = UINT32_MAX; ///< If: BrIfNot awaiting a target
+    uint32_t thenJumpPos = UINT32_MAX;
+    /** Forward branches to this label (bit 31 set: pool index). */
+    std::vector<uint32_t> fixups;
+};
+
+class Translator {
+  public:
+    Translator(const wasm::Module &module, uint32_t func_idx,
+               const CompiledModule &cm)
+        : m_(module), funcIdx_(func_idx), cm_(cm)
+    {
+    }
+
+    CompiledFunction
+    run()
+    {
+        const wasm::Function &func = m_.functions.at(funcIdx_);
+        if (func.imported())
+            fail("imported function has no body to translate");
+        const wasm::FuncType &type = m_.funcType(funcIdx_);
+
+        out_.numParams = static_cast<uint32_t>(type.params.size());
+        out_.numLocals =
+            out_.numParams + static_cast<uint32_t>(func.locals.size());
+        out_.resultArity = static_cast<uint32_t>(type.results.size());
+        for (ValType t : func.locals)
+            out_.localInit.push_back(Value::zero(t));
+
+        CtrlFrame root;
+        root.kind = CtrlFrame::Func;
+        root.brArity = out_.resultArity;
+        root.resultArity = out_.resultArity;
+        frames_.push_back(std::move(root));
+
+        // Translate until the body ends or the function frame closes
+        // (the legacy walker returns at the final `end`; trailing
+        // instructions, which a decoder never produces, are equally
+        // never executed).
+        for (const Instr &ins : func.body) {
+            if (frames_.empty())
+                break;
+            translateOne(ins);
+        }
+        if (!frames_.empty()) {
+            // Builder-made body without a terminating `end`: the
+            // legacy walker falls out of its loop, charging nothing
+            // for the implicit exit.
+            if (frames_.size() != 1)
+                fail("unclosed blocks at end of body");
+            closeFunction(/*end_charged=*/false);
+        }
+        out_.compiled = true;
+        return std::move(out_);
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &what)
+    {
+        throw Trap(TrapKind::InternalError,
+                   "cannot translate function " +
+                       std::to_string(funcIdx_) + ": " + what);
+    }
+
+    // --- static operand-stack tracking -----------------------------
+
+    void
+    push(uint32_t n = 1)
+    {
+        height_ += n;
+        if (height_ > out_.maxOperand)
+            out_.maxOperand = height_;
+    }
+
+    void
+    pop(uint32_t n = 1)
+    {
+        if (height_ < n)
+            fail("operand stack underflow");
+        height_ -= n;
+    }
+
+    // --- code emission and charge accounting -----------------------
+
+    uint32_t
+    emit(FOp op, uint8_t aux = 0, uint16_t charge = 0, uint32_t a = 0,
+         uint64_t b = 0)
+    {
+        out_.code.push_back(FInstr{op, aux, charge, a, b});
+        return static_cast<uint32_t>(out_.code.size() - 1);
+    }
+
+    /** A batched instruction retires: charged at the next charge
+     * point. Flushes early so the u16 charge field cannot overflow. */
+    void
+    batch()
+    {
+        if (++pending_ >= kChargeFlushLimit)
+            flushPending();
+    }
+
+    /** Emit a synthetic Charge for the accumulated batch, if any. */
+    void
+    flushPending()
+    {
+        if (pending_ != 0) {
+            emit(FOp::Charge, 0, static_cast<uint16_t>(pending_));
+            pending_ = 0;
+        }
+    }
+
+    /** Charge of a real charge-point instruction: the batch plus the
+     * instruction itself. */
+    uint16_t
+    takeCharge()
+    {
+        uint32_t c = pending_ + 1;
+        pending_ = 0;
+        return static_cast<uint16_t>(c);
+    }
+
+    /** Charge of a synthetic op standing in for already-counted
+     * instructions (the Jump emitted at `else`). */
+    uint16_t
+    takeFlush()
+    {
+        uint32_t c = pending_;
+        pending_ = 0;
+        return static_cast<uint16_t>(c);
+    }
+
+    void
+    bind(std::vector<uint32_t> &fixups, uint32_t target)
+    {
+        for (uint32_t f : fixups) {
+            if (f & kPoolFixupBit)
+                out_.tablePool[f & ~kPoolFixupBit].pc = target;
+            else
+                out_.code[f].a = target;
+        }
+        fixups.clear();
+    }
+
+    // --- control constructs ----------------------------------------
+
+    static uint32_t
+    blockArity(const Instr &ins)
+    {
+        return ins.block ? 1u : 0u;
+    }
+
+    void
+    doBlock(const Instr &ins)
+    {
+        CtrlFrame f;
+        f.kind = CtrlFrame::Block;
+        f.brArity = f.resultArity = blockArity(ins);
+        f.entryHeight = height_;
+        f.enteredReachable = reachable_;
+        if (reachable_)
+            batch(); // the `block` opcode is dispatched
+        frames_.push_back(std::move(f));
+    }
+
+    void
+    doLoop(const Instr &ins)
+    {
+        CtrlFrame f;
+        f.kind = CtrlFrame::Loop;
+        f.brArity = 0;
+        f.resultArity = blockArity(ins);
+        f.entryHeight = height_;
+        f.enteredReachable = reachable_;
+        if (reachable_) {
+            batch();        // the `loop` opcode is dispatched on entry
+            flushPending(); // back edges must not re-charge it
+            f.loopTarget = static_cast<uint32_t>(out_.code.size());
+        }
+        frames_.push_back(std::move(f));
+    }
+
+    void
+    doIf(const Instr &ins)
+    {
+        CtrlFrame f;
+        f.kind = CtrlFrame::If;
+        f.brArity = f.resultArity = blockArity(ins);
+        f.enteredReachable = reachable_;
+        if (reachable_) {
+            pop(1); // condition
+            f.entryHeight = height_;
+            // False edge target patched at `else` or `end`.
+            f.falseFixup = emit(FOp::BrIfNot, 0, takeCharge());
+        } else {
+            f.entryHeight = height_;
+        }
+        frames_.push_back(std::move(f));
+    }
+
+    void
+    doElse()
+    {
+        if (frames_.size() < 2 || frames_.back().kind != CtrlFrame::If)
+            fail("else outside if");
+        CtrlFrame &f = frames_.back();
+        if (f.hasElse)
+            fail("duplicate else");
+        f.hasElse = true;
+        if (reachable_ && f.enteredReachable) {
+            // Falling out of the then-branch, the legacy walker
+            // dispatches the `else` (one charge) and then re-dispatches
+            // the matching `end` (another). The Jump carries the then
+            // body + `else`; it lands on the shared end Charge(1).
+            if (height_ != f.entryHeight + f.resultArity)
+                fail("then branch height mismatch at else");
+            batch(); // the `else` instruction
+            f.thenJumped = true;
+            f.thenJumpPos = emit(FOp::Jump, 0, takeFlush());
+        }
+        reachable_ = f.enteredReachable;
+        height_ = f.entryHeight;
+        pending_ = 0;
+        if (f.enteredReachable) {
+            // False edge of the lowered `if` enters the else body
+            // directly (the `else` opcode is not dispatched on it).
+            out_.code[f.falseFixup].a =
+                static_cast<uint32_t>(out_.code.size());
+            f.falseFixup = UINT32_MAX;
+        }
+    }
+
+    void
+    closeFunction(bool end_charged)
+    {
+        CtrlFrame f = std::move(frames_.back());
+        frames_.pop_back();
+        if (reachable_) {
+            // The final `end` is dispatched (and charged) only when
+            // execution falls into it; the height check replaces the
+            // old debug-only assert.
+            uint32_t c = pending_ + (end_charged ? 1u : 0u);
+            pending_ = 0;
+            emit(FOp::End, static_cast<uint8_t>(out_.resultArity),
+                 static_cast<uint16_t>(c));
+        }
+        if (!f.fixups.empty()) {
+            // Branches to the function label exit without dispatching
+            // anything further — a charge-free landing pad.
+            uint32_t pad =
+                emit(FOp::FrameExit,
+                     static_cast<uint8_t>(out_.resultArity), 0);
+            bind(f.fixups, pad);
+        }
+        reachable_ = false;
+    }
+
+    void
+    doEnd()
+    {
+        if (frames_.size() == 1) {
+            closeFunction(/*end_charged=*/true);
+            return;
+        }
+        CtrlFrame f = std::move(frames_.back());
+        frames_.pop_back();
+        bool fell = reachable_ && f.enteredReachable;
+        if (fell && height_ != f.entryHeight + f.resultArity)
+            fail("block height mismatch at end");
+
+        switch (f.kind) {
+          case CtrlFrame::Loop:
+            // Forward fixups cannot target a loop label; the `end` is
+            // dispatched only on fallthrough, so batching continues.
+            if (fell)
+                batch();
+            reachable_ = fell;
+            break;
+          case CtrlFrame::Block:
+            if (fell)
+                batch(); // the `end`, dispatched on fallthrough only
+            if (!f.fixups.empty()) {
+                // Branch edges land *after* the end (legacy cont =
+                // endIdx + 1), so flush the fallthrough batch first.
+                flushPending();
+                bind(f.fixups, static_cast<uint32_t>(out_.code.size()));
+                reachable_ = true;
+            } else {
+                reachable_ = fell;
+            }
+            break;
+          case CtrlFrame::If:
+            doIfEnd(f, fell);
+            break;
+          case CtrlFrame::Func:
+            fail("unbalanced end");
+        }
+        height_ = f.entryHeight + f.resultArity;
+    }
+
+    void
+    doIfEnd(CtrlFrame &f, bool fell)
+    {
+        if (!f.enteredReachable) {
+            reachable_ = false;
+            return;
+        }
+        if (!f.hasElse) {
+            // The false edge of the lowered `if` jumps straight to the
+            // `end`, which the legacy walker dispatches on both paths.
+            if (fell)
+                flushPending();
+            uint32_t end_pos = emit(FOp::Charge, 0, 1);
+            out_.code[f.falseFixup].a = end_pos;
+            bind(f.fixups, static_cast<uint32_t>(out_.code.size()));
+            reachable_ = true;
+            return;
+        }
+        if (f.thenJumped) {
+            // Then-path arrives via its Jump (which already covered
+            // the `else`); the false path falls through the else body.
+            // Both still dispatch the `end`: one shared Charge(1).
+            if (fell)
+                flushPending();
+            uint32_t end_pos = emit(FOp::Charge, 0, 1);
+            out_.code[f.thenJumpPos].a = end_pos;
+            bind(f.fixups, static_cast<uint32_t>(out_.code.size()));
+            reachable_ = true;
+            return;
+        }
+        // Then-path never reaches the end; only the else fallthrough
+        // (and explicit branches) do.
+        if (fell) {
+            batch(); // the `end`
+            if (!f.fixups.empty()) {
+                flushPending();
+                bind(f.fixups, static_cast<uint32_t>(out_.code.size()));
+            }
+            reachable_ = true;
+        } else if (!f.fixups.empty()) {
+            bind(f.fixups, static_cast<uint32_t>(out_.code.size()));
+            reachable_ = true;
+        } else {
+            reachable_ = false;
+        }
+    }
+
+    // --- branches --------------------------------------------------
+
+    CtrlFrame &
+    frameOf(uint32_t label)
+    {
+        if (label >= frames_.size())
+            fail("branch label out of range");
+        return frames_[frames_.size() - 1 - label];
+    }
+
+    void
+    emitBranch(FOp op, uint32_t label)
+    {
+        CtrlFrame &f = frameOf(label);
+        uint32_t keep = f.brArity;
+        if (height_ < f.entryHeight + keep)
+            fail("branch below label height");
+        uint64_t slot = out_.numLocals + f.entryHeight;
+        uint32_t pos = emit(op, static_cast<uint8_t>(keep), takeCharge(),
+                            0, slot);
+        if (f.kind == CtrlFrame::Loop)
+            out_.code[pos].a = f.loopTarget;
+        else
+            f.fixups.push_back(pos);
+    }
+
+    void
+    doBrTable(const Instr &ins)
+    {
+        pop(1); // selector
+        if (ins.table.empty())
+            fail("br_table without targets");
+        uint32_t start = static_cast<uint32_t>(out_.tablePool.size());
+        for (uint32_t label : ins.table) {
+            CtrlFrame &f = frameOf(label);
+            uint32_t keep = f.brArity;
+            if (height_ < f.entryHeight + keep)
+                fail("branch below label height");
+            BrTarget t;
+            t.keep = keep;
+            t.slot = out_.numLocals + f.entryHeight;
+            uint32_t pool_idx =
+                static_cast<uint32_t>(out_.tablePool.size());
+            if (f.kind == CtrlFrame::Loop)
+                t.pc = f.loopTarget;
+            else
+                f.fixups.push_back(pool_idx | kPoolFixupBit);
+            out_.tablePool.push_back(t);
+        }
+        emit(FOp::BrTable, 0, takeCharge(), start, ins.table.size());
+    }
+
+    // --- calls -----------------------------------------------------
+
+    void
+    doCall(uint32_t callee)
+    {
+        if (callee >= m_.functions.size())
+            fail("call to out-of-range function");
+        const wasm::FuncType &t = m_.funcType(callee);
+        pop(static_cast<uint32_t>(t.params.size()));
+        if (m_.functions[callee].imported()) {
+            emit(FOp::CallHost, static_cast<uint8_t>(t.results.size()),
+                 takeCharge(), callee, t.params.size());
+        } else {
+            emit(FOp::Call, 0, takeCharge(), callee);
+        }
+        push(static_cast<uint32_t>(t.results.size()));
+    }
+
+    void
+    doCallIndirect(uint32_t type_idx)
+    {
+        if (type_idx >= m_.types.size())
+            fail("call_indirect to out-of-range type");
+        const wasm::FuncType &t = m_.types[type_idx];
+        pop(1); // table index
+        pop(static_cast<uint32_t>(t.params.size()));
+        emit(FOp::CallIndirect, static_cast<uint8_t>(t.results.size()),
+             takeCharge(), cm_.canonicalType(type_idx), t.params.size());
+        push(static_cast<uint32_t>(t.results.size()));
+    }
+
+    // --- memory ----------------------------------------------------
+
+    void
+    doLoad(const Instr &ins)
+    {
+        pop(1);
+        uint32_t off = ins.imm.mem.offset;
+        switch (ins.op) {
+          case Opcode::I32Load:
+            emit(FOp::I32Load, 0, takeCharge(), off);
+            break;
+          case Opcode::I64Load:
+            emit(FOp::I64Load, 0, takeCharge(), off);
+            break;
+          case Opcode::F32Load:
+            emit(FOp::F32Load, 0, takeCharge(), off);
+            break;
+          case Opcode::F64Load:
+            emit(FOp::F64Load, 0, takeCharge(), off);
+            break;
+          default:
+            emit(FOp::LoadExt, static_cast<uint8_t>(ins.op),
+                 takeCharge(), off, wasm::memAccessBytes(ins.op));
+            break;
+        }
+        push(1);
+    }
+
+    void
+    doStore(const Instr &ins)
+    {
+        pop(2);
+        uint32_t off = ins.imm.mem.offset;
+        switch (ins.op) {
+          case Opcode::I32Store:
+            emit(FOp::I32Store, 0, takeCharge(), off);
+            break;
+          case Opcode::I64Store:
+            emit(FOp::I64Store, 0, takeCharge(), off);
+            break;
+          case Opcode::F32Store:
+            emit(FOp::F32Store, 0, takeCharge(), off);
+            break;
+          case Opcode::F64Store:
+            emit(FOp::F64Store, 0, takeCharge(), off);
+            break;
+          default:
+            emit(FOp::StoreNarrow,
+                 static_cast<uint8_t>(wasm::memAccessBytes(ins.op)),
+                 takeCharge(), off);
+            break;
+        }
+    }
+
+    // --- numerics --------------------------------------------------
+
+    void
+    doUnary(Opcode op)
+    {
+        pop(1);
+        push(1);
+        if (op == Opcode::I32Eqz) {
+            emit(FOp::I32Eqz);
+            batch();
+        } else if (unaryCanTrap(op)) {
+            emit(FOp::UnaryTrap, static_cast<uint8_t>(op), takeCharge());
+        } else {
+            emit(FOp::UnaryPure, static_cast<uint8_t>(op));
+            batch();
+        }
+    }
+
+    /** Specialized FOp of a hot pure binary; nullopt = generic. */
+    static std::optional<FOp>
+    specializedBinary(Opcode op)
+    {
+        switch (op) {
+          case Opcode::I32Add: return FOp::I32Add;
+          case Opcode::I32Sub: return FOp::I32Sub;
+          case Opcode::I32Mul: return FOp::I32Mul;
+          case Opcode::I32And: return FOp::I32And;
+          case Opcode::I32Or: return FOp::I32Or;
+          case Opcode::I32Xor: return FOp::I32Xor;
+          case Opcode::I32Shl: return FOp::I32Shl;
+          case Opcode::I32ShrS: return FOp::I32ShrS;
+          case Opcode::I32ShrU: return FOp::I32ShrU;
+          case Opcode::I32Eq: return FOp::I32Eq;
+          case Opcode::I32Ne: return FOp::I32Ne;
+          case Opcode::I32LtS: return FOp::I32LtS;
+          case Opcode::I32LtU: return FOp::I32LtU;
+          case Opcode::I32GtS: return FOp::I32GtS;
+          case Opcode::I32GtU: return FOp::I32GtU;
+          case Opcode::I32LeS: return FOp::I32LeS;
+          case Opcode::I32LeU: return FOp::I32LeU;
+          case Opcode::I32GeS: return FOp::I32GeS;
+          case Opcode::I32GeU: return FOp::I32GeU;
+          case Opcode::I64Add: return FOp::I64Add;
+          case Opcode::F32Add: return FOp::F32Add;
+          case Opcode::F32Mul: return FOp::F32Mul;
+          case Opcode::F64Add: return FOp::F64Add;
+          case Opcode::F64Sub: return FOp::F64Sub;
+          case Opcode::F64Mul: return FOp::F64Mul;
+          case Opcode::F64Div: return FOp::F64Div;
+          default: return std::nullopt;
+        }
+    }
+
+    void
+    doBinary(Opcode op)
+    {
+        pop(2);
+        push(1);
+        if (std::optional<FOp> spec = specializedBinary(op)) {
+            emit(*spec);
+            batch();
+        } else if (binaryCanTrap(op)) {
+            emit(FOp::BinaryTrap, static_cast<uint8_t>(op),
+                 takeCharge());
+        } else {
+            emit(FOp::BinaryPure, static_cast<uint8_t>(op));
+            batch();
+        }
+    }
+
+    // --- main dispatch ---------------------------------------------
+
+    void
+    translateOne(const Instr &ins)
+    {
+        const wasm::OpInfo &info = wasm::opInfo(ins.op);
+        // Structural opcodes are tracked even in unreachable code so
+        // frames stay balanced; everything else is skipped there.
+        switch (info.cls) {
+          case OpClass::Block: doBlock(ins); return;
+          case OpClass::Loop: doLoop(ins); return;
+          case OpClass::If: doIf(ins); return;
+          case OpClass::Else: doElse(); return;
+          case OpClass::End: doEnd(); return;
+          default: break;
+        }
+        if (!reachable_)
+            return;
+
+        switch (info.cls) {
+          case OpClass::Nop:
+            batch();
+            break;
+          case OpClass::Unreachable:
+            emit(FOp::Unreachable, 0, takeCharge());
+            reachable_ = false;
+            break;
+          case OpClass::Br:
+            emitBranch(FOp::Br, ins.imm.idx);
+            reachable_ = false;
+            break;
+          case OpClass::BrIf:
+            pop(1); // condition
+            emitBranch(FOp::BrIf, ins.imm.idx);
+            break;
+          case OpClass::BrTable:
+            doBrTable(ins);
+            reachable_ = false;
+            break;
+          case OpClass::Return:
+            pop(out_.resultArity);
+            emit(FOp::Return, static_cast<uint8_t>(out_.resultArity),
+                 takeCharge());
+            reachable_ = false;
+            break;
+          case OpClass::Call:
+            doCall(ins.imm.idx);
+            break;
+          case OpClass::CallIndirect:
+            doCallIndirect(ins.imm.idx);
+            break;
+          case OpClass::Drop:
+            pop(1);
+            emit(FOp::Drop);
+            batch();
+            break;
+          case OpClass::Select:
+            pop(3);
+            push(1);
+            emit(FOp::Select);
+            batch();
+            break;
+          case OpClass::LocalGet:
+            checkLocal(ins.imm.idx);
+            emit(FOp::LocalGet, 0, 0, ins.imm.idx);
+            push(1);
+            batch();
+            break;
+          case OpClass::LocalSet:
+            checkLocal(ins.imm.idx);
+            pop(1);
+            emit(FOp::LocalSet, 0, 0, ins.imm.idx);
+            batch();
+            break;
+          case OpClass::LocalTee:
+            checkLocal(ins.imm.idx);
+            pop(1);
+            push(1);
+            emit(FOp::LocalTee, 0, 0, ins.imm.idx);
+            batch();
+            break;
+          case OpClass::GlobalGet:
+            checkGlobal(ins.imm.idx);
+            emit(FOp::GlobalGet, 0, 0, ins.imm.idx);
+            push(1);
+            batch();
+            break;
+          case OpClass::GlobalSet:
+            checkGlobal(ins.imm.idx);
+            pop(1);
+            emit(FOp::GlobalSet, 0, takeCharge(), ins.imm.idx);
+            break;
+          case OpClass::Load:
+            doLoad(ins);
+            break;
+          case OpClass::Store:
+            doStore(ins);
+            break;
+          case OpClass::MemorySize:
+            emit(FOp::MemorySize, 0, takeCharge());
+            push(1);
+            break;
+          case OpClass::MemoryGrow:
+            pop(1);
+            push(1);
+            emit(FOp::MemoryGrow, 0, takeCharge());
+            break;
+          case OpClass::Const: {
+            Value v = ins.constValue();
+            emit(FOp::Const, static_cast<uint8_t>(v.type), 0, 0, v.bits);
+            push(1);
+            batch();
+            break;
+          }
+          case OpClass::Unary:
+            doUnary(ins.op);
+            break;
+          case OpClass::Binary:
+            doBinary(ins.op);
+            break;
+          default:
+            fail(std::string("untranslatable opcode ") +
+                 wasm::name(ins.op));
+        }
+    }
+
+    void
+    checkLocal(uint32_t idx)
+    {
+        if (idx >= out_.numLocals)
+            fail("local index out of range");
+    }
+
+    void
+    checkGlobal(uint32_t idx)
+    {
+        if (idx >= m_.globals.size())
+            fail("global index out of range");
+    }
+
+    const wasm::Module &m_;
+    uint32_t funcIdx_;
+    const CompiledModule &cm_;
+    CompiledFunction out_;
+    std::vector<CtrlFrame> frames_;
+    uint32_t height_ = 0;
+    uint32_t pending_ = 0;
+    bool reachable_ = true;
+};
+
+} // namespace
+
+CompiledFunction
+translateFunction(const wasm::Module &module, uint32_t func_idx,
+                  const CompiledModule &cm)
+{
+    return Translator(module, func_idx, cm).run();
+}
+
+CompiledModule::CompiledModule(const wasm::Module &module)
+    : module_(module)
+{
+    // Pre-size so lazily translated slots never move while pointers
+    // into them are live on the execution frame stack.
+    funcs_.resize(module.functions.size());
+
+    // Structural type canonicalization: the id of a type is the index
+    // of the first structurally equal type. call_indirect checks then
+    // reduce to one integer compare even for modules with duplicate
+    // type entries.
+    typeCanon_.resize(module.types.size());
+    for (uint32_t i = 0; i < module.types.size(); ++i) {
+        typeCanon_[i] = i;
+        for (uint32_t j = 0; j < i; ++j) {
+            if (module.types[j] == module.types[i]) {
+                typeCanon_[i] = j;
+                break;
+            }
+        }
+    }
+    funcTypeCanon_.resize(module.functions.size());
+    for (uint32_t i = 0; i < module.functions.size(); ++i) {
+        uint32_t t = module.functions[i].typeIdx;
+        funcTypeCanon_[i] =
+            t < typeCanon_.size() ? typeCanon_[t] : UINT32_MAX;
+    }
+}
+
+const CompiledFunction &
+CompiledModule::function(uint32_t func_idx)
+{
+    CompiledFunction &f = funcs_.at(func_idx);
+    if (!f.compiled)
+        f = translateFunction(module_, func_idx, *this);
+    return f;
+}
+
+} // namespace wasabi::interp::engine

@@ -2,12 +2,23 @@
 
 #include <cstring>
 
+#include "interp/engine/code.h"
 #include "interp/interpreter.h"
 
 namespace wasabi::interp {
 
 using wasm::Module;
 using wasm::Value;
+
+Instance::~Instance() = default;
+
+engine::CompiledModule &
+Instance::engineCode()
+{
+    if (!engineCode_)
+        engineCode_ = std::make_unique<engine::CompiledModule>(module_);
+    return *engineCode_;
+}
 
 uint32_t
 LinearMemory::grow(uint32_t delta)

@@ -27,6 +27,10 @@
 
 namespace wasabi::interp {
 
+namespace engine {
+class CompiledModule;
+}
+
 class Instance;
 
 /**
@@ -184,6 +188,8 @@ class Instance {
     static std::unique_ptr<Instance> instantiate(wasm::Module module,
                                                  const Linker &linker);
 
+    ~Instance(); // out of line: engine::CompiledModule is incomplete here
+
     const wasm::Module &module() const { return module_; }
 
     LinearMemory &memory() { return memory_; }
@@ -210,6 +216,12 @@ class Instance {
     /** Lazily computed control side table for a defined function. */
     const ControlSideTable &sideTable(uint32_t func_idx);
 
+    /** Raw globals storage (for the fast engine's hoisted pointer). */
+    wasm::Value *globalsData() { return globals_.data(); }
+
+    /** Lazily built fast-engine code cache for this instance. */
+    engine::CompiledModule &engineCode();
+
     /**
      * Execution fuel: every executed instruction costs 1; when the
      * budget reaches zero execution traps with FuelExhausted.
@@ -229,6 +241,7 @@ class Instance {
     FuncTable table_;
     std::vector<wasm::Value> globals_;
     std::vector<ControlSideTable> sideTables_;
+    std::unique_ptr<engine::CompiledModule> engineCode_;
     std::optional<uint64_t> fuel_;
 };
 

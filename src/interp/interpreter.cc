@@ -1,7 +1,6 @@
 #include "interp/interpreter.h"
 
-#include <cassert>
-
+#include "interp/engine/engine.h"
 #include "interp/numerics.h"
 
 namespace wasabi::interp {
@@ -30,50 +29,6 @@ accessWidth(Opcode op)
     return wasm::memAccessBytes(op);
 }
 
-/** Assemble the loaded raw bytes into a typed value. */
-Value
-loadedValue(Opcode op, uint64_t raw)
-{
-    switch (op) {
-      case Opcode::I32Load:
-        return Value::makeI32(static_cast<uint32_t>(raw));
-      case Opcode::I64Load:
-        return Value::makeI64(raw);
-      case Opcode::F32Load:
-        return Value(ValType::F32, static_cast<uint32_t>(raw));
-      case Opcode::F64Load:
-        return Value(ValType::F64, raw);
-      case Opcode::I32Load8S:
-        return Value::makeI32(static_cast<uint32_t>(
-            static_cast<int32_t>(static_cast<int8_t>(raw))));
-      case Opcode::I32Load8U:
-        return Value::makeI32(static_cast<uint32_t>(raw & 0xFF));
-      case Opcode::I32Load16S:
-        return Value::makeI32(static_cast<uint32_t>(
-            static_cast<int32_t>(static_cast<int16_t>(raw))));
-      case Opcode::I32Load16U:
-        return Value::makeI32(static_cast<uint32_t>(raw & 0xFFFF));
-      case Opcode::I64Load8S:
-        return Value::makeI64(static_cast<uint64_t>(
-            static_cast<int64_t>(static_cast<int8_t>(raw))));
-      case Opcode::I64Load8U:
-        return Value::makeI64(raw & 0xFF);
-      case Opcode::I64Load16S:
-        return Value::makeI64(static_cast<uint64_t>(
-            static_cast<int64_t>(static_cast<int16_t>(raw))));
-      case Opcode::I64Load16U:
-        return Value::makeI64(raw & 0xFFFF);
-      case Opcode::I64Load32S:
-        return Value::makeI64(static_cast<uint64_t>(
-            static_cast<int64_t>(static_cast<int32_t>(raw))));
-      case Opcode::I64Load32U:
-        return Value::makeI64(raw & 0xFFFFFFFF);
-      default:
-        assert(false && "not a load");
-        return Value();
-    }
-}
-
 } // namespace
 
 std::vector<Value>
@@ -81,6 +36,13 @@ Interpreter::invoke(Instance &inst, uint32_t func_idx,
                     std::span<const Value> args)
 {
     try {
+        // Host entry points take the shared legacy path in both
+        // engines (it only forwards to the host function).
+        if (engine == EngineKind::Fast &&
+            !inst.module().functions.at(func_idx).imported()) {
+            return engine::execute(inst, func_idx, args, stats_,
+                                   maxCallDepth);
+        }
         return callFunction(inst, func_idx, args, 0);
     } catch (const Trap &) {
         ++stats_.traps;
@@ -112,6 +74,15 @@ Interpreter::callFunction(Instance &inst, uint32_t func_idx,
     if (func.imported()) {
         std::vector<Value> results;
         inst.hostFunc(func_idx)(inst, args, results);
+        if (results.size() != type.results.size()) {
+            // A misbehaving host would silently corrupt the caller's
+            // operand stack; trap instead (both engines check this).
+            throw Trap(TrapKind::InternalError,
+                       "host function returned " +
+                           std::to_string(results.size()) +
+                           " results, expected " +
+                           std::to_string(type.results.size()));
+        }
         return results;
     }
 
@@ -200,8 +171,13 @@ Interpreter::callFunction(Instance &inst, uint32_t func_idx,
           case OpClass::End: {
             labels.pop_back();
             if (labels.empty()) {
-                // Function end: results are on the stack.
-                assert(stack.size() == result_arity);
+                // Function end: results are on the stack. A mismatch
+                // means a structurally broken body; the old debug-only
+                // assert let Release builds return garbage.
+                if (stack.size() != result_arity)
+                    throw Trap(TrapKind::InternalError,
+                               "operand stack height at function exit "
+                               "does not match the result arity");
                 return stack;
             }
             break;
@@ -332,8 +308,11 @@ Interpreter::callFunction(Instance &inst, uint32_t func_idx,
         }
         ++pc;
     }
-    // Unreachable for validated modules (final `end` returns above).
-    assert(stack.size() == result_arity);
+    // Only reachable for builder-made bodies without a final `end`.
+    if (stack.size() != result_arity)
+        throw Trap(TrapKind::InternalError,
+                   "operand stack height at function exit does not "
+                   "match the result arity");
     return stack;
 }
 

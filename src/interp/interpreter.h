@@ -26,6 +26,16 @@ struct ExecStats {
     uint64_t traps = 0;        ///< traps propagated out of invoke()
 };
 
+/** Selects which execution engine an Interpreter runs on. */
+enum class EngineKind : uint8_t {
+    /** Pre-decoded engine: flat internal code with fused side table,
+     * contiguous value stack, batched accounting (the default). */
+    Fast,
+    /** The original structured tree walker, kept as the differential
+     * oracle (`--engine=legacy`). */
+    Legacy,
+};
+
 /**
  * Executes functions of an Instance. Stateless between invocations
  * apart from configuration, so one Interpreter can be reused.
@@ -34,6 +44,11 @@ class Interpreter {
   public:
     /** Maximum nested call depth before CallStackExhausted. */
     size_t maxCallDepth = 1000;
+
+    /** Execution engine; both are observationally identical (results,
+     * trap kinds, fuel, ExecStats), enforced by the differential
+     * tests. */
+    EngineKind engine = EngineKind::Fast;
 
     /** Invoke function @p func_idx with @p args; returns its results.
      * @throws Trap on any trapping execution. */

@@ -357,4 +357,84 @@ evalBinary(Opcode op, Value l, Value r)
     }
 }
 
+bool
+unaryCanTrap(Opcode op)
+{
+    switch (op) {
+      case Opcode::I32TruncF32S:
+      case Opcode::I32TruncF32U:
+      case Opcode::I32TruncF64S:
+      case Opcode::I32TruncF64U:
+      case Opcode::I64TruncF32S:
+      case Opcode::I64TruncF32U:
+      case Opcode::I64TruncF64S:
+      case Opcode::I64TruncF64U:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+binaryCanTrap(Opcode op)
+{
+    switch (op) {
+      case Opcode::I32DivS:
+      case Opcode::I32DivU:
+      case Opcode::I32RemS:
+      case Opcode::I32RemU:
+      case Opcode::I64DivS:
+      case Opcode::I64DivU:
+      case Opcode::I64RemS:
+      case Opcode::I64RemU:
+        return true;
+      default:
+        return false;
+    }
+}
+
+Value
+loadedValue(Opcode op, uint64_t raw)
+{
+    using wasm::ValType;
+    switch (op) {
+      case Opcode::I32Load:
+        return Value::makeI32(static_cast<uint32_t>(raw));
+      case Opcode::I64Load:
+        return Value::makeI64(raw);
+      case Opcode::F32Load:
+        return Value(ValType::F32, static_cast<uint32_t>(raw));
+      case Opcode::F64Load:
+        return Value(ValType::F64, raw);
+      case Opcode::I32Load8S:
+        return Value::makeI32(static_cast<uint32_t>(
+            static_cast<int32_t>(static_cast<int8_t>(raw))));
+      case Opcode::I32Load8U:
+        return Value::makeI32(static_cast<uint32_t>(raw & 0xFF));
+      case Opcode::I32Load16S:
+        return Value::makeI32(static_cast<uint32_t>(
+            static_cast<int32_t>(static_cast<int16_t>(raw))));
+      case Opcode::I32Load16U:
+        return Value::makeI32(static_cast<uint32_t>(raw & 0xFFFF));
+      case Opcode::I64Load8S:
+        return Value::makeI64(static_cast<uint64_t>(
+            static_cast<int64_t>(static_cast<int8_t>(raw))));
+      case Opcode::I64Load8U:
+        return Value::makeI64(raw & 0xFF);
+      case Opcode::I64Load16S:
+        return Value::makeI64(static_cast<uint64_t>(
+            static_cast<int64_t>(static_cast<int16_t>(raw))));
+      case Opcode::I64Load16U:
+        return Value::makeI64(raw & 0xFFFF);
+      case Opcode::I64Load32S:
+        return Value::makeI64(static_cast<uint64_t>(
+            static_cast<int64_t>(static_cast<int32_t>(raw))));
+      case Opcode::I64Load32U:
+        return Value::makeI64(raw & 0xFFFFFFFF);
+      default:
+        throw std::logic_error(std::string("loadedValue: not a load: ") +
+                               wasm::name(op));
+    }
+}
+
 } // namespace wasabi::interp

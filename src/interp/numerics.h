@@ -19,6 +19,17 @@ wasm::Value evalUnary(wasm::Opcode op, wasm::Value input);
 /** Evaluate a binary operation (arithmetic and comparisons). */
 wasm::Value evalBinary(wasm::Opcode op, wasm::Value lhs, wasm::Value rhs);
 
+/** True for the unary opcodes that can trap (float-to-int
+ * truncations); every other unary is a pure value computation. */
+bool unaryCanTrap(wasm::Opcode op);
+
+/** True for the binary opcodes that can trap (integer div/rem). */
+bool binaryCanTrap(wasm::Opcode op);
+
+/** Assemble the raw little-endian bytes fetched by a load opcode into
+ * the typed value it pushes (shared by both execution engines). */
+wasm::Value loadedValue(wasm::Opcode op, uint64_t raw);
+
 } // namespace wasabi::interp
 
 #endif // WASABI_INTERP_NUMERICS_H

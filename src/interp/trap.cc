@@ -22,6 +22,7 @@ name(TrapKind kind)
       case TrapKind::CallStackExhausted: return "call stack exhausted";
       case TrapKind::FuelExhausted: return "fuel exhausted";
       case TrapKind::HostError: return "host function error";
+      case TrapKind::InternalError: return "internal engine error";
     }
     return "?";
 }

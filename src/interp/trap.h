@@ -26,6 +26,13 @@ enum class TrapKind {
     CallStackExhausted,
     FuelExhausted,       ///< engine-imposed instruction budget
     HostError,           ///< raised by a host function
+    /** The engine detected a broken internal invariant (corrupt frame
+     * height at function exit, a host function returning the wrong
+     * result arity, untranslatable code). Unlike the other kinds this
+     * never occurs for valid modules and well-behaved hosts; it
+     * replaces what used to be a debug-only assert so that Release
+     * builds trap instead of silently returning garbage. */
+    InternalError,
 };
 
 /** Short name of a trap kind, e.g. "divide by zero". */

@@ -96,6 +96,23 @@ class Parser {
         return true;
     }
 
+    /** Read exactly four hex digits into @p cp. */
+    bool
+    hex4(unsigned &cp)
+    {
+        cp = 0;
+        for (int i = 0; i < 4; ++i) {
+            char h = peek();
+            if (!std::isxdigit(static_cast<unsigned char>(h)))
+                return fail("bad \\u escape");
+            cp = cp * 16 +
+                 static_cast<unsigned>(h <= '9' ? h - '0'
+                                               : (h | 0x20) - 'a' + 10);
+            ++pos_;
+        }
+        return true;
+    }
+
     bool
     parseString(std::string &out)
     {
@@ -126,24 +143,38 @@ class Parser {
               case 't': out += '\t'; break;
               case 'u': {
                 unsigned cp = 0;
-                for (int i = 0; i < 4; ++i) {
-                    char h = peek();
-                    if (!std::isxdigit(static_cast<unsigned char>(h)))
-                        return fail("bad \\u escape");
-                    cp = cp * 16 +
-                         static_cast<unsigned>(
-                             h <= '9' ? h - '0'
-                                      : (h | 0x20) - 'a' + 10);
-                    ++pos_;
+                if (!hex4(cp))
+                    return false;
+                if (cp >= 0xDC00 && cp <= 0xDFFF)
+                    return fail("lone low surrogate in \\u escape");
+                if (cp >= 0xD800 && cp <= 0xDBFF) {
+                    // A high surrogate must be immediately followed by
+                    // a \uDC00-\uDFFF low surrogate; together they
+                    // encode one supplementary-plane code point.
+                    if (peek() != '\\' || pos_ + 1 >= text_.size() ||
+                        text_[pos_ + 1] != 'u')
+                        return fail("lone high surrogate in \\u escape");
+                    pos_ += 2;
+                    unsigned lo = 0;
+                    if (!hex4(lo))
+                        return false;
+                    if (lo < 0xDC00 || lo > 0xDFFF)
+                        return fail("high surrogate not followed by a "
+                                    "low surrogate");
+                    cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
                 }
-                // Naive UTF-8 encoding; sufficient for validation.
                 if (cp < 0x80) {
                     out += static_cast<char>(cp);
                 } else if (cp < 0x800) {
                     out += static_cast<char>(0xC0 | (cp >> 6));
                     out += static_cast<char>(0x80 | (cp & 0x3F));
-                } else {
+                } else if (cp < 0x10000) {
                     out += static_cast<char>(0xE0 | (cp >> 12));
+                    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (cp & 0x3F));
+                } else {
+                    out += static_cast<char>(0xF0 | (cp >> 18));
+                    out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
                     out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
                     out += static_cast<char>(0x80 | (cp & 0x3F));
                 }

@@ -5,8 +5,9 @@
  * --check=`) and structural checks on Chrome trace-event output in
  * tests. Parse-only — the profile writers emit JSON by hand, this
  * reader verifies it. Not a general-purpose JSON library: numbers are
- * doubles, \uXXXX escapes decode the code point naively (no surrogate
- * pairs), and input size is bounded by the caller.
+ * doubles, and input size is bounded by the caller. \uXXXX escapes
+ * decode to UTF-8, including surrogate pairs; lone or malformed
+ * surrogates are rejected.
  */
 
 #ifndef WASABI_OBS_JSON_H

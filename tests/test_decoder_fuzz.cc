@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "interp/interpreter.h"
 #include "wasm/decoder.h"
 #include "wasm/encoder.h"
 #include "wasm/leb128.h"
@@ -27,12 +28,21 @@ mix(uint64_t &state)
     return z ^ (z >> 31);
 }
 
+const workloads::Workload &
+baseWorkload()
+{
+    static workloads::Workload w = [] {
+        workloads::RandomProgramOptions opts;
+        opts.seed = 99;
+        return workloads::randomProgram(opts);
+    }();
+    return w;
+}
+
 std::vector<uint8_t>
 baseModuleBytes()
 {
-    workloads::RandomProgramOptions opts;
-    opts.seed = 99;
-    return encodeModule(workloads::randomProgram(opts).module);
+    return encodeModule(baseWorkload().module);
 }
 
 /** Decode must either succeed or throw DecodeError — nothing else. */
@@ -98,6 +108,87 @@ TEST(DecoderFuzz, RandomGarbageNeverCrashes)
         }
         decodeSafely(bytes);
     }
+}
+
+/** Observable outcome of one bounded execution. */
+struct FuzzOutcome {
+    std::vector<Value> results;
+    std::optional<interp::TrapKind> trap;
+    std::vector<uint8_t> memory;
+    uint64_t instructions = 0;
+    std::optional<uint64_t> fuelLeft;
+
+    bool operator==(const FuzzOutcome &other) const = default;
+};
+
+std::optional<FuzzOutcome>
+runBounded(const Module &m, interp::EngineKind engine)
+{
+    FuzzOutcome out;
+    std::unique_ptr<interp::Instance> inst;
+    try {
+        inst = interp::Instance::instantiate(m, interp::Linker());
+    } catch (...) {
+        // Mutations can break instantiation (segment bounds, start
+        // traps); that path is engine-independent, skip the input.
+        return std::nullopt;
+    }
+    // A mutated body may loop forever: bound the run with fuel.
+    inst->setFuel(200000);
+    interp::Interpreter interp;
+    interp.engine = engine;
+    const workloads::Workload &w = baseWorkload();
+    try {
+        out.results = interp.invokeExport(*inst, w.entry, w.args);
+    } catch (const interp::Trap &t) {
+        out.trap = t.kind();
+    } catch (const std::invalid_argument &) {
+        return std::nullopt; // mutated away the entry export
+    }
+    out.memory = inst->memory().raw();
+    out.instructions = interp.stats().instructions;
+    out.fuelLeft = inst->fuel();
+    return out;
+}
+
+/**
+ * Differential gate: every mutated module that still decodes and
+ * validates must execute identically — results, trap kind, memory,
+ * instruction count, fuel — on the legacy walker and the fast engine.
+ */
+TEST(DecoderFuzz, MutationSurvivorsExecuteIdenticallyOnBothEngines)
+{
+    std::vector<uint8_t> base = baseModuleBytes();
+    uint64_t rng = 0xD1FF;
+    int executed = 0;
+    for (int i = 0; i < 400; ++i) {
+        std::vector<uint8_t> bytes = base;
+        bytes[mix(rng) % bytes.size()] = static_cast<uint8_t>(mix(rng));
+        Module m;
+        try {
+            m = decodeModule(bytes);
+        } catch (const DecodeError &) {
+            continue;
+        }
+        if (validationError(m))
+            continue;
+        std::optional<FuzzOutcome> legacy =
+            runBounded(m, interp::EngineKind::Legacy);
+        std::optional<FuzzOutcome> fast =
+            runBounded(m, interp::EngineKind::Fast);
+        ASSERT_EQ(legacy.has_value(), fast.has_value()) << "iter " << i;
+        if (!legacy)
+            continue;
+        EXPECT_EQ(legacy->results, fast->results) << "iter " << i;
+        EXPECT_EQ(legacy->trap, fast->trap) << "iter " << i;
+        EXPECT_EQ(legacy->memory == fast->memory, true) << "iter " << i;
+        EXPECT_EQ(legacy->instructions, fast->instructions)
+            << "iter " << i;
+        EXPECT_EQ(legacy->fuelLeft, fast->fuelLeft) << "iter " << i;
+        ++executed;
+    }
+    // The corpus must actually exercise the engines.
+    EXPECT_GT(executed, 0);
 }
 
 TEST(DecoderFuzz, SectionSizeLiesAreRejected)

@@ -1,0 +1,310 @@
+/**
+ * @file
+ * Differential gate between the two execution engines: the pre-decoded
+ * fast engine must be observationally identical to the legacy
+ * structured walker — same results, same trap kinds, same final
+ * memory, same fuel consumption, and same ExecStats — across the
+ * random-program corpus, PolyBench kernels, fuel-budget sweeps,
+ * instrumented runs, and the interpreter-hardening regressions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analyses/instruction_mix.h"
+#include "core/instrument.h"
+#include "interp/interpreter.h"
+#include "runtime/runtime.h"
+#include "wasm/builder.h"
+#include "wasm/validator.h"
+#include "workloads/polybench.h"
+#include "workloads/random_program.h"
+
+namespace wasabi {
+namespace {
+
+using core::HookSet;
+using interp::EngineKind;
+using interp::ExecStats;
+using interp::Instance;
+using interp::Interpreter;
+using interp::Linker;
+using interp::Trap;
+using interp::TrapKind;
+using wasm::FuncType;
+using wasm::FunctionBuilder;
+using wasm::ModuleBuilder;
+using wasm::Opcode;
+using wasm::ValType;
+using wasm::Value;
+using workloads::Workload;
+
+/** Everything observable about one execution. */
+struct Outcome {
+    std::vector<Value> results;
+    std::optional<TrapKind> trap;
+    std::vector<uint8_t> memory;
+    uint64_t instructions = 0;
+    uint64_t calls = 0;
+    uint64_t memoryOps = 0;
+    uint64_t traps = 0;
+    std::optional<uint64_t> fuelLeft;
+
+    bool operator==(const Outcome &other) const = default;
+};
+
+Outcome
+runEngine(const Workload &w, EngineKind engine,
+          std::optional<uint64_t> fuel = std::nullopt)
+{
+    Outcome out;
+    auto inst = Instance::instantiate(w.module, Linker());
+    inst->setFuel(fuel);
+    Interpreter interp;
+    interp.engine = engine;
+    try {
+        out.results = interp.invokeExport(*inst, w.entry, w.args);
+    } catch (const Trap &t) {
+        out.trap = t.kind();
+    }
+    out.memory = inst->memory().raw();
+    const ExecStats &s = interp.stats();
+    out.instructions = s.instructions;
+    out.calls = s.calls;
+    out.memoryOps = s.memoryOps;
+    out.traps = s.traps;
+    out.fuelLeft = inst->fuel();
+    return out;
+}
+
+void
+expectSame(const Outcome &legacy, const Outcome &fast,
+           const std::string &what)
+{
+    EXPECT_EQ(legacy.results, fast.results) << what;
+    EXPECT_EQ(legacy.trap, fast.trap) << what;
+    EXPECT_EQ(legacy.memory == fast.memory, true)
+        << what << ": final memories differ";
+    EXPECT_EQ(legacy.instructions, fast.instructions) << what;
+    EXPECT_EQ(legacy.calls, fast.calls) << what;
+    EXPECT_EQ(legacy.memoryOps, fast.memoryOps) << what;
+    EXPECT_EQ(legacy.traps, fast.traps) << what;
+    EXPECT_EQ(legacy.fuelLeft, fast.fuelLeft) << what;
+}
+
+// ---------------------------------------------------------------------
+// Random-program corpus, several generator shapes per seed.
+
+class EngineDifferentialRandom
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EngineDifferentialRandom, UninstrumentedRunsAgree)
+{
+    workloads::RandomProgramOptions opts;
+    opts.seed = GetParam();
+    opts.numFunctions = 10;
+    opts.stmtsPerFunction = 14;
+    opts.indirectCallPct = 25;
+    opts.constIndexIndirectPct = 50;
+    Workload w = workloads::randomProgram(opts);
+    ASSERT_EQ(validationError(w.module), std::nullopt);
+    expectSame(runEngine(w, EngineKind::Legacy),
+               runEngine(w, EngineKind::Fast),
+               "seed " + std::to_string(GetParam()));
+}
+
+TEST_P(EngineDifferentialRandom, FuelSweepAgreesExactly)
+{
+    workloads::RandomProgramOptions opts;
+    opts.seed = GetParam();
+    opts.numFunctions = 6;
+    opts.stmtsPerFunction = 10;
+    Workload w = workloads::randomProgram(opts);
+    // Total instruction count of the unlimited run calibrates the
+    // sweep so it brackets the exhaustion point.
+    uint64_t total = runEngine(w, EngineKind::Legacy).instructions;
+    ASSERT_GT(total, 0u);
+    std::vector<uint64_t> budgets = {0,         1,         7,
+                                     total / 2, total - 1, total,
+                                     total + 5};
+    for (uint64_t fuel : budgets) {
+        Outcome legacy = runEngine(w, EngineKind::Legacy, fuel);
+        Outcome fast = runEngine(w, EngineKind::Fast, fuel);
+        expectSame(legacy, fast,
+                   "seed " + std::to_string(GetParam()) + " fuel " +
+                       std::to_string(fuel));
+        // The batched accounting must also preserve the legacy
+        // invariant: at exhaustion, instructions retired == budget.
+        if (fuel < total) {
+            EXPECT_EQ(legacy.trap, TrapKind::FuelExhausted);
+            EXPECT_EQ(fast.instructions, fuel);
+            EXPECT_EQ(fast.fuelLeft, 0u);
+        } else {
+            EXPECT_EQ(legacy.trap, std::nullopt);
+            EXPECT_EQ(fast.instructions, total);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineDifferentialRandom,
+                         ::testing::Range<uint64_t>(300, 340));
+
+// ---------------------------------------------------------------------
+// PolyBench kernels (small n keeps the gate fast).
+
+class EngineDifferentialPolybench
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EngineDifferentialPolybench, KernelRunsAgree)
+{
+    Workload w = workloads::polybench(GetParam(), 8);
+    expectSame(runEngine(w, EngineKind::Legacy),
+               runEngine(w, EngineKind::Fast), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, EngineDifferentialPolybench,
+                         ::testing::ValuesIn(workloads::polybenchNames()));
+
+// ---------------------------------------------------------------------
+// Instrumented runs: the engines must agree while dispatching hooks
+// through the Wasabi runtime (host calls from inside the VM loop).
+
+struct InstrumentedOutcome {
+    Outcome outcome;
+    uint64_t hookInvocations = 0;
+};
+
+InstrumentedOutcome
+runInstrumented(const Workload &w, EngineKind engine)
+{
+    core::InstrumentResult r = core::instrument(w.module, HookSet::all());
+    runtime::WasabiRuntime rt(r.info);
+    analyses::InstructionMix mix;
+    rt.addAnalysis(&mix);
+    auto inst = rt.instantiate(r.module);
+    InstrumentedOutcome out;
+    Interpreter interp;
+    interp.engine = engine;
+    try {
+        out.outcome.results = interp.invokeExport(*inst, w.entry, w.args);
+    } catch (const Trap &t) {
+        out.outcome.trap = t.kind();
+    }
+    out.outcome.memory = inst->memory().raw();
+    const ExecStats &s = interp.stats();
+    out.outcome.instructions = s.instructions;
+    out.outcome.calls = s.calls;
+    out.outcome.memoryOps = s.memoryOps;
+    out.outcome.traps = s.traps;
+    out.hookInvocations = rt.hookInvocations();
+    return out;
+}
+
+TEST(EngineDifferential, InstrumentedRunsAgree)
+{
+    for (uint64_t seed : {401u, 402u, 403u, 404u}) {
+        workloads::RandomProgramOptions opts;
+        opts.seed = seed;
+        opts.numFunctions = 8;
+        opts.stmtsPerFunction = 10;
+        Workload w = workloads::randomProgram(opts);
+        InstrumentedOutcome legacy =
+            runInstrumented(w, EngineKind::Legacy);
+        InstrumentedOutcome fast = runInstrumented(w, EngineKind::Fast);
+        expectSame(legacy.outcome, fast.outcome,
+                   "instrumented seed " + std::to_string(seed));
+        EXPECT_EQ(legacy.hookInvocations, fast.hookInvocations)
+            << "seed " << seed;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hardening regressions (must hold in Release builds too — these were
+// previously debug-only asserts that NDEBUG compiled away).
+
+/** A structurally broken body leaving two values for a one-result
+ * function must trap InternalError, not return garbage. */
+TEST(EngineDifferential, FrameExitArityMismatchTrapsInBothEngines)
+{
+    ModuleBuilder mb;
+    mb.addFunction(FuncType({}, {ValType::I32}), "f",
+                   [](FunctionBuilder &f) {
+                       f.i32Const(1);
+                       f.i32Const(2);
+                   });
+    wasm::Module m = mb.build();
+    // (Deliberately not validated: this models a buggy producer.)
+    for (EngineKind engine : {EngineKind::Legacy, EngineKind::Fast}) {
+        auto inst = Instance::instantiate(m, Linker());
+        Interpreter interp;
+        interp.engine = engine;
+        try {
+            interp.invokeExport(*inst, "f", {});
+            FAIL() << "expected InternalError trap";
+        } catch (const Trap &t) {
+            EXPECT_EQ(t.kind(), TrapKind::InternalError);
+        }
+        // Both engines charge the whole body before detecting the
+        // mismatch at the frame exit.
+        EXPECT_EQ(interp.stats().instructions, 3u);
+        EXPECT_EQ(interp.stats().traps, 1u);
+    }
+}
+
+/** A host function returning the wrong result arity must trap
+ * InternalError instead of corrupting the operand stack. */
+TEST(EngineDifferential, HostResultArityMismatchTrapsInBothEngines)
+{
+    ModuleBuilder mb;
+    uint32_t imp = mb.importFunction("env", "bad",
+                                     FuncType({}, {ValType::I32}));
+    mb.addFunction(FuncType({}, {ValType::I32}), "f",
+                   [&](FunctionBuilder &f) { f.call(imp); });
+    wasm::Module m = mb.build();
+    Linker linker;
+    linker.func("env", "bad",
+                [](Instance &, std::span<const Value>,
+                   std::vector<Value> &) { /* returns nothing */ });
+    for (EngineKind engine : {EngineKind::Legacy, EngineKind::Fast}) {
+        auto inst = Instance::instantiate(m, linker);
+        Interpreter interp;
+        interp.engine = engine;
+        try {
+            interp.invokeExport(*inst, "f", {});
+            FAIL() << "expected InternalError trap";
+        } catch (const Trap &t) {
+            EXPECT_EQ(t.kind(), TrapKind::InternalError);
+        }
+    }
+}
+
+/** Unbounded recursion must exhaust the call stack identically. */
+TEST(EngineDifferential, DeepRecursionParity)
+{
+    ModuleBuilder mb;
+    mb.addFunction(FuncType({}, {}), "f",
+                   [](FunctionBuilder &f) { f.call(0); });
+    wasm::Module m = mb.build();
+    ASSERT_EQ(validationError(m), std::nullopt);
+    ExecStats stats[2];
+    int i = 0;
+    for (EngineKind engine : {EngineKind::Legacy, EngineKind::Fast}) {
+        auto inst = Instance::instantiate(m, Linker());
+        Interpreter interp;
+        interp.engine = engine;
+        // Modest limit: the legacy walker recurses on the host stack,
+        // and sanitizer builds inflate its frames considerably.
+        interp.maxCallDepth = 200;
+        try {
+            interp.invokeExport(*inst, "f", {});
+            FAIL() << "expected CallStackExhausted";
+        } catch (const Trap &t) {
+            EXPECT_EQ(t.kind(), TrapKind::CallStackExhausted);
+        }
+        stats[i++] = interp.stats();
+    }
+    EXPECT_EQ(stats[0].instructions, stats[1].instructions);
+    EXPECT_EQ(stats[0].calls, stats[1].calls);
+}
+
+} // namespace
+} // namespace wasabi

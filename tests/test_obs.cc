@@ -60,6 +60,35 @@ TEST(Json, RejectsMalformedInput)
     EXPECT_FALSE(err.empty());
 }
 
+TEST(Json, DecodesUnicodeEscapesIncludingSurrogatePairs)
+{
+    std::string err;
+    // BMP code points: 1-, 2- and 3-byte UTF-8.
+    auto bmp = json::parse(R"("\u0041\u00e9\u20ac")", &err);
+    ASSERT_TRUE(bmp.has_value()) << err;
+    EXPECT_EQ(bmp->str, "A\xC3\xA9\xE2\x82\xAC");
+    // U+1F600 as a surrogate pair must decode to one 4-byte UTF-8
+    // sequence, not two 3-byte WTF-8 surrogates.
+    auto emoji = json::parse(R"("\ud83d\ude00")", &err);
+    ASSERT_TRUE(emoji.has_value()) << err;
+    EXPECT_EQ(emoji->str, "\xF0\x9F\x98\x80");
+}
+
+TEST(Json, RejectsLoneAndMalformedSurrogates)
+{
+    std::string err;
+    // Lone high surrogate (end of string / non-escape follower).
+    EXPECT_FALSE(json::parse(R"("\ud83d")", &err).has_value());
+    EXPECT_FALSE(json::parse(R"("\ud83dx")", &err).has_value());
+    EXPECT_FALSE(json::parse(R"("\ud83d\n")", &err).has_value());
+    // High surrogate followed by a non-low-surrogate escape.
+    EXPECT_FALSE(json::parse(R"("\ud83dA")", &err).has_value());
+    EXPECT_FALSE(json::parse(R"("\ud83d\ud83d")", &err).has_value());
+    // Lone low surrogate.
+    EXPECT_FALSE(json::parse(R"("\ude00")", &err).has_value());
+    EXPECT_FALSE(err.empty());
+}
+
 TEST(Json, RejectsExcessiveNesting)
 {
     std::string deep(100, '[');

@@ -151,6 +151,17 @@ parseHooks(const std::string &spec)
     return set;
 }
 
+interp::EngineKind
+parseEngine(const std::string &spec)
+{
+    if (spec == "fast")
+        return interp::EngineKind::Fast;
+    if (spec == "legacy")
+        return interp::EngineKind::Legacy;
+    throw UsageError("unknown engine '" + spec +
+                     "' (expected fast or legacy)");
+}
+
 int
 cmdValidate(const std::string &path)
 {
@@ -333,12 +344,15 @@ cmdRun(const std::vector<std::string> &args)
 {
     std::string path, entry = "main", analysis = "mix", profile_out;
     bool profile = false;
+    interp::EngineKind engine = interp::EngineKind::Fast;
     std::vector<wasm::Value> call_args;
     for (const std::string &a : args) {
         if (a.rfind("--entry=", 0) == 0) {
             entry = a.substr(8);
         } else if (a.rfind("--analysis=", 0) == 0) {
             analysis = a.substr(11);
+        } else if (a.rfind("--engine=", 0) == 0) {
+            engine = parseEngine(a.substr(9));
         } else if (a == "--profile") {
             profile = true;
         } else if (a.rfind("--profile-out=", 0) == 0) {
@@ -376,6 +390,7 @@ cmdRun(const std::vector<std::string> &args)
         rt.setProfiler(&collector);
     auto inst = rt.instantiate(r.module);
     interp::Interpreter interp;
+    interp.engine = engine;
     auto results = [&] {
         obs::ProfileCollector::ScopedPhase p(&collector, "execute");
         return interp.invokeExport(*inst, entry, call_args);
@@ -405,6 +420,7 @@ cmdProfile(const std::vector<std::string> &args)
     std::string path, entry, analysis = "mix", out_path, trace_out;
     std::string check_path;
     bool json = false, deterministic = false;
+    interp::EngineKind engine = interp::EngineKind::Fast;
     core::InstrumentOptions iopts;
     std::string hooks;
     std::vector<wasm::Value> call_args;
@@ -413,6 +429,8 @@ cmdProfile(const std::vector<std::string> &args)
             entry = a.substr(8);
         else if (a.rfind("--analysis=", 0) == 0)
             analysis = a.substr(11);
+        else if (a.rfind("--engine=", 0) == 0)
+            engine = parseEngine(a.substr(9));
         else if (a.rfind("--hooks=", 0) == 0)
             hooks = a.substr(8);
         else if (a.rfind("--threads=", 0) == 0)
@@ -486,6 +504,7 @@ cmdProfile(const std::vector<std::string> &args)
             entry = "kernel";
     }
     interp::Interpreter interp;
+    interp.engine = engine;
     {
         obs::ProfileCollector::ScopedPhase p(&collector, "execute");
         interp.invokeExport(*inst, entry, call_args);
@@ -699,6 +718,7 @@ printUsage(std::FILE *to)
         "  run        <in.wasm> [--entry=NAME] [--analysis=mix|blocks|\n"
         "             icov|branch|callgraph|taint|miner|mem]\n"
         "             [--arg=i32:N] [--arg=i64:N] [--arg=f64:X]\n"
+        "             [--engine=fast|legacy]\n"
         "             [--profile] [--profile-out=FILE]\n"
         "  gen        <polybench:NAME[:N]|random:SEED|app:SIZE> "
         "<out.wasm>\n"
@@ -715,7 +735,8 @@ printUsage(std::FILE *to)
         "             loop counts, dead functions, effect summaries\n"
         "  profile    <in.wasm> [--analysis=NAME] [--hooks=h1,h2]\n"
         "             [--entry=NAME] [--arg=...] [--threads=N]\n"
-        "             [--json] [--deterministic] [--out=FILE]\n"
+        "             [--engine=fast|legacy] [--json]\n"
+        "             [--deterministic] [--out=FILE]\n"
         "             [--trace-out=FILE]  |  profile --check=FILE\n"
         "             instrument + execute with full observability:\n"
         "             phase times, per-hook-kind dispatch counts,\n"
@@ -764,11 +785,16 @@ printCommandHelp(const std::string &cmd, std::FILE *to)
         std::fputs(
             "wasabi run <in.wasm> [--entry=NAME] [--analysis=NAME]\n"
             "           [--arg=i32:N] [--arg=i64:N] [--arg=f64:X]\n"
+            "           [--engine=fast|legacy]\n"
             "           [--profile] [--profile-out=FILE]\n"
             "  Instrument, instantiate and execute the module with a\n"
             "  dynamic analysis attached (default entry `main`,\n"
             "  default analysis `mix`). Analyses: mix, blocks, icov,\n"
             "  branch, callgraph, taint, miner, mem.\n"
+            "  --engine selects the execution engine: `fast` (the\n"
+            "  pre-decoded default) or `legacy` (the structured\n"
+            "  walker kept as the differential oracle); both are\n"
+            "  observationally identical.\n"
             "  --profile prints a profile table after the analysis\n"
             "  report; --profile-out=FILE writes the wasabi-profile\n"
             "  JSON document instead.\n",
@@ -792,6 +818,7 @@ printCommandHelp(const std::string &cmd, std::FILE *to)
             "                     kernel)\n"
             "  --arg=i32:N ...    entry arguments\n"
             "  --threads=N        parallel instrumentation workers\n"
+            "  --engine=fast|legacy  execution engine (default fast)\n"
             "  --json             emit wasabi-profile JSON (v1)\n"
             "  --deterministic    JSON with timings zeroed and\n"
             "                     schedule-dependent sections omitted;\n"
