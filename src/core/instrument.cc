@@ -907,7 +907,9 @@ instrument(const Module &m, HookSet hooks, const InstrumentOptions &opts)
     // Lift any "name" custom section into debugNames now: its function
     // indices refer to the pre-instrumentation index space and would be
     // stale after hook imports shift them; the section is rebuilt from
-    // debugNames at the end.
+    // debugNames at the end. The structured parse additionally keeps
+    // the local-name subsection so it can be remapped instead of lost.
+    wasm::NameSectionData names = wasm::parseNameSection(out);
     wasm::applyNameSection(out);
 
     // Create the hook import functions and splice them in right after
@@ -955,8 +957,24 @@ instrument(const Module &m, HookSet hooks, const InstrumentOptions &opts)
         out.start = remapFuncIdx(*out.start, base, num_hooks);
 
     // Re-emit the name section against the new index space (hook
-    // imports carry their mangled names as debug names).
-    wasm::buildNameSection(out);
+    // imports carry their mangled names as debug names). Local-name
+    // subsections survive instrumentation: extra locals are appended
+    // after the original ones, so per-function local indices stay
+    // valid and only the function index shifts. Label names are
+    // dropped — instrumented bodies are rewritten, so label positions
+    // would be stale.
+    std::vector<uint32_t> name_func_map(num_funcs);
+    for (uint32_t f = 0; f < num_funcs; ++f)
+        name_func_map[f] = remapFuncIdx(f, base, num_hooks);
+    wasm::remapNameData(names, name_func_map);
+    names.labelNames.clear();
+    names.funcNames.clear();
+    for (uint32_t i = 0; i < out.functions.size(); ++i) {
+        if (!out.functions[i].debugName.empty())
+            names.funcNames.push_back(
+                {static_cast<uint32_t>(i), out.functions[i].debugName});
+    }
+    wasm::setNameSection(out, names);
 
     stats.hooksGenerated = num_hooks;
     stats.wallNanos = since_begin();

@@ -406,4 +406,16 @@ constantFacts(const Module &m, uint32_t func_idx)
     return facts;
 }
 
+std::optional<uint32_t>
+foldI32Unary(Opcode op, uint32_t a)
+{
+    return foldUnary(op, a);
+}
+
+std::optional<uint32_t>
+foldI32Binary(Opcode op, uint32_t a, uint32_t b)
+{
+    return foldBinary(op, a, b);
+}
+
 } // namespace wasabi::static_analysis::passes

@@ -19,6 +19,7 @@
 #define WASABI_STATIC_PASSES_CONSTPROP_H
 
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
 
 #include "wasm/module.h"
@@ -57,6 +58,20 @@ struct ConstFacts {
  * manifest claims.
  */
 ConstFacts constantFacts(const wasm::Module &m, uint32_t func_idx);
+
+/**
+ * Fold an i32-producing unary operator over a known operand; nullopt
+ * when the operator is not a foldable i32 op. Shared by the symbolic
+ * stack evaluation above, the `wasabi opt` const-fold pass, and the
+ * manifest checker that re-proves its claims.
+ */
+std::optional<uint32_t> foldI32Unary(wasm::Opcode op, uint32_t a);
+
+/** Binary counterpart of foldI32Unary. Trapping operand combinations
+ * (division by zero, INT_MIN / -1) return nullopt — the instruction
+ * never completes, so replacing it with a constant would be unsound. */
+std::optional<uint32_t> foldI32Binary(wasm::Opcode op, uint32_t a,
+                                      uint32_t b);
 
 } // namespace wasabi::static_analysis::passes
 

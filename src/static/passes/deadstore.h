@@ -5,7 +5,9 @@
  * solved with the solveBackward worklist solver). A `local.set` whose
  * local is not live-out at the store is a dead store — its value can
  * never be observed by a `local.get`. Feeds `wasabi lint`
- * (lint.deadstore.local); purely diagnostic, never the optimizer.
+ * (lint.deadstore.local) and the `wasabi opt` dead-store pass, which
+ * rewrites each reported `local.set` to a `drop` and whose manifest
+ * checker re-runs this analysis to re-prove every elision.
  */
 
 #ifndef WASABI_STATIC_PASSES_DEADSTORE_H

@@ -1,0 +1,862 @@
+#include "static/rewrite/opt.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "core/control_stack.h"
+#include "static/interproc/refined_call_graph.h"
+#include "static/passes/constprop.h"
+#include "static/passes/deadstore.h"
+#include "static/rewrite/rewrite.h"
+#include "wasm/decoder.h"
+#include "wasm/encoder.h"
+#include "wasm/leb128.h"
+#include "wasm/validator.h"
+
+namespace wasabi::static_analysis::rewrite {
+
+using wasm::Instr;
+using wasm::Module;
+using wasm::Opcode;
+
+namespace {
+
+constexpr const char *kPassDeadFunctions = "dead-functions";
+constexpr const char *kPassCallIndirect = "call-indirect";
+constexpr const char *kPassConstFold = "const-fold";
+constexpr const char *kPassDeadStores = "dead-stores";
+constexpr const char *kPassEmptyBlocks = "empty-blocks";
+
+// ----- dead-functions ------------------------------------------------
+
+/**
+ * Functions provably strippable: refined-unreachable, defined,
+ * unexported, not the start function, not referenced by any element
+ * segment, and — enforced to a fixpoint — not referenced by a `call`
+ * in any surviving function. The last rule is belt-and-braces: a
+ * refined-unreachable function can still be named by a call in
+ * unreachable code of a live function, and deleting it would leave a
+ * dangling immediate the remap layer (rightly) rejects.
+ */
+std::vector<uint32_t>
+strippableFunctions(const Module &m)
+{
+    interproc::RefinedCallGraph rcg(m);
+    std::vector<bool> strip(m.numFunctions(), false);
+    for (uint32_t f : rcg.deadFunctions()) {
+        const wasm::Function &fn = m.functions[f];
+        if (!fn.imported() && fn.exportNames.empty())
+            strip[f] = true;
+    }
+    if (m.start && *m.start < strip.size())
+        strip[*m.start] = false;
+    for (const wasm::ElementSegment &seg : m.elements) {
+        for (uint32_t f : seg.funcIdxs) {
+            if (f < strip.size())
+                strip[f] = false;
+        }
+    }
+    // Fixpoint: un-strip anything called from surviving code.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (uint32_t g = 0; g < m.numFunctions(); ++g) {
+            if (strip[g])
+                continue;
+            for (const Instr &instr : m.functions[g].body) {
+                if (instr.op == Opcode::Call &&
+                    instr.imm.idx < strip.size() &&
+                    strip[instr.imm.idx]) {
+                    strip[instr.imm.idx] = false;
+                    changed = true;
+                }
+            }
+        }
+    }
+    std::vector<uint32_t> out;
+    for (uint32_t f = 0; f < strip.size(); ++f) {
+        if (strip[f])
+            out.push_back(f);
+    }
+    return out;
+}
+
+Module
+applyStrip(const Module &m, const std::vector<uint32_t> &funcs)
+{
+    if (funcs.empty())
+        return m;
+    ModuleRewriter rw(m);
+    for (uint32_t f : funcs)
+        rw.deleteFunction(f);
+    return rw.apply().module;
+}
+
+// ----- call-indirect -------------------------------------------------
+
+std::vector<DirectCallClaim>
+findDirectCalls(const Module &m)
+{
+    interproc::RefinedCallGraph rcg(m);
+    std::vector<DirectCallClaim> claims;
+    for (const interproc::CallSite &site : rcg.sites()) {
+        if (site.kind != interproc::SiteKind::IndirectConst ||
+            site.targets.size() != 1)
+            continue;
+        const Instr &instr = m.functions[site.func].body[site.instr];
+        if (instr.op != Opcode::CallIndirect)
+            continue;
+        claims.push_back(DirectCallClaim{site.func, site.instr,
+                                         instr.imm.idx,
+                                         site.targets.front()});
+    }
+    return claims;
+}
+
+/** Replace each claimed call_indirect with `drop` (pops the constant
+ * table index) + a direct `call`. Applied high-to-low so earlier
+ * claim coordinates stay valid while later ones are rewritten. */
+void
+applyDirectCalls(Module &m, const std::vector<DirectCallClaim> &claims)
+{
+    for (auto it = claims.rbegin(); it != claims.rend(); ++it) {
+        std::vector<Instr> &body = m.functions[it->func].body;
+        if (it->instr >= body.size())
+            throw RewriteError("opt.bad-claim",
+                               "direct-call claim out of range");
+        body[it->instr] = Instr(Opcode::Drop);
+        body.insert(body.begin() + it->instr + 1,
+                    Instr::call(it->target));
+    }
+}
+
+// ----- const-fold ----------------------------------------------------
+
+/** Evaluate the fold window body[first .. first+count); nullopt when
+ * the window is not a provably-constant foldable sequence. */
+std::optional<uint32_t>
+foldWindow(const std::vector<Instr> &body, uint32_t first, uint32_t count)
+{
+    if (static_cast<uint64_t>(first) + count > body.size() ||
+        count < 2 || count > 4)
+        return std::nullopt;
+    for (uint32_t k = 0; k + 1 < count; ++k) {
+        if (body[first + k].op != Opcode::I32Const)
+            return std::nullopt;
+    }
+    const Instr &last = body[first + count - 1];
+    switch (count) {
+      case 2:
+        return passes::foldI32Unary(last.op, body[first].imm.i32v);
+      case 3:
+        return passes::foldI32Binary(last.op, body[first].imm.i32v,
+                                     body[first + 1].imm.i32v);
+      case 4:
+        if (last.op != Opcode::Select)
+            return std::nullopt;
+        return body[first + 2].imm.i32v != 0 ? body[first].imm.i32v
+                                             : body[first + 1].imm.i32v;
+      default:
+        return std::nullopt;
+    }
+}
+
+void
+applyConstFold(std::vector<Instr> &body, const ConstFoldClaim &claim,
+               uint32_t value)
+{
+    body[claim.first] = Instr::i32Const(value);
+    body.erase(body.begin() + claim.first + 1,
+               body.begin() + claim.first + claim.count);
+}
+
+/** Scan-and-fold until no window folds; records each application in
+ * the coordinates of the body at the moment it is applied (claims in
+ * one function are therefore sequential, which is exactly how the
+ * checker replays them). */
+std::vector<ConstFoldClaim>
+findAndApplyConstFolds(Module &m)
+{
+    std::vector<ConstFoldClaim> claims;
+    for (uint32_t f = 0; f < m.numFunctions(); ++f) {
+        if (m.functions[f].imported())
+            continue;
+        std::vector<Instr> &body = m.functions[f].body;
+        uint32_t i = 0;
+        while (i < body.size()) {
+            bool folded = false;
+            for (uint32_t count : {2u, 3u, 4u}) {
+                std::optional<uint32_t> v = foldWindow(body, i, count);
+                if (!v)
+                    continue;
+                ConstFoldClaim claim{f, i, count, *v};
+                applyConstFold(body, claim, *v);
+                claims.push_back(claim);
+                // The new constant may combine with what precedes it.
+                i = i >= 3 ? i - 3 : 0;
+                folded = true;
+                break;
+            }
+            if (!folded)
+                ++i;
+        }
+    }
+    return claims;
+}
+
+// ----- dead-stores ---------------------------------------------------
+
+std::vector<DeadStoreClaim>
+findDeadStores(const Module &m)
+{
+    std::vector<DeadStoreClaim> claims;
+    for (uint32_t f = 0; f < m.numFunctions(); ++f) {
+        if (m.functions[f].imported())
+            continue;
+        for (const passes::DeadStore &ds : passes::deadStores(m, f))
+            claims.push_back(DeadStoreClaim{ds.func, ds.instr, ds.local});
+    }
+    return claims;
+}
+
+void
+applyDeadStores(Module &m, const std::vector<DeadStoreClaim> &claims)
+{
+    for (const DeadStoreClaim &c : claims) {
+        std::vector<Instr> &body = m.functions[c.func].body;
+        if (c.instr >= body.size())
+            throw RewriteError("opt.bad-claim",
+                               "dead-store claim out of range");
+        body[c.instr] = Instr(Opcode::Drop);
+    }
+}
+
+// ----- empty-blocks --------------------------------------------------
+
+std::vector<EmptyBlockClaim>
+findEmptyBlocks(const Module &m)
+{
+    std::vector<EmptyBlockClaim> claims;
+    for (uint32_t f = 0; f < m.numFunctions(); ++f) {
+        if (m.functions[f].imported())
+            continue;
+        const std::vector<Instr> &body = m.functions[f].body;
+        std::vector<core::BlockMatch> match = core::matchBlocks(body);
+        for (uint32_t i = 0; i < body.size(); ++i) {
+            // `if` is excluded: deleting an empty if/end pair would
+            // leave its popped condition on the stack.
+            if ((body[i].op == Opcode::Block ||
+                 body[i].op == Opcode::Loop) &&
+                match[i].endIdx == i + 1)
+                claims.push_back(EmptyBlockClaim{f, i});
+        }
+    }
+    return claims;
+}
+
+void
+applyEmptyBlocks(Module &m, const std::vector<EmptyBlockClaim> &claims)
+{
+    for (auto it = claims.rbegin(); it != claims.rend(); ++it) {
+        std::vector<Instr> &body = m.functions[it->func].body;
+        if (static_cast<uint64_t>(it->begin) + 2 > body.size())
+            throw RewriteError("opt.bad-claim",
+                               "empty-block claim out of range");
+        body.erase(body.begin() + it->begin,
+                   body.begin() + it->begin + 2);
+    }
+}
+
+} // namespace
+
+const std::vector<std::string> &
+allOptPasses()
+{
+    static const std::vector<std::string> kPasses{
+        kPassDeadFunctions, kPassCallIndirect, kPassConstFold,
+        kPassDeadStores,    kPassEmptyBlocks,
+    };
+    return kPasses;
+}
+
+bool
+isOptPass(const std::string &name)
+{
+    const std::vector<std::string> &all = allOptPasses();
+    return std::find(all.begin(), all.end(), name) != all.end();
+}
+
+OptResult
+optimize(const Module &m, const std::vector<std::string> &passes)
+{
+    for (const std::string &p : passes) {
+        if (!isOptPass(p))
+            throw RewriteError("opt.unknown-pass",
+                               "unknown pass \"" + p + "\"");
+    }
+    auto requested = [&](const char *name) {
+        return std::find(passes.begin(), passes.end(), name) !=
+               passes.end();
+    };
+
+    OptResult result;
+    result.module = m;
+    Module &cur = result.module;
+    OptClaims &claims = result.claims;
+
+    // Canonical order, independent of the order requested.
+    if (requested(kPassDeadFunctions)) {
+        claims.passes.push_back(kPassDeadFunctions);
+        claims.strippedFunctions = strippableFunctions(cur);
+        cur = applyStrip(cur, claims.strippedFunctions);
+    }
+    if (requested(kPassCallIndirect)) {
+        claims.passes.push_back(kPassCallIndirect);
+        claims.directCalls = findDirectCalls(cur);
+        applyDirectCalls(cur, claims.directCalls);
+    }
+    if (requested(kPassConstFold)) {
+        claims.passes.push_back(kPassConstFold);
+        claims.constFolds = findAndApplyConstFolds(cur);
+    }
+    if (requested(kPassDeadStores)) {
+        claims.passes.push_back(kPassDeadStores);
+        claims.deadStores = findDeadStores(cur);
+        applyDeadStores(cur, claims.deadStores);
+    }
+    if (requested(kPassEmptyBlocks)) {
+        claims.passes.push_back(kPassEmptyBlocks);
+        claims.emptyBlocks = findEmptyBlocks(cur);
+        applyEmptyBlocks(cur, claims.emptyBlocks);
+    }
+    return result;
+}
+
+// ----- manifest ------------------------------------------------------
+
+std::string
+claimsToManifest(const OptClaims &claims)
+{
+    std::string out = "{\n  \"schema\": \"wasabi-opt-manifest\",\n"
+                      "  \"version\": 1,\n  \"passes\": [";
+    bool first = true;
+    for (const std::string &p : claims.passes) {
+        out += std::string(first ? "" : ", ") + "\"" + p + "\"";
+        first = false;
+    }
+    out += "],\n  \"strippedFunctions\": [";
+    first = true;
+    for (uint32_t f : claims.strippedFunctions) {
+        out += std::string(first ? "" : ", ") + std::to_string(f);
+        first = false;
+    }
+    out += "],\n  \"directCalls\": [";
+    first = true;
+    for (const DirectCallClaim &c : claims.directCalls) {
+        out += std::string(first ? "" : ", ") + "[" +
+               std::to_string(c.func) + ", " + std::to_string(c.instr) +
+               ", " + std::to_string(c.typeIdx) + ", " +
+               std::to_string(c.target) + "]";
+        first = false;
+    }
+    out += "],\n  \"constFolds\": [";
+    first = true;
+    for (const ConstFoldClaim &c : claims.constFolds) {
+        out += std::string(first ? "" : ", ") + "[" +
+               std::to_string(c.func) + ", " + std::to_string(c.first) +
+               ", " + std::to_string(c.count) + ", " +
+               std::to_string(c.value) + "]";
+        first = false;
+    }
+    out += "],\n  \"deadStores\": [";
+    first = true;
+    for (const DeadStoreClaim &c : claims.deadStores) {
+        out += std::string(first ? "" : ", ") + "[" +
+               std::to_string(c.func) + ", " + std::to_string(c.instr) +
+               ", " + std::to_string(c.local) + "]";
+        first = false;
+    }
+    out += "],\n  \"emptyBlocks\": [";
+    first = true;
+    for (const EmptyBlockClaim &c : claims.emptyBlocks) {
+        out += std::string(first ? "" : ", ") + "[" +
+               std::to_string(c.func) + ", " + std::to_string(c.begin) +
+               "]";
+        first = false;
+    }
+    out += "]\n}\n";
+    return out;
+}
+
+namespace {
+
+/** Minimal parser for the opt manifest's JSON subset: one object with
+ * string keys, string values, and arrays of strings / non-negative
+ * integers / fixed-width integer rows. No external JSON dependency is
+ * available (or needed). */
+class OptManifestParser {
+  public:
+    explicit OptManifestParser(const std::string &text) : text_(text) {}
+
+    bool
+    parse(OptClaims &claims, std::string &error)
+    {
+        skipWs();
+        if (!expect('{')) {
+            error = err_;
+            return false;
+        }
+        bool first = true;
+        while (true) {
+            skipWs();
+            if (peek() == '}') {
+                ++pos_;
+                break;
+            }
+            if (!first && !expect(',')) {
+                error = err_;
+                return false;
+            }
+            first = false;
+            skipWs();
+            std::string key;
+            if (!parseString(key)) {
+                error = err_;
+                return false;
+            }
+            skipWs();
+            if (!expect(':')) {
+                error = err_;
+                return false;
+            }
+            skipWs();
+            if (!parseField(key, claims)) {
+                error = err_;
+                return false;
+            }
+        }
+        skipWs();
+        if (pos_ != text_.size()) {
+            error = "trailing characters after manifest object";
+            return false;
+        }
+        if (!sawSchema_) {
+            error = "manifest lacks a \"schema\" field";
+            return false;
+        }
+        if (!sawVersion_) {
+            error = "manifest lacks a \"version\" field";
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    char
+    peek() const
+    {
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    expect(char c)
+    {
+        if (peek() != c) {
+            err_ = std::string("expected '") + c + "' at offset " +
+                   std::to_string(pos_);
+            return false;
+        }
+        ++pos_;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!expect('"'))
+            return false;
+        out.clear();
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            if (text_[pos_] == '\\') {
+                err_ = "escape sequences are not supported";
+                return false;
+            }
+            out += text_[pos_++];
+        }
+        return expect('"');
+    }
+
+    bool
+    parseUint(uint64_t &out)
+    {
+        if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+            err_ = "expected integer at offset " + std::to_string(pos_);
+            return false;
+        }
+        out = 0;
+        while (std::isdigit(static_cast<unsigned char>(peek()))) {
+            out = out * 10 + static_cast<uint64_t>(text_[pos_] - '0');
+            if (out > 0xFFFFFFFFull) {
+                err_ = "integer out of range at offset " +
+                       std::to_string(pos_);
+                return false;
+            }
+            ++pos_;
+        }
+        return true;
+    }
+
+    /** Parse `[n, n, ...]` rows of exactly @p width into @p rows. */
+    bool
+    parseRows(size_t width, std::vector<std::vector<uint32_t>> &rows)
+    {
+        if (!expect('['))
+            return false;
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            std::vector<uint32_t> row;
+            if (width == 1) {
+                uint64_t v;
+                if (!parseUint(v))
+                    return false;
+                row.push_back(static_cast<uint32_t>(v));
+            } else {
+                if (!expect('['))
+                    return false;
+                for (size_t k = 0; k < width; ++k) {
+                    skipWs();
+                    if (k > 0 && !expect(','))
+                        return false;
+                    skipWs();
+                    uint64_t v;
+                    if (!parseUint(v))
+                        return false;
+                    row.push_back(static_cast<uint32_t>(v));
+                }
+                skipWs();
+                if (!expect(']'))
+                    return false;
+            }
+            rows.push_back(std::move(row));
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            return expect(']');
+        }
+    }
+
+    bool
+    parseField(const std::string &key, OptClaims &claims)
+    {
+        if (key == "schema") {
+            std::string schema;
+            if (!parseString(schema))
+                return false;
+            if (schema != "wasabi-opt-manifest") {
+                err_ = "unexpected schema \"" + schema + "\"";
+                return false;
+            }
+            sawSchema_ = true;
+            return true;
+        }
+        if (key == "version") {
+            uint64_t v;
+            if (!parseUint(v))
+                return false;
+            if (v != 1) {
+                err_ = "unsupported manifest version " +
+                       std::to_string(v);
+                return false;
+            }
+            sawVersion_ = true;
+            return true;
+        }
+        if (key == "passes") {
+            if (!expect('['))
+                return false;
+            skipWs();
+            if (peek() == ']') {
+                ++pos_;
+                return true;
+            }
+            while (true) {
+                skipWs();
+                std::string p;
+                if (!parseString(p))
+                    return false;
+                claims.passes.push_back(std::move(p));
+                skipWs();
+                if (peek() == ',') {
+                    ++pos_;
+                    continue;
+                }
+                return expect(']');
+            }
+        }
+        std::vector<std::vector<uint32_t>> rows;
+        if (key == "strippedFunctions") {
+            if (!parseRows(1, rows))
+                return false;
+            for (const auto &r : rows)
+                claims.strippedFunctions.push_back(r[0]);
+            return true;
+        }
+        if (key == "directCalls") {
+            if (!parseRows(4, rows))
+                return false;
+            for (const auto &r : rows)
+                claims.directCalls.push_back(
+                    DirectCallClaim{r[0], r[1], r[2], r[3]});
+            return true;
+        }
+        if (key == "constFolds") {
+            if (!parseRows(4, rows))
+                return false;
+            for (const auto &r : rows)
+                claims.constFolds.push_back(
+                    ConstFoldClaim{r[0], r[1], r[2], r[3]});
+            return true;
+        }
+        if (key == "deadStores") {
+            if (!parseRows(3, rows))
+                return false;
+            for (const auto &r : rows)
+                claims.deadStores.push_back(
+                    DeadStoreClaim{r[0], r[1], r[2]});
+            return true;
+        }
+        if (key == "emptyBlocks") {
+            if (!parseRows(2, rows))
+                return false;
+            for (const auto &r : rows)
+                claims.emptyBlocks.push_back(EmptyBlockClaim{r[0], r[1]});
+            return true;
+        }
+        err_ = "unknown manifest field \"" + key + "\"";
+        return false;
+    }
+
+    const std::string &text_;
+    size_t pos_ = 0;
+    std::string err_;
+    bool sawSchema_ = false;
+    bool sawVersion_ = false;
+};
+
+} // namespace
+
+bool
+claimsFromManifest(const std::string &text, OptClaims &claims,
+                   std::string *error)
+{
+    std::string err;
+    if (!OptManifestParser(text).parse(claims, err)) {
+        if (error)
+            *error = err;
+        return false;
+    }
+    return true;
+}
+
+bool
+isOptManifest(const std::string &text)
+{
+    return text.find("\"wasabi-opt-manifest\"") != std::string::npos;
+}
+
+// ----- checker -------------------------------------------------------
+
+namespace {
+
+bool
+listed(const OptClaims &claims, const char *pass)
+{
+    return std::find(claims.passes.begin(), claims.passes.end(), pass) !=
+           claims.passes.end();
+}
+
+} // namespace
+
+Diagnostics
+checkOptimization(const Module &original,
+                  const std::vector<uint8_t> &optimized_bytes,
+                  const OptClaims &claims)
+{
+    Diagnostics ds;
+
+    for (const std::string &p : claims.passes) {
+        if (!isOptPass(p))
+            ds.error("check.opt.unknown-pass",
+                     "manifest lists unknown pass \"" + p + "\"");
+    }
+    // Claims for a pass the manifest does not list cannot have been
+    // produced by that manifest's run — tamper evidence.
+    if (!listed(claims, kPassDeadFunctions) &&
+        !claims.strippedFunctions.empty())
+        ds.error("check.opt.orphan-claims",
+                 "strippedFunctions present but dead-functions not in "
+                 "passes");
+    if (!listed(claims, kPassCallIndirect) && !claims.directCalls.empty())
+        ds.error("check.opt.orphan-claims",
+                 "directCalls present but call-indirect not in passes");
+    if (!listed(claims, kPassConstFold) && !claims.constFolds.empty())
+        ds.error("check.opt.orphan-claims",
+                 "constFolds present but const-fold not in passes");
+    if (!listed(claims, kPassDeadStores) && !claims.deadStores.empty())
+        ds.error("check.opt.orphan-claims",
+                 "deadStores present but dead-stores not in passes");
+    if (!listed(claims, kPassEmptyBlocks) && !claims.emptyBlocks.empty())
+        ds.error("check.opt.orphan-claims",
+                 "emptyBlocks present but empty-blocks not in passes");
+    if (!ds.empty())
+        return ds;
+
+    Module replay = original;
+    try {
+        for (const std::string &pass : claims.passes) {
+            if (pass == kPassDeadFunctions) {
+                std::vector<uint32_t> provable =
+                    strippableFunctions(replay);
+                for (uint32_t f : claims.strippedFunctions) {
+                    if (!std::binary_search(provable.begin(),
+                                            provable.end(), f))
+                        ds.error("check.opt.bad-dead-function",
+                                 "function " + std::to_string(f) +
+                                     " is not provably dead",
+                                 f);
+                }
+                if (!ds.empty())
+                    return ds;
+                replay = applyStrip(replay, claims.strippedFunctions);
+            } else if (pass == kPassCallIndirect) {
+                interproc::RefinedCallGraph rcg(replay);
+                for (const DirectCallClaim &c : claims.directCalls) {
+                    const interproc::CallSite *site =
+                        rcg.siteAt(c.func, c.instr);
+                    bool ok =
+                        site != nullptr &&
+                        site->kind ==
+                            interproc::SiteKind::IndirectConst &&
+                        site->targets.size() == 1 &&
+                        site->targets.front() == c.target &&
+                        c.func < replay.numFunctions() &&
+                        c.instr <
+                            replay.functions[c.func].body.size() &&
+                        replay.functions[c.func].body[c.instr].op ==
+                            Opcode::CallIndirect &&
+                        replay.functions[c.func].body[c.instr].imm.idx ==
+                            c.typeIdx;
+                    if (!ok)
+                        ds.error("check.opt.bad-call-target",
+                                 "call_indirect is not provably a "
+                                 "direct call of function " +
+                                     std::to_string(c.target),
+                                 c.func, c.instr);
+                }
+                if (!ds.empty())
+                    return ds;
+                applyDirectCalls(replay, claims.directCalls);
+            } else if (pass == kPassConstFold) {
+                // Sequential replay: each claim's coordinates refer to
+                // the body after the previous claims were applied.
+                for (const ConstFoldClaim &c : claims.constFolds) {
+                    std::optional<uint32_t> v;
+                    if (c.func < replay.numFunctions() &&
+                        !replay.functions[c.func].imported())
+                        v = foldWindow(replay.functions[c.func].body,
+                                       c.first, c.count);
+                    if (!v || *v != c.value) {
+                        ds.error("check.opt.bad-fold",
+                                 "sequence does not provably fold to " +
+                                     std::to_string(c.value),
+                                 c.func, c.first);
+                        return ds;
+                    }
+                    applyConstFold(replay.functions[c.func].body, c,
+                                   *v);
+                }
+            } else if (pass == kPassDeadStores) {
+                std::vector<DeadStoreClaim> provable =
+                    findDeadStores(replay);
+                for (const DeadStoreClaim &c : claims.deadStores) {
+                    bool ok = std::any_of(
+                        provable.begin(), provable.end(),
+                        [&](const DeadStoreClaim &p) {
+                            return p.func == c.func &&
+                                   p.instr == c.instr &&
+                                   p.local == c.local;
+                        });
+                    if (!ok)
+                        ds.error("check.opt.bad-dead-store",
+                                 "local.set of local " +
+                                     std::to_string(c.local) +
+                                     " is not provably dead",
+                                 c.func, c.instr);
+                }
+                if (!ds.empty())
+                    return ds;
+                applyDeadStores(replay, claims.deadStores);
+            } else if (pass == kPassEmptyBlocks) {
+                std::vector<EmptyBlockClaim> provable =
+                    findEmptyBlocks(replay);
+                for (const EmptyBlockClaim &c : claims.emptyBlocks) {
+                    bool ok = std::any_of(
+                        provable.begin(), provable.end(),
+                        [&](const EmptyBlockClaim &p) {
+                            return p.func == c.func &&
+                                   p.begin == c.begin;
+                        });
+                    if (!ok)
+                        ds.error("check.opt.bad-empty-block",
+                                 "instructions are not an empty "
+                                 "block/loop pair",
+                                 c.func, c.begin);
+                }
+                if (!ds.empty())
+                    return ds;
+                applyEmptyBlocks(replay, claims.emptyBlocks);
+            }
+        }
+    } catch (const std::exception &e) {
+        ds.error("check.opt.replay-failed",
+                 std::string("claimed edit could not be replayed: ") +
+                     e.what());
+        return ds;
+    }
+
+    // The shipped binary must decode, validate, and be byte-identical
+    // to the replay — anything else means it was not produced by the
+    // claimed transforms.
+    try {
+        Module decoded = wasm::decodeModule(optimized_bytes);
+        if (std::optional<std::string> err = wasm::validationError(decoded))
+            ds.error("check.opt.invalid-output",
+                     "optimized binary fails validation: " + *err);
+    } catch (const wasm::DecodeError &e) {
+        ds.error("check.opt.invalid-output",
+                 std::string("optimized binary fails to decode: ") +
+                     e.what());
+        return ds;
+    }
+    if (wasm::encodeModule(replay) != optimized_bytes)
+        ds.error("check.opt.output-mismatch",
+                 "optimized binary differs from the replayed transforms");
+    return ds;
+}
+
+} // namespace wasabi::static_analysis::rewrite

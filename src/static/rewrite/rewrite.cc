@@ -1,0 +1,219 @@
+#include "static/rewrite/rewrite.h"
+
+#include <algorithm>
+
+namespace wasabi::static_analysis::rewrite {
+
+using wasm::Function;
+using wasm::FuncType;
+using wasm::Global;
+using wasm::IndexRemap;
+using wasm::Instr;
+using wasm::kDeletedIndex;
+using wasm::Module;
+using wasm::Opcode;
+using wasm::ValType;
+
+namespace {
+
+void
+checkFuncIndex(const Module &m, uint32_t idx, const char *what)
+{
+    if (idx >= m.functions.size())
+        throw RewriteError("rewrite.bad-index",
+                           std::string(what) + ": function index " +
+                               std::to_string(idx) + " out of range");
+}
+
+} // namespace
+
+void
+ModuleRewriter::deleteFunction(uint32_t idx)
+{
+    checkFuncIndex(m_, idx, "deleteFunction");
+    deletions_.insert(idx);
+}
+
+uint32_t
+ModuleRewriter::addFunction(Function f)
+{
+    if (f.imported())
+        throw RewriteError("rewrite.add-imported",
+                           "addFunction only accepts defined functions");
+    uint32_t handle =
+        kNewFuncHandle + static_cast<uint32_t>(newFunctions_.size());
+    newFunctions_.push_back(std::move(f));
+    return handle;
+}
+
+void
+ModuleRewriter::replaceBody(uint32_t idx, std::vector<Instr> body,
+                            std::optional<std::vector<ValType>> locals)
+{
+    checkFuncIndex(m_, idx, "replaceBody");
+    if (m_.functions[idx].imported())
+        throw RewriteError("rewrite.bad-index",
+                           "replaceBody: function " + std::to_string(idx) +
+                               " is imported and has no body");
+    bodyReplacements_[idx] = {std::move(body), std::move(locals)};
+}
+
+uint32_t
+ModuleRewriter::addType(const FuncType &type)
+{
+    for (uint32_t i = 0; i < m_.types.size(); ++i) {
+        if (m_.types[i] == type)
+            return i;
+    }
+    for (uint32_t i = 0; i < newTypes_.size(); ++i) {
+        if (newTypes_[i] == type)
+            return static_cast<uint32_t>(m_.types.size()) + i;
+    }
+    newTypes_.push_back(type);
+    return static_cast<uint32_t>(m_.types.size() + newTypes_.size() - 1);
+}
+
+uint32_t
+ModuleRewriter::addGlobal(Global g)
+{
+    if (g.imported())
+        throw RewriteError("rewrite.add-imported",
+                           "addGlobal only accepts defined globals");
+    newGlobals_.push_back(std::move(g));
+    return static_cast<uint32_t>(m_.globals.size() + newGlobals_.size() -
+                                 1);
+}
+
+void
+ModuleRewriter::setGlobalInit(uint32_t idx, std::vector<Instr> init)
+{
+    if (idx >= m_.globals.size() + newGlobals_.size())
+        throw RewriteError("rewrite.bad-index",
+                           "setGlobalInit: global index " +
+                               std::to_string(idx) + " out of range");
+    if (idx < m_.globals.size() && m_.globals[idx].imported())
+        throw RewriteError("rewrite.bad-index",
+                           "setGlobalInit: global " + std::to_string(idx) +
+                               " is imported and has no initializer");
+    globalInits_[idx] = std::move(init);
+}
+
+void
+ModuleRewriter::setElementFuncs(uint32_t seg, std::vector<uint32_t> funcs)
+{
+    if (seg >= m_.elements.size())
+        throw RewriteError("rewrite.bad-index",
+                           "setElementFuncs: segment " +
+                               std::to_string(seg) + " out of range");
+    elementFuncs_[seg] = std::move(funcs);
+}
+
+void
+ModuleRewriter::setStart(std::optional<uint32_t> func)
+{
+    start_ = func;
+}
+
+bool
+ModuleRewriter::hasEdits() const
+{
+    return !deletions_.empty() || !newFunctions_.empty() ||
+           !bodyReplacements_.empty() || !newTypes_.empty() ||
+           !newGlobals_.empty() || !globalInits_.empty() ||
+           !elementFuncs_.empty() || start_.has_value();
+}
+
+RewriteResult
+ModuleRewriter::apply() const
+{
+    RewriteResult result;
+    Module &out = result.module;
+    out = m_;
+
+    if (!hasEdits())
+        return result; // byte-identity: untouched copy, identity remap
+
+    // In-place edits, still in the original index space.
+    for (const auto &[idx, repl] : bodyReplacements_) {
+        out.functions[idx].body = repl.first;
+        if (repl.second)
+            out.functions[idx].locals = *repl.second;
+    }
+    out.types.insert(out.types.end(), newTypes_.begin(), newTypes_.end());
+    out.globals.insert(out.globals.end(), newGlobals_.begin(),
+                       newGlobals_.end());
+    for (const auto &[idx, init] : globalInits_)
+        out.globals[idx].init = init;
+    for (const auto &[seg, funcs] : elementFuncs_)
+        out.elements[seg].funcIdxs = funcs;
+    if (start_)
+        out.start = *start_;
+
+    // Compact the function vector and build the old->new map.
+    const uint32_t orig_count = m_.numFunctions();
+    uint32_t kept = 0;
+    IndexRemap &remap = result.remap;
+    if (!deletions_.empty()) {
+        remap.funcMap.assign(orig_count, kDeletedIndex);
+        std::vector<Function> compacted;
+        compacted.reserve(orig_count - deletions_.size() +
+                          newFunctions_.size());
+        for (uint32_t i = 0; i < orig_count; ++i) {
+            if (deletions_.count(i)) {
+                if (!out.functions[i].exportNames.empty())
+                    throw RewriteError(
+                        "rewrite.delete-exported",
+                        "function " + std::to_string(i) +
+                            " is exported as \"" +
+                            out.functions[i].exportNames.front() +
+                            "\" and cannot be deleted");
+                continue;
+            }
+            remap.funcMap[i] = kept++;
+            compacted.push_back(std::move(out.functions[i]));
+        }
+        out.functions = std::move(compacted);
+    } else {
+        kept = orig_count;
+    }
+
+    // Append new functions and resolve their final indices.
+    for (uint32_t n = 0; n < newFunctions_.size(); ++n) {
+        result.newFunctionIndices.push_back(kept + n);
+        out.functions.push_back(newFunctions_[n]);
+    }
+
+    // Fix every index reference through the shared fixup layer. New
+    // function handles (>= kNewFuncHandle) pass through untouched —
+    // they are outside the original index space.
+    remapModule(out, remap);
+
+    // Resolve handles to the final appended indices.
+    auto resolve = [&](uint32_t idx, const char *context) {
+        if (idx < kNewFuncHandle)
+            return idx;
+        uint32_t n = idx - kNewFuncHandle;
+        if (n >= newFunctions_.size())
+            throw RewriteError("rewrite.bad-handle",
+                               std::string(context) +
+                                   ": unknown new-function handle " +
+                                   std::to_string(idx));
+        return kept + n;
+    };
+    for (Function &f : out.functions) {
+        for (Instr &instr : f.body) {
+            if (instr.op == Opcode::Call)
+                instr.imm.idx = resolve(instr.imm.idx, "call");
+        }
+    }
+    for (wasm::ElementSegment &seg : out.elements) {
+        for (uint32_t &f : seg.funcIdxs)
+            f = resolve(f, "element segment");
+    }
+    if (out.start)
+        out.start = resolve(*out.start, "start section");
+
+    return result;
+}
+
+} // namespace wasabi::static_analysis::rewrite

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Section-level module rewriting with automatic index fixup: insert /
+ * delete / replace functions, replace bodies, and edit types, globals,
+ * element segments, and the start section. Edits are recorded against
+ * the *original* index space and applied atomically by apply(), which
+ * compacts the entity vectors, renumbers every reference through the
+ * shared wasm::remapModule fixup layer (bodies, element segments,
+ * start, exports-by-position, and all "name" subsections), and returns
+ * the resulting module plus the old->new IndexRemap.
+ *
+ * Zero registered edits are guaranteed byte-identity: apply() returns
+ * a module whose encoding equals the original's encoding.
+ *
+ * References to functions added by this rewriter use opaque handles
+ * (kNewFuncHandle + n, in the spirit of the instrumenter's hook-index
+ * sentinel); plain indices inside new bodies refer to the original
+ * index space and are remapped like everything else.
+ */
+
+#ifndef WASABI_STATIC_REWRITE_REWRITE_H
+#define WASABI_STATIC_REWRITE_REWRITE_H
+
+#include <map>
+#include <optional>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "wasm/module.h"
+#include "wasm/remap.h"
+
+namespace wasabi::static_analysis::rewrite {
+
+/** Structured rewrite failure with a stable dotted code, e.g.
+ * "rewrite.delete-exported". */
+class RewriteError : public std::runtime_error {
+  public:
+    RewriteError(std::string code, const std::string &what)
+        : std::runtime_error("rewrite error [" + code + "]: " + what),
+          code_(std::move(code))
+    {
+    }
+
+    const std::string &code() const { return code_; }
+
+  private:
+    std::string code_;
+};
+
+/** Base of the handle range returned by addFunction. Handles are
+ * valid wherever a function index is expected in a registered edit
+ * (Call immediates, element lists, setStart). */
+inline constexpr uint32_t kNewFuncHandle = 0x80000000u;
+
+/** Outcome of apply(). */
+struct RewriteResult {
+    wasm::Module module;
+    /** Old index -> new index (kDeletedIndex for deleted entities);
+     * identity when no functions were deleted. */
+    wasm::IndexRemap remap;
+    /** Final indices of functions added via addFunction, in call
+     * order (resolves each kNewFuncHandle + n). */
+    std::vector<uint32_t> newFunctionIndices;
+};
+
+/**
+ * Records edits against a source module and applies them all at once.
+ * The source module is not modified. Errors (index out of range,
+ * deleting an exported function, element segment referencing a
+ * deleted function, ...) surface as RewriteError / wasm::RemapError
+ * from apply(), never as silent corruption.
+ */
+class ModuleRewriter {
+  public:
+    explicit ModuleRewriter(const wasm::Module &m) : m_(m) {}
+
+    /** Delete function @p idx (original index space). Exported
+     * functions are refused at apply() time ("rewrite.delete-exported"):
+     * deleting one silently changes the host-visible surface. */
+    void deleteFunction(uint32_t idx);
+
+    /** Add a defined function (imports are refused: they would break
+     * the imports-before-defined encoding invariant when appended).
+     * Returns a handle (kNewFuncHandle + n) usable in other edits. */
+    uint32_t addFunction(wasm::Function f);
+
+    /** Replace the body (and optionally the non-param locals) of
+     * function @p idx. The body must include the terminating `end`. */
+    void replaceBody(uint32_t idx, std::vector<wasm::Instr> body,
+                     std::optional<std::vector<wasm::ValType>> locals =
+                         std::nullopt);
+
+    /** Add a function type; returns its final index (types are
+     * append-only and deduplicated against existing types). */
+    uint32_t addType(const wasm::FuncType &type);
+
+    /** Add a defined global; returns its final index. */
+    uint32_t addGlobal(wasm::Global g);
+
+    /** Replace the initializer of defined global @p idx (must include
+     * the terminating `end`). */
+    void setGlobalInit(uint32_t idx, std::vector<wasm::Instr> init);
+
+    /** Replace the function list of element segment @p seg. */
+    void setElementFuncs(uint32_t seg, std::vector<uint32_t> funcs);
+
+    /** Set or clear the start function. */
+    void setStart(std::optional<uint32_t> func);
+
+    bool hasEdits() const;
+
+    /** Apply all recorded edits. Throws RewriteError on malformed
+     * edits and wasm::RemapError when surviving code references a
+     * deleted function. */
+    RewriteResult apply() const;
+
+  private:
+    const wasm::Module &m_;
+    std::set<uint32_t> deletions_;
+    std::vector<wasm::Function> newFunctions_;
+    std::map<uint32_t, std::pair<std::vector<wasm::Instr>,
+                                 std::optional<std::vector<wasm::ValType>>>>
+        bodyReplacements_;
+    std::vector<wasm::FuncType> newTypes_;
+    std::vector<wasm::Global> newGlobals_;
+    std::map<uint32_t, std::vector<wasm::Instr>> globalInits_;
+    std::map<uint32_t, std::vector<uint32_t>> elementFuncs_;
+    std::optional<std::optional<uint32_t>> start_;
+};
+
+} // namespace wasabi::static_analysis::rewrite
+
+#endif // WASABI_STATIC_REWRITE_REWRITE_H

@@ -414,4 +414,35 @@ encodeModule(const Module &m)
     return out;
 }
 
+std::vector<SectionSize>
+sectionSizes(const std::vector<uint8_t> &bytes)
+{
+    static const char *kSectionNames[] = {
+        "custom", "type",   "import", "function", "table",  "memory",
+        "global", "export", "start",  "element",  "code",   "data",
+    };
+    std::vector<SectionSize> sizes;
+    ByteReader r(bytes);
+    r.readBytes(8); // magic + version
+    while (!r.done()) {
+        size_t header_start = r.pos();
+        uint8_t id = r.readByte();
+        uint32_t payload = r.readU32();
+        SectionSize s;
+        s.id = id;
+        s.name = id < 12 ? kSectionNames[id] : "unknown";
+        if (id == 0) {
+            size_t name_start = r.pos();
+            ByteReader nr(bytes.data() + name_start, payload);
+            s.name = nr.readName();
+            r.readBytes(payload);
+        } else {
+            r.readBytes(payload);
+        }
+        s.bytes = r.pos() - header_start;
+        sizes.push_back(std::move(s));
+    }
+    return sizes;
+}
+
 } // namespace wasabi::wasm

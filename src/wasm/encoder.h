@@ -34,6 +34,19 @@ std::vector<uint8_t> encodeModule(const Module &m);
 /** Encode a single instruction (exposed for tests). */
 void encodeInstr(std::vector<uint8_t> &out, const Instr &instr);
 
+/** Size of one top-level section in an encoded module. */
+struct SectionSize {
+    uint8_t id = 0;       ///< section id (0 = custom)
+    std::string name;     ///< "type", "code", ...; custom section name
+    size_t bytes = 0;     ///< full section size incl. header
+};
+
+/**
+ * Per-section byte sizes of an encoded module (the `wasabi opt` size
+ * report). Throws DecodeError on a malformed section layout.
+ */
+std::vector<SectionSize> sectionSizes(const std::vector<uint8_t> &bytes);
+
 } // namespace wasabi::wasm
 
 #endif // WASABI_WASM_ENCODER_H

@@ -1,0 +1,92 @@
+#include "wasm/remap.h"
+
+#include "wasm/name_section.h"
+
+namespace wasabi::wasm {
+
+namespace {
+
+uint32_t
+remapOrThrow(const std::vector<uint32_t> &map, uint32_t old_idx,
+             const char *code, const std::string &context)
+{
+    if (map.empty() || old_idx >= map.size())
+        return old_idx;
+    uint32_t new_idx = map[old_idx];
+    if (new_idx == kDeletedIndex)
+        throw RemapError(code, context + " still references deleted index " +
+                                   std::to_string(old_idx));
+    return new_idx;
+}
+
+void
+remapExpr(std::vector<Instr> &body, const IndexRemap &remap,
+          const std::string &context)
+{
+    for (Instr &instr : body) {
+        switch (instr.op) {
+          case Opcode::Call:
+            instr.imm.idx =
+                remapOrThrow(remap.funcMap, instr.imm.idx,
+                             "remap.call-deleted-function", context);
+            break;
+          case Opcode::CallIndirect:
+            instr.imm.idx =
+                remapOrThrow(remap.typeMap, instr.imm.idx,
+                             "remap.call-deleted-type", context);
+            break;
+          case Opcode::GlobalGet:
+          case Opcode::GlobalSet:
+            instr.imm.idx =
+                remapOrThrow(remap.globalMap, instr.imm.idx,
+                             "remap.access-deleted-global", context);
+            break;
+          default:
+            break;
+        }
+    }
+}
+
+} // namespace
+
+void
+remapModule(Module &m, const IndexRemap &remap)
+{
+    if (remap.identity())
+        return;
+
+    for (uint32_t i = 0; i < m.functions.size(); ++i) {
+        Function &f = m.functions[i];
+        std::string context = "function " + std::to_string(i);
+        f.typeIdx = remapOrThrow(remap.typeMap, f.typeIdx,
+                                 "remap.func-deleted-type", context);
+        remapExpr(f.body, remap, context);
+    }
+    for (uint32_t i = 0; i < m.globals.size(); ++i)
+        remapExpr(m.globals[i].init, remap,
+                  "global " + std::to_string(i) + " initializer");
+    for (uint32_t i = 0; i < m.elements.size(); ++i) {
+        ElementSegment &seg = m.elements[i];
+        std::string context = "element segment " + std::to_string(i);
+        remapExpr(seg.offset, remap, context);
+        for (uint32_t &f : seg.funcIdxs)
+            f = remapOrThrow(remap.funcMap, f,
+                             "remap.element-deleted-function", context);
+    }
+    for (DataSegment &seg : m.data)
+        remapExpr(seg.offset, remap, "data segment offset");
+    if (m.start)
+        m.start = remapOrThrow(remap.funcMap, *m.start,
+                               "remap.start-deleted-function",
+                               "start section");
+
+    if (!remap.funcMap.empty()) {
+        NameSectionData names = parseNameSection(m);
+        if (!names.empty()) {
+            remapNameData(names, remap.funcMap);
+            setNameSection(m, names);
+        }
+    }
+}
+
+} // namespace wasabi::wasm

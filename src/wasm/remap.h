@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Shared index-remapping layer for binary rewriting: when functions,
+ * types, or globals are inserted or deleted, every reference in the
+ * module — call immediates, `call_indirect` type immediates,
+ * global accesses, element segments, global initializers, the start
+ * section, and the "name" custom section — must be rewritten for the
+ * shifted index space. The instrumenter (hook-import injection) and
+ * the rewriting toolkit (`src/static/rewrite/`) both build on this.
+ *
+ * A reference to a *deleted* entity from surviving code is a
+ * structured RemapError, never silent corruption.
+ */
+
+#ifndef WASABI_WASM_REMAP_H
+#define WASABI_WASM_REMAP_H
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "wasm/module.h"
+
+namespace wasabi::wasm {
+
+/** Sentinel in a remap table: the old index has no new home. */
+inline constexpr uint32_t kDeletedIndex = 0xFFFFFFFFu;
+
+/**
+ * Old-index -> new-index maps for the three index spaces a rewrite
+ * can shift. An empty vector means "identity" for that space; an
+ * entry of kDeletedIndex means the entity was deleted.
+ */
+struct IndexRemap {
+    std::vector<uint32_t> funcMap;
+    std::vector<uint32_t> typeMap;
+    std::vector<uint32_t> globalMap;
+
+    /** Identity for all spaces (no edits). */
+    bool
+    identity() const
+    {
+        return funcMap.empty() && typeMap.empty() && globalMap.empty();
+    }
+
+    uint32_t func(uint32_t old_idx) const { return lookup(funcMap, old_idx); }
+    uint32_t type(uint32_t old_idx) const { return lookup(typeMap, old_idx); }
+    uint32_t global(uint32_t old_idx) const
+    {
+        return lookup(globalMap, old_idx);
+    }
+
+  private:
+    static uint32_t
+    lookup(const std::vector<uint32_t> &map, uint32_t old_idx)
+    {
+        if (map.empty() || old_idx >= map.size())
+            return old_idx;
+        return map[old_idx];
+    }
+};
+
+/** Structured rewrite-fixup failure with a stable dotted code, e.g.
+ * "remap.element-deleted-function". */
+class RemapError : public std::runtime_error {
+  public:
+    RemapError(std::string code, const std::string &what)
+        : std::runtime_error("remap error [" + code + "]: " + what),
+          code_(std::move(code))
+    {
+    }
+
+    const std::string &code() const { return code_; }
+
+  private:
+    std::string code_;
+};
+
+/**
+ * Rewrite every index reference in @p m through @p remap: function
+ * typeIdx fields, Call / CallIndirect / GlobalGet / GlobalSet
+ * immediates in bodies and constant expressions, element-segment
+ * function lists, the start section, and the "name" custom section
+ * (function, local, and label subsections). The module's entity
+ * vectors themselves are NOT reordered — callers compact those first
+ * and then call this to fix the references.
+ *
+ * Throws RemapError when surviving code still references a deleted
+ * entity:
+ *  - "remap.call-deleted-function"      (call immediate)
+ *  - "remap.element-deleted-function"   (element segment entry)
+ *  - "remap.start-deleted-function"     (start section)
+ *  - "remap.call-deleted-type"          (call_indirect type)
+ *  - "remap.func-deleted-type"          (function signature)
+ *  - "remap.access-deleted-global"      (global.get/set or init expr)
+ */
+void remapModule(Module &m, const IndexRemap &remap);
+
+} // namespace wasabi::wasm
+
+#endif // WASABI_WASM_REMAP_H

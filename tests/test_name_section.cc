@@ -12,6 +12,7 @@
 #include "wasm/decoder.h"
 #include "wasm/encoder.h"
 #include "wasm/name_section.h"
+#include "wasm/remap.h"
 
 namespace wasabi::wasm {
 namespace {
@@ -160,6 +161,129 @@ TEST(NameSection, InstrumentationRemapsManyNamesAndImports)
     for (const Function &f : decoded.functions)
         named += !f.debugName.empty();
     EXPECT_EQ(named, r.info->hooks.size() + 2);
+}
+
+// ---------------------------------------------------------------------
+// Structured NameSectionData: local/label subsections must survive
+// parse -> set round trips and be remapped (not dropped) when function
+// indices shift.
+
+/** Two functions with module/function/local/label names on both. */
+Module
+moduleWithAllSubsections()
+{
+    ModuleBuilder mb;
+    mb.addFunction(FuncType({ValType::I32}, {ValType::I32}), "first",
+                   [](FunctionBuilder &f) {
+                       f.block();
+                       f.end();
+                       f.localGet(0);
+                   });
+    mb.addFunction(FuncType({}, {ValType::I32}), "second",
+                   [](FunctionBuilder &f) {
+                       uint32_t tmp = f.addLocal(ValType::I32);
+                       f.i32Const(7);
+                       f.localSet(tmp);
+                       f.localGet(tmp);
+                   });
+    Module m = mb.build();
+    NameSectionData data;
+    data.moduleName = "demo";
+    data.funcNames = {{0, "first_impl"}, {1, "second_impl"}};
+    data.localNames = {{0, {{0, "arg"}}}, {1, {{0, "tmp"}}}};
+    data.labelNames = {{0, {{0, "outer"}}}};
+    setNameSection(m, data);
+    return m;
+}
+
+TEST(NameSectionData, ParseSetRoundtripIsByteIdentical)
+{
+    Module m = moduleWithAllSubsections();
+    ASSERT_EQ(m.customs.size(), 1u);
+    std::vector<uint8_t> before = m.customs[0].bytes;
+
+    NameSectionData data = parseNameSection(m);
+    EXPECT_EQ(data.moduleName, "demo");
+    ASSERT_EQ(data.funcNames.size(), 2u);
+    ASSERT_EQ(data.localNames.size(), 2u);
+    ASSERT_EQ(data.labelNames.size(), 1u);
+    EXPECT_EQ(data.localNames[1].second,
+              (NameMap{{0, "tmp"}}));
+
+    setNameSection(m, data);
+    ASSERT_EQ(m.customs.size(), 1u);
+    EXPECT_EQ(m.customs[0].bytes, before);
+    // And the whole module survives a binary roundtrip unchanged.
+    EXPECT_EQ(encodeModule(decodeModule(encodeModule(m))),
+              encodeModule(m));
+}
+
+TEST(NameSectionData, RemapDropsDeletedAndShiftsSurvivors)
+{
+    Module m = moduleWithAllSubsections();
+    NameSectionData data = parseNameSection(m);
+    // Delete function 0: its entries vanish from every subsection and
+    // function 1's entries move to index 0.
+    remapNameData(data, {kDeletedIndex, 0});
+    EXPECT_EQ(data.moduleName, "demo");
+    EXPECT_EQ(data.funcNames, (NameMap{{0, "second_impl"}}));
+    ASSERT_EQ(data.localNames.size(), 1u);
+    EXPECT_EQ(data.localNames[0].first, 0u);
+    EXPECT_EQ(data.localNames[0].second, (NameMap{{0, "tmp"}}));
+    EXPECT_TRUE(data.labelNames.empty()); // only func 0 had labels
+}
+
+TEST(NameSectionData, RemapReordersByNewIndex)
+{
+    NameSectionData data;
+    data.funcNames = {{0, "a"}, {1, "b"}, {2, "c"}};
+    data.localNames = {{0, {{0, "x"}}}, {2, {{1, "y"}}}};
+    // Swap 0 and 2; entries must come back sorted by new index.
+    remapNameData(data, {2, 1, 0});
+    EXPECT_EQ(data.funcNames, (NameMap{{0, "c"}, {1, "b"}, {2, "a"}}));
+    ASSERT_EQ(data.localNames.size(), 2u);
+    EXPECT_EQ(data.localNames[0].first, 0u);
+    EXPECT_EQ(data.localNames[0].second, (NameMap{{1, "y"}}));
+    EXPECT_EQ(data.localNames[1].first, 2u);
+    EXPECT_EQ(data.localNames[1].second, (NameMap{{0, "x"}}));
+}
+
+TEST(NameSectionData, InstrumentationPreservesLocalNames)
+{
+    // Regression: instrumentation used to rebuild the name section
+    // from function debugNames alone, silently dropping the
+    // local-name subsection. Locals keep their indices across
+    // instrumentation (extra locals are appended), so local names must
+    // survive, attached to the shifted function index.
+    Module m = moduleWithAllSubsections();
+    core::InstrumentResult r = core::instrument(
+        m, core::HookSet::only(core::HookKind::Const));
+
+    Module decoded = decodeModule(encodeModule(r.module));
+    NameSectionData names = parseNameSection(decoded);
+    EXPECT_EQ(names.moduleName, "demo");
+    applyNameSection(decoded);
+    uint32_t first = *decoded.findFuncExport("first");
+    uint32_t second = *decoded.findFuncExport("second");
+    EXPECT_GT(first, 0u); // hook imports shifted everything
+    EXPECT_EQ(decoded.functions[first].debugName, "first_impl");
+    EXPECT_EQ(decoded.functions[second].debugName, "second_impl");
+
+    auto localsOf = [&](uint32_t f) -> const NameMap * {
+        for (const auto &[idx, map] : names.localNames)
+            if (idx == f)
+                return &map;
+        return nullptr;
+    };
+    const NameMap *first_locals = localsOf(first);
+    const NameMap *second_locals = localsOf(second);
+    ASSERT_NE(first_locals, nullptr);
+    ASSERT_NE(second_locals, nullptr);
+    EXPECT_EQ(*first_locals, (NameMap{{0, "arg"}}));
+    EXPECT_EQ(*second_locals, (NameMap{{0, "tmp"}}));
+    // Label names refer to body positions, which instrumentation
+    // rewrites, so they are deliberately dropped.
+    EXPECT_TRUE(names.labelNames.empty());
 }
 
 } // namespace

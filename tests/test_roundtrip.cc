@@ -11,6 +11,9 @@
 #include "wasm/encoder.h"
 #include "wasm/leb128.h"
 #include "wasm/validator.h"
+#include "workloads/polybench.h"
+#include "workloads/random_program.h"
+#include "workloads/synthetic_app.h"
 
 namespace wasabi::wasm {
 namespace {
@@ -216,6 +219,52 @@ TEST(Roundtrip, StartSection)
                                 [](FunctionBuilder &) {});
     mb.start(f);
     expectRoundtrips(mb.build());
+}
+
+// ---------------------------------------------------------------------
+// Corpus byte-identity audit: decode -> encode with zero edits must be
+// byte-identical for every module the toolkit itself can produce. Any
+// LEB128 or section-size drift here would silently defeat the
+// rewriter's zero-edit guarantee and the opt checker's byte compare.
+
+void
+expectByteIdentity(const Module &m, const std::string &what)
+{
+    std::vector<uint8_t> bytes = encodeModule(m);
+    EXPECT_EQ(encodeModule(decodeModule(bytes)), bytes) << what;
+}
+
+class RoundtripPolybench : public ::testing::TestWithParam<std::string> {
+};
+
+TEST_P(RoundtripPolybench, ByteIdentity)
+{
+    expectByteIdentity(workloads::polybench(GetParam(), 6).module,
+                       GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, RoundtripPolybench,
+                         ::testing::ValuesIn(workloads::polybenchNames()));
+
+TEST(RoundtripCorpus, SyntheticApps)
+{
+    for (workloads::AppSize size :
+         {workloads::AppSize::Small, workloads::AppSize::PdfkitLike}) {
+        expectByteIdentity(workloads::syntheticApp(size).module,
+                           "synthetic app");
+    }
+}
+
+TEST(RoundtripCorpus, RandomPrograms)
+{
+    for (uint64_t seed = 1; seed <= 24; ++seed) {
+        workloads::RandomProgramOptions opts;
+        opts.seed = seed;
+        opts.indirectCallPct = 20;
+        opts.constIndexIndirectPct = 40;
+        expectByteIdentity(workloads::randomProgram(opts).module,
+                           "random program seed " + std::to_string(seed));
+    }
 }
 
 TEST(Decode, RejectsBadMagic)

@@ -13,9 +13,14 @@
  *                     [--arg=i32:N ...]
  *   wasabi gen       <polybench:NAME[:N] | random:SEED | app:SIZE>
  *                     <out.wasm>
+ *   wasabi opt       <in.wasm> --out=FILE [--passes=p1,p2|all]
+ *                     [--manifest-out=FILE] [--json[=FILE]]
+ *                     [--no-verify]
  *   wasabi check     <orig.wasm> <instrumented.wasm> [--hooks=...]
  *                     [--no-split-i64] [--import-module=NAME]
  *                     [--no-side-tables] [--manifest=FILE] [--json]
+ *                     (an opt manifest routes to the optimization
+ *                     checker: <orig.wasm> <optimized.wasm>)
  *   wasabi lint      <in.wasm> [--json]
  *   wasabi analyze   <in.wasm> [--json] [--summaries] [--threads=N]
  *                     [--dot=callgraph|refined|cfg:FUNC]
@@ -33,11 +38,13 @@
  * module, 2 usage error, 3 `check`/`lint` found findings.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 
 #include "analyses/basic_block_profile.h"
 #include "analyses/branch_coverage.h"
@@ -53,6 +60,7 @@
 #include "static/analyze.h"
 #include "static/check.h"
 #include "static/passes/pipeline.h"
+#include "static/rewrite/opt.h"
 #include "runtime/runtime.h"
 #include "wasm/decoder.h"
 #include "wasm/encoder.h"
@@ -559,6 +567,265 @@ cmdGen(const std::string &spec, const std::string &out_path)
     return 0;
 }
 
+/** Observable outcome of invoking one export for the `opt`
+ * differential gate. */
+struct GateOutcome {
+    std::vector<wasm::Value> results;
+    std::optional<interp::TrapKind> trap;
+    std::vector<uint8_t> memory;
+
+    bool operator==(const GateOutcome &other) const = default;
+};
+
+std::optional<GateOutcome>
+runGateExport(const wasm::Module &m, const std::string &entry,
+              interp::EngineKind engine)
+{
+    GateOutcome out;
+    std::unique_ptr<interp::Instance> inst;
+    try {
+        inst = interp::Instance::instantiate(m, interp::Linker());
+    } catch (...) {
+        return std::nullopt; // e.g. unresolved imports: gate skipped
+    }
+    interp::Interpreter interp;
+    interp.engine = engine;
+    try {
+        out.results = interp.invokeExport(*inst, entry, {});
+    } catch (const interp::Trap &t) {
+        out.trap = t.kind();
+    }
+    out.memory = inst->memory().raw();
+    return out;
+}
+
+/**
+ * The `wasabi opt` differential-execution gate: every no-argument
+ * export must behave identically (results, trap kind, final memory)
+ * on the original and the optimized module, on both engines; and the
+ * optimized module, instrumented with all hooks, must agree with
+ * itself across engines including the hook-invocation stream.
+ * Returns the number of exports exercised; throws on any divergence.
+ */
+size_t
+runOptGate(const wasm::Module &orig, const wasm::Module &optimized)
+{
+    std::vector<std::string> entries;
+    for (const wasm::Function &f : orig.functions) {
+        if (!f.exportNames.empty() && orig.types[f.typeIdx].params.empty())
+            entries.push_back(f.exportNames.front());
+    }
+    size_t checked = 0;
+    for (const std::string &entry : entries) {
+        std::optional<GateOutcome> ol =
+            runGateExport(orig, entry, interp::EngineKind::Legacy);
+        if (!ol)
+            return checked; // cannot instantiate: nothing to compare
+        std::optional<GateOutcome> of =
+            runGateExport(orig, entry, interp::EngineKind::Fast);
+        std::optional<GateOutcome> pl =
+            runGateExport(optimized, entry, interp::EngineKind::Legacy);
+        std::optional<GateOutcome> pf =
+            runGateExport(optimized, entry, interp::EngineKind::Fast);
+        if (!of || !pl || !pf || !(*ol == *of) || !(*ol == *pl) ||
+            !(*ol == *pf))
+            throw std::runtime_error(
+                "opt verification failed: export \"" + entry +
+                "\" diverges between original and optimized module");
+        ++checked;
+    }
+    // Hook-stream gate: instrument the optimized module and require
+    // both engines to agree on results and hook invocations.
+    core::InstrumentResult r =
+        core::instrument(optimized, core::HookSet::all());
+    for (const std::string &entry : entries) {
+        uint64_t hooks[2] = {0, 0};
+        GateOutcome outs[2];
+        bool ran = true;
+        for (int e = 0; e < 2; ++e) {
+            runtime::WasabiRuntime rt(r.info);
+            analyses::InstructionMix mix;
+            rt.addAnalysis(&mix);
+            std::unique_ptr<interp::Instance> inst;
+            try {
+                inst = rt.instantiate(r.module);
+            } catch (...) {
+                ran = false;
+                break;
+            }
+            interp::Interpreter interp;
+            interp.engine = e == 0 ? interp::EngineKind::Legacy
+                                   : interp::EngineKind::Fast;
+            try {
+                outs[e].results = interp.invokeExport(*inst, entry, {});
+            } catch (const interp::Trap &t) {
+                outs[e].trap = t.kind();
+            }
+            outs[e].memory = inst->memory().raw();
+            hooks[e] = rt.hookInvocations();
+        }
+        if (ran && (!(outs[0] == outs[1]) || hooks[0] != hooks[1]))
+            throw std::runtime_error(
+                "opt verification failed: instrumented export \"" +
+                entry + "\" diverges between engines");
+    }
+    return checked;
+}
+
+int
+cmdOpt(const std::vector<std::string> &args)
+{
+    namespace rw = static_analysis::rewrite;
+    std::string in_path, out_path, manifest_out, json_out;
+    std::string passes_spec = "all";
+    bool json = false, verify = true;
+    for (const std::string &a : args) {
+        if (a.rfind("--out=", 0) == 0)
+            out_path = a.substr(6);
+        else if (a.rfind("--passes=", 0) == 0)
+            passes_spec = a.substr(9);
+        else if (a.rfind("--manifest-out=", 0) == 0)
+            manifest_out = a.substr(15);
+        else if (a == "--json")
+            json = true;
+        else if (a.rfind("--json=", 0) == 0)
+            json_out = a.substr(7);
+        else if (a == "--no-verify")
+            verify = false;
+        else if (in_path.empty())
+            in_path = a;
+        else
+            throw UsageError("opt: unexpected argument '" + a + "'");
+    }
+    if (in_path.empty() || out_path.empty())
+        throw UsageError("usage: opt <in.wasm> --out=FILE [--passes=...]"
+                         " [--manifest-out=FILE] [--json[=FILE]]"
+                         " [--no-verify]");
+
+    wasm::Module m = loadModule(in_path);
+    if (auto err = wasm::validationError(m))
+        throw std::runtime_error("opt needs a valid module: " + *err);
+
+    std::vector<std::string> passes;
+    if (passes_spec == "all" || passes_spec.empty()) {
+        passes = rw::allOptPasses();
+    } else {
+        size_t pos = 0;
+        while (pos < passes_spec.size()) {
+            size_t comma = passes_spec.find(',', pos);
+            std::string name = passes_spec.substr(pos, comma - pos);
+            if (!rw::isOptPass(name))
+                throw UsageError("unknown pass '" + name + "'");
+            passes.push_back(name);
+            if (comma == std::string::npos)
+                break;
+            pos = comma + 1;
+        }
+    }
+
+    rw::OptResult r = rw::optimize(m, passes);
+    if (auto err = wasm::validationError(r.module))
+        throw std::runtime_error(
+            "internal error: optimized module fails validation: " + *err);
+    std::vector<uint8_t> before_bytes = wasm::encodeModule(m);
+    std::vector<uint8_t> after_bytes = wasm::encodeModule(r.module);
+
+    size_t gate_exports = 0;
+    if (verify)
+        gate_exports = runOptGate(m, r.module);
+
+    writeFile(out_path, after_bytes);
+    if (!manifest_out.empty())
+        writeTextFile(manifest_out, rw::claimsToManifest(r.claims));
+
+    // Merge before/after per-section sizes by section name.
+    std::vector<std::pair<std::string, std::pair<size_t, size_t>>> secs;
+    auto accumulate = [&secs](const std::vector<uint8_t> &bytes,
+                              bool after) {
+        for (const wasm::SectionSize &s : wasm::sectionSizes(bytes)) {
+            auto it = std::find_if(secs.begin(), secs.end(),
+                                   [&](const auto &e) {
+                                       return e.first == s.name;
+                                   });
+            if (it == secs.end()) {
+                secs.push_back({s.name, {0, 0}});
+                it = secs.end() - 1;
+            }
+            (after ? it->second.second : it->second.first) += s.bytes;
+        }
+    };
+    accumulate(before_bytes, false);
+    accumulate(after_bytes, true);
+
+    const rw::OptClaims &c = r.claims;
+    if (json || !json_out.empty()) {
+        std::string j =
+            "{\n  \"schema\": \"wasabi-profile\",\n  \"version\": 1,\n"
+            "  \"deterministic\": false,\n"
+            "  \"runtime\": {\"hookInvocations\": 0, \"perKind\": []},\n"
+            "  \"bench\": {\"name\": \"opt\",\n    \"passes\": [";
+        for (size_t i = 0; i < c.passes.size(); ++i)
+            j += std::string(i ? ", " : "") + "\"" + c.passes[i] + "\"";
+        j += "],\n    \"claims\": {\"deadFunctions\": " +
+             std::to_string(c.strippedFunctions.size()) +
+             ", \"directCalls\": " + std::to_string(c.directCalls.size()) +
+             ", \"constFolds\": " + std::to_string(c.constFolds.size()) +
+             ", \"deadStores\": " + std::to_string(c.deadStores.size()) +
+             ", \"emptyBlocks\": " + std::to_string(c.emptyBlocks.size()) +
+             "},\n    \"beforeBytes\": " +
+             std::to_string(before_bytes.size()) +
+             ",\n    \"afterBytes\": " + std::to_string(after_bytes.size()) +
+             ",\n    \"sections\": [";
+        for (size_t i = 0; i < secs.size(); ++i)
+            j += std::string(i ? ", " : "") + "{\"section\": \"" +
+                 secs[i].first +
+                 "\", \"before\": " + std::to_string(secs[i].second.first) +
+                 ", \"after\": " + std::to_string(secs[i].second.second) +
+                 "}";
+        j += "]\n  }\n}\n";
+        std::string error;
+        if (!obs::validateProfileJson(j, &error))
+            throw std::runtime_error("internal error: opt JSON fails "
+                                     "schema validation: " +
+                                     error);
+        if (!json_out.empty())
+            writeTextFile(json_out, j);
+        else
+            std::fputs(j.c_str(), stdout);
+        return 0;
+    }
+
+    std::printf("optimized %s -> %s\n", in_path.c_str(), out_path.c_str());
+    std::printf("  passes:");
+    for (const std::string &p : c.passes)
+        std::printf(" %s", p.c_str());
+    std::printf("\n");
+    std::printf("  claims: %zu dead functions, %zu direct calls, "
+                "%zu const folds, %zu dead stores, %zu empty blocks\n",
+                c.strippedFunctions.size(), c.directCalls.size(),
+                c.constFolds.size(), c.deadStores.size(),
+                c.emptyBlocks.size());
+    std::printf("  size: %zu -> %zu bytes (%.1f%%)\n", before_bytes.size(),
+                after_bytes.size(),
+                100.0 * static_cast<double>(after_bytes.size()) /
+                    static_cast<double>(before_bytes.size()));
+    for (const auto &[name, ba] : secs) {
+        if (ba.first != ba.second)
+            std::printf("    %-10s %6zu -> %6zu bytes\n", name.c_str(),
+                        ba.first, ba.second);
+    }
+    if (verify)
+        std::printf("  verified: %zu export(s), both engines, "
+                    "instrumented and uninstrumented\n",
+                    gate_exports);
+    if (!manifest_out.empty())
+        std::printf("  manifest: %s (verify with `wasabi check %s %s "
+                    "--manifest=%s`)\n",
+                    manifest_out.c_str(), in_path.c_str(),
+                    out_path.c_str(), manifest_out.c_str());
+    return 0;
+}
+
 int
 cmdCheck(const std::vector<std::string> &args)
 {
@@ -588,10 +855,38 @@ cmdCheck(const std::vector<std::string> &args)
             "usage: check <orig.wasm> <instrumented.wasm> [opts]");
     if (!manifest_path.empty()) {
         std::vector<uint8_t> bytes = readFile(manifest_path);
+        std::string text(bytes.begin(), bytes.end());
+        if (static_analysis::rewrite::isOptManifest(text)) {
+            // `wasabi opt` manifest: re-prove every optimization claim
+            // against the original module and require the replayed
+            // result to match the optimized binary byte-for-byte.
+            std::string error;
+            static_analysis::rewrite::OptClaims claims;
+            if (!static_analysis::rewrite::claimsFromManifest(text, claims,
+                                                              &error))
+                throw std::runtime_error("malformed opt manifest " +
+                                         manifest_path + ": " + error);
+            wasm::Module orig = loadModule(orig_path);
+            static_analysis::Diagnostics diags =
+                static_analysis::rewrite::checkOptimization(
+                    orig, readFile(instr_path), claims);
+            if (json) {
+                std::fputs(static_analysis::toJson(diags).c_str(), stdout);
+                std::fputs("\n", stdout);
+            } else if (diags.empty()) {
+                std::printf("OK: all %zu optimization claim(s) re-proved, "
+                            "output byte-identical to replay\n",
+                            claims.totalClaims());
+            } else {
+                std::fputs(static_analysis::toString(diags).c_str(),
+                           stdout);
+                std::printf("%zu finding(s)\n", diags.size());
+            }
+            return diags.empty() ? 0 : 3;
+        }
         std::string error;
         std::optional<core::HookOptimizationPlan> plan =
-            static_analysis::passes::planFromManifest(
-                std::string(bytes.begin(), bytes.end()), &error);
+            static_analysis::passes::planFromManifest(text, &error);
         if (!plan)
             throw std::runtime_error("malformed manifest " +
                                      manifest_path + ": " + error);
@@ -722,6 +1017,12 @@ printUsage(std::FILE *to)
         "             [--profile] [--profile-out=FILE]\n"
         "  gen        <polybench:NAME[:N]|random:SEED|app:SIZE> "
         "<out.wasm>\n"
+        "  opt        <in.wasm> --out=FILE [--passes=p1,p2|all]\n"
+        "             [--manifest-out=FILE] [--json[=FILE]]\n"
+        "             [--no-verify]\n"
+        "             apply analysis-proven binary transforms\n"
+        "             (dead-functions, call-indirect, const-fold,\n"
+        "             dead-stores, empty-blocks) with a claim manifest\n"
         "  check      <orig.wasm> <instrumented.wasm> [--hooks=h1,h2]\n"
         "             [--no-split-i64] [--import-module=NAME]\n"
         "             [--no-side-tables] [--manifest=FILE] [--json]\n"
@@ -835,6 +1136,30 @@ printCommandHelp(const std::string &cmd, std::FILE *to)
             "  Generate a workload module: polybench:NAME[:N],\n"
             "  random:SEED, or app:small|medium|large.\n",
             to);
+    } else if (cmd == "opt") {
+        std::fputs(
+            "wasabi opt <in.wasm> --out=FILE [options]\n"
+            "  Apply analysis-driven binary transforms. Each applied\n"
+            "  edit is licensed by a static fact (refined call graph\n"
+            "  reachability, unique indirect-call targets, the\n"
+            "  constant-propagation lattice, backward liveness,\n"
+            "  block matching) and recorded as a claim that\n"
+            "  `wasabi check --manifest=` re-proves against the\n"
+            "  output binary.\n"
+            "  --passes=p1,p2|all   subset of: dead-functions,\n"
+            "                       call-indirect, const-fold,\n"
+            "                       dead-stores, empty-blocks\n"
+            "                       (always applied in that order;\n"
+            "                       default all)\n"
+            "  --manifest-out=FILE  write the claim manifest\n"
+            "                       (\"wasabi-opt-manifest\" JSON)\n"
+            "  --json[=FILE]        size/claim stats in the\n"
+            "                       wasabi-profile schema\n"
+            "  --no-verify          skip the differential-execution\n"
+            "                       gate (original vs optimized, both\n"
+            "                       engines, plus instrumented\n"
+            "                       hook-stream agreement)\n",
+            to);
     } else if (cmd == "check") {
         std::fputs(
             "wasabi check <orig.wasm> <instrumented.wasm> [options]\n"
@@ -854,7 +1179,11 @@ printCommandHelp(const std::string &cmd, std::FILE *to)
             "                       --manifest-out=`; every claimed\n"
             "                       omission is re-proved against the\n"
             "                       original module before it exempts\n"
-            "                       a site from completeness\n"
+            "                       a site from completeness. A\n"
+            "                       `wasabi opt` manifest is detected\n"
+            "                       automatically and routes to the\n"
+            "                       optimization checker instead\n"
+            "                       (check.opt.* findings)\n"
             "  --json               machine-readable findings\n",
             to);
     } else if (cmd == "lint") {
@@ -937,6 +1266,8 @@ main(int argc, char **argv)
             return cmdRun(args);
         if (cmd == "gen" && args.size() == 2)
             return cmdGen(args[0], args[1]);
+        if (cmd == "opt")
+            return cmdOpt(args);
         if (cmd == "check")
             return cmdCheck(args);
         if (cmd == "lint")
