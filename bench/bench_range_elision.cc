@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Execution-time impact of verified bounds-check elision: for each
+ * PolyBench kernel, derive the provable range claims, run the fast
+ * engine once with every bounds check in place and once with the
+ * claimed checks elided, verify the two runs are observationally
+ * identical (results, final memory, instruction counts), and report
+ * the per-kernel speedup plus how many dynamic accesses ran
+ * unchecked. Results are pinned in BENCH_range_elision.json
+ * (wasabi-profile v1 schema).
+ *
+ * Usage: bench_range_elision [N] [--json=FILE]
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <unordered_set>
+
+#include "bench_common.h"
+#include "core/static_info.h"
+#include "interp/engine/code.h"
+#include "static/passes/range.h"
+
+using namespace wasabi;
+using namespace wasabi::bench;
+
+namespace {
+
+struct Row {
+    std::string name;
+    size_t claims = 0;         ///< statically proven access sites
+    uint64_t memoryOps = 0;    ///< dynamic accesses per run
+    uint64_t elidedOps = 0;    ///< of which unchecked in the elided run
+    double checkedSec = 0;
+    double elidedSec = 0;
+};
+
+std::unordered_set<uint64_t>
+elisionLocs(const wasm::Module &m, size_t *num_claims)
+{
+    using namespace static_analysis::passes;
+    RangeClaims claims = provableRangeClaims(moduleRanges(m));
+    *num_claims = claims.claims.size();
+    std::unordered_set<uint64_t> locs;
+    for (const RangeClaim &c : claims.claims)
+        locs.insert(core::packLoc({c.func, c.instr}));
+    return locs;
+}
+
+/** One full run; returns final memory for the identity check. */
+std::vector<uint8_t>
+runOnce(const workloads::Workload &w,
+        const std::unordered_set<uint64_t> *elide, interp::ExecStats *out)
+{
+    auto inst = interp::Instance::instantiate(w.module, interp::Linker());
+    if (elide)
+        inst->engineCode().setElisions(*elide);
+    interp::Interpreter interp;
+    interp.engine = interp::EngineKind::Fast;
+    interp.invokeExport(*inst, w.entry, w.args);
+    if (out)
+        *out = interp.stats();
+    return inst->memory().raw();
+}
+
+Row
+measure(const workloads::Workload &w, int reps)
+{
+    Row row;
+    row.name = w.name.empty() ? "anon" : w.name;
+    std::unordered_set<uint64_t> locs = elisionLocs(w.module, &row.claims);
+
+    // Differential gate first: a speedup number for a run that
+    // diverged from the checked engine would be meaningless.
+    interp::ExecStats checked, elided;
+    std::vector<uint8_t> memChecked = runOnce(w, nullptr, &checked);
+    std::vector<uint8_t> memElided = runOnce(w, &locs, &elided);
+    if (memChecked != memElided ||
+        checked.instructions != elided.instructions ||
+        checked.memoryOps != elided.memoryOps)
+        throw std::runtime_error(row.name +
+                                 ": elided run diverged from checked");
+    row.memoryOps = checked.memoryOps;
+    row.elidedOps = elided.memoryOpsElided;
+
+    row.checkedSec =
+        timeStats(reps, [&] { runOnce(w, nullptr, nullptr); }).mean;
+    row.elidedSec =
+        timeStats(reps, [&] { runOnce(w, &locs, nullptr); }).mean;
+    return row;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int n = 24;
+    int reps = 5;
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--json=", 7) == 0)
+            json_path = argv[i] + 7;
+        else
+            n = std::atoi(argv[i]);
+    }
+
+    std::printf("=== verified bounds-check elision: runtime impact "
+                "(fast engine, n=%d) ===\n\n",
+                n);
+    std::printf("%-16s %7s %12s %12s %10s %10s %8s\n", "kernel",
+                "claims", "memOps", "elided", "checked", "elided",
+                "speedup");
+
+    std::vector<Row> rows;
+    std::vector<double> speedups;
+    uint64_t total_elided = 0;
+    for (const auto &w : workloads::polybenchSuite(n)) {
+        Row row = measure(w, reps);
+        double speedup =
+            row.elidedSec > 0 ? row.checkedSec / row.elidedSec : 1.0;
+        speedups.push_back(speedup);
+        total_elided += row.elidedOps;
+        std::printf("%-16s %7zu %12llu %12llu %9.2fms %9.2fms %7.3fx\n",
+                    row.name.c_str(), row.claims,
+                    static_cast<unsigned long long>(row.memoryOps),
+                    static_cast<unsigned long long>(row.elidedOps),
+                    1e3 * row.checkedSec, 1e3 * row.elidedSec, speedup);
+        rows.push_back(std::move(row));
+    }
+
+    double mean_speedup = geomean(speedups);
+    std::printf("\ngeomean speedup: %.3fx; %llu accesses ran unchecked; "
+                "every elided run byte-compared against the checked "
+                "engine\n",
+                mean_speedup,
+                static_cast<unsigned long long>(total_elided));
+
+    if (!json_path.empty()) {
+        std::string per = "[";
+        for (size_t i = 0; i < rows.size(); ++i) {
+            char buf[320];
+            std::snprintf(
+                buf, sizeof buf,
+                "%s\n      {\"kernel\": \"%s\", \"claims\": %zu, "
+                "\"memoryOps\": %llu, \"elidedOps\": %llu, "
+                "\"checkedSec\": %.6f, \"elidedSec\": %.6f}",
+                i ? "," : "", rows[i].name.c_str(), rows[i].claims,
+                static_cast<unsigned long long>(rows[i].memoryOps),
+                static_cast<unsigned long long>(rows[i].elidedOps),
+                rows[i].checkedSec, rows[i].elidedSec);
+            per += buf;
+        }
+        per += "\n    ]";
+        char mean[64];
+        std::snprintf(mean, sizeof mean, "%.4f", mean_speedup);
+        writeBenchProfileJson(
+            json_path, "range_elision",
+            {{"n", std::to_string(n)},
+             {"reps", std::to_string(reps)},
+             {"totalElidedOps", std::to_string(total_elided)},
+             {"perKernel", per},
+             {"geomeanSpeedup", mean}});
+        std::printf("wrote %s\n", json_path.c_str());
+    }
+    return 0;
+}

@@ -24,6 +24,7 @@
 #define WASABI_INTERP_ENGINE_CODE_H
 
 #include <cstdint>
+#include <unordered_set>
 #include <vector>
 
 #include "wasm/module.h"
@@ -69,6 +70,18 @@ namespace wasabi::interp::engine {
     X(F32Store)                                                         \
     X(F64Store)                                                         \
     X(StoreNarrow) /* aux=access width in bytes */                      \
+    /* unchecked memory (statically proven in-bounds; emitted only   */ \
+    /* for accesses licensed by a verified RangeClaim set)           */ \
+    X(I32LoadU)                                                         \
+    X(I64LoadU)                                                         \
+    X(F32LoadU)                                                         \
+    X(F64LoadU)                                                         \
+    X(LoadExtU)    /* aux=source opcode */                              \
+    X(I32StoreU)                                                        \
+    X(I64StoreU)                                                        \
+    X(F32StoreU)                                                        \
+    X(F64StoreU)                                                        \
+    X(StoreNarrowU) /* aux=access width in bytes */                     \
     X(MemorySize)                                                       \
     X(MemoryGrow)                                                       \
     /* constants */                                                     \
@@ -177,11 +190,39 @@ class CompiledModule {
         return funcTypeCanon_[func_idx];
     }
 
+    /**
+     * License bounds-check elision for the load/store locations in
+     * @p locs (core::packLoc-packed (func, instr) pairs). The caller
+     * is responsible for having *verified* the set (claimed ⊆
+     * provable); the translator then emits the unchecked FOp variant
+     * at exactly these locations. Already-translated functions are
+     * reset so stale checked code cannot linger. Must not be called
+     * while execution is in progress.
+     */
+    void
+    setElisions(std::unordered_set<uint64_t> locs)
+    {
+        elisions_ = std::move(locs);
+        for (CompiledFunction &f : funcs_)
+            f = CompiledFunction{};
+    }
+
+    /** Whether (func, instr) is licensed for an unchecked access. */
+    bool
+    elides(uint64_t packed_loc) const
+    {
+        return !elisions_.empty() &&
+               elisions_.count(packed_loc) != 0;
+    }
+
+    bool hasElisions() const { return !elisions_.empty(); }
+
   private:
     const wasm::Module &module_;
     std::vector<CompiledFunction> funcs_;
     std::vector<uint32_t> typeCanon_;
     std::vector<uint32_t> funcTypeCanon_;
+    std::unordered_set<uint64_t> elisions_;
 };
 
 /** Translate one defined function (exposed for tests). */

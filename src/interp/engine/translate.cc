@@ -28,6 +28,7 @@
 #include <string>
 #include <utility>
 
+#include "core/static_info.h"
 #include "interp/engine/code.h"
 #include "interp/numerics.h"
 #include "interp/trap.h"
@@ -97,10 +98,11 @@ class Translator {
         // (the legacy walker returns at the final `end`; trailing
         // instructions, which a decoder never produces, are equally
         // never executed).
-        for (const Instr &ins : func.body) {
+        for (uint32_t i = 0; i < func.body.size(); ++i) {
             if (frames_.empty())
                 break;
-            translateOne(ins);
+            instrIdx_ = i; // doLoad/doStore key elision claims on it
+            translateOne(func.body[i]);
         }
         if (!frames_.empty()) {
             // Builder-made body without a terminating `end`: the
@@ -490,27 +492,44 @@ class Translator {
 
     // --- memory ----------------------------------------------------
 
+    /** Whether a verified range claim licenses dropping the bounds
+     * check of the access currently being translated. Unchecked
+     * variants keep identical charge/stat behavior, so elision is
+     * unobservable except through ExecStats' elided counter. */
+    bool
+    elide() const
+    {
+        return cm_.hasElisions() &&
+               cm_.elides(core::packLoc({funcIdx_, instrIdx_}));
+    }
+
     void
     doLoad(const Instr &ins)
     {
         pop(1);
         uint32_t off = ins.imm.mem.offset;
+        const bool u = elide();
         switch (ins.op) {
           case Opcode::I32Load:
-            emit(FOp::I32Load, 0, takeCharge(), off);
+            emit(u ? FOp::I32LoadU : FOp::I32Load, 0, takeCharge(),
+                 off);
             break;
           case Opcode::I64Load:
-            emit(FOp::I64Load, 0, takeCharge(), off);
+            emit(u ? FOp::I64LoadU : FOp::I64Load, 0, takeCharge(),
+                 off);
             break;
           case Opcode::F32Load:
-            emit(FOp::F32Load, 0, takeCharge(), off);
+            emit(u ? FOp::F32LoadU : FOp::F32Load, 0, takeCharge(),
+                 off);
             break;
           case Opcode::F64Load:
-            emit(FOp::F64Load, 0, takeCharge(), off);
+            emit(u ? FOp::F64LoadU : FOp::F64Load, 0, takeCharge(),
+                 off);
             break;
           default:
-            emit(FOp::LoadExt, static_cast<uint8_t>(ins.op),
-                 takeCharge(), off, wasm::memAccessBytes(ins.op));
+            emit(u ? FOp::LoadExtU : FOp::LoadExt,
+                 static_cast<uint8_t>(ins.op), takeCharge(), off,
+                 wasm::memAccessBytes(ins.op));
             break;
         }
         push(1);
@@ -521,21 +540,26 @@ class Translator {
     {
         pop(2);
         uint32_t off = ins.imm.mem.offset;
+        const bool u = elide();
         switch (ins.op) {
           case Opcode::I32Store:
-            emit(FOp::I32Store, 0, takeCharge(), off);
+            emit(u ? FOp::I32StoreU : FOp::I32Store, 0, takeCharge(),
+                 off);
             break;
           case Opcode::I64Store:
-            emit(FOp::I64Store, 0, takeCharge(), off);
+            emit(u ? FOp::I64StoreU : FOp::I64Store, 0, takeCharge(),
+                 off);
             break;
           case Opcode::F32Store:
-            emit(FOp::F32Store, 0, takeCharge(), off);
+            emit(u ? FOp::F32StoreU : FOp::F32Store, 0, takeCharge(),
+                 off);
             break;
           case Opcode::F64Store:
-            emit(FOp::F64Store, 0, takeCharge(), off);
+            emit(u ? FOp::F64StoreU : FOp::F64Store, 0, takeCharge(),
+                 off);
             break;
           default:
-            emit(FOp::StoreNarrow,
+            emit(u ? FOp::StoreNarrowU : FOp::StoreNarrow,
                  static_cast<uint8_t>(wasm::memAccessBytes(ins.op)),
                  takeCharge(), off);
             break;
@@ -754,6 +778,7 @@ class Translator {
 
     const wasm::Module &m_;
     uint32_t funcIdx_;
+    uint32_t instrIdx_ = 0; ///< source index of the instr in flight
     const CompiledModule &cm_;
     CompiledFunction out_;
     std::vector<CtrlFrame> frames_;

@@ -8,6 +8,7 @@
 #include "static/dataflow.h"
 #include "static/interproc/refined_call_graph.h"
 #include "static/interproc/summaries.h"
+#include "static/passes/range.h"
 
 namespace wasabi::static_analysis {
 
@@ -127,6 +128,19 @@ summariesJson(const Module &m, unsigned num_threads)
     interproc::RefinedCallGraph cg(m);
     return interproc::summariesToJson(
         m, cg, interproc::functionSummaries(m, cg, num_threads));
+}
+
+std::string
+rangesJson(const Module &m, unsigned num_threads)
+{
+    return passes::rangesToJson(m,
+                                passes::moduleRanges(m, num_threads));
+}
+
+std::string
+rangesDot(const Module &m, uint32_t func_idx)
+{
+    return passes::rangesDot(m, passes::moduleRanges(m, 1), func_idx);
 }
 
 } // namespace wasabi::static_analysis

@@ -63,6 +63,16 @@ std::string refinedCallGraphDot(const wasm::Module &m);
  */
 std::string summariesJson(const wasm::Module &m, unsigned num_threads = 1);
 
+/**
+ * Value-range facts (interval abstract interpretation, argument seeds
+ * propagated top-down over the SCC condensation) as a JSON object.
+ * Deterministic: byte-identical for any @p num_threads.
+ */
+std::string rangesJson(const wasm::Module &m, unsigned num_threads = 1);
+
+/** One function's CFG with per-block locals intervals as Graphviz. */
+std::string rangesDot(const wasm::Module &m, uint32_t func_idx);
+
 } // namespace wasabi::static_analysis
 
 #endif // WASABI_STATIC_ANALYZE_H

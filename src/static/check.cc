@@ -12,6 +12,7 @@
 #include "static/dataflow.h"
 #include "static/interproc/refined_call_graph.h"
 #include "static/passes/constprop.h"
+#include "static/passes/range.h"
 #include "wasm/validator.h"
 
 namespace wasabi::static_analysis {
@@ -1708,6 +1709,23 @@ checkInstrumentation(const core::StaticInfo &info,
     CheckOptions opts;
     opts.importModule = info.importModule;
     return Checker(info.original, instrumented, opts, &info).run();
+}
+
+Diagnostics
+checkRangeManifest(const Module &original,
+                   const std::string &manifest_text,
+                   unsigned num_threads)
+{
+    passes::RangeClaims claims;
+    std::string err;
+    if (!passes::rangeClaimsFromManifest(manifest_text, &claims,
+                                         &err)) {
+        Diagnostics ds;
+        ds.error("check.range.bad-manifest",
+                 "cannot parse range manifest: " + err);
+        return ds;
+    }
+    return passes::checkRangeClaims(original, claims, num_threads);
 }
 
 } // namespace wasabi::static_analysis

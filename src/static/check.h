@@ -99,6 +99,18 @@ Diagnostics checkInstrumentation(const wasm::Module &original,
 Diagnostics checkInstrumentation(const core::StaticInfo &info,
                                  const wasm::Module &instrumented);
 
+/**
+ * Re-prove a range-claim manifest (`wasabi check --manifest=` with a
+ * "wasabi-range-manifest"): parse @p manifest_text and re-derive every
+ * claimed in-bounds access from @p original with the value-range
+ * analysis. Parse failures surface as check.range.bad-manifest;
+ * semantic failures as check.range.* codes from the range pass. An
+ * empty result licenses engine bounds-check elision for the claims.
+ */
+Diagnostics checkRangeManifest(const wasm::Module &original,
+                               const std::string &manifest_text,
+                               unsigned num_threads = 1);
+
 } // namespace wasabi::static_analysis
 
 #endif // WASABI_STATIC_CHECK_H

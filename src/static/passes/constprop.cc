@@ -284,7 +284,8 @@ class ConstPropProblem {
                     locals[in.imm.idx] = std::nullopt;
                 break;
               case OpClass::GlobalGet:
-                pushUnknown(1);
+                stack.push_back(
+                    immutableI32GlobalInit(m_, in.imm.idx));
                 break;
               case OpClass::GlobalSet:
                 pop();
@@ -416,6 +417,22 @@ std::optional<uint32_t>
 foldI32Binary(Opcode op, uint32_t a, uint32_t b)
 {
     return foldBinary(op, a, b);
+}
+
+std::optional<uint32_t>
+immutableI32GlobalInit(const Module &m, uint32_t global_idx)
+{
+    if (global_idx >= m.globals.size())
+        return std::nullopt;
+    const wasm::Global &g = m.globals[global_idx];
+    if (g.mut || g.imported() || g.type != ValType::I32)
+        return std::nullopt;
+    // Initializer is `i32.const v; end` (a global.get initializer
+    // would reference an import, whose value is unknown here).
+    if (g.init.size() != 2 || g.init[0].op != Opcode::I32Const ||
+        g.init[1].op != Opcode::End)
+        return std::nullopt;
+    return g.init[0].imm.i32v;
 }
 
 } // namespace wasabi::static_analysis::passes

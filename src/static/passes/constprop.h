@@ -73,6 +73,16 @@ std::optional<uint32_t> foldI32Unary(wasm::Opcode op, uint32_t a);
 std::optional<uint32_t> foldI32Binary(wasm::Opcode op, uint32_t a,
                                       uint32_t b);
 
+/**
+ * The compile-time value of global @p global_idx if it is immutable,
+ * defined (not imported — an import's value is only known at link
+ * time), of type i32, and initialized by an `i32.const` expression.
+ * Every `global.get` of such a global yields this constant on every
+ * execution; constant propagation and the range analysis both use it.
+ */
+std::optional<uint32_t>
+immutableI32GlobalInit(const wasm::Module &m, uint32_t global_idx);
+
 } // namespace wasabi::static_analysis::passes
 
 #endif // WASABI_STATIC_PASSES_CONSTPROP_H

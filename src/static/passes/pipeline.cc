@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <set>
 
 #include "core/control_stack.h"
 #include "core/static_info.h"
@@ -10,6 +11,7 @@
 #include "static/passes/branch_refine.h"
 #include "static/passes/constprop.h"
 #include "static/passes/deadstore.h"
+#include "static/passes/range.h"
 #include "static/passes/reachability.h"
 
 namespace wasabi::static_analysis::passes {
@@ -97,6 +99,72 @@ lintInterproc(const Module &m, const std::vector<bool> &base_dead,
     }
 }
 
+/** The lint.range.* findings: accesses the interval domain proves out
+ * of bounds, divisions by a provably zero divisor, and guard branches
+ * whose condition is a range-derived constant. Guards the constant
+ * pass already reported (lint.branch.const-condition) are skipped. */
+void
+lintRanges(const Module &m, const std::set<uint64_t> &const_cond_locs,
+           Diagnostics &diags)
+{
+    ModuleRanges mr = moduleRanges(m, 1);
+    const uint64_t minBytes = static_cast<uint64_t>(mr.minPages) *
+                              65536;
+    std::optional<uint64_t> maxBytes;
+    if (mr.hasMemory && m.memories[0].limits.max)
+        maxBytes = static_cast<uint64_t>(*m.memories[0].limits.max) *
+                   65536;
+
+    for (uint32_t f = 0; f < mr.functions.size(); ++f) {
+        const FunctionRanges &fr = mr.functions[f];
+        if (!fr.analyzed)
+            continue;
+        for (const MemAccess &a : fr.accesses) {
+            uint64_t first = static_cast<uint64_t>(a.addr.lo) +
+                             a.offset;
+            const char *what = a.isStore ? "store" : "load";
+            if (maxBytes && first + a.width > *maxBytes) {
+                diags.warning(
+                    kLintRangeOob,
+                    std::string(what) + " of " +
+                        std::to_string(a.width) + " bytes at address" +
+                        " >= " + std::to_string(first) +
+                        " always traps: memory can never exceed " +
+                        std::to_string(*maxBytes) + " bytes",
+                    f, a.instr);
+            } else if (mr.hasMemory && first + a.width > minBytes) {
+                diags.add(Severity::Note, kLintRangeGrowDependent,
+                          std::string(what) + " of " +
+                              std::to_string(a.width) +
+                              " bytes at address >= " +
+                              std::to_string(first) +
+                              " traps unless memory is grown beyond "
+                              "its declared minimum of " +
+                              std::to_string(minBytes) + " bytes",
+                          f, a.instr);
+            }
+        }
+        for (uint32_t instr : fr.divByZero) {
+            diags.warning(kLintRangeDivByZero,
+                          "divisor is always zero: this instruction "
+                          "always traps",
+                          f, instr);
+        }
+        for (const DeadGuard &g : fr.deadGuards) {
+            if (const_cond_locs.count(core::packLoc({f, g.instr})))
+                continue;
+            OpClass cls =
+                wasm::opInfo(m.functions[f].body[g.instr].op).cls;
+            diags.warning(
+                kLintRangeDeadGuard,
+                std::string(cls == OpClass::If ? "if" : "br_if") +
+                    " condition is always " + std::to_string(g.value) +
+                    " by value-range analysis",
+                f, g.instr);
+        }
+    }
+}
+
 } // namespace
 
 Diagnostics
@@ -104,6 +172,7 @@ lintModule(const Module &m)
 {
     Diagnostics diags;
     ReachabilityFacts reach = reachabilityFacts(m);
+    std::set<uint64_t> constCondLocs;
 
     std::vector<bool> dead(m.numFunctions(), false);
     for (uint32_t f : reach.deadFunctions)
@@ -138,6 +207,7 @@ lintModule(const Module &m)
         ConstFacts facts = constantFacts(m, f);
         BranchRefinements refs = refineBranches(m, f, facts);
         for (const ConstCondition &c : refs.constConditions) {
+            constCondLocs.insert(core::packLoc({c.func, c.instr}));
             std::string what = c.isIf ? "if" : "br_if";
             std::string effect =
                 c.isIf ? (c.cond ? "the then-branch is always taken"
@@ -181,6 +251,7 @@ lintModule(const Module &m)
         }
     }
     lintInterproc(m, dead, diags);
+    lintRanges(m, constCondLocs, diags);
     return diags;
 }
 

@@ -50,6 +50,14 @@ inline constexpr const char *kLintInterprocUnresolvable =
     "lint.interproc.unresolvable-indirect";
 inline constexpr const char *kLintInterprocEffectFree =
     "lint.interproc.effect-free-function";
+/** Value-range codes (interval abstract interpretation). */
+inline constexpr const char *kLintRangeOob = "lint.range.oob-access";
+inline constexpr const char *kLintRangeGrowDependent =
+    "lint.range.grow-dependent-access";
+inline constexpr const char *kLintRangeDivByZero =
+    "lint.range.div-by-zero";
+inline constexpr const char *kLintRangeDeadGuard =
+    "lint.range.dead-guard";
 /** @} */
 
 /**

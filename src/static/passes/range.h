@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Value-range abstract interpretation (interval domain) over locals,
+ * the operand stack and immutable globals. A forward worklist solver
+ * with threshold widening at loop heads and branch-condition edge
+ * refinement computes, for every reachable load/store, a sound
+ * interval of its dynamic base address; comparison and division facts
+ * ride along. Argument intervals are seeded interprocedurally over the
+ * PR-3 Tarjan-SCC condensation (top-down, callers before callees) with
+ * byte-identical results at any thread count.
+ *
+ * The facts feed three consumers:
+ *  - `wasabi lint` (lint.range.* diagnostics: provably out-of-bounds
+ *    accesses, constant division by zero, dead guard branches),
+ *  - `wasabi analyze --ranges` (JSON and per-function DOT views), and
+ *  - RangeClaims ("this access is in bounds for every execution given
+ *    the declared minimum memory"), exported as a claim manifest that
+ *    `wasabi check --manifest=` re-proves (check.range.* codes) and
+ *    the pre-decoded engine consumes to elide bounds checks.
+ */
+
+#ifndef WASABI_STATIC_PASSES_RANGE_H
+#define WASABI_STATIC_PASSES_RANGE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "static/diagnostics.h"
+#include "wasm/module.h"
+
+namespace wasabi::static_analysis::passes {
+
+/**
+ * An unsigned 32-bit interval [lo, hi], lo <= hi. Top is
+ * [0, UINT32_MAX]; the empty interval is not representable — an
+ * infeasible state is expressed by dropping the CFG edge instead.
+ * Values of non-i32 type are always top (sound, just imprecise).
+ */
+struct Interval {
+    uint32_t lo = 0;
+    uint32_t hi = 0xFFFFFFFFu;
+
+    static Interval top() { return Interval{}; }
+    static Interval exact(uint32_t v) { return Interval{v, v}; }
+
+    bool isTop() const { return lo == 0 && hi == 0xFFFFFFFFu; }
+    bool isConst() const { return lo == hi; }
+
+    bool operator==(const Interval &other) const = default;
+};
+
+/** Smallest interval containing both. */
+Interval hull(const Interval &a, const Interval &b);
+
+/** One memory access with its statically inferred address range. */
+struct MemAccess {
+    uint32_t instr = 0;  ///< instruction index within the function
+    uint32_t offset = 0; ///< static offset immediate
+    uint32_t width = 0;  ///< access size in bytes (1, 2, 4 or 8)
+    Interval addr;       ///< interval of the dynamic base address
+    bool isStore = false;
+    /** addr.hi + offset + width <= declared-min-memory bytes: in
+     * bounds on every execution (linear memory never shrinks). */
+    bool proven = false;
+};
+
+/** A br_if/if whose condition the interval domain proves constant. */
+struct DeadGuard {
+    uint32_t instr = 0;
+    uint32_t value = 0; ///< the provably constant condition
+};
+
+/** Range facts of one function. */
+struct FunctionRanges {
+    /** False for imports and for bodies whose solver hit the
+     * iteration cap (facts discarded — sound, just silent). */
+    bool analyzed = false;
+
+    /** Seeded parameter intervals (top unless every caller was
+     * provable; always top for exports/start/indirect targets and
+     * recursive functions). */
+    std::vector<Interval> args;
+
+    std::vector<MemAccess> accesses;
+
+    /** Div/rem instructions whose divisor is provably zero. */
+    std::vector<uint32_t> divByZero;
+
+    std::vector<DeadGuard> deadGuards;
+
+    /** Locals interval at each basic-block entry (per CFG block;
+     * meaningless for unreached blocks). Drives the DOT view. */
+    std::vector<std::vector<Interval>> blockIn;
+
+    /** Whether each CFG block is reached by the analysis. */
+    std::vector<char> blockReached;
+};
+
+/** Module-wide range facts. */
+struct ModuleRanges {
+    bool hasMemory = false;
+    uint32_t minPages = 0; ///< declared minimum of memory 0
+    std::vector<FunctionRanges> functions; ///< by function index
+};
+
+/**
+ * Run the interprocedural range analysis. @p num_threads = 0 picks a
+ * hardware default; the result is byte-identical for any thread count
+ * (argument seeds are commutative joins gated on the SCC condensation,
+ * callers strictly before callees).
+ */
+ModuleRanges moduleRanges(const wasm::Module &m, unsigned num_threads = 0);
+
+// ----- claims + manifest -------------------------------------------------
+
+/** One claim: the load/store at (func, instr) is in bounds for every
+ * execution given the module's declared minimum memory size. */
+struct RangeClaim {
+    uint32_t func = 0;
+    uint32_t instr = 0;
+
+    bool operator==(const RangeClaim &other) const = default;
+};
+
+struct RangeClaims {
+    uint32_t minPages = 0;
+    std::vector<RangeClaim> claims; ///< sorted by (func, instr)
+};
+
+/** All proven accesses of @p mr as a deterministic claim set. */
+RangeClaims provableRangeClaims(const ModuleRanges &mr);
+
+/** Serialize to the "wasabi-range-manifest" v1 JSON format. */
+std::string rangeClaimsToManifest(const RangeClaims &c);
+
+/** Cheap sniff: does @p text look like a range manifest? */
+bool isRangeManifest(const std::string &text);
+
+/** Parse a manifest; on failure returns false and sets @p error. */
+bool rangeClaimsFromManifest(const std::string &text, RangeClaims *out,
+                             std::string *error);
+
+/**
+ * Re-prove every claim against @p m from scratch (check.range.*
+ * codes): the declared memory must match (check.range.bad-memory),
+ * every location must be a load/store of a defined function
+ * (check.range.bad-location), and every claim must be re-derivable by
+ * the analysis — claimed ⊆ provable (check.range.unprovable). An
+ * empty result licenses bounds-check elision for the claimed set.
+ */
+Diagnostics checkRangeClaims(const wasm::Module &m, const RangeClaims &c,
+                             unsigned num_threads = 0);
+
+// ----- views -------------------------------------------------------------
+
+/** Deterministic JSON rendering of the module's range facts. */
+std::string rangesToJson(const wasm::Module &m, const ModuleRanges &mr);
+
+/** CFG DOT of one function with per-block locals intervals. */
+std::string rangesDot(const wasm::Module &m, const ModuleRanges &mr,
+                      uint32_t func_idx);
+
+} // namespace wasabi::static_analysis::passes
+
+#endif // WASABI_STATIC_PASSES_RANGE_H

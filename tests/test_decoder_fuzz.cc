@@ -8,7 +8,12 @@
 
 #include <gtest/gtest.h>
 
+#include <unordered_set>
+
+#include "core/static_info.h"
+#include "interp/engine/code.h"
 #include "interp/interpreter.h"
+#include "static/passes/range.h"
 #include "static/rewrite/rewrite.h"
 #include "wasm/decoder.h"
 #include "wasm/encoder.h"
@@ -123,7 +128,8 @@ struct FuzzOutcome {
 };
 
 std::optional<FuzzOutcome>
-runBounded(const Module &m, interp::EngineKind engine)
+runBounded(const Module &m, interp::EngineKind engine,
+           bool elide = false)
 {
     FuzzOutcome out;
     std::unique_ptr<interp::Instance> inst;
@@ -133,6 +139,16 @@ runBounded(const Module &m, interp::EngineKind engine)
         // Mutations can break instantiation (segment bounds, start
         // traps); that path is engine-independent, skip the input.
         return std::nullopt;
+    }
+    if (elide) {
+        // License every provable bounds check of the mutated module,
+        // exactly as `wasabi run --elide-bounds-checks` would.
+        using namespace static_analysis::passes;
+        RangeClaims claims = provableRangeClaims(moduleRanges(m, 1));
+        std::unordered_set<uint64_t> locs;
+        for (const RangeClaim &c : claims.claims)
+            locs.insert(core::packLoc({c.func, c.instr}));
+        inst->engineCode().setElisions(std::move(locs));
     }
     // A mutated body may loop forever: bound the run with fuel.
     inst->setFuel(200000);
@@ -189,6 +205,41 @@ TEST(DecoderFuzz, MutationSurvivorsExecuteIdenticallyOnBothEngines)
         ++executed;
     }
     // The corpus must actually exercise the engines.
+    EXPECT_GT(executed, 0);
+}
+
+/**
+ * Elision differential on the same mutation corpus: deriving range
+ * claims from each surviving mutant and running it with those bounds
+ * checks elided must not change any observable behavior. This is the
+ * fuzz leg of the bounds-check-elision safety gate.
+ */
+TEST(DecoderFuzz, MutationSurvivorsExecuteIdenticallyWithElision)
+{
+    std::vector<uint8_t> base = baseModuleBytes();
+    uint64_t rng = 0xE115; // different corpus than the plain gate
+    int executed = 0;
+    for (int i = 0; i < 400; ++i) {
+        std::vector<uint8_t> bytes = base;
+        bytes[mix(rng) % bytes.size()] = static_cast<uint8_t>(mix(rng));
+        Module m;
+        try {
+            m = decodeModule(bytes);
+        } catch (const DecodeError &) {
+            continue;
+        }
+        if (validationError(m))
+            continue;
+        std::optional<FuzzOutcome> legacy =
+            runBounded(m, interp::EngineKind::Legacy);
+        std::optional<FuzzOutcome> elided =
+            runBounded(m, interp::EngineKind::Fast, /*elide=*/true);
+        ASSERT_EQ(legacy.has_value(), elided.has_value()) << "iter " << i;
+        if (!legacy)
+            continue;
+        EXPECT_EQ(*legacy == *elided, true) << "iter " << i;
+        ++executed;
+    }
     EXPECT_GT(executed, 0);
 }
 

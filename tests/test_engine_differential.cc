@@ -10,10 +10,15 @@
 
 #include <gtest/gtest.h>
 
+#include <unordered_set>
+
 #include "analyses/instruction_mix.h"
 #include "core/instrument.h"
+#include "core/static_info.h"
+#include "interp/engine/code.h"
 #include "interp/interpreter.h"
 #include "runtime/runtime.h"
+#include "static/passes/range.h"
 #include "wasm/builder.h"
 #include "wasm/validator.h"
 #include "workloads/polybench.h"
@@ -214,6 +219,129 @@ TEST(EngineDifferential, InstrumentedRunsAgree)
                    "instrumented seed " + std::to_string(seed));
         EXPECT_EQ(legacy.hookInvocations, fast.hookInvocations)
             << "seed " << seed;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bounds-check elision: with every statically proven access running
+// unchecked, the fast engine must stay observationally identical to
+// the legacy walker. Claims are derived from the very module being
+// executed, exactly like `wasabi run --elide-bounds-checks`.
+
+std::unordered_set<uint64_t>
+elisionLocs(const wasm::Module &m)
+{
+    using namespace static_analysis::passes;
+    RangeClaims claims = provableRangeClaims(moduleRanges(m, 1));
+    std::unordered_set<uint64_t> locs;
+    for (const RangeClaim &c : claims.claims)
+        locs.insert(core::packLoc({c.func, c.instr}));
+    return locs;
+}
+
+/** Like runEngine() on the fast engine, but with all provable bounds
+ * checks elided; also reports how many accesses ran unchecked. */
+Outcome
+runEngineElided(const Workload &w, uint64_t *elided_ops = nullptr,
+                std::optional<uint64_t> fuel = std::nullopt)
+{
+    Outcome out;
+    auto inst = Instance::instantiate(w.module, Linker());
+    inst->engineCode().setElisions(elisionLocs(w.module));
+    inst->setFuel(fuel);
+    Interpreter interp;
+    interp.engine = EngineKind::Fast;
+    try {
+        out.results = interp.invokeExport(*inst, w.entry, w.args);
+    } catch (const Trap &t) {
+        out.trap = t.kind();
+    }
+    out.memory = inst->memory().raw();
+    const ExecStats &s = interp.stats();
+    out.instructions = s.instructions;
+    out.calls = s.calls;
+    out.memoryOps = s.memoryOps;
+    out.traps = s.traps;
+    out.fuelLeft = inst->fuel();
+    if (elided_ops)
+        *elided_ops = s.memoryOpsElided;
+    return out;
+}
+
+TEST_P(EngineDifferentialRandom, ElidedRunsAgree)
+{
+    workloads::RandomProgramOptions opts;
+    opts.seed = GetParam();
+    opts.numFunctions = 10;
+    opts.stmtsPerFunction = 14;
+    opts.indirectCallPct = 25;
+    opts.constIndexIndirectPct = 50;
+    Workload w = workloads::randomProgram(opts);
+    ASSERT_EQ(validationError(w.module), std::nullopt);
+    expectSame(runEngine(w, EngineKind::Legacy), runEngineElided(w),
+               "elided seed " + std::to_string(GetParam()));
+}
+
+TEST_P(EngineDifferentialPolybench, ElidedKernelRunsAgree)
+{
+    Workload w = workloads::polybench(GetParam(), 8);
+    uint64_t elided = 0;
+    Outcome legacy = runEngine(w, EngineKind::Legacy);
+    expectSame(legacy, runEngineElided(w, &elided),
+               "elided " + GetParam());
+    // The counted-loop kernels are exactly what the analysis targets:
+    // some accesses must actually run unchecked.
+    EXPECT_GT(elided, 0u) << GetParam();
+    EXPECT_LE(elided, legacy.memoryOps) << GetParam();
+}
+
+TEST(EngineDifferential, InstrumentedElidedRunsAgree)
+{
+    // Memory-tracing instrumentation (the paper's memory-profiling
+    // analysis) keeps address chains inside one basic block, so the
+    // claims survive instrumentation; the instrumented module must
+    // still run identically with those claims elided.
+    for (const std::string &name : {std::string("gemm"),
+                                    std::string("atax")}) {
+        Workload w = workloads::polybench(name, 8);
+        core::InstrumentResult r = core::instrument(
+            w.module,
+            HookSet{core::HookKind::Load, core::HookKind::Store});
+        std::unordered_set<uint64_t> locs = elisionLocs(r.module);
+        EXPECT_FALSE(locs.empty()) << name;
+
+        InstrumentedOutcome results[2];
+        int i = 0;
+        for (bool elide : {false, true}) {
+            runtime::WasabiRuntime rt(r.info);
+            analyses::InstructionMix mix;
+            rt.addAnalysis(&mix);
+            auto inst = rt.instantiate(r.module);
+            if (elide)
+                inst->engineCode().setElisions(locs);
+            Interpreter interp;
+            interp.engine = elide ? EngineKind::Fast
+                                  : EngineKind::Legacy;
+            InstrumentedOutcome out;
+            try {
+                out.outcome.results =
+                    interp.invokeExport(*inst, w.entry, w.args);
+            } catch (const Trap &t) {
+                out.outcome.trap = t.kind();
+            }
+            out.outcome.memory = inst->memory().raw();
+            const ExecStats &s = interp.stats();
+            out.outcome.instructions = s.instructions;
+            out.outcome.calls = s.calls;
+            out.outcome.memoryOps = s.memoryOps;
+            out.outcome.traps = s.traps;
+            out.hookInvocations = rt.hookInvocations();
+            results[i++] = out;
+        }
+        expectSame(results[0].outcome, results[1].outcome,
+                   "instrumented elided " + name);
+        EXPECT_EQ(results[0].hookInvocations, results[1].hookInvocations)
+            << name;
     }
 }
 

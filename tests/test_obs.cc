@@ -152,7 +152,8 @@ runProfiled(const wasm::Module &m, unsigned threads,
     }
     const interp::ExecStats &es = interp.stats();
     collector.setInterpCounters(InterpCounters{
-        es.instructions, es.calls, es.memoryOps, es.traps});
+        es.instructions, es.calls, es.memoryOps, es.memoryOpsElided,
+        es.traps});
     return rt.hookInvocations();
 }
 

@@ -1,0 +1,712 @@
+/**
+ * @file
+ * Tests of the value-range abstract interpretation (interval domain,
+ * threshold widening, branch-condition edge refinement, interprocedural
+ * argument seeding), the RangeClaim manifest round trip with tamper
+ * rejection, the lint.range.* diagnostics, the deterministic JSON/DOT
+ * views, and the engine bounds-check elision the claims license —
+ * including the elided-vs-checked-vs-legacy differential gate and the
+ * exact elided-access counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "core/static_info.h"
+#include "interp/engine/code.h"
+#include "interp/interpreter.h"
+#include "static/analyze.h"
+#include "static/check.h"
+#include "static/passes/constprop.h"
+#include "static/passes/pipeline.h"
+#include "static/passes/range.h"
+#include "wasm/builder.h"
+#include "wasm/validator.h"
+#include "workloads/polybench.h"
+#include "workloads/synthetic_app.h"
+
+namespace wasabi::static_analysis::passes {
+namespace {
+
+using core::packLoc;
+using interp::EngineKind;
+using interp::ExecStats;
+using interp::Instance;
+using interp::Interpreter;
+using interp::Linker;
+using interp::Trap;
+using interp::TrapKind;
+using wasm::FuncType;
+using wasm::FunctionBuilder;
+using wasm::Module;
+using wasm::ModuleBuilder;
+using wasm::Opcode;
+using wasm::ValType;
+using wasm::Value;
+using workloads::Workload;
+
+/** The FunctionRanges of the only defined function of @p m. */
+FunctionRanges
+soloRanges(const Module &m)
+{
+    ModuleRanges mr = moduleRanges(m, 1);
+    for (const FunctionRanges &fr : mr.functions) {
+        if (!fr.accesses.empty() || fr.analyzed)
+            return fr;
+    }
+    return {};
+}
+
+// ----- interval arithmetic ------------------------------------------
+
+TEST(Interval, HullAndPredicates)
+{
+    EXPECT_TRUE(Interval::top().isTop());
+    EXPECT_TRUE(Interval::exact(7).isConst());
+    Interval h = hull(Interval::exact(3), Interval::exact(9));
+    EXPECT_EQ(h.lo, 3u);
+    EXPECT_EQ(h.hi, 9u);
+    EXPECT_EQ(hull(h, Interval::top()), Interval::top());
+}
+
+// ----- intra-procedural provability ---------------------------------
+
+TEST(Range, CountedLoopStoreIsProven)
+{
+    // for (i = 0; i < 100; ++i) mem[i*4] = i  — peak address 396+4,
+    // well inside the one declared page.
+    ModuleBuilder mb;
+    mb.memory(1);
+    mb.addFunction(FuncType({}, {}), "f", [](FunctionBuilder &f) {
+        uint32_t i = f.addLocal(ValType::I32);
+        f.forLoop(i, 0, 100, [&] {
+            f.localGet(i).i32Const(4).op(Opcode::I32Mul);
+            f.localGet(i).i32Store();
+        });
+    });
+    Module m = mb.build();
+    ASSERT_EQ(validationError(m), std::nullopt);
+    FunctionRanges fr = soloRanges(m);
+    ASSERT_TRUE(fr.analyzed);
+    ASSERT_EQ(fr.accesses.size(), 1u);
+    EXPECT_TRUE(fr.accesses[0].isStore);
+    EXPECT_TRUE(fr.accesses[0].proven);
+    // Branch refinement: the loop guard (i >= 100 exits) bounds i to
+    // [0, 99] on the fallthrough edge, so the address is [0, 396].
+    EXPECT_EQ(fr.accesses[0].addr.lo, 0u);
+    EXPECT_EQ(fr.accesses[0].addr.hi, 396u);
+}
+
+TEST(Range, DynamicBoundLoopTerminatesButCannotProve)
+{
+    // The loop bound is a parameter: widening must still terminate
+    // (analyzed == true), but i*4 can wrap, so no claim.
+    ModuleBuilder mb;
+    mb.memory(1);
+    mb.addFunction(
+        FuncType({ValType::I32}, {}), "f", [](FunctionBuilder &f) {
+            uint32_t i = f.addLocal(ValType::I32);
+            f.i32Const(0).localSet(i);
+            f.block();
+            f.loop();
+            f.localGet(i).localGet(0).op(Opcode::I32GeS);
+            f.brIf(1);
+            f.localGet(i).i32Const(4).op(Opcode::I32Mul);
+            f.localGet(i).i32Store();
+            f.localGet(i).i32Const(1).op(Opcode::I32Add).localSet(i);
+            f.br(0);
+            f.end();
+            f.end();
+        });
+    Module m = mb.build();
+    ASSERT_EQ(validationError(m), std::nullopt);
+    FunctionRanges fr = soloRanges(m);
+    ASSERT_TRUE(fr.analyzed);
+    ASSERT_EQ(fr.accesses.size(), 1u);
+    EXPECT_FALSE(fr.accesses[0].proven);
+}
+
+TEST(Range, WrapAroundAdditionIsNotProven)
+{
+    // base + 0xFFFFFF00 wraps for base >= 256: the sum interval must
+    // degrade to top rather than pretend the address is small.
+    ModuleBuilder mb;
+    mb.memory(1);
+    mb.addFunction(FuncType({}, {}), "f", [](FunctionBuilder &f) {
+        uint32_t b = f.addLocal(ValType::I32);
+        // b in [0, 65535] via a 16-bit load result.
+        f.i32Const(0).load(Opcode::I32Load16U).localSet(b);
+        f.localGet(b).i32Const(static_cast<int32_t>(0xFFFFFF00u));
+        f.op(Opcode::I32Add);
+        f.i32Const(1).i32Store();
+    });
+    Module m = mb.build();
+    ASSERT_EQ(validationError(m), std::nullopt);
+    FunctionRanges fr = soloRanges(m);
+    ASSERT_TRUE(fr.analyzed);
+    ASSERT_EQ(fr.accesses.size(), 2u); // the load + the store
+    EXPECT_FALSE(fr.accesses[1].proven);
+}
+
+TEST(Range, UnsignedCompareRefinesLargeConstants)
+{
+    // u32 edge case: `if (x < 0x80000010)` is an UNSIGNED test; the
+    // signed view of the bound is negative, but refinement must still
+    // cap x.hi at 0x8000000F on the taken edge.
+    ModuleBuilder mb;
+    mb.memory(2);
+    mb.addFunction(FuncType({}, {}), "f", [](FunctionBuilder &f) {
+        uint32_t x = f.addLocal(ValType::I32);
+        f.i32Const(0).i32Load().localSet(x);
+        f.localGet(x).i32Const(static_cast<int32_t>(0x80000010u));
+        f.op(Opcode::I32LtU);
+        f.if_();
+        f.localGet(x).i32Const(0).i32Store();
+        f.end();
+    });
+    Module m = mb.build();
+    ASSERT_EQ(validationError(m), std::nullopt);
+    FunctionRanges fr = soloRanges(m);
+    ASSERT_TRUE(fr.analyzed);
+    // Access 0 is the i32.load at address 0; access 1 is the guarded
+    // store: refined to [0, 0x8000000F], still far past memory, so
+    // refinement happened but the claim must NOT be made.
+    ASSERT_EQ(fr.accesses.size(), 2u);
+    EXPECT_TRUE(fr.accesses[0].proven);
+    EXPECT_EQ(fr.accesses[1].addr.hi, 0x8000000Fu);
+    EXPECT_FALSE(fr.accesses[1].proven);
+}
+
+TEST(Range, NarrowLoadResultBoundsFollowOnAccess)
+{
+    // mem[mem8[0]] is proven: an 8-bit load yields [0, 255], and
+    // 255 + 4 fits the declared page.
+    ModuleBuilder mb;
+    mb.memory(1);
+    mb.addFunction(FuncType({}, {}), "f", [](FunctionBuilder &f) {
+        f.i32Const(0).load(Opcode::I32Load8U);
+        f.i32Const(7).i32Store();
+    });
+    Module m = mb.build();
+    ASSERT_EQ(validationError(m), std::nullopt);
+    FunctionRanges fr = soloRanges(m);
+    ASSERT_EQ(fr.accesses.size(), 2u);
+    EXPECT_TRUE(fr.accesses[0].proven);
+    EXPECT_TRUE(fr.accesses[1].proven);
+    EXPECT_EQ(fr.accesses[1].addr.hi, 255u);
+}
+
+TEST(Range, SpilledComparisonStillRefines)
+{
+    // The pattern instrumented code produces around every hook call:
+    // the comparison result is spilled to a local, other code runs,
+    // and the branch consumes a reload. The predicate must survive.
+    ModuleBuilder mb;
+    mb.memory(1);
+    mb.addFunction(FuncType({}, {}), "f", [](FunctionBuilder &f) {
+        uint32_t x = f.addLocal(ValType::I32);
+        uint32_t c = f.addLocal(ValType::I32);
+        f.i32Const(0).i32Load().localSet(x);
+        f.localGet(x).i32Const(100).op(Opcode::I32LtU).localSet(c);
+        f.i32Const(0).drop(); // unrelated work between spill + branch
+        f.localGet(c);
+        f.if_();
+        f.localGet(x).i32Const(1).i32Store();
+        f.end();
+    });
+    Module m = mb.build();
+    ASSERT_EQ(validationError(m), std::nullopt);
+    FunctionRanges fr = soloRanges(m);
+    ASSERT_EQ(fr.accesses.size(), 2u);
+    EXPECT_TRUE(fr.accesses[1].proven) << "refinement lost at spill";
+    EXPECT_EQ(fr.accesses[1].addr.hi, 99u);
+}
+
+TEST(Range, ImmutableGlobalSeedsAddress)
+{
+    // Satellite: an immutable const-initialized global is a constant
+    // for the interval domain (and for constprop).
+    ModuleBuilder mb;
+    mb.memory(1);
+    uint32_t g =
+        mb.global(ValType::I32, /*mut=*/false, Value::makeI32(1024));
+    mb.addFunction(FuncType({}, {}), "f", [&](FunctionBuilder &f) {
+        f.globalGet(g);
+        f.i32Const(5).i32Store();
+    });
+    Module m = mb.build();
+    ASSERT_EQ(validationError(m), std::nullopt);
+    FunctionRanges fr = soloRanges(m);
+    ASSERT_EQ(fr.accesses.size(), 1u);
+    EXPECT_TRUE(fr.accesses[0].proven);
+    EXPECT_EQ(fr.accesses[0].addr, Interval::exact(1024));
+
+    EXPECT_EQ(immutableI32GlobalInit(m, g), 1024u);
+}
+
+TEST(ConstProp, MutableGlobalIsNotAConstant)
+{
+    ModuleBuilder mb;
+    uint32_t g =
+        mb.global(ValType::I32, /*mut=*/true, Value::makeI32(3));
+    Module m = mb.build();
+    EXPECT_EQ(immutableI32GlobalInit(m, g), std::nullopt);
+    EXPECT_EQ(immutableI32GlobalInit(m, g + 17), std::nullopt);
+}
+
+// ----- interprocedural seeding --------------------------------------
+
+TEST(Range, DirectCallArgumentsSeedCallee)
+{
+    // Internal g(base) stores at base; its only caller passes 2048,
+    // so the callee's access is proven through the seed.
+    ModuleBuilder mb;
+    mb.memory(1);
+    uint32_t gIdx = mb.addFunction( // internal: no export name
+        FuncType({ValType::I32}, {}), "", [](FunctionBuilder &f) {
+            f.localGet(0).i32Const(9).i32Store();
+        });
+    mb.addFunction(FuncType({}, {}), "f", [&](FunctionBuilder &f) {
+        f.i32Const(2048).call(gIdx);
+    });
+    Module m = mb.build();
+    ASSERT_EQ(validationError(m), std::nullopt);
+    ModuleRanges mr = moduleRanges(m, 1);
+    const FunctionRanges &g = mr.functions.at(gIdx);
+    ASSERT_TRUE(g.analyzed);
+    ASSERT_EQ(g.args.size(), 1u);
+    EXPECT_EQ(g.args[0], Interval::exact(2048));
+    ASSERT_EQ(g.accesses.size(), 1u);
+    EXPECT_TRUE(g.accesses[0].proven);
+}
+
+TEST(Range, ExportedCalleeGetsTopArguments)
+{
+    // An exported function can be called from outside with anything:
+    // its args must stay top even with a single provable internal
+    // caller.
+    ModuleBuilder mb;
+    mb.memory(1);
+    uint32_t gIdx = mb.addFunction(
+        FuncType({ValType::I32}, {}), "g", [](FunctionBuilder &f) {
+            f.localGet(0).i32Const(9).i32Store();
+        });
+    mb.addFunction(FuncType({}, {}), "f", [&](FunctionBuilder &f) {
+        f.i32Const(8).call(gIdx);
+    });
+    Module m = mb.build();
+    ASSERT_EQ(validationError(m), std::nullopt);
+    ModuleRanges mr = moduleRanges(m, 1);
+    const FunctionRanges &g = mr.functions.at(gIdx);
+    ASSERT_TRUE(g.analyzed);
+    EXPECT_TRUE(g.args.at(0).isTop());
+    EXPECT_FALSE(g.accesses.at(0).proven);
+}
+
+// ----- determinism ---------------------------------------------------
+
+TEST(Range, JsonIsByteIdenticalAcrossThreadCounts)
+{
+    for (const std::string &name :
+         {std::string("gemm"), std::string("atax"),
+          std::string("jacobi-1d")}) {
+        Workload w = workloads::polybench(name, 16);
+        std::string one = static_analysis::rangesJson(w.module, 1);
+        for (unsigned t : {2u, 4u, 8u}) {
+            EXPECT_EQ(one, static_analysis::rangesJson(w.module, t))
+                << name << " threads=" << t;
+        }
+    }
+    Workload app = workloads::syntheticApp(workloads::AppSize::Small);
+    EXPECT_EQ(static_analysis::rangesJson(app.module, 1),
+              static_analysis::rangesJson(app.module, 8));
+}
+
+TEST(Range, PolybenchKernelsYieldClaims)
+{
+    // The paper-style payoff: counted-loop kernels must produce a
+    // non-empty provable claim set.
+    for (const std::string &name :
+         {std::string("gemm"), std::string("atax"),
+          std::string("mvt")}) {
+        Workload w = workloads::polybench(name, 16);
+        RangeClaims claims =
+            provableRangeClaims(moduleRanges(w.module, 1));
+        EXPECT_FALSE(claims.claims.empty()) << name;
+    }
+}
+
+TEST(Range, DotViewRendersReachedBlocks)
+{
+    Workload w = workloads::polybench("gemm", 8);
+    uint32_t kernel = 0;
+    for (uint32_t i = 0; i < w.module.numFunctions(); ++i) {
+        if (!w.module.functions[i].imported()) {
+            kernel = i;
+            break;
+        }
+    }
+    std::string dot = static_analysis::rangesDot(w.module, kernel);
+    EXPECT_NE(dot.find("digraph"), std::string::npos);
+    EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+// ----- claim manifest: round trip + tamper rejection -----------------
+
+Module
+provenStoreModule()
+{
+    ModuleBuilder mb;
+    mb.memory(1);
+    mb.addFunction(FuncType({}, {}), "f", [](FunctionBuilder &f) {
+        uint32_t i = f.addLocal(ValType::I32);
+        f.forLoop(i, 0, 64, [&] {
+            f.localGet(i).i32Const(8).op(Opcode::I32Mul);
+            f.localGet(i).i32Store();
+        });
+    });
+    return mb.build();
+}
+
+TEST(RangeManifest, RoundTripsAndReproves)
+{
+    Module m = provenStoreModule();
+    RangeClaims claims = provableRangeClaims(moduleRanges(m, 1));
+    ASSERT_EQ(claims.claims.size(), 1u);
+    std::string text = rangeClaimsToManifest(claims);
+    EXPECT_TRUE(isRangeManifest(text));
+
+    RangeClaims parsed;
+    std::string error;
+    ASSERT_TRUE(rangeClaimsFromManifest(text, &parsed, &error)) << error;
+    EXPECT_EQ(parsed.minPages, claims.minPages);
+    EXPECT_EQ(parsed.claims, claims.claims);
+
+    EXPECT_TRUE(checkRangeClaims(m, parsed).empty());
+    EXPECT_TRUE(checkRangeManifest(m, text).empty());
+}
+
+TEST(RangeManifest, UnprovableClaimIsRejected)
+{
+    Module m = provenStoreModule();
+    RangeClaims claims = provableRangeClaims(moduleRanges(m, 1));
+    // Forge a claim on an instruction that is a load/store boundary
+    // violation candidate: shift the proven claim to the loop-guard
+    // compare, which is not an access at all.
+    RangeClaims forged = claims;
+    forged.claims[0].instr -= 1;
+    Diagnostics d = checkRangeClaims(m, forged);
+    ASSERT_FALSE(d.empty());
+    EXPECT_TRUE(d.hasCode("check.range.bad-location")) << toString(d);
+}
+
+TEST(RangeManifest, WrongMemoryIsRejected)
+{
+    Module m = provenStoreModule();
+    RangeClaims claims = provableRangeClaims(moduleRanges(m, 1));
+    claims.minPages += 1; // claims proved against a bigger memory
+    Diagnostics d = checkRangeClaims(m, claims);
+    ASSERT_FALSE(d.empty());
+    EXPECT_TRUE(d.hasCode("check.range.bad-memory")) << toString(d);
+}
+
+TEST(RangeManifest, OutOfRangeFunctionIsRejected)
+{
+    Module m = provenStoreModule();
+    RangeClaims claims = provableRangeClaims(moduleRanges(m, 1));
+    claims.claims[0].func = 99;
+    Diagnostics d = checkRangeClaims(m, claims);
+    EXPECT_TRUE(d.hasCode("check.range.bad-location")) << toString(d);
+}
+
+TEST(RangeManifest, TamperedAccessIsUnprovable)
+{
+    // Claim a store the analysis cannot prove: same function shape but
+    // with the memory shrunk after manifest generation is simulated by
+    // hand-editing the claim onto a module whose accesses are dynamic.
+    ModuleBuilder mb;
+    mb.memory(1);
+    mb.addFunction(
+        FuncType({ValType::I32}, {}), "f", [](FunctionBuilder &f) {
+            f.localGet(0).i32Const(3).i32Store(); // arg is top
+        });
+    Module m = mb.build();
+    RangeClaims claims;
+    claims.minPages = 1;
+    claims.claims.push_back({0, 2}); // the i32.store, addr is top
+    Diagnostics d = checkRangeClaims(m, claims);
+    ASSERT_FALSE(d.empty());
+    EXPECT_TRUE(d.hasCode("check.range.unprovable")) << toString(d);
+}
+
+TEST(RangeManifest, MalformedTextIsRejected)
+{
+    Module m = provenStoreModule();
+    for (const char *bad :
+         {"", "{", "{\"schema\": \"wasabi-range-manifest\"}",
+          "{\"schema\": \"wasabi-range-manifest\", \"version\": 2, "
+          "\"minPages\": 1, \"claims\": []}",
+          "{\"schema\": \"wasabi-range-manifest\", \"version\": 1, "
+          "\"minPages\": 1, \"claims\": [[0]]}"}) {
+        Diagnostics d = checkRangeManifest(m, bad);
+        EXPECT_TRUE(d.hasCode("check.range.bad-manifest"))
+            << "input: " << bad << "\n"
+            << toString(d);
+    }
+}
+
+// ----- lint integration ---------------------------------------------
+
+TEST(RangeLint, ProvablyOutOfBoundsAccessWarns)
+{
+    ModuleBuilder mb;
+    mb.memory(1, 1); // max == min: growth impossible
+    mb.addFunction(FuncType({}, {}), "f", [](FunctionBuilder &f) {
+        f.i32Const(70000).i32Load().drop();
+    });
+    Module m = mb.build();
+    Diagnostics d = lintModule(m);
+    EXPECT_TRUE(d.hasCode(kLintRangeOob)) << toString(d);
+}
+
+TEST(RangeLint, GrowDependentAccessIsANote)
+{
+    ModuleBuilder mb;
+    mb.memory(1); // no max: the access works iff memory has grown
+    mb.addFunction(FuncType({}, {}), "f", [](FunctionBuilder &f) {
+        f.i32Const(70000).i32Load().drop();
+    });
+    Module m = mb.build();
+    Diagnostics d = lintModule(m);
+    EXPECT_TRUE(d.hasCode(kLintRangeGrowDependent)) << toString(d);
+    EXPECT_FALSE(d.hasCode(kLintRangeOob)) << toString(d);
+}
+
+TEST(RangeLint, ConstantZeroDivisorWarns)
+{
+    ModuleBuilder mb;
+    mb.addFunction(
+        FuncType({}, {ValType::I32}), "f", [](FunctionBuilder &f) {
+            uint32_t z = f.addLocal(ValType::I32); // zero-initialized
+            f.i32Const(7).localGet(z).op(Opcode::I32DivU);
+        });
+    Module m = mb.build();
+    Diagnostics d = lintModule(m);
+    EXPECT_TRUE(d.hasCode(kLintRangeDivByZero)) << toString(d);
+}
+
+TEST(RangeLint, IntervalOnlyDeadGuardIsReported)
+{
+    // (mem8[0] & 7) < 8 is always true. Constprop cannot see it (the
+    // load is opaque to it), so this exercises the interval-only path
+    // and the dedup against lint.branch.const-condition.
+    ModuleBuilder mb;
+    mb.memory(1);
+    mb.addFunction(FuncType({}, {}), "f", [](FunctionBuilder &f) {
+        f.i32Const(0).load(Opcode::I32Load8U);
+        f.i32Const(7).op(Opcode::I32And);
+        f.i32Const(8).op(Opcode::I32LtU);
+        f.if_();
+        f.nop();
+        f.end();
+    });
+    Module m = mb.build();
+    Diagnostics d = lintModule(m);
+    EXPECT_TRUE(d.hasCode(kLintRangeDeadGuard)) << toString(d);
+}
+
+TEST(RangeLint, ConstpropFlaggedGuardIsNotDuplicated)
+{
+    // A guard constprop already reports must not also appear as
+    // lint.range.dead-guard.
+    ModuleBuilder mb;
+    mb.addFunction(FuncType({}, {}), "f", [](FunctionBuilder &f) {
+        f.block();
+        f.i32Const(1);
+        f.brIf(0);
+        f.end();
+    });
+    Module m = mb.build();
+    Diagnostics d = lintModule(m);
+    EXPECT_TRUE(d.hasCode(kLintConstCondition)) << toString(d);
+    EXPECT_FALSE(d.hasCode(kLintRangeDeadGuard)) << toString(d);
+}
+
+// ----- engine elision -----------------------------------------------
+
+/** Observable outcome of one run, engine + elision configurable. */
+struct Outcome {
+    std::vector<Value> results;
+    std::optional<TrapKind> trap;
+    std::vector<uint8_t> memory;
+    uint64_t instructions = 0;
+    uint64_t calls = 0;
+    uint64_t memoryOps = 0;
+    uint64_t memoryOpsElided = 0;
+
+    /** Everything except the elided counter (which intentionally
+     * differs between checked and elided runs). */
+    bool
+    agreesWith(const Outcome &o) const
+    {
+        return results == o.results && trap == o.trap &&
+               memory == o.memory && instructions == o.instructions &&
+               calls == o.calls && memoryOps == o.memoryOps;
+    }
+};
+
+std::unordered_set<uint64_t>
+elisionSet(const Module &m)
+{
+    RangeClaims claims = provableRangeClaims(moduleRanges(m, 1));
+    std::unordered_set<uint64_t> locs;
+    for (const RangeClaim &c : claims.claims)
+        locs.insert(packLoc({c.func, c.instr}));
+    return locs;
+}
+
+Outcome
+runWorkload(const Workload &w, EngineKind engine, bool elide)
+{
+    Outcome out;
+    auto inst = Instance::instantiate(w.module, Linker());
+    if (elide)
+        inst->engineCode().setElisions(elisionSet(w.module));
+    Interpreter interp;
+    interp.engine = engine;
+    try {
+        out.results = interp.invokeExport(*inst, w.entry, w.args);
+    } catch (const Trap &t) {
+        out.trap = t.kind();
+    }
+    out.memory = inst->memory().raw();
+    const ExecStats &s = interp.stats();
+    out.instructions = s.instructions;
+    out.calls = s.calls;
+    out.memoryOps = s.memoryOps;
+    out.memoryOpsElided = s.memoryOpsElided;
+    return out;
+}
+
+class ElisionDifferentialPolybench
+    : public ::testing::TestWithParam<std::string> {};
+
+/** Satellite 2, the safety gate: with every provable bounds check
+ * elided, the fast engine must stay byte-equivalent to both checked
+ * engines on every PolyBench kernel. */
+TEST_P(ElisionDifferentialPolybench, ElidedRunMatchesBothEngines)
+{
+    Workload w = workloads::polybench(GetParam(), 8);
+    Outcome legacy = runWorkload(w, EngineKind::Legacy, false);
+    Outcome checked = runWorkload(w, EngineKind::Fast, false);
+    Outcome elided = runWorkload(w, EngineKind::Fast, true);
+    EXPECT_TRUE(legacy.agreesWith(checked)) << GetParam();
+    EXPECT_TRUE(legacy.agreesWith(elided)) << GetParam();
+    EXPECT_EQ(legacy.memoryOpsElided, 0u);
+    EXPECT_EQ(checked.memoryOpsElided, 0u);
+    EXPECT_LE(elided.memoryOpsElided, elided.memoryOps);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, ElisionDifferentialPolybench,
+                         ::testing::ValuesIn(workloads::polybenchNames()));
+
+TEST(ElisionDifferential, SyntheticAppsAgree)
+{
+    for (workloads::AppSize size :
+         {workloads::AppSize::Small, workloads::AppSize::PdfkitLike}) {
+        Workload w = workloads::syntheticApp(size);
+        Outcome legacy = runWorkload(w, EngineKind::Legacy, false);
+        Outcome elided = runWorkload(w, EngineKind::Fast, true);
+        EXPECT_TRUE(legacy.agreesWith(elided));
+    }
+}
+
+TEST(Elision, CountersAreExact)
+{
+    // 64 proven stores in a counted loop: the elided run must execute
+    // exactly 64 unchecked accesses, and the checked run zero.
+    ModuleBuilder mb;
+    mb.memory(1);
+    mb.addFunction(FuncType({}, {}), "f", [](FunctionBuilder &f) {
+        uint32_t i = f.addLocal(ValType::I32);
+        f.forLoop(i, 0, 64, [&] {
+            f.localGet(i).i32Const(8).op(Opcode::I32Mul);
+            f.localGet(i).i32Store();
+        });
+    });
+    Workload w;
+    w.module = mb.build();
+    w.entry = "f";
+    ASSERT_EQ(validationError(w.module), std::nullopt);
+    ASSERT_EQ(elisionSet(w.module).size(), 1u);
+
+    Outcome checked = runWorkload(w, EngineKind::Fast, false);
+    Outcome elided = runWorkload(w, EngineKind::Fast, true);
+    EXPECT_TRUE(checked.agreesWith(elided));
+    EXPECT_EQ(checked.memoryOpsElided, 0u);
+    EXPECT_EQ(elided.memoryOpsElided, 64u);
+    EXPECT_EQ(elided.memoryOps, 64u);
+}
+
+TEST(Elision, UnclaimedAccessStillTraps)
+{
+    // A function mixing one proven store with one genuinely dynamic
+    // (unproven) store: the latter keeps its bounds check and must
+    // still trap out of bounds after elision licensing.
+    ModuleBuilder mb;
+    mb.memory(1);
+    mb.addFunction(
+        FuncType({ValType::I32}, {}), "f", [](FunctionBuilder &f) {
+            f.i32Const(16).i32Const(1).i32Store(); // proven
+            f.localGet(0).i32Const(2).i32Store();  // top: stays checked
+        });
+    Module m = mb.build();
+    ASSERT_EQ(validationError(m), std::nullopt);
+    std::unordered_set<uint64_t> locs = elisionSet(m);
+    ASSERT_EQ(locs.size(), 1u);
+
+    auto inst = Instance::instantiate(m, Linker());
+    inst->engineCode().setElisions(locs);
+    Interpreter interp;
+    std::vector<Value> oob = {Value::makeI32(0xFFFFFFF0u)};
+    try {
+        interp.invokeExport(*inst, "f", oob);
+        FAIL() << "expected MemoryOutOfBounds";
+    } catch (const Trap &t) {
+        EXPECT_EQ(t.kind(), TrapKind::MemoryOutOfBounds);
+    }
+    // In-bounds argument: both stores land, one of them unchecked.
+    auto inst2 = Instance::instantiate(m, Linker());
+    inst2->engineCode().setElisions(locs);
+    Interpreter interp2;
+    std::vector<Value> inBounds = {Value::makeI32(64)};
+    interp2.invokeExport(*inst2, "f", inBounds);
+    EXPECT_EQ(interp2.stats().memoryOpsElided, 1u);
+    EXPECT_EQ(interp2.stats().memoryOps, 2u);
+}
+
+TEST(Elision, SetElisionsInvalidatesCompiledCode)
+{
+    // Licensing elisions after a function was already translated must
+    // retranslate it — stale checked code may not linger, nor may
+    // stale unchecked code survive clearing the set.
+    Module m = provenStoreModule();
+    auto inst = Instance::instantiate(m, Linker());
+    Interpreter interp;
+    interp.invokeExport(*inst, "f", {}); // translate checked
+    EXPECT_EQ(interp.stats().memoryOpsElided, 0u);
+
+    inst->engineCode().setElisions(elisionSet(m));
+    Interpreter again;
+    again.invokeExport(*inst, "f", {});
+    EXPECT_EQ(again.stats().memoryOpsElided, 64u);
+
+    inst->engineCode().setElisions({});
+    Interpreter third;
+    third.invokeExport(*inst, "f", {});
+    EXPECT_EQ(third.stats().memoryOpsElided, 0u);
+}
+
+} // namespace
+} // namespace wasabi::static_analysis::passes

@@ -22,8 +22,9 @@
  *                     (an opt manifest routes to the optimization
  *                     checker: <orig.wasm> <optimized.wasm>)
  *   wasabi lint      <in.wasm> [--json]
- *   wasabi analyze   <in.wasm> [--json] [--summaries] [--threads=N]
- *                     [--dot=callgraph|refined|cfg:FUNC]
+ *   wasabi analyze   <in.wasm> [--json] [--summaries] [--ranges]
+ *                     [--manifest-out=FILE] [--threads=N]
+ *                     [--dot=callgraph|refined|cfg:FUNC|ranges:FUNC]
  *   wasabi profile   <in.wasm> [--analysis=NAME] [--hooks=...]
  *                     [--entry=NAME] [--arg=...] [--threads=N]
  *                     [--json] [--deterministic] [--out=FILE]
@@ -45,6 +46,7 @@
 #include <iostream>
 #include <memory>
 #include <optional>
+#include <unordered_set>
 
 #include "analyses/basic_block_profile.h"
 #include "analyses/branch_coverage.h"
@@ -55,11 +57,13 @@
 #include "analyses/memory_trace.h"
 #include "analyses/taint.h"
 #include "core/instrument.h"
+#include "interp/engine/code.h"
 #include "interp/interpreter.h"
 #include "obs/profile.h"
 #include "static/analyze.h"
 #include "static/check.h"
 #include "static/passes/pipeline.h"
+#include "static/passes/range.h"
 #include "static/rewrite/opt.h"
 #include "runtime/runtime.h"
 #include "wasm/decoder.h"
@@ -347,11 +351,53 @@ printReport(const std::string &name, runtime::Analysis &a,
     }
 }
 
+/**
+ * License bounds-check elision on @p inst's fast-engine code for the
+ * range-claim set of @p m: either re-proved from @p manifest_path
+ * (claims are never trusted — an unprovable claim is a hard error,
+ * since an unchecked access it licensed would be undefined behavior)
+ * or derived in-process when the path is empty.
+ */
+void
+applyElisions(const wasm::Module &m, const std::string &manifest_path,
+              interp::Instance &inst, interp::EngineKind engine)
+{
+    if (engine != interp::EngineKind::Fast)
+        throw std::runtime_error(
+            "bounds-check elision requires --engine=fast");
+    static_analysis::passes::RangeClaims claims;
+    if (!manifest_path.empty()) {
+        std::vector<uint8_t> bytes = readFile(manifest_path);
+        std::string text(bytes.begin(), bytes.end());
+        std::string error;
+        if (!static_analysis::passes::rangeClaimsFromManifest(
+                text, &claims, &error))
+            throw std::runtime_error("malformed range manifest " +
+                                     manifest_path + ": " + error);
+        static_analysis::Diagnostics diags =
+            static_analysis::passes::checkRangeClaims(m, claims);
+        if (!diags.empty())
+            throw std::runtime_error(
+                "range manifest rejected (claims must re-prove "
+                "against the module actually executed):\n" +
+                static_analysis::toString(diags));
+    } else {
+        claims = static_analysis::passes::provableRangeClaims(
+            static_analysis::passes::moduleRanges(m));
+    }
+    std::unordered_set<uint64_t> locs;
+    locs.reserve(claims.claims.size());
+    for (const static_analysis::passes::RangeClaim &c : claims.claims)
+        locs.insert(core::packLoc({c.func, c.instr}));
+    inst.engineCode().setElisions(std::move(locs));
+}
+
 int
 cmdRun(const std::vector<std::string> &args)
 {
     std::string path, entry = "main", analysis = "mix", profile_out;
-    bool profile = false;
+    std::string elide_manifest;
+    bool profile = false, elide = false;
     interp::EngineKind engine = interp::EngineKind::Fast;
     std::vector<wasm::Value> call_args;
     for (const std::string &a : args) {
@@ -365,6 +411,10 @@ cmdRun(const std::vector<std::string> &args)
             profile = true;
         } else if (a.rfind("--profile-out=", 0) == 0) {
             profile_out = a.substr(14);
+        } else if (a == "--elide-bounds-checks") {
+            elide = true;
+        } else if (a.rfind("--elide-manifest=", 0) == 0) {
+            elide_manifest = a.substr(17);
         } else if (a.rfind("--arg=i32:", 0) == 0) {
             call_args.push_back(wasm::Value::makeI32(
                 static_cast<uint32_t>(std::stoll(a.substr(10)))));
@@ -397,6 +447,8 @@ cmdRun(const std::vector<std::string> &args)
     if (collector.enabled())
         rt.setProfiler(&collector);
     auto inst = rt.instantiate(r.module);
+    if (elide || !elide_manifest.empty())
+        applyElisions(r.module, elide_manifest, *inst, engine);
     interp::Interpreter interp;
     interp.engine = engine;
     auto results = [&] {
@@ -405,7 +457,8 @@ cmdRun(const std::vector<std::string> &args)
     }();
     const interp::ExecStats &es = interp.stats();
     collector.setInterpCounters(obs::InterpCounters{
-        es.instructions, es.calls, es.memoryOps, es.traps});
+        es.instructions, es.calls, es.memoryOps, es.memoryOpsElided,
+        es.traps});
     std::printf("%s(", entry.c_str());
     for (size_t i = 0; i < call_args.size(); ++i)
         std::printf("%s%s", i ? ", " : "",
@@ -426,8 +479,8 @@ int
 cmdProfile(const std::vector<std::string> &args)
 {
     std::string path, entry, analysis = "mix", out_path, trace_out;
-    std::string check_path;
-    bool json = false, deterministic = false;
+    std::string check_path, elide_manifest;
+    bool json = false, deterministic = false, elide = false;
     interp::EngineKind engine = interp::EngineKind::Fast;
     core::InstrumentOptions iopts;
     std::string hooks;
@@ -454,6 +507,10 @@ cmdProfile(const std::vector<std::string> &args)
             trace_out = a.substr(12);
         else if (a.rfind("--check=", 0) == 0)
             check_path = a.substr(8);
+        else if (a == "--elide-bounds-checks")
+            elide = true;
+        else if (a.rfind("--elide-manifest=", 0) == 0)
+            elide_manifest = a.substr(17);
         else if (a.rfind("--arg=i32:", 0) == 0)
             call_args.push_back(wasm::Value::makeI32(
                 static_cast<uint32_t>(std::stoll(a.substr(10)))));
@@ -504,6 +561,8 @@ cmdProfile(const std::vector<std::string> &args)
     rt.addAnalysis(a.get(), analysis);
     rt.setProfiler(&collector);
     auto inst = rt.instantiate(r.module);
+    if (elide || !elide_manifest.empty())
+        applyElisions(r.module, elide_manifest, *inst, engine);
     // PolyBench workloads export `kernel`, applications `main`; with
     // no explicit --entry try both.
     if (entry.empty()) {
@@ -519,7 +578,8 @@ cmdProfile(const std::vector<std::string> &args)
     }
     const interp::ExecStats &es = interp.stats();
     collector.setInterpCounters(obs::InterpCounters{
-        es.instructions, es.calls, es.memoryOps, es.traps});
+        es.instructions, es.calls, es.memoryOps, es.memoryOpsElided,
+        es.traps});
 
     if (!trace_out.empty())
         writeTextFile(trace_out, collector.toChromeTrace());
@@ -850,12 +910,54 @@ cmdCheck(const std::vector<std::string> &args)
         else
             instr_path = a;
     }
-    if (orig_path.empty() || instr_path.empty())
-        throw UsageError(
-            "usage: check <orig.wasm> <instrumented.wasm> [opts]");
+    std::string manifest_text;
     if (!manifest_path.empty()) {
         std::vector<uint8_t> bytes = readFile(manifest_path);
-        std::string text(bytes.begin(), bytes.end());
+        manifest_text.assign(bytes.begin(), bytes.end());
+    }
+    if (static_analysis::passes::isRangeManifest(manifest_text)) {
+        // Range-claim manifest: checked against the original module
+        // alone — there is no second binary, the claims license
+        // engine bounds-check elision on the original itself.
+        if (orig_path.empty() || !instr_path.empty())
+            throw UsageError("usage: check <orig.wasm> "
+                             "--manifest=<range-manifest> [--json]");
+        wasm::Module orig = loadModule(orig_path);
+        static_analysis::Diagnostics diags =
+            static_analysis::checkRangeManifest(orig, manifest_text);
+        if (json) {
+            std::fputs(static_analysis::toJson(diags).c_str(), stdout);
+            std::fputs("\n", stdout);
+        } else if (diags.empty()) {
+            static_analysis::passes::RangeClaims rc;
+            std::string perr;
+            static_analysis::passes::rangeClaimsFromManifest(
+                manifest_text, &rc, &perr);
+            std::printf("OK: all %zu range claim(s) re-proved\n",
+                        rc.claims.size());
+        } else {
+            std::fputs(static_analysis::toString(diags).c_str(),
+                       stdout);
+            std::printf("%zu finding(s)\n", diags.size());
+        }
+        return diags.empty() ? 0 : 3;
+    }
+    if (orig_path.empty() || instr_path.empty()) {
+        // A single positional plus --manifest= is only meaningful for
+        // a range manifest; anything else here is a broken file, not
+        // a usage mistake.
+        if (!manifest_path.empty() && !orig_path.empty() &&
+            instr_path.empty())
+            throw std::runtime_error(
+                "manifest " + manifest_path +
+                " is not a wasabi-range-manifest (malformed or wrong "
+                "schema); two-binary manifests need <orig.wasm> "
+                "<instrumented.wasm>");
+        throw UsageError(
+            "usage: check <orig.wasm> <instrumented.wasm> [opts]");
+    }
+    if (!manifest_path.empty()) {
+        const std::string &text = manifest_text;
         if (static_analysis::rewrite::isOptManifest(text)) {
             // `wasabi opt` manifest: re-prove every optimization claim
             // against the original module and require the replayed
@@ -943,14 +1045,18 @@ cmdLint(const std::vector<std::string> &args)
 int
 cmdAnalyze(const std::vector<std::string> &args)
 {
-    std::string path, dot;
-    bool json = false, summaries = false;
+    std::string path, dot, manifest_out;
+    bool json = false, summaries = false, ranges = false;
     unsigned threads = 1;
     for (const std::string &a : args) {
         if (a == "--json")
             json = true;
         else if (a == "--summaries")
             summaries = true;
+        else if (a == "--ranges")
+            ranges = true;
+        else if (a.rfind("--manifest-out=", 0) == 0)
+            manifest_out = a.substr(15);
         else if (a.rfind("--threads=", 0) == 0)
             threads = static_cast<unsigned>(std::stoul(a.substr(10)));
         else if (a.rfind("--dot=", 0) == 0)
@@ -971,6 +1077,22 @@ cmdAnalyze(const std::vector<std::string> &args)
         std::fputs("\n", stdout);
         return 0;
     }
+    if (ranges || !manifest_out.empty()) {
+        static_analysis::passes::ModuleRanges mr =
+            static_analysis::passes::moduleRanges(m, threads);
+        if (!manifest_out.empty())
+            writeTextFile(manifest_out,
+                          static_analysis::passes::rangeClaimsToManifest(
+                              static_analysis::passes::provableRangeClaims(
+                                  mr)));
+        if (ranges) {
+            std::fputs(
+                static_analysis::passes::rangesToJson(m, mr).c_str(),
+                stdout);
+            std::fputs("\n", stdout);
+        }
+        return 0;
+    }
     if (!dot.empty()) {
         if (dot == "callgraph") {
             std::fputs(static_analysis::callGraphDot(m).c_str(), stdout);
@@ -985,6 +1107,15 @@ cmdAnalyze(const std::vector<std::string> &args)
                     "--dot=cfg: not a defined function: " +
                     dot.substr(4));
             std::fputs(static_analysis::cfgDot(m, f).c_str(), stdout);
+        } else if (dot.rfind("ranges:", 0) == 0) {
+            uint32_t f =
+                static_cast<uint32_t>(std::stoul(dot.substr(7)));
+            if (f >= m.numFunctions() || m.functions[f].imported())
+                throw std::runtime_error(
+                    "--dot=ranges: not a defined function: " +
+                    dot.substr(7));
+            std::fputs(static_analysis::rangesDot(m, f).c_str(),
+                       stdout);
         } else {
             throw std::runtime_error("unknown --dot target: " + dot);
         }
@@ -1015,6 +1146,7 @@ printUsage(std::FILE *to)
         "             [--arg=i32:N] [--arg=i64:N] [--arg=f64:X]\n"
         "             [--engine=fast|legacy]\n"
         "             [--profile] [--profile-out=FILE]\n"
+        "             [--elide-bounds-checks] [--elide-manifest=FILE]\n"
         "  gen        <polybench:NAME[:N]|random:SEED|app:SIZE> "
         "<out.wasm>\n"
         "  opt        <in.wasm> --out=FILE [--passes=p1,p2|all]\n"
@@ -1030,12 +1162,15 @@ printUsage(std::FILE *to)
         "             any are violated\n"
         "  lint       <in.wasm> [--json]\n"
         "             static pass suite findings; exit 3 if any\n"
-        "  analyze    <in.wasm> [--json] [--summaries] [--threads=N]\n"
-        "             [--dot=callgraph|refined|cfg:FUNC]\n"
+        "  analyze    <in.wasm> [--json] [--summaries] [--ranges]\n"
+        "             [--manifest-out=FILE] [--threads=N]\n"
+        "             [--dot=callgraph|refined|cfg:FUNC|ranges:FUNC]\n"
         "             per-function CFG statistics, dominator-based\n"
-        "             loop counts, dead functions, effect summaries\n"
+        "             loop counts, dead functions, effect summaries,\n"
+        "             value-range facts and range-claim manifests\n"
         "  profile    <in.wasm> [--analysis=NAME] [--hooks=h1,h2]\n"
         "             [--entry=NAME] [--arg=...] [--threads=N]\n"
+        "             [--elide-bounds-checks] [--elide-manifest=FILE]\n"
         "             [--engine=fast|legacy] [--json]\n"
         "             [--deterministic] [--out=FILE]\n"
         "             [--trace-out=FILE]  |  profile --check=FILE\n"
@@ -1098,7 +1233,12 @@ printCommandHelp(const std::string &cmd, std::FILE *to)
             "  observationally identical.\n"
             "  --profile prints a profile table after the analysis\n"
             "  report; --profile-out=FILE writes the wasabi-profile\n"
-            "  JSON document instead.\n",
+            "  JSON document instead.\n"
+            "  --elide-bounds-checks derives the provable range-claim\n"
+            "  set of the executed (instrumented) module and runs the\n"
+            "  fast engine with those bounds checks elided;\n"
+            "  --elide-manifest=FILE re-proves a saved manifest first\n"
+            "  and hard-fails if any claim does not re-derive.\n",
             to);
     } else if (cmd == "profile") {
         std::fputs(
@@ -1120,6 +1260,10 @@ printCommandHelp(const std::string &cmd, std::FILE *to)
             "  --arg=i32:N ...    entry arguments\n"
             "  --threads=N        parallel instrumentation workers\n"
             "  --engine=fast|legacy  execution engine (default fast)\n"
+            "  --elide-bounds-checks  run with statically proven\n"
+            "                     bounds checks elided (fast engine)\n"
+            "  --elide-manifest=FILE  re-prove and apply a saved\n"
+            "                     range-claim manifest\n"
             "  --json             emit wasabi-profile JSON (v1)\n"
             "  --deterministic    JSON with timings zeroed and\n"
             "                     schedule-dependent sections omitted;\n"
@@ -1183,7 +1327,12 @@ printCommandHelp(const std::string &cmd, std::FILE *to)
             "                       `wasabi opt` manifest is detected\n"
             "                       automatically and routes to the\n"
             "                       optimization checker instead\n"
-            "                       (check.opt.* findings)\n"
+            "                       (check.opt.* findings); a range\n"
+            "                       manifest (`analyze --ranges\n"
+            "                       --manifest-out=`) needs only the\n"
+            "                       original module and re-proves\n"
+            "                       every in-bounds claim\n"
+            "                       (check.range.* findings)\n"
             "  --json               machine-readable findings\n",
             to);
     } else if (cmd == "lint") {
@@ -1205,8 +1354,10 @@ printCommandHelp(const std::string &cmd, std::FILE *to)
     } else if (cmd == "analyze") {
         std::fputs(
             "wasabi analyze <in.wasm> [--json] [--summaries]\n"
+            "               [--ranges] [--manifest-out=FILE]\n"
             "               [--threads=N]\n"
-            "               [--dot=callgraph|refined|cfg:FUNC]\n"
+            "               [--dot=callgraph|refined|cfg:FUNC|\n"
+            "                ranges:FUNC]\n"
             "  Static module report: per-function CFG statistics,\n"
             "  dominator-based loop counts, dead functions; or a\n"
             "  Graphviz rendering of the call graph / one CFG.\n"
@@ -1215,8 +1366,19 @@ printCommandHelp(const std::string &cmd, std::FILE *to)
             "  callee closure) over the refined call graph's SCC\n"
             "  condensation with N workers and prints them as JSON;\n"
             "  output is byte-identical for every N.\n"
+            "  --ranges runs the value-range abstract interpretation\n"
+            "  (interval domain, threshold widening, branch\n"
+            "  refinement, interprocedural argument seeding) and\n"
+            "  prints per-access address intervals as JSON; output is\n"
+            "  byte-identical for every --threads=N.\n"
+            "  --manifest-out=FILE writes the provable in-bounds\n"
+            "  accesses as a \"wasabi-range-manifest\" claim set for\n"
+            "  `wasabi check --manifest=` and `run/profile\n"
+            "  --elide-manifest=`.\n"
             "  --dot=refined renders per-site call_indirect edges:\n"
-            "  bold = proven unique target, dashed = unresolved.\n",
+            "  bold = proven unique target, dashed = unresolved;\n"
+            "  --dot=ranges:FUNC renders one CFG with per-block\n"
+            "  locals intervals.\n",
             to);
     } else {
         return false;
