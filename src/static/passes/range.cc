@@ -30,6 +30,9 @@ constexpr uint32_t kU32Max = 0xFFFFFFFFu;
 constexpr uint32_t kI32Max = 0x7FFFFFFFu;
 constexpr uint64_t kPageBytes = 65536;
 
+/** 0 = default formula; see setRangeSolverBudgetForTest(). */
+uint64_t g_solverBudgetOverride = 0;
+
 Interval
 meet(const Interval &a, const Interval &b, bool &feasible)
 {
@@ -368,7 +371,9 @@ class FunctionRangeAnalyzer {
 
         // Threshold widening bounds head-block changes; the cap is a
         // pure backstop (facts are discarded if it ever fires).
-        uint64_t budget = 64ull * n + 4096;
+        uint64_t budget = g_solverBudgetOverride != 0
+                              ? g_solverBudgetOverride
+                              : 64ull * n + 4096;
         while (!work.empty()) {
             if (budget-- == 0)
                 return false;
@@ -446,6 +451,14 @@ class FunctionRangeAnalyzer {
             thresholds_.resize(kMaxThresholds - 2);
             thresholds_.push_back(kI32Max);
             thresholds_.push_back(kU32Max);
+            // The kept prefix can already contain values above the
+            // sentinels (i32 constants live as u32, so negative
+            // constants sort large); thresholdUp/Down binary-search
+            // this vector, which must stay sorted and unique.
+            std::sort(thresholds_.begin(), thresholds_.end());
+            thresholds_.erase(
+                std::unique(thresholds_.begin(), thresholds_.end()),
+                thresholds_.end());
         }
     }
 
@@ -1069,6 +1082,12 @@ topSeededFunctions(const Module &m,
 
 } // namespace
 
+void
+setRangeSolverBudgetForTest(uint64_t budget)
+{
+    g_solverBudgetOverride = budget;
+}
+
 ModuleRanges
 moduleRanges(const Module &m, unsigned num_threads)
 {
@@ -1119,8 +1138,25 @@ moduleRanges(const Module &m, unsigned num_threads)
             fr.args = args;
 
             FunctionRangeAnalyzer fa(m, f, args);
-            if (!fa.solve())
-                continue; // iteration cap: discard (analyzed=false)
+            if (!fa.solve()) {
+                // Iteration cap: discard this function's facts, but
+                // still account for its calls. Skipping them would
+                // leave a callee that also has successfully-analyzed
+                // callers seeded from only those callers' (narrower)
+                // joins — an unsound under-approximation. Degrade
+                // every callee's seed to top instead.
+                for (uint32_t c : cg.callees(f)) {
+                    std::vector<Interval> targs(
+                        m.funcType(c).params.size(),
+                        Interval::top());
+                    auto [it, inserted] =
+                        contrib.try_emplace(c, std::move(targs));
+                    if (!inserted)
+                        it->second.assign(it->second.size(),
+                                          Interval::top());
+                }
+                continue;
+            }
             fr.analyzed = true;
             RangeSink sink;
             sink.fr = &fr;
@@ -1248,7 +1284,94 @@ rangeClaimsToManifest(const RangeClaims &c)
 bool
 isRangeManifest(const std::string &text)
 {
-    return text.find("\"wasabi-range-manifest\"") != std::string::npos;
+    // Route on the top-level "schema" field, not a substring sniff:
+    // another manifest kind (or any file) that merely mentions the
+    // schema string somewhere in a nested value must not land here.
+    // The scan is lenient about field contents — full validation is
+    // the parser's job — but strict about object structure.
+    size_t pos = 0;
+    auto skipWs = [&] {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+    };
+    auto parseString = [&](std::string *out) -> bool {
+        if (pos >= text.size() || text[pos] != '"')
+            return false;
+        ++pos;
+        const size_t start = pos;
+        while (pos < text.size() && text[pos] != '"') {
+            if (text[pos] == '\\')
+                return false; // manifest subset has no escapes
+            ++pos;
+        }
+        if (pos >= text.size())
+            return false;
+        if (out)
+            out->assign(text, start, pos - start);
+        ++pos;
+        return true;
+    };
+    // Consume one value (scalar, array, or object) without
+    // validating it, stopping before the delimiter that follows.
+    auto skipValue = [&]() -> bool {
+        int depth = 0;
+        skipWs();
+        const size_t start = pos;
+        while (pos < text.size()) {
+            const char c = text[pos];
+            if (c == '"') {
+                if (!parseString(nullptr))
+                    return false;
+            } else if (c == '[' || c == '{') {
+                ++depth;
+                ++pos;
+            } else if (c == ']' || c == '}') {
+                if (depth == 0)
+                    return pos > start;
+                --depth;
+                ++pos;
+            } else if (c == ',' && depth == 0) {
+                return pos > start;
+            } else {
+                ++pos;
+            }
+        }
+        return false;
+    };
+    skipWs();
+    if (pos >= text.size() || text[pos] != '{')
+        return false;
+    ++pos;
+    bool first = true;
+    while (true) {
+        skipWs();
+        if (pos >= text.size())
+            return false;
+        if (text[pos] == '}')
+            return false; // object ended without a schema field
+        if (!first) {
+            if (text[pos] != ',')
+                return false;
+            ++pos;
+            skipWs();
+        }
+        first = false;
+        std::string key;
+        if (!parseString(&key))
+            return false;
+        skipWs();
+        if (pos >= text.size() || text[pos] != ':')
+            return false;
+        ++pos;
+        if (key == "schema") {
+            skipWs();
+            std::string v;
+            return parseString(&v) && v == "wasabi-range-manifest";
+        }
+        if (!skipValue())
+            return false;
+    }
 }
 
 namespace {

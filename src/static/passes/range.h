@@ -112,6 +112,15 @@ struct ModuleRanges {
  */
 ModuleRanges moduleRanges(const wasm::Module &m, unsigned num_threads = 0);
 
+/**
+ * Test-only: override the per-function solver pop budget (0 restores
+ * the default 64·blocks+4096 formula). Forces the iteration cap
+ * deterministically so tests can cover the discard path; never set in
+ * production — the claim checker must run the same budget as the
+ * producer.
+ */
+void setRangeSolverBudgetForTest(uint64_t budget);
+
 // ----- claims + manifest -------------------------------------------------
 
 /** One claim: the load/store at (func, instr) is in bounds for every
@@ -134,7 +143,9 @@ RangeClaims provableRangeClaims(const ModuleRanges &mr);
 /** Serialize to the "wasabi-range-manifest" v1 JSON format. */
 std::string rangeClaimsToManifest(const RangeClaims &c);
 
-/** Cheap sniff: does @p text look like a range manifest? */
+/** Does @p text declare `"schema": "wasabi-range-manifest"` at the
+ * top level? Parses the object structurally (a substring sniff would
+ * misroute files that merely mention the schema string in a value). */
 bool isRangeManifest(const std::string &text);
 
 /** Parse a manifest; on failure returns false and sets @p error. */

@@ -304,6 +304,100 @@ TEST(Range, ExportedCalleeGetsTopArguments)
     EXPECT_FALSE(g.accesses.at(0).proven);
 }
 
+/** Restores the default solver budget even when an assertion throws. */
+struct SolverBudgetGuard {
+    explicit SolverBudgetGuard(uint64_t b)
+    {
+        setRangeSolverBudgetForTest(b);
+    }
+    ~SolverBudgetGuard() { setRangeSolverBudgetForTest(0); }
+};
+
+TEST(Range, CapHitCallerDegradesCalleeSeedToTop)
+{
+    // When one caller's solver hits the iteration cap its call
+    // arguments are unknown, so the callee's seed must degrade to
+    // top. Seeding only from the surviving callers would silently
+    // drop the failed caller's argument set and could prove claims
+    // that its real arguments violate.
+    ModuleBuilder mb;
+    mb.memory(1);
+    uint32_t gIdx = mb.addFunction( // internal: no export name
+        FuncType({ValType::I32}, {}), "", [](FunctionBuilder &f) {
+            f.localGet(0).i32Const(9).i32Store();
+        });
+    uint32_t aIdx =
+        mb.addFunction(FuncType({}, {}), "a", [&](FunctionBuilder &f) {
+            f.i32Const(2048).call(gIdx);
+        });
+    uint32_t bIdx =
+        mb.addFunction(FuncType({}, {}), "b", [&](FunctionBuilder &f) {
+            uint32_t i = f.addLocal(ValType::I32);
+            f.forLoop(i, 0, 100, [&] { f.nop(); });
+            f.i32Const(64).call(gIdx);
+        });
+    Module m = mb.build();
+    ASSERT_EQ(validationError(m), std::nullopt);
+
+    // With the default budget everything converges and the callee is
+    // seeded with the join of both call sites.
+    ModuleRanges full = moduleRanges(m, 1);
+    ASSERT_TRUE(full.functions.at(bIdx).analyzed);
+    EXPECT_EQ(full.functions.at(gIdx).args.at(0), (Interval{64, 2048}));
+    EXPECT_TRUE(full.functions.at(gIdx).accesses.at(0).proven);
+
+    // A tiny budget lets the straight-line caller (and the callee)
+    // converge but trips the cap in the loop caller: the callee must
+    // fall back to top, not to the surviving caller's exact(2048).
+    SolverBudgetGuard guard(5);
+    ModuleRanges capped = moduleRanges(m, 1);
+    ASSERT_TRUE(capped.functions.at(aIdx).analyzed);
+    ASSERT_FALSE(capped.functions.at(bIdx).analyzed);
+    const FunctionRanges &g = capped.functions.at(gIdx);
+    ASSERT_TRUE(g.analyzed);
+    EXPECT_TRUE(g.args.at(0).isTop());
+    ASSERT_EQ(g.accesses.size(), 1u);
+    EXPECT_FALSE(g.accesses.at(0).proven);
+}
+
+TEST(Range, ManyConstantsKeepWideningSound)
+{
+    // >64 distinct i32 constants with a large negative share: the
+    // threshold cap keeps the 62 smallest as u32 (negatives sort
+    // large) and appends the sentinels, which used to leave the
+    // vector unsorted — the widening binary search could then return
+    // a "bound" below real runtime values and falsely prove the
+    // store. The dynamic-bound loop below must never be proven.
+    ModuleBuilder mb;
+    mb.memory(1);
+    mb.addFunction(
+        FuncType({ValType::I32}, {}), "f", [](FunctionBuilder &f) {
+            for (int32_t k = 0; k < 40; ++k)
+                f.i32Const(3 + k).drop();
+            for (int32_t k = 1; k <= 35; ++k)
+                f.i32Const(-k).drop();
+            // for (i = 0; i != n; i += 3) mem[i] = 1
+            uint32_t i = f.addLocal(ValType::I32);
+            f.block();
+            f.loop();
+            f.localGet(i).localGet(0).op(Opcode::I32Eq).brIf(1);
+            f.localGet(i).i32Const(1).i32Store();
+            f.localGet(i).i32Const(3).op(Opcode::I32Add).localSet(i);
+            f.br(0);
+            f.end();
+            f.end();
+        });
+    Module m = mb.build();
+    ASSERT_EQ(validationError(m), std::nullopt);
+    FunctionRanges fr = soloRanges(m);
+    ASSERT_TRUE(fr.analyzed);
+    ASSERT_EQ(fr.accesses.size(), 1u);
+    EXPECT_FALSE(fr.accesses[0].proven);
+    // The widened address bound must cover the whole page, not stop
+    // at an artifact of an unsorted threshold search.
+    EXPECT_GE(fr.accesses[0].addr.hi, 65536u);
+}
+
 // ----- determinism ---------------------------------------------------
 
 TEST(Range, JsonIsByteIdenticalAcrossThreadCounts)
@@ -385,6 +479,26 @@ TEST(RangeManifest, RoundTripsAndReproves)
 
     EXPECT_TRUE(checkRangeClaims(m, parsed).empty());
     EXPECT_TRUE(checkRangeManifest(m, text).empty());
+}
+
+TEST(RangeManifest, SchemaSniffIsStructural)
+{
+    EXPECT_FALSE(isRangeManifest(""));
+    EXPECT_FALSE(isRangeManifest("schema: wasabi-range-manifest"));
+    // A file of another manifest kind that merely mentions the schema
+    // string in a value must not be routed to the range checker.
+    EXPECT_FALSE(isRangeManifest(
+        "{\"schema\": \"wasabi-opt-manifest\", \"version\": 1, "
+        "\"note\": \"wasabi-range-manifest\"}"));
+    EXPECT_FALSE(isRangeManifest(
+        "{\"claims\": [\"wasabi-range-manifest\"], \"version\": 1}"));
+    EXPECT_FALSE(isRangeManifest("{}"));
+    // The top-level schema field decides, wherever it appears.
+    EXPECT_TRUE(isRangeManifest(
+        "{\"version\": 1, \"minPages\": 1, \"claims\": [[0, 3]], "
+        "\"schema\": \"wasabi-range-manifest\"}"));
+    EXPECT_TRUE(
+        isRangeManifest("{\"schema\": \"wasabi-range-manifest\"}"));
 }
 
 TEST(RangeManifest, UnprovableClaimIsRejected)

@@ -1077,6 +1077,9 @@ cmdAnalyze(const std::vector<std::string> &args)
         std::fputs("\n", stdout);
         return 0;
     }
+    if (ranges && !dot.empty())
+        throw UsageError("analyze: --dot cannot be combined with "
+                         "--ranges (both write to stdout)");
     if (ranges || !manifest_out.empty()) {
         static_analysis::passes::ModuleRanges mr =
             static_analysis::passes::moduleRanges(m, threads);
@@ -1091,7 +1094,10 @@ cmdAnalyze(const std::vector<std::string> &args)
                 stdout);
             std::fputs("\n", stdout);
         }
-        return 0;
+        // --manifest-out goes to a file, so it composes with --dot;
+        // fall through to print the requested DOT view.
+        if (dot.empty())
+            return 0;
     }
     if (!dot.empty()) {
         if (dot == "callgraph") {
