@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Size impact of the interprocedural optimization layer: for every
+ * workload, compare the pre-IPO pass list (dead-functions,
+ * call-indirect, const-fold, dead-stores, empty-blocks) against the
+ * full list that adds ipo-const, inline, and table-compact. Both
+ * pipelines are claim-checked; the full list must shrink the encoded
+ * module at least as much on geomean. Results are pinned in
+ * BENCH_ipo_size.json (wasabi-profile v1 schema).
+ *
+ * Usage: bench_ipo_size [N] [--json=FILE]
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "bench_common.h"
+#include "static/rewrite/opt.h"
+
+using namespace wasabi;
+using namespace wasabi::bench;
+
+namespace {
+
+/** The PR-6 pass list, before the IPO layer existed. */
+const std::vector<std::string> kOldPasses = {
+    "dead-functions", "call-indirect", "const-fold", "dead-stores",
+    "empty-blocks"};
+
+struct Row {
+    std::string name;
+    size_t before = 0;
+    size_t afterOld = 0;
+    size_t afterNew = 0;
+    size_t ipoClaims = 0;
+};
+
+Row
+measure(const workloads::Workload &w)
+{
+    namespace rw = static_analysis::rewrite;
+    Row row;
+    row.name = w.name.empty() ? "anon" : w.name;
+    row.before = wasm::encodeModule(w.module).size();
+
+    rw::OptResult old_r = rw::optimize(w.module, kOldPasses);
+    row.afterOld = wasm::encodeModule(old_r.module).size();
+
+    rw::OptResult new_r = rw::optimize(w.module, rw::allOptPasses());
+    std::vector<uint8_t> after = wasm::encodeModule(new_r.module);
+    // Sizes for an unverified transform would be meaningless:
+    // re-prove the full-list claims right here.
+    static_analysis::Diagnostics ds =
+        rw::checkOptimization(w.module, after, new_r.claims);
+    if (!ds.empty())
+        throw std::runtime_error(row.name + ": claim check failed:\n" +
+                                 static_analysis::toString(ds));
+    row.afterNew = after.size();
+    row.ipoClaims = new_r.claims.ipoConstArgs.size() +
+        new_r.claims.ipoConstReturns.size() +
+        new_r.claims.inlinedCalls.size() +
+        new_r.claims.inlineStripped.size() +
+        new_r.claims.tableSlots.size() +
+        new_r.claims.tableIndexRewrites.size() +
+        new_r.claims.tableStripped.size();
+    return row;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int n = 20;
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--json=", 7) == 0)
+            json_path = argv[i] + 7;
+        else
+            n = std::atoi(argv[i]);
+    }
+
+    std::vector<Row> rows;
+    std::vector<double> old_ratios, new_ratios;
+
+    std::printf("=== wasabi opt: IPO layer size impact "
+                "(5-pass list vs full list) ===\n\n");
+    std::printf("%-16s %12s %12s %12s %10s\n", "workload", "before",
+                "old-5", "full-8", "ipoClaims");
+
+    auto add = [&](const workloads::Workload &w) {
+        Row row = measure(w);
+        old_ratios.push_back(static_cast<double>(row.afterOld) /
+                             static_cast<double>(row.before));
+        new_ratios.push_back(static_cast<double>(row.afterNew) /
+                             static_cast<double>(row.before));
+        std::printf("%-16s %12zu %12zu %12zu %10zu\n", row.name.c_str(),
+                    row.before, row.afterOld, row.afterNew,
+                    row.ipoClaims);
+        rows.push_back(std::move(row));
+    };
+
+    for (const auto &w : workloads::polybenchSuite(n))
+        add(w);
+    add(workloads::syntheticApp(workloads::AppSize::Small));
+    add(workloads::syntheticApp(workloads::AppSize::PdfkitLike));
+    add(workloads::syntheticApp(workloads::AppSize::UnrealLike));
+    for (uint64_t seed = 7; seed < 10; ++seed) {
+        workloads::RandomProgramOptions opts;
+        opts.seed = seed;
+        opts.numFunctions = 12;
+        opts.indirectCallPct = 25;
+        opts.constIndexIndirectPct = 50;
+        workloads::Workload w = workloads::randomProgram(opts);
+        w.name = "random-" + std::to_string(seed);
+        add(w);
+    }
+
+    double old_mean = geomean(old_ratios);
+    double new_mean = geomean(new_ratios);
+    std::printf("\ngeomean size ratio: old list %.4f, full list %.4f "
+                "(IPO layer saves another %.2f%%); every full-list "
+                "claim re-proved by the manifest checker\n",
+                old_mean, new_mean, 100.0 * (old_mean - new_mean));
+    if (new_mean > old_mean) {
+        std::fprintf(stderr,
+                     "FAIL: full pass list shrinks less than the old "
+                     "list on geomean (%.4f > %.4f)\n",
+                     new_mean, old_mean);
+        return 1;
+    }
+
+    if (!json_path.empty()) {
+        std::string per = "[";
+        for (size_t i = 0; i < rows.size(); ++i) {
+            char buf[320];
+            std::snprintf(
+                buf, sizeof buf,
+                "%s\n      {\"workload\": \"%s\", \"before\": %zu, "
+                "\"afterOldPasses\": %zu, \"afterFullPasses\": %zu, "
+                "\"ipoClaims\": %zu}",
+                i ? "," : "", rows[i].name.c_str(), rows[i].before,
+                rows[i].afterOld, rows[i].afterNew, rows[i].ipoClaims);
+            per += buf;
+        }
+        per += "\n    ]";
+        char old_buf[64], new_buf[64];
+        std::snprintf(old_buf, sizeof old_buf, "%.4f", old_mean);
+        std::snprintf(new_buf, sizeof new_buf, "%.4f", new_mean);
+        writeBenchProfileJson(json_path, "ipo_size",
+                              {{"n", std::to_string(n)},
+                               {"oldPasses", "5"},
+                               {"fullPasses", "8"},
+                               {"perWorkload", per},
+                               {"geomeanSizeRatioOldPasses", old_buf},
+                               {"geomeanSizeRatioFullPasses", new_buf}});
+        std::printf("wrote %s\n", json_path.c_str());
+    }
+    return 0;
+}

@@ -119,7 +119,7 @@ main(int argc, char **argv)
         std::snprintf(mean, sizeof mean, "%.4f", mean_ratio);
         writeBenchProfileJson(json_path, "opt_size",
                               {{"n", std::to_string(n)},
-                               {"passes", "5"},
+                               {"passes", "8"},
                                {"perWorkload", per},
                                {"geomeanSizeRatio", mean}});
         std::printf("wrote %s\n", json_path.c_str());

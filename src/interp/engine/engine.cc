@@ -97,7 +97,7 @@ struct Frame {
     VM_CASE(name) : {                                                   \
         double r = (--sp)->f64();                                       \
         double l = (sp - 1)->f64();                                     \
-        *(sp - 1) = Value::makeF64(l op_ r);                            \
+        *(sp - 1) = Value::makeF64(canonNaN(l op_ r));                  \
         VM_NEXT();                                                      \
     }
 
@@ -656,12 +656,12 @@ execute(Instance &inst, uint32_t func_idx, std::span<const Value> args,
         }
         VM_CASE(F32Add) : {
             float r = (--sp)->f32();
-            *(sp - 1) = Value::makeF32((sp - 1)->f32() + r);
+            *(sp - 1) = Value::makeF32(canonNaN((sp - 1)->f32() + r));
             VM_NEXT();
         }
         VM_CASE(F32Mul) : {
             float r = (--sp)->f32();
-            *(sp - 1) = Value::makeF32((sp - 1)->f32() * r);
+            *(sp - 1) = Value::makeF32(canonNaN((sp - 1)->f32() * r));
             VM_NEXT();
         }
         VM_BIN_F64(F64Add, +)

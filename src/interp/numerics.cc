@@ -155,20 +155,28 @@ evalUnary(Opcode op, Value in)
 
       case Opcode::F32Abs: return Value::makeF32(std::fabs(in.f32()));
       case Opcode::F32Neg: return Value::makeF32(-in.f32());
-      case Opcode::F32Ceil: return Value::makeF32(std::ceil(in.f32()));
-      case Opcode::F32Floor: return Value::makeF32(std::floor(in.f32()));
-      case Opcode::F32Trunc: return Value::makeF32(std::trunc(in.f32()));
+      case Opcode::F32Ceil:
+        return Value::makeF32(canonNaN(std::ceil(in.f32())));
+      case Opcode::F32Floor:
+        return Value::makeF32(canonNaN(std::floor(in.f32())));
+      case Opcode::F32Trunc:
+        return Value::makeF32(canonNaN(std::trunc(in.f32())));
       case Opcode::F32Nearest:
-        return Value::makeF32(wasmNearest(in.f32()));
-      case Opcode::F32Sqrt: return Value::makeF32(std::sqrt(in.f32()));
+        return Value::makeF32(canonNaN(wasmNearest(in.f32())));
+      case Opcode::F32Sqrt:
+        return Value::makeF32(canonNaN(std::sqrt(in.f32())));
       case Opcode::F64Abs: return Value::makeF64(std::fabs(in.f64()));
       case Opcode::F64Neg: return Value::makeF64(-in.f64());
-      case Opcode::F64Ceil: return Value::makeF64(std::ceil(in.f64()));
-      case Opcode::F64Floor: return Value::makeF64(std::floor(in.f64()));
-      case Opcode::F64Trunc: return Value::makeF64(std::trunc(in.f64()));
+      case Opcode::F64Ceil:
+        return Value::makeF64(canonNaN(std::ceil(in.f64())));
+      case Opcode::F64Floor:
+        return Value::makeF64(canonNaN(std::floor(in.f64())));
+      case Opcode::F64Trunc:
+        return Value::makeF64(canonNaN(std::trunc(in.f64())));
       case Opcode::F64Nearest:
-        return Value::makeF64(wasmNearest(in.f64()));
-      case Opcode::F64Sqrt: return Value::makeF64(std::sqrt(in.f64()));
+        return Value::makeF64(canonNaN(wasmNearest(in.f64())));
+      case Opcode::F64Sqrt:
+        return Value::makeF64(canonNaN(std::sqrt(in.f64())));
 
       case Opcode::I32WrapI64:
         return Value::makeI32(static_cast<uint32_t>(in.i64()));
@@ -206,7 +214,7 @@ evalUnary(Opcode op, Value in)
       case Opcode::F32ConvertI64U:
         return Value::makeF32(static_cast<float>(in.i64()));
       case Opcode::F32DemoteF64:
-        return Value::makeF32(static_cast<float>(in.f64()));
+        return Value::makeF32(canonNaN(static_cast<float>(in.f64())));
       case Opcode::F64ConvertI32S:
         return Value::makeF64(static_cast<double>(in.i32s()));
       case Opcode::F64ConvertI32U:
@@ -216,7 +224,7 @@ evalUnary(Opcode op, Value in)
       case Opcode::F64ConvertI64U:
         return Value::makeF64(static_cast<double>(in.i64()));
       case Opcode::F64PromoteF32:
-        return Value::makeF64(static_cast<double>(in.f32()));
+        return Value::makeF64(canonNaN(static_cast<double>(in.f32())));
       case Opcode::I32ReinterpretF32:
         return Value::makeI32(in.i32()); // same bits, new type
       case Opcode::I64ReinterpretF64:
@@ -329,10 +337,14 @@ evalBinary(Opcode op, Value l, Value r)
       case Opcode::I64Rotr:
         return Value::makeI64(std::rotr(l.i64(), r.i64() & 63));
       // --- f32 arithmetic.
-      case Opcode::F32Add: return Value::makeF32(l.f32() + r.f32());
-      case Opcode::F32Sub: return Value::makeF32(l.f32() - r.f32());
-      case Opcode::F32Mul: return Value::makeF32(l.f32() * r.f32());
-      case Opcode::F32Div: return Value::makeF32(l.f32() / r.f32());
+      case Opcode::F32Add:
+        return Value::makeF32(canonNaN(l.f32() + r.f32()));
+      case Opcode::F32Sub:
+        return Value::makeF32(canonNaN(l.f32() - r.f32()));
+      case Opcode::F32Mul:
+        return Value::makeF32(canonNaN(l.f32() * r.f32()));
+      case Opcode::F32Div:
+        return Value::makeF32(canonNaN(l.f32() / r.f32()));
       case Opcode::F32Min:
         return Value::makeF32(wasmMin(l.f32(), r.f32()));
       case Opcode::F32Max:
@@ -340,10 +352,14 @@ evalBinary(Opcode op, Value l, Value r)
       case Opcode::F32Copysign:
         return Value::makeF32(std::copysign(l.f32(), r.f32()));
       // --- f64 arithmetic.
-      case Opcode::F64Add: return Value::makeF64(l.f64() + r.f64());
-      case Opcode::F64Sub: return Value::makeF64(l.f64() - r.f64());
-      case Opcode::F64Mul: return Value::makeF64(l.f64() * r.f64());
-      case Opcode::F64Div: return Value::makeF64(l.f64() / r.f64());
+      case Opcode::F64Add:
+        return Value::makeF64(canonNaN(l.f64() + r.f64()));
+      case Opcode::F64Sub:
+        return Value::makeF64(canonNaN(l.f64() - r.f64()));
+      case Opcode::F64Mul:
+        return Value::makeF64(canonNaN(l.f64() * r.f64()));
+      case Opcode::F64Div:
+        return Value::makeF64(canonNaN(l.f64() / r.f64()));
       case Opcode::F64Min:
         return Value::makeF64(wasmMin(l.f64(), r.f64()));
       case Opcode::F64Max:

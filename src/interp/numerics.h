@@ -8,10 +8,40 @@
 #ifndef WASABI_INTERP_NUMERICS_H
 #define WASABI_INTERP_NUMERICS_H
 
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
 #include "wasm/opcode.h"
 #include "wasm/types.h"
 
 namespace wasabi::interp {
+
+/**
+ * Map any NaN produced by a float arithmetic instruction to the
+ * canonical quiet NaN (positive sign, MSB-only payload). The Wasm
+ * spec leaves NaN payloads nondeterministic, and with two NaN inputs
+ * x86 returns whichever operand the compiler placed in the
+ * destination register — so two compilations of the same `l + r`
+ * expression can legally disagree. Both engines canonicalize instead
+ * (always a permitted result), which keeps the engine-differential
+ * gate byte-exact. Bit-preserving instructions (abs/neg/copysign,
+ * reinterpret, load/store, const) must NOT go through this.
+ */
+inline float
+canonNaN(float x)
+{
+    return std::isnan(x) ? std::bit_cast<float>(UINT32_C(0x7fc00000)) : x;
+}
+
+/** double overload; canonical bits 0x7ff8000000000000. */
+inline double
+canonNaN(double x)
+{
+    return std::isnan(x)
+        ? std::bit_cast<double>(UINT64_C(0x7ff8000000000000))
+        : x;
+}
 
 /** Evaluate a unary operation (including eqz and all conversions). */
 wasm::Value evalUnary(wasm::Opcode op, wasm::Value input);

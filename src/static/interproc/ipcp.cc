@@ -1,0 +1,360 @@
+#include "static/interproc/ipcp.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "static/interproc/refined_call_graph.h"
+#include "static/interproc/scc.h"
+#include "static/interproc/summaries.h"
+#include "wasm/opcode.h"
+
+namespace wasabi::static_analysis::interproc {
+
+using passes::Interval;
+using wasm::Module;
+using wasm::OpClass;
+using wasm::Opcode;
+
+namespace {
+
+/** Same pinning rule as the range-analysis argument seeding: a
+ * function whose full caller set the module cannot enumerate keeps
+ * top arguments. */
+std::vector<char>
+pinnedFunctions(const Module &m, const RefinedCallGraph &cg,
+                const SccGraph &scc)
+{
+    std::vector<char> pinned(m.numFunctions(), 0);
+    for (uint32_t f : cg.roots())
+        pinned[f] = 1;
+    for (const CallSite &site : cg.sites()) {
+        if (site.kind == SiteKind::Direct) {
+            // Direct self calls make a singleton SCC recursive.
+            if (!site.targets.empty() && site.targets[0] == site.func)
+                pinned[site.func] = 1;
+            continue;
+        }
+        for (uint32_t t : site.targets)
+            pinned[t] = 1;
+    }
+    for (uint32_t sid = 0; sid < scc.numSccs(); ++sid) {
+        if (scc.members[sid].size() > 1) {
+            for (uint32_t f : scc.members[sid])
+                pinned[f] = 1;
+        }
+    }
+    return pinned;
+}
+
+/**
+ * Termination proof, bottom-up over the condensation: a function
+ * terminates when it is defined, loop-free, call_indirect-free, not
+ * (even mutually) recursive, and every direct callee terminates.
+ * Purity alone does not bound execution — a pure infinite loop must
+ * not be folded away.
+ */
+std::vector<char>
+terminatingFunctions(const Module &m, const RefinedCallGraph &cg,
+                     const SccGraph &scc)
+{
+    std::vector<char> term(m.numFunctions(), 0);
+    for (uint32_t sid = 0; sid < scc.numSccs(); ++sid) {
+        if (scc.members[sid].size() > 1)
+            continue; // mutual recursion
+        const uint32_t f = scc.members[sid][0];
+        const wasm::Function &fn = m.functions[f];
+        if (fn.imported() || fn.body.empty())
+            continue;
+        const std::vector<uint32_t> &callees = cg.callees(f);
+        if (std::find(callees.begin(), callees.end(), f) !=
+            callees.end())
+            continue; // direct self recursion
+        bool ok = true;
+        for (const wasm::Instr &ins : fn.body) {
+            const OpClass cls = wasm::opInfo(ins.op).cls;
+            if (cls == OpClass::Loop || cls == OpClass::CallIndirect) {
+                ok = false;
+                break;
+            }
+            if (cls == OpClass::Call && !term[ins.imm.idx]) {
+                ok = false;
+                break;
+            }
+        }
+        term[f] = ok;
+    }
+    return term;
+}
+
+/**
+ * Walk the condensation DAG with @p workers threads, calling
+ * @p solve_scc once per SCC. Bottom-up (callees first) when
+ * @p bottom_up, top-down (callers first) otherwise. Results published
+ * by one SCC are read by dependents only after the queue mutex
+ * ordered the writes — the same discipline as the summary and range
+ * drivers, and the reason any worker count yields the same result.
+ */
+void
+walkCondensation(const SccGraph &scc, bool bottom_up, unsigned workers,
+                 const std::function<void(uint32_t)> &solve_scc)
+{
+    const uint32_t num_sccs = scc.numSccs();
+    if (num_sccs == 0)
+        return;
+    if (workers <= 1 || num_sccs == 1) {
+        // Tarjan ids are reverse-topological: ascending is bottom-up.
+        if (bottom_up) {
+            for (uint32_t sid = 0; sid < num_sccs; ++sid)
+                solve_scc(sid);
+        } else {
+            for (uint32_t sid = num_sccs; sid-- > 0;)
+                solve_scc(sid);
+        }
+        return;
+    }
+
+    const auto &deps = bottom_up ? scc.succs : scc.preds;
+    const auto &dependents = bottom_up ? scc.preds : scc.succs;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<uint32_t> ready;
+    std::vector<uint32_t> pending(num_sccs);
+    uint32_t solved = 0;
+    for (uint32_t sid = 0; sid < num_sccs; ++sid) {
+        pending[sid] = static_cast<uint32_t>(deps[sid].size());
+        if (pending[sid] == 0)
+            ready.push_back(sid);
+    }
+
+    auto worker = [&] {
+        std::unique_lock<std::mutex> lock(mu);
+        while (solved < num_sccs) {
+            if (ready.empty()) {
+                cv.wait(lock, [&] {
+                    return !ready.empty() || solved == num_sccs;
+                });
+                continue;
+            }
+            uint32_t sid = ready.front();
+            ready.pop_front();
+            lock.unlock();
+            solve_scc(sid);
+            lock.lock();
+            ++solved;
+            for (uint32_t d : dependents[sid]) {
+                if (--pending[d] == 0)
+                    ready.push_back(d);
+            }
+            cv.notify_all();
+        }
+    };
+
+    std::vector<std::thread> pool;
+    unsigned count = std::min<unsigned>(workers, num_sccs);
+    pool.reserve(count);
+    for (unsigned t = 0; t < count; ++t)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+}
+
+void
+appendInterval(std::string &out, const Interval &iv)
+{
+    out += "[" + std::to_string(iv.lo) + ", " + std::to_string(iv.hi) +
+           "]";
+}
+
+} // namespace
+
+ModuleIpcp
+ipcpSolve(const Module &m, unsigned num_threads)
+{
+    ModuleIpcp result;
+    const uint32_t n = m.numFunctions();
+    result.functions.resize(n);
+    if (n == 0)
+        return result;
+
+    RefinedCallGraph cg(m);
+    SccGraph scc = condense(
+        n, [&cg](uint32_t f) -> const std::vector<uint32_t> & {
+            return cg.callees(f);
+        });
+    std::vector<char> pinned = pinnedFunctions(m, cg, scc);
+    std::vector<char> term = terminatingFunctions(m, cg, scc);
+    std::vector<EffectSummary> summaries =
+        functionSummaries(m, cg, num_threads == 0 ? 1 : num_threads);
+
+    const unsigned workers =
+        num_threads == 0
+            ? std::max(1u, std::thread::hardware_concurrency())
+            : num_threads;
+
+    // Phase A: bottom-up returns under top arguments. An entry stays
+    // nullopt (reads as top) until its function's solve finalized, so
+    // a consumer only ever sees sound over-approximations — within a
+    // recursive SCC the members' mutual reads simply stay top.
+    std::vector<std::optional<Interval>> retsA(n);
+    walkCondensation(scc, /*bottom_up=*/true, workers, [&](uint32_t sid) {
+        for (uint32_t f : scc.members[sid]) {
+            const wasm::Function &fn = m.functions[f];
+            if (fn.imported() || fn.body.empty())
+                continue;
+            std::vector<Interval> top(m.funcType(f).params.size(),
+                                      Interval::top());
+            passes::FunctionValueFlow vf =
+                passes::functionValueFlow(m, f, top, &retsA);
+            if (vf.analyzed && vf.returnSeen)
+                retsA[f] = vf.ret;
+        }
+    });
+
+    // Phase B: top-down arguments. Mirrors the moduleRanges driver:
+    // joined caller contributions gate on the condensation so every
+    // seed is read only after all callers finalized.
+    std::vector<std::vector<Interval>> argsOut(n);
+    std::vector<char> bAnalyzed(n, 0);
+    std::vector<std::vector<Interval>> argSeed(n);
+    std::mutex seedMu;
+    walkCondensation(scc, /*bottom_up=*/false, workers, [&](uint32_t sid) {
+        std::map<uint32_t, std::vector<Interval>> contrib;
+        for (uint32_t f : scc.members[sid]) {
+            const wasm::Function &fn = m.functions[f];
+            const size_t np = m.funcType(f).params.size();
+            std::vector<Interval> args(np, Interval::top());
+            if (!pinned[f] && !fn.imported() && !fn.body.empty()) {
+                std::lock_guard<std::mutex> lock(seedMu);
+                if (!argSeed[f].empty())
+                    args = argSeed[f];
+                // No recorded caller: never invoked; top stays sound.
+            }
+            argsOut[f] = args;
+            if (fn.imported() || fn.body.empty())
+                continue;
+            passes::FunctionValueFlow vf =
+                passes::functionValueFlow(m, f, args, &retsA);
+            if (!vf.analyzed) {
+                // Iteration cap: still account for this function's
+                // calls — degrade every callee's seed to top so no
+                // callee is seeded from only its other callers.
+                for (uint32_t c : cg.callees(f)) {
+                    std::vector<Interval> targs(
+                        m.funcType(c).params.size(), Interval::top());
+                    auto [it, inserted] =
+                        contrib.try_emplace(c, std::move(targs));
+                    if (!inserted)
+                        it->second.assign(it->second.size(),
+                                          Interval::top());
+                }
+                continue;
+            }
+            bAnalyzed[f] = 1;
+            for (auto &[callee, cargs] : vf.callArgs) {
+                auto [it, inserted] = contrib.try_emplace(callee, cargs);
+                if (!inserted) {
+                    for (size_t k = 0; k < cargs.size(); ++k)
+                        it->second[k] =
+                            passes::hull(it->second[k], cargs[k]);
+                }
+            }
+        }
+        if (!contrib.empty()) {
+            std::lock_guard<std::mutex> lock(seedMu);
+            for (auto &[callee, args] : contrib) {
+                std::vector<Interval> &seed = argSeed[callee];
+                if (seed.empty()) {
+                    seed = args;
+                } else {
+                    for (size_t k = 0; k < seed.size(); ++k)
+                        seed[k] = passes::hull(seed[k], args[k]);
+                }
+            }
+        }
+    });
+
+    // Phase C: bottom-up returns again, now under the phase-B
+    // arguments — the lattice the optimizer consumes.
+    std::vector<std::optional<Interval>> retsC(n);
+    std::vector<char> cAnalyzed(n, 0);
+    walkCondensation(scc, /*bottom_up=*/true, workers, [&](uint32_t sid) {
+        for (uint32_t f : scc.members[sid]) {
+            const wasm::Function &fn = m.functions[f];
+            if (fn.imported() || fn.body.empty())
+                continue;
+            passes::FunctionValueFlow vf =
+                passes::functionValueFlow(m, f, argsOut[f], &retsC);
+            if (!vf.analyzed)
+                continue;
+            cAnalyzed[f] = 1;
+            if (vf.returnSeen)
+                retsC[f] = vf.ret;
+        }
+    });
+
+    for (uint32_t f = 0; f < n; ++f) {
+        FunctionIpcp &fi = result.functions[f];
+        const wasm::Function &fn = m.functions[f];
+        fi.defined = !fn.imported() && !fn.body.empty();
+        fi.pinned = pinned[f] != 0;
+        fi.pure = fi.defined && summaries[f].effectFree();
+        fi.terminates = term[f] != 0;
+        fi.analyzed = fi.defined && bAnalyzed[f] && cAnalyzed[f];
+        fi.args = argsOut[f];
+        const wasm::FuncType &type = m.funcType(f);
+        if (retsC[f] && type.results.size() == 1 &&
+            type.results[0] == wasm::ValType::I32) {
+            fi.ret = *retsC[f];
+            fi.retKnown = true;
+        }
+    }
+    return result;
+}
+
+std::string
+ipcpToJson(const Module &m, const ModuleIpcp &ipcp)
+{
+    std::string out = "{\n  \"functions\": [";
+    for (uint32_t f = 0; f < ipcp.functions.size(); ++f) {
+        const FunctionIpcp &fi = ipcp.functions[f];
+        out += f ? ",\n    " : "\n    ";
+        out += "{\"func\": " + std::to_string(f);
+        if (!m.functions[f].debugName.empty())
+            out += ", \"name\": \"" + m.functions[f].debugName + "\"";
+        out += std::string(", \"defined\": ") +
+               (fi.defined ? "true" : "false");
+        if (!fi.defined) {
+            out += "}";
+            continue;
+        }
+        out += std::string(", \"pinned\": ") +
+               (fi.pinned ? "true" : "false");
+        out += std::string(", \"pure\": ") + (fi.pure ? "true" : "false");
+        out += std::string(", \"terminates\": ") +
+               (fi.terminates ? "true" : "false");
+        out += std::string(", \"analyzed\": ") +
+               (fi.analyzed ? "true" : "false");
+        out += ", \"args\": [";
+        for (size_t k = 0; k < fi.args.size(); ++k) {
+            if (k)
+                out += ", ";
+            appendInterval(out, fi.args[k]);
+        }
+        out += "], \"ret\": ";
+        if (fi.retKnown)
+            appendInterval(out, fi.ret);
+        else
+            out += "null";
+        out += "}";
+    }
+    out += ipcp.functions.empty() ? "]\n" : "\n  ]\n";
+    out += "}\n";
+    return out;
+}
+
+} // namespace wasabi::static_analysis::interproc

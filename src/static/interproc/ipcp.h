@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Interprocedural sparse constant/range propagation (SCCP over the
+ * refined call graph's SCC condensation, joined with the PR-7 uint32
+ * interval domain).
+ *
+ * Each function gets an argument lattice (one interval per i32
+ * parameter) and a return lattice (one interval when the function has
+ * exactly one i32 result). Functions whose arguments the module cannot
+ * fully account for — host-reachable roots, targets of any indirect
+ * call site, members of recursive SCCs — are *pinned*: their argument
+ * lattice is top and stays top. Everything else is seeded purely from
+ * the joined argument intervals of its (direct) callers.
+ *
+ * The solve is three deterministic phases over the condensation DAG:
+ *  A. bottom-up return pass: per-function solve with top arguments,
+ *     consuming callee returns as they finalize (callees first);
+ *  B. top-down argument pass: per-function solve with seeded
+ *     arguments, publishing hull-joined argument intervals to callee
+ *     seeds (callers first), consuming phase-A returns;
+ *  C. bottom-up return pass again, now under the phase-B arguments —
+ *     the returns the optimizer actually consumes.
+ * Joins are commutative and each phase is a barrier, so the result is
+ * byte-identical at any thread count (same argument as the effect
+ * summaries and the range-analysis seed drivers).
+ *
+ * Consumers: the `ipo-const` opt pass (fold calls to constant-
+ * returning pure+terminating callees; propagate constant arguments
+ * into private callees), `wasabi analyze --ipcp`, and the
+ * lint.interproc.const-return lint.
+ */
+
+#ifndef WASABI_STATIC_INTERPROC_IPCP_H
+#define WASABI_STATIC_INTERPROC_IPCP_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "static/passes/range.h"
+#include "wasm/module.h"
+
+namespace wasabi::static_analysis::interproc {
+
+/** Interprocedural facts for one function. */
+struct FunctionIpcp {
+    /** Has a body (false for imports). All other fields are
+     * meaningless when false. */
+    bool defined = false;
+
+    /** Both per-function solves (phases B and C) converged. Argument
+     * intervals are valid regardless — they are derived from the
+     * callers, not from this function's own solve. */
+    bool analyzed = false;
+
+    /** Arguments pinned to top: root, indirect-call target, or member
+     * of a recursive SCC (including direct self calls). */
+    bool pinned = false;
+
+    /** Effect-free per the PR-3 summary closure: nothing written, no
+     * trap, no host escape. */
+    bool pure = false;
+
+    /** Provably terminates: loop-free, call_indirect-free body whose
+     * direct callees all terminate (recursion excluded). */
+    bool terminates = false;
+
+    /** Joined i32 argument intervals (non-i32 parameters are top).
+     * Top for pinned and never-called functions. */
+    std::vector<passes::Interval> args;
+
+    /** Hull of every returned value; valid iff retKnown. */
+    passes::Interval ret;
+
+    /** The function has exactly one i32 result, phase C converged,
+     * and at least one normal exit was reached. */
+    bool retKnown = false;
+};
+
+/** Module-wide ipcp facts, by function index. */
+struct ModuleIpcp {
+    std::vector<FunctionIpcp> functions;
+};
+
+/**
+ * Solve the interprocedural constant/range lattices of validated
+ * module @p m. @p num_threads = 0 picks a hardware default; the
+ * result is byte-identical for any thread count.
+ */
+ModuleIpcp ipcpSolve(const wasm::Module &m, unsigned num_threads = 0);
+
+/** Deterministic JSON rendering (the `wasabi analyze --ipcp`
+ * payload): one object per function, ascending. */
+std::string ipcpToJson(const wasm::Module &m, const ModuleIpcp &ipcp);
+
+} // namespace wasabi::static_analysis::interproc
+
+#endif // WASABI_STATIC_INTERPROC_IPCP_H

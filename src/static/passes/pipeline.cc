@@ -6,6 +6,7 @@
 
 #include "core/control_stack.h"
 #include "core/static_info.h"
+#include "static/interproc/ipcp.h"
 #include "static/interproc/refined_call_graph.h"
 #include "static/interproc/summaries.h"
 #include "static/passes/branch_refine.h"
@@ -41,8 +42,10 @@ emptyBlockPairs(const Module &m, uint32_t func_idx)
 namespace {
 
 /** The lint.interproc.* findings: refined-graph-only dead functions,
- * always-trapping or unresolvable indirect call sites, and reachable
- * effect-free functions (from the summary solver). */
+ * always-trapping or unresolvable indirect call sites, reachable
+ * effect-free functions (from the summary solver), never-read
+ * parameters, and private functions the ipcp lattice proves return a
+ * single constant. */
 void
 lintInterproc(const Module &m, const std::vector<bool> &base_dead,
               Diagnostics &diags)
@@ -96,6 +99,49 @@ lintInterproc(const Module &m, const std::vector<bool> &base_dead,
                       "result: calls to it can be removed",
                       f);
         }
+    }
+
+    // Parameters no instruction ever reads: callers still compute and
+    // pass the argument for nothing. Dead functions are skipped (the
+    // whole function was already reported above).
+    for (uint32_t f = 0; f < m.numFunctions(); ++f) {
+        const wasm::Function &func = m.functions[f];
+        if (func.imported() || func.body.empty() || !rcg.reachable(f))
+            continue;
+        const size_t n_params = m.funcType(f).params.size();
+        std::vector<char> read(n_params, 0);
+        for (const Instr &ins : func.body) {
+            if (wasm::opInfo(ins.op).cls == OpClass::LocalGet &&
+                ins.imm.idx < n_params)
+                read[ins.imm.idx] = 1;
+        }
+        for (uint32_t p = 0; p < n_params; ++p) {
+            if (!read[p])
+                diags.add(Severity::Note, kLintInterprocDeadParam,
+                          "parameter " + std::to_string(p) +
+                              " is never read: every caller computes "
+                              "and passes a value the function "
+                              "ignores",
+                          f);
+        }
+    }
+
+    // Private functions the interprocedural constant/range lattice
+    // proves always return the same constant. Effect-free functions
+    // have no result, so this never double-reports with the
+    // effect-free finding above.
+    interproc::ModuleIpcp ipcp = interproc::ipcpSolve(m, 1);
+    for (uint32_t f = 0; f < m.numFunctions(); ++f) {
+        const interproc::FunctionIpcp &fi = ipcp.functions[f];
+        if (!fi.defined || !rcg.reachable(f) ||
+            !m.functions[f].exportNames.empty())
+            continue;
+        if (fi.retKnown && fi.ret.isConst())
+            diags.add(Severity::Note, kLintInterprocConstReturn,
+                      "private function always returns the constant " +
+                          std::to_string(fi.ret.lo) +
+                          ": callers could use the value directly",
+                      f);
     }
 }
 

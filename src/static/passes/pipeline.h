@@ -50,6 +50,10 @@ inline constexpr const char *kLintInterprocUnresolvable =
     "lint.interproc.unresolvable-indirect";
 inline constexpr const char *kLintInterprocEffectFree =
     "lint.interproc.effect-free-function";
+inline constexpr const char *kLintInterprocConstReturn =
+    "lint.interproc.const-return";
+inline constexpr const char *kLintInterprocDeadParam =
+    "lint.interproc.dead-param";
 /** Value-range codes (interval abstract interpretation). */
 inline constexpr const char *kLintRangeOob = "lint.range.oob-access";
 inline constexpr const char *kLintRangeGrowDependent =

@@ -14,7 +14,9 @@
 #include "interp/engine/code.h"
 #include "interp/interpreter.h"
 #include "static/passes/range.h"
+#include "static/rewrite/opt.h"
 #include "static/rewrite/rewrite.h"
+#include "wasm/builder.h"
 #include "wasm/decoder.h"
 #include "wasm/encoder.h"
 #include "wasm/leb128.h"
@@ -241,6 +243,181 @@ TEST(DecoderFuzz, MutationSurvivorsExecuteIdenticallyWithElision)
         ++executed;
     }
     EXPECT_GT(executed, 0);
+}
+
+/**
+ * Optimizer gate on the mutation corpus: every surviving mutant must
+ * run the full pass list (including ipo-const, inline, table-compact)
+ * to a module that revalidates, whose claim manifest re-proves after
+ * a serialization round trip, and that executes identically on both
+ * engines — and identically to the unoptimized mutant whenever
+ * neither run hits the fuel bound (the optimized module retires fewer
+ * instructions, so fuel-exhaustion points legitimately differ).
+ */
+TEST(DecoderFuzz, MutationSurvivorsOptimizeProveAndMatchOnBothEngines)
+{
+    namespace rw = static_analysis::rewrite;
+    std::vector<uint8_t> base = baseModuleBytes();
+    uint64_t rng = 0x1B0;
+    int proved = 0;
+    for (int i = 0; i < 300; ++i) {
+        std::vector<uint8_t> bytes = base;
+        bytes[mix(rng) % bytes.size()] = static_cast<uint8_t>(mix(rng));
+        Module m;
+        try {
+            m = decodeModule(bytes);
+        } catch (const DecodeError &) {
+            continue;
+        }
+        if (validationError(m))
+            continue;
+
+        rw::OptResult r = rw::optimize(m, rw::allOptPasses());
+        ASSERT_EQ(validationError(r.module), std::nullopt) << "iter " << i;
+
+        rw::OptClaims parsed;
+        std::string error;
+        ASSERT_TRUE(rw::claimsFromManifest(
+            rw::claimsToManifest(r.claims), parsed, &error))
+            << "iter " << i << ": " << error;
+        static_analysis::Diagnostics ds = rw::checkOptimization(
+            m, encodeModule(r.module), parsed);
+        EXPECT_TRUE(ds.empty()) << "iter " << i << "\n" << toString(ds);
+
+        std::optional<FuzzOutcome> ol =
+            runBounded(m, interp::EngineKind::Legacy);
+        std::optional<FuzzOutcome> pl =
+            runBounded(r.module, interp::EngineKind::Legacy);
+        std::optional<FuzzOutcome> pf =
+            runBounded(r.module, interp::EngineKind::Fast);
+        ASSERT_EQ(pl.has_value(), pf.has_value()) << "iter " << i;
+        if (!pl)
+            continue;
+        EXPECT_EQ(*pl == *pf, true) << "iter " << i;
+        if (ol && ol->trap != interp::TrapKind::FuelExhausted &&
+            pl->trap != interp::TrapKind::FuelExhausted) {
+            EXPECT_EQ(ol->results, pl->results) << "iter " << i;
+            EXPECT_EQ(ol->trap, pl->trap) << "iter " << i;
+            EXPECT_EQ(ol->memory == pl->memory, true) << "iter " << i;
+        }
+        ++proved;
+    }
+    EXPECT_GT(proved, 0);
+}
+
+// ---------------------------------------------------------------------
+// Manifest-text tamper rejection, one case per IPO claim kind: edit
+// the serialized manifest (not the in-memory struct), re-parse it,
+// and require checkOptimization to reject with the kind's code. This
+// is the path an attacker editing a manifest file on disk would take.
+
+TEST(DecoderFuzz, TamperedManifestTextRejectedForIpoConstClaims)
+{
+    namespace rw = static_analysis::rewrite;
+    ModuleBuilder mb;
+    mb.addFunction(FuncType({}, {ValType::I32}), "main",
+                   [](FunctionBuilder &f) { f.i32Const(7).call(1); });
+    mb.addFunction(FuncType({ValType::I32}, {ValType::I32}), "",
+                   [](FunctionBuilder &f) { f.localGet(0); });
+    Module m = mb.build();
+    rw::OptResult r = rw::optimize(m, {"ipo-const"});
+    ASSERT_FALSE(r.claims.ipoConstArgs.empty());
+    std::vector<uint8_t> bytes = encodeModule(r.module);
+
+    const rw::IpoConstArgClaim &c = r.claims.ipoConstArgs[0];
+    std::string tuple = "[" + std::to_string(c.func) + ", " +
+        std::to_string(c.instr) + ", " + std::to_string(c.local) +
+        ", " + std::to_string(c.value) + "]";
+    std::string forged = "[" + std::to_string(c.func) + ", " +
+        std::to_string(c.instr) + ", " + std::to_string(c.local) +
+        ", " + std::to_string(c.value ^ 1) + "]";
+    std::string manifest = rw::claimsToManifest(r.claims);
+    size_t pos = manifest.find(tuple);
+    ASSERT_NE(pos, std::string::npos);
+    manifest.replace(pos, tuple.size(), forged);
+
+    rw::OptClaims parsed;
+    ASSERT_TRUE(rw::claimsFromManifest(manifest, parsed, nullptr));
+    static_analysis::Diagnostics ds =
+        rw::checkOptimization(m, bytes, parsed);
+    EXPECT_TRUE(ds.hasCode("check.opt.bad-ipo-const-arg"))
+        << toString(ds);
+}
+
+TEST(DecoderFuzz, TamperedManifestTextRejectedForInlineClaims)
+{
+    namespace rw = static_analysis::rewrite;
+    ModuleBuilder mb;
+    mb.addFunction(FuncType({}, {ValType::I32}), "main",
+                   [](FunctionBuilder &f) {
+                       f.i32Const(1).i32Const(2).call(1);
+                   });
+    mb.addFunction(
+        FuncType({ValType::I32, ValType::I32}, {ValType::I32}), "",
+        [](FunctionBuilder &f) {
+            f.localGet(0).localGet(1).op(Opcode::I32Add);
+        });
+    Module m = mb.build();
+    rw::OptResult r = rw::optimize(m, {"inline"});
+    ASSERT_FALSE(r.claims.inlinedCalls.empty());
+    std::vector<uint8_t> bytes = encodeModule(r.module);
+
+    const rw::InlineClaim &c = r.claims.inlinedCalls[0];
+    std::string tuple = "[" + std::to_string(c.func) + ", " +
+        std::to_string(c.instr) + ", " + std::to_string(c.callee) + "]";
+    std::string forged = "[" + std::to_string(c.func) + ", " +
+        std::to_string(c.instr + 1) + ", " + std::to_string(c.callee) +
+        "]";
+    std::string manifest = rw::claimsToManifest(r.claims);
+    size_t pos = manifest.find(tuple);
+    ASSERT_NE(pos, std::string::npos);
+    manifest.replace(pos, tuple.size(), forged);
+
+    rw::OptClaims parsed;
+    ASSERT_TRUE(rw::claimsFromManifest(manifest, parsed, nullptr));
+    static_analysis::Diagnostics ds =
+        rw::checkOptimization(m, bytes, parsed);
+    EXPECT_TRUE(ds.hasCode("check.opt.bad-ipo-inline")) << toString(ds);
+}
+
+TEST(DecoderFuzz, TamperedManifestTextRejectedForTableCompactClaims)
+{
+    namespace rw = static_analysis::rewrite;
+    ModuleBuilder mb;
+    mb.table(4);
+    uint32_t ty = mb.type(FuncType({}, {ValType::I32}));
+    mb.addFunction(FuncType({}, {ValType::I32}), "main",
+                   [&](FunctionBuilder &f) {
+                       f.i32Const(2).callIndirect(ty);
+                   });
+    mb.addFunction(FuncType({}, {ValType::I32}), "",
+                   [](FunctionBuilder &f) { f.i32Const(10); });
+    mb.addFunction(FuncType({}, {ValType::I32}), "",
+                   [](FunctionBuilder &f) { f.i32Const(20); });
+    mb.addFunction(FuncType({}, {ValType::I32}), "",
+                   [](FunctionBuilder &f) { f.i32Const(30); });
+    mb.elem(0, {1, 2, 3});
+    Module m = mb.build();
+    rw::OptResult r = rw::optimize(m, {"table-compact"});
+    ASSERT_FALSE(r.claims.tableSlots.empty());
+    std::vector<uint8_t> bytes = encodeModule(r.module);
+
+    const rw::TableSlotClaim &c = r.claims.tableSlots[0];
+    std::string tuple = "[" + std::to_string(c.oldSlot) + ", " +
+        std::to_string(c.funcIdx) + "]";
+    std::string forged = "[" + std::to_string(c.oldSlot) + ", " +
+        std::to_string(c.funcIdx == 1 ? 2 : 1) + "]";
+    std::string manifest = rw::claimsToManifest(r.claims);
+    size_t pos = manifest.find(tuple);
+    ASSERT_NE(pos, std::string::npos);
+    manifest.replace(pos, tuple.size(), forged);
+
+    rw::OptClaims parsed;
+    ASSERT_TRUE(rw::claimsFromManifest(manifest, parsed, nullptr));
+    static_analysis::Diagnostics ds =
+        rw::checkOptimization(m, bytes, parsed);
+    EXPECT_TRUE(ds.hasCode("check.opt.bad-table-compact"))
+        << toString(ds);
 }
 
 // ---------------------------------------------------------------------

@@ -303,6 +303,36 @@ TEST(NumericTraps, MinMaxPropagateNaN)
     EXPECT_TRUE(std::isnan(r.f32()));
 }
 
+// Float arithmetic must canonicalize NaN results: with two NaN
+// operands x86 returns whichever one the compiler put in the
+// destination register, so without canonicalization two compilations
+// of the same expression (legacy walker vs fast engine) can legally
+// return different payloads and break the engine-differential gate.
+TEST(NumericTraps, ArithmeticCanonicalizesNaNPayloads)
+{
+    const Value nanA(wasm::ValType::F64, 0xFFFFFFFFD049ED70ull);
+    const Value nanB(wasm::ValType::F64, 0x7FF8000000001234ull);
+    const uint64_t canon64 = 0x7FF8000000000000ull;
+    for (Opcode op : {Opcode::F64Add, Opcode::F64Sub, Opcode::F64Mul,
+                      Opcode::F64Div})
+        EXPECT_EQ(evalBinary(op, nanA, nanB).bits, canon64)
+            << wasm::name(op);
+    EXPECT_EQ(evalUnary(Opcode::F64Sqrt, nanA).bits, canon64);
+
+    const Value nan32(wasm::ValType::F32, 0xFFA00001u);
+    const uint64_t canon32 = 0x7FC00000u;
+    EXPECT_EQ(evalBinary(Opcode::F32Mul, nan32, nan32).bits, canon32);
+    EXPECT_EQ(evalUnary(Opcode::F32DemoteF64, nanA).bits, canon32);
+
+    // Bit-preserving instructions must NOT canonicalize.
+    EXPECT_EQ(evalUnary(Opcode::F64Abs, nanA).bits,
+              0x7FFFFFFFD049ED70ull);
+    EXPECT_EQ(evalUnary(Opcode::F64Neg, nanB).bits,
+              0xFFF8000000001234ull);
+    EXPECT_EQ(evalUnary(Opcode::I64ReinterpretF64, nanA).i64(),
+              0xFFFFFFFFD049ED70ull);
+}
+
 // ---------------------------------------------------------------------
 // End-to-end: numeric ops through the interpreter.
 

@@ -491,7 +491,7 @@ TEST(Opt, UnknownPassIsRefused)
     EXPECT_THROW(optimize(m, {"inline-everything"}), RewriteError);
     EXPECT_TRUE(isOptPass("dead-functions"));
     EXPECT_FALSE(isOptPass("inline-everything"));
-    EXPECT_EQ(allOptPasses().size(), 5u);
+    EXPECT_EQ(allOptPasses().size(), 8u);
 }
 
 // ---------------------------------------------------------------------

@@ -62,9 +62,11 @@
 #include "obs/profile.h"
 #include "static/analyze.h"
 #include "static/check.h"
+#include "static/interproc/ipcp.h"
 #include "static/passes/pipeline.h"
 #include "static/passes/range.h"
 #include "static/rewrite/opt.h"
+#include "static/rewrite/rewrite.h"
 #include "runtime/runtime.h"
 #include "wasm/decoder.h"
 #include "wasm/encoder.h"
@@ -767,20 +769,10 @@ cmdOpt(const std::vector<std::string> &args)
         throw std::runtime_error("opt needs a valid module: " + *err);
 
     std::vector<std::string> passes;
-    if (passes_spec == "all" || passes_spec.empty()) {
-        passes = rw::allOptPasses();
-    } else {
-        size_t pos = 0;
-        while (pos < passes_spec.size()) {
-            size_t comma = passes_spec.find(',', pos);
-            std::string name = passes_spec.substr(pos, comma - pos);
-            if (!rw::isOptPass(name))
-                throw UsageError("unknown pass '" + name + "'");
-            passes.push_back(name);
-            if (comma == std::string::npos)
-                break;
-            pos = comma + 1;
-        }
+    try {
+        passes = rw::parsePassSpec(passes_spec);
+    } catch (const rw::RewriteError &e) {
+        throw UsageError(std::string("opt: ") + e.what());
     }
 
     rw::OptResult r = rw::optimize(m, passes);
@@ -829,6 +821,17 @@ cmdOpt(const std::vector<std::string> &args)
         j += "],\n    \"claims\": {\"deadFunctions\": " +
              std::to_string(c.strippedFunctions.size()) +
              ", \"directCalls\": " + std::to_string(c.directCalls.size()) +
+             ", \"ipoConstArgs\": " + std::to_string(c.ipoConstArgs.size()) +
+             ", \"ipoConstReturns\": " +
+             std::to_string(c.ipoConstReturns.size()) +
+             ", \"inlinedCalls\": " + std::to_string(c.inlinedCalls.size()) +
+             ", \"inlineStripped\": " +
+             std::to_string(c.inlineStripped.size()) +
+             ", \"tableSlots\": " + std::to_string(c.tableSlots.size()) +
+             ", \"tableIndexRewrites\": " +
+             std::to_string(c.tableIndexRewrites.size()) +
+             ", \"tableStripped\": " +
+             std::to_string(c.tableStripped.size()) +
              ", \"constFolds\": " + std::to_string(c.constFolds.size()) +
              ", \"deadStores\": " + std::to_string(c.deadStores.size()) +
              ", \"emptyBlocks\": " + std::to_string(c.emptyBlocks.size()) +
@@ -861,10 +864,16 @@ cmdOpt(const std::vector<std::string> &args)
         std::printf(" %s", p.c_str());
     std::printf("\n");
     std::printf("  claims: %zu dead functions, %zu direct calls, "
-                "%zu const folds, %zu dead stores, %zu empty blocks\n",
+                "%zu const args, %zu const returns, %zu inlines "
+                "(%zu stripped), %zu table slots kept "
+                "(%zu rewrites, %zu stripped), %zu const folds, "
+                "%zu dead stores, %zu empty blocks\n",
                 c.strippedFunctions.size(), c.directCalls.size(),
-                c.constFolds.size(), c.deadStores.size(),
-                c.emptyBlocks.size());
+                c.ipoConstArgs.size(), c.ipoConstReturns.size(),
+                c.inlinedCalls.size(), c.inlineStripped.size(),
+                c.tableSlots.size(), c.tableIndexRewrites.size(),
+                c.tableStripped.size(), c.constFolds.size(),
+                c.deadStores.size(), c.emptyBlocks.size());
     std::printf("  size: %zu -> %zu bytes (%.1f%%)\n", before_bytes.size(),
                 after_bytes.size(),
                 100.0 * static_cast<double>(after_bytes.size()) /
@@ -1046,7 +1055,7 @@ int
 cmdAnalyze(const std::vector<std::string> &args)
 {
     std::string path, dot, manifest_out;
-    bool json = false, summaries = false, ranges = false;
+    bool json = false, summaries = false, ranges = false, ipcp = false;
     unsigned threads = 1;
     for (const std::string &a : args) {
         if (a == "--json")
@@ -1055,6 +1064,8 @@ cmdAnalyze(const std::vector<std::string> &args)
             summaries = true;
         else if (a == "--ranges")
             ranges = true;
+        else if (a == "--ipcp")
+            ipcp = true;
         else if (a.rfind("--manifest-out=", 0) == 0)
             manifest_out = a.substr(15);
         else if (a.rfind("--threads=", 0) == 0)
@@ -1074,6 +1085,15 @@ cmdAnalyze(const std::vector<std::string> &args)
     if (summaries) {
         std::fputs(
             static_analysis::summariesJson(m, threads).c_str(), stdout);
+        std::fputs("\n", stdout);
+        return 0;
+    }
+    if (ipcp) {
+        static_analysis::interproc::ModuleIpcp facts =
+            static_analysis::interproc::ipcpSolve(m, threads);
+        std::fputs(
+            static_analysis::interproc::ipcpToJson(m, facts).c_str(),
+            stdout);
         std::fputs("\n", stdout);
         return 0;
     }
@@ -1159,8 +1179,9 @@ printUsage(std::FILE *to)
         "             [--manifest-out=FILE] [--json[=FILE]]\n"
         "             [--no-verify]\n"
         "             apply analysis-proven binary transforms\n"
-        "             (dead-functions, call-indirect, const-fold,\n"
-        "             dead-stores, empty-blocks) with a claim manifest\n"
+        "             (dead-functions, call-indirect, ipo-const,\n"
+        "             inline, table-compact, const-fold, dead-stores,\n"
+        "             empty-blocks) with a claim manifest\n"
         "  check      <orig.wasm> <instrumented.wasm> [--hooks=h1,h2]\n"
         "             [--no-split-i64] [--import-module=NAME]\n"
         "             [--no-side-tables] [--manifest=FILE] [--json]\n"
@@ -1169,11 +1190,12 @@ printUsage(std::FILE *to)
         "  lint       <in.wasm> [--json]\n"
         "             static pass suite findings; exit 3 if any\n"
         "  analyze    <in.wasm> [--json] [--summaries] [--ranges]\n"
-        "             [--manifest-out=FILE] [--threads=N]\n"
+        "             [--ipcp] [--manifest-out=FILE] [--threads=N]\n"
         "             [--dot=callgraph|refined|cfg:FUNC|ranges:FUNC]\n"
         "             per-function CFG statistics, dominator-based\n"
         "             loop counts, dead functions, effect summaries,\n"
-        "             value-range facts and range-claim manifests\n"
+        "             value-range facts, range-claim manifests and\n"
+        "             interprocedural constant/range lattices\n"
         "  profile    <in.wasm> [--analysis=NAME] [--hooks=h1,h2]\n"
         "             [--entry=NAME] [--arg=...] [--threads=N]\n"
         "             [--elide-bounds-checks] [--elide-manifest=FILE]\n"
@@ -1297,10 +1319,12 @@ printCommandHelp(const std::string &cmd, std::FILE *to)
             "  `wasabi check --manifest=` re-proves against the\n"
             "  output binary.\n"
             "  --passes=p1,p2|all   subset of: dead-functions,\n"
-            "                       call-indirect, const-fold,\n"
+            "                       call-indirect, ipo-const, inline,\n"
+            "                       table-compact, const-fold,\n"
             "                       dead-stores, empty-blocks\n"
             "                       (always applied in that order;\n"
-            "                       default all)\n"
+            "                       default all; unknown names are a\n"
+            "                       usage error listing the valid set)\n"
             "  --manifest-out=FILE  write the claim manifest\n"
             "                       (\"wasabi-opt-manifest\" JSON)\n"
             "  --json[=FILE]        size/claim stats in the\n"
@@ -1355,12 +1379,23 @@ printCommandHelp(const std::string &cmd, std::FILE *to)
             "    lint.branch.const-index    provably constant br_table\n"
             "                               indices\n"
             "    lint.block.empty           empty block/loop regions\n"
+            "    lint.interproc.*           refined-graph dead\n"
+            "                               functions, zero-target or\n"
+            "                               unresolvable call_indirect\n"
+            "                               sites, effect-free\n"
+            "                               functions, never-read\n"
+            "                               parameters, and private\n"
+            "                               functions that always\n"
+            "                               return one constant\n"
+            "    lint.range.*               provably out-of-bounds\n"
+            "                               accesses, div-by-zero,\n"
+            "                               dead guards\n"
             "  Exit 3 if there are findings, 0 otherwise.\n",
             to);
     } else if (cmd == "analyze") {
         std::fputs(
             "wasabi analyze <in.wasm> [--json] [--summaries]\n"
-            "               [--ranges] [--manifest-out=FILE]\n"
+            "               [--ranges] [--ipcp] [--manifest-out=FILE]\n"
             "               [--threads=N]\n"
             "               [--dot=callgraph|refined|cfg:FUNC|\n"
             "                ranges:FUNC]\n"
@@ -1377,6 +1412,11 @@ printCommandHelp(const std::string &cmd, std::FILE *to)
             "  refinement, interprocedural argument seeding) and\n"
             "  prints per-access address intervals as JSON; output is\n"
             "  byte-identical for every --threads=N.\n"
+            "  --ipcp solves the interprocedural sparse constant/\n"
+            "  range lattices (SCCP over the refined call graph's SCC\n"
+            "  condensation) and prints per-function argument and\n"
+            "  return intervals plus pinned/pure/terminates facts as\n"
+            "  JSON; byte-identical for every --threads=N.\n"
             "  --manifest-out=FILE writes the provable in-bounds\n"
             "  accesses as a \"wasabi-range-manifest\" claim set for\n"
             "  `wasabi check --manifest=` and `run/profile\n"
