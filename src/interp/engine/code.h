@@ -27,6 +27,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/hook_kind.h"
+#include "interp/engine/intrinsic.h"
 #include "wasm/module.h"
 
 namespace wasabi::interp::engine {
@@ -51,6 +53,9 @@ namespace wasabi::interp::engine {
     X(CallHost)    /* a=callee func idx, b=param count */               \
     X(CallIndirect) /* a=canonical type id */                           \
     X(Unreachable)                                                      \
+    /* engine-intrinsic instrumentation (DESIGN.md §13) */              \
+    X(Hook)        /* a=hookSites index; dispatch to the sink */        \
+    X(HookStash)   /* aux=count; capture top values into the stash */   \
     /* parametric & variables */                                        \
     X(Drop)                                                             \
     X(Select)                                                           \
@@ -148,6 +153,9 @@ struct BrTarget {
 struct CompiledFunction {
     std::vector<FInstr> code;
     std::vector<BrTarget> tablePool; ///< br_table targets, by segment
+    /** Intrinsic hook sites referenced by FOp::Hook slots (empty when
+     * the module was translated without an attached HookSet). */
+    std::vector<HookSite> hookSites;
     /** Zero values of the non-parameter locals, copied on entry. */
     std::vector<wasm::Value> localInit;
     uint32_t numParams = 0;
@@ -217,12 +225,34 @@ class CompiledModule {
 
     bool hasElisions() const { return !elisions_.empty(); }
 
+    /**
+     * Attach (or detach, with an empty set / null sink) engine-
+     * intrinsic instrumentation: subsequent translations interleave
+     * FOp::Hook dispatch slots for exactly @p kinds. Like
+     * setElisions, already-translated functions are reset so stale
+     * code (with the old hook selection) cannot linger. Must not be
+     * called while execution is in progress.
+     */
+    void
+    setIntrinsicHooks(core::HookSet kinds, IntrinsicSink *sink)
+    {
+        intrinsicHooks_ = kinds;
+        intrinsicSink_ = sink;
+        for (CompiledFunction &f : funcs_)
+            f = CompiledFunction{};
+    }
+
+    core::HookSet intrinsicHooks() const { return intrinsicHooks_; }
+    IntrinsicSink *intrinsicSink() const { return intrinsicSink_; }
+
   private:
     const wasm::Module &module_;
     std::vector<CompiledFunction> funcs_;
     std::vector<uint32_t> typeCanon_;
     std::vector<uint32_t> funcTypeCanon_;
     std::unordered_set<uint64_t> elisions_;
+    core::HookSet intrinsicHooks_{};
+    IntrinsicSink *intrinsicSink_ = nullptr;
 };
 
 /** Translate one defined function (exposed for tests). */

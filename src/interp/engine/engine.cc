@@ -147,6 +147,13 @@ execute(Instance &inst, uint32_t func_idx, std::span<const Value> args,
     uint32_t hostRet = 0;
     std::vector<Value> hostResults;
 
+    // Intrinsic instrumentation (DESIGN.md §13): the dispatch sink
+    // and the small capture buffer HookStash fills for hooks whose
+    // instruction consumes the values they observe (at most 3: the
+    // select hook's cond/first/second).
+    IntrinsicSink *const sink = cm.intrinsicSink();
+    Value hookStash[3];
+
     auto flushCounters = [&] {
         stats.instructions += statInstr;
         stats.calls += statCalls;
@@ -288,6 +295,32 @@ execute(Instance &inst, uint32_t func_idx, std::span<const Value> args,
         VM_CASE(Unreachable) : {
             VM_CHARGE(in->charge);
             throw Trap(TrapKind::Unreachable);
+        }
+        VM_CASE(Hook) : {
+            // Engine-intrinsic instrumentation dispatch (DESIGN.md
+            // §13). Counters are flushed first so the analysis
+            // observes exact retired counts — the same guarantee the
+            // host-call boundary gives rewrite mode — and reloaded
+            // after, since an analysis may legitimately inspect (or a
+            // profiler grow) instance state.
+            VM_CHARGE(in->charge);
+            if (sink != nullptr) {
+                const HookSite &site = fn->hookSites[in->a];
+                flushCounters();
+                sink->onHook(
+                    inst, site,
+                    std::span<const Value>(sp - site.peek, site.peek),
+                    std::span<const Value>(hookStash, site.stash));
+                reloadAfterHost();
+            }
+            VM_NEXT();
+        }
+        VM_CASE(HookStash) : {
+            // Capture operands a hooked instruction is about to
+            // consume; the following Hook slot passes them on.
+            for (uint32_t k = 0; k < in->aux; ++k)
+                hookStash[k] = *(sp - in->aux + k);
+            VM_NEXT();
         }
         VM_CASE(Drop) : {
             --sp;

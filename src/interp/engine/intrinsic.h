@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Engine-intrinsic instrumentation (DESIGN.md §13): the hook side
+ * table the translator emits when a HookSet is attached to a
+ * CompiledModule, and the sink interface the VM dispatches into.
+ *
+ * In intrinsic mode no binary rewriting happens at all. The
+ * translator interleaves FOp::Hook slots (each pointing at one
+ * HookSite) with the ordinary pre-decoded code, for exactly the hook
+ * kinds the attached HookSet subscribes to — unhooked instruction
+ * classes translate to the same code as an uninstrumented run and pay
+ * zero cost. Values a hook must observe but that the instruction
+ * consumes (store operands, binary-op inputs, ...) are captured by a
+ * preceding FOp::HookStash slot into a small per-invocation stash.
+ */
+
+#ifndef WASABI_INTERP_ENGINE_INTRINSIC_H
+#define WASABI_INTERP_ENGINE_INTRINSIC_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/hook_kind.h"
+#include "core/static_info.h"
+#include "wasm/module.h"
+
+namespace wasabi::interp {
+
+class Instance;
+
+namespace engine {
+
+/**
+ * One intrinsic hook site: everything the sink needs to reconstruct
+ * the exact high-level hook invocation the rewriting instrumenter
+ * would have produced at this source location. `peek` operand-stack
+ * values are read in place below the stack top at dispatch time;
+ * `stash` values were captured earlier by a HookStash slot.
+ */
+struct HookSite {
+    core::HookKind kind = core::HookKind::Nop;
+    core::BlockKind block = core::BlockKind::Function; ///< Begin/End
+    wasm::Opcode op = wasm::Opcode::Nop; ///< Const/Unary/Binary/Local/Global
+    bool post = false;     ///< call_post (vs call_pre)
+    bool indirect = false; ///< call_indirect (vs direct call)
+    core::Location loc{};
+    /** End sites: instruction index of the matching block begin. */
+    uint32_t index = 0;
+    uint8_t peek = 0;  ///< live values read below the stack top
+    uint8_t stash = 0; ///< values captured by the paired HookStash
+    /** Br/BrIf/Return: blocks the taken branch ends, innermost first
+     * (the sink fires one End hook per entry when End is hooked). */
+    std::vector<core::EndedBlock> ended;
+};
+
+/**
+ * Receiver of intrinsic hook dispatches. The VM calls onHook() with
+ * batched accounting already flushed, so a sink reading ExecStats (or
+ * fuel) from inside a hook observes exact per-instruction counts —
+ * the same guarantee rewrite mode gets from the host-call boundary.
+ */
+class IntrinsicSink {
+  public:
+    virtual ~IntrinsicSink() = default;
+
+    /**
+     * One hook fired at @p site. @p top is the live operand-stack
+     * window (`site.peek` values ending at the stack top); @p stash is
+     * the capture buffer (`site.stash` values, oldest first).
+     */
+    virtual void onHook(Instance &inst, const HookSite &site,
+                        std::span<const wasm::Value> top,
+                        std::span<const wasm::Value> stash) = 0;
+};
+
+} // namespace engine
+} // namespace wasabi::interp
+
+#endif // WASABI_INTERP_ENGINE_INTRINSIC_H

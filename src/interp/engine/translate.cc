@@ -28,6 +28,7 @@
 #include <string>
 #include <utility>
 
+#include "core/control_stack.h"
 #include "core/static_info.h"
 #include "interp/engine/code.h"
 #include "interp/numerics.h"
@@ -63,13 +64,22 @@ struct CtrlFrame {
     uint32_t thenJumpPos = UINT32_MAX;
     /** Forward branches to this label (bit 31 set: pool index). */
     std::vector<uint32_t> fixups;
+    /** Source-block identity, tracked only in intrinsic-hook mode so
+     * branch sites can report the blocks they end (DESIGN.md §13).
+     * Mirrors the instrumenter's ControlFrame fields: srcKind flips
+     * If -> Else at `else`, srcElse records the else index. */
+    core::BlockKind srcKind = core::BlockKind::Function;
+    uint32_t srcBegin = core::kFunctionEntry;
+    uint32_t srcEnd = 0;
+    uint32_t srcElse = UINT32_MAX;
 };
 
 class Translator {
   public:
     Translator(const wasm::Module &module, uint32_t func_idx,
                const CompiledModule &cm)
-        : m_(module), funcIdx_(func_idx), cm_(cm)
+        : m_(module), funcIdx_(func_idx), cm_(cm),
+          hooks_(cm.intrinsicHooks()), intr_(!hooks_.empty())
     {
     }
 
@@ -92,7 +102,34 @@ class Translator {
         root.kind = CtrlFrame::Func;
         root.brArity = out_.resultArity;
         root.resultArity = out_.resultArity;
+        if (intr_) {
+            matches_ = core::matchBlocks(func.body);
+            root.srcKind = core::BlockKind::Function;
+            root.srcBegin = core::kFunctionEntry;
+            root.srcEnd = func.body.empty()
+                              ? 0
+                              : static_cast<uint32_t>(func.body.size() - 1);
+        }
         frames_.push_back(std::move(root));
+
+        // Function-entry hooks (rewrite mode injects them as the first
+        // calls of the body; same position, same locations here).
+        if (intr_) {
+            if (hk(core::HookKind::Start) && m_.start &&
+                *m_.start == funcIdx_) {
+                HookSite s;
+                s.kind = core::HookKind::Start;
+                s.loc = {funcIdx_, core::kFunctionEntry};
+                hookSite(std::move(s), 0);
+            }
+            if (hk(core::HookKind::Begin)) {
+                HookSite s;
+                s.kind = core::HookKind::Begin;
+                s.block = core::BlockKind::Function;
+                s.loc = {funcIdx_, core::kFunctionEntry};
+                hookSite(std::move(s), 0);
+            }
+        }
 
         // Translate until the body ends or the function frame closes
         // (the legacy walker returns at the final `end`; trailing
@@ -204,6 +241,90 @@ class Translator {
         fixups.clear();
     }
 
+    // --- intrinsic hook emission (DESIGN.md §13) --------------------
+
+    bool hk(core::HookKind k) const { return intr_ && hooks_.has(k); }
+
+    /** Append a hook site and its FOp::Hook dispatch slot. The charge
+     * flushes the batch accumulated *before* the hooked instruction,
+     * so a sink reading counters observes exact retired counts. */
+    void
+    hookSite(HookSite site, uint16_t charge)
+    {
+        uint32_t idx = static_cast<uint32_t>(out_.hookSites.size());
+        out_.hookSites.push_back(std::move(site));
+        emit(FOp::Hook, 0, charge, idx);
+    }
+
+    /** Capture the top @p n operand values into the VM's stash (for
+     * hooks that must observe values the instruction consumes). */
+    void
+    stashTop(uint8_t n)
+    {
+        emit(FOp::HookStash, n);
+    }
+
+    /** Record the source identity of a block being opened at the
+     * current instruction (intrinsic mode only). */
+    void
+    setSrcBlock(CtrlFrame &f, core::BlockKind kind)
+    {
+        if (!intr_)
+            return;
+        f.srcKind = kind;
+        f.srcBegin = instrIdx_;
+        f.srcEnd = matches_[instrIdx_].endIdx;
+        f.srcElse = matches_[instrIdx_].elseIdx
+                        ? *matches_[instrIdx_].elseIdx
+                        : UINT32_MAX;
+    }
+
+    /** The source block one traversed frame ends, mirroring the
+     * instrumenter's frameEndIdx/frameBeginIdx: the then-region of an
+     * if/else ends at the `else`; an else-region begins there. */
+    core::EndedBlock
+    srcEnded(const CtrlFrame &f) const
+    {
+        uint32_t end = (f.srcKind == core::BlockKind::If &&
+                        f.srcElse != UINT32_MAX)
+                           ? f.srcElse
+                           : f.srcEnd;
+        uint32_t begin = (f.srcKind == core::BlockKind::Else &&
+                          f.srcElse != UINT32_MAX)
+                             ? f.srcElse
+                             : f.srcBegin;
+        return core::EndedBlock{f.srcKind, {funcIdx_, end},
+                                {funcIdx_, begin}};
+    }
+
+    /** Blocks a branch to @p label traverses, innermost first, both
+     * endpoints inclusive (paper §2.4.5). */
+    std::vector<core::EndedBlock>
+    traversedSrc(uint32_t label) const
+    {
+        std::vector<core::EndedBlock> ended;
+        for (uint32_t i = 0; i <= label && i < frames_.size(); ++i)
+            ended.push_back(srcEnded(frames_[frames_.size() - 1 - i]));
+        return ended;
+    }
+
+    /** End hook of frame @p f at the current `end` instruction; fires
+     * on the fallthrough path only (branch edges land past it, having
+     * fired their end hooks at the branch site). */
+    void
+    emitEndHook(const CtrlFrame &f)
+    {
+        HookSite s;
+        s.kind = core::HookKind::End;
+        s.block = f.srcKind;
+        s.loc = {funcIdx_, instrIdx_};
+        s.index = (f.srcKind == core::BlockKind::Else &&
+                   f.srcElse != UINT32_MAX)
+                      ? f.srcElse
+                      : f.srcBegin;
+        hookSite(std::move(s), takeFlush());
+    }
+
     // --- control constructs ----------------------------------------
 
     static uint32_t
@@ -220,8 +341,17 @@ class Translator {
         f.brArity = f.resultArity = blockArity(ins);
         f.entryHeight = height_;
         f.enteredReachable = reachable_;
-        if (reachable_)
+        setSrcBlock(f, core::BlockKind::Block);
+        if (reachable_) {
             batch(); // the `block` opcode is dispatched
+            if (hk(core::HookKind::Begin)) {
+                HookSite s;
+                s.kind = core::HookKind::Begin;
+                s.block = core::BlockKind::Block;
+                s.loc = {funcIdx_, instrIdx_};
+                hookSite(std::move(s), takeFlush());
+            }
+        }
         frames_.push_back(std::move(f));
     }
 
@@ -234,10 +364,21 @@ class Translator {
         f.resultArity = blockArity(ins);
         f.entryHeight = height_;
         f.enteredReachable = reachable_;
+        setSrcBlock(f, core::BlockKind::Loop);
         if (reachable_) {
             batch();        // the `loop` opcode is dispatched on entry
             flushPending(); // back edges must not re-charge it
             f.loopTarget = static_cast<uint32_t>(out_.code.size());
+            if (hk(core::HookKind::Begin)) {
+                // Inside the loop target: the begin hook re-fires on
+                // every back edge, as rewrite mode's injected call
+                // (placed after the `loop` opcode) does.
+                HookSite s;
+                s.kind = core::HookKind::Begin;
+                s.block = core::BlockKind::Loop;
+                s.loc = {funcIdx_, instrIdx_};
+                hookSite(std::move(s), 0);
+            }
         }
         frames_.push_back(std::move(f));
     }
@@ -249,11 +390,28 @@ class Translator {
         f.kind = CtrlFrame::If;
         f.brArity = f.resultArity = blockArity(ins);
         f.enteredReachable = reachable_;
+        setSrcBlock(f, core::BlockKind::If);
         if (reachable_) {
+            if (hk(core::HookKind::If)) {
+                // Observes the condition before the `if` consumes it.
+                HookSite s;
+                s.kind = core::HookKind::If;
+                s.peek = 1;
+                s.loc = {funcIdx_, instrIdx_};
+                hookSite(std::move(s), takeFlush());
+            }
             pop(1); // condition
             f.entryHeight = height_;
             // False edge target patched at `else` or `end`.
             f.falseFixup = emit(FOp::BrIfNot, 0, takeCharge());
+            if (hk(core::HookKind::Begin)) {
+                // True path only; the false edge jumps past it.
+                HookSite s;
+                s.kind = core::HookKind::Begin;
+                s.block = core::BlockKind::If;
+                s.loc = {funcIdx_, instrIdx_};
+                hookSite(std::move(s), 0);
+            }
         } else {
             f.entryHeight = height_;
         }
@@ -276,6 +434,16 @@ class Translator {
             // body + `else`; it lands on the shared end Charge(1).
             if (height_ != f.entryHeight + f.resultArity)
                 fail("then branch height mismatch at else");
+            if (hk(core::HookKind::End)) {
+                // Exiting the then-region: its end hook fires before
+                // the `else`, on the fallthrough path only.
+                HookSite s;
+                s.kind = core::HookKind::End;
+                s.block = core::BlockKind::If;
+                s.loc = {funcIdx_, instrIdx_};
+                s.index = f.srcBegin;
+                hookSite(std::move(s), takeFlush());
+            }
             batch(); // the `else` instruction
             f.thenJumped = true;
             f.thenJumpPos = emit(FOp::Jump, 0, takeFlush());
@@ -283,12 +451,23 @@ class Translator {
         reachable_ = f.enteredReachable;
         height_ = f.entryHeight;
         pending_ = 0;
+        if (intr_)
+            f.srcKind = core::BlockKind::Else;
         if (f.enteredReachable) {
             // False edge of the lowered `if` enters the else body
             // directly (the `else` opcode is not dispatched on it).
             out_.code[f.falseFixup].a =
                 static_cast<uint32_t>(out_.code.size());
             f.falseFixup = UINT32_MAX;
+            if (hk(core::HookKind::Begin)) {
+                // Begin(Else) fires on the false edge, which lands
+                // here; the then-path Jump skips past it to the end.
+                HookSite s;
+                s.kind = core::HookKind::Begin;
+                s.block = core::BlockKind::Else;
+                s.loc = {funcIdx_, instrIdx_};
+                hookSite(std::move(s), 0);
+            }
         }
     }
 
@@ -298,6 +477,17 @@ class Translator {
         CtrlFrame f = std::move(frames_.back());
         frames_.pop_back();
         if (reachable_) {
+            if (end_charged && hk(core::HookKind::End)) {
+                // Function-frame end hook, fallthrough path only
+                // (branches to the function label fired theirs at the
+                // branch site and land on the FrameExit pad below).
+                HookSite s;
+                s.kind = core::HookKind::End;
+                s.block = core::BlockKind::Function;
+                s.loc = {funcIdx_, instrIdx_};
+                s.index = core::kFunctionEntry;
+                hookSite(std::move(s), takeFlush());
+            }
             // The final `end` is dispatched (and charged) only when
             // execution falls into it; the height check replaces the
             // old debug-only assert.
@@ -329,6 +519,9 @@ class Translator {
         bool fell = reachable_ && f.enteredReachable;
         if (fell && height_ != f.entryHeight + f.resultArity)
             fail("block height mismatch at end");
+
+        if (fell && hk(core::HookKind::End) && f.kind != CtrlFrame::If)
+            emitEndHook(f);
 
         switch (f.kind) {
           case CtrlFrame::Loop:
@@ -370,8 +563,14 @@ class Translator {
         if (!f.hasElse) {
             // The false edge of the lowered `if` jumps straight to the
             // `end`, which the legacy walker dispatches on both paths.
-            if (fell)
+            // The fallthrough-only end hook sits before the shared
+            // Charge; the false edge (and branches) skip it, exactly
+            // like the injected call rewrite mode places before `end`.
+            if (fell) {
+                if (hk(core::HookKind::End))
+                    emitEndHook(f);
                 flushPending();
+            }
             uint32_t end_pos = emit(FOp::Charge, 0, 1);
             out_.code[f.falseFixup].a = end_pos;
             bind(f.fixups, static_cast<uint32_t>(out_.code.size()));
@@ -382,8 +581,11 @@ class Translator {
             // Then-path arrives via its Jump (which already covered
             // the `else`); the false path falls through the else body.
             // Both still dispatch the `end`: one shared Charge(1).
-            if (fell)
+            if (fell) {
+                if (hk(core::HookKind::End))
+                    emitEndHook(f); // ends the else-region only
                 flushPending();
+            }
             uint32_t end_pos = emit(FOp::Charge, 0, 1);
             out_.code[f.thenJumpPos].a = end_pos;
             bind(f.fixups, static_cast<uint32_t>(out_.code.size()));
@@ -393,6 +595,8 @@ class Translator {
         // Then-path never reaches the end; only the else fallthrough
         // (and explicit branches) do.
         if (fell) {
+            if (hk(core::HookKind::End))
+                emitEndHook(f);
             batch(); // the `end`
             if (!f.fixups.empty()) {
                 flushPending();
@@ -467,6 +671,7 @@ class Translator {
         if (callee >= m_.functions.size())
             fail("call to out-of-range function");
         const wasm::FuncType &t = m_.funcType(callee);
+        emitCallPreHook(t, /*indirect=*/false);
         pop(static_cast<uint32_t>(t.params.size()));
         if (m_.functions[callee].imported()) {
             emit(FOp::CallHost, static_cast<uint8_t>(t.results.size()),
@@ -475,6 +680,7 @@ class Translator {
             emit(FOp::Call, 0, takeCharge(), callee);
         }
         push(static_cast<uint32_t>(t.results.size()));
+        emitCallPostHook(t);
     }
 
     void
@@ -483,11 +689,43 @@ class Translator {
         if (type_idx >= m_.types.size())
             fail("call_indirect to out-of-range type");
         const wasm::FuncType &t = m_.types[type_idx];
+        emitCallPreHook(t, /*indirect=*/true);
         pop(1); // table index
         pop(static_cast<uint32_t>(t.params.size()));
         emit(FOp::CallIndirect, static_cast<uint8_t>(t.results.size()),
              takeCharge(), cm_.canonicalType(type_idx), t.params.size());
         push(static_cast<uint32_t>(t.results.size()));
+        emitCallPostHook(t);
+    }
+
+    /** call_pre: observes the arguments (and the table index for an
+     * indirect call) in place on the stack, before the transfer. */
+    void
+    emitCallPreHook(const wasm::FuncType &t, bool indirect)
+    {
+        if (!hk(core::HookKind::Call))
+            return;
+        HookSite s;
+        s.kind = core::HookKind::Call;
+        s.indirect = indirect;
+        s.peek = static_cast<uint8_t>(t.params.size() +
+                                      (indirect ? 1 : 0));
+        s.loc = {funcIdx_, instrIdx_};
+        hookSite(std::move(s), takeFlush());
+    }
+
+    /** call_post: observes the results, after the callee returned. */
+    void
+    emitCallPostHook(const wasm::FuncType &t)
+    {
+        if (!hk(core::HookKind::Call))
+            return;
+        HookSite s;
+        s.kind = core::HookKind::Call;
+        s.post = true;
+        s.peek = static_cast<uint8_t>(t.results.size());
+        s.loc = {funcIdx_, instrIdx_};
+        hookSite(std::move(s), 0);
     }
 
     // --- memory ----------------------------------------------------
@@ -506,6 +744,9 @@ class Translator {
     void
     doLoad(const Instr &ins)
     {
+        const bool hooked = hk(core::HookKind::Load);
+        if (hooked)
+            stashTop(1); // the address the load consumes
         pop(1);
         uint32_t off = ins.imm.mem.offset;
         const bool u = elide();
@@ -533,11 +774,24 @@ class Translator {
             break;
         }
         push(1);
+        if (hooked) {
+            // After the access, as in rewrite mode: dyn=(addr, value).
+            HookSite s;
+            s.kind = core::HookKind::Load;
+            s.op = ins.op;
+            s.peek = 1;  // loaded value
+            s.stash = 1; // address
+            s.loc = {funcIdx_, instrIdx_};
+            hookSite(std::move(s), 0);
+        }
     }
 
     void
     doStore(const Instr &ins)
     {
+        const bool hooked = hk(core::HookKind::Store);
+        if (hooked)
+            stashTop(2); // [addr, value], both consumed
         pop(2);
         uint32_t off = ins.imm.mem.offset;
         const bool u = elide();
@@ -564,6 +818,14 @@ class Translator {
                  takeCharge(), off);
             break;
         }
+        if (hooked) {
+            HookSite s;
+            s.kind = core::HookKind::Store;
+            s.op = ins.op;
+            s.stash = 2;
+            s.loc = {funcIdx_, instrIdx_};
+            hookSite(std::move(s), 0);
+        }
     }
 
     // --- numerics --------------------------------------------------
@@ -571,6 +833,9 @@ class Translator {
     void
     doUnary(Opcode op)
     {
+        const bool hooked = hk(core::HookKind::Unary);
+        if (hooked)
+            stashTop(1); // the input, consumed by the op
         pop(1);
         push(1);
         if (op == Opcode::I32Eqz) {
@@ -581,6 +846,17 @@ class Translator {
         } else {
             emit(FOp::UnaryPure, static_cast<uint8_t>(op));
             batch();
+        }
+        if (hooked) {
+            // dyn=(input, result), after the op (so not on the trap
+            // path of a float->int truncation — same as rewrite).
+            HookSite s;
+            s.kind = core::HookKind::Unary;
+            s.op = op;
+            s.peek = 1;
+            s.stash = 1;
+            s.loc = {funcIdx_, instrIdx_};
+            hookSite(std::move(s), takeFlush());
         }
     }
 
@@ -622,6 +898,9 @@ class Translator {
     void
     doBinary(Opcode op)
     {
+        const bool hooked = hk(core::HookKind::Binary);
+        if (hooked)
+            stashTop(2); // [a, b], both consumed
         pop(2);
         push(1);
         if (std::optional<FOp> spec = specializedBinary(op)) {
@@ -633,6 +912,16 @@ class Translator {
         } else {
             emit(FOp::BinaryPure, static_cast<uint8_t>(op));
             batch();
+        }
+        if (hooked) {
+            // dyn=(a, b, result), after the op (not on div-trap paths).
+            HookSite s;
+            s.kind = core::HookKind::Binary;
+            s.op = op;
+            s.peek = 1;
+            s.stash = 2;
+            s.loc = {funcIdx_, instrIdx_};
+            hookSite(std::move(s), takeFlush());
         }
     }
 
@@ -658,24 +947,79 @@ class Translator {
         switch (info.cls) {
           case OpClass::Nop:
             batch();
+            if (hk(core::HookKind::Nop)) {
+                HookSite s;
+                s.kind = core::HookKind::Nop;
+                s.loc = {funcIdx_, instrIdx_};
+                hookSite(std::move(s), takeFlush());
+            }
             break;
           case OpClass::Unreachable:
+            if (hk(core::HookKind::Unreachable)) {
+                // Before the trapping instruction, as in rewrite mode.
+                HookSite s;
+                s.kind = core::HookKind::Unreachable;
+                s.loc = {funcIdx_, instrIdx_};
+                hookSite(std::move(s), takeFlush());
+            }
             emit(FOp::Unreachable, 0, takeCharge());
             reachable_ = false;
             break;
           case OpClass::Br:
+            if (hk(core::HookKind::Br) || hk(core::HookKind::End)) {
+                HookSite s;
+                s.kind = core::HookKind::Br;
+                s.loc = {funcIdx_, instrIdx_};
+                if (hk(core::HookKind::End))
+                    s.ended = traversedSrc(ins.imm.idx);
+                hookSite(std::move(s), takeFlush());
+            }
             emitBranch(FOp::Br, ins.imm.idx);
             reachable_ = false;
             break;
           case OpClass::BrIf:
+            if (hk(core::HookKind::BrIf) || hk(core::HookKind::End)) {
+                // Observes the condition; the sink fires the end
+                // hooks only when it is true (the branch is taken).
+                HookSite s;
+                s.kind = core::HookKind::BrIf;
+                s.peek = 1;
+                s.loc = {funcIdx_, instrIdx_};
+                if (hk(core::HookKind::End))
+                    s.ended = traversedSrc(ins.imm.idx);
+                hookSite(std::move(s), takeFlush());
+            }
             pop(1); // condition
             emitBranch(FOp::BrIf, ins.imm.idx);
             break;
           case OpClass::BrTable:
+            if (hk(core::HookKind::BrTable) ||
+                hk(core::HookKind::End)) {
+                // Which label is taken — and thus which blocks end —
+                // is only known at runtime; the sink dispatches off
+                // the StaticInfo br_table side table (paper §2.4.5).
+                HookSite s;
+                s.kind = core::HookKind::BrTable;
+                s.peek = 1;
+                s.loc = {funcIdx_, instrIdx_};
+                hookSite(std::move(s), takeFlush());
+            }
             doBrTable(ins);
             reachable_ = false;
             break;
           case OpClass::Return:
+            if (hk(core::HookKind::Return) ||
+                hk(core::HookKind::End)) {
+                HookSite s;
+                s.kind = core::HookKind::Return;
+                s.peek = static_cast<uint8_t>(out_.resultArity);
+                s.loc = {funcIdx_, instrIdx_};
+                if (hk(core::HookKind::End)) {
+                    s.ended = traversedSrc(
+                        static_cast<uint32_t>(frames_.size() - 1));
+                }
+                hookSite(std::move(s), takeFlush());
+            }
             pop(out_.resultArity);
             emit(FOp::Return, static_cast<uint8_t>(out_.resultArity),
                  takeCharge());
@@ -688,45 +1032,104 @@ class Translator {
             doCallIndirect(ins.imm.idx);
             break;
           case OpClass::Drop:
+            if (hk(core::HookKind::Drop)) {
+                // The hook observes the value the drop discards.
+                HookSite s;
+                s.kind = core::HookKind::Drop;
+                s.peek = 1;
+                s.loc = {funcIdx_, instrIdx_};
+                hookSite(std::move(s), takeFlush());
+            }
             pop(1);
             emit(FOp::Drop);
             batch();
             break;
           case OpClass::Select:
+            if (hk(core::HookKind::Select)) {
+                // dyn order is (cond, first, second); all three are
+                // consumed, so capture them before the select runs
+                // (the hook itself fires after, as in rewrite mode).
+                stashTop(3); // [first, second, cond]
+                pop(3);
+                push(1);
+                emit(FOp::Select);
+                batch();
+                HookSite s;
+                s.kind = core::HookKind::Select;
+                s.stash = 3;
+                s.loc = {funcIdx_, instrIdx_};
+                hookSite(std::move(s), takeFlush());
+                break;
+            }
             pop(3);
             push(1);
             emit(FOp::Select);
             batch();
             break;
           case OpClass::LocalGet:
+          case OpClass::LocalTee:
             checkLocal(ins.imm.idx);
-            emit(FOp::LocalGet, 0, 0, ins.imm.idx);
+            if (info.cls == OpClass::LocalTee)
+                pop(1);
+            emit(info.cls == OpClass::LocalGet ? FOp::LocalGet
+                                               : FOp::LocalTee,
+                 0, 0, ins.imm.idx);
             push(1);
             batch();
+            if (hk(core::HookKind::Local)) {
+                // Value observed after the instruction: on the top.
+                HookSite s;
+                s.kind = core::HookKind::Local;
+                s.op = ins.op;
+                s.peek = 1;
+                s.loc = {funcIdx_, instrIdx_};
+                hookSite(std::move(s), takeFlush());
+            }
             break;
           case OpClass::LocalSet:
             checkLocal(ins.imm.idx);
+            if (hk(core::HookKind::Local))
+                stashTop(1); // the value the set consumes
             pop(1);
             emit(FOp::LocalSet, 0, 0, ins.imm.idx);
             batch();
-            break;
-          case OpClass::LocalTee:
-            checkLocal(ins.imm.idx);
-            pop(1);
-            push(1);
-            emit(FOp::LocalTee, 0, 0, ins.imm.idx);
-            batch();
+            if (hk(core::HookKind::Local)) {
+                HookSite s;
+                s.kind = core::HookKind::Local;
+                s.op = ins.op;
+                s.stash = 1;
+                s.loc = {funcIdx_, instrIdx_};
+                hookSite(std::move(s), takeFlush());
+            }
             break;
           case OpClass::GlobalGet:
             checkGlobal(ins.imm.idx);
             emit(FOp::GlobalGet, 0, 0, ins.imm.idx);
             push(1);
             batch();
+            if (hk(core::HookKind::Global)) {
+                HookSite s;
+                s.kind = core::HookKind::Global;
+                s.op = ins.op;
+                s.peek = 1;
+                s.loc = {funcIdx_, instrIdx_};
+                hookSite(std::move(s), takeFlush());
+            }
             break;
           case OpClass::GlobalSet:
             checkGlobal(ins.imm.idx);
+            if (hk(core::HookKind::Global))
+                stashTop(1);
             pop(1);
             emit(FOp::GlobalSet, 0, takeCharge(), ins.imm.idx);
+            if (hk(core::HookKind::Global)) {
+                HookSite s;
+                s.kind = core::HookKind::Global;
+                s.op = ins.op;
+                s.stash = 1;
+                s.loc = {funcIdx_, instrIdx_};
+                hookSite(std::move(s), 0);
+            }
             break;
           case OpClass::Load:
             doLoad(ins);
@@ -737,17 +1140,42 @@ class Translator {
           case OpClass::MemorySize:
             emit(FOp::MemorySize, 0, takeCharge());
             push(1);
+            if (hk(core::HookKind::MemorySize)) {
+                HookSite s;
+                s.kind = core::HookKind::MemorySize;
+                s.peek = 1; // the queried size
+                s.loc = {funcIdx_, instrIdx_};
+                hookSite(std::move(s), 0);
+            }
             break;
           case OpClass::MemoryGrow:
+            if (hk(core::HookKind::MemoryGrow))
+                stashTop(1); // the delta the grow consumes
             pop(1);
             push(1);
             emit(FOp::MemoryGrow, 0, takeCharge());
+            if (hk(core::HookKind::MemoryGrow)) {
+                HookSite s;
+                s.kind = core::HookKind::MemoryGrow;
+                s.peek = 1;  // previous size (the result)
+                s.stash = 1; // delta
+                s.loc = {funcIdx_, instrIdx_};
+                hookSite(std::move(s), 0);
+            }
             break;
           case OpClass::Const: {
             Value v = ins.constValue();
             emit(FOp::Const, static_cast<uint8_t>(v.type), 0, 0, v.bits);
             push(1);
             batch();
+            if (hk(core::HookKind::Const)) {
+                HookSite s;
+                s.kind = core::HookKind::Const;
+                s.op = ins.op;
+                s.peek = 1;
+                s.loc = {funcIdx_, instrIdx_};
+                hookSite(std::move(s), takeFlush());
+            }
             break;
           }
           case OpClass::Unary:
@@ -780,6 +1208,9 @@ class Translator {
     uint32_t funcIdx_;
     uint32_t instrIdx_ = 0; ///< source index of the instr in flight
     const CompiledModule &cm_;
+    core::HookSet hooks_; ///< intrinsic hook selection (empty = off)
+    bool intr_ = false;   ///< intrinsic instrumentation attached
+    std::vector<core::BlockMatch> matches_; ///< block matching (intr_)
     CompiledFunction out_;
     std::vector<CtrlFrame> frames_;
     uint32_t height_ = 0;

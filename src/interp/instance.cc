@@ -125,7 +125,8 @@ evalConstExpr(const Instance &inst, const std::vector<wasm::Instr> &expr)
 } // namespace
 
 std::unique_ptr<Instance>
-Instance::instantiate(Module module, const Linker &linker)
+Instance::instantiate(Module module, const Linker &linker,
+                      const std::function<void(Instance &)> &pre_start)
 {
     std::unique_ptr<Instance> inst(new Instance());
     inst->module_ = std::move(module);
@@ -186,6 +187,11 @@ Instance::instantiate(Module module, const Linker &linker)
     }
 
     inst->sideTables_.resize(m.functions.size());
+
+    // All state is live; let the caller attach instrumentation (or
+    // other observers) before the start function can execute.
+    if (pre_start)
+        pre_start(*inst);
 
     // Run the start function.
     if (m.start) {

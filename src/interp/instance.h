@@ -182,11 +182,17 @@ class Instance {
     /**
      * Instantiate @p module, resolving imports through @p linker.
      * Note: the module is copied into the instance.
+     * @p pre_start, if given, runs after all state is set up but
+     * before the start function executes — the attachment point for
+     * engine-intrinsic instrumentation, which must observe the start
+     * function's hooks (rewrite mode gets this for free because its
+     * hooks are imports, resolved before the start runs).
      * @throws LinkError on unresolvable imports, Trap on failing
      * segment bounds or a trapping start function.
      */
-    static std::unique_ptr<Instance> instantiate(wasm::Module module,
-                                                 const Linker &linker);
+    static std::unique_ptr<Instance>
+    instantiate(wasm::Module module, const Linker &linker,
+                const std::function<void(Instance &)> &pre_start = {});
 
     ~Instance(); // out of line: engine::CompiledModule is incomplete here
 

@@ -1,5 +1,6 @@
 #include "interp/interpreter.h"
 
+#include "interp/engine/code.h"
 #include "interp/engine/engine.h"
 #include "interp/numerics.h"
 
@@ -35,6 +36,22 @@ std::vector<Value>
 Interpreter::invoke(Instance &inst, uint32_t func_idx,
                     std::span<const Value> args)
 {
+    // An argument list that does not match the signature would make
+    // the engines read below the value stack (garbage locals, frame
+    // teardown under-popping into heap corruption) — reject it before
+    // either engine touches the stack.
+    const wasm::FuncType &type = inst.module().funcType(func_idx);
+    if (args.size() != type.params.size())
+        throw std::invalid_argument(
+            "function expects " + std::to_string(type.params.size()) +
+            " argument(s), got " + std::to_string(args.size()));
+    for (size_t i = 0; i < args.size(); ++i) {
+        if (args[i].type != type.params[i])
+            throw std::invalid_argument(
+                "argument " + std::to_string(i) + " has type " +
+                wasm::name(args[i].type) + ", function expects " +
+                wasm::name(type.params[i]));
+    }
     try {
         // Host entry points take the shared legacy path in both
         // engines (it only forwards to the host function).
@@ -42,6 +59,16 @@ Interpreter::invoke(Instance &inst, uint32_t func_idx,
             !inst.module().functions.at(func_idx).imported()) {
             return engine::execute(inst, func_idx, args, stats_,
                                    maxCallDepth);
+        }
+        // Engine-intrinsic hooks live in the fast engine's translated
+        // code; silently running uninstrumented on the legacy walker
+        // would drop the whole hook stream.
+        if (engine == EngineKind::Legacy && inst.engineCode_ &&
+            inst.engineCode_->intrinsicSink() != nullptr) {
+            throw std::invalid_argument(
+                "engine-intrinsic instrumentation requires the fast "
+                "engine (--engine=fast); the legacy interpreter cannot "
+                "dispatch intrinsic hooks");
         }
         return callFunction(inst, func_idx, args, 0);
     } catch (const Trap &) {

@@ -96,6 +96,13 @@ ProfileCollector::recordInstrumentation(const core::InstrumentStats &stats)
 }
 
 void
+ProfileCollector::setInstrumentMode(std::string mode)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    instrumentMode_ = std::move(mode);
+}
+
+void
 ProfileCollector::setAnalysisNames(std::vector<std::string> names)
 {
     analyses_.resize(std::max(analyses_.size(), names.size()));
@@ -151,6 +158,9 @@ ProfileCollector::toText() const
     char line[160];
 
     out << "== wasabi profile ==\n";
+
+    if (!instrumentMode_.empty())
+        out << "\ninstrument mode: " << instrumentMode_ << "\n";
 
     if (!phases_.empty()) {
         out << "\nphases:\n";
@@ -238,6 +248,10 @@ ProfileCollector::toJson(bool deterministic) const
     out << "  \"version\": " << kProfileSchemaVersion << ",\n";
     out << "  \"deterministic\": " << (deterministic ? "true" : "false")
         << ",\n";
+    if (!instrumentMode_.empty()) {
+        out << "  \"instrumentMode\": \"" << jsonEscape(instrumentMode_)
+            << "\",\n";
+    }
 
     if (!deterministic && !phases_.empty()) {
         out << "  \"phases\": [";
@@ -494,11 +508,20 @@ validateProfileJson(const std::string &text, std::string *error)
     // The schema is closed: readers may rely on every key they see.
     for (const auto &[key, value] : doc->object) {
         if (key != "schema" && key != "version" &&
-            key != "deterministic" && key != "phases" &&
-            key != "instrumentation" && key != "runtime" &&
-            key != "interp" && key != "bench")
+            key != "deterministic" && key != "instrumentMode" &&
+            key != "phases" && key != "instrumentation" &&
+            key != "runtime" && key != "interp" && key != "bench")
             return failv(error, "unknown top-level key \"" + key + "\"");
         (void)value;
+    }
+
+    // Optional (additive, no version bump): how hooks reached the
+    // runtime. Only the two supported modes are valid.
+    if (const json::Value *mode = doc->find("instrumentMode")) {
+        if (!mode->isString() ||
+            (mode->str != "rewrite" && mode->str != "intrinsic"))
+            return failv(error, "\"instrumentMode\" must be \"rewrite\" "
+                                "or \"intrinsic\"");
     }
 
     if (const json::Value *phases = doc->find("phases")) {

@@ -109,6 +109,11 @@ class ProfileCollector {
 
     void recordInstrumentation(const core::InstrumentStats &stats);
 
+    /** How hooks reached the runtime: "rewrite" (binary-rewriting
+     * instrumenter) or "intrinsic" (engine-intrinsified, DESIGN.md
+     * §13). Optional in the schema; empty means unreported. */
+    void setInstrumentMode(std::string mode);
+
     // ----- runtime dispatch ------------------------------------------
 
     /** Names of the registered analyses, index-aligned with the
@@ -171,6 +176,7 @@ class ProfileCollector {
     mutable std::mutex mutex_; ///< guards phases_ and instr_
     std::vector<PhaseSpan> phases_;
     std::optional<core::InstrumentStats> instr_;
+    std::string instrumentMode_; ///< "" = unreported
 
     PerKind dispatch_{};
     std::vector<AnalysisCounters> analyses_;

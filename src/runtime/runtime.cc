@@ -1,6 +1,9 @@
 #include "runtime/runtime.h"
 
 #include <cassert>
+#include <stdexcept>
+
+#include "interp/engine/code.h"
 
 namespace wasabi::runtime {
 
@@ -154,12 +157,19 @@ WasabiRuntime::dispatch(const BoundHook &hook, Instance &inst,
                 " raw argument(s), expected " +
                 std::to_string(hook.expectedRawArgs));
     }
-    ++invocations_;
-    const bool prof = profiler_ && profiler_->enabled();
-    const uint64_t t_begin = prof ? profiler_->now() : 0;
     Location loc{raw_args[0].i32(), raw_args[1].i32()};
     std::vector<Value> dyn;
     decodeArgs(hook, raw_args.subspan(2), dyn);
+    fire(spec, inst, loc, dyn);
+}
+
+void
+WasabiRuntime::fire(const HookSpec &spec, Instance &inst, Location loc,
+                    std::span<const Value> dyn)
+{
+    ++invocations_;
+    const bool prof = profiler_ && profiler_->enabled();
+    const uint64_t t_begin = prof ? profiler_->now() : 0;
 
     auto forEach = [this, &spec, prof](HookKind kind, auto &&fn) {
         (void)spec;
@@ -361,6 +371,173 @@ WasabiRuntime::dispatch(const BoundHook &hook, Instance &inst,
 
     if (prof)
         profiler_->addDispatch(spec.kind, profiler_->now() - t_begin);
+}
+
+// ----- engine-intrinsic mode (DESIGN.md §13) ---------------------------
+
+void
+WasabiRuntime::onHook(Instance &inst, const interp::engine::HookSite &site,
+                      std::span<const Value> top,
+                      std::span<const Value> stash)
+{
+    // The hook stream must be byte-identical to rewrite mode: the same
+    // HookSpec, location, and dynamic-argument order the instrumenter
+    // would have arranged for the monomorphic low-level hook call.
+    HookSpec spec;
+    spec.kind = site.kind;
+    spec.op = site.op;
+    spec.indirect = site.indirect;
+    spec.post = site.post;
+    spec.block = site.block;
+
+    // End hooks of blocks left by a taken branch: rewrite mode emits
+    // one low-level call per traversed frame, after the branch's own
+    // hook, so each is its own fire() (its own invocation).
+    auto fireEnds = [&] {
+        for (const core::EndedBlock &e : site.ended) {
+            HookSpec end;
+            end.kind = HookKind::End;
+            end.block = e.kind;
+            const Value begin = Value::makeI32(e.begin.instr);
+            fire(end, inst, e.end, std::span<const Value>(&begin, 1));
+        }
+    };
+
+    switch (site.kind) {
+      case HookKind::Br:
+        if (info_->instrumentedHooks.has(HookKind::Br))
+            fire(spec, inst, site.loc, {});
+        fireEnds();
+        return;
+      case HookKind::BrIf:
+        if (info_->instrumentedHooks.has(HookKind::BrIf))
+            fire(spec, inst, site.loc, top);
+        if (top[0].i32() != 0)
+            fireEnds(); // end hooks fire only if the branch is taken
+        return;
+      case HookKind::Return:
+        if (info_->instrumentedHooks.has(HookKind::Return))
+            fire(spec, inst, site.loc, top);
+        fireEnds();
+        return;
+      case HookKind::BrTable:
+        // One dispatch, like rewrite mode: the ends of the selected
+        // entry come from the br_table side table inside fire().
+        fire(spec, inst, site.loc, top);
+        return;
+      case HookKind::End: {
+        const Value begin = Value::makeI32(site.index);
+        fire(spec, inst, site.loc, std::span<const Value>(&begin, 1));
+        return;
+      }
+      case HookKind::Call: {
+        if (site.post || !site.indirect) {
+            fire(spec, inst, site.loc, top);
+            return;
+        }
+        // call_indirect pre: the table index (stack top) is the first
+        // dynamic argument, then the call arguments in order.
+        std::vector<Value> dyn;
+        dyn.reserve(top.size());
+        dyn.push_back(top.back());
+        dyn.insert(dyn.end(), top.begin(), top.end() - 1);
+        fire(spec, inst, site.loc, dyn);
+        return;
+      }
+      case HookKind::Load: {
+        const Value dyn[2] = {stash[0], top[0]}; // (addr, value)
+        fire(spec, inst, site.loc, std::span<const Value>(dyn, 2));
+        return;
+      }
+      case HookKind::Store: {
+        const Value dyn[2] = {stash[0], stash[1]}; // (addr, value)
+        fire(spec, inst, site.loc, std::span<const Value>(dyn, 2));
+        return;
+      }
+      case HookKind::MemoryGrow: {
+        const Value dyn[2] = {stash[0], top[0]}; // (delta, prev)
+        fire(spec, inst, site.loc, std::span<const Value>(dyn, 2));
+        return;
+      }
+      case HookKind::Select: {
+        // (cond, first, second); the stash holds [first, second, cond].
+        const Value dyn[3] = {stash[2], stash[0], stash[1]};
+        fire(spec, inst, site.loc, std::span<const Value>(dyn, 3));
+        return;
+      }
+      case HookKind::Unary: {
+        const Value dyn[2] = {stash[0], top[0]}; // (input, result)
+        fire(spec, inst, site.loc, std::span<const Value>(dyn, 2));
+        return;
+      }
+      case HookKind::Binary: {
+        const Value dyn[3] = {stash[0], stash[1], top[0]};
+        fire(spec, inst, site.loc, std::span<const Value>(dyn, 3));
+        return;
+      }
+      case HookKind::Local:
+      case HookKind::Global:
+        // get/tee observe the pushed result; set observes the stashed
+        // operand (already popped by the time the hook runs).
+        fire(spec, inst, site.loc, site.peek != 0 ? top : stash);
+        return;
+      default:
+        // Start, Nop, Unreachable, If, Begin, Const, Drop, MemorySize:
+        // the stack-top span is exactly the dynamic argument list.
+        fire(spec, inst, site.loc, top);
+        return;
+    }
+}
+
+void
+WasabiRuntime::attachIntrinsic(Instance &inst)
+{
+    if (!info_->hooks.empty()) {
+        throw std::invalid_argument(
+            "wasabi: this StaticInfo was produced by the rewriting "
+            "instrumenter (it declares low-level hook imports); "
+            "engine-intrinsic mode needs core::buildIntrinsicInfo — "
+            "combining both modes would instrument every site twice");
+    }
+    requireUnrewritten(inst.module());
+    inst.engineCode().setIntrinsicHooks(info_->instrumentedHooks, this);
+}
+
+void
+WasabiRuntime::detachIntrinsic(Instance &inst)
+{
+    inst.engineCode().setIntrinsicHooks(HookSet{}, nullptr);
+}
+
+void
+WasabiRuntime::requireUnrewritten(const wasm::Module &m) const
+{
+    for (const wasm::Function &f : m.functions) {
+        if (f.imported() && f.import->module == info_->importModule) {
+            throw std::invalid_argument(
+                "wasabi: module already imports rewrite-mode hooks (\"" +
+                info_->importModule + "." + f.import->name +
+                "\"); attaching engine-intrinsic hooks on top would "
+                "fire every hook twice — choose one instrumentation "
+                "mode");
+        }
+    }
+}
+
+std::unique_ptr<Instance>
+WasabiRuntime::instantiateIntrinsic(const wasm::Module &original_module,
+                                    const Linker &extra)
+{
+    // A rewrite-instrumented module must be rejected up front — its
+    // unresolved hook imports would otherwise surface as a confusing
+    // LinkError before attachIntrinsic could diagnose the real error.
+    requireUnrewritten(original_module);
+    // Attach before the start function runs so its hooks are observed,
+    // matching rewrite mode (whose hooks are imports, live from the
+    // first instruction).
+    return Instance::instantiate(
+        original_module, extra,
+        [this](Instance &inst) { attachIntrinsic(inst); });
 }
 
 } // namespace wasabi::runtime

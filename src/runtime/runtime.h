@@ -14,6 +14,7 @@
 #include <string>
 
 #include "core/instrument.h"
+#include "interp/engine/intrinsic.h"
 #include "interp/interpreter.h"
 #include "obs/profile.h"
 #include "runtime/analysis.h"
@@ -23,7 +24,7 @@ namespace wasabi::runtime {
 /**
  * Connects an instrumented module with a set of analyses.
  *
- * Typical use:
+ * Typical use (rewrite mode):
  * @code
  *   MyAnalysis analysis;
  *   auto r = core::instrument(module,
@@ -33,8 +34,22 @@ namespace wasabi::runtime {
  *   auto inst = rt.instantiate(r.module);
  *   interp::Interpreter().invokeExport(*inst, "main", args);
  * @endcode
+ *
+ * Engine-intrinsic mode (DESIGN.md §13) runs the *original* module on
+ * the fast engine, which dispatches hooks straight from its inner
+ * loop — no rewriting, no low-level hook imports:
+ * @code
+ *   auto info = core::buildIntrinsicInfo(module, hooks);
+ *   WasabiRuntime rt(info);
+ *   rt.addAnalysis(&analysis);
+ *   auto inst = rt.instantiateIntrinsic(module);
+ *   interp::Interpreter().invokeExport(*inst, "main", args);
+ * @endcode
+ *
+ * The runtime must outlive every instance it instantiated (both modes
+ * keep non-owning back-references for dispatch).
  */
-class WasabiRuntime {
+class WasabiRuntime : public interp::engine::IntrinsicSink {
   public:
     explicit WasabiRuntime(std::shared_ptr<const core::StaticInfo> info);
 
@@ -73,6 +88,35 @@ class WasabiRuntime {
      * bind hooks into their own linker. @throws interp::LinkError */
     void validateHookImports(const wasm::Module &instrumented_module) const;
 
+    /**
+     * Engine-intrinsic mode: instantiate the *original* (un-rewritten)
+     * module and attach this runtime as the fast engine's hook sink
+     * before the start function runs. The runtime's StaticInfo must
+     * come from core::buildIntrinsicInfo.
+     * @throws std::invalid_argument if the StaticInfo was produced by
+     * the rewriting instrumenter, or if @p original_module already
+     * carries rewrite-mode hook imports (combining both modes would
+     * double-instrument — a usage error, never silent).
+     */
+    std::unique_ptr<interp::Instance>
+    instantiateIntrinsic(const wasm::Module &original_module,
+                         const interp::Linker &extra = {});
+
+    /** Attach intrinsic hooks to an existing instance (invalidates its
+     * cached fast-engine translations). Same guards as
+     * instantiateIntrinsic. */
+    void attachIntrinsic(interp::Instance &inst);
+
+    /** Detach intrinsic hooks from @p inst (invalidates translations;
+     * subsequent runs execute uninstrumented). */
+    void detachIntrinsic(interp::Instance &inst);
+
+    /** Fast-engine hook dispatch (engine-intrinsic mode). */
+    void onHook(interp::Instance &inst,
+                const interp::engine::HookSite &site,
+                std::span<const wasm::Value> top,
+                std::span<const wasm::Value> stash) override;
+
     const core::StaticInfo &info() const { return *info_; }
 
     /** Number of low-level hook invocations dispatched so far. */
@@ -100,6 +144,18 @@ class WasabiRuntime {
     void decodeArgs(const BoundHook &hook,
                     std::span<const wasm::Value> raw,
                     std::vector<wasm::Value> &out) const;
+
+    /** @throws std::invalid_argument if @p m imports rewrite-mode
+     * hooks — combining the two instrumentation modes would fire
+     * every hook twice. */
+    void requireUnrewritten(const wasm::Module &m) const;
+
+    /** The mode-independent tail of a hook invocation: counts it,
+     * times it, and fans out to every subscribed analysis. Both
+     * dispatch() (rewrite mode) and onHook() (intrinsic mode) end
+     * here, so per-kind accounting is identical across modes. */
+    void fire(const core::HookSpec &spec, interp::Instance &inst,
+              core::Location loc, std::span<const wasm::Value> dyn);
 
     std::shared_ptr<const core::StaticInfo> info_;
     std::vector<Analysis *> analyses_;

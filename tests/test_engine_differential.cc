@@ -14,7 +14,9 @@
 
 #include "analyses/instruction_mix.h"
 #include "core/instrument.h"
+#include "core/intrinsic_info.h"
 #include "core/static_info.h"
+#include "hook_stream_recorder.h"
 #include "interp/engine/code.h"
 #include "interp/interpreter.h"
 #include "runtime/runtime.h"
@@ -343,6 +345,158 @@ TEST(EngineDifferential, InstrumentedElidedRunsAgree)
         EXPECT_EQ(results[0].hookInvocations, results[1].hookInvocations)
             << name;
     }
+}
+
+// ---------------------------------------------------------------------
+// Intrinsic-vs-rewrite hook-stream parity: engine-intrinsified
+// instrumentation must produce a byte-identical hook stream — same
+// kinds, same counts, same argument values, same ordering — as the
+// binary-rewriting instrumenter, on every workload.
+
+struct HookStream {
+    std::vector<std::string> stream;
+    std::array<uint64_t, core::kNumHookKinds> perKind{};
+    std::optional<TrapKind> trap;
+    uint64_t invocations = 0;
+};
+
+HookStream
+runRewriteStream(const Workload &w, EngineKind engine,
+                 HookSet kinds = HookSet::all())
+{
+    core::InstrumentResult r = core::instrument(w.module, kinds);
+    runtime::WasabiRuntime rt(r.info);
+    tests::HookStreamRecorder rec;
+    rt.addAnalysis(&rec);
+    auto inst = rt.instantiate(r.module);
+    Interpreter interp;
+    interp.engine = engine;
+    HookStream out;
+    try {
+        interp.invokeExport(*inst, w.entry, w.args);
+    } catch (const Trap &t) {
+        out.trap = t.kind();
+    }
+    out.stream = std::move(rec.stream);
+    out.perKind = rec.perKind;
+    out.invocations = rt.hookInvocations();
+    return out;
+}
+
+HookStream
+runIntrinsicStream(const Workload &w, HookSet kinds = HookSet::all())
+{
+    runtime::WasabiRuntime rt(core::buildIntrinsicInfo(w.module, kinds));
+    tests::HookStreamRecorder rec;
+    rt.addAnalysis(&rec);
+    auto inst = rt.instantiateIntrinsic(w.module);
+    Interpreter interp;
+    interp.engine = EngineKind::Fast;
+    HookStream out;
+    try {
+        interp.invokeExport(*inst, w.entry, w.args);
+    } catch (const Trap &t) {
+        out.trap = t.kind();
+    }
+    out.stream = std::move(rec.stream);
+    out.perKind = rec.perKind;
+    out.invocations = rt.hookInvocations();
+    return out;
+}
+
+void
+expectSameStream(const HookStream &rewrite, const HookStream &intrinsic,
+                 const std::string &what)
+{
+    ASSERT_EQ(rewrite.trap, intrinsic.trap) << what;
+    for (int k = 0; k < core::kNumHookKinds; ++k) {
+        EXPECT_EQ(rewrite.perKind[k], intrinsic.perKind[k])
+            << what << ": count mismatch for hook kind "
+            << core::name(static_cast<core::HookKind>(k));
+    }
+    ASSERT_EQ(rewrite.stream.size(), intrinsic.stream.size()) << what;
+    for (size_t i = 0; i < rewrite.stream.size(); ++i) {
+        ASSERT_EQ(rewrite.stream[i], intrinsic.stream[i])
+            << what << ": hook stream diverges at invocation " << i;
+    }
+    EXPECT_EQ(rewrite.invocations, intrinsic.invocations) << what;
+}
+
+TEST_P(EngineDifferentialPolybench, IntrinsicHookStreamParity)
+{
+    Workload w = workloads::polybench(GetParam(), 6);
+    HookStream legacy = runRewriteStream(w, EngineKind::Legacy);
+    HookStream fast = runRewriteStream(w, EngineKind::Fast);
+    HookStream intrinsic = runIntrinsicStream(w);
+    expectSameStream(legacy, fast, GetParam() + " (rewrite L vs F)");
+    expectSameStream(fast, intrinsic, GetParam() + " (rewrite vs intrinsic)");
+}
+
+TEST_P(EngineDifferentialRandom, IntrinsicHookStreamParity)
+{
+    workloads::RandomProgramOptions opts;
+    opts.seed = GetParam();
+    opts.numFunctions = 8;
+    opts.stmtsPerFunction = 12;
+    opts.indirectCallPct = 25;
+    opts.constIndexIndirectPct = 50;
+    Workload w = workloads::randomProgram(opts);
+    ASSERT_EQ(validationError(w.module), std::nullopt);
+    expectSameStream(runRewriteStream(w, EngineKind::Fast),
+                     runIntrinsicStream(w),
+                     "seed " + std::to_string(GetParam()));
+}
+
+TEST(EngineDifferential, IntrinsicHookStreamParityUnderSubsetHookSets)
+{
+    Workload w = workloads::polybench("gemm", 6);
+    const HookSet subsets[] = {
+        {core::HookKind::Load, core::HookKind::Store},
+        {core::HookKind::Call, core::HookKind::Return},
+        {core::HookKind::Begin, core::HookKind::End},
+        {core::HookKind::Br, core::HookKind::BrIf, core::HookKind::BrTable},
+        {core::HookKind::Binary, core::HookKind::Unary,
+         core::HookKind::Const},
+        {core::HookKind::Local, core::HookKind::Global,
+         core::HookKind::Select, core::HookKind::Drop},
+        {core::HookKind::End}, // branch-site ends without Br hooks
+    };
+    for (const HookSet &kinds : subsets) {
+        expectSameStream(runRewriteStream(w, EngineKind::Fast, kinds),
+                         runIntrinsicStream(w, kinds), "gemm subset");
+    }
+}
+
+/** A workload that traps mid-execution must yield identical hook
+ * streams up to (and including) the last hook before the trap. */
+TEST(EngineDifferential, IntrinsicTrapMidStreamPrefixParity)
+{
+    ModuleBuilder mb;
+    mb.memory(1);
+    mb.addFunction(
+        FuncType({}, {ValType::I32}), "f", [](FunctionBuilder &f) {
+            f.i32Const(7);
+            f.i32Const(5);
+            f.op(Opcode::I32Add);
+            f.drop();
+            // In-bounds store, then an out-of-bounds load: the trap
+            // cuts the stream after the store hook fired.
+            f.i32Const(16);
+            f.i32Const(42);
+            f.store(Opcode::I32Store, 0);
+            f.i32Const(-8);
+            f.load(Opcode::I32Load, 0);
+        });
+    Workload w;
+    w.module = mb.build();
+    w.entry = "f";
+    ASSERT_EQ(validationError(w.module), std::nullopt);
+    HookStream rewrite = runRewriteStream(w, EngineKind::Fast);
+    HookStream intrinsic = runIntrinsicStream(w);
+    ASSERT_EQ(rewrite.trap, TrapKind::MemoryOutOfBounds);
+    expectSameStream(rewrite, intrinsic, "trap mid-stream");
+    EXPECT_GT(intrinsic.perKind[static_cast<size_t>(core::HookKind::Store)],
+              0u);
 }
 
 // ---------------------------------------------------------------------

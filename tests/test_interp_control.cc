@@ -315,5 +315,36 @@ TEST(InterpControl, LoopWithResultValue)
               9u);
 }
 
+TEST(InterpControl, InvokeRejectsMismatchedArguments)
+{
+    // Invoking with the wrong argument count or types used to make
+    // both engines read below the value stack (garbage locals, heap
+    // corruption at frame teardown); it must be a structured error
+    // before either engine touches the stack.
+    ModuleBuilder mb;
+    mb.addFunction(FuncType({ValType::I32, ValType::I64}, {ValType::I32}),
+                   "f", [](FunctionBuilder &f) { f.localGet(0); });
+    wasm::Module m = mb.build();
+    ASSERT_NO_THROW(wasm::validateModule(m));
+    for (EngineKind engine : {EngineKind::Fast, EngineKind::Legacy}) {
+        auto inst = Instance::instantiate(m, Linker());
+        Interpreter interp;
+        interp.engine = engine;
+        const std::vector<Value> good = {Value::makeI32(1),
+                                         Value::makeI64(2)};
+        EXPECT_THROW(interp.invokeExport(*inst, "f", std::vector<Value>{}),
+                     std::invalid_argument);
+        EXPECT_THROW(interp.invokeExport(
+                         *inst, "f", std::vector<Value>{Value::makeI32(1)}),
+                     std::invalid_argument);
+        EXPECT_THROW(
+            interp.invokeExport(*inst, "f",
+                                std::vector<Value>{Value::makeI32(1),
+                                                   Value::makeF64(2.0)}),
+            std::invalid_argument);
+        EXPECT_EQ(interp.invokeExport(*inst, "f", good)[0].bits, 1u);
+    }
+}
+
 } // namespace
 } // namespace wasabi::interp

@@ -57,6 +57,7 @@
 #include "analyses/memory_trace.h"
 #include "analyses/taint.h"
 #include "core/instrument.h"
+#include "core/intrinsic_info.h"
 #include "interp/engine/code.h"
 #include "interp/interpreter.h"
 #include "obs/profile.h"
@@ -174,6 +175,29 @@ parseEngine(const std::string &spec)
         return interp::EngineKind::Legacy;
     throw UsageError("unknown engine '" + spec +
                      "' (expected fast or legacy)");
+}
+
+/** How hooks reach the runtime (DESIGN.md §13). */
+enum class InstrumentMode {
+    Rewrite,  ///< binary rewriting + hook imports (the paper's design)
+    Intrinsic ///< fast engine dispatches hooks from its inner loop
+};
+
+InstrumentMode
+parseInstrumentMode(const std::string &spec)
+{
+    if (spec == "rewrite")
+        return InstrumentMode::Rewrite;
+    if (spec == "intrinsic")
+        return InstrumentMode::Intrinsic;
+    throw UsageError("unknown instrument mode '" + spec +
+                     "' (expected rewrite or intrinsic)");
+}
+
+const char *
+name(InstrumentMode mode)
+{
+    return mode == InstrumentMode::Rewrite ? "rewrite" : "intrinsic";
 }
 
 int
@@ -401,6 +425,7 @@ cmdRun(const std::vector<std::string> &args)
     std::string elide_manifest;
     bool profile = false, elide = false;
     interp::EngineKind engine = interp::EngineKind::Fast;
+    InstrumentMode mode = InstrumentMode::Rewrite;
     std::vector<wasm::Value> call_args;
     for (const std::string &a : args) {
         if (a.rfind("--entry=", 0) == 0) {
@@ -409,6 +434,8 @@ cmdRun(const std::vector<std::string> &args)
             analysis = a.substr(11);
         } else if (a.rfind("--engine=", 0) == 0) {
             engine = parseEngine(a.substr(9));
+        } else if (a.rfind("--instrument-mode=", 0) == 0) {
+            mode = parseInstrumentMode(a.substr(18));
         } else if (a == "--profile") {
             profile = true;
         } else if (a.rfind("--profile-out=", 0) == 0) {
@@ -432,25 +459,42 @@ cmdRun(const std::vector<std::string> &args)
     }
     if (path.empty())
         throw UsageError("usage: run <in.wasm> [opts]");
+    if (mode == InstrumentMode::Intrinsic &&
+        engine == interp::EngineKind::Legacy)
+        throw UsageError("--instrument-mode=intrinsic requires "
+                         "--engine=fast (the legacy walker cannot "
+                         "dispatch intrinsic hooks)");
     obs::ProfileCollector collector(profile || !profile_out.empty());
+    collector.setInstrumentMode(name(mode));
     wasm::Module m = [&] {
         obs::ProfileCollector::ScopedPhase p(&collector, "decode");
         return loadModule(path);
     }();
     auto a = makeAnalysis(analysis);
-    core::InstrumentResult r = [&] {
+    core::HookSet hook_set =
+        runtime::WasabiRuntime::requiredHooks({a.get()});
+    core::InstrumentResult r; // rewrite mode only
+    std::shared_ptr<const core::StaticInfo> info;
+    if (mode == InstrumentMode::Intrinsic) {
         obs::ProfileCollector::ScopedPhase p(&collector, "instrument");
-        return core::instrument(
-            m, runtime::WasabiRuntime::requiredHooks({a.get()}));
-    }();
-    collector.recordInstrumentation(r.stats);
-    runtime::WasabiRuntime rt(r.info);
+        info = core::buildIntrinsicInfo(m, hook_set);
+    } else {
+        obs::ProfileCollector::ScopedPhase p(&collector, "instrument");
+        r = core::instrument(m, hook_set);
+        collector.recordInstrumentation(r.stats);
+        info = r.info;
+    }
+    runtime::WasabiRuntime rt(info);
     rt.addAnalysis(a.get(), analysis);
     if (collector.enabled())
         rt.setProfiler(&collector);
-    auto inst = rt.instantiate(r.module);
+    auto inst = mode == InstrumentMode::Intrinsic
+                    ? rt.instantiateIntrinsic(m)
+                    : rt.instantiate(r.module);
+    const wasm::Module &exec_module =
+        mode == InstrumentMode::Intrinsic ? m : r.module;
     if (elide || !elide_manifest.empty())
-        applyElisions(r.module, elide_manifest, *inst, engine);
+        applyElisions(exec_module, elide_manifest, *inst, engine);
     interp::Interpreter interp;
     interp.engine = engine;
     auto results = [&] {
@@ -484,6 +528,7 @@ cmdProfile(const std::vector<std::string> &args)
     std::string check_path, elide_manifest;
     bool json = false, deterministic = false, elide = false;
     interp::EngineKind engine = interp::EngineKind::Fast;
+    InstrumentMode mode = InstrumentMode::Rewrite;
     core::InstrumentOptions iopts;
     std::string hooks;
     std::vector<wasm::Value> call_args;
@@ -494,6 +539,8 @@ cmdProfile(const std::vector<std::string> &args)
             analysis = a.substr(11);
         else if (a.rfind("--engine=", 0) == 0)
             engine = parseEngine(a.substr(9));
+        else if (a.rfind("--instrument-mode=", 0) == 0)
+            mode = parseInstrumentMode(a.substr(18));
         else if (a.rfind("--hooks=", 0) == 0)
             hooks = a.substr(8);
         else if (a.rfind("--threads=", 0) == 0)
@@ -545,7 +592,13 @@ cmdProfile(const std::vector<std::string> &args)
     if (path.empty())
         throw UsageError(
             "usage: profile <in.wasm> [opts] | profile --check=FILE");
+    if (mode == InstrumentMode::Intrinsic &&
+        engine == interp::EngineKind::Legacy)
+        throw UsageError("--instrument-mode=intrinsic requires "
+                         "--engine=fast (the legacy walker cannot "
+                         "dispatch intrinsic hooks)");
     obs::ProfileCollector collector;
+    collector.setInstrumentMode(name(mode));
     wasm::Module m = [&] {
         obs::ProfileCollector::ScopedPhase p(&collector, "decode");
         return loadModule(path);
@@ -554,17 +607,26 @@ cmdProfile(const std::vector<std::string> &args)
     core::HookSet hook_set =
         hooks.empty() ? runtime::WasabiRuntime::requiredHooks({a.get()})
                       : parseHooks(hooks);
-    core::InstrumentResult r = [&] {
+    core::InstrumentResult r; // rewrite mode only
+    std::shared_ptr<const core::StaticInfo> info;
+    if (mode == InstrumentMode::Intrinsic) {
         obs::ProfileCollector::ScopedPhase p(&collector, "instrument");
-        return core::instrument(m, hook_set, iopts);
-    }();
-    collector.recordInstrumentation(r.stats);
-    runtime::WasabiRuntime rt(r.info);
+        info = core::buildIntrinsicInfo(m, hook_set);
+    } else {
+        obs::ProfileCollector::ScopedPhase p(&collector, "instrument");
+        r = core::instrument(m, hook_set, iopts);
+        collector.recordInstrumentation(r.stats);
+        info = r.info;
+    }
+    runtime::WasabiRuntime rt(info);
     rt.addAnalysis(a.get(), analysis);
     rt.setProfiler(&collector);
-    auto inst = rt.instantiate(r.module);
+    auto inst = mode == InstrumentMode::Intrinsic
+                    ? rt.instantiateIntrinsic(m)
+                    : rt.instantiate(r.module);
     if (elide || !elide_manifest.empty())
-        applyElisions(r.module, elide_manifest, *inst, engine);
+        applyElisions(mode == InstrumentMode::Intrinsic ? m : r.module,
+                      elide_manifest, *inst, engine);
     // PolyBench workloads export `kernel`, applications `main`; with
     // no explicit --entry try both.
     if (entry.empty()) {
@@ -1171,6 +1233,7 @@ printUsage(std::FILE *to)
         "             icov|branch|callgraph|taint|miner|mem]\n"
         "             [--arg=i32:N] [--arg=i64:N] [--arg=f64:X]\n"
         "             [--engine=fast|legacy]\n"
+        "             [--instrument-mode=rewrite|intrinsic]\n"
         "             [--profile] [--profile-out=FILE]\n"
         "             [--elide-bounds-checks] [--elide-manifest=FILE]\n"
         "  gen        <polybench:NAME[:N]|random:SEED|app:SIZE> "
@@ -1200,6 +1263,7 @@ printUsage(std::FILE *to)
         "             [--entry=NAME] [--arg=...] [--threads=N]\n"
         "             [--elide-bounds-checks] [--elide-manifest=FILE]\n"
         "             [--engine=fast|legacy] [--json]\n"
+        "             [--instrument-mode=rewrite|intrinsic]\n"
         "             [--deterministic] [--out=FILE]\n"
         "             [--trace-out=FILE]  |  profile --check=FILE\n"
         "             instrument + execute with full observability:\n"
@@ -1259,6 +1323,12 @@ printCommandHelp(const std::string &cmd, std::FILE *to)
             "  pre-decoded default) or `legacy` (the structured\n"
             "  walker kept as the differential oracle); both are\n"
             "  observationally identical.\n"
+            "  --instrument-mode selects how hooks reach the runtime:\n"
+            "  `rewrite` (default; binary rewriting + hook imports,\n"
+            "  the paper's design) or `intrinsic` (the fast engine\n"
+            "  dispatches hooks straight from its inner loop — no\n"
+            "  rewriting, lower overhead, byte-identical hook\n"
+            "  stream; requires --engine=fast).\n"
             "  --profile prints a profile table after the analysis\n"
             "  report; --profile-out=FILE writes the wasabi-profile\n"
             "  JSON document instead.\n"
@@ -1288,6 +1358,10 @@ printCommandHelp(const std::string &cmd, std::FILE *to)
             "  --arg=i32:N ...    entry arguments\n"
             "  --threads=N        parallel instrumentation workers\n"
             "  --engine=fast|legacy  execution engine (default fast)\n"
+            "  --instrument-mode=rewrite|intrinsic  how hooks reach\n"
+            "                     the runtime (default rewrite;\n"
+            "                     intrinsic requires --engine=fast\n"
+            "                     and skips binary rewriting)\n"
             "  --elide-bounds-checks  run with statically proven\n"
             "                     bounds checks elided (fast engine)\n"
             "  --elide-manifest=FILE  re-prove and apply a saved\n"
