@@ -11,7 +11,6 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
-#include <fstream>
 #include <functional>
 #include <numeric>
 #include <stdexcept>
@@ -24,6 +23,7 @@
 #include "interp/interpreter.h"
 #include "obs/profile.h"
 #include "runtime/runtime.h"
+#include "support/file_io.h"
 #include "wasm/encoder.h"
 #include "wasm/validator.h"
 #include "workloads/polybench.h"
@@ -149,10 +149,9 @@ writeBenchProfileJson(
     std::string error;
     if (!obs::validateProfileJson(j, &error))
         throw std::runtime_error("bench profile JSON invalid: " + error);
-    std::ofstream out(path);
-    if (!out)
-        throw std::runtime_error("cannot write " + path);
-    out << j;
+    // Checked write: a full disk must fail the bench, not silently
+    // truncate the pinned artifact (support::IoError, exit non-zero).
+    support::writeTextFile(path, j);
 }
 
 /** Geometric mean. */

@@ -1,0 +1,103 @@
+#include "analyses/registry.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "analyses/basic_block_profile.h"
+#include "analyses/branch_coverage.h"
+#include "analyses/call_graph.h"
+#include "analyses/cryptominer.h"
+#include "analyses/instruction_coverage.h"
+#include "analyses/instruction_mix.h"
+#include "analyses/memory_trace.h"
+#include "analyses/taint.h"
+
+namespace wasabi::analyses {
+
+namespace {
+
+std::string
+format(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    char buf[256];
+    std::vsnprintf(buf, sizeof buf, fmt, args);
+    va_end(args);
+    return buf;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+analysisNames()
+{
+    static const std::vector<std::string> names = {
+        "mix",  "blocks", "icov",  "branch",
+        "callgraph", "taint",  "miner", "mem"};
+    return names;
+}
+
+std::unique_ptr<runtime::Analysis>
+makeAnalysis(const std::string &name)
+{
+    if (name == "mix")
+        return std::make_unique<InstructionMix>();
+    if (name == "blocks")
+        return std::make_unique<BasicBlockProfile>();
+    if (name == "icov")
+        return std::make_unique<InstructionCoverage>();
+    if (name == "branch")
+        return std::make_unique<BranchCoverage>();
+    if (name == "callgraph")
+        return std::make_unique<CallGraph>();
+    if (name == "taint")
+        return std::make_unique<TaintAnalysis>();
+    if (name == "miner")
+        return std::make_unique<CryptominerDetector>();
+    if (name == "mem")
+        return std::make_unique<MemoryTrace>();
+    std::string known;
+    for (const std::string &n : analysisNames())
+        known += (known.empty() ? "" : ", ") + n;
+    throw std::runtime_error("unknown analysis: " + name +
+                             " (known: " + known + ")");
+}
+
+std::string
+analysisReport(const std::string &name, runtime::Analysis &a,
+               const wasm::Module &m)
+{
+    if (name == "mix")
+        return static_cast<InstructionMix &>(a).report();
+    if (name == "blocks")
+        return static_cast<BasicBlockProfile &>(a).report();
+    if (name == "icov") {
+        auto &cov = static_cast<InstructionCoverage &>(a);
+        return format("instruction coverage: %.1f%% (%zu locations)\n",
+                      100.0 * cov.ratio(m), cov.coveredCount());
+    }
+    if (name == "branch")
+        return static_cast<BranchCoverage &>(a).report();
+    if (name == "callgraph")
+        return static_cast<CallGraph &>(a).toDot(m);
+    if (name == "taint") {
+        auto &taint = static_cast<TaintAnalysis &>(a);
+        return format("taint flows: %zu (configure sources/sinks "
+                      "programmatically)\n",
+                      taint.flows().size());
+    }
+    if (name == "miner") {
+        auto &det = static_cast<CryptominerDetector &>(a);
+        return format("binary ops: %llu, signature ratio %.2f -> %s\n",
+                      static_cast<unsigned long long>(
+                          det.totalBinaryOps()),
+                      det.signatureRatio(),
+                      det.suspicious() ? "SUSPICIOUS" : "benign");
+    }
+    if (name == "mem")
+        return static_cast<MemoryTrace &>(a).report();
+    throw std::runtime_error("unknown analysis: " + name);
+}
+
+} // namespace wasabi::analyses

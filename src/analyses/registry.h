@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Name-keyed registry of the bundled analyses (paper Table 4): one
+ * factory and one report renderer shared by every front end (the CLI
+ * `run`/`profile` commands and the serve daemon), so adding an
+ * analysis is a single-file change and the two front ends can never
+ * drift apart in which names they accept.
+ */
+
+#ifndef WASABI_ANALYSES_REGISTRY_H
+#define WASABI_ANALYSES_REGISTRY_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/analysis.h"
+#include "wasm/module.h"
+
+namespace wasabi::analyses {
+
+/** Names accepted by makeAnalysis, in presentation order. */
+const std::vector<std::string> &analysisNames();
+
+/** Instantiate the analysis registered under @p name.
+ * @throws std::runtime_error (listing the known names) otherwise. */
+std::unique_ptr<runtime::Analysis> makeAnalysis(const std::string &name);
+
+/**
+ * Render the post-run report of @p a (created by makeAnalysis under
+ * the same @p name) against the module @p m it observed. Returns a
+ * human-readable, newline-terminated string.
+ */
+std::string analysisReport(const std::string &name, runtime::Analysis &a,
+                           const wasm::Module &m);
+
+} // namespace wasabi::analyses
+
+#endif // WASABI_ANALYSES_REGISTRY_H

@@ -230,20 +230,46 @@ class CompiledModule {
      * intrinsic instrumentation: subsequent translations interleave
      * FOp::Hook dispatch slots for exactly @p kinds. Like
      * setElisions, already-translated functions are reset so stale
-     * code (with the old hook selection) cannot linger. Must not be
-     * called while execution is in progress.
+     * code (with the old hook selection) cannot linger — except when
+     * @p kinds equals the currently attached set: the translated code
+     * is then already correct (FOp::Hook placement depends only on
+     * the kind set, the sink is read per dispatch), so only the sink
+     * pointer swaps. That cheap re-attach is what lets a serve pool
+     * hand one warmed, pre-translated instance to a sequence of
+     * requests, each with its own runtime, without re-translating
+     * (DESIGN.md §14). Must not be called while execution is in
+     * progress.
      */
     void
     setIntrinsicHooks(core::HookSet kinds, IntrinsicSink *sink)
     {
+        bool same = kinds == intrinsicHooks_;
         intrinsicHooks_ = kinds;
         intrinsicSink_ = sink;
+        if (same)
+            return;
         for (CompiledFunction &f : funcs_)
             f = CompiledFunction{};
     }
 
+    /**
+     * Swap only the dispatch sink, keeping the attached kind set and
+     * every cached translation. A null sink parks the instance (the
+     * engine skips Hook slots); a pool uses this on release/acquire.
+     * Must not be called while execution is in progress.
+     */
+    void setIntrinsicSink(IntrinsicSink *sink) { intrinsicSink_ = sink; }
+
     core::HookSet intrinsicHooks() const { return intrinsicHooks_; }
     IntrinsicSink *intrinsicSink() const { return intrinsicSink_; }
+
+    /**
+     * Number of function-body translations performed over this
+     * cache's lifetime (monotonic; re-translations after an
+     * invalidation count again). The serve metrics pin warm-request
+     * claims on this: a pooled warm request must leave it unchanged.
+     */
+    uint64_t translationsPerformed() const { return translations_; }
 
   private:
     const wasm::Module &module_;
@@ -253,6 +279,7 @@ class CompiledModule {
     std::unordered_set<uint64_t> elisions_;
     core::HookSet intrinsicHooks_{};
     IntrinsicSink *intrinsicSink_ = nullptr;
+    uint64_t translations_ = 0;
 };
 
 /** Translate one defined function (exposed for tests). */

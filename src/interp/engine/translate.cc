@@ -1260,8 +1260,10 @@ const CompiledFunction &
 CompiledModule::function(uint32_t func_idx)
 {
     CompiledFunction &f = funcs_.at(func_idx);
-    if (!f.compiled)
+    if (!f.compiled) {
         f = translateFunction(module_, func_idx, *this);
+        ++translations_;
+    }
     return f;
 }
 

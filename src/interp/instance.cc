@@ -16,7 +16,7 @@ engine::CompiledModule &
 Instance::engineCode()
 {
     if (!engineCode_)
-        engineCode_ = std::make_unique<engine::CompiledModule>(module_);
+        engineCode_ = std::make_unique<engine::CompiledModule>(*module_);
     return *engineCode_;
 }
 
@@ -28,6 +28,13 @@ LinearMemory::grow(uint32_t delta)
     uint32_t max = limits_.max.value_or(65536);
     if (new_pages > max || new_pages > 65536)
         return 0xFFFFFFFF;
+    if (pageQuota_ && new_pages > *pageQuota_) {
+        // Per-request quota (multi-tenant serving): deny the grow the
+        // spec-conformant way and record the trip so the server can
+        // attribute a subsequent out-of-bounds trap to the quota.
+        ++quotaDenials_;
+        return 0xFFFFFFFF;
+    }
     bytes_.resize(static_cast<size_t>(new_pages) * wasm::kPageSize);
     return prev;
 }
@@ -81,7 +88,7 @@ Instance::sideTable(uint32_t func_idx)
     if (t.computed)
         return t;
     const std::vector<wasm::Instr> &body =
-        module_.functions.at(func_idx).body;
+        module_->functions.at(func_idx).body;
     t.byInstr.resize(body.size());
     std::vector<uint32_t> opens; // instr indices of open blocks
     for (uint32_t i = 0; i < body.size(); ++i) {
@@ -124,13 +131,35 @@ evalConstExpr(const Instance &inst, const std::vector<wasm::Instr> &expr)
 
 } // namespace
 
+InstanceSnapshot
+Instance::snapshot() const
+{
+    InstanceSnapshot snap;
+    snap.memory = memory_.raw();
+    snap.globals = globals_;
+    snap.table = table_.entries();
+    return snap;
+}
+
+void
+Instance::restore(const InstanceSnapshot &snap)
+{
+    memory_.raw() = snap.memory; // assignment shrinks back after grow
+    memory_.setPageQuota(std::nullopt);
+    memory_.resetQuotaDenials();
+    globals_ = snap.globals;
+    table_.setEntries(snap.table);
+    fuel_ = std::nullopt;
+}
+
 std::unique_ptr<Instance>
-Instance::instantiate(Module module, const Linker &linker,
+Instance::instantiate(std::shared_ptr<const Module> module,
+                      const Linker &linker,
                       const std::function<void(Instance &)> &pre_start)
 {
     std::unique_ptr<Instance> inst(new Instance());
     inst->module_ = std::move(module);
-    const Module &m = inst->module_;
+    const Module &m = *inst->module_;
 
     // Resolve function imports.
     inst->hostFuncs_.resize(m.numImportedFunctions());

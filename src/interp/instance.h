@@ -102,8 +102,28 @@ class LinearMemory {
     /**
      * Grow by @p delta pages; returns the previous size in pages, or
      * 0xFFFFFFFF on failure — exactly the memory.grow semantics.
+     * A grow beyond the page quota (below) fails the same way and is
+     * counted in quotaDenials().
      */
     uint32_t grow(uint32_t delta);
+
+    /**
+     * Per-request page quota (multi-tenant serving): when set, grow
+     * fails (spec-conformant -1, never a trap) once the new size would
+     * exceed @p pages, even if the module's declared max allows it.
+     * nullopt = no quota. Denials are counted so a later
+     * MemoryOutOfBounds trap can be attributed to the quota.
+     */
+    void
+    setPageQuota(std::optional<uint32_t> pages)
+    {
+        pageQuota_ = pages;
+    }
+    std::optional<uint32_t> pageQuota() const { return pageQuota_; }
+
+    /** Number of grow attempts denied by the page quota. */
+    uint64_t quotaDenials() const { return quotaDenials_; }
+    void resetQuotaDenials() { quotaDenials_ = 0; }
 
     /** Read @p n bytes at effective address @p addr (+ @p offset). */
     const uint8_t *readPtr(uint32_t addr, uint32_t offset, size_t n) const;
@@ -122,6 +142,8 @@ class LinearMemory {
   private:
     wasm::Limits limits_;
     std::vector<uint8_t> bytes_;
+    std::optional<uint32_t> pageQuota_;
+    uint64_t quotaDenials_ = 0;
 };
 
 /** A table of function indices (nullopt = uninitialized element). */
@@ -152,6 +174,18 @@ class FuncTable {
         entries_[idx] = func_idx;
     }
 
+    /** Raw entries, for snapshot/restore (instance pooling). */
+    const std::vector<std::optional<uint32_t>> &
+    entries() const
+    {
+        return entries_;
+    }
+    void
+    setEntries(std::vector<std::optional<uint32_t>> entries)
+    {
+        entries_ = std::move(entries);
+    }
+
   private:
     wasm::Limits limits_;
     std::vector<std::optional<uint32_t>> entries_;
@@ -173,7 +207,25 @@ struct ControlSideTable {
 };
 
 /**
- * An instantiated module: the module AST plus all runtime state.
+ * Post-start runtime state of an instance, captured for instance
+ * pooling (DESIGN.md §14): everything instantiation computes that a
+ * later request can mutate. Restoring a snapshot onto a pooled
+ * instance is byte-equivalent to re-instantiating — segments applied,
+ * start function run — without re-doing any of that work.
+ */
+struct InstanceSnapshot {
+    std::vector<uint8_t> memory;
+    std::vector<wasm::Value> globals;
+    std::vector<std::optional<uint32_t>> table;
+};
+
+/**
+ * An instantiated module: a shared immutable module AST plus all
+ * per-instance mutable runtime state. The module is shared (not
+ * copied) so a multi-tenant server can run many instances — and a
+ * content-hash cache can hold one decoded copy — of the same module;
+ * everything request-mutable (memory, globals, table, fuel, the
+ * translation cache) lives per instance.
  * Instantiation applies data/element segments and runs the start
  * function (via the Interpreter).
  */
@@ -181,7 +233,9 @@ class Instance {
   public:
     /**
      * Instantiate @p module, resolving imports through @p linker.
-     * Note: the module is copied into the instance.
+     * The shared_ptr overload shares the module; the by-value
+     * overload copies it into a fresh shared owner (the historical
+     * behavior, kept for the many single-instance callers).
      * @p pre_start, if given, runs after all state is set up but
      * before the start function executes — the attachment point for
      * engine-intrinsic instrumentation, which must observe the start
@@ -191,12 +245,29 @@ class Instance {
      * segment bounds or a trapping start function.
      */
     static std::unique_ptr<Instance>
-    instantiate(wasm::Module module, const Linker &linker,
+    instantiate(std::shared_ptr<const wasm::Module> module,
+                const Linker &linker,
                 const std::function<void(Instance &)> &pre_start = {});
+
+    static std::unique_ptr<Instance>
+    instantiate(wasm::Module module, const Linker &linker,
+                const std::function<void(Instance &)> &pre_start = {})
+    {
+        return instantiate(std::make_shared<const wasm::Module>(
+                               std::move(module)),
+                           linker, pre_start);
+    }
 
     ~Instance(); // out of line: engine::CompiledModule is incomplete here
 
-    const wasm::Module &module() const { return module_; }
+    const wasm::Module &module() const { return *module_; }
+
+    /** The shared immutable module this instance runs (never null). */
+    const std::shared_ptr<const wasm::Module> &
+    sharedModule() const
+    {
+        return module_;
+    }
 
     LinearMemory &memory() { return memory_; }
     const LinearMemory &memory() const { return memory_; }
@@ -236,12 +307,29 @@ class Instance {
     void setFuel(std::optional<uint64_t> fuel) { fuel_ = fuel; }
     std::optional<uint64_t> &fuel() { return fuel_; }
 
+    /**
+     * Capture the mutable post-start state (memory, globals, table)
+     * for instance pooling. The fuel budget and quota counters are
+     * per-request configuration, not program state, and are excluded.
+     */
+    InstanceSnapshot snapshot() const;
+
+    /**
+     * Restore a snapshot taken from an instance of the *same* module:
+     * memory is resized back (undoing any memory.grow), globals and
+     * table entries are overwritten, fuel and the memory quota are
+     * cleared. Cached translations and side tables are keyed to the
+     * immutable module and stay valid — that retention is exactly the
+     * warm-instance win of the serve pool.
+     */
+    void restore(const InstanceSnapshot &snap);
+
   private:
     friend class Interpreter;
 
     Instance() = default;
 
-    wasm::Module module_;
+    std::shared_ptr<const wasm::Module> module_;
     std::vector<HostFunc> hostFuncs_; ///< indexed by imported func idx
     LinearMemory memory_;
     FuncTable table_;

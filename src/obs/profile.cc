@@ -510,7 +510,8 @@ validateProfileJson(const std::string &text, std::string *error)
         if (key != "schema" && key != "version" &&
             key != "deterministic" && key != "instrumentMode" &&
             key != "phases" && key != "instrumentation" &&
-            key != "runtime" && key != "interp" && key != "bench")
+            key != "runtime" && key != "interp" && key != "bench" &&
+            key != "serve")
             return failv(error, "unknown top-level key \"" + key + "\"");
         (void)value;
     }
@@ -621,6 +622,36 @@ validateProfileJson(const std::string &text, std::string *error)
         const json::Value *name = bench->find("name");
         if (!name || !name->isString())
             return failv(error, "bench: missing string \"name\"");
+    }
+
+    // Optional (additive, no version bump): the serve daemon's
+    // endpoint metrics — cache/pool/translation/quota counters plus
+    // per-endpoint request totals (DESIGN.md §14).
+    if (const json::Value *serve = doc->find("serve")) {
+        if (!serve->isObject())
+            return failv(error, "\"serve\" must be an object");
+        for (const char *key :
+             {"cacheHits", "cacheMisses", "poolHits", "poolMisses",
+              "translations", "quotaTrips"}) {
+            if (!checkU64Field(*serve, key, "serve", error))
+                return false;
+        }
+        const json::Value *eps = serve->find("endpoints");
+        if (!eps || !eps->isArray())
+            return failv(error, "serve: missing \"endpoints\" array");
+        for (const auto &e : eps->array) {
+            if (!e.isObject())
+                return failv(error,
+                             "serve: endpoint entry not an object");
+            const json::Value *op = e.find("op");
+            if (!op || !op->isString())
+                return failv(error,
+                             "serve: endpoint missing string \"op\"");
+            if (!checkU64Field(e, "requests", "serve endpoint",
+                               error) ||
+                !checkU64Field(e, "errors", "serve endpoint", error))
+                return false;
+        }
     }
     return true;
 }

@@ -109,11 +109,20 @@ std::unique_ptr<Instance>
 WasabiRuntime::instantiate(const wasm::Module &instrumented_module,
                            const Linker &extra)
 {
-    validateHookImports(instrumented_module);
+    return instantiate(
+        std::make_shared<const wasm::Module>(instrumented_module), extra);
+}
+
+std::unique_ptr<Instance>
+WasabiRuntime::instantiate(
+    std::shared_ptr<const wasm::Module> instrumented_module,
+    const Linker &extra)
+{
+    validateHookImports(*instrumented_module);
     Linker linker;
     linker.merge(extra);
     bindHooks(linker);
-    return Instance::instantiate(instrumented_module, linker);
+    return Instance::instantiate(std::move(instrumented_module), linker);
 }
 
 void
@@ -528,15 +537,24 @@ std::unique_ptr<Instance>
 WasabiRuntime::instantiateIntrinsic(const wasm::Module &original_module,
                                     const Linker &extra)
 {
+    return instantiateIntrinsic(
+        std::make_shared<const wasm::Module>(original_module), extra);
+}
+
+std::unique_ptr<Instance>
+WasabiRuntime::instantiateIntrinsic(
+    std::shared_ptr<const wasm::Module> original_module,
+    const Linker &extra)
+{
     // A rewrite-instrumented module must be rejected up front — its
     // unresolved hook imports would otherwise surface as a confusing
     // LinkError before attachIntrinsic could diagnose the real error.
-    requireUnrewritten(original_module);
+    requireUnrewritten(*original_module);
     // Attach before the start function runs so its hooks are observed,
     // matching rewrite mode (whose hooks are imports, live from the
     // first instruction).
     return Instance::instantiate(
-        original_module, extra,
+        std::move(original_module), extra,
         [this](Instance &inst) { attachIntrinsic(inst); });
 }
 

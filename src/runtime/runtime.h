@@ -84,6 +84,13 @@ class WasabiRuntime : public interp::engine::IntrinsicSink {
     instantiate(const wasm::Module &instrumented_module,
                 const interp::Linker &extra = {});
 
+    /** Shared-module variant (no module copy): the instance shares
+     * @p instrumented_module with its other instances — the
+     * multi-tenant serving path. */
+    std::unique_ptr<interp::Instance>
+    instantiate(std::shared_ptr<const wasm::Module> instrumented_module,
+                const interp::Linker &extra = {});
+
     /** The link-time hook-import type check, exposed for callers that
      * bind hooks into their own linker. @throws interp::LinkError */
     void validateHookImports(const wasm::Module &instrumented_module) const;
@@ -100,6 +107,11 @@ class WasabiRuntime : public interp::engine::IntrinsicSink {
      */
     std::unique_ptr<interp::Instance>
     instantiateIntrinsic(const wasm::Module &original_module,
+                         const interp::Linker &extra = {});
+
+    /** Shared-module variant of instantiateIntrinsic (no copy). */
+    std::unique_ptr<interp::Instance>
+    instantiateIntrinsic(std::shared_ptr<const wasm::Module> original_module,
                          const interp::Linker &extra = {});
 
     /** Attach intrinsic hooks to an existing instance (invalidates its

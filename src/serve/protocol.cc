@@ -1,0 +1,209 @@
+#include "serve/protocol.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace wasabi::serve {
+
+using obs::json::Value;
+
+wasm::Value
+parseArgSpec(const std::string &spec)
+{
+    size_t colon = spec.find(':');
+    if (colon == std::string::npos)
+        throw BadRequest("bad arg spec \"" + spec +
+                         "\" (expected type:value)");
+    std::string type = spec.substr(0, colon);
+    std::string val = spec.substr(colon + 1);
+    try {
+        if (type == "i32")
+            return wasm::Value::makeI32(
+                static_cast<uint32_t>(std::stoll(val)));
+        if (type == "i64")
+            return wasm::Value::makeI64(
+                static_cast<uint64_t>(std::stoll(val)));
+        if (type == "f32")
+            return wasm::Value::makeF32(std::stof(val));
+        if (type == "f64")
+            return wasm::Value::makeF64(std::stod(val));
+    } catch (const std::exception &) {
+        throw BadRequest("bad arg value in \"" + spec + "\"");
+    }
+    throw BadRequest("bad arg type in \"" + spec +
+                     "\" (expected i32/i64/f32/f64)");
+}
+
+namespace {
+
+std::string
+requireString(const Value &doc, const char *key, const char *op)
+{
+    const Value *v = doc.find(key);
+    if (!v)
+        return "";
+    if (!v->isString())
+        throw BadRequest(std::string(op) + ": \"" + key +
+                         "\" must be a string");
+    return v->str;
+}
+
+} // namespace
+
+Request
+parseRequest(const std::string &line)
+{
+    std::string err;
+    std::optional<Value> doc = obs::json::parse(line, &err);
+    if (!doc)
+        throw BadRequest("malformed request JSON: " + err);
+    if (!doc->isObject())
+        throw BadRequest("request must be a JSON object");
+
+    Request r;
+    const Value *op = doc->find("op");
+    if (!op || !op->isString())
+        throw BadRequest("missing string \"op\"");
+    r.op = op->str;
+    if (r.op != "run" && r.op != "profile" && r.op != "instrument" &&
+        r.op != "analyze" && r.op != "metrics" && r.op != "shutdown")
+        throw BadRequest("unknown op \"" + r.op +
+                         "\" (expected run/profile/instrument/analyze/"
+                         "metrics/shutdown)");
+
+    r.id = requireString(*doc, "id", r.op.c_str());
+    r.module = requireString(*doc, "module", r.op.c_str());
+    r.entry = requireString(*doc, "entry", r.op.c_str());
+    r.hooks = requireString(*doc, "hooks", r.op.c_str());
+    r.out = requireString(*doc, "out", r.op.c_str());
+    if (const Value *a = doc->find("analysis")) {
+        if (!a->isString())
+            throw BadRequest("\"analysis\" must be a string");
+        r.analysis = a->str;
+    }
+    if (const Value *args = doc->find("args")) {
+        if (!args->isArray())
+            throw BadRequest("\"args\" must be an array of "
+                             "\"type:value\" strings");
+        for (const Value &a : args->array) {
+            if (!a.isString())
+                throw BadRequest("\"args\" entries must be strings");
+            r.args.push_back(parseArgSpec(a.str));
+        }
+    }
+    if (const Value *fuel = doc->find("fuel")) {
+        if (!fuel->isNumber() || fuel->number < 0)
+            throw BadRequest("\"fuel\" must be a non-negative number");
+        r.fuel = fuel->asU64();
+    }
+    if (const Value *pages = doc->find("memoryPages")) {
+        if (!pages->isNumber() || pages->number < 0 ||
+            pages->number > 65536)
+            throw BadRequest(
+                "\"memoryPages\" must be a number in [0, 65536]");
+        r.memoryPages = static_cast<uint32_t>(pages->asU64());
+    }
+    if (const Value *verbose = doc->find("verbose")) {
+        if (!verbose->isBool())
+            throw BadRequest("\"verbose\" must be a boolean");
+        r.verbose = verbose->boolean;
+    }
+
+    if (r.op == "run" || r.op == "profile" || r.op == "instrument" ||
+        r.op == "analyze") {
+        if (r.module.empty())
+            throw BadRequest(r.op + ": missing \"module\" path");
+    }
+    if (r.op == "instrument" && r.out.empty())
+        throw BadRequest("instrument: missing \"out\" path");
+    return r;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+ResponseWriter::ResponseWriter(bool ok, const std::string &op,
+                               const std::string &id)
+{
+    buf_ = std::string("{\"ok\": ") + (ok ? "true" : "false") +
+           ", \"op\": \"" + jsonEscape(op) + "\"";
+    if (!id.empty())
+        buf_ += ", \"id\": \"" + jsonEscape(id) + "\"";
+}
+
+void
+ResponseWriter::field(const std::string &key, const std::string &value)
+{
+    buf_ += ", \"" + jsonEscape(key) + "\": \"" + jsonEscape(value) + "\"";
+}
+
+void
+ResponseWriter::fieldRaw(const std::string &key,
+                         const std::string &raw_json)
+{
+    buf_ += ", \"" + jsonEscape(key) + "\": " + raw_json;
+}
+
+void
+ResponseWriter::field(const std::string &key, uint64_t value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%" PRIu64, value);
+    buf_ += ", \"" + jsonEscape(key) + "\": " + buf;
+}
+
+void
+ResponseWriter::field(const std::string &key, bool value)
+{
+    buf_ += ", \"" + jsonEscape(key) + "\": " +
+            (value ? "true" : "false");
+}
+
+std::string
+ResponseWriter::result() const
+{
+    return buf_ + "}";
+}
+
+std::string
+errorResponse(const std::string &op, const std::string &id,
+              const std::string &code, const std::string &message,
+              const std::string &extra_key,
+              const std::string &extra_value)
+{
+    ResponseWriter w(false, op, id);
+    std::string err = "{\"code\": \"" + jsonEscape(code) +
+                      "\", \"message\": \"" + jsonEscape(message) + "\"";
+    if (!extra_key.empty())
+        err += ", \"" + jsonEscape(extra_key) + "\": \"" +
+               jsonEscape(extra_value) + "\"";
+    err += "}";
+    w.fieldRaw("error", err);
+    return w.result();
+}
+
+} // namespace wasabi::serve

@@ -30,6 +30,7 @@
  *                     [--json] [--deterministic] [--out=FILE]
  *                     [--trace-out=FILE]
  *   wasabi profile   --check=FILE
+ *   wasabi serve     --socket=PATH | --request=FILE|- [--clients=N]
  *   wasabi help      [<command>]
  *   wasabi --version
  *
@@ -46,16 +47,11 @@
 #include <iostream>
 #include <memory>
 #include <optional>
+#include <thread>
 #include <unordered_set>
 
-#include "analyses/basic_block_profile.h"
-#include "analyses/branch_coverage.h"
-#include "analyses/call_graph.h"
-#include "analyses/cryptominer.h"
-#include "analyses/instruction_coverage.h"
 #include "analyses/instruction_mix.h"
-#include "analyses/memory_trace.h"
-#include "analyses/taint.h"
+#include "analyses/registry.h"
 #include "core/instrument.h"
 #include "core/intrinsic_info.h"
 #include "interp/engine/code.h"
@@ -69,6 +65,10 @@
 #include "static/rewrite/opt.h"
 #include "static/rewrite/rewrite.h"
 #include "runtime/runtime.h"
+#include "serve/server.h"
+#include "serve/socket.h"
+#include "support/file_io.h"
+#include "support/module_io.h"
 #include "wasm/decoder.h"
 #include "wasm/encoder.h"
 #include "wasm/name_section.h"
@@ -93,50 +93,37 @@ struct UsageError : std::runtime_error {
     using std::runtime_error::runtime_error;
 };
 
+// Thin wrappers over the checked I/O layer (support/file_io.h), kept
+// so the many call sites below read unchanged. Every write verifies
+// the stream after write+flush+close (a full disk or EIO surfaces as
+// a structured IoError and exit 1, never a silently truncated
+// artifact with exit 0), and module loading reports directories,
+// empty files, and truncated binaries precisely instead of falling
+// through to a baffling WAT parse error.
+
 std::vector<uint8_t>
 readFile(const std::string &path)
 {
-    std::ifstream in(path, std::ios::binary);
-    if (!in)
-        throw std::runtime_error("cannot open " + path);
-    return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
-                                std::istreambuf_iterator<char>());
+    return support::readBinaryFile(path);
 }
 
 void
 writeFile(const std::string &path, const std::vector<uint8_t> &bytes)
 {
-    std::ofstream out(path, std::ios::binary);
-    if (!out)
-        throw std::runtime_error("cannot write " + path);
-    out.write(reinterpret_cast<const char *>(bytes.data()),
-              static_cast<std::streamsize>(bytes.size()));
+    support::writeBinaryFile(path, bytes);
 }
 
 void
 writeTextFile(const std::string &path, const std::string &text)
 {
-    std::ofstream out(path);
-    if (!out)
-        throw std::runtime_error("cannot write " + path);
-    out << text;
+    support::writeTextFile(path, text);
 }
 
 /** Load a module from .wasm binary or .wat text (by content). */
 wasm::Module
 loadModule(const std::string &path)
 {
-    std::vector<uint8_t> bytes = readFile(path);
-    const uint8_t magic[4] = {0x00, 0x61, 0x73, 0x6D};
-    wasm::Module m;
-    if (bytes.size() >= 4 && std::equal(magic, magic + 4, bytes.begin())) {
-        m = wasm::decodeModule(bytes);
-    } else {
-        m = wasm::parseWat(
-            std::string(bytes.begin(), bytes.end()));
-    }
-    wasm::applyNameSection(m);
-    return m;
+    return support::loadModuleFromFile(path);
 }
 
 core::HookSet
@@ -293,13 +280,8 @@ cmdInstrument(const std::vector<std::string> &args)
                     plan.constCallTargets.size(),
                     plan.elidedBegins.size());
         if (!manifest_out.empty()) {
-            std::string manifest =
-                static_analysis::passes::planToManifest(plan);
-            std::ofstream mf(manifest_out);
-            if (!mf)
-                throw std::runtime_error("cannot write " +
-                                         manifest_out);
-            mf << manifest;
+            writeTextFile(manifest_out,
+                          static_analysis::passes::planToManifest(plan));
             std::printf("  manifest: %s (verify with `wasabi check "
                         "--manifest=%s`)\n",
                         manifest_out.c_str(), manifest_out.c_str());
@@ -312,69 +294,21 @@ cmdInstrument(const std::vector<std::string> &args)
     return 0;
 }
 
+// Analysis construction and report rendering live in the shared
+// registry (analyses/registry.h), used identically by the serve
+// daemon.
+
 std::unique_ptr<runtime::Analysis>
 makeAnalysis(const std::string &name)
 {
-    if (name == "mix")
-        return std::make_unique<analyses::InstructionMix>();
-    if (name == "blocks")
-        return std::make_unique<analyses::BasicBlockProfile>();
-    if (name == "icov")
-        return std::make_unique<analyses::InstructionCoverage>();
-    if (name == "branch")
-        return std::make_unique<analyses::BranchCoverage>();
-    if (name == "callgraph")
-        return std::make_unique<analyses::CallGraph>();
-    if (name == "taint")
-        return std::make_unique<analyses::TaintAnalysis>();
-    if (name == "miner")
-        return std::make_unique<analyses::CryptominerDetector>();
-    if (name == "mem")
-        return std::make_unique<analyses::MemoryTrace>();
-    throw std::runtime_error("unknown analysis: " + name);
+    return analyses::makeAnalysis(name);
 }
 
 void
 printReport(const std::string &name, runtime::Analysis &a,
             const wasm::Module &m)
 {
-    if (name == "mix") {
-        std::fputs(
-            static_cast<analyses::InstructionMix &>(a).report().c_str(),
-            stdout);
-    } else if (name == "blocks") {
-        std::fputs(static_cast<analyses::BasicBlockProfile &>(a)
-                       .report()
-                       .c_str(),
-                   stdout);
-    } else if (name == "icov") {
-        auto &cov = static_cast<analyses::InstructionCoverage &>(a);
-        std::printf("instruction coverage: %.1f%% (%zu locations)\n",
-                    100.0 * cov.ratio(m), cov.coveredCount());
-    } else if (name == "branch") {
-        std::fputs(
-            static_cast<analyses::BranchCoverage &>(a).report().c_str(),
-            stdout);
-    } else if (name == "callgraph") {
-        std::fputs(
-            static_cast<analyses::CallGraph &>(a).toDot(m).c_str(),
-            stdout);
-    } else if (name == "taint") {
-        auto &taint = static_cast<analyses::TaintAnalysis &>(a);
-        std::printf("taint flows: %zu (configure sources/sinks "
-                    "programmatically)\n",
-                    taint.flows().size());
-    } else if (name == "miner") {
-        auto &det = static_cast<analyses::CryptominerDetector &>(a);
-        std::printf("binary ops: %llu, signature ratio %.2f -> %s\n",
-                    static_cast<unsigned long long>(det.totalBinaryOps()),
-                    det.signatureRatio(),
-                    det.suspicious() ? "SUSPICIOUS" : "benign");
-    } else if (name == "mem") {
-        std::fputs(
-            static_cast<analyses::MemoryTrace &>(a).report().c_str(),
-            stdout);
-    }
+    std::fputs(analyses::analysisReport(name, a, m).c_str(), stdout);
 }
 
 /**
@@ -1219,6 +1153,113 @@ cmdAnalyze(const std::vector<std::string> &args)
     return 0;
 }
 
+int
+cmdServe(const std::vector<std::string> &args)
+{
+    std::string socket_path, request_path;
+    unsigned clients = 1;
+    for (const std::string &a : args) {
+        if (a.rfind("--socket=", 0) == 0)
+            socket_path = a.substr(9);
+        else if (a.rfind("--request=", 0) == 0)
+            request_path = a.substr(10);
+        else if (a.rfind("--clients=", 0) == 0)
+            clients = static_cast<unsigned>(std::stoul(a.substr(10)));
+        else
+            throw UsageError("serve: unexpected argument '" + a + "'");
+    }
+    if (socket_path.empty() == request_path.empty())
+        throw UsageError("usage: serve --socket=PATH | "
+                         "serve --request=FILE|- [--clients=N]");
+    if (clients == 0 || clients > 64)
+        throw UsageError("serve: --clients must be in [1, 64]");
+
+    serve::Server server;
+    if (!socket_path.empty())
+        return serve::serveUnixSocket(server, socket_path);
+
+    // Driver mode: the full request path (parse, cache, pool, quotas,
+    // structured errors) without socket plumbing — what tests and CI
+    // script against.
+    std::string text;
+    if (request_path == "-") {
+        text.assign(std::istreambuf_iterator<char>(std::cin),
+                    std::istreambuf_iterator<char>());
+    } else {
+        std::vector<uint8_t> bytes = readFile(request_path);
+        text.assign(bytes.begin(), bytes.end());
+    }
+    std::vector<std::string> lines;
+    for (size_t pos = 0; pos < text.size();) {
+        size_t nl = text.find('\n', pos);
+        if (nl == std::string::npos)
+            nl = text.size();
+        std::string line = text.substr(pos, nl - pos);
+        if (!line.empty() && line != "\r")
+            lines.push_back(std::move(line));
+        pos = nl + 1;
+    }
+
+    if (clients == 1) {
+        for (const std::string &line : lines) {
+            serve::Server::Handled h = server.handle(line);
+            std::printf("%s\n", h.response.c_str());
+            if (h.shutdown)
+                break;
+        }
+        return 0;
+    }
+
+    // Determinism gate: N concurrent clients replay the same request
+    // sequence against one server; every client's responses must
+    // agree byte-for-byte. Two request classes are excluded from the
+    // comparison because they are *documented* to depend on
+    // interleaving: metrics (shared counters) and verbose requests
+    // (cache/pool provenance — which client ran cold is a race).
+    // Client 0's transcript is printed, so a --clients=8 run is
+    // comparable to a --clients=1 run with
+    // `grep -v '"op": "metrics"'`.
+    std::vector<bool> gated(lines.size(), true);
+    for (size_t i = 0; i < lines.size(); ++i) {
+        try {
+            serve::Request r = serve::parseRequest(lines[i]);
+            gated[i] = r.op != "metrics" && !r.verbose;
+        } catch (const serve::BadRequest &) {
+            // Malformed lines get a deterministic error response.
+        }
+    }
+    std::vector<std::vector<std::string>> transcripts(clients);
+    std::vector<std::vector<std::string>> comparable(clients);
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (unsigned c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            for (size_t i = 0; i < lines.size(); ++i) {
+                serve::Server::Handled h = server.handle(lines[i]);
+                transcripts[c].push_back(h.response);
+                if (gated[i])
+                    comparable[c].push_back(h.response);
+                if (h.shutdown)
+                    break;
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    for (unsigned c = 1; c < clients; ++c) {
+        if (comparable[c] != comparable[0]) {
+            std::fprintf(stderr,
+                         "wasabi serve: determinism violation: client "
+                         "%u's responses diverge from client 0's\n",
+                         c);
+            return 1;
+        }
+    }
+    for (const std::string &resp : transcripts[0])
+        std::printf("%s\n", resp.c_str());
+    return 0;
+}
+
 void
 printUsage(std::FILE *to)
 {
@@ -1269,6 +1310,12 @@ printUsage(std::FILE *to)
         "             instrument + execute with full observability:\n"
         "             phase times, per-hook-kind dispatch counts,\n"
         "             interpreter counters, Chrome trace output\n"
+        "  serve      --socket=PATH | --request=FILE|- [--clients=N]\n"
+        "             multi-tenant analysis daemon: line-oriented JSON\n"
+        "             requests (run/profile/instrument/analyze/\n"
+        "             metrics/shutdown) with a content-hash module\n"
+        "             cache, warmed-instance pooling, and per-request\n"
+        "             fuel/memory quotas\n"
         "  help       [<command>], --help\n"
         "  --version\n",
         to);
@@ -1500,6 +1547,47 @@ printCommandHelp(const std::string &cmd, std::FILE *to)
             "  --dot=ranges:FUNC renders one CFG with per-block\n"
             "  locals intervals.\n",
             to);
+    } else if (cmd == "serve") {
+        std::fputs(
+            "wasabi serve --socket=PATH\n"
+            "wasabi serve --request=FILE|- [--clients=N]\n"
+            "  Multi-tenant analysis daemon (DESIGN.md §14). Each\n"
+            "  request is one JSON object per line; each response is\n"
+            "  one JSON line. Ops:\n"
+            "    run        execute with an analysis attached\n"
+            "               (intrinsic mode): {\"op\": \"run\",\n"
+            "               \"module\": \"m.wasm\", \"analysis\":\n"
+            "               \"mix\", \"entry\": \"main\", \"args\":\n"
+            "               [\"i32:5\"], \"fuel\": 1000000,\n"
+            "               \"memoryPages\": 64}\n"
+            "    profile    run + wasabi-profile JSON in the response\n"
+            "    instrument rewrite the module (needs \"out\": PATH)\n"
+            "    analyze    static module facts + content hash\n"
+            "    metrics    daemon counters as wasabi-profile JSON:\n"
+            "               cache hits/misses, pool hits/misses,\n"
+            "               translations, quota trips, per-endpoint\n"
+            "               request/error totals\n"
+            "    shutdown   stop the daemon / driver loop\n"
+            "  Modules are cached by content hash (decode + validate +\n"
+            "  static facts happen once per distinct byte string) and\n"
+            "  executed on pooled instances whose post-start state is\n"
+            "  snapshot/restored between requests, so a warm request\n"
+            "  re-uses the fast engine's translations. Per-request\n"
+            "  quotas fail with structured serve.quota-exceeded\n"
+            "  errors; no request — malformed, trapping, or\n"
+            "  over-quota — terminates the daemon.\n"
+            "  --request=FILE|-  driver mode: serve the newline-\n"
+            "                    separated requests from FILE (or\n"
+            "                    stdin) and print responses to stdout\n"
+            "  --clients=N       replay the request file from N\n"
+            "                    concurrent clients against one\n"
+            "                    daemon; exits 1 unless all responses\n"
+            "                    agree byte-for-byte (determinism\n"
+            "                    gate; metrics and verbose requests\n"
+            "                    are excluded — counters and cache/\n"
+            "                    pool provenance depend on\n"
+            "                    interleaving)\n",
+            to);
     } else {
         return false;
     }
@@ -1558,12 +1646,20 @@ main(int argc, char **argv)
             return cmdAnalyze(args);
         if (cmd == "profile")
             return cmdProfile(args);
+        if (cmd == "serve")
+            return cmdServe(args);
         std::fprintf(stderr, "wasabi: unknown command '%s'\n",
                      cmd.c_str());
         return usage();
     } catch (const UsageError &e) {
         std::fprintf(stderr, "wasabi: %s\n", e.what());
         return 2;
+    } catch (const support::IoError &e) {
+        // Structured I/O failure: the code ("io.read" / "io.write" /
+        // "io.short-write" / "io.module") leads, so scripts can match
+        // on it; a short write means the artifact is unusable.
+        std::fprintf(stderr, "wasabi: error: %s\n", e.what());
+        return 1;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "wasabi: %s\n", e.what());
         return 1;
